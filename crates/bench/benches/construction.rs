@@ -1,0 +1,55 @@
+//! Histogram construction cost per builder — supports the Ablation A
+//! discussion (exact DP vs greedy merge vs the cheap heuristics).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phe_core::eval::ordered_frequencies;
+use phe_core::ordering::OrderingKind;
+use phe_histogram::builder::{EquiDepth, EquiWidth, HistogramBuilder, VOptimal};
+use phe_pathenum::SelectivityCatalog;
+
+fn bench_construction(c: &mut Criterion) {
+    let graph = phe_datasets::moreno_health_like_scaled(0.25, 42);
+    let k = 4;
+    let catalog = SelectivityCatalog::compute(&graph, k);
+    let ordering = OrderingKind::SumBased.build(&graph, &catalog, k);
+    let ordered = ordered_frequencies(&catalog, ordering.as_ref());
+    let beta = ordered.len() / 16;
+
+    let builders: Vec<(&str, Box<dyn HistogramBuilder>)> = vec![
+        ("equi-width", Box::new(EquiWidth)),
+        ("equi-depth", Box::new(EquiDepth)),
+        ("v-optimal-greedy", Box::new(VOptimal::greedy())),
+        ("v-optimal-maxdiff", Box::new(VOptimal::maxdiff())),
+        ("v-optimal-exact", Box::new(VOptimal::exact())),
+    ];
+
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    for (name, builder) in &builders {
+        group.bench_function(BenchmarkId::from_parameter(*name), |b| {
+            b.iter(|| builder.build(&ordered, beta).unwrap().bucket_count())
+        });
+    }
+    group.finish();
+
+    // The other construction-time cost: permuting frequencies through the
+    // unranking function (where sum-based pays again).
+    let mut permute = c.benchmark_group("ordered_frequencies");
+    permute.sample_size(10);
+    for kind in [OrderingKind::NumCard, OrderingKind::SumBased] {
+        let ordering = kind.build(&graph, &catalog, k);
+        permute.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| ordered_frequencies(&catalog, ordering.as_ref()).len())
+        });
+    }
+    permute.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench_construction
+}
+criterion_main!(benches);

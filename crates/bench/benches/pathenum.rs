@@ -1,0 +1,47 @@
+//! Catalog computation strategies (Ablation C): shared-prefix trie DFS
+//! vs independent per-path evaluation vs the source-partitioned parallel
+//! variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phe_datasets::{erdos_renyi, LabelDistribution};
+use phe_pathenum::{naive, parallel, SelectivityCatalog};
+
+fn bench_catalog(c: &mut Criterion) {
+    let graph = erdos_renyi(200, 1200, 4, LabelDistribution::Uniform, 42);
+    let k = 3;
+
+    let mut group = c.benchmark_group("catalog");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("trie-dfs"), |b| {
+        b.iter(|| SelectivityCatalog::compute(&graph, k).total_mass())
+    });
+    group.bench_function(BenchmarkId::from_parameter("naive-per-path"), |b| {
+        b.iter(|| naive::compute_catalog_naive(&graph, k).total_mass())
+    });
+    group.bench_function(BenchmarkId::from_parameter("parallel-2"), |b| {
+        b.iter(|| parallel::compute_parallel(&graph, k, 2).total_mass())
+    });
+    group.finish();
+
+    // Relation composition in isolation.
+    let mut compose = c.benchmark_group("compose");
+    compose.sample_size(20);
+    let rel = phe_pathenum::PathRelation::from_label(&graph, phe_graph::LabelId(0));
+    compose.bench_function(BenchmarkId::from_parameter("one-step"), |b| {
+        let mut scratch = phe_graph::FixedBitSet::new(graph.vertex_count());
+        b.iter(|| {
+            rel.compose(&graph, phe_graph::LabelId(1), &mut scratch)
+                .pair_count()
+        })
+    });
+    compose.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench_catalog
+}
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Downstream experiment — the paper's *motivation*, measured: better
+//! path selectivity estimates should produce cheaper query plans.
+//!
+//! For a selectivity-stratified workload of path queries over each
+//! dataset, the join-order optimizer runs with five estimators: the
+//! independence baseline (no path statistics), a sampling estimator (the
+//! no-precomputation alternative), histogram estimators under num-alph
+//! and sum-based orderings (equal β budget), and the exact oracle (the
+//! floor). Every chosen plan is *executed* and its actual
+//! intermediate-result total reported, normalized to the oracle's plan.
+
+use phe_bench::{emit, timed, RunConfig};
+use phe_core::ordering::OrderingKind;
+use phe_core::{EstimatorConfig, HistogramKind, PathSelectivityEstimator};
+use phe_pathenum::parallel::compute_parallel;
+use phe_pathenum::{SamplingConfig, SamplingEstimator};
+use phe_query::{
+    execute, optimize, stratified_workload, CardinalityEstimator, ExactOracle,
+    HistogramEstimator, IndependenceBaseline, SamplingAdapter,
+};
+
+fn main() {
+    let config = RunConfig::from_args();
+    let k = config.k().min(5);
+    let beta_fraction = 32; // β = N/32 for the histogram estimators
+
+    let mut rows = Vec::new();
+    for dataset in config.datasets() {
+        let graph = &dataset.graph;
+        let (catalog, secs) = timed(|| compute_parallel(graph, k, 0));
+        eprintln!("{}: catalog in {secs:.1}s", dataset.name);
+        let beta = (catalog.len() / beta_fraction).max(4);
+
+        let build = |ordering: OrderingKind| {
+            PathSelectivityEstimator::from_catalog(
+                graph,
+                catalog.clone(),
+                EstimatorConfig {
+                    k,
+                    beta,
+                    ordering,
+                    histogram: HistogramKind::VOptimalGreedy,
+                    threads: 1,
+                },
+                std::time::Duration::ZERO,
+            )
+            .expect("estimator build")
+        };
+        let est_na = build(OrderingKind::NumAlph);
+        let est_sb = build(OrderingKind::SumBased);
+
+        let oracle = ExactOracle::new(&catalog);
+        let hist_na = HistogramEstimator::new(&est_na);
+        let hist_sb = HistogramEstimator::new(&est_sb);
+        let indep = IndependenceBaseline::from_graph(graph);
+        let sampling = SamplingAdapter::new(SamplingEstimator::new(
+            graph,
+            SamplingConfig {
+                sample_size: 64,
+                seed: config.seed,
+            },
+        ));
+
+        let workload = stratified_workload(&catalog, k, 40, config.seed);
+        eprintln!("  {} stratified queries of length {k}", workload.queries.len());
+
+        let estimators: [(&str, &dyn CardinalityEstimator); 5] = [
+            ("exact-oracle", &oracle),
+            ("independence", &indep),
+            ("sampling-64", &sampling),
+            ("hist/num-alph", &hist_na),
+            ("hist/sum-based", &hist_sb),
+        ];
+
+        let mut totals = vec![0u64; estimators.len()];
+        for q in &workload.queries {
+            for (i, (_, est)) in estimators.iter().enumerate() {
+                let plan = optimize(q, *est);
+                totals[i] += execute(graph, &plan).actual_cost();
+            }
+        }
+
+        let oracle_total = totals[0].max(1);
+        for ((name, _), &total) in estimators.iter().zip(&totals) {
+            rows.push(vec![
+                dataset.name.to_string(),
+                name.to_string(),
+                total.to_string(),
+                format!("{:.3}", total as f64 / oracle_total as f64),
+            ]);
+        }
+    }
+
+    emit(
+        &format!(
+            "Downstream plan quality — actual intermediate pairs of optimizer-chosen \
+             plans (k = {k}, β = N/{beta_fraction}); lower is better, oracle = 1.0"
+        ),
+        &["dataset", "estimator", "intermediate pairs", "vs oracle"],
+        &rows,
+        config.csv,
+    );
+
+    println!(
+        "\nReading guide: the sum-based histogram should sit closest to the oracle \
+         among the retained-statistics estimators; sampling pays no build cost but \
+         each optimizer probe is a graph traversal (and at 64 sources it can still \
+         mis-rank plans on skewed data)."
+    );
+}

@@ -1,0 +1,71 @@
+//! Reproduces the paper's **Figure 1**: the label-path selectivity
+//! distribution of the Moreno dataset for `k = 3` (258 paths over 6
+//! labels) together with an equi-width histogram over it, in num-alph
+//! ordering. Emits the two series (truth and bucket means) as a table /
+//! CSV ready for plotting.
+
+use phe_bench::{emit, RunConfig};
+use phe_core::eval::ordered_frequencies;
+use phe_core::ordering::OrderingKind;
+use phe_histogram::builder::{EquiWidth, HistogramBuilder};
+use phe_histogram::PointEstimator;
+use phe_pathenum::parallel::compute_parallel;
+
+fn main() {
+    let config = RunConfig::from_args();
+    // Figure 1 is defined at k = 3 regardless of scale.
+    let k = config.k_override.unwrap_or(3);
+    let graph = config.moreno();
+    let catalog = compute_parallel(&graph, k, 0);
+    let ordering = OrderingKind::NumAlph.build(&graph, &catalog, k);
+    let ordered = ordered_frequencies(&catalog, ordering.as_ref());
+
+    // The paper's figure shows an equi-width histogram; its bucket count
+    // is not stated, so we use domain/16 which matches the plot's visual
+    // granularity.
+    let beta = (ordered.len() / 16).max(1);
+    let histogram = EquiWidth.build(&ordered, beta).expect("non-empty domain");
+
+    let interner = graph.labels();
+    let rows: Vec<Vec<String>> = (0..ordered.len())
+        .map(|i| {
+            let path = ordering.path_at(i as u64);
+            let name = path.display_with(interner).to_string();
+            vec![
+                i.to_string(),
+                name,
+                ordered[i].to_string(),
+                format!("{:.2}", histogram.estimate(i)),
+            ]
+        })
+        .collect();
+
+    emit(
+        &format!(
+            "Figure 1 — Moreno-like distribution and equi-width histogram \
+             (k = {k}, {} paths, β = {beta}, num-alph ordering)",
+            ordered.len()
+        ),
+        &["index", "label path", "f(path)", "equi-width estimate"],
+        &rows,
+        config.csv,
+    );
+
+    // Reproduce the figure's headline observations.
+    let n = graph.label_count();
+    let singles = &ordered[..n];
+    let max_single = singles.iter().enumerate().max_by_key(|&(_, f)| *f).unwrap();
+    let min_single = singles.iter().enumerate().min_by_key(|&(_, f)| *f).unwrap();
+    println!(
+        "\nlength-1 block: label {} has the highest cardinality ({}), label {} the lowest ({})",
+        max_single.0 + 1,
+        max_single.1,
+        min_single.0 + 1,
+        min_single.1
+    );
+    println!(
+        "(the paper observes label 1 highest and label 5 lowest, with the same \
+         trend repeating inside every same-prefix group — the motivation for \
+         composing ranks)"
+    );
+}

@@ -1,0 +1,402 @@
+//! Counting and enumeration machinery behind sum-based ordering.
+//!
+//! Implements the paper's Formulas 3–5 and Algorithm 1:
+//!
+//! * [`dist`] — how many rank sequences of length `m` over ranks
+//!   `[1, n]` sum to `sr` (Formula 3, inclusion–exclusion; also a DP
+//!   variant used for precomputed tables and as a cross-check);
+//! * [`integer_partitions`] — the multisets of ranks with a given sum, in
+//!   the exact enumeration order induced by Formula 4 (most-max-parts
+//!   last; the order that makes the paper's Table 2 come out);
+//! * [`nop`] — the number of distinct permutations of a rank multiset
+//!   (Formula 5);
+//! * [`multiset_permutation_unrank`] / [`multiset_permutation_rank`] —
+//!   Algorithm 1 and its inverse: the bijection between `[0, nop(C))` and
+//!   the distinct permutations of `C` in ascending lexicographic order.
+//!
+//! All counts fit `u64` for the sizes this workspace targets
+//! (`n ≤ 4096`, `m ≤ 8`); intermediate inclusion–exclusion terms use
+//! `i128` to absorb the alternating sums.
+
+/// Binomial coefficient `C(n, k)` in `i128` (0 when `k > n`).
+pub fn binomial(n: u64, k: u64) -> i128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut num: i128 = 1;
+    for i in 0..k {
+        num = num * (n - i) as i128 / (i + 1) as i128;
+    }
+    num
+}
+
+/// Formula 3: the number of length-`m` rank sequences over `[1, n]`
+/// summing to `sr`, by inclusion–exclusion:
+///
+/// `dist(sr, m, n) = Σ_j (−1)^j · C(m, j) · C(sr − j·n − 1, m − 1)`.
+pub fn dist(sr: u64, m: usize, n: usize) -> u64 {
+    if m == 0 {
+        return u64::from(sr == 0);
+    }
+    if sr < m as u64 || sr > (m * n) as u64 {
+        return 0;
+    }
+    let mut total: i128 = 0;
+    for j in 0..=m as u64 {
+        let inner = sr as i128 - (j * n as u64) as i128 - 1;
+        if inner < (m as i128) - 1 {
+            // C(inner, m-1) = 0 once the argument drops below m-1;
+            // all later terms vanish too.
+            break;
+        }
+        let term = binomial(m as u64, j) * binomial(inner as u64, (m - 1) as u64);
+        if j.is_multiple_of(2) {
+            total += term;
+        } else {
+            total -= term;
+        }
+    }
+    debug_assert!(total >= 0, "dist({sr},{m},{n}) went negative: {total}");
+    total as u64
+}
+
+/// The same count by dynamic programming — used to precompute whole
+/// tables in `O(k²n²)` and as an independent cross-check of Formula 3.
+pub fn dist_table(k: usize, n: usize) -> Vec<Vec<u64>> {
+    // table[m][sr], m in 0..=k, sr in 0..=k*n.
+    let max_sr = k * n;
+    let mut table = vec![vec![0u64; max_sr + 1]; k + 1];
+    table[0][0] = 1;
+    for m in 1..=k {
+        for sr in m..=(m * n).min(max_sr) {
+            let mut acc = 0u64;
+            for r in 1..=n.min(sr) {
+                acc += table[m - 1][sr - r];
+            }
+            table[m][sr] = acc;
+        }
+    }
+    table
+}
+
+/// A rank multiset (integer partition with bounded parts), stored sorted
+/// ascending.
+pub type Partition = Vec<u32>;
+
+/// Formula 4: all partitions of `v` into exactly `m` parts, each in
+/// `[1, b]`, in the paper's enumeration order: recurse on the number `i`
+/// of parts equal to the current maximum `b`, `i = 0` first.
+///
+/// For the paper's Table 2 this puts `{2,2}` before `{1,3}` within the
+/// `(m=2, sr=4)` group, matching the published ordering.
+pub fn integer_partitions(v: u64, m: usize, b: u64) -> Vec<Partition> {
+    let mut out = Vec::new();
+    let mut scratch = Vec::with_capacity(m);
+    partitions_rec(v, m, b, &mut scratch, &mut out);
+    out
+}
+
+fn partitions_rec(v: u64, m: usize, b: u64, suffix: &mut Vec<u32>, out: &mut Vec<Partition>) {
+    if m == 0 {
+        if v == 0 {
+            let mut p: Partition = suffix.clone();
+            p.reverse(); // suffix holds the large parts; emit ascending.
+            out.push(p);
+        }
+        return;
+    }
+    if b == 0 || v < m as u64 || v > m as u64 * b {
+        return;
+    }
+    let max_i = (v / b).min(m as u64);
+    for i in 0..=max_i {
+        for _ in 0..i {
+            suffix.push(b as u32);
+        }
+        partitions_rec(v - i * b, m - i as usize, b - 1, suffix, out);
+        for _ in 0..i {
+            suffix.pop();
+        }
+    }
+}
+
+/// Formula 5: the number of distinct permutations of the multiset `C`:
+/// `|C|! / Π dᵢ!` where `dᵢ` counts occurrences of value `i`.
+pub fn nop(partition: &[u32]) -> u64 {
+    let m = partition.len() as u64;
+    let mut result = factorial(m);
+    let mut i = 0usize;
+    while i < partition.len() {
+        let mut j = i;
+        while j < partition.len() && partition[j] == partition[i] {
+            j += 1;
+        }
+        result /= factorial((j - i) as u64);
+        i = j;
+    }
+    result
+}
+
+fn factorial(n: u64) -> u64 {
+    (1..=n).product::<u64>().max(1)
+}
+
+/// Distinct values of a small multiset with their counts, on the stack.
+/// Paths have at most [`crate::path::MAX_K`] = 8 elements.
+struct CountedMultiset {
+    values: [u32; 8],
+    counts: [u8; 8],
+    distinct: usize,
+    total: usize,
+}
+
+impl CountedMultiset {
+    fn from_sorted(sorted: &[u32]) -> CountedMultiset {
+        debug_assert!(sorted.len() <= 8, "multiset longer than MAX_K");
+        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+        let mut set = CountedMultiset {
+            values: [0; 8],
+            counts: [0; 8],
+            distinct: 0,
+            total: sorted.len(),
+        };
+        for &v in sorted {
+            if set.distinct > 0 && set.values[set.distinct - 1] == v {
+                set.counts[set.distinct - 1] += 1;
+            } else {
+                set.values[set.distinct] = v;
+                set.counts[set.distinct] = 1;
+                set.distinct += 1;
+            }
+        }
+        set
+    }
+
+    /// `nop(self \ one copy of values[i])`: distinct permutations of the
+    /// multiset with one copy of the `i`-th distinct value removed.
+    #[inline]
+    fn nop_without(&self, i: usize) -> u64 {
+        let mut result = FACTORIALS[self.total - 1];
+        for j in 0..self.distinct {
+            let c = if j == i { self.counts[j] - 1 } else { self.counts[j] };
+            result /= FACTORIALS[c as usize];
+        }
+        result
+    }
+
+    #[inline]
+    fn remove(&mut self, i: usize) {
+        self.counts[i] -= 1;
+        self.total -= 1;
+        if self.counts[i] == 0 {
+            for j in i..self.distinct - 1 {
+                self.values[j] = self.values[j + 1];
+                self.counts[j] = self.counts[j + 1];
+            }
+            self.distinct -= 1;
+        }
+    }
+
+    fn position_of(&self, v: u32) -> usize {
+        (0..self.distinct)
+            .find(|&i| self.values[i] == v)
+            .expect("value not in multiset")
+    }
+}
+
+const FACTORIALS: [u64; 9] = [1, 1, 2, 6, 24, 120, 720, 5040, 40320];
+
+/// Algorithm 1: the `index`-th distinct permutation of the sorted multiset
+/// `sorted` in ascending lexicographic order, or `None` if out of range.
+///
+/// Implemented iteratively and allocation-free (the paper presents it
+/// recursively): at each output position, walk the distinct remaining
+/// values in ascending order and skip whole blocks of
+/// `nop(remaining \ value)` permutations.
+pub fn multiset_permutation_unrank(mut index: u64, sorted: &[u32]) -> Option<Vec<u32>> {
+    if index >= nop(sorted) {
+        return None;
+    }
+    let mut set = CountedMultiset::from_sorted(sorted);
+    let mut out = Vec::with_capacity(sorted.len());
+    while set.total > 0 {
+        let mut i = 0usize;
+        loop {
+            let block = set.nop_without(i);
+            if index >= block {
+                index -= block;
+                i += 1;
+                debug_assert!(i < set.distinct, "index exhausted candidates");
+            } else {
+                out.push(set.values[i]);
+                set.remove(i);
+                break;
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Inverse of Algorithm 1: the ascending-lexicographic rank of `sequence`
+/// among the distinct permutations of its own multiset. Allocation-free;
+/// this is the estimation-time hot path of sum-based ordering.
+pub fn multiset_permutation_rank(sequence: &[u32]) -> u64 {
+    let mut sorted = [0u32; 8];
+    sorted[..sequence.len()].copy_from_slice(sequence);
+    let sorted = &mut sorted[..sequence.len()];
+    sorted.sort_unstable();
+    let mut set = CountedMultiset::from_sorted(sorted);
+    let mut rank = 0u64;
+    for &v in sequence {
+        let pos = set.position_of(v);
+        for i in 0..pos {
+            rank += set.nop_without(i);
+        }
+        set.remove(pos);
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(3, 4), 0);
+        assert_eq!(binomial(52, 5), 2_598_960);
+    }
+
+    #[test]
+    fn dist_matches_brute_force() {
+        for n in 1..=5usize {
+            for m in 1..=4usize {
+                for sr in 0..=(m * n + 2) as u64 {
+                    let brute = brute_force_dist(sr, m, n);
+                    assert_eq!(dist(sr, m, n), brute, "dist({sr},{m},{n})");
+                }
+            }
+        }
+    }
+
+    fn brute_force_dist(sr: u64, m: usize, n: usize) -> u64 {
+        fn rec(sr: i64, m: usize, n: usize) -> u64 {
+            if m == 0 {
+                return u64::from(sr == 0);
+            }
+            (1..=n as i64).map(|r| rec(sr - r, m - 1, n)).sum()
+        }
+        rec(sr as i64, m, n)
+    }
+
+    #[test]
+    fn dist_table_matches_formula() {
+        let table = dist_table(4, 6);
+        for (m, row) in table.iter().enumerate().skip(1) {
+            for sr in 0..=24u64 {
+                assert_eq!(row[sr as usize], dist(sr, m, 6), "({m},{sr})");
+            }
+        }
+    }
+
+    #[test]
+    fn dist_paper_example() {
+        // m=2, n=3: sums 2..6 count 1,2,3,2,1 — all 9 pairs.
+        let counts: Vec<u64> = (2..=6).map(|sr| dist(sr, 2, 3)).collect();
+        assert_eq!(counts, vec![1, 2, 3, 2, 1]);
+        assert_eq!(counts.iter().sum::<u64>(), 9);
+    }
+
+    #[test]
+    fn partitions_paper_order() {
+        // Table 2's (m=2, sr=4) group over n=3: {2,2} before {1,3}.
+        let p = integer_partitions(4, 2, 3);
+        assert_eq!(p, vec![vec![2, 2], vec![1, 3]]);
+    }
+
+    #[test]
+    fn partitions_cover_dist() {
+        // Σ nop over partitions of (sr, m) must equal dist(sr, m, n).
+        for n in 1..=5u64 {
+            for m in 1..=4usize {
+                for sr in m as u64..=(m as u64 * n) {
+                    let parts = integer_partitions(sr, m, n);
+                    let total: u64 = parts.iter().map(|p| nop(p)).sum();
+                    assert_eq!(total, dist(sr, m, n as usize), "({sr},{m},{n})");
+                    // Every partition is sorted, within bounds, sums right.
+                    for p in &parts {
+                        assert!(p.windows(2).all(|w| w[0] <= w[1]), "{p:?} not sorted");
+                        assert!(p.iter().all(|&x| x >= 1 && x as u64 <= n));
+                        assert_eq!(p.iter().map(|&x| x as u64).sum::<u64>(), sr);
+                    }
+                    // No duplicates in the enumeration.
+                    let mut dedup = parts.clone();
+                    dedup.sort();
+                    dedup.dedup();
+                    assert_eq!(dedup.len(), parts.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nop_formula5() {
+        assert_eq!(nop(&[]), 1);
+        assert_eq!(nop(&[3]), 1);
+        assert_eq!(nop(&[1, 2]), 2);
+        assert_eq!(nop(&[2, 2]), 1);
+        assert_eq!(nop(&[1, 1, 2]), 3);
+        assert_eq!(nop(&[1, 2, 3, 4]), 24);
+        assert_eq!(nop(&[1, 1, 2, 2]), 6);
+    }
+
+    #[test]
+    fn unrank_enumerates_lexicographically() {
+        let c = [1u32, 1, 2, 3];
+        let total = nop(&c);
+        assert_eq!(total, 12);
+        let mut perms: Vec<Vec<u32>> = Vec::new();
+        for i in 0..total {
+            perms.push(multiset_permutation_unrank(i, &c).unwrap());
+        }
+        // Strictly increasing lexicographic order.
+        for w in perms.windows(2) {
+            assert!(w[0] < w[1], "{:?} !< {:?}", w[0], w[1]);
+        }
+        // First and last are the sorted and reverse-sorted sequences.
+        assert_eq!(perms[0], vec![1, 1, 2, 3]);
+        assert_eq!(perms[11], vec![3, 2, 1, 1]);
+        // Out of range.
+        assert!(multiset_permutation_unrank(12, &c).is_none());
+    }
+
+    #[test]
+    fn rank_inverts_unrank() {
+        let c = [1u32, 2, 2, 4, 4];
+        for i in 0..nop(&c) {
+            let p = multiset_permutation_unrank(i, &c).unwrap();
+            assert_eq!(multiset_permutation_rank(&p), i, "at {i} ({p:?})");
+        }
+    }
+
+    #[test]
+    fn rank_of_distinct_values_is_factorial_rank() {
+        // For all-distinct values this is plain permutation ranking.
+        assert_eq!(multiset_permutation_rank(&[1, 2, 3]), 0);
+        assert_eq!(multiset_permutation_rank(&[3, 2, 1]), 5);
+        assert_eq!(multiset_permutation_rank(&[2, 1, 3]), 2);
+    }
+
+    #[test]
+    fn partitions_edge_cases() {
+        assert_eq!(integer_partitions(0, 0, 5), vec![Vec::<u32>::new()]);
+        assert!(integer_partitions(1, 0, 5).is_empty());
+        assert!(integer_partitions(7, 2, 3).is_empty()); // above m*b
+        assert!(integer_partitions(1, 2, 3).is_empty()); // below m
+        assert_eq!(integer_partitions(6, 2, 3), vec![vec![3, 3]]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Label-path histograms: a domain ordering plus a histogram over the
+//! ordered frequency sequence.
+
+use phe_histogram::builder::{EquiDepth, EquiWidth, HistogramBuilder, VOptimal};
+use phe_histogram::{EndBiasedHistogram, Histogram, HistogramError, PointEstimator};
+use phe_graph::LabelId;
+use serde::{Deserialize, Serialize};
+
+use crate::ordering::DomainOrdering;
+use crate::path::LabelPath;
+
+/// A built histogram of any supported family — concrete (unlike a trait
+/// object) so it can be cloned into snapshots and serialized.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum BuiltHistogram {
+    /// A contiguous-bucket histogram (equi-width/-depth, V-optimal).
+    Buckets(Histogram),
+    /// An end-biased histogram.
+    EndBiased(EndBiasedHistogram),
+}
+
+impl PointEstimator for BuiltHistogram {
+    #[inline]
+    fn estimate(&self, index: usize) -> f64 {
+        match self {
+            BuiltHistogram::Buckets(h) => h.estimate(index),
+            BuiltHistogram::EndBiased(h) => h.estimate(index),
+        }
+    }
+
+    fn domain_size(&self) -> usize {
+        match self {
+            BuiltHistogram::Buckets(h) => h.domain_size(),
+            BuiltHistogram::EndBiased(h) => h.domain_size(),
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        match self {
+            BuiltHistogram::Buckets(h) => h.size_bytes(),
+            BuiltHistogram::EndBiased(h) => h.size_bytes(),
+        }
+    }
+}
+
+/// Histogram families available to the estimator.
+///
+/// The paper's experiments use V-optimal throughout; Figure 1 shows
+/// equi-width. The greedy V-optimal mode is the paper-scale default (see
+/// the `phe-histogram` crate docs for the exact-DP feasibility argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HistogramKind {
+    /// Equal index ranges (Figure 1).
+    EquiWidth,
+    /// Equal cumulative frequency.
+    EquiDepth,
+    /// V-optimal via exact dynamic programming (small domains only).
+    VOptimalExact,
+    /// V-optimal via greedy bottom-up merging (paper-scale default).
+    VOptimalGreedy,
+    /// V-optimal via max-diff boundaries.
+    VOptimalMaxDiff,
+    /// End-biased: exact heavy hitters + rest average (ordering-agnostic;
+    /// ablation only).
+    EndBiased,
+}
+
+impl HistogramKind {
+    /// Every implemented kind.
+    pub const ALL: [HistogramKind; 6] = [
+        HistogramKind::EquiWidth,
+        HistogramKind::EquiDepth,
+        HistogramKind::VOptimalExact,
+        HistogramKind::VOptimalGreedy,
+        HistogramKind::VOptimalMaxDiff,
+        HistogramKind::EndBiased,
+    ];
+
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HistogramKind::EquiWidth => "equi-width",
+            HistogramKind::EquiDepth => "equi-depth",
+            HistogramKind::VOptimalExact => "v-optimal-exact",
+            HistogramKind::VOptimalGreedy => "v-optimal-greedy",
+            HistogramKind::VOptimalMaxDiff => "v-optimal-maxdiff",
+            HistogramKind::EndBiased => "end-biased",
+        }
+    }
+
+    /// Builds the histogram over an ordered frequency sequence.
+    pub fn build(&self, data: &[u64], beta: usize) -> Result<BuiltHistogram, HistogramError> {
+        Ok(match self {
+            HistogramKind::EquiWidth => BuiltHistogram::Buckets(EquiWidth.build(data, beta)?),
+            HistogramKind::EquiDepth => BuiltHistogram::Buckets(EquiDepth.build(data, beta)?),
+            HistogramKind::VOptimalExact => {
+                BuiltHistogram::Buckets(VOptimal::exact().build(data, beta)?)
+            }
+            HistogramKind::VOptimalGreedy => {
+                BuiltHistogram::Buckets(VOptimal::greedy().build(data, beta)?)
+            }
+            HistogramKind::VOptimalMaxDiff => {
+                BuiltHistogram::Buckets(VOptimal::maxdiff().build(data, beta)?)
+            }
+            HistogramKind::EndBiased => {
+                BuiltHistogram::EndBiased(EndBiasedHistogram::build(data, beta)?)
+            }
+        })
+    }
+}
+
+impl std::fmt::Display for HistogramKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A histogram over the label-path domain in a chosen ordering: the
+/// structure a query optimizer would actually retain (the catalog itself
+/// is construction-time only).
+pub struct LabelPathHistogram {
+    ordering: Box<dyn DomainOrdering>,
+    histogram: BuiltHistogram,
+}
+
+impl LabelPathHistogram {
+    /// Builds a histogram of `kind` with `beta` buckets over the given
+    /// frequency sequence, which must already be permuted into
+    /// `ordering`'s index space (see [`crate::eval::ordered_frequencies`]).
+    pub fn from_ordered_frequencies(
+        ordering: Box<dyn DomainOrdering>,
+        ordered: &[u64],
+        kind: HistogramKind,
+        beta: usize,
+    ) -> Result<LabelPathHistogram, HistogramError> {
+        assert_eq!(
+            ordered.len() as u64,
+            ordering.domain_size(),
+            "frequency sequence does not cover the domain"
+        );
+        let histogram = kind.build(ordered, beta)?;
+        Ok(LabelPathHistogram {
+            ordering,
+            histogram,
+        })
+    }
+
+    /// Reassembles from parts (snapshot restore).
+    pub fn from_parts(
+        ordering: Box<dyn DomainOrdering>,
+        histogram: BuiltHistogram,
+    ) -> LabelPathHistogram {
+        assert_eq!(
+            histogram.domain_size() as u64,
+            ordering.domain_size(),
+            "histogram and ordering disagree on the domain size"
+        );
+        LabelPathHistogram {
+            ordering,
+            histogram,
+        }
+    }
+
+    /// Estimated selectivity `e(ℓ)`.
+    #[inline]
+    pub fn estimate(&self, path: &LabelPath) -> f64 {
+        let index = self.ordering.index_of(path);
+        self.histogram.estimate(index as usize)
+    }
+
+    /// Estimated selectivity from a label slice.
+    pub fn estimate_labels(&self, labels: &[LabelId]) -> f64 {
+        self.estimate(&LabelPath::new(labels))
+    }
+
+    /// The domain ordering in use.
+    pub fn ordering(&self) -> &dyn DomainOrdering {
+        self.ordering.as_ref()
+    }
+
+    /// The underlying histogram.
+    pub fn histogram(&self) -> &BuiltHistogram {
+        &self.histogram
+    }
+
+    /// Approximate retained memory (histogram only — the ordering is
+    /// O(|L|) state).
+    pub fn size_bytes(&self) -> usize {
+        self.histogram.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::PathDomain;
+    use crate::ordering::NumericalOrdering;
+    use crate::ranking::LabelRanking;
+
+    fn l(x: u16) -> LabelId {
+        LabelId(x)
+    }
+
+    #[test]
+    fn estimate_reads_through_the_ordering() {
+        // Domain of 2 labels, k=2: canonical frequencies 0..=5 ascending,
+        // identity ordering, singleton buckets ⇒ estimates are exact.
+        let domain = PathDomain::new(2, 2);
+        let ordering = Box::new(NumericalOrdering::new(
+            domain,
+            LabelRanking::identity(2),
+            "num-alph",
+        ));
+        let freqs = [10u64, 20, 30, 40, 50, 60];
+        let h = LabelPathHistogram::from_ordered_frequencies(
+            ordering,
+            &freqs,
+            HistogramKind::EquiWidth,
+            6,
+        )
+        .unwrap();
+        assert_eq!(h.estimate(&LabelPath::single(l(0))), 10.0);
+        assert_eq!(h.estimate(&LabelPath::single(l(1))), 20.0);
+        assert_eq!(h.estimate_labels(&[l(1), l(1)]), 60.0);
+    }
+
+    #[test]
+    fn all_kinds_build() {
+        let domain = PathDomain::new(2, 2);
+        let freqs = [5u64, 1, 9, 2, 8, 3];
+        for kind in HistogramKind::ALL {
+            let ordering = Box::new(NumericalOrdering::new(
+                domain,
+                LabelRanking::identity(2),
+                "num-alph",
+            ));
+            let h =
+                LabelPathHistogram::from_ordered_frequencies(ordering, &freqs, kind, 3).unwrap();
+            let e = h.estimate(&LabelPath::single(l(0)));
+            assert!(e.is_finite() && e >= 0.0, "{kind}: estimate {e}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cover the domain")]
+    fn wrong_length_sequence_rejected() {
+        let domain = PathDomain::new(2, 2);
+        let ordering = Box::new(NumericalOrdering::new(
+            domain,
+            LabelRanking::identity(2),
+            "num-alph",
+        ));
+        let _ = LabelPathHistogram::from_ordered_frequencies(
+            ordering,
+            &[1, 2, 3],
+            HistogramKind::EquiWidth,
+            2,
+        );
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(HistogramKind::VOptimalGreedy.name(), "v-optimal-greedy");
+        assert_eq!(HistogramKind::EquiWidth.to_string(), "equi-width");
+    }
+}

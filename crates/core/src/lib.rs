@@ -1,0 +1,71 @@
+#![warn(missing_docs)]
+
+//! # phe-core — histogram domain ordering for path selectivity estimation
+//!
+//! The reproduction of the paper's contribution (EDBT 2018). The problem:
+//! a histogram over the domain of label paths `Lk` can only be accurate if
+//! paths with similar selectivity sit *next to each other* in the domain —
+//! otherwise every bucket mixes wildly different frequencies and the
+//! bucket mean estimates none of them. The paper frames this as choosing a
+//! **domain ordering**, decomposed into:
+//!
+//! * a **ranking rule** ([`ranking::LabelRanking`]) — a bijection between
+//!   base labels and ranks `[1, |B|]`: *alphabetical* or *cardinality*
+//!   (ascending frequency);
+//! * an **ordering rule** — a bijection between label paths and indexes
+//!   `[0, |Lk|)` built on top of the ranks:
+//!   [`ordering::NumericalOrdering`], [`ordering::LexicographicalOrdering`],
+//!   or the paper's novel [`ordering::SumBasedOrdering`] (Algorithms 1–2,
+//!   Formulas 3–5), which groups paths by the *sum* of their label ranks so
+//!   that paths composed of similar-frequency labels — and hence, under
+//!   approximate label independence, of similar selectivity — share buckets.
+//!
+//! The five ordering methods of the paper are `num-alph`, `num-card`,
+//! `lex-alph`, `lex-card`, and `sum-based` (always cardinality-ranked);
+//! [`OrderingKind`] enumerates them plus the future-work `sum-based-L2`
+//! extension over the richer base set `B = L²` ([`base_set`]).
+//!
+//! [`estimator::PathSelectivityEstimator`] is the one-stop API:
+//!
+//! ```
+//! use phe_core::{EstimatorConfig, HistogramKind, OrderingKind, PathSelectivityEstimator};
+//! use phe_datasets::{erdos_renyi, LabelDistribution};
+//! use phe_graph::LabelId;
+//!
+//! let g = erdos_renyi(60, 240, 3, LabelDistribution::Zipf { exponent: 1.0 }, 7);
+//! let est = PathSelectivityEstimator::build(
+//!     &g,
+//!     EstimatorConfig {
+//!         k: 3,
+//!         beta: 16,
+//!         ordering: OrderingKind::SumBased,
+//!         histogram: HistogramKind::VOptimalGreedy,
+//!         threads: 1,
+//!     },
+//! ).unwrap();
+//! let e = est.estimate(&[LabelId(0), LabelId(1)]);
+//! assert!(e >= 0.0);
+//! ```
+
+pub mod base_set;
+pub mod combinatorics;
+pub mod domain;
+pub mod estimator;
+pub mod eval;
+pub mod label_histogram;
+pub mod ordering;
+pub mod path;
+pub mod ranking;
+pub mod snapshot;
+
+pub use domain::PathDomain;
+pub use estimator::{EstimatorConfig, HistogramKind, PathSelectivityEstimator};
+pub use eval::{evaluate_configuration, ordered_frequencies};
+pub use label_histogram::LabelPathHistogram;
+pub use ordering::{
+    IdealOrdering,
+    DomainOrdering, LexicographicalOrdering, NumericalOrdering, OrderingKind, SumBasedOrdering,
+};
+pub use path::{LabelPath, MAX_K};
+pub use ranking::LabelRanking;
+pub use snapshot::{EstimatorSnapshot, SnapshotError};

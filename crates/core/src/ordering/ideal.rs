@@ -1,0 +1,189 @@
+//! The *ideal ordering*: sort the domain by true selectivity.
+//!
+//! The paper (§3) describes it as the unreachable optimum: "sort the
+//! label paths by their selectivity and assign the index of each label
+//! path as its position in this sequence. This idea is not practical,
+//! however, as it requires extra memory to store |L| index values" — the
+//! same memory that could instead store the exact selectivities.
+//!
+//! We implement it anyway, *as a reference point*: it bounds what any
+//! computable ordering can achieve, so the ablation can report how much
+//! of the ideal's headroom sum-based ordering captures. It must **not**
+//! be mistaken for a practical estimator — its memory footprint is
+//! `O(|Lk|)`, defeating the purpose of the histogram.
+
+use phe_pathenum::SelectivityCatalog;
+
+use crate::domain::PathDomain;
+use crate::ordering::DomainOrdering;
+use crate::path::LabelPath;
+
+/// The selectivity-sorted reference ordering. Ties (including the large
+/// zero-selectivity plateau) break by canonical index, so the ordering is
+/// deterministic.
+#[derive(Debug)]
+pub struct IdealOrdering {
+    domain: PathDomain,
+    /// `by_index[i]` = canonical index of the path at ordered position `i`.
+    by_index: Vec<u32>,
+    /// `position[c]` = ordered position of canonical index `c`.
+    position: Vec<u32>,
+}
+
+impl IdealOrdering {
+    /// Builds the ideal ordering from the exact catalog.
+    pub fn from_catalog(domain: PathDomain, catalog: &SelectivityCatalog) -> IdealOrdering {
+        assert_eq!(
+            catalog.len() as u64,
+            domain.size(),
+            "catalog does not cover the domain"
+        );
+        let mut by_index: Vec<u32> = (0..catalog.len() as u32).collect();
+        by_index.sort_by_key(|&c| (catalog.selectivity_at(c as usize), c));
+        let mut position = vec![0u32; catalog.len()];
+        for (pos, &c) in by_index.iter().enumerate() {
+            position[c as usize] = pos as u32;
+        }
+        IdealOrdering {
+            domain,
+            by_index,
+            position,
+        }
+    }
+
+    /// The memory this ordering must retain — the cost the paper rules it
+    /// out by.
+    pub fn size_bytes(&self) -> usize {
+        (self.by_index.len() + self.position.len()) * std::mem::size_of::<u32>()
+    }
+}
+
+impl DomainOrdering for IdealOrdering {
+    fn name(&self) -> &'static str {
+        "ideal"
+    }
+
+    fn domain(&self) -> &PathDomain {
+        &self.domain
+    }
+
+    fn index_of(&self, path: &LabelPath) -> u64 {
+        let canonical = self.domain.canonical_index(path);
+        self.position[canonical as usize] as u64
+    }
+
+    fn path_at(&self, index: u64) -> LabelPath {
+        self.domain.canonical_path(self.by_index[index as usize] as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phe_datasets::{erdos_renyi, LabelDistribution};
+    use phe_graph::LabelId;
+
+    fn setup() -> (PathDomain, SelectivityCatalog, IdealOrdering) {
+        let g = erdos_renyi(40, 300, 3, LabelDistribution::Zipf { exponent: 1.0 }, 5);
+        let catalog = SelectivityCatalog::compute(&g, 3);
+        let domain = PathDomain::new(3, 3);
+        let ideal = IdealOrdering::from_catalog(domain, &catalog);
+        (domain, catalog, ideal)
+    }
+
+    #[test]
+    fn is_a_bijection() {
+        let (domain, _, ideal) = setup();
+        for i in 0..domain.size() {
+            let p = ideal.path_at(i);
+            assert_eq!(ideal.index_of(&p), i);
+        }
+    }
+
+    #[test]
+    fn frequencies_are_monotone() {
+        let (domain, catalog, ideal) = setup();
+        let mut last = 0u64;
+        for i in 0..domain.size() {
+            let p = ideal.path_at(i);
+            let f = catalog.selectivity(p.as_label_ids());
+            assert!(f >= last, "selectivity dropped at position {i}");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn ideal_lower_bounds_every_computable_ordering() {
+        use crate::eval::evaluate_configuration;
+        use crate::label_histogram::HistogramKind;
+        use crate::ordering::OrderingKind;
+        let g = erdos_renyi(50, 600, 4, LabelDistribution::Zipf { exponent: 1.0 }, 9);
+        let k = 3;
+        let catalog = SelectivityCatalog::compute(&g, k);
+        let domain = PathDomain::new(4, k);
+        let ideal = IdealOrdering::from_catalog(domain, &catalog);
+        let beta = catalog.len() / 16;
+        // Exact V-optimal on the monotone sequence is the global optimum
+        // over (ordering, bucketing) pairs; no computable ordering with the
+        // same builder may do better.
+        let ideal_err = evaluate_configuration(
+            &catalog,
+            &ideal,
+            HistogramKind::VOptimalExact,
+            beta,
+        )
+        .unwrap()
+        .mean_abs_error_rate;
+        for kind in OrderingKind::ALL {
+            let o = kind.build(&g, &catalog, k);
+            let err = evaluate_configuration(
+                &catalog,
+                o.as_ref(),
+                HistogramKind::VOptimalExact,
+                beta,
+            )
+            .unwrap()
+            .mean_abs_error_rate;
+            assert!(
+                ideal_err <= err + 1e-9,
+                "{} ({err:.4}) beat the ideal ({ideal_err:.4})",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn memory_is_linear_in_domain() {
+        let (domain, _, ideal) = setup();
+        assert_eq!(ideal.size_bytes(), domain.size() as usize * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cover")]
+    fn mismatched_catalog_rejected() {
+        let g = erdos_renyi(10, 30, 2, LabelDistribution::Uniform, 1);
+        let catalog = SelectivityCatalog::compute(&g, 2);
+        let _ = IdealOrdering::from_catalog(PathDomain::new(2, 3), &catalog);
+    }
+
+    #[test]
+    fn works_through_the_estimator_api() {
+        use crate::estimator::{EstimatorConfig, PathSelectivityEstimator};
+        use crate::label_histogram::HistogramKind;
+        use crate::ordering::OrderingKind;
+        let g = erdos_renyi(30, 200, 3, LabelDistribution::Uniform, 2);
+        let est = PathSelectivityEstimator::build(
+            &g,
+            EstimatorConfig {
+                k: 2,
+                beta: 6,
+                ordering: OrderingKind::Ideal,
+                histogram: HistogramKind::VOptimalGreedy,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        let e = est.estimate(&[LabelId(0), LabelId(1)]);
+        assert!(e.is_finite() && e >= 0.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! The label-path value type.
+
+use std::fmt;
+
+use phe_graph::LabelId;
+use serde::{Deserialize, Serialize};
+
+/// Maximum supported path length `k`.
+///
+/// Eight covers the paper's `k ≤ 6` with headroom while keeping
+/// [`LabelPath`] a 17-byte `Copy` value (no heap traffic in the hot
+/// ranking/unranking loops).
+pub const MAX_K: usize = 8;
+
+/// A label path `ℓ = l1/l2/…/lm`, `1 ≤ m ≤ MAX_K`, stored inline.
+///
+/// The derived `Ord` compares length first, then labels positionally —
+/// *not* one of the paper's domain orderings (those are provided by
+/// `phe_core::ordering`); it exists so paths can key ordered maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LabelPath {
+    len: u8,
+    labels: [u16; MAX_K],
+}
+
+impl LabelPath {
+    /// Builds a path from a label slice.
+    ///
+    /// # Panics
+    /// Panics if the slice is empty or longer than [`MAX_K`].
+    pub fn new(labels: &[LabelId]) -> LabelPath {
+        assert!(
+            !labels.is_empty() && labels.len() <= MAX_K,
+            "path length {} out of range 1..={MAX_K}",
+            labels.len()
+        );
+        let mut arr = [0u16; MAX_K];
+        for (slot, l) in arr.iter_mut().zip(labels) {
+            *slot = l.0;
+        }
+        LabelPath {
+            len: labels.len() as u8,
+            labels: arr,
+        }
+    }
+
+    /// A single-label path.
+    pub fn single(label: LabelId) -> LabelPath {
+        LabelPath::new(&[label])
+    }
+
+    /// Path length `m = |ℓ|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Paths are never empty; this always returns `false` (provided to
+    /// satisfy the `len`/`is_empty` API convention).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The `i`-th label (0-based).
+    #[inline]
+    pub fn label(&self, i: usize) -> LabelId {
+        debug_assert!(i < self.len());
+        LabelId(self.labels[i])
+    }
+
+    /// The labels as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u16] {
+        &self.labels[..self.len as usize]
+    }
+
+    /// The labels as owned `LabelId`s.
+    pub fn label_ids(&self) -> Vec<LabelId> {
+        self.as_slice().iter().map(|&l| LabelId(l)).collect()
+    }
+
+    /// The labels as a borrowed `LabelId` slice (no allocation).
+    #[inline]
+    pub fn as_label_ids(&self) -> &[LabelId] {
+        let raw = self.as_slice();
+        // SAFETY: LabelId is repr(transparent) over u16 — identical layout,
+        // alignment, and validity.
+        unsafe { std::slice::from_raw_parts(raw.as_ptr().cast::<LabelId>(), raw.len()) }
+    }
+
+    /// Iterates the labels.
+    pub fn iter(&self) -> impl Iterator<Item = LabelId> + '_ {
+        self.as_slice().iter().map(|&l| LabelId(l))
+    }
+
+    /// Returns this path extended by one label.
+    ///
+    /// # Panics
+    /// Panics at [`MAX_K`].
+    pub fn appended(&self, label: LabelId) -> LabelPath {
+        assert!(self.len() < MAX_K, "path already at MAX_K");
+        let mut out = *self;
+        out.labels[out.len as usize] = label.0;
+        out.len += 1;
+        out
+    }
+
+    /// The prefix of length `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is 0 or exceeds the length.
+    pub fn prefix(&self, n: usize) -> LabelPath {
+        assert!(n >= 1 && n <= self.len());
+        let mut out = *self;
+        out.len = n as u8;
+        for slot in &mut out.labels[n..] {
+            *slot = 0;
+        }
+        out
+    }
+
+    /// Renders with label names from an interner, e.g. `knows/likes`.
+    pub fn display_with<'a>(&'a self, labels: &'a phe_graph::LabelInterner) -> impl fmt::Display + 'a {
+        NamedPath { path: self, labels }
+    }
+}
+
+impl fmt::Display for LabelPath {
+    /// Renders label *ids* separated by `/`, e.g. `l0/l2/l1`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, l) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, "/")?;
+            }
+            write!(f, "{l}")?;
+        }
+        Ok(())
+    }
+}
+
+struct NamedPath<'a> {
+    path: &'a LabelPath,
+    labels: &'a phe_graph::LabelInterner,
+}
+
+impl fmt::Display for NamedPath<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, l) in self.path.iter().enumerate() {
+            if i > 0 {
+                write!(f, "/")?;
+            }
+            match self.labels.name(l) {
+                Some(name) => write!(f, "{name}")?,
+                None => write!(f, "?{}", l.0)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl From<&[LabelId]> for LabelPath {
+    fn from(labels: &[LabelId]) -> Self {
+        LabelPath::new(labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(x: u16) -> LabelId {
+        LabelId(x)
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let p = LabelPath::new(&[l(3), l(0), l(5)]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.label(0), l(3));
+        assert_eq!(p.label(2), l(5));
+        assert_eq!(p.as_slice(), &[3, 0, 5]);
+    }
+
+    #[test]
+    fn appended_and_prefix() {
+        let p = LabelPath::single(l(1));
+        let q = p.appended(l(2)).appended(l(3));
+        assert_eq!(q.as_slice(), &[1, 2, 3]);
+        assert_eq!(q.prefix(2).as_slice(), &[1, 2]);
+        assert_eq!(q.prefix(2), LabelPath::new(&[l(1), l(2)]));
+    }
+
+    #[test]
+    fn prefix_normalizes_tail_for_equality() {
+        let a = LabelPath::new(&[l(1), l(2), l(3)]).prefix(1);
+        let b = LabelPath::single(l(1));
+        assert_eq!(a, b);
+        // Hash-equality consistency via a set.
+        let mut set = std::collections::HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = LabelPath::new(&[l(0), l(2)]);
+        assert_eq!(p.to_string(), "l0/l2");
+        let mut interner = phe_graph::LabelInterner::new();
+        interner.intern("knows").unwrap();
+        interner.intern("likes").unwrap();
+        interner.intern("follows").unwrap();
+        assert_eq!(p.display_with(&interner).to_string(), "knows/follows");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn empty_path_rejected() {
+        LabelPath::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn overlong_path_rejected() {
+        let labels: Vec<LabelId> = (0..9).map(l).collect();
+        LabelPath::new(&labels);
+    }
+
+    #[test]
+    fn copy_size_is_small() {
+        assert!(std::mem::size_of::<LabelPath>() <= 18);
+    }
+
+    #[test]
+    fn ord_is_length_major() {
+        let a = LabelPath::new(&[l(5)]);
+        let b = LabelPath::new(&[l(0), l(0)]);
+        assert!(a < b);
+    }
+}

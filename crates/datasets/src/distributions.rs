@@ -1,0 +1,197 @@
+//! Label and weight distributions for the generators.
+//!
+//! `rand_distr` is not part of the offline crate set, so the Zipf sampler
+//! is implemented here: for the label-alphabet sizes involved (≤ a few
+//! thousand) a precomputed CDF with binary search is both simple and fast.
+
+use rand::Rng;
+
+/// How edge labels are assigned by a generator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LabelDistribution {
+    /// Every label equally likely.
+    Uniform,
+    /// Zipf with the given exponent: `P(label i) ∝ 1 / (i+1)^s`.
+    Zipf {
+        /// The skew exponent `s > 0`; larger is more skewed.
+        exponent: f64,
+    },
+    /// Exact per-label edge counts; must sum to the generator's edge budget.
+    Fixed(Vec<u64>),
+}
+
+impl LabelDistribution {
+    /// Resolves this distribution into exact per-label counts for a total
+    /// of `edges` edges over `labels` labels. Rounding residue from the
+    /// probabilistic variants goes to the most frequent labels, so the sum
+    /// is always exactly `edges`.
+    pub fn per_label_counts(&self, labels: usize, edges: u64) -> Vec<u64> {
+        assert!(labels > 0);
+        match self {
+            LabelDistribution::Fixed(counts) => {
+                assert_eq!(counts.len(), labels, "fixed counts length mismatch");
+                assert_eq!(
+                    counts.iter().sum::<u64>(),
+                    edges,
+                    "fixed counts must sum to the edge budget"
+                );
+                counts.clone()
+            }
+            LabelDistribution::Uniform => {
+                let base = edges / labels as u64;
+                let extra = (edges % labels as u64) as usize;
+                (0..labels)
+                    .map(|i| base + u64::from(i < extra))
+                    .collect()
+            }
+            LabelDistribution::Zipf { exponent } => {
+                let weights: Vec<f64> =
+                    (0..labels).map(|i| 1.0 / ((i + 1) as f64).powf(*exponent)).collect();
+                let total_w: f64 = weights.iter().sum();
+                let mut counts: Vec<u64> = weights
+                    .iter()
+                    .map(|w| ((w / total_w) * edges as f64).floor() as u64)
+                    .collect();
+                let mut assigned: u64 = counts.iter().sum();
+                let mut i = 0usize;
+                while assigned < edges {
+                    counts[i % labels] += 1;
+                    assigned += 1;
+                    i += 1;
+                }
+                counts
+            }
+        }
+    }
+}
+
+/// A sampler over `[0, n)` with Zipfian weights, backed by a CDF table.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` items with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> ZipfSampler {
+        assert!(n > 0, "Zipf over zero items");
+        assert!(s.is_finite(), "non-finite Zipf exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against rounding: the last entry must catch every u < 1.
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        ZipfSampler { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is over zero items (never true — see `new`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws an item index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_counts_sum_exactly() {
+        let c = LabelDistribution::Uniform.per_label_counts(6, 12969);
+        assert_eq!(c.iter().sum::<u64>(), 12969);
+        assert_eq!(c.len(), 6);
+        let (min, max) = (c.iter().min().unwrap(), c.iter().max().unwrap());
+        assert!(max - min <= 1, "uniform counts {c:?} not balanced");
+    }
+
+    #[test]
+    fn zipf_counts_sum_exactly_and_skew() {
+        let c = LabelDistribution::Zipf { exponent: 1.0 }.per_label_counts(8, 209_068);
+        assert_eq!(c.iter().sum::<u64>(), 209_068);
+        assert!(c[0] > c[7] * 4, "Zipf head {} vs tail {}", c[0], c[7]);
+        // Monotone non-increasing apart from the +1 residue spread.
+        for w in c.windows(2) {
+            assert!(w[0] + 1 >= w[1], "counts {c:?} not decreasing");
+        }
+    }
+
+    #[test]
+    fn fixed_counts_pass_through() {
+        let counts = vec![5u64, 3, 2];
+        let c = LabelDistribution::Fixed(counts.clone()).per_label_counts(3, 10);
+        assert_eq!(c, counts);
+    }
+
+    #[test]
+    #[should_panic(expected = "must sum")]
+    fn fixed_counts_must_sum() {
+        LabelDistribution::Fixed(vec![1, 1]).per_label_counts(2, 10);
+    }
+
+    #[test]
+    fn zipf_sampler_is_skewed_and_in_range() {
+        let z = ZipfSampler::new(10, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            let i = z.sample(&mut rng);
+            assert!(i < 10);
+            counts[i] += 1;
+        }
+        assert!(counts[0] > counts[9] * 3, "{counts:?}");
+        // Roughly monotone: first item most frequent.
+        assert_eq!(
+            counts.iter().enumerate().max_by_key(|&(_, c)| *c).unwrap().0,
+            0
+        );
+    }
+
+    #[test]
+    fn zipf_sampler_deterministic_per_seed() {
+        let z = ZipfSampler::new(5, 0.8);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(11);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(11);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniformish() {
+        let z = ZipfSampler::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "{counts:?}");
+        }
+    }
+}

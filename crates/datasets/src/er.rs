@@ -1,0 +1,116 @@
+//! Labeled Erdős–Rényi graphs: `G(n, m)` with a label distribution.
+
+use std::collections::HashSet;
+
+use phe_graph::{Graph, GraphBuilder, LabelId, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::distributions::LabelDistribution;
+
+/// Generates a labeled Erdős–Rényi graph with exactly `edges` distinct
+/// `(src, label, dst)` triples over `vertices` vertices and `labels`
+/// labels distributed per `dist`. Self-loops are allowed (they occur in
+/// real edge lists and the paper's path semantics handles them fine).
+///
+/// This mirrors SNAP's `GenRndGnm` with uniformly re-drawn duplicates,
+/// plus per-label edge budgets so the label marginal is exact.
+///
+/// # Panics
+/// Panics if the requested edge count exceeds the number of possible
+/// distinct triples, or if `vertices == 0` / `labels == 0`.
+pub fn erdos_renyi(
+    vertices: u32,
+    edges: u64,
+    labels: u16,
+    dist: LabelDistribution,
+    seed: u64,
+) -> Graph {
+    assert!(vertices > 0, "need at least one vertex");
+    assert!(labels > 0, "need at least one label");
+    let possible = (vertices as u128) * (vertices as u128);
+    let per_label = dist.per_label_counts(labels as usize, edges);
+    for (l, &c) in per_label.iter().enumerate() {
+        assert!(
+            (c as u128) <= possible,
+            "label {l} asks for {c} edges but only {possible} pairs exist"
+        );
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_numeric_labels(vertices, labels);
+    let mut seen: HashSet<(u32, u16, u32)> = HashSet::with_capacity(edges as usize);
+    for (l, &count) in per_label.iter().enumerate() {
+        let l = l as u16;
+        let mut added = 0u64;
+        while added < count {
+            let s = rng.gen_range(0..vertices);
+            let t = rng.gen_range(0..vertices);
+            if seen.insert((s, l, t)) {
+                builder.add_edge(VertexId(s), LabelId(l), VertexId(t));
+                added += 1;
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_counts() {
+        let g = erdos_renyi(50, 300, 3, LabelDistribution::Uniform, 1);
+        assert_eq!(g.vertex_count(), 50);
+        assert_eq!(g.edge_count(), 300);
+        assert_eq!(g.label_count(), 3);
+        let freqs: Vec<u64> = g.label_ids().map(|l| g.label_frequency(l)).collect();
+        assert_eq!(freqs, vec![100, 100, 100]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = erdos_renyi(30, 100, 2, LabelDistribution::Uniform, 99);
+        let b = erdos_renyi(30, 100, 2, LabelDistribution::Uniform, 99);
+        let ea: Vec<_> = a.iter_edges().collect();
+        let eb: Vec<_> = b.iter_edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = erdos_renyi(30, 100, 2, LabelDistribution::Uniform, 1);
+        let b = erdos_renyi(30, 100, 2, LabelDistribution::Uniform, 2);
+        let ea: Vec<_> = a.iter_edges().collect();
+        let eb: Vec<_> = b.iter_edges().collect();
+        assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn zipf_label_marginal() {
+        let g = erdos_renyi(
+            100,
+            1000,
+            4,
+            LabelDistribution::Zipf { exponent: 1.0 },
+            5,
+        );
+        let freqs: Vec<u64> = g.label_ids().map(|l| g.label_frequency(l)).collect();
+        assert_eq!(freqs.iter().sum::<u64>(), 1000);
+        assert!(freqs[0] > freqs[3], "{freqs:?}");
+    }
+
+    #[test]
+    fn dense_request_saturates() {
+        // 4 vertices, 1 label, 16 = all possible pairs.
+        let g = erdos_renyi(4, 16, 1, LabelDistribution::Uniform, 0);
+        assert_eq!(g.edge_count(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "pairs exist")]
+    fn impossible_request_panics() {
+        erdos_renyi(2, 5, 1, LabelDistribution::Uniform, 0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Forest Fire graphs (Leskovec, Kleinberg & Faloutsos), labeled.
+//!
+//! Vertices arrive one at a time. Each new vertex picks a random
+//! *ambassador*, links to it, then "burns" outward: from each burning
+//! vertex it links to a geometrically distributed number of that vertex's
+//! out-neighbors (forward burning) and in-neighbors (backward burning,
+//! damped by a ratio), recursively. The result has heavy-tailed degrees,
+//! densification, and community structure — the properties that make
+//! SNAP-FF behave differently from SNAP-ER in the paper's Figure 2.
+
+use std::collections::HashSet;
+
+use phe_graph::{Graph, GraphBuilder, LabelId, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::distributions::LabelDistribution;
+
+/// Parameters of the Forest Fire model.
+#[derive(Debug, Clone, Copy)]
+pub struct ForestFireParams {
+    /// Forward burning probability `p` (geometric mean `p / (1 − p)`).
+    pub forward_p: f64,
+    /// Backward burning ratio `r`: backward probability is `r · p`.
+    pub backward_r: f64,
+    /// Cap on burned vertices per arrival, to bound worst-case blowup.
+    pub max_burn: usize,
+}
+
+impl Default for ForestFireParams {
+    fn default() -> Self {
+        ForestFireParams {
+            forward_p: 0.2,
+            backward_r: 0.3,
+            max_burn: 200,
+        }
+    }
+}
+
+/// Generates a labeled Forest Fire graph with `vertices` vertices. The
+/// number of edges is an emergent property of `params`; labels are drawn
+/// from `dist` (probabilistically — exact marginals cannot be guaranteed
+/// while edges are structural).
+pub fn forest_fire(
+    vertices: u32,
+    labels: u16,
+    params: ForestFireParams,
+    dist: LabelDistribution,
+    seed: u64,
+) -> Graph {
+    assert!(labels > 0, "need at least one label");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Structural adjacency (label-free) maintained incrementally.
+    let mut out_adj: Vec<Vec<u32>> = vec![Vec::new(); vertices as usize];
+    let mut in_adj: Vec<Vec<u32>> = vec![Vec::new(); vertices as usize];
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+
+    let mut burned: HashSet<u32> = HashSet::new();
+    let mut queue: Vec<u32> = Vec::new();
+
+    for v in 1..vertices {
+        let ambassador = rng.gen_range(0..v);
+        burned.clear();
+        queue.clear();
+        burned.insert(ambassador);
+        queue.push(ambassador);
+        let mut qi = 0usize;
+        while qi < queue.len() && burned.len() < params.max_burn {
+            let w = queue[qi];
+            qi += 1;
+            // Geometric number of forward links from w.
+            let fwd = geometric(&mut rng, params.forward_p);
+            let bwd = geometric(&mut rng, params.forward_p * params.backward_r);
+            burn_sample(&mut rng, &out_adj[w as usize], fwd, &mut burned, &mut queue);
+            burn_sample(&mut rng, &in_adj[w as usize], bwd, &mut burned, &mut queue);
+        }
+        for &w in &queue {
+            out_adj[v as usize].push(w);
+            in_adj[w as usize].push(v);
+            edges.push((v, w));
+        }
+    }
+
+    label_and_build(vertices, labels, dist, &edges, &mut rng)
+}
+
+/// Draws how many neighbors to burn: geometric with mean `p / (1 - p)`.
+fn geometric<R: Rng>(rng: &mut R, p: f64) -> usize {
+    let p = p.clamp(0.0, 0.95);
+    let mut n = 0usize;
+    while n < 32 && rng.gen::<f64>() < p {
+        n += 1;
+    }
+    n
+}
+
+/// Burns up to `count` distinct unburned vertices from `candidates`.
+fn burn_sample<R: Rng>(
+    rng: &mut R,
+    candidates: &[u32],
+    count: usize,
+    burned: &mut HashSet<u32>,
+    queue: &mut Vec<u32>,
+) {
+    if candidates.is_empty() || count == 0 {
+        return;
+    }
+    // Sample with a bounded number of attempts; candidate lists are short
+    // in expectation so this stays cheap.
+    let mut taken = 0usize;
+    let mut attempts = 0usize;
+    while taken < count && attempts < candidates.len() * 2 {
+        attempts += 1;
+        let w = candidates[rng.gen_range(0..candidates.len())];
+        if burned.insert(w) {
+            queue.push(w);
+            taken += 1;
+        }
+    }
+}
+
+/// Assigns labels to structural edges and freezes the graph. Multiple
+/// labels on the same pair are allowed (distinct triples), matching the
+/// multigraph model.
+fn label_and_build(
+    vertices: u32,
+    labels: u16,
+    dist: LabelDistribution,
+    edges: &[(u32, u32)],
+    rng: &mut StdRng,
+) -> Graph {
+    let per_label = dist.per_label_counts(labels as usize, edges.len() as u64);
+    let mut builder = GraphBuilder::with_numeric_labels(vertices, labels);
+    // Shuffle edge order deterministically, then slice per label.
+    let mut order: Vec<usize> = (0..edges.len()).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut pos = 0usize;
+    for (l, &count) in per_label.iter().enumerate() {
+        for _ in 0..count {
+            let (s, t) = edges[order[pos]];
+            builder.add_edge(VertexId(s), LabelId(l as u16), VertexId(t));
+            pos += 1;
+        }
+    }
+    builder.build()
+}
+
+/// Forest Fire with an exact edge budget: burns until at least `edges`
+/// structural edges exist (re-running arrivals with increasing forward
+/// probability if the model under-shoots), then keeps a deterministic
+/// random subset of exactly `edges`. Used by the SNAP-FF facsimile so the
+/// Table 3 row matches exactly.
+pub fn forest_fire_exact_edges(
+    vertices: u32,
+    edges: u64,
+    labels: u16,
+    mut params: ForestFireParams,
+    dist: LabelDistribution,
+    seed: u64,
+) -> Graph {
+    for attempt in 0..8 {
+        let g = forest_fire(vertices, 1, params, LabelDistribution::Uniform, seed + attempt);
+        let structural: Vec<(u32, u32)> = g
+            .iter_edges()
+            .map(|(s, _, t)| (s.0, t.0))
+            .collect();
+        if (structural.len() as u64) >= edges {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_f00d);
+            let mut order: Vec<usize> = (0..structural.len()).collect();
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            let kept: Vec<(u32, u32)> = order[..edges as usize]
+                .iter()
+                .map(|&i| structural[i])
+                .collect();
+            return label_and_build(vertices, labels, dist, &kept, &mut rng);
+        }
+        // Undershot: burn hotter.
+        params.forward_p = (params.forward_p * 1.35).min(0.9);
+    }
+    panic!(
+        "forest fire could not reach {edges} edges on {vertices} vertices; \
+         raise forward_p or max_burn"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_connected_ish_graph() {
+        let g = forest_fire(500, 3, ForestFireParams::default(), LabelDistribution::Uniform, 7);
+        assert_eq!(g.vertex_count(), 500);
+        // Every vertex except 0 has at least one out-edge (its ambassador link).
+        assert!(g.edge_count() >= 499);
+        assert_eq!(g.label_count(), 3);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = ForestFireParams::default();
+        let a = forest_fire(200, 2, p, LabelDistribution::Uniform, 3);
+        let b = forest_fire(200, 2, p, LabelDistribution::Uniform, 3);
+        let ea: Vec<_> = a.iter_edges().collect();
+        let eb: Vec<_> = b.iter_edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn heavier_burning_densifies() {
+        let light = forest_fire(
+            400,
+            1,
+            ForestFireParams { forward_p: 0.1, backward_r: 0.2, max_burn: 200 },
+            LabelDistribution::Uniform,
+            11,
+        );
+        let heavy = forest_fire(
+            400,
+            1,
+            ForestFireParams { forward_p: 0.35, backward_r: 0.3, max_burn: 200 },
+            LabelDistribution::Uniform,
+            11,
+        );
+        assert!(
+            heavy.edge_count() > light.edge_count(),
+            "heavy {} vs light {}",
+            heavy.edge_count(),
+            light.edge_count()
+        );
+    }
+
+    #[test]
+    fn exact_edges_hits_target() {
+        let g = forest_fire_exact_edges(
+            300,
+            800,
+            4,
+            ForestFireParams { forward_p: 0.3, backward_r: 0.3, max_burn: 200 },
+            LabelDistribution::Uniform,
+            21,
+        );
+        assert_eq!(g.vertex_count(), 300);
+        assert_eq!(g.edge_count(), 800);
+        assert_eq!(g.label_count(), 4);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = forest_fire(
+            1000,
+            1,
+            ForestFireParams { forward_p: 0.3, backward_r: 0.3, max_burn: 200 },
+            LabelDistribution::Uniform,
+            13,
+        );
+        // Hubs form on the receiving side: early vertices are burned over
+        // and over, so max in-degree far exceeds the mean degree.
+        let max_in = (0..g.vertex_count() as u32)
+            .map(|v| g.in_degree(phe_graph::VertexId(v), LabelId(0)))
+            .max()
+            .unwrap();
+        let mean = g.edge_count() as f64 / g.vertex_count() as f64;
+        assert!(
+            max_in as f64 > mean * 5.0,
+            "max in-degree {max_in} vs mean degree {mean}"
+        );
+    }
+}

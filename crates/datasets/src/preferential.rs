@@ -1,0 +1,152 @@
+//! Preferential attachment (Barabási–Albert) graphs, labeled.
+//!
+//! Included as an extra hub-heavy workload beyond the paper's four
+//! datasets, and as the attachment kernel reused by the facsimiles: both
+//! the Moreno-like and DBpedia-like generators pick edge *targets* with
+//! preferential attachment to reproduce skewed in-degrees.
+
+use phe_graph::{Graph, GraphBuilder, LabelId, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::distributions::LabelDistribution;
+
+/// Generates a directed Barabási–Albert-style graph: each new vertex
+/// attaches `m` out-edges to targets drawn preferentially by in-degree
+/// (plus one smoothing count to keep the early graph connected).
+pub fn barabasi_albert(
+    vertices: u32,
+    m: usize,
+    labels: u16,
+    dist: LabelDistribution,
+    seed: u64,
+) -> Graph {
+    assert!(vertices >= 2, "need at least two vertices");
+    assert!(m >= 1, "need at least one edge per arrival");
+    assert!(labels > 0, "need at least one label");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Repeated-endpoint trick: sampling uniformly from the endpoint log is
+    // equivalent to degree-proportional sampling.
+    let mut endpoint_log: Vec<u32> = vec![0];
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for v in 1..vertices {
+        for _ in 0..m {
+            let t = if rng.gen::<f64>() < 0.1 {
+                // Uniform smoothing: lets late vertices receive edges too.
+                rng.gen_range(0..v)
+            } else {
+                endpoint_log[rng.gen_range(0..endpoint_log.len())]
+            };
+            edges.push((v, t));
+            endpoint_log.push(t);
+        }
+        endpoint_log.push(v);
+    }
+
+    let per_label = dist.per_label_counts(labels as usize, edges.len() as u64);
+    let mut builder = GraphBuilder::with_numeric_labels(vertices, labels);
+    let mut order: Vec<usize> = (0..edges.len()).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut pos = 0usize;
+    for (l, &count) in per_label.iter().enumerate() {
+        for _ in 0..count {
+            let (s, t) = edges[order[pos]];
+            builder.add_edge(VertexId(s), LabelId(l as u16), VertexId(t));
+            pos += 1;
+        }
+    }
+    builder.build()
+}
+
+/// A reusable degree-proportional target sampler for the facsimiles.
+#[derive(Debug, Clone)]
+pub struct PreferentialSampler {
+    endpoint_log: Vec<u32>,
+    uniform_mix: f64,
+    universe: u32,
+}
+
+impl PreferentialSampler {
+    /// Creates a sampler over `universe` vertices mixing `uniform_mix` of
+    /// uniform choice with degree-proportional choice.
+    pub fn new(universe: u32, uniform_mix: f64) -> PreferentialSampler {
+        assert!(universe > 0);
+        PreferentialSampler {
+            endpoint_log: Vec::new(),
+            uniform_mix: uniform_mix.clamp(0.0, 1.0),
+            universe,
+        }
+    }
+
+    /// Draws a target and records it (rich get richer).
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u32 {
+        let t = if self.endpoint_log.is_empty() || rng.gen::<f64>() < self.uniform_mix {
+            rng.gen_range(0..self.universe)
+        } else {
+            self.endpoint_log[rng.gen_range(0..self.endpoint_log.len())]
+        };
+        self.endpoint_log.push(t);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phe_graph::GraphStats;
+
+    #[test]
+    fn basic_shape() {
+        let g = barabasi_albert(500, 3, 4, LabelDistribution::Uniform, 5);
+        assert_eq!(g.vertex_count(), 500);
+        // ~3 edges per arrival minus duplicates collapsed at build.
+        assert!(g.edge_count() > 1000, "{}", g.edge_count());
+        assert_eq!(g.label_count(), 4);
+    }
+
+    #[test]
+    fn in_degree_is_heavy_tailed() {
+        let g = barabasi_albert(2000, 2, 1, LabelDistribution::Uniform, 8);
+        let mut in_degrees: Vec<usize> = (0..g.vertex_count() as u32)
+            .map(|v| g.in_degree(phe_graph::VertexId(v), LabelId(0)))
+            .collect();
+        in_degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let top = in_degrees[0];
+        let median = in_degrees[in_degrees.len() / 2];
+        assert!(top >= median * 10, "top {top} median {median}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = barabasi_albert(100, 2, 2, LabelDistribution::Uniform, 9);
+        let b = barabasi_albert(100, 2, 2, LabelDistribution::Uniform, 9);
+        assert_eq!(
+            a.iter_edges().collect::<Vec<_>>(),
+            b.iter_edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn preferential_sampler_skews() {
+        let mut s = PreferentialSampler::new(1000, 0.1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..20_000 {
+            counts[s.sample(&mut rng) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let mean = 20_000 / 1000;
+        assert!(max as f64 > mean as f64 * 10.0, "max {max} mean {mean}");
+    }
+
+    #[test]
+    fn stats_sane() {
+        let g = barabasi_albert(300, 2, 3, LabelDistribution::Zipf { exponent: 1.0 }, 2);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.vertex_count, 300);
+        assert!(s.label_frequencies[0] > s.label_frequencies[2]);
+    }
+}

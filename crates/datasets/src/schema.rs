@@ -1,0 +1,312 @@
+//! Schema-driven graph generation, in the spirit of gMark.
+//!
+//! The paper cites gMark (Bagan et al., TKDE 2017) — schema-driven
+//! generation of graphs and queries — as part of the scalability
+//! landscape. This module provides a compact schema language for
+//! generating labeled graphs with controlled structure: per-label edge
+//! budgets, source/target *vertex communities* (contiguous vertex
+//! ranges, as a stand-in for gMark's node types), and out-degree
+//! distributions. It subsumes the ad-hoc facsimile constructions and lets
+//! tests and benchmarks dial label correlation explicitly: two labels
+//! chain heavily exactly when one's target community overlaps the other's
+//! source community.
+
+use std::collections::HashSet;
+
+use phe_graph::{Graph, GraphBuilder, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::distributions::ZipfSampler;
+
+/// How a label's edges distribute over its source community.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DegreeModel {
+    /// Every source equally likely.
+    Uniform,
+    /// Sources drawn Zipf-distributed (hub sources).
+    Zipf {
+        /// Skew exponent (> 0; larger ⇒ heavier hubs).
+        exponent: f64,
+    },
+}
+
+/// A contiguous community of vertices, as a fraction of the vertex space.
+///
+/// `start` is a fraction in `[0, 1)`; `width` a fraction in `(0, 1]`.
+/// Communities wrap around the vertex ring, so overlap between a target
+/// community and another label's source community is always well-defined.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Community {
+    /// Starting position as a fraction of `|V|`.
+    pub start: f64,
+    /// Width as a fraction of `|V|`.
+    pub width: f64,
+}
+
+impl Community {
+    /// The whole vertex space.
+    pub fn all() -> Community {
+        Community {
+            start: 0.0,
+            width: 1.0,
+        }
+    }
+
+    /// A community covering `[start, start + width)` of the ring.
+    pub fn new(start: f64, width: f64) -> Community {
+        assert!((0.0..1.0).contains(&start), "start {start} outside [0,1)");
+        assert!(width > 0.0 && width <= 1.0, "width {width} outside (0,1]");
+        Community { start, width }
+    }
+
+    fn materialize(&self, n: u32) -> (u32, u32) {
+        let start = ((self.start * n as f64) as u32).min(n - 1);
+        let size = ((self.width * n as f64).ceil() as u32).clamp(1, n);
+        (start, size)
+    }
+}
+
+/// One edge label's schema entry.
+#[derive(Debug, Clone)]
+pub struct LabelSchema {
+    /// Label name.
+    pub name: String,
+    /// Number of distinct `(src, label, dst)` triples to generate.
+    pub edges: u64,
+    /// Where sources live.
+    pub sources: Community,
+    /// Where targets live.
+    pub targets: Community,
+    /// How sources are picked inside their community.
+    pub source_degrees: DegreeModel,
+    /// How targets are picked inside their community.
+    pub target_degrees: DegreeModel,
+}
+
+impl LabelSchema {
+    /// A label over the whole vertex space with uniform endpoints.
+    pub fn uniform(name: impl Into<String>, edges: u64) -> LabelSchema {
+        LabelSchema {
+            name: name.into(),
+            edges,
+            sources: Community::all(),
+            targets: Community::all(),
+            source_degrees: DegreeModel::Uniform,
+            target_degrees: DegreeModel::Uniform,
+        }
+    }
+}
+
+/// Generates a graph from a schema. Deterministic per seed; per-label
+/// edge counts are exact.
+///
+/// # Panics
+/// Panics if a label demands more distinct triples than its communities
+/// allow, or on an empty schema / zero vertices.
+pub fn schema_graph(vertices: u32, schema: &[LabelSchema], seed: u64) -> Graph {
+    assert!(vertices > 0, "need at least one vertex");
+    assert!(!schema.is_empty(), "schema must define at least one label");
+    assert!(schema.len() <= u16::MAX as usize, "too many labels");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new();
+    builder.ensure_vertices(vertices);
+    let mut seen: HashSet<(u32, u16, u32)> = HashSet::new();
+
+    for (li, label) in schema.iter().enumerate() {
+        let id = builder.intern_label(&label.name);
+        debug_assert_eq!(id.index(), li);
+        let (s_start, s_size) = label.sources.materialize(vertices);
+        let (t_start, t_size) = label.targets.materialize(vertices);
+        let possible = s_size as u128 * t_size as u128;
+        assert!(
+            label.edges as u128 <= possible,
+            "label {:?} asks for {} edges but its communities allow {}",
+            label.name,
+            label.edges,
+            possible
+        );
+        let s_sampler = make_sampler(label.source_degrees, s_size);
+        let t_sampler = make_sampler(label.target_degrees, t_size);
+        let mut added = 0u64;
+        let mut rejected = 0u64;
+        while added < label.edges {
+            let s = (s_start + s_sampler.draw(&mut rng, s_size)) % vertices;
+            let t = (t_start + t_sampler.draw(&mut rng, t_size)) % vertices;
+            if seen.insert((s, id.0, t)) {
+                builder.add_edge(VertexId(s), id, VertexId(t));
+                added += 1;
+                rejected = 0;
+            } else {
+                rejected += 1;
+                assert!(
+                    rejected < 1_000_000,
+                    "label {:?}: cannot place edge {added} (communities too \
+                     saturated for the requested skew)",
+                    label.name
+                );
+            }
+        }
+    }
+    builder.build()
+}
+
+enum Sampler {
+    Uniform,
+    Zipf(ZipfSampler),
+}
+
+impl Sampler {
+    fn draw<R: Rng>(&self, rng: &mut R, size: u32) -> u32 {
+        match self {
+            Sampler::Uniform => rng.gen_range(0..size),
+            Sampler::Zipf(z) => z.sample(rng) as u32,
+        }
+    }
+}
+
+fn make_sampler(model: DegreeModel, size: u32) -> Sampler {
+    match model {
+        DegreeModel::Uniform => Sampler::Uniform,
+        DegreeModel::Zipf { exponent } => Sampler::Zipf(ZipfSampler::new(size as usize, exponent)),
+    }
+}
+
+/// A ready-made correlated schema: `labels` labels arranged on a ring
+/// where label `i`'s targets overlap label `i+1`'s sources — a chain-
+/// correlated workload with Zipf-skewed per-label budgets, handy for
+/// ordering experiments.
+pub fn chained_schema(labels: u16, edges_total: u64) -> Vec<LabelSchema> {
+    assert!(labels > 0);
+    let counts =
+        crate::distributions::LabelDistribution::Zipf { exponent: 0.9 }.per_label_counts(labels as usize, edges_total);
+    (0..labels)
+        .map(|l| {
+            let pos = l as f64 / labels as f64;
+            let next = ((l + 1) % labels) as f64 / labels as f64;
+            LabelSchema {
+                name: format!("r{l}"),
+                edges: counts[l as usize],
+                sources: Community::new(pos, 0.4),
+                targets: Community::new(next, 0.4),
+                source_degrees: DegreeModel::Uniform,
+                target_degrees: DegreeModel::Zipf { exponent: 0.8 },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phe_graph::{GraphStats, LabelId};
+
+    #[test]
+    fn uniform_schema_hits_exact_counts() {
+        let schema = vec![
+            LabelSchema::uniform("a", 500),
+            LabelSchema::uniform("b", 200),
+        ];
+        let g = schema_graph(100, &schema, 7);
+        assert_eq!(g.vertex_count(), 100);
+        assert_eq!(g.edge_count(), 700);
+        assert_eq!(g.label_frequency(LabelId(0)), 500);
+        assert_eq!(g.label_frequency(LabelId(1)), 200);
+    }
+
+    #[test]
+    fn communities_confine_endpoints() {
+        let schema = vec![LabelSchema {
+            name: "x".into(),
+            edges: 300,
+            sources: Community::new(0.0, 0.25),
+            targets: Community::new(0.5, 0.25),
+            source_degrees: DegreeModel::Uniform,
+            target_degrees: DegreeModel::Uniform,
+        }];
+        let g = schema_graph(200, &schema, 3);
+        for (s, _, t) in g.iter_edges() {
+            assert!(s.0 < 50, "source {s} outside its community");
+            assert!((100..150).contains(&t.0), "target {t} outside its community");
+        }
+    }
+
+    #[test]
+    fn wrapping_community() {
+        let schema = vec![LabelSchema {
+            name: "w".into(),
+            edges: 100,
+            sources: Community::new(0.9, 0.2), // wraps 180..200 + 0..20
+            targets: Community::all(),
+            source_degrees: DegreeModel::Uniform,
+            target_degrees: DegreeModel::Uniform,
+        }];
+        let g = schema_graph(200, &schema, 5);
+        for (s, _, _) in g.iter_edges() {
+            assert!(s.0 >= 180 || s.0 < 20, "source {s} outside wrap range");
+        }
+    }
+
+    #[test]
+    fn zipf_targets_create_hubs() {
+        let schema = vec![LabelSchema {
+            name: "h".into(),
+            edges: 2000,
+            sources: Community::all(),
+            targets: Community::all(),
+            source_degrees: DegreeModel::Uniform,
+            target_degrees: DegreeModel::Zipf { exponent: 1.2 },
+        }];
+        let g = schema_graph(1000, &schema, 11);
+        let max_in = (0..1000u32)
+            .map(|v| g.in_degree(VertexId(v), LabelId(0)))
+            .max()
+            .unwrap();
+        assert!(max_in > 50, "expected a hub, max in-degree {max_in}");
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // index arithmetic over (l, l+1, l+2) mod 4
+    fn chained_schema_is_label_correlated() {
+        let g = schema_graph(500, &chained_schema(4, 4000), 13);
+        let stats = GraphStats::compute(&g);
+        // Chaining l -> l+1 dominates the co-occurrence matrix.
+        let co = &stats.cooccurrence;
+        for l in 0..4usize {
+            let next = (l + 1) % 4;
+            let anti = (l + 2) % 4;
+            assert!(
+                co[l][next] > co[l][anti],
+                "label {l}: chain count {} vs anti {}",
+                co[l][next],
+                co[l][anti]
+            );
+        }
+        assert!(stats.label_independence_correlation() < 0.9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let schema = chained_schema(3, 900);
+        let a = schema_graph(300, &schema, 17);
+        let b = schema_graph(300, &schema, 17);
+        assert_eq!(
+            a.iter_edges().collect::<Vec<_>>(),
+            b.iter_edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "communities allow")]
+    fn over_saturated_schema_rejected() {
+        let schema = vec![LabelSchema {
+            name: "x".into(),
+            edges: 10_000,
+            sources: Community::new(0.0, 0.1),
+            targets: Community::new(0.0, 0.1),
+            source_degrees: DegreeModel::Uniform,
+            target_degrees: DegreeModel::Uniform,
+        }];
+        let _ = schema_graph(100, &schema, 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! Compressed sparse row adjacency for a single edge label.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::VertexId;
+
+/// CSR adjacency: `neighbors(v) = targets[offsets[v] .. offsets[v + 1]]`.
+///
+/// Neighbor lists are sorted ascending and duplicate-free, which makes merge
+/// joins and binary-search membership tests possible without preprocessing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds a CSR over `vertex_count` rows from `(src, dst)` pairs.
+    ///
+    /// Pairs may arrive in any order and may contain duplicates; duplicates
+    /// are dropped. The input buffer is consumed (sorted in place).
+    pub fn from_pairs(vertex_count: usize, mut pairs: Vec<(u32, u32)>) -> Csr {
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut offsets = Vec::with_capacity(vertex_count + 1);
+        let mut targets = Vec::with_capacity(pairs.len());
+        offsets.push(0);
+        let mut row = 0usize;
+        for (s, t) in pairs {
+            let s = s as usize;
+            debug_assert!(s < vertex_count, "source {s} out of range");
+            while row < s {
+                offsets.push(targets.len() as u32);
+                row += 1;
+            }
+            targets.push(t);
+        }
+        while row < vertex_count {
+            offsets.push(targets.len() as u32);
+            row += 1;
+        }
+        debug_assert_eq!(offsets.len(), vertex_count + 1);
+        Csr { offsets, targets }
+    }
+
+    /// An empty CSR with `vertex_count` rows and no edges.
+    pub fn empty(vertex_count: usize) -> Csr {
+        Csr {
+            offsets: vec![0; vertex_count + 1],
+            targets: Vec::new(),
+        }
+    }
+
+    /// Number of rows (vertices).
+    #[inline]
+    pub fn row_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of stored edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The sorted, duplicate-free neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let v = v as usize;
+        let lo = self.offsets[v] as usize;
+        let hi = self.offsets[v + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Out-degree of `v` in this label's relation.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        let v = v as usize;
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// Whether the edge `(src, dst)` is present (binary search).
+    pub fn has_edge(&self, src: u32, dst: u32) -> bool {
+        self.neighbors(src).binary_search(&dst).is_ok()
+    }
+
+    /// Iterates all `(src, dst)` pairs in row-major sorted order.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.row_count() as u32).flat_map(move |src| {
+            self.neighbors(src)
+                .iter()
+                .map(move |&dst| (VertexId(src), VertexId(dst)))
+        })
+    }
+
+    /// Rows with at least one neighbor, as vertex ids.
+    pub fn non_empty_rows(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.row_count() as u32).filter(move |&v| self.degree(v) > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_sorts_and_dedups() {
+        let csr = Csr::from_pairs(4, vec![(2, 1), (0, 3), (0, 1), (0, 3), (2, 0)]);
+        assert_eq!(csr.row_count(), 4);
+        assert_eq!(csr.edge_count(), 4);
+        assert_eq!(csr.neighbors(0), &[1, 3]);
+        assert_eq!(csr.neighbors(1), &[] as &[u32]);
+        assert_eq!(csr.neighbors(2), &[0, 1]);
+        assert_eq!(csr.neighbors(3), &[] as &[u32]);
+    }
+
+    #[test]
+    fn empty_rows_at_the_end() {
+        let csr = Csr::from_pairs(5, vec![(1, 1)]);
+        assert_eq!(csr.neighbors(4), &[] as &[u32]);
+        assert_eq!(csr.degree(1), 1);
+        assert_eq!(csr.degree(4), 0);
+    }
+
+    #[test]
+    fn has_edge_binary_search() {
+        let csr = Csr::from_pairs(3, vec![(0, 0), (0, 2), (1, 1)]);
+        assert!(csr.has_edge(0, 0));
+        assert!(csr.has_edge(0, 2));
+        assert!(!csr.has_edge(0, 1));
+        assert!(!csr.has_edge(2, 0));
+    }
+
+    #[test]
+    fn iter_edges_row_major() {
+        let csr = Csr::from_pairs(3, vec![(2, 0), (0, 1), (0, 0)]);
+        let got: Vec<(u32, u32)> = csr.iter_edges().map(|(s, t)| (s.0, t.0)).collect();
+        assert_eq!(got, vec![(0, 0), (0, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn non_empty_rows_filters() {
+        let csr = Csr::from_pairs(4, vec![(1, 0), (3, 3)]);
+        let rows: Vec<u32> = csr.non_empty_rows().collect();
+        assert_eq!(rows, vec![1, 3]);
+    }
+
+    #[test]
+    fn empty_constructor() {
+        let csr = Csr::empty(3);
+        assert_eq!(csr.row_count(), 3);
+        assert_eq!(csr.edge_count(), 0);
+        assert_eq!(csr.neighbors(2), &[] as &[u32]);
+    }
+
+    #[test]
+    fn zero_vertices() {
+        let csr = Csr::from_pairs(0, vec![]);
+        assert_eq!(csr.row_count(), 0);
+        assert_eq!(csr.edge_count(), 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Typed identifiers for vertices and edge labels.
+//!
+//! Newtypes keep vertex and label indexes from being mixed up at compile
+//! time while compiling down to bare integers. Both types order and hash as
+//! their underlying integer, so they can be used directly as sort keys and
+//! in hash maps.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a vertex: a dense index in `[0, |V|)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(transparent)]
+pub struct VertexId(pub u32);
+
+/// Identifier of an edge label: a dense index in `[0, |L|)`.
+///
+/// `u16` bounds the label alphabet at 65 536 labels, far beyond the 6-8
+/// labels of the paper's datasets while keeping label paths compact (a
+/// length-8 path packs into 17 bytes, see `phe-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(transparent)]
+pub struct LabelId(pub u16);
+
+impl VertexId {
+    /// The vertex index as a `usize`, for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LabelId {
+    /// The label index as a `usize`, for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+impl From<u16> for LabelId {
+    fn from(l: u16) -> Self {
+        LabelId(l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_orders_by_value() {
+        assert!(VertexId(1) < VertexId(2));
+        assert_eq!(VertexId(7).index(), 7);
+    }
+
+    #[test]
+    fn label_id_orders_by_value() {
+        assert!(LabelId(0) < LabelId(1));
+        assert_eq!(LabelId(3).index(), 3);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(VertexId(42).to_string(), "v42");
+        assert_eq!(LabelId(5).to_string(), "l5");
+    }
+
+    #[test]
+    fn ids_are_word_sized() {
+        assert_eq!(std::mem::size_of::<VertexId>(), 4);
+        assert_eq!(std::mem::size_of::<LabelId>(), 2);
+    }
+}

@@ -1,0 +1,154 @@
+//! Bidirectional label-name interning.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GraphError;
+use crate::ids::LabelId;
+
+/// Maps label names to dense [`LabelId`]s and back.
+///
+/// Ids are handed out in first-seen order, so loading the same edge list
+/// always produces the same id assignment. The *alphabetical* ranking used
+/// by the ordering framework sorts by name separately — the interner itself
+/// makes no ordering promises beyond stability.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LabelInterner {
+    names: Vec<String>,
+    #[serde(skip)]
+    by_name: HashMap<String, LabelId>,
+}
+
+impl LabelInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its existing or freshly assigned id.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::TooManyLabels`] if the `u16` id space would
+    /// overflow.
+    pub fn intern(&mut self, name: &str) -> Result<LabelId, GraphError> {
+        if let Some(&id) = self.by_name.get(name) {
+            return Ok(id);
+        }
+        if self.names.len() > u16::MAX as usize {
+            return Err(GraphError::TooManyLabels);
+        }
+        let id = LabelId(self.names.len() as u16);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Looks up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<LabelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of `id`, if assigned.
+    pub fn name(&self, id: LabelId) -> Option<&str> {
+        self.names.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of interned labels.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no labels are interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (LabelId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (LabelId(i as u16), n.as_str()))
+    }
+
+    /// Label ids sorted by name — the *alphabetical* total order of the
+    /// ordering framework.
+    pub fn ids_sorted_by_name(&self) -> Vec<LabelId> {
+        let mut ids: Vec<LabelId> = (0..self.names.len() as u16).map(LabelId).collect();
+        ids.sort_by(|a, b| self.names[a.index()].cmp(&self.names[b.index()]));
+        ids
+    }
+
+    /// Rebuilds the name→id map. Needed after deserialization because the
+    /// map is skipped by serde (it is derivable from `names`).
+    pub fn rebuild_index(&mut self) {
+        self.by_name = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), LabelId(i as u16)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = LabelInterner::new();
+        let a = i.intern("knows").unwrap();
+        let b = i.intern("likes").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(i.intern("knows").unwrap(), a);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn ids_in_first_seen_order() {
+        let mut i = LabelInterner::new();
+        assert_eq!(i.intern("c").unwrap(), LabelId(0));
+        assert_eq!(i.intern("a").unwrap(), LabelId(1));
+        assert_eq!(i.intern("b").unwrap(), LabelId(2));
+        assert_eq!(i.name(LabelId(1)), Some("a"));
+        assert_eq!(i.get("b"), Some(LabelId(2)));
+        assert_eq!(i.get("zzz"), None);
+    }
+
+    #[test]
+    fn sorted_by_name_is_alphabetical() {
+        let mut i = LabelInterner::new();
+        i.intern("c").unwrap();
+        i.intern("a").unwrap();
+        i.intern("b").unwrap();
+        let sorted = i.ids_sorted_by_name();
+        let names: Vec<&str> = sorted.iter().map(|&id| i.name(id).unwrap()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn iter_pairs() {
+        let mut i = LabelInterner::new();
+        i.intern("x").unwrap();
+        i.intern("y").unwrap();
+        let pairs: Vec<(u16, &str)> = i.iter().map(|(id, n)| (id.0, n)).collect();
+        assert_eq!(pairs, vec![(0, "x"), (1, "y")]);
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut i = LabelInterner::new();
+        i.intern("m").unwrap();
+        i.intern("n").unwrap();
+        let mut copy = LabelInterner {
+            names: i.names.clone(),
+            by_name: HashMap::new(),
+        };
+        assert_eq!(copy.get("m"), None, "index empty before rebuild");
+        copy.rebuild_index();
+        assert_eq!(copy.get("m"), Some(LabelId(0)));
+        assert_eq!(copy.get("n"), Some(LabelId(1)));
+    }
+}

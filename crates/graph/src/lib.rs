@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! # phe-graph — directed edge-labeled graph substrate
+//!
+//! This crate provides the storage layer used throughout the
+//! path-selectivity-estimation workspace: a compact, immutable, directed,
+//! edge-labeled multigraph `G = (V, L, E)` with `E ⊆ V × L × V`, exactly the
+//! model of the EDBT 2018 paper *"Histogram Domain Ordering for Path
+//! Selectivity Estimation"*.
+//!
+//! Design goals:
+//!
+//! * **Cache-friendly traversal.** Adjacency is stored as one CSR
+//!   (compressed sparse row) structure *per edge label*, in both forward and
+//!   reverse direction, with neighbor lists sorted and de-duplicated. Path
+//!   evaluation composes relations label-by-label, so per-label CSR puts each
+//!   join's working set in one contiguous allocation.
+//! * **Cheap identifiers.** Vertices are [`VertexId`] (`u32`) and labels are
+//!   [`LabelId`] (`u16`); human-readable label names are kept in a
+//!   [`LabelInterner`] on the side.
+//! * **No external graph dependencies.** Everything here is written in-tree.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use phe_graph::{GraphBuilder, VertexId};
+//!
+//! let mut b = GraphBuilder::new();
+//! let knows = b.intern_label("knows");
+//! let likes = b.intern_label("likes");
+//! b.add_edge(VertexId(0), knows, VertexId(1));
+//! b.add_edge(VertexId(1), likes, VertexId(2));
+//! let g = b.build();
+//!
+//! assert_eq!(g.vertex_count(), 3);
+//! assert_eq!(g.edge_count(), 2);
+//! assert_eq!(g.out_neighbors(VertexId(0), knows), &[VertexId(1)]);
+//! ```
+
+pub mod bitset;
+pub mod builder;
+pub mod csr;
+pub mod error;
+pub mod graph;
+pub mod ids;
+pub mod interner;
+pub mod io;
+pub mod stats;
+
+pub use bitset::FixedBitSet;
+pub use builder::GraphBuilder;
+pub use csr::Csr;
+pub use error::GraphError;
+pub use graph::Graph;
+pub use ids::{LabelId, VertexId};
+pub use interner::LabelInterner;
+pub use stats::GraphStats;

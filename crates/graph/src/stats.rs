@@ -1,0 +1,255 @@
+//! Descriptive statistics over a graph.
+//!
+//! [`GraphStats`] produces the paper's Table 3 row (#labels, #vertices,
+//! #edges) plus the structural properties the evaluation discussion leans
+//! on: per-label cardinalities (the input to *cardinality ranking*), degree
+//! distributions, and the label co-occurrence matrix whose skew is what the
+//! paper calls "edge-label cardinality correlations" in real data.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::Graph;
+use crate::ids::LabelId;
+
+/// Summary statistics for a [`Graph`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of distinct edge labels, `|L|`.
+    pub label_count: usize,
+    /// Number of vertices, `|V|`.
+    pub vertex_count: usize,
+    /// Number of edges, `|E|`.
+    pub edge_count: usize,
+    /// `f(l)` for each label, indexed by label id.
+    pub label_frequencies: Vec<u64>,
+    /// Maximum total out-degree over all vertices.
+    pub max_out_degree: usize,
+    /// Mean total out-degree.
+    pub mean_out_degree: f64,
+    /// Number of vertices with no outgoing edges.
+    pub sink_count: usize,
+    /// `cooccurrence[l1][l2]` = number of label walks `u -l1-> v -l2-> w`
+    /// (2-paths counted with multiplicity over the middle vertex).
+    pub cooccurrence: Vec<Vec<u64>>,
+}
+
+impl GraphStats {
+    /// Computes all statistics in a single pass over the adjacency.
+    pub fn compute(graph: &Graph) -> GraphStats {
+        let n = graph.vertex_count();
+        let l = graph.label_count();
+        let label_frequencies: Vec<u64> =
+            graph.label_ids().map(|id| graph.label_frequency(id)).collect();
+
+        let mut max_out = 0usize;
+        let mut total_out = 0usize;
+        let mut sinks = 0usize;
+        // Walk counts for l1/l2 two-paths: sum over middle vertices v of
+        // in_degree_{l1}(v) * out_degree_{l2}(v).
+        let mut cooccurrence = vec![vec![0u64; l]; l];
+        for v in 0..n as u32 {
+            let vid = crate::ids::VertexId(v);
+            let out: usize = graph.total_out_degree(vid);
+            max_out = max_out.max(out);
+            total_out += out;
+            if out == 0 {
+                sinks += 1;
+            }
+            for l1 in 0..l as u16 {
+                let ind = graph.in_degree(vid, LabelId(l1)) as u64;
+                if ind == 0 {
+                    continue;
+                }
+                for l2 in 0..l as u16 {
+                    let outd = graph.out_degree(vid, LabelId(l2)) as u64;
+                    cooccurrence[l1 as usize][l2 as usize] += ind * outd;
+                }
+            }
+        }
+
+        GraphStats {
+            label_count: l,
+            vertex_count: n,
+            edge_count: graph.edge_count(),
+            label_frequencies,
+            max_out_degree: max_out,
+            mean_out_degree: if n == 0 {
+                0.0
+            } else {
+                total_out as f64 / n as f64
+            },
+            sink_count: sinks,
+            cooccurrence,
+        }
+    }
+
+    /// Labels sorted by ascending frequency — the *cardinality ranking*
+    /// order of the paper (lower cardinality first). Ties break by label id
+    /// so the ranking is a total order.
+    pub fn labels_by_ascending_frequency(&self) -> Vec<LabelId> {
+        let mut ids: Vec<LabelId> = (0..self.label_count as u16).map(LabelId).collect();
+        ids.sort_by_key(|id| (self.label_frequencies[id.index()], id.0));
+        ids
+    }
+
+    /// Independence score of consecutive edge labels, in `[0, 1]`.
+    ///
+    /// Compares the observed 2-path walk counts against the counts
+    /// expected if labels combined proportionally to their frequencies:
+    /// `1 − Σ|obs − exp| / 2·Σobs` (one minus the total-variation
+    /// distance between the two normalized matrices). 1 ⇒ labels chain
+    /// independently (ER-like); values near 0 ⇒ strongly correlated
+    /// labels (the "real data" property the paper invokes to explain
+    /// Figure 2).
+    pub fn label_independence_correlation(&self) -> f64 {
+        let l = self.label_count;
+        if l == 0 || self.edge_count == 0 {
+            return 1.0;
+        }
+        let total_walks: u64 = self.cooccurrence.iter().flatten().sum();
+        if total_walks == 0 {
+            return 1.0;
+        }
+        let total_edges: u64 = self.label_frequencies.iter().sum();
+        let mut deviation = 0.0f64;
+        for l1 in 0..l {
+            for l2 in 0..l {
+                let observed = self.cooccurrence[l1][l2] as f64;
+                let p = (self.label_frequencies[l1] as f64 / total_edges as f64)
+                    * (self.label_frequencies[l2] as f64 / total_edges as f64);
+                let expected = p * total_walks as f64;
+                deviation += (observed - expected).abs();
+            }
+        }
+        (1.0 - deviation / (2.0 * total_walks as f64)).max(0.0)
+    }
+
+    /// One text row in the style of the paper's Table 3.
+    pub fn table3_row(&self, name: &str) -> String {
+        format!(
+            "{name}\t{}\t{}\t{}",
+            self.label_count, self.vertex_count, self.edge_count
+        )
+    }
+}
+
+/// Pearson correlation coefficient of two equally long samples.
+/// Returns 0.0 when either sample has zero variance.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn sample() -> Graph {
+        // 0 -a-> 1 -b-> 2, 0 -a-> 2, 3 isolated-ish (only incoming).
+        let mut b = GraphBuilder::new();
+        b.add_edge_named(0, "a", 1);
+        b.add_edge_named(0, "a", 2);
+        b.add_edge_named(1, "b", 2);
+        b.add_edge_named(1, "b", 3);
+        b.add_edge_named(2, "b", 3);
+        b.build()
+    }
+
+    #[test]
+    fn table3_fields() {
+        let s = GraphStats::compute(&sample());
+        assert_eq!(s.label_count, 2);
+        assert_eq!(s.vertex_count, 4);
+        assert_eq!(s.edge_count, 5);
+        assert_eq!(s.label_frequencies, vec![2, 3]);
+        let row = s.table3_row("sample");
+        assert_eq!(row, "sample\t2\t4\t5");
+    }
+
+    #[test]
+    fn degrees() {
+        let s = GraphStats::compute(&sample());
+        assert_eq!(s.max_out_degree, 2);
+        assert_eq!(s.sink_count, 1); // vertex 3
+        assert!((s.mean_out_degree - 5.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cooccurrence_counts_two_paths() {
+        let s = GraphStats::compute(&sample());
+        // a/b walks: via v=1: in_a(1)=1 * out_b(1)=2 -> 2; via v=2: 1*1 -> 1.
+        assert_eq!(s.cooccurrence[0][1], 3);
+        // b/b walks: via v=2: in_b(2)=1 * out_b(2)=1 -> 1; via 3: out 0.
+        assert_eq!(s.cooccurrence[1][1], 1);
+        // a/a walks: via 1: in 1 * out_a(1)=0 -> 0; via 2: 0.
+        assert_eq!(s.cooccurrence[0][0], 0);
+    }
+
+    #[test]
+    fn cardinality_order_ascending_with_tiebreak() {
+        let s = GraphStats::compute(&sample());
+        assert_eq!(
+            s.labels_by_ascending_frequency(),
+            vec![LabelId(0), LabelId(1)]
+        );
+    }
+
+    #[test]
+    fn pearson_basic() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn independence_correlation_in_range() {
+        let s = GraphStats::compute(&sample());
+        let c = s.label_independence_correlation();
+        assert!((0.0..=1.0).contains(&c), "score {c} out of range");
+    }
+
+    #[test]
+    fn independence_score_high_for_uniform_random() {
+        // A complete bipartite-ish construction where every label chains
+        // into every label proportionally: near-independent.
+        let mut b = GraphBuilder::new();
+        for v in 0..20u32 {
+            b.add_edge_named(v, "a", (v + 1) % 20);
+            b.add_edge_named(v, "b", (v + 3) % 20);
+        }
+        let s = GraphStats::compute(&b.build());
+        assert!(
+            s.label_independence_correlation() > 0.9,
+            "{}",
+            s.label_independence_correlation()
+        );
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = GraphBuilder::new().build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.vertex_count, 0);
+        assert_eq!(s.edge_count, 0);
+        assert_eq!(s.mean_out_degree, 0.0);
+        assert_eq!(s.label_independence_correlation(), 1.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the graph substrate: CSR invariants, builder
+//! determinism, bitset behaviour against a reference set, TSV round-trips.
+
+use std::collections::{BTreeSet, HashSet};
+
+use phe_graph::{Csr, FixedBitSet, GraphBuilder, LabelId, VertexId};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary edge list over small id spaces.
+fn edges_strategy() -> impl Strategy<Value = Vec<(u32, u16, u32)>> {
+    prop::collection::vec((0u32..40, 0u16..5, 0u32..40), 0..200)
+}
+
+proptest! {
+    #[test]
+    fn csr_neighbors_sorted_and_deduped(pairs in prop::collection::vec((0u32..30, 0u32..30), 0..150)) {
+        let csr = Csr::from_pairs(30, pairs.clone());
+        let unique: HashSet<(u32, u32)> = pairs.into_iter().collect();
+        prop_assert_eq!(csr.edge_count(), unique.len());
+        for v in 0..30u32 {
+            let ns = csr.neighbors(v);
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]), "row {} not strictly sorted", v);
+            for &t in ns {
+                prop_assert!(unique.contains(&(v, t)));
+            }
+        }
+        // Every input pair is findable.
+        for (s, t) in unique {
+            prop_assert!(csr.has_edge(s, t));
+        }
+    }
+
+    #[test]
+    fn graph_forward_reverse_are_inverses(edges in edges_strategy()) {
+        let mut b = GraphBuilder::new();
+        for l in 0..5u16 {
+            b.intern_label(&format!("L{l}"));
+        }
+        for &(s, l, t) in &edges {
+            b.add_edge(VertexId(s), LabelId(l), VertexId(t));
+        }
+        b.ensure_vertices(40);
+        let g = b.build();
+        for l in 0..5u16 {
+            let l = LabelId(l);
+            for v in 0..40u32 {
+                for &t in g.out_neighbors_raw(v, l) {
+                    prop_assert!(g.in_neighbors_raw(t, l).binary_search(&v).is_ok(),
+                        "forward edge ({v},{l:?},{t}) missing from reverse");
+                }
+                for &s in g.in_neighbors_raw(v, l) {
+                    prop_assert!(g.out_neighbors_raw(s, l).binary_search(&v).is_ok(),
+                        "reverse edge ({s},{l:?},{v}) missing from forward");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_count_equals_distinct_triples(edges in edges_strategy()) {
+        let mut b = GraphBuilder::new();
+        for l in 0..5u16 {
+            b.intern_label(&format!("L{l}"));
+        }
+        for &(s, l, t) in &edges {
+            b.add_edge(VertexId(s), LabelId(l), VertexId(t));
+        }
+        let g = b.build();
+        let distinct: HashSet<(u32, u16, u32)> = edges.into_iter().collect();
+        prop_assert_eq!(g.edge_count(), distinct.len());
+        let freq_sum: u64 = g.label_ids().map(|l| g.label_frequency(l)).sum();
+        prop_assert_eq!(freq_sum as usize, g.edge_count());
+    }
+
+    #[test]
+    fn bitset_matches_btreeset(values in prop::collection::vec(0u32..500, 0..300)) {
+        let mut bs = FixedBitSet::new(500);
+        let mut reference = BTreeSet::new();
+        for &v in &values {
+            let newly_bs = bs.insert(v);
+            let newly_ref = reference.insert(v);
+            prop_assert_eq!(newly_bs, newly_ref);
+        }
+        prop_assert_eq!(bs.len(), reference.len());
+        let got: Vec<u32> = bs.iter().collect();
+        let want: Vec<u32> = reference.iter().copied().collect();
+        prop_assert_eq!(&got, &want);
+        let mut drained = Vec::new();
+        bs.drain_sorted_into(&mut drained);
+        prop_assert_eq!(&drained, &want);
+        prop_assert!(bs.is_empty());
+    }
+
+    #[test]
+    fn tsv_round_trip(edges in edges_strategy()) {
+        let mut b = GraphBuilder::new();
+        for l in 0..5u16 {
+            b.intern_label(&format!("L{l}"));
+        }
+        for &(s, l, t) in &edges {
+            b.add_edge(VertexId(s), LabelId(l), VertexId(t));
+        }
+        let g = b.build();
+        let mut buf = Vec::new();
+        phe_graph::io::write_tsv(&g, &mut buf).unwrap();
+        let g2 = phe_graph::io::read_tsv(buf.as_slice()).unwrap();
+        prop_assert_eq!(g.edge_count(), g2.edge_count());
+        for (s, l, t) in g.iter_edges() {
+            let name = g.labels().name(l).unwrap();
+            if let Some(l2) = g2.labels().get(name) {
+                prop_assert!(g2.has_edge(s, l2, t));
+            } else {
+                prop_assert!(false, "label {} lost in round trip", name);
+            }
+        }
+    }
+}

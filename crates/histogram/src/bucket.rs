@@ -1,0 +1,94 @@
+//! A single histogram bucket.
+
+use serde::{Deserialize, Serialize};
+
+/// A contiguous domain range `[lo, hi]` with stored statistics.
+///
+/// The estimate for any index in the range is the bucket mean
+/// (`sum / count`) — the *continuous values assumption* standard in
+/// histogram literature and used by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bucket {
+    /// First domain index covered (inclusive).
+    pub lo: usize,
+    /// Last domain index covered (inclusive).
+    pub hi: usize,
+    /// Sum of frequencies in the range.
+    pub sum: u64,
+    /// Smallest frequency in the range.
+    pub min: u64,
+    /// Largest frequency in the range.
+    pub max: u64,
+}
+
+impl Bucket {
+    /// Builds a bucket over `data[lo..=hi]`, scanning for min/max.
+    pub fn from_range(data: &[u64], lo: usize, hi: usize) -> Bucket {
+        debug_assert!(lo <= hi && hi < data.len());
+        let slice = &data[lo..=hi];
+        let sum = slice.iter().sum();
+        let min = *slice.iter().min().expect("non-empty range");
+        let max = *slice.iter().max().expect("non-empty range");
+        Bucket {
+            lo,
+            hi,
+            sum,
+            min,
+            max,
+        }
+    }
+
+    /// Number of domain values covered.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.hi - self.lo + 1
+    }
+
+    /// The bucket mean — the point estimate for any index inside.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.sum as f64 / self.count() as f64
+    }
+
+    /// Whether `index` falls inside this bucket.
+    #[inline]
+    pub fn contains(&self, index: usize) -> bool {
+        self.lo <= index && index <= self.hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_range_stats() {
+        let data = [5u64, 1, 9, 3];
+        let b = Bucket::from_range(&data, 1, 3);
+        assert_eq!(b.count(), 3);
+        assert_eq!(b.sum, 13);
+        assert_eq!(b.min, 1);
+        assert_eq!(b.max, 9);
+        assert!((b.mean() - 13.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_bucket() {
+        let data = [7u64];
+        let b = Bucket::from_range(&data, 0, 0);
+        assert_eq!(b.count(), 1);
+        assert_eq!(b.mean(), 7.0);
+        assert!(b.contains(0));
+        assert!(!b.contains(1));
+    }
+
+    #[test]
+    fn contains_bounds() {
+        let data = [0u64; 10];
+        let b = Bucket::from_range(&data, 2, 5);
+        assert!(!b.contains(1));
+        assert!(b.contains(2));
+        assert!(b.contains(5));
+        assert!(!b.contains(6));
+    }
+}

@@ -1,0 +1,209 @@
+//! Histogram construction strategies.
+
+use crate::bucket::Bucket;
+use crate::error::HistogramError;
+use crate::histogram::Histogram;
+use crate::prefix::PrefixSums;
+
+pub use crate::v_optimal::{VOptimal, VOptimalMode};
+
+/// A histogram construction strategy: partitions `data` into at most
+/// `beta` contiguous buckets.
+///
+/// All implementations in this crate produce exactly `min(beta, N)`
+/// buckets and uphold the partition invariants of
+/// [`Histogram::validate`].
+pub trait HistogramBuilder {
+    /// Short stable name, used in benchmark output and reports.
+    fn name(&self) -> &'static str;
+
+    /// Builds the histogram.
+    fn build(&self, data: &[u64], beta: usize) -> Result<Histogram, HistogramError>;
+}
+
+/// Checks the common preconditions and normalizes the bucket budget.
+pub(crate) fn check_inputs(data: &[u64], beta: usize) -> Result<usize, HistogramError> {
+    if data.is_empty() {
+        return Err(HistogramError::EmptyData);
+    }
+    if beta == 0 {
+        return Err(HistogramError::ZeroBuckets);
+    }
+    Ok(beta.min(data.len()))
+}
+
+/// Builds buckets from sorted boundary end-indexes (inclusive); the last
+/// boundary must be `data.len() - 1`.
+pub(crate) fn buckets_from_ends(data: &[u64], ends: &[usize]) -> Vec<Bucket> {
+    debug_assert_eq!(*ends.last().expect("at least one bucket"), data.len() - 1);
+    let mut buckets = Vec::with_capacity(ends.len());
+    let mut lo = 0usize;
+    for &hi in ends {
+        buckets.push(Bucket::from_range(data, lo, hi));
+        lo = hi + 1;
+    }
+    buckets
+}
+
+/// Equal-index-range partitioning — the histogram of the paper's Figure 1.
+///
+/// Bucket `i` covers `⌈N·i/β⌉ .. ⌈N·(i+1)/β⌉ − 1`, so widths differ by at
+/// most one and no bucket is empty.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EquiWidth;
+
+impl HistogramBuilder for EquiWidth {
+    fn name(&self) -> &'static str {
+        "equi-width"
+    }
+
+    fn build(&self, data: &[u64], beta: usize) -> Result<Histogram, HistogramError> {
+        let beta = check_inputs(data, beta)?;
+        let n = data.len();
+        let ends: Vec<usize> = (1..=beta).map(|i| n * i / beta - 1).collect();
+        Ok(Histogram::from_buckets(buckets_from_ends(data, &ends), n))
+    }
+}
+
+/// Equal-cumulative-frequency partitioning (quantile buckets).
+///
+/// Closes bucket `b` at the first index where the running sum reaches
+/// `(b+1)/β` of the total mass, while reserving enough trailing indexes to
+/// keep every remaining bucket non-empty. Degrades to [`EquiWidth`] when
+/// the total mass is zero.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EquiDepth;
+
+impl HistogramBuilder for EquiDepth {
+    fn name(&self) -> &'static str {
+        "equi-depth"
+    }
+
+    fn build(&self, data: &[u64], beta: usize) -> Result<Histogram, HistogramError> {
+        let beta = check_inputs(data, beta)?;
+        let n = data.len();
+        let prefix = PrefixSums::new(data);
+        let total = prefix.total();
+        if total == 0 {
+            return EquiWidth.build(data, beta);
+        }
+        let mut ends = Vec::with_capacity(beta);
+        let mut acc = 0u64;
+        for (i, &v) in data.iter().enumerate() {
+            acc += v;
+            let closed = ends.len();
+            if closed == beta - 1 {
+                // Everything left belongs to the final bucket.
+                break;
+            }
+            let remaining_values = n - i - 1;
+            let remaining_buckets = beta - closed - 1; // after closing here
+            let threshold = (closed as u64 + 1) * total / beta as u64;
+            let must_close = remaining_values == remaining_buckets;
+            let wants_close = acc >= threshold && remaining_values >= remaining_buckets;
+            if must_close || wants_close {
+                ends.push(i);
+            }
+        }
+        ends.push(n - 1);
+        debug_assert_eq!(ends.len(), beta);
+        Ok(Histogram::from_buckets(buckets_from_ends(data, &ends), n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PointEstimator;
+
+    #[test]
+    fn equi_width_even_split() {
+        let data: Vec<u64> = (0..12).collect();
+        let h = EquiWidth.build(&data, 3).unwrap();
+        assert_eq!(h.bucket_count(), 3);
+        let widths: Vec<usize> = h.buckets().iter().map(|b| b.count()).collect();
+        assert_eq!(widths, vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn equi_width_uneven_split_balanced() {
+        let data: Vec<u64> = (0..10).collect();
+        let h = EquiWidth.build(&data, 4).unwrap();
+        let widths: Vec<usize> = h.buckets().iter().map(|b| b.count()).collect();
+        assert_eq!(widths.iter().sum::<usize>(), 10);
+        assert!(widths.iter().all(|&w| w == 2 || w == 3), "{widths:?}");
+    }
+
+    #[test]
+    fn beta_larger_than_domain_gives_singletons() {
+        let data = [5u64, 6, 7];
+        for builder in [&EquiWidth as &dyn HistogramBuilder, &EquiDepth] {
+            let h = builder.build(&data, 10).unwrap();
+            assert_eq!(h.bucket_count(), 3, "{}", builder.name());
+            for (i, &v) in data.iter().enumerate() {
+                assert_eq!(h.estimate(i), v as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_data_rejected() {
+        assert_eq!(
+            EquiWidth.build(&[], 3).unwrap_err(),
+            HistogramError::EmptyData
+        );
+    }
+
+    #[test]
+    fn zero_buckets_rejected() {
+        assert_eq!(
+            EquiDepth.build(&[1, 2], 0).unwrap_err(),
+            HistogramError::ZeroBuckets
+        );
+    }
+
+    #[test]
+    fn equi_depth_balances_mass() {
+        // One heavy value, many light: the bucket reaching the heavy value
+        // closes right at it (cumulative threshold crossed), and the light
+        // tail is spread over the remaining buckets.
+        let data = [1u64, 1, 1, 1, 100, 1, 1, 1];
+        let h = EquiDepth.build(&data, 3).unwrap();
+        assert_eq!(h.bucket_count(), 3);
+        let b = h.bucket_of(4);
+        assert_eq!(b.hi, 4, "bucket must close at the heavy value: {b:?}");
+        // Mass per bucket is far more balanced than equi-width would give:
+        // every bucket carries at least one third of a fair share.
+        for b in h.buckets() {
+            assert!(b.sum >= 1, "empty-mass bucket {b:?}");
+        }
+    }
+
+    #[test]
+    fn equi_depth_zero_mass_degrades_to_width() {
+        let data = [0u64; 9];
+        let h = EquiDepth.build(&data, 3).unwrap();
+        assert_eq!(h.bucket_count(), 3);
+        let widths: Vec<usize> = h.buckets().iter().map(|b| b.count()).collect();
+        assert_eq!(widths, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn equi_depth_exact_bucket_count_under_skew() {
+        // All mass at the front — feasibility guard must still make 4 buckets.
+        let data = [100u64, 0, 0, 0, 0, 0, 0, 0];
+        let h = EquiDepth.build(&data, 4).unwrap();
+        assert_eq!(h.bucket_count(), 4);
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn single_bucket_covers_all() {
+        let data = [3u64, 1, 4];
+        for builder in [&EquiWidth as &dyn HistogramBuilder, &EquiDepth] {
+            let h = builder.build(&data, 1).unwrap();
+            assert_eq!(h.bucket_count(), 1);
+            assert!((h.estimate(1) - 8.0 / 3.0).abs() < 1e-12);
+        }
+    }
+}

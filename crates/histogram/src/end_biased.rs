@@ -1,0 +1,148 @@
+//! End-biased histograms: exact values for the heaviest domain points.
+//!
+//! An end-biased histogram (Ioannidis & Christodoulakis) stores the
+//! `β − 1` highest-frequency domain values exactly and approximates every
+//! other value by the average of the remainder. Unlike the bucketed
+//! histograms it is *not* a contiguous range partition — it is included
+//! here as an ablation point: domain ordering is irrelevant to it, so it
+//! marks the accuracy attainable with `β` entries when bucket contiguity
+//! is dropped.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::HistogramError;
+use crate::PointEstimator;
+
+/// End-biased histogram: `β − 1` exact singletons + one rest-average.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EndBiasedHistogram {
+    exact: HashMap<usize, u64>,
+    rest_mean: f64,
+    domain_size: usize,
+}
+
+impl EndBiasedHistogram {
+    /// Builds an end-biased histogram with `beta` total entries
+    /// (`beta − 1` exact values + the rest-average).
+    pub fn build(data: &[u64], beta: usize) -> Result<EndBiasedHistogram, HistogramError> {
+        if data.is_empty() {
+            return Err(HistogramError::EmptyData);
+        }
+        if beta == 0 {
+            return Err(HistogramError::ZeroBuckets);
+        }
+        let singles = (beta - 1).min(data.len());
+        // Indexes of the `singles` largest frequencies; ties toward lower
+        // index for determinism.
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        order.sort_by(|&a, &b| data[b].cmp(&data[a]).then(a.cmp(&b)));
+        let exact: HashMap<usize, u64> = order[..singles].iter().map(|&i| (i, data[i])).collect();
+        let rest_count = data.len() - singles;
+        let rest_sum: u64 = data
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !exact.contains_key(i))
+            .map(|(_, &v)| v)
+            .sum();
+        let rest_mean = if rest_count == 0 {
+            0.0
+        } else {
+            rest_sum as f64 / rest_count as f64
+        };
+        Ok(EndBiasedHistogram {
+            exact,
+            rest_mean,
+            domain_size: data.len(),
+        })
+    }
+
+    /// Number of exactly stored values.
+    pub fn exact_count(&self) -> usize {
+        self.exact.len()
+    }
+
+    /// The average used for non-singleton values.
+    pub fn rest_mean(&self) -> f64 {
+        self.rest_mean
+    }
+}
+
+impl PointEstimator for EndBiasedHistogram {
+    fn estimate(&self, index: usize) -> f64 {
+        assert!(index < self.domain_size, "index {index} outside domain");
+        match self.exact.get(&index) {
+            Some(&v) => v as f64,
+            None => self.rest_mean,
+        }
+    }
+
+    fn domain_size(&self) -> usize {
+        self.domain_size
+    }
+
+    fn size_bytes(&self) -> usize {
+        // Key + value per exact entry, plus the rest-average.
+        self.exact.len() * (std::mem::size_of::<usize>() + std::mem::size_of::<u64>())
+            + std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heavy_hitters_are_exact() {
+        let data = [1u64, 500, 2, 3, 900, 1];
+        let h = EndBiasedHistogram::build(&data, 3).unwrap();
+        assert_eq!(h.exact_count(), 2);
+        assert_eq!(h.estimate(1), 500.0);
+        assert_eq!(h.estimate(4), 900.0);
+        // Rest: (1 + 2 + 3 + 1) / 4
+        assert!((h.estimate(0) - 1.75).abs() < 1e-12);
+        assert!((h.estimate(5) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_one_is_global_average() {
+        let data = [2u64, 4, 6];
+        let h = EndBiasedHistogram::build(&data, 1).unwrap();
+        assert_eq!(h.exact_count(), 0);
+        assert!((h.estimate(0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_covers_everything() {
+        let data = [2u64, 4, 6];
+        let h = EndBiasedHistogram::build(&data, 10).unwrap();
+        assert_eq!(h.exact_count(), 3);
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(h.estimate(i), v as f64);
+        }
+        assert_eq!(h.rest_mean(), 0.0);
+    }
+
+    #[test]
+    fn tie_break_prefers_lower_index() {
+        let data = [5u64, 5, 5];
+        let h = EndBiasedHistogram::build(&data, 2).unwrap();
+        assert_eq!(h.estimate(0), 5.0);
+        // 1 and 2 share the rest mean (which also equals 5 here).
+        assert_eq!(h.estimate(1), 5.0);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(EndBiasedHistogram::build(&[], 2).is_err());
+        assert!(EndBiasedHistogram::build(&[1], 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn out_of_domain_panics() {
+        let h = EndBiasedHistogram::build(&[1, 2], 2).unwrap();
+        h.estimate(2);
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type for histogram construction.
+
+use std::fmt;
+
+/// Errors produced while building a histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HistogramError {
+    /// The input frequency sequence was empty.
+    EmptyData,
+    /// A bucket budget of zero was requested.
+    ZeroBuckets,
+    /// The exact V-optimal dynamic program was asked for a domain too large
+    /// to be practical; carries the domain size and the configured limit.
+    ExactTooLarge {
+        /// Requested domain size.
+        domain: usize,
+        /// The configured maximum.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for HistogramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistogramError::EmptyData => write!(f, "cannot build a histogram over empty data"),
+            HistogramError::ZeroBuckets => write!(f, "bucket budget must be at least 1"),
+            HistogramError::ExactTooLarge { domain, limit } => write!(
+                f,
+                "exact V-optimal DP over {domain} values exceeds the {limit}-value limit; \
+                 use VOptimalMode::GreedyMerge"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HistogramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(HistogramError::EmptyData.to_string().contains("empty"));
+        assert!(HistogramError::ZeroBuckets.to_string().contains("at least 1"));
+        let e = HistogramError::ExactTooLarge {
+            domain: 100000,
+            limit: 4096,
+        };
+        assert!(e.to_string().contains("100000"));
+        assert!(e.to_string().contains("GreedyMerge"));
+    }
+}

@@ -1,0 +1,65 @@
+#![warn(missing_docs)]
+
+//! # phe-histogram — histograms over ordered frequency sequences
+//!
+//! A histogram approximates a data distribution `F[0..N)` by partitioning
+//! the (ordered) domain into `β` buckets and storing per-bucket summaries.
+//! In this workspace `F[i]` is the selectivity of the `i`-th label path in
+//! some domain ordering; the whole point of the paper is that the choice of
+//! that ordering decides how well *any* bucketing can do.
+//!
+//! This crate is deliberately domain-agnostic: it sees only `&[u64]`.
+//!
+//! Provided partitioners (see [`builder::HistogramBuilder`]):
+//!
+//! * [`builder::EquiWidth`] — equal index ranges;
+//! * [`builder::EquiDepth`] — equal cumulative frequency;
+//! * [`builder::VOptimal`] — variance-minimizing, in three modes:
+//!   exact `O(N²β)` dynamic programming, greedy bottom-up merging
+//!   (`O(N log N)`), and the max-diff boundary heuristic;
+//! * [`end_biased::EndBiasedHistogram`] — exact singletons for the
+//!   highest-frequency values plus one average for the rest (not a bucketed
+//!   range partition; kept for the ablation study).
+//!
+//! ```
+//! use phe_histogram::builder::{EquiWidth, HistogramBuilder};
+//! use phe_histogram::PointEstimator;
+//!
+//! let data = [10u64, 12, 11, 900, 950, 920];
+//! let h = EquiWidth.build(&data, 2).unwrap();
+//! assert_eq!(h.bucket_count(), 2);
+//! assert!((h.estimate(0) - 11.0).abs() < 1e-9);
+//! assert!((h.estimate(4) - 923.33).abs() < 0.01);
+//! ```
+
+pub mod bucket;
+pub mod builder;
+pub mod end_biased;
+pub mod error;
+pub mod histogram;
+pub mod metrics;
+pub mod prefix;
+pub mod v_optimal;
+
+pub use bucket::Bucket;
+pub use builder::{EquiDepth, EquiWidth, HistogramBuilder, VOptimal, VOptimalMode};
+pub use end_biased::EndBiasedHistogram;
+pub use error::HistogramError;
+pub use histogram::Histogram;
+pub use metrics::{error_rate, mean_abs_error_rate, q_error, AccuracyReport};
+pub use prefix::PrefixSums;
+
+/// Anything that can answer a point-frequency estimate for a domain index.
+///
+/// Implemented by the bucketed [`Histogram`] and by
+/// [`EndBiasedHistogram`]; the estimator in `phe-core` is generic over it.
+pub trait PointEstimator {
+    /// Estimated frequency of domain index `i`.
+    fn estimate(&self, index: usize) -> f64;
+
+    /// Domain size the estimator was built over.
+    fn domain_size(&self) -> usize;
+
+    /// Approximate in-memory footprint, for space-budget comparisons.
+    fn size_bytes(&self) -> usize;
+}

@@ -1,0 +1,182 @@
+//! Estimation accuracy metrics, including the paper's error rate.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's error metric (Formula 6):
+///
+/// ```text
+/// err(ℓ) = 0                              if e(ℓ) = f(ℓ)
+///        = (e(ℓ) − f(ℓ)) / max(e(ℓ), f(ℓ)) otherwise
+/// ```
+///
+/// Signed and bounded in `[−1, 1]`: negative for underestimates, positive
+/// for overestimates. `e = f = 0` yields 0 (the first branch), so
+/// zero-selectivity paths estimated as zero are perfect, and a
+/// zero-estimate of a non-zero truth saturates at −1.
+pub fn error_rate(estimate: f64, truth: u64) -> f64 {
+    let f = truth as f64;
+    if estimate == f {
+        0.0
+    } else {
+        (estimate - f) / estimate.max(f)
+    }
+}
+
+/// Mean of `|err(ℓ)|` over a domain — the y-axis of the paper's Figure 2.
+pub fn mean_abs_error_rate(estimates: &[f64], truths: &[u64]) -> f64 {
+    assert_eq!(estimates.len(), truths.len());
+    if estimates.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = estimates
+        .iter()
+        .zip(truths)
+        .map(|(&e, &f)| error_rate(e, f).abs())
+        .sum();
+    total / estimates.len() as f64
+}
+
+/// The q-error of one estimate: `max(e/f, f/e)` with both sides clamped to
+/// at least 1 (so q-error ≥ 1, and exact estimates score exactly 1).
+/// Standard in the cardinality-estimation literature.
+pub fn q_error(estimate: f64, truth: u64) -> f64 {
+    let e = estimate.max(1.0);
+    let f = (truth as f64).max(1.0);
+    (e / f).max(f / e)
+}
+
+/// Aggregate accuracy over a whole domain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AccuracyReport {
+    /// Mean absolute error rate (Figure 2 metric).
+    pub mean_abs_error_rate: f64,
+    /// Mean signed error rate (bias; negative ⇒ systematic underestimation).
+    pub mean_signed_error_rate: f64,
+    /// Largest absolute error rate observed.
+    pub max_abs_error_rate: f64,
+    /// Root-mean-square error in absolute frequency units.
+    pub rmse: f64,
+    /// Median q-error.
+    pub median_q_error: f64,
+    /// 95th-percentile q-error.
+    pub p95_q_error: f64,
+    /// Number of evaluated paths.
+    pub count: usize,
+}
+
+impl AccuracyReport {
+    /// Evaluates estimates against ground truth.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length or are empty.
+    pub fn evaluate(estimates: &[f64], truths: &[u64]) -> AccuracyReport {
+        assert_eq!(estimates.len(), truths.len());
+        assert!(!estimates.is_empty(), "cannot evaluate zero estimates");
+        let n = estimates.len();
+        let mut abs_sum = 0.0;
+        let mut signed_sum = 0.0;
+        let mut max_abs: f64 = 0.0;
+        let mut sq_sum = 0.0;
+        let mut q_errors: Vec<f64> = Vec::with_capacity(n);
+        for (&e, &f) in estimates.iter().zip(truths) {
+            let err = error_rate(e, f);
+            abs_sum += err.abs();
+            signed_sum += err;
+            max_abs = max_abs.max(err.abs());
+            sq_sum += (e - f as f64).powi(2);
+            q_errors.push(q_error(e, f));
+        }
+        q_errors.sort_by(f64::total_cmp);
+        AccuracyReport {
+            mean_abs_error_rate: abs_sum / n as f64,
+            mean_signed_error_rate: signed_sum / n as f64,
+            max_abs_error_rate: max_abs,
+            rmse: (sq_sum / n as f64).sqrt(),
+            median_q_error: percentile(&q_errors, 0.5),
+            p95_q_error: percentile(&q_errors, 0.95),
+            count: n,
+        }
+    }
+}
+
+/// Nearest-rank percentile of a sorted sample (`p` in `[0, 1]`).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_rate_matches_formula6() {
+        assert_eq!(error_rate(10.0, 10), 0.0);
+        assert_eq!(error_rate(0.0, 0), 0.0);
+        // Overestimate: (20 - 10) / 20 = 0.5.
+        assert!((error_rate(20.0, 10) - 0.5).abs() < 1e-12);
+        // Underestimate: (10 - 20) / 20 = -0.5.
+        assert!((error_rate(10.0, 20) + 0.5).abs() < 1e-12);
+        // Zero estimate of non-zero truth saturates at -1.
+        assert_eq!(error_rate(0.0, 7), -1.0);
+        // Non-zero estimate of zero truth saturates at +1.
+        assert_eq!(error_rate(3.0, 0), 1.0);
+    }
+
+    #[test]
+    fn error_rate_bounded() {
+        for (e, f) in [(1e9, 1u64), (0.001, 1_000_000u64), (5.0, 5u64)] {
+            let r = error_rate(e, f);
+            assert!((-1.0..=1.0).contains(&r), "err({e},{f}) = {r}");
+        }
+    }
+
+    #[test]
+    fn mean_abs_error_rate_averages() {
+        let est = [10.0, 20.0, 0.0];
+        let truth = [10u64, 10, 5];
+        // errors: 0, 0.5, 1.0 -> mean 0.5.
+        assert!((mean_abs_error_rate(&est, &truth) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn q_error_basics() {
+        assert_eq!(q_error(10.0, 10), 1.0);
+        assert_eq!(q_error(20.0, 10), 2.0);
+        assert_eq!(q_error(5.0, 10), 2.0);
+        // Zeros clamp to 1.
+        assert_eq!(q_error(0.0, 0), 1.0);
+        assert_eq!(q_error(0.0, 8), 8.0);
+    }
+
+    #[test]
+    fn report_perfect_estimates() {
+        let truths = [4u64, 0, 9];
+        let est: Vec<f64> = truths.iter().map(|&t| t as f64).collect();
+        let r = AccuracyReport::evaluate(&est, &truths);
+        assert_eq!(r.mean_abs_error_rate, 0.0);
+        assert_eq!(r.rmse, 0.0);
+        assert_eq!(r.median_q_error, 1.0);
+        assert_eq!(r.p95_q_error, 1.0);
+        assert_eq!(r.count, 3);
+    }
+
+    #[test]
+    fn report_detects_bias() {
+        let truths = [10u64, 10, 10];
+        let est = [5.0, 5.0, 5.0];
+        let r = AccuracyReport::evaluate(&est, &truths);
+        assert!(r.mean_signed_error_rate < 0.0, "should report underestimation");
+        assert!((r.rmse - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&s, 0.5), 2.0);
+        assert_eq!(percentile(&s, 0.95), 4.0);
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 1.0), 4.0);
+    }
+}

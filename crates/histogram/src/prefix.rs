@@ -1,0 +1,154 @@
+//! Prefix sums over a frequency sequence, for O(1) range statistics.
+
+/// Prefix sums of `F` and `F²`, supporting O(1) range sum and range SSE.
+///
+/// Sums of values use exact `u64` arithmetic (path selectivities sum far
+/// below 2⁶⁴). Sums of squares use `f64`: squares up to ~2⁵³ are exact and
+/// the relative rounding error beyond that (~10⁻¹⁶) is far below the
+/// differences that matter when comparing bucketings.
+#[derive(Debug, Clone)]
+pub struct PrefixSums {
+    /// `sum[i]` = Σ F[0..i]; length N+1.
+    sum: Vec<u64>,
+    /// `sq[i]` = Σ F[0..i]², as f64; length N+1.
+    sq: Vec<f64>,
+}
+
+impl PrefixSums {
+    /// Builds prefix sums in one pass.
+    pub fn new(data: &[u64]) -> PrefixSums {
+        let mut sum = Vec::with_capacity(data.len() + 1);
+        let mut sq = Vec::with_capacity(data.len() + 1);
+        sum.push(0);
+        sq.push(0.0);
+        let mut s = 0u64;
+        let mut q = 0.0f64;
+        for &v in data {
+            s = s
+                .checked_add(v)
+                .expect("frequency sum overflows u64 — domain too heavy");
+            q += (v as f64) * (v as f64);
+            sum.push(s);
+            sq.push(q);
+        }
+        PrefixSums { sum, sq }
+    }
+
+    /// Number of underlying values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sum.len() - 1
+    }
+
+    /// Whether the underlying sequence was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of `F[lo..=hi]`.
+    #[inline]
+    pub fn range_sum(&self, lo: usize, hi: usize) -> u64 {
+        debug_assert!(lo <= hi && hi < self.len());
+        self.sum[hi + 1] - self.sum[lo]
+    }
+
+    /// Sum of squares of `F[lo..=hi]`.
+    #[inline]
+    pub fn range_sq(&self, lo: usize, hi: usize) -> f64 {
+        debug_assert!(lo <= hi && hi < self.len());
+        self.sq[hi + 1] - self.sq[lo]
+    }
+
+    /// Mean of `F[lo..=hi]`.
+    #[inline]
+    pub fn range_mean(&self, lo: usize, hi: usize) -> f64 {
+        self.range_sum(lo, hi) as f64 / (hi - lo + 1) as f64
+    }
+
+    /// Sum of squared errors of `F[lo..=hi]` around its mean:
+    /// `Σ (F[i] − mean)² = Σ F² − (Σ F)² / n`.
+    ///
+    /// Clamped at zero to absorb floating-point cancellation on constant
+    /// runs.
+    #[inline]
+    pub fn range_sse(&self, lo: usize, hi: usize) -> f64 {
+        let n = (hi - lo + 1) as f64;
+        let s = self.range_sum(lo, hi) as f64;
+        let q = self.range_sq(lo, hi);
+        (q - s * s / n).max(0.0)
+    }
+
+    /// Total sum of the sequence.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        *self.sum.last().expect("prefix sums always non-empty")
+    }
+
+    /// Index of the first prefix whose cumulative sum exceeds `target` —
+    /// used by equi-depth splitting. Returns `len()` if the total is ≤
+    /// `target`.
+    pub fn first_prefix_exceeding(&self, target: u64) -> usize {
+        // partition_point over the cumulative array (skip the leading 0).
+        self.sum[1..].partition_point(|&s| s <= target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_and_means() {
+        let p = PrefixSums::new(&[1, 2, 3, 4, 5]);
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.range_sum(0, 4), 15);
+        assert_eq!(p.range_sum(1, 3), 9);
+        assert_eq!(p.range_sum(2, 2), 3);
+        assert!((p.range_mean(1, 3) - 3.0).abs() < 1e-12);
+        assert_eq!(p.total(), 15);
+    }
+
+    #[test]
+    fn sse_of_constant_run_is_zero() {
+        let p = PrefixSums::new(&[7, 7, 7, 7]);
+        assert_eq!(p.range_sse(0, 3), 0.0);
+        assert_eq!(p.range_sse(1, 2), 0.0);
+    }
+
+    #[test]
+    fn sse_matches_direct_computation() {
+        let data = [3u64, 1, 4, 1, 5, 9, 2, 6];
+        let p = PrefixSums::new(&data);
+        for lo in 0..data.len() {
+            for hi in lo..data.len() {
+                let vals: Vec<f64> = data[lo..=hi].iter().map(|&v| v as f64).collect();
+                let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+                let direct: f64 = vals.iter().map(|v| (v - mean).powi(2)).sum();
+                let fast = p.range_sse(lo, hi);
+                assert!(
+                    (fast - direct).abs() < 1e-9,
+                    "sse mismatch on [{lo},{hi}]: {fast} vs {direct}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_exceeding() {
+        let p = PrefixSums::new(&[10, 0, 5, 5]); // cumulative: 10,10,15,20
+        assert_eq!(p.first_prefix_exceeding(0), 0);
+        assert_eq!(p.first_prefix_exceeding(9), 0);
+        assert_eq!(p.first_prefix_exceeding(10), 2);
+        assert_eq!(p.first_prefix_exceeding(14), 2);
+        assert_eq!(p.first_prefix_exceeding(15), 3);
+        assert_eq!(p.first_prefix_exceeding(20), 4);
+        assert_eq!(p.first_prefix_exceeding(100), 4);
+    }
+
+    #[test]
+    fn single_element() {
+        let p = PrefixSums::new(&[42]);
+        assert_eq!(p.range_sum(0, 0), 42);
+        assert_eq!(p.range_sse(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,396 @@
+//! V-optimal histogram construction: minimize the total within-bucket
+//! sum of squared errors (SSE), i.e. frequency variance — the histogram
+//! family used throughout the paper's evaluation.
+//!
+//! Three modes trade optimality for construction cost:
+//!
+//! * [`VOptimalMode::Exact`] — the classic `O(N²β)` dynamic program
+//!   (Jagadish et al., VLDB'98). Guaranteed optimal; only practical for
+//!   domains up to a few thousand values, which is why it is gated by a
+//!   configurable size limit.
+//! * [`VOptimalMode::GreedyMerge`] — bottom-up agglomerative merging:
+//!   start from singleton buckets and repeatedly merge the adjacent pair
+//!   with the smallest SSE increase, `O(N log N)`. Not optimal, but close
+//!   in practice (the `ablation_voptimal` binary quantifies the gap), and
+//!   fast enough for the paper-scale domain of 55 986 paths.
+//! * [`VOptimalMode::MaxDiff`] — place the `β − 1` boundaries at the
+//!   largest adjacent differences. Cheapest, crudest.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::builder::{buckets_from_ends, check_inputs, HistogramBuilder};
+use crate::error::HistogramError;
+use crate::histogram::Histogram;
+use crate::prefix::PrefixSums;
+
+/// Construction mode for [`VOptimal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VOptimalMode {
+    /// Exact dynamic programming; errors out above `limit` domain values.
+    Exact {
+        /// Largest domain size the DP will accept.
+        limit: usize,
+    },
+    /// Bottom-up greedy merging (default).
+    #[default]
+    GreedyMerge,
+    /// Max-diff boundary placement.
+    MaxDiff,
+}
+
+/// V-optimal histogram builder.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VOptimal {
+    /// Which construction algorithm to run.
+    pub mode: VOptimalMode,
+}
+
+impl VOptimal {
+    /// Exact DP with the default 8192-value limit.
+    pub fn exact() -> VOptimal {
+        VOptimal {
+            mode: VOptimalMode::Exact { limit: 8192 },
+        }
+    }
+
+    /// Greedy bottom-up merging (paper-scale default).
+    pub fn greedy() -> VOptimal {
+        VOptimal {
+            mode: VOptimalMode::GreedyMerge,
+        }
+    }
+
+    /// Max-diff boundary heuristic.
+    pub fn maxdiff() -> VOptimal {
+        VOptimal {
+            mode: VOptimalMode::MaxDiff,
+        }
+    }
+}
+
+impl HistogramBuilder for VOptimal {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            VOptimalMode::Exact { .. } => "v-optimal-exact",
+            VOptimalMode::GreedyMerge => "v-optimal-greedy",
+            VOptimalMode::MaxDiff => "v-optimal-maxdiff",
+        }
+    }
+
+    fn build(&self, data: &[u64], beta: usize) -> Result<Histogram, HistogramError> {
+        let beta = check_inputs(data, beta)?;
+        let ends = match self.mode {
+            VOptimalMode::Exact { limit } => {
+                if data.len() > limit {
+                    return Err(HistogramError::ExactTooLarge {
+                        domain: data.len(),
+                        limit,
+                    });
+                }
+                exact_dp_ends(data, beta)
+            }
+            VOptimalMode::GreedyMerge => greedy_merge_ends(data, beta),
+            VOptimalMode::MaxDiff => maxdiff_ends(data, beta),
+        };
+        Ok(Histogram::from_buckets(
+            buckets_from_ends(data, &ends),
+            data.len(),
+        ))
+    }
+}
+
+/// `f64` ordered by `total_cmp`, for use in heaps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TotalF64(f64);
+
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Exact `O(N²β)` dynamic program. Returns inclusive bucket end indexes.
+#[allow(clippy::needless_range_loop)] // DP recurrences read clearer with indices
+fn exact_dp_ends(data: &[u64], beta: usize) -> Vec<usize> {
+    let n = data.len();
+    let prefix = PrefixSums::new(data);
+    // dp[i] = min SSE of partitioning data[0..i] into the current number of
+    // buckets; cut[j][i] = best position of the previous boundary.
+    let mut prev = vec![0.0f64; n + 1];
+    for i in 1..=n {
+        prev[i] = prefix.range_sse(0, i - 1);
+    }
+    let mut cuts: Vec<Vec<u32>> = Vec::with_capacity(beta.saturating_sub(1));
+    let mut cur = vec![0.0f64; n + 1];
+    for j in 2..=beta {
+        let mut cut_row = vec![0u32; n + 1];
+        // With j buckets we need at least j values.
+        for i in j..=n {
+            let mut best = f64::INFINITY;
+            let mut best_x = j - 1;
+            // Last bucket covers x..i-1 (0-based), x ranges over [j-1, i-1].
+            for x in (j - 1)..i {
+                let cost = prev[x] + prefix.range_sse(x, i - 1);
+                if cost < best {
+                    best = cost;
+                    best_x = x;
+                }
+            }
+            cur[i] = best;
+            cut_row[i] = best_x as u32;
+        }
+        cuts.push(cut_row);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    // Backtrack boundaries.
+    let mut ends = vec![0usize; beta];
+    ends[beta - 1] = n - 1;
+    let mut i = n;
+    for j in (2..=beta).rev() {
+        let x = cuts[j - 2][i] as usize;
+        ends[j - 2] = x - 1;
+        i = x;
+    }
+    ends
+}
+
+/// Greedy bottom-up merging. Returns inclusive bucket end indexes.
+fn greedy_merge_ends(data: &[u64], beta: usize) -> Vec<usize> {
+    let n = data.len();
+    if beta >= n {
+        return (0..n).collect();
+    }
+    let prefix = PrefixSums::new(data);
+
+    // Segment arena: segment i initially covers [i, i].
+    #[derive(Clone)]
+    struct Seg {
+        lo: usize,
+        hi: usize,
+        sse: f64,
+        version: u32,
+        alive: bool,
+    }
+    let mut segs: Vec<Seg> = (0..n)
+        .map(|i| Seg {
+            lo: i,
+            hi: i,
+            sse: 0.0,
+            version: 0,
+            alive: true,
+        })
+        .collect();
+    // Doubly linked list over alive segments (usize::MAX = none).
+    const NONE: usize = usize::MAX;
+    let mut next: Vec<usize> = (0..n).map(|i| if i + 1 < n { i + 1 } else { NONE }).collect();
+    let mut prev_l: Vec<usize> = (0..n)
+        .map(|i| if i > 0 { i - 1 } else { NONE })
+        .collect();
+
+    // Min-heap of merge candidates: (cost, left segment, left/right versions).
+    let mut heap: BinaryHeap<Reverse<(TotalF64, usize, u32, u32)>> = BinaryHeap::new();
+    let merge_cost = |segs: &[Seg], l: usize, r: usize, prefix: &PrefixSums| {
+        prefix.range_sse(segs[l].lo, segs[r].hi) - segs[l].sse - segs[r].sse
+    };
+    for l in 0..n - 1 {
+        let cost = merge_cost(&segs, l, l + 1, &prefix);
+        heap.push(Reverse((TotalF64(cost), l, 0, 0)));
+    }
+
+    let mut alive = n;
+    while alive > beta {
+        let Reverse((_, l, vl, vr)) = heap.pop().expect("heap exhausted before reaching beta");
+        if !segs[l].alive || segs[l].version != vl {
+            continue;
+        }
+        let r = next[l];
+        if r == NONE || !segs[r].alive || segs[r].version != vr {
+            continue;
+        }
+        // Merge r into l.
+        segs[l].hi = segs[r].hi;
+        segs[l].sse = prefix.range_sse(segs[l].lo, segs[l].hi);
+        segs[l].version += 1;
+        segs[r].alive = false;
+        let rn = next[r];
+        next[l] = rn;
+        if rn != NONE {
+            prev_l[rn] = l;
+        }
+        alive -= 1;
+        // New candidates with both neighbors.
+        if rn != NONE {
+            let cost = merge_cost(&segs, l, rn, &prefix);
+            heap.push(Reverse((TotalF64(cost), l, segs[l].version, segs[rn].version)));
+        }
+        let lp = prev_l[l];
+        if lp != NONE {
+            let cost = merge_cost(&segs, lp, l, &prefix);
+            heap.push(Reverse((TotalF64(cost), lp, segs[lp].version, segs[l].version)));
+        }
+    }
+
+    let mut ends = Vec::with_capacity(beta);
+    let mut i = 0usize;
+    // Find the first alive segment (segment 0 always stays alive: merges
+    // fold the right segment into the left).
+    debug_assert!(segs[0].alive);
+    loop {
+        ends.push(segs[i].hi);
+        i = next[i];
+        if i == NONE {
+            break;
+        }
+    }
+    debug_assert_eq!(ends.len(), beta);
+    ends
+}
+
+/// Max-diff boundaries. Returns inclusive bucket end indexes.
+fn maxdiff_ends(data: &[u64], beta: usize) -> Vec<usize> {
+    let n = data.len();
+    if beta >= n {
+        return (0..n).collect();
+    }
+    // (difference, position) for each adjacent pair; boundary after `pos`.
+    let mut diffs: Vec<(u64, usize)> = data
+        .windows(2)
+        .enumerate()
+        .map(|(i, w)| (w[0].abs_diff(w[1]), i))
+        .collect();
+    // Largest differences first; ties broken toward earlier positions for
+    // determinism.
+    diffs.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut ends: Vec<usize> = diffs[..beta - 1].iter().map(|&(_, i)| i).collect();
+    ends.push(n - 1);
+    ends.sort_unstable();
+    ends.dedup();
+    debug_assert_eq!(ends.len(), beta);
+    ends
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{EquiWidth, HistogramBuilder};
+    use crate::PointEstimator;
+
+    #[test]
+    fn exact_finds_obvious_clusters() {
+        let data = [1u64, 1, 1, 50, 50, 50, 9, 9, 9];
+        let h = VOptimal::exact().build(&data, 3).unwrap();
+        assert_eq!(h.bucket_count(), 3);
+        assert!(h.sse(&data) < 1e-9, "clusters are exactly representable");
+        assert_eq!(h.estimate(0), 1.0);
+        assert_eq!(h.estimate(4), 50.0);
+        assert_eq!(h.estimate(8), 9.0);
+    }
+
+    #[test]
+    fn greedy_finds_obvious_clusters() {
+        let data = [1u64, 1, 1, 50, 50, 50, 9, 9, 9];
+        let h = VOptimal::greedy().build(&data, 3).unwrap();
+        assert!(h.sse(&data) < 1e-9);
+    }
+
+    #[test]
+    fn maxdiff_finds_obvious_clusters() {
+        let data = [1u64, 1, 1, 50, 50, 50, 9, 9, 9];
+        let h = VOptimal::maxdiff().build(&data, 3).unwrap();
+        assert!(h.sse(&data) < 1e-9);
+    }
+
+    #[test]
+    fn exact_is_no_worse_than_others() {
+        // Pseudo-random data; exact must lower-bound every other builder.
+        let mut x = 123456789u64;
+        let data: Vec<u64> = (0..80)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) % 1000
+            })
+            .collect();
+        for beta in [2usize, 5, 10, 20] {
+            let exact = VOptimal::exact().build(&data, beta).unwrap().sse(&data);
+            for other in [
+                &VOptimal::greedy() as &dyn HistogramBuilder,
+                &VOptimal::maxdiff(),
+                &EquiWidth,
+            ] {
+                let sse = other.build(&data, beta).unwrap().sse(&data);
+                assert!(
+                    exact <= sse + 1e-6,
+                    "exact {exact} > {} {sse} at beta {beta}",
+                    other.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_limit_enforced() {
+        let data = vec![0u64; 100];
+        let b = VOptimal {
+            mode: VOptimalMode::Exact { limit: 50 },
+        };
+        assert!(matches!(
+            b.build(&data, 4),
+            Err(HistogramError::ExactTooLarge { domain: 100, limit: 50 })
+        ));
+    }
+
+    #[test]
+    fn all_modes_reach_exact_beta() {
+        let data: Vec<u64> = (0..40).map(|i| (i * 7 % 13) as u64).collect();
+        for beta in [1usize, 2, 7, 39, 40, 100] {
+            for b in [
+                &VOptimal::exact() as &dyn HistogramBuilder,
+                &VOptimal::greedy(),
+                &VOptimal::maxdiff(),
+            ] {
+                let h = b.build(&data, beta).unwrap();
+                assert_eq!(h.bucket_count(), beta.min(40), "{} beta={beta}", b.name());
+                h.validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_matches_exact_on_small_inputs() {
+        // Greedy is not optimal in general, but on tiny inputs with clear
+        // structure it should match; this guards against regressions that
+        // break the merge bookkeeping entirely.
+        let data = [10u64, 10, 0, 0, 10, 10];
+        let e = VOptimal::exact().build(&data, 3).unwrap().sse(&data);
+        let g = VOptimal::greedy().build(&data, 3).unwrap().sse(&data);
+        assert!((e - g).abs() < 1e-9, "exact {e}, greedy {g}");
+    }
+
+    #[test]
+    fn single_value_domain() {
+        let data = [42u64];
+        for b in [
+            &VOptimal::exact() as &dyn HistogramBuilder,
+            &VOptimal::greedy(),
+            &VOptimal::maxdiff(),
+        ] {
+            let h = b.build(&data, 3).unwrap();
+            assert_eq!(h.bucket_count(), 1);
+            assert_eq!(h.estimate(0), 42.0);
+        }
+    }
+
+    #[test]
+    fn default_mode_is_greedy() {
+        assert_eq!(VOptimal::default().mode, VOptimalMode::GreedyMerge);
+    }
+}

@@ -1,0 +1,256 @@
+//! The full selectivity catalog: `f(ℓ)` for every path `|ℓ| ≤ k`.
+
+use phe_graph::{FixedBitSet, Graph, LabelId};
+
+use crate::encoding::PathEncoding;
+use crate::relation::PathRelation;
+
+/// The complete table of path selectivities up to length `k`.
+///
+/// Conceptually a map `label path → f(ℓ)`; stored as a dense vector in
+/// [`PathEncoding`] canonical order. Paths with no matching pairs are
+/// present with value 0 — the histogram domain of the paper includes them.
+#[derive(Debug, Clone)]
+pub struct SelectivityCatalog {
+    encoding: PathEncoding,
+    counts: Vec<u64>,
+}
+
+impl SelectivityCatalog {
+    /// Computes the catalog with the shared-prefix trie traversal
+    /// (single-threaded). See [`crate::parallel::compute_parallel`] for the
+    /// multi-threaded variant.
+    pub fn compute(graph: &Graph, k: usize) -> SelectivityCatalog {
+        let encoding = PathEncoding::new(graph.label_count().max(1), k);
+        let mut counts = vec![0u64; encoding.domain_size()];
+        if graph.label_count() == 0 {
+            return SelectivityCatalog { encoding, counts };
+        }
+        let mut scratch = FixedBitSet::new(graph.vertex_count());
+        let mut path = Vec::with_capacity(k);
+        for label in graph.label_ids() {
+            let rel = PathRelation::from_label(graph, label);
+            path.push(label);
+            counts[encoding.encode(&path)] = rel.pair_count();
+            if !rel.is_empty() && k > 1 {
+                extend_recursive(graph, &encoding, &mut counts, &rel, &mut path, &mut scratch, k);
+            }
+            path.pop();
+        }
+        SelectivityCatalog { encoding, counts }
+    }
+
+    /// Wraps an externally computed count vector (canonical order).
+    /// Used by the parallel builder.
+    pub fn from_counts(encoding: PathEncoding, counts: Vec<u64>) -> SelectivityCatalog {
+        assert_eq!(counts.len(), encoding.domain_size());
+        SelectivityCatalog { encoding, counts }
+    }
+
+    /// The selectivity `f(ℓ)` of `path`.
+    ///
+    /// # Panics
+    /// Panics if the path is empty, longer than `k`, or mentions an unknown
+    /// label.
+    #[inline]
+    pub fn selectivity(&self, path: &[LabelId]) -> u64 {
+        self.counts[self.encoding.encode(path)]
+    }
+
+    /// The selectivity at a canonical index.
+    #[inline]
+    pub fn selectivity_at(&self, canonical_index: usize) -> u64 {
+        self.counts[canonical_index]
+    }
+
+    /// The canonical encoding (for permuting into domain orderings).
+    #[inline]
+    pub fn encoding(&self) -> &PathEncoding {
+        &self.encoding
+    }
+
+    /// The raw count vector in canonical order.
+    #[inline]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of cataloged paths (the domain size).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the catalog is empty (zero-label graph).
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterates `(path, f(path))` in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (Vec<LabelId>, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.encoding.decode(i), c))
+    }
+
+    /// The catalog restricted to paths of length `≤ k'` — a prefix of the
+    /// canonical layout, because the encoding is length-major. Lets an
+    /// experiment compute one catalog at `k_max` and evaluate every
+    /// smaller `k` for free.
+    ///
+    /// # Panics
+    /// Panics if `k'` is 0 or exceeds this catalog's `k`.
+    pub fn truncated(&self, k: usize) -> SelectivityCatalog {
+        assert!(
+            k >= 1 && k <= self.encoding.max_len(),
+            "k = {k} outside 1..={}",
+            self.encoding.max_len()
+        );
+        let encoding = PathEncoding::new(self.encoding.label_count(), k);
+        let counts = self.counts[..encoding.domain_size()].to_vec();
+        SelectivityCatalog { encoding, counts }
+    }
+
+    /// Sum of all selectivities (diagnostic; the "mass" of the distribution).
+    pub fn total_mass(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Number of paths with zero selectivity.
+    pub fn zero_count(&self) -> usize {
+        self.counts.iter().filter(|&&c| c == 0).count()
+    }
+}
+
+/// Depth-first extension of `rel` (the relation of `path`) by every label.
+///
+/// Every trie node's relation is computed exactly once and shared by all of
+/// its extensions, which is what makes the full catalog tractable: the naive
+/// alternative re-evaluates each length-`m` prefix `n^(k-m)` times.
+fn extend_recursive(
+    graph: &Graph,
+    encoding: &PathEncoding,
+    counts: &mut [u64],
+    rel: &PathRelation,
+    path: &mut Vec<LabelId>,
+    scratch: &mut FixedBitSet,
+    k: usize,
+) {
+    for label in graph.label_ids() {
+        let next = rel.compose(graph, label, scratch);
+        path.push(label);
+        counts[encoding.encode(path)] = next.pair_count();
+        if !next.is_empty() && path.len() < k {
+            extend_recursive(graph, encoding, counts, &next, path, scratch, k);
+        }
+        path.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phe_graph::GraphBuilder;
+
+    fn l(x: u16) -> LabelId {
+        LabelId(x)
+    }
+
+    /// Two-label chain: 0 -a-> 1 -b-> 2 -a-> 3.
+    fn chain() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_edge_named(0, "a", 1);
+        b.add_edge_named(1, "b", 2);
+        b.add_edge_named(2, "a", 3);
+        b.build()
+    }
+
+    #[test]
+    fn chain_catalog_k3() {
+        let g = chain();
+        let c = SelectivityCatalog::compute(&g, 3);
+        assert_eq!(c.len(), 2 + 4 + 8);
+        assert_eq!(c.selectivity(&[l(0)]), 2); // a
+        assert_eq!(c.selectivity(&[l(1)]), 1); // b
+        assert_eq!(c.selectivity(&[l(0), l(1)]), 1); // a/b
+        assert_eq!(c.selectivity(&[l(1), l(0)]), 1); // b/a
+        assert_eq!(c.selectivity(&[l(0), l(0)]), 0); // a/a
+        assert_eq!(c.selectivity(&[l(0), l(1), l(0)]), 1); // a/b/a
+        assert_eq!(c.selectivity(&[l(1), l(1)]), 0);
+    }
+
+    #[test]
+    fn zero_paths_are_cataloged() {
+        let g = chain();
+        let c = SelectivityCatalog::compute(&g, 2);
+        // Domain: 2 + 4 = 6 paths, of which a, b, a/b, b/a are non-zero.
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.zero_count(), 2);
+    }
+
+    #[test]
+    fn diamond_distinct_pairs() {
+        // 0 -a-> {1,2} -b-> 3: a/b must count (0,3) once.
+        let mut b = GraphBuilder::new();
+        b.add_edge_named(0, "a", 1);
+        b.add_edge_named(0, "a", 2);
+        b.add_edge_named(1, "b", 3);
+        b.add_edge_named(2, "b", 3);
+        let g = b.build();
+        let c = SelectivityCatalog::compute(&g, 2);
+        assert_eq!(c.selectivity(&[l(0), l(1)]), 1);
+    }
+
+    #[test]
+    fn cycle_selectivities() {
+        // 0 -a-> 1 -a-> 0 : a/a = {(0,0),(1,1)}, a/a/a = {(0,1),(1,0)}.
+        let mut b = GraphBuilder::new();
+        b.add_edge_named(0, "a", 1);
+        b.add_edge_named(1, "a", 0);
+        let g = b.build();
+        let c = SelectivityCatalog::compute(&g, 3);
+        assert_eq!(c.selectivity(&[l(0)]), 2);
+        assert_eq!(c.selectivity(&[l(0), l(0)]), 2);
+        assert_eq!(c.selectivity(&[l(0), l(0), l(0)]), 2);
+    }
+
+    #[test]
+    fn iter_covers_domain() {
+        let g = chain();
+        let c = SelectivityCatalog::compute(&g, 2);
+        let items: Vec<(Vec<LabelId>, u64)> = c.iter().collect();
+        assert_eq!(items.len(), 6);
+        assert_eq!(items[0], (vec![l(0)], 2));
+        let mass: u64 = items.iter().map(|(_, f)| f).sum();
+        assert_eq!(mass, c.total_mass());
+    }
+
+    #[test]
+    fn truncated_is_a_prefix_restriction() {
+        let g = chain();
+        let full = SelectivityCatalog::compute(&g, 3);
+        let cut = full.truncated(2);
+        let direct = SelectivityCatalog::compute(&g, 2);
+        assert_eq!(cut.counts(), direct.counts());
+        assert_eq!(cut.encoding().max_len(), 2);
+        // k' = k is identity.
+        assert_eq!(full.truncated(3).counts(), full.counts());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn truncated_rejects_larger_k() {
+        let g = chain();
+        SelectivityCatalog::compute(&g, 2).truncated(3);
+    }
+
+    #[test]
+    fn length_one_catalog_equals_label_frequencies() {
+        let g = chain();
+        let c = SelectivityCatalog::compute(&g, 1);
+        for label in g.label_ids() {
+            assert_eq!(c.selectivity(&[label]), g.label_frequency(label));
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Canonical dense indexing of the label-path domain.
+//!
+//! The catalog stores `f` values in a flat vector indexed by the *canonical*
+//! encoding: paths grouped by length (shorter first), then base-`n`
+//! positional value of the label-id digits. This is the "numerical ordering
+//! with identity ranking" — a storage layout, not one of the paper's
+//! candidate orderings; `phe-core` permutes it into each ordering under
+//! study.
+
+use phe_graph::LabelId;
+
+/// Bijection between label paths (`&[LabelId]`, length `1..=k` over an
+/// `n`-label alphabet) and dense indexes `[0, Σ n^i)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathEncoding {
+    label_count: u16,
+    max_len: usize,
+}
+
+impl PathEncoding {
+    /// Creates an encoding for paths of length `1..=max_len` over
+    /// `label_count` labels.
+    ///
+    /// # Panics
+    /// Panics if the domain does not fit in memory-addressable space
+    /// (`Σ n^i ≥ 2^48`), if `label_count == 0`, or if `max_len == 0`.
+    pub fn new(label_count: usize, max_len: usize) -> PathEncoding {
+        assert!(label_count > 0, "need at least one label");
+        assert!(
+            label_count <= u16::MAX as usize,
+            "label alphabet exceeds u16"
+        );
+        assert!(max_len > 0, "need max_len >= 1");
+        let size = domain_size_u128(label_count as u128, max_len);
+        assert!(
+            size < (1u128 << 48),
+            "path domain of {size} entries is too large to catalog"
+        );
+        PathEncoding {
+            label_count: label_count as u16,
+            max_len,
+        }
+    }
+
+    /// Number of labels `n`.
+    #[inline]
+    pub fn label_count(&self) -> usize {
+        self.label_count as usize
+    }
+
+    /// Maximum path length `k`.
+    #[inline]
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Total number of label paths, `Σ_{i=1..k} n^i`.
+    pub fn domain_size(&self) -> usize {
+        domain_size_u128(self.label_count as u128, self.max_len) as usize
+    }
+
+    /// Number of paths strictly shorter than `len` — the offset of the
+    /// length-`len` block.
+    pub fn offset_of_length(&self, len: usize) -> usize {
+        domain_size_u128(self.label_count as u128, len - 1) as usize
+    }
+
+    /// Encodes a path into its canonical index.
+    ///
+    /// # Panics
+    /// Panics if the path is empty, longer than `max_len`, or mentions a
+    /// label outside the alphabet.
+    pub fn encode(&self, path: &[LabelId]) -> usize {
+        let m = path.len();
+        assert!(m >= 1 && m <= self.max_len, "path length {m} out of range");
+        let n = self.label_count as usize;
+        let mut value = 0usize;
+        for &l in path {
+            assert!(l.index() < n, "label {l} outside alphabet of {n}");
+            value = value * n + l.index();
+        }
+        self.offset_of_length(m) + value
+    }
+
+    /// Decodes a canonical index back into a path.
+    ///
+    /// # Panics
+    /// Panics if `index` is outside the domain.
+    pub fn decode(&self, index: usize) -> Vec<LabelId> {
+        let mut out = Vec::new();
+        self.decode_into(index, &mut out);
+        out
+    }
+
+    /// Decodes into a caller-provided buffer (cleared first), avoiding
+    /// allocation in hot loops.
+    pub fn decode_into(&self, index: usize, out: &mut Vec<LabelId>) {
+        out.clear();
+        let n = self.label_count as usize;
+        let mut m = 1usize;
+        let mut block = n;
+        let mut rem = index;
+        while rem >= block {
+            rem -= block;
+            m += 1;
+            assert!(m <= self.max_len, "index {index} outside domain");
+            block = block.checked_mul(n).expect("domain overflow");
+        }
+        out.resize(m, LabelId(0));
+        let mut value = rem;
+        for slot in out.iter_mut().rev() {
+            *slot = LabelId((value % n) as u16);
+            value /= n;
+        }
+    }
+
+    /// Iterates all paths in canonical order.
+    pub fn iter_paths(&self) -> impl Iterator<Item = Vec<LabelId>> + '_ {
+        (0..self.domain_size()).map(move |i| self.decode(i))
+    }
+}
+
+fn domain_size_u128(n: u128, k: usize) -> u128 {
+    let mut total = 0u128;
+    let mut power = 1u128;
+    for _ in 0..k {
+        power *= n;
+        total += power;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(x: u16) -> LabelId {
+        LabelId(x)
+    }
+
+    #[test]
+    fn domain_sizes_match_formula() {
+        assert_eq!(PathEncoding::new(3, 2).domain_size(), 3 + 9);
+        assert_eq!(PathEncoding::new(6, 3).domain_size(), 6 + 36 + 216);
+        // The paper's k=6 / 6-label domain (the text says 55996; Σ 6^i = 55986).
+        assert_eq!(PathEncoding::new(6, 6).domain_size(), 55986);
+    }
+
+    #[test]
+    fn encode_is_length_major() {
+        let e = PathEncoding::new(3, 2);
+        assert_eq!(e.encode(&[l(0)]), 0);
+        assert_eq!(e.encode(&[l(1)]), 1);
+        assert_eq!(e.encode(&[l(2)]), 2);
+        assert_eq!(e.encode(&[l(0), l(0)]), 3);
+        assert_eq!(e.encode(&[l(0), l(1)]), 4);
+        assert_eq!(e.encode(&[l(2), l(2)]), 11);
+    }
+
+    #[test]
+    fn decode_inverts_encode_exhaustively() {
+        let e = PathEncoding::new(4, 3);
+        for i in 0..e.domain_size() {
+            let p = e.decode(i);
+            assert_eq!(e.encode(&p), i, "round trip failed at {i} ({p:?})");
+        }
+    }
+
+    #[test]
+    fn iter_paths_is_ordered_and_complete() {
+        let e = PathEncoding::new(2, 3);
+        let all: Vec<Vec<LabelId>> = e.iter_paths().collect();
+        assert_eq!(all.len(), 2 + 4 + 8);
+        assert_eq!(all[0], vec![l(0)]);
+        assert_eq!(all[2], vec![l(0), l(0)]);
+        assert_eq!(all[13], vec![l(1), l(1), l(1)]);
+    }
+
+    #[test]
+    fn offsets() {
+        let e = PathEncoding::new(6, 3);
+        assert_eq!(e.offset_of_length(1), 0);
+        assert_eq!(e.offset_of_length(2), 6);
+        assert_eq!(e.offset_of_length(3), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn encode_rejects_long_path() {
+        let e = PathEncoding::new(2, 2);
+        e.encode(&[l(0), l(0), l(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn decode_rejects_out_of_domain() {
+        let e = PathEncoding::new(2, 2);
+        e.decode(6);
+    }
+
+    #[test]
+    fn decode_into_reuses_buffer() {
+        let e = PathEncoding::new(3, 3);
+        let mut buf = Vec::new();
+        e.decode_into(0, &mut buf);
+        assert_eq!(buf, vec![l(0)]);
+        e.decode_into(e.domain_size() - 1, &mut buf);
+        assert_eq!(buf, vec![l(2), l(2), l(2)]);
+    }
+}

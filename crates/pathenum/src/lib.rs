@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # phe-pathenum — path-query evaluation and selectivity catalogs
+//!
+//! The selectivity `f(ℓ)` of a label path `ℓ = l1/l2/…/lk` on a graph `G`
+//! is the number of **distinct** vertex pairs `(vs, vt)` connected by an
+//! `ℓ`-labeled walk. Histogram construction needs `f(ℓ)` for *every* label
+//! path of length up to `k` — a domain of `Σ_{i≤k} |L|^i` paths — so this
+//! crate is organized around computing the complete **catalog** efficiently:
+//!
+//! * [`relation::PathRelation`] — a binary relation over vertices stored
+//!   CSR-style (sorted, duplicate-free target lists per source);
+//! * [`relation::PathRelation::compose`] — relation ∘ edge-label composition
+//!   with bitset de-duplication;
+//! * [`catalog::SelectivityCatalog`] — the full `f` table, computed by a
+//!   depth-first traversal of the label-path trie that shares each prefix
+//!   relation between all its extensions;
+//! * [`naive`] — an independent per-path evaluator used as a correctness
+//!   oracle and as the unshared baseline in benchmarks;
+//! * [`parallel`] — a source-partitioned parallel catalog builder
+//!   (crossbeam scoped threads), exact because
+//!   `f(ℓ) = Σ_s |targets(s, ℓ)|` decomposes over disjoint source sets.
+//!
+//! ```
+//! use phe_graph::GraphBuilder;
+//! use phe_pathenum::SelectivityCatalog;
+//! use phe_graph::LabelId;
+//!
+//! let mut b = GraphBuilder::new();
+//! b.add_edge_named(0, "a", 1);
+//! b.add_edge_named(1, "b", 2);
+//! b.add_edge_named(0, "a", 2);
+//! let g = b.build();
+//!
+//! let catalog = SelectivityCatalog::compute(&g, 2);
+//! assert_eq!(catalog.selectivity(&[LabelId(0)]), 2);             // a
+//! assert_eq!(catalog.selectivity(&[LabelId(0), LabelId(1)]), 1); // a/b
+//! ```
+
+pub mod catalog;
+pub mod encoding;
+pub mod naive;
+pub mod parallel;
+pub mod relation;
+pub mod sampling;
+
+pub use catalog::SelectivityCatalog;
+pub use encoding::PathEncoding;
+pub use relation::PathRelation;
+pub use sampling::{SamplingConfig, SamplingEstimator};

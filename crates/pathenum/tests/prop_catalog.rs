@@ -1,0 +1,78 @@
+//! Property tests: the three catalog strategies (trie-DFS, naive oracle,
+//! parallel) agree on arbitrary graphs, and relation algebra invariants hold.
+
+use phe_graph::{FixedBitSet, GraphBuilder, LabelId, VertexId};
+use phe_pathenum::{naive, parallel, PathRelation, SelectivityCatalog};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = (phe_graph::Graph, u16)> {
+    (2u16..4, prop::collection::vec((0u32..25, 0u16..4, 0u32..25), 1..120)).prop_map(
+        |(labels, edges)| {
+            let mut b = GraphBuilder::with_numeric_labels(25, labels);
+            for (s, l, t) in edges {
+                b.add_edge(VertexId(s), LabelId(l % labels), VertexId(t));
+            }
+            (b.build(), labels)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn trie_catalog_matches_naive_oracle((g, _labels) in arb_graph(), k in 1usize..4) {
+        let fast = SelectivityCatalog::compute(&g, k);
+        let slow = naive::compute_catalog_naive(&g, k);
+        prop_assert_eq!(fast.counts(), slow.counts());
+    }
+
+    #[test]
+    fn parallel_catalog_matches_sequential((g, _labels) in arb_graph(), k in 1usize..4, threads in 2usize..5) {
+        let seq = SelectivityCatalog::compute(&g, k);
+        let par = parallel::compute_parallel(&g, k, threads);
+        prop_assert_eq!(seq.counts(), par.counts());
+    }
+
+    #[test]
+    fn composition_is_associative((g, labels) in arb_graph()) {
+        // (Ra ∘ Rb) ∘ Rc == Ra ∘ (Rb ∘ Rc) as pair sets.
+        let la = LabelId(0);
+        let lb = LabelId(1 % labels);
+        let lc = LabelId(labels.saturating_sub(1));
+        let mut scratch = FixedBitSet::new(g.vertex_count());
+        let ra = PathRelation::from_label(&g, la);
+        let rb = PathRelation::from_label(&g, lb);
+        let rc = PathRelation::from_label(&g, lc);
+        let left = ra.join(&rb, &mut scratch).join(&rc, &mut scratch);
+        let right = ra.join(&rb.join(&rc, &mut scratch), &mut scratch);
+        let lp: Vec<_> = left.iter_pairs().collect();
+        let rp: Vec<_> = right.iter_pairs().collect();
+        prop_assert_eq!(lp, rp);
+    }
+
+    #[test]
+    fn evaluate_agrees_with_catalog((g, labels) in arb_graph(), raw_path in prop::collection::vec(0u16..4, 1..4)) {
+        let path: Vec<LabelId> = raw_path.iter().map(|&l| LabelId(l % labels)).collect();
+        let k = path.len();
+        let catalog = SelectivityCatalog::compute(&g, k);
+        let rel = PathRelation::evaluate(&g, &path);
+        prop_assert_eq!(catalog.selectivity(&path), rel.pair_count());
+    }
+
+    #[test]
+    fn selectivity_monotone_under_extension((g, labels) in arb_graph()) {
+        // Pairs of an extended path never exceed |sources(prefix)| * |V|;
+        // weaker but useful sanity: if prefix has zero pairs, extension does too.
+        let catalog = SelectivityCatalog::compute(&g, 3);
+        for l1 in 0..labels {
+            for l2 in 0..labels {
+                let prefix = [LabelId(l1)];
+                let ext = [LabelId(l1), LabelId(l2)];
+                if catalog.selectivity(&prefix) == 0 {
+                    prop_assert_eq!(catalog.selectivity(&ext), 0);
+                }
+            }
+        }
+    }
+}

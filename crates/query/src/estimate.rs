@@ -1,0 +1,184 @@
+//! Pluggable cardinality estimators for the optimizer.
+
+use phe_core::PathSelectivityEstimator;
+use phe_graph::LabelId;
+use phe_pathenum::{SamplingEstimator, SelectivityCatalog};
+
+/// Anything that can estimate the selectivity of a label sub-path.
+pub trait CardinalityEstimator {
+    /// Estimated number of distinct `(source, target)` pairs of `path`.
+    fn estimate(&self, path: &[LabelId]) -> f64;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Perfect estimates from a selectivity catalog — the upper bound on what
+/// any estimator can achieve, used to calibrate plan-quality experiments.
+pub struct ExactOracle<'a> {
+    catalog: &'a SelectivityCatalog,
+}
+
+impl<'a> ExactOracle<'a> {
+    /// Wraps a catalog.
+    pub fn new(catalog: &'a SelectivityCatalog) -> Self {
+        ExactOracle { catalog }
+    }
+}
+
+impl CardinalityEstimator for ExactOracle<'_> {
+    fn estimate(&self, path: &[LabelId]) -> f64 {
+        self.catalog.selectivity(path) as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "exact-oracle"
+    }
+}
+
+/// Histogram-backed estimates — the production scenario this workspace
+/// exists to study. Wraps a built [`PathSelectivityEstimator`].
+pub struct HistogramEstimator<'a> {
+    estimator: &'a PathSelectivityEstimator,
+}
+
+impl<'a> HistogramEstimator<'a> {
+    /// Wraps a built estimator.
+    pub fn new(estimator: &'a PathSelectivityEstimator) -> Self {
+        HistogramEstimator { estimator }
+    }
+}
+
+impl CardinalityEstimator for HistogramEstimator<'_> {
+    fn estimate(&self, path: &[LabelId]) -> f64 {
+        self.estimator.estimate(path).max(0.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "histogram"
+    }
+}
+
+/// The textbook independence assumption: each composition step keeps
+/// `f(ℓ₁/ℓ₂) ≈ f(ℓ₁) · f(ℓ₂) / |V|`. This is what an optimizer without
+/// any path statistics would do — the baseline the paper's motivation
+/// implicitly argues against.
+pub struct IndependenceBaseline {
+    label_frequencies: Vec<u64>,
+    vertex_count: usize,
+}
+
+impl IndependenceBaseline {
+    /// Builds from per-label frequencies and the vertex count.
+    pub fn new(label_frequencies: Vec<u64>, vertex_count: usize) -> Self {
+        IndependenceBaseline {
+            label_frequencies,
+            vertex_count: vertex_count.max(1),
+        }
+    }
+
+    /// Builds from a graph.
+    pub fn from_graph(graph: &phe_graph::Graph) -> Self {
+        IndependenceBaseline::new(
+            graph.label_ids().map(|l| graph.label_frequency(l)).collect(),
+            graph.vertex_count(),
+        )
+    }
+}
+
+impl CardinalityEstimator for IndependenceBaseline {
+    fn estimate(&self, path: &[LabelId]) -> f64 {
+        let n = self.vertex_count as f64;
+        let mut card = 0.0f64;
+        for (i, l) in path.iter().enumerate() {
+            let f = self.label_frequencies[l.index()] as f64;
+            card = if i == 0 { f } else { card * f / n };
+        }
+        card
+    }
+
+    fn name(&self) -> &'static str {
+        "independence"
+    }
+}
+
+/// Sampling-based estimates (see `phe_pathenum::sampling`): the
+/// no-precomputation alternative. Each call traverses the graph from a
+/// uniform source sample — accurate but orders of magnitude slower per
+/// estimate than a histogram lookup, which is exactly the trade-off the
+/// experiments surface.
+pub struct SamplingAdapter<'g> {
+    estimator: SamplingEstimator<'g>,
+}
+
+impl<'g> SamplingAdapter<'g> {
+    /// Wraps a sampling estimator.
+    pub fn new(estimator: SamplingEstimator<'g>) -> Self {
+        SamplingAdapter { estimator }
+    }
+}
+
+impl CardinalityEstimator for SamplingAdapter<'_> {
+    fn estimate(&self, path: &[LabelId]) -> f64 {
+        self.estimator.estimate(path)
+    }
+
+    fn name(&self) -> &'static str {
+        "sampling"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phe_graph::GraphBuilder;
+
+    #[test]
+    fn oracle_returns_truth() {
+        let mut b = GraphBuilder::new();
+        b.add_edge_named(0, "a", 1);
+        b.add_edge_named(1, "b", 2);
+        let g = b.build();
+        let catalog = SelectivityCatalog::compute(&g, 2);
+        let oracle = ExactOracle::new(&catalog);
+        assert_eq!(oracle.estimate(&[LabelId(0)]), 1.0);
+        assert_eq!(oracle.estimate(&[LabelId(0), LabelId(1)]), 1.0);
+        assert_eq!(oracle.estimate(&[LabelId(1), LabelId(0)]), 0.0);
+    }
+
+    #[test]
+    fn independence_multiplies() {
+        let est = IndependenceBaseline::new(vec![100, 50], 10);
+        assert_eq!(est.estimate(&[LabelId(0)]), 100.0);
+        // 100 * 50 / 10 = 500.
+        assert_eq!(est.estimate(&[LabelId(0), LabelId(1)]), 500.0);
+        // Chains further: 500 * 100 / 10 = 5000.
+        assert_eq!(est.estimate(&[LabelId(0), LabelId(1), LabelId(0)]), 5000.0);
+    }
+
+    #[test]
+    fn sampling_adapter_estimates() {
+        let mut b = GraphBuilder::new();
+        for i in 0..20u32 {
+            b.add_edge_named(i, "a", (i + 1) % 20);
+        }
+        let g = b.build();
+        let adapter = SamplingAdapter::new(SamplingEstimator::new(
+            &g,
+            phe_pathenum::SamplingConfig { sample_size: usize::MAX, seed: 1 },
+        ));
+        assert_eq!(adapter.estimate(&[LabelId(0)]), 20.0);
+        assert_eq!(adapter.name(), "sampling");
+    }
+
+    #[test]
+    fn independence_is_order_insensitive_but_truth_is_not() {
+        // The weakness the paper targets: a/b and b/a get identical
+        // independence estimates even when their true selectivities differ.
+        let est = IndependenceBaseline::new(vec![10, 20], 5);
+        assert_eq!(
+            est.estimate(&[LabelId(0), LabelId(1)]),
+            est.estimate(&[LabelId(1), LabelId(0)])
+        );
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # phe-query — a path-query engine driven by selectivity estimates
+//!
+//! The paper's motivation is that graph query optimizers need accurate
+//! path cardinalities to pick good execution plans. This crate closes the
+//! loop: it parses path expressions, optimizes their join order with a
+//! pluggable [`CardinalityEstimator`], executes the chosen plan, and
+//! reports the *actual* intermediate sizes — so the value of a better
+//! domain ordering can be measured in plan quality, not just error rates
+//! (see the `downstream_plans` experiment binary and the
+//! `query_optimizer` example).
+//!
+//! ```
+//! use phe_graph::GraphBuilder;
+//! use phe_query::{parse_path, optimize, execute, ExactOracle};
+//! use phe_pathenum::SelectivityCatalog;
+//!
+//! let mut b = GraphBuilder::new();
+//! b.add_edge_named(0, "knows", 1);
+//! b.add_edge_named(1, "likes", 2);
+//! b.add_edge_named(2, "knows", 3);
+//! let g = b.build();
+//!
+//! let query = parse_path(&g, "knows/likes/knows").unwrap();
+//! let catalog = SelectivityCatalog::compute(&g, 3);
+//! let oracle = ExactOracle::new(&catalog);
+//! let plan = optimize(&query, &oracle);
+//! let report = execute(&g, &plan);
+//! assert_eq!(report.result.pair_count(), 1); // 0 -> 3
+//! ```
+
+pub mod estimate;
+pub mod exec;
+pub mod optimizer;
+pub mod parse;
+pub mod plan;
+pub mod workload;
+
+pub use estimate::{
+    CardinalityEstimator, ExactOracle, HistogramEstimator, IndependenceBaseline, SamplingAdapter,
+};
+pub use exec::{execute, ExecutionReport};
+pub use optimizer::optimize;
+pub use parse::{parse_path, QueryError};
+pub use plan::Plan;
+pub use workload::{stratified_workload, Workload};

@@ -1,0 +1,126 @@
+//! Parsing path expressions over label names.
+
+use std::fmt;
+
+use phe_core::MAX_K;
+use phe_graph::{Graph, LabelId};
+
+/// Errors from parsing a path expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The expression was empty (or all whitespace).
+    EmptyQuery,
+    /// A label name not present in the graph.
+    UnknownLabel(String),
+    /// More steps than the engine's `MAX_K`.
+    TooLong {
+        /// Steps in the expression.
+        len: usize,
+        /// The supported maximum.
+        max: usize,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::EmptyQuery => write!(f, "empty path expression"),
+            QueryError::UnknownLabel(name) => write!(f, "unknown edge label {name:?}"),
+            QueryError::TooLong { len, max } => {
+                write!(f, "path expression has {len} steps; maximum is {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Parses a `/`-separated path expression (e.g. `knows/likes/knows`) into
+/// label ids, resolving names through the graph's interner. Whitespace
+/// around steps is ignored.
+pub fn parse_path(graph: &Graph, expr: &str) -> Result<Vec<LabelId>, QueryError> {
+    let steps: Vec<&str> = expr
+        .split('/')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if steps.is_empty() {
+        return Err(QueryError::EmptyQuery);
+    }
+    if steps.len() > MAX_K {
+        return Err(QueryError::TooLong {
+            len: steps.len(),
+            max: MAX_K,
+        });
+    }
+    steps
+        .into_iter()
+        .map(|name| {
+            graph
+                .labels()
+                .get(name)
+                .ok_or_else(|| QueryError::UnknownLabel(name.to_owned()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phe_graph::GraphBuilder;
+
+    fn graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_edge_named(0, "knows", 1);
+        b.add_edge_named(1, "likes", 2);
+        b.build()
+    }
+
+    #[test]
+    fn parses_names() {
+        let g = graph();
+        let q = parse_path(&g, "knows/likes/knows").unwrap();
+        assert_eq!(q, vec![LabelId(0), LabelId(1), LabelId(0)]);
+    }
+
+    #[test]
+    fn tolerates_whitespace_and_empty_steps() {
+        let g = graph();
+        let q = parse_path(&g, " knows / likes ").unwrap();
+        assert_eq!(q.len(), 2);
+        let q = parse_path(&g, "knows//likes").unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn unknown_label() {
+        let g = graph();
+        assert_eq!(
+            parse_path(&g, "knows/hates"),
+            Err(QueryError::UnknownLabel("hates".into()))
+        );
+    }
+
+    #[test]
+    fn empty_query() {
+        let g = graph();
+        assert_eq!(parse_path(&g, "   "), Err(QueryError::EmptyQuery));
+        assert_eq!(parse_path(&g, "///"), Err(QueryError::EmptyQuery));
+    }
+
+    #[test]
+    fn too_long() {
+        let g = graph();
+        let expr = ["knows"; 9].join("/");
+        assert_eq!(
+            parse_path(&g, &expr),
+            Err(QueryError::TooLong { len: 9, max: 8 })
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(QueryError::UnknownLabel("x".into()).to_string().contains("x"));
+        assert!(QueryError::TooLong { len: 9, max: 8 }.to_string().contains("9"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Join plans over path expressions.
+
+use std::fmt;
+
+use phe_graph::LabelId;
+
+/// A binary join tree over a contiguous range of path steps.
+///
+/// Leaves are single edge labels; internal nodes compose the relations of
+/// their children. Estimated cardinalities are recorded at planning time
+/// so EXPLAIN output can be compared against actual execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// One path step: the edge relation of a label.
+    Leaf {
+        /// The step's label.
+        label: LabelId,
+        /// Estimated cardinality of the label's relation.
+        estimated: f64,
+    },
+    /// Composition of two adjacent sub-plans.
+    Join {
+        /// Left (earlier steps) sub-plan.
+        left: Box<Plan>,
+        /// Right (later steps) sub-plan.
+        right: Box<Plan>,
+        /// Estimated cardinality of this node's output.
+        estimated: f64,
+    },
+}
+
+impl Plan {
+    /// Estimated output cardinality of this node.
+    pub fn estimated(&self) -> f64 {
+        match self {
+            Plan::Leaf { estimated, .. } | Plan::Join { estimated, .. } => *estimated,
+        }
+    }
+
+    /// Number of path steps covered.
+    pub fn step_count(&self) -> usize {
+        match self {
+            Plan::Leaf { .. } => 1,
+            Plan::Join { left, right, .. } => left.step_count() + right.step_count(),
+        }
+    }
+
+    /// The covered labels, left to right.
+    pub fn labels(&self) -> Vec<LabelId> {
+        let mut out = Vec::with_capacity(self.step_count());
+        self.collect_labels(&mut out);
+        out
+    }
+
+    fn collect_labels(&self, out: &mut Vec<LabelId>) {
+        match self {
+            Plan::Leaf { label, .. } => out.push(*label),
+            Plan::Join { left, right, .. } => {
+                left.collect_labels(out);
+                right.collect_labels(out);
+            }
+        }
+    }
+
+    /// Total estimated cost: the sum of estimated cardinalities of every
+    /// non-root materialized node (leaves included — edge relations are
+    /// scanned — the root excluded, since every plan of the same query
+    /// produces the same final relation).
+    pub fn estimated_cost(&self) -> f64 {
+        match self {
+            Plan::Leaf { .. } => 0.0,
+            Plan::Join { left, right, .. } => {
+                left.estimated() + right.estimated() + left.estimated_cost() + right.estimated_cost()
+            }
+        }
+    }
+
+    /// Renders an EXPLAIN-style indented tree.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            Plan::Leaf { label, estimated } => {
+                out.push_str(&format!("{pad}scan {label} (est {estimated:.1})\n"));
+            }
+            Plan::Join {
+                left,
+                right,
+                estimated,
+            } => {
+                out.push_str(&format!("{pad}join (est {estimated:.1})\n"));
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Plan::Leaf { label, .. } => write!(f, "{label}"),
+            Plan::Join { left, right, .. } => write!(f, "({left} ⋈ {right})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(l: u16, est: f64) -> Plan {
+        Plan::Leaf {
+            label: LabelId(l),
+            estimated: est,
+        }
+    }
+
+    #[test]
+    fn cost_sums_non_root_nodes() {
+        // ((a ⋈ b) ⋈ c): inputs a(10), b(20) -> ab(5); then ab(5), c(30).
+        let ab = Plan::Join {
+            left: Box::new(leaf(0, 10.0)),
+            right: Box::new(leaf(1, 20.0)),
+            estimated: 5.0,
+        };
+        let plan = Plan::Join {
+            left: Box::new(ab),
+            right: Box::new(leaf(2, 30.0)),
+            estimated: 2.0,
+        };
+        // Cost: (5 + 30) at root + (10 + 20) inside left.
+        assert_eq!(plan.estimated_cost(), 65.0);
+        assert_eq!(plan.step_count(), 3);
+        assert_eq!(plan.labels(), vec![LabelId(0), LabelId(1), LabelId(2)]);
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let plan = Plan::Join {
+            left: Box::new(leaf(0, 1.0)),
+            right: Box::new(leaf(1, 2.0)),
+            estimated: 3.0,
+        };
+        let text = plan.explain();
+        assert!(text.contains("join (est 3.0)"));
+        assert!(text.contains("  scan l0"));
+        assert_eq!(plan.to_string(), "(l0 ⋈ l1)");
+    }
+}

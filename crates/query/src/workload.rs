@@ -1,0 +1,163 @@
+//! Query workload generation, stratified by true selectivity.
+//!
+//! Evaluating an estimator on a handful of hand-picked queries invites
+//! bias; evaluating on *every* path weights the (typically huge)
+//! zero-selectivity tail. This module generates workloads the way gMark
+//! frames it: pick queries per *selectivity stratum*, so cheap, medium,
+//! and expensive paths are all represented.
+
+use phe_graph::LabelId;
+use phe_pathenum::SelectivityCatalog;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A selectivity-stratified workload of label-path queries.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The queries, each a non-empty label path.
+    pub queries: Vec<Vec<LabelId>>,
+}
+
+/// Builds a workload of (up to) `count` length-`len` queries with
+/// non-zero selectivity, spread evenly across selectivity quartiles of
+/// the catalog's length-`len` block. Deterministic per seed.
+///
+/// Returns fewer queries when the graph has fewer non-zero paths.
+///
+/// # Panics
+/// Panics if `len` is 0 or exceeds the catalog's `k`.
+pub fn stratified_workload(
+    catalog: &SelectivityCatalog,
+    len: usize,
+    count: usize,
+    seed: u64,
+) -> Workload {
+    let k = catalog.encoding().max_len();
+    assert!(len >= 1 && len <= k, "length {len} outside 1..={k}");
+    // Collect (canonical index, selectivity) for non-zero paths of the
+    // requested length.
+    let lo = catalog.encoding().offset_of_length(len);
+    let hi = lo + catalog
+        .encoding()
+        .label_count()
+        .pow(len as u32);
+    let mut candidates: Vec<(usize, u64)> = (lo..hi)
+        .filter_map(|i| {
+            let f = catalog.selectivity_at(i);
+            (f > 0).then_some((i, f))
+        })
+        .collect();
+    if candidates.is_empty() {
+        return Workload { queries: Vec::new() };
+    }
+    candidates.sort_by_key(|&(i, f)| (f, i));
+
+    // Quartile strata; draw round-robin so every stratum contributes.
+    let strata = 4usize.min(candidates.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut picks: Vec<usize> = Vec::with_capacity(count.min(candidates.len()));
+    let mut taken = vec![false; candidates.len()];
+    let stratum_bounds: Vec<(usize, usize)> = (0..strata)
+        .map(|s| {
+            let start = s * candidates.len() / strata;
+            let end = (s + 1) * candidates.len() / strata;
+            (start, end)
+        })
+        .collect();
+    let mut stratum = 0usize;
+    let mut attempts = 0usize;
+    while picks.len() < count.min(candidates.len()) && attempts < count * 64 {
+        attempts += 1;
+        let (start, end) = stratum_bounds[stratum % strata];
+        stratum += 1;
+        if start == end {
+            continue;
+        }
+        let pos = rng.gen_range(start..end);
+        if !taken[pos] {
+            taken[pos] = true;
+            picks.push(pos);
+        }
+    }
+    // Fill any shortfall deterministically.
+    for (pos, t) in taken.iter_mut().enumerate() {
+        if picks.len() >= count.min(candidates.len()) {
+            break;
+        }
+        if !*t {
+            *t = true;
+            picks.push(pos);
+        }
+    }
+
+    let queries = picks
+        .into_iter()
+        .map(|pos| catalog.encoding().decode(candidates[pos].0))
+        .collect();
+    Workload { queries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phe_datasets::{erdos_renyi, LabelDistribution};
+
+    fn catalog() -> SelectivityCatalog {
+        let g = erdos_renyi(80, 900, 4, LabelDistribution::Zipf { exponent: 1.0 }, 3);
+        SelectivityCatalog::compute(&g, 3)
+    }
+
+    #[test]
+    fn respects_count_and_length() {
+        let c = catalog();
+        let w = stratified_workload(&c, 3, 20, 7);
+        assert_eq!(w.queries.len(), 20);
+        for q in &w.queries {
+            assert_eq!(q.len(), 3);
+            assert!(c.selectivity(q) > 0, "zero-selectivity query {q:?}");
+        }
+    }
+
+    #[test]
+    fn queries_are_distinct() {
+        let c = catalog();
+        let w = stratified_workload(&c, 2, 12, 5);
+        let mut qs = w.queries.clone();
+        qs.sort();
+        qs.dedup();
+        assert_eq!(qs.len(), w.queries.len());
+    }
+
+    #[test]
+    fn covers_selectivity_range() {
+        let c = catalog();
+        let w = stratified_workload(&c, 3, 24, 11);
+        let sels: Vec<u64> = w.queries.iter().map(|q| c.selectivity(q)).collect();
+        let min = *sels.iter().min().unwrap();
+        let max = *sels.iter().max().unwrap();
+        // Stratification must reach both tails: a meaningful spread.
+        assert!(max >= min * 4, "workload too homogeneous: {min}..{max}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = catalog();
+        assert_eq!(
+            stratified_workload(&c, 2, 10, 9).queries,
+            stratified_workload(&c, 2, 10, 9).queries
+        );
+        assert_ne!(
+            stratified_workload(&c, 2, 10, 9).queries,
+            stratified_workload(&c, 2, 10, 10).queries
+        );
+    }
+
+    #[test]
+    fn shortfall_returns_what_exists() {
+        let c = catalog();
+        // Request far more than exist.
+        let w = stratified_workload(&c, 1, 1000, 2);
+        assert!(w.queries.len() <= 4);
+        assert!(!w.queries.is_empty());
+    }
+}

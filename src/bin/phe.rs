@@ -1,0 +1,351 @@
+//! `phe` — command-line front end for the path-selectivity toolkit.
+//!
+//! ```text
+//! phe generate <moreno|dbpedia|snap-er|snap-ff|chained> [--scale X] [--seed N] --out graph.tsv
+//! phe stats <graph.tsv>
+//! phe build <graph.tsv> --k K --beta B [--ordering NAME] [--histogram NAME] --out stats.json
+//! phe estimate <stats.json> <path-expr>...          # e.g. knows/likes
+//! phe accuracy <graph.tsv> --k K --beta B           # compare all orderings
+//! ```
+//!
+//! The `build` → `estimate` pair demonstrates the production workflow:
+//! statistics are built once against the graph (expensive: exact catalog),
+//! serialized as a small JSON snapshot, and then queried with **no graph
+//! access** — exactly what a query optimizer's statistics module does.
+
+use std::process::ExitCode;
+
+use phe::core::snapshot::EstimatorSnapshot;
+use phe::core::{EstimatorConfig, HistogramKind, OrderingKind, PathSelectivityEstimator};
+use phe::graph::{Graph, GraphStats, LabelId};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("build") => cmd_build(&args[1..]),
+        Some("estimate") => cmd_estimate(&args[1..]),
+        Some("accuracy") => cmd_accuracy(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("run `phe --help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+phe — histogram domain ordering for path selectivity estimation
+
+USAGE:
+  phe generate <dataset> [--scale X] [--seed N] --out <graph.tsv>
+      dataset: moreno | dbpedia | snap-er | snap-ff | chained
+  phe stats <graph.tsv>
+  phe build <graph.tsv> --k K --beta B [--ordering O] [--histogram H] --out <stats.json>
+      ordering:  num-alph | num-card | lex-alph | lex-card | sum-based | sum-based-L2
+      histogram: equi-width | equi-depth | v-optimal-greedy | v-optimal-exact |
+                 v-optimal-maxdiff | end-biased
+  phe estimate <stats.json> <path-expr>...
+      path-expr: slash-separated label names, e.g. knows/likes
+  phe accuracy <graph.tsv> --k K --beta B
+";
+
+/// Tiny flag parser: positional args plus `--flag value` pairs.
+struct Flags {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(name) = args[i].strip_prefix("--") {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                flags.push((name.to_owned(), value.clone()));
+                i += 2;
+            } else {
+                positional.push(args[i].clone());
+                i += 1;
+            }
+        }
+        Ok(Flags { positional, flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| format!("invalid value {raw:?} for --{name}")),
+        }
+    }
+
+    fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        self.get_parsed(name)?
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+}
+
+fn load_graph(path: &str) -> Result<Graph, String> {
+    phe::graph::io::read_tsv_path(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn parse_ordering(name: &str) -> Result<OrderingKind, String> {
+    OrderingKind::ALL
+        .into_iter()
+        .find(|k| k.name() == name)
+        .ok_or_else(|| format!("unknown ordering {name:?} (ideal is ablation-only)"))
+}
+
+fn parse_histogram(name: &str) -> Result<HistogramKind, String> {
+    HistogramKind::ALL
+        .into_iter()
+        .find(|k| k.name() == name)
+        .ok_or_else(|| format!("unknown histogram {name:?}"))
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let [dataset] = flags.positional.as_slice() else {
+        return Err("generate needs exactly one dataset name".into());
+    };
+    let scale: f64 = flags.get_parsed("scale")?.unwrap_or(1.0);
+    let seed: u64 = flags.get_parsed("seed")?.unwrap_or(42);
+    let out: String = flags.require("out")?;
+    let graph = match dataset.as_str() {
+        "moreno" => phe::datasets::moreno_health_like_scaled(scale, seed),
+        "dbpedia" => phe::datasets::dbpedia_like_scaled(scale, seed),
+        "snap-er" => phe::datasets::snap_er_scaled(scale, seed),
+        "snap-ff" => phe::datasets::snap_ff_scaled(scale, seed),
+        "chained" => {
+            let vertices = (10_000.0 * scale).round().max(16.0) as u32;
+            let edges = (60_000.0 * scale).round().max(32.0) as u64;
+            phe::datasets::schema_graph(vertices, &phe::datasets::chained_schema(6, edges), seed)
+        }
+        other => return Err(format!("unknown dataset {other:?}")),
+    };
+    phe::graph::io::write_tsv_path(&graph, &out).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} vertices, {} edges, {} labels",
+        graph.vertex_count(),
+        graph.edge_count(),
+        graph.label_count()
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let [path] = flags.positional.as_slice() else {
+        return Err("stats needs exactly one graph file".into());
+    };
+    let graph = load_graph(path)?;
+    let stats = GraphStats::compute(&graph);
+    println!("vertices: {}", stats.vertex_count);
+    println!("edges:    {}", stats.edge_count);
+    println!("labels:   {}", stats.label_count);
+    println!(
+        "degrees:  mean {:.2}, max {}, sinks {}",
+        stats.mean_out_degree, stats.max_out_degree, stats.sink_count
+    );
+    println!(
+        "label independence score: {:.3} (1 = independent chaining)",
+        stats.label_independence_correlation()
+    );
+    println!("per-label cardinalities:");
+    for l in graph.label_ids() {
+        println!(
+            "  {:<20} {}",
+            graph.labels().name(l).unwrap_or("?"),
+            graph.label_frequency(l)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let [path] = flags.positional.as_slice() else {
+        return Err("build needs exactly one graph file".into());
+    };
+    let graph = load_graph(path)?;
+    let config = EstimatorConfig {
+        k: flags.require("k")?,
+        beta: flags.require("beta")?,
+        ordering: parse_ordering(flags.get("ordering").unwrap_or("sum-based"))?,
+        histogram: parse_histogram(flags.get("histogram").unwrap_or("v-optimal-greedy"))?,
+        threads: 0,
+    };
+    let out: String = flags.require("out")?;
+    let estimator =
+        PathSelectivityEstimator::build(&graph, config).map_err(|e| e.to_string())?;
+    let report = estimator.accuracy_report();
+    let snapshot = estimator.snapshot().map_err(|e| e.to_string())?;
+    let json = serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?;
+    std::fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "built {} statistics over {} paths (k = {}, β = {})",
+        config.ordering.name(),
+        estimator.domain_size(),
+        config.k,
+        config.beta
+    );
+    println!(
+        "catalog {:.2}s | ordering {:.3}s | histogram {:.3}s",
+        estimator.build_stats().catalog_time.as_secs_f64(),
+        estimator.build_stats().ordering_time.as_secs_f64(),
+        estimator.build_stats().histogram_time.as_secs_f64()
+    );
+    println!(
+        "whole-domain mean |err| = {:.4}, median q-error = {:.3}",
+        report.mean_abs_error_rate, report.median_q_error
+    );
+    println!("wrote {out} ({} bytes retained state)", snapshot.retained_bytes());
+    Ok(())
+}
+
+fn cmd_estimate(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let (snapshot_path, exprs) = flags
+        .positional
+        .split_first()
+        .ok_or("estimate needs a stats.json and at least one path expression")?;
+    if exprs.is_empty() {
+        return Err("estimate needs at least one path expression".into());
+    }
+    let json = std::fs::read_to_string(snapshot_path)
+        .map_err(|e| format!("reading {snapshot_path}: {e}"))?;
+    let snapshot: EstimatorSnapshot =
+        serde_json::from_str(&json).map_err(|e| format!("parsing {snapshot_path}: {e}"))?;
+    let restored = snapshot.restore().map_err(|e| e.to_string())?;
+
+    // Resolve label names through the snapshot (no graph needed).
+    let resolve = |name: &str| -> Result<LabelId, String> {
+        snapshot
+            .label_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| LabelId(i as u16))
+            .ok_or_else(|| format!("unknown label {name:?}"))
+    };
+    for expr in exprs {
+        let labels: Result<Vec<LabelId>, String> = expr
+            .split('/')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(resolve)
+            .collect();
+        let labels = labels?;
+        if labels.is_empty() {
+            return Err(format!("empty path expression {expr:?}"));
+        }
+        if labels.len() > snapshot.k {
+            return Err(format!(
+                "{expr:?} has {} steps but the statistics cover k ≤ {}",
+                labels.len(),
+                snapshot.k
+            ));
+        }
+        println!("{expr}\t{:.2}", restored.estimate_labels(&labels));
+    }
+    Ok(())
+}
+
+fn cmd_accuracy(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let [path] = flags.positional.as_slice() else {
+        return Err("accuracy needs exactly one graph file".into());
+    };
+    let graph = load_graph(path)?;
+    let k: usize = flags.require("k")?;
+    let beta: usize = flags.require("beta")?;
+    let catalog = phe::pathenum::parallel::compute_parallel(&graph, k, 0);
+    println!("{:<14} {:>12} {:>14}", "ordering", "mean |err|", "median q-error");
+    for kind in OrderingKind::ALL {
+        let ordering = kind.build(&graph, &catalog, k);
+        let report = phe::core::evaluate_configuration(
+            &catalog,
+            ordering.as_ref(),
+            HistogramKind::VOptimalGreedy,
+            beta,
+        )
+        .map_err(|e| e.to_string())?;
+        println!(
+            "{:<14} {:>12.4} {:>14.3}",
+            kind.name(),
+            report.mean_abs_error_rate,
+            report.median_q_error
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_positional_and_pairs() {
+        let f = Flags::parse(&s(&["g.tsv", "--k", "3", "--beta", "64"])).unwrap();
+        assert_eq!(f.positional, vec!["g.tsv"]);
+        assert_eq!(f.get("k"), Some("3"));
+        assert_eq!(f.require::<usize>("beta").unwrap(), 64);
+        assert!(f.get("missing").is_none());
+    }
+
+    #[test]
+    fn flags_last_wins() {
+        let f = Flags::parse(&s(&["--k", "3", "--k", "5"])).unwrap();
+        assert_eq!(f.require::<usize>("k").unwrap(), 5);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Flags::parse(&s(&["--k"])).is_err());
+    }
+
+    #[test]
+    fn bad_parse_is_reported() {
+        let f = Flags::parse(&s(&["--k", "abc"])).unwrap();
+        let err = f.require::<usize>("k").unwrap_err();
+        assert!(err.contains("abc"));
+    }
+
+    #[test]
+    fn ordering_and_histogram_names_resolve() {
+        assert_eq!(parse_ordering("sum-based").unwrap(), OrderingKind::SumBased);
+        assert_eq!(
+            parse_histogram("v-optimal-greedy").unwrap(),
+            HistogramKind::VOptimalGreedy
+        );
+        assert!(parse_ordering("ideal").is_err(), "ideal is ablation-only");
+        assert!(parse_histogram("nope").is_err());
+    }
+}

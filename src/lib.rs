@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! # phe — histogram domain ordering for path selectivity estimation
+//!
+//! Umbrella crate re-exporting the whole workspace. See the crate-level
+//! documentation of each member for details:
+//!
+//! * [`graph`] — directed edge-labeled graph substrate,
+//! * [`datasets`] — seeded synthetic dataset generators (paper Table 3),
+//! * [`pathenum`] — path evaluation and full selectivity catalogs,
+//! * [`histogram`] — equi-width / equi-depth / V-optimal histograms,
+//! * [`core`] — the paper's contribution: ranking rules, domain orderings
+//!   (numerical, lexicographical, sum-based), and the estimator,
+//! * [`query`] — a path-query optimizer driven by the estimator.
+
+pub use phe_core as core;
+pub use phe_datasets as datasets;
+pub use phe_graph as graph;
+pub use phe_histogram as histogram;
+pub use phe_pathenum as pathenum;
+pub use phe_query as query;

@@ -1,0 +1,147 @@
+//! End-to-end tests of the `phe` CLI binary: generate → stats → build →
+//! estimate → accuracy, exercising real process boundaries and file I/O.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn phe() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_phe"))
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("phe_cli_tests").join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_workflow_generate_build_estimate() {
+    let dir = workdir("workflow");
+    let graph = dir.join("g.tsv");
+    let stats = dir.join("stats.json");
+
+    // generate
+    let out = phe()
+        .args([
+            "generate",
+            "chained",
+            "--scale",
+            "0.05",
+            "--seed",
+            "7",
+            "--out",
+            graph.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn phe generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(graph.exists());
+
+    // stats
+    let out = phe().args(["stats", graph.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("labels:   6"), "{text}");
+
+    // build
+    let out = phe()
+        .args([
+            "build",
+            graph.to_str().unwrap(),
+            "--k",
+            "3",
+            "--beta",
+            "32",
+            "--out",
+            stats.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stats.exists());
+
+    // estimate — needs only the snapshot, not the graph.
+    let out = phe()
+        .args(["estimate", stats.to_str().unwrap(), "r0/r1", "r5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "{text}");
+    for line in lines {
+        let (expr, value) = line.split_once('\t').expect("tab-separated output");
+        assert!(!expr.is_empty());
+        let v: f64 = value.parse().expect("numeric estimate");
+        assert!(v >= 0.0);
+    }
+
+    // accuracy
+    let out = phe()
+        .args(["accuracy", graph.to_str().unwrap(), "--k", "2", "--beta", "16"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("sum-based"), "{text}");
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    // Unknown subcommand.
+    let out = phe().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+
+    // Missing file.
+    let out = phe().args(["stats", "/nonexistent/g.tsv"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+
+    // Missing required flag.
+    let dir = workdir("errors");
+    let graph = dir.join("g.tsv");
+    std::fs::write(&graph, "0\ta\t1\n").unwrap();
+    let out = phe()
+        .args(["build", graph.to_str().unwrap(), "--k", "2"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--beta"));
+}
+
+#[test]
+fn estimate_rejects_unknown_labels_and_overlong_paths() {
+    let dir = workdir("estimate_errors");
+    let graph = dir.join("g.tsv");
+    let stats = dir.join("stats.json");
+    std::fs::write(&graph, "0\ta\t1\n1\tb\t2\n").unwrap();
+    let out = phe()
+        .args([
+            "build",
+            graph.to_str().unwrap(),
+            "--k",
+            "2",
+            "--beta",
+            "4",
+            "--out",
+            stats.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = phe()
+        .args(["estimate", stats.to_str().unwrap(), "a/zzz"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("zzz"));
+
+    let out = phe()
+        .args(["estimate", stats.to_str().unwrap(), "a/b/a"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("k ≤ 2"));
+}

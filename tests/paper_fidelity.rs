@@ -1,0 +1,128 @@
+//! Fidelity checks against the published paper: the worked example
+//! (Tables 1–2), the domain arithmetic behind Table 4, and the err metric
+//! (Formula 6) — all through the public `phe` API.
+
+use phe::core::ordering::{
+    DomainOrdering, LexicographicalOrdering, NumericalOrdering, SumBasedOrdering,
+};
+use phe::core::{LabelPath, LabelRanking, PathDomain};
+use phe::graph::LabelId;
+use phe::histogram::error_rate;
+
+fn path(spec: &str) -> LabelPath {
+    let ids: Vec<LabelId> = spec
+        .split(',')
+        .map(|t| LabelId(t.trim().parse::<u16>().unwrap() - 1))
+        .collect();
+    LabelPath::new(&ids)
+}
+
+fn assert_row(ordering: &dyn DomainOrdering, expected: &[&str]) {
+    for (i, spec) in expected.iter().enumerate() {
+        assert_eq!(
+            ordering.path_at(i as u64),
+            path(spec),
+            "{} index {i}",
+            ordering.name()
+        );
+        assert_eq!(ordering.index_of(&path(spec)), i as u64);
+    }
+}
+
+/// Table 2, all five rows, exactly as published.
+#[test]
+fn table2_all_rows() {
+    let domain = PathDomain::new(3, 2);
+    let alph = LabelRanking::identity(3);
+    let card = LabelRanking::cardinality_from_frequencies(&[20, 100, 80]);
+
+    assert_row(
+        &NumericalOrdering::new(domain, alph.clone(), "num-alph"),
+        &["1", "2", "3", "1,1", "1,2", "1,3", "2,1", "2,2", "2,3", "3,1", "3,2", "3,3"],
+    );
+    assert_row(
+        &NumericalOrdering::new(domain, card.clone(), "num-card"),
+        &["1", "3", "2", "1,1", "1,3", "1,2", "3,1", "3,3", "3,2", "2,1", "2,3", "2,2"],
+    );
+    assert_row(
+        &LexicographicalOrdering::new(domain, alph, "lex-alph"),
+        &["1", "1,1", "1,2", "1,3", "2", "2,1", "2,2", "2,3", "3", "3,1", "3,2", "3,3"],
+    );
+    assert_row(
+        &LexicographicalOrdering::new(domain, card.clone(), "lex-card"),
+        &["1", "1,1", "1,3", "1,2", "3", "3,1", "3,3", "3,2", "2", "2,1", "2,3", "2,2"],
+    );
+    assert_row(
+        &SumBasedOrdering::new(domain, card),
+        &["1", "3", "2", "1,1", "1,3", "3,1", "3,3", "1,2", "2,1", "3,2", "2,3", "2,2"],
+    );
+}
+
+/// Table 1: summed ranks of the worked example.
+#[test]
+fn table1_summed_ranks() {
+    let domain = PathDomain::new(3, 2);
+    let card = LabelRanking::cardinality_from_frequencies(&[20, 100, 80]);
+    let ordering = SumBasedOrdering::new(domain, card);
+    let expected = [
+        ("1", 1u32),
+        ("2", 3),
+        ("3", 2),
+        ("1,1", 2),
+        ("1,2", 4),
+        ("1,3", 3),
+        ("2,1", 4),
+        ("2,2", 6),
+        ("2,3", 5),
+        ("3,1", 3),
+        ("3,2", 5),
+        ("3,3", 4),
+    ];
+    for (spec, sum) in expected {
+        assert_eq!(ordering.summed_rank(&path(spec)), sum, "path {spec}");
+    }
+}
+
+/// The paper's k = 6 / 6-label domain arithmetic: |L6| = 55 986, and its
+/// halving β sweep is exactly the published Table 4 column — evidence the
+/// paper's "55996" is a typo.
+#[test]
+fn table4_domain_arithmetic() {
+    let domain = PathDomain::new(6, 6);
+    assert_eq!(domain.size(), 55_986);
+    let betas: Vec<u64> = (1..=7).map(|i| domain.size() >> i).collect();
+    assert_eq!(betas, vec![27993, 13996, 6998, 3499, 1749, 874, 437]);
+}
+
+/// Formula 6 edge cases, as published.
+#[test]
+fn formula6_error_metric() {
+    assert_eq!(error_rate(10.0, 10), 0.0);
+    assert_eq!(error_rate(0.0, 0), 0.0);
+    assert_eq!(error_rate(0.0, 42), -1.0);
+    assert_eq!(error_rate(42.0, 0), 1.0);
+    assert!((error_rate(15.0, 10) - (1.0 / 3.0)).abs() < 1e-12);
+    assert!((error_rate(10.0, 15) + (1.0 / 3.0)).abs() < 1e-12);
+}
+
+/// The Figure 1 domain: 6 labels, k = 3 ⇒ 258 label paths.
+#[test]
+fn figure1_domain_size() {
+    assert_eq!(PathDomain::new(6, 3).size(), 258);
+}
+
+/// The greedy splitting example from Section 3.1:
+/// 4/4/3/3/6 → 4/4, 3/3, 6.
+#[test]
+fn section31_greedy_split_example() {
+    use phe::core::base_set::{greedy_split, Piece};
+    let p = path("4,4,3,3,6");
+    assert_eq!(
+        greedy_split(&p),
+        vec![
+            Piece::Pair(LabelId(3), LabelId(3)),
+            Piece::Pair(LabelId(2), LabelId(2)),
+            Piece::Single(LabelId(5)),
+        ]
+    );
+}
