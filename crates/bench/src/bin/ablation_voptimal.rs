@@ -26,7 +26,12 @@ fn main() {
     eprintln!("domain: {n} paths (k = {k}), sum-based ordering");
 
     let kinds: [(HistogramKind, &dyn HistogramBuilder); 5] = [
-        (HistogramKind::VOptimalExact, &VOptimal { mode: phe_histogram::VOptimalMode::Exact { limit: 8192 } }),
+        (
+            HistogramKind::VOptimalExact,
+            &VOptimal {
+                mode: phe_histogram::VOptimalMode::Exact { limit: 8192 },
+            },
+        ),
         (HistogramKind::VOptimalGreedy, &VOptimal::greedy()),
         (HistogramKind::VOptimalMaxDiff, &VOptimal::maxdiff()),
         (HistogramKind::EquiWidth, &EquiWidth),
@@ -45,8 +50,7 @@ fn main() {
                 }
             };
             let sse = histogram.sse(&ordered);
-            let report =
-                evaluate_configuration(&catalog, ordering.as_ref(), *kind, beta).unwrap();
+            let report = evaluate_configuration(&catalog, ordering.as_ref(), *kind, beta).unwrap();
             rows.push(vec![
                 beta.to_string(),
                 kind.name().to_string(),
@@ -60,7 +64,14 @@ fn main() {
 
     emit(
         "Ablation A — V-optimal construction modes (sum-based ordering, Moreno-like)",
-        &["β", "histogram", "SSE", "mean |err|", "median q-err", "build ms"],
+        &[
+            "β",
+            "histogram",
+            "SSE",
+            "mean |err|",
+            "median q-err",
+            "build ms",
+        ],
         &rows,
         config.csv,
     );

@@ -15,8 +15,8 @@ use phe_core::{EstimatorConfig, HistogramKind, PathSelectivityEstimator};
 use phe_pathenum::parallel::compute_parallel;
 use phe_pathenum::{SamplingConfig, SamplingEstimator};
 use phe_query::{
-    execute, optimize, stratified_workload, CardinalityEstimator, ExactOracle,
-    HistogramEstimator, IndependenceBaseline, SamplingAdapter,
+    execute, optimize, stratified_workload, CardinalityEstimator, ExactOracle, HistogramEstimator,
+    IndependenceBaseline, SamplingAdapter,
 };
 
 fn main() {
@@ -62,7 +62,10 @@ fn main() {
         ));
 
         let workload = stratified_workload(&catalog, k, 40, config.seed);
-        eprintln!("  {} stratified queries of length {k}", workload.queries.len());
+        eprintln!(
+            "  {} stratified queries of length {k}",
+            workload.queries.len()
+        );
 
         let estimators: [(&str, &dyn CardinalityEstimator); 5] = [
             ("exact-oracle", &oracle),

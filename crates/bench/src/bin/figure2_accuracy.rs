@@ -81,10 +81,7 @@ fn main() {
         let mut wins = vec![0usize; orderings.len()];
         for row in &rows {
             let errs: Vec<f64> = row[2..].iter().map(|c| c.parse().unwrap()).collect();
-            let best = errs
-                .iter()
-                .cloned()
-                .fold(f64::INFINITY, f64::min);
+            let best = errs.iter().cloned().fold(f64::INFINITY, f64::min);
             for (i, &e) in errs.iter().enumerate() {
                 if (e - best).abs() < 1e-9 {
                     wins[i] += 1;

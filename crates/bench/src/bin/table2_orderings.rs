@@ -45,7 +45,11 @@ fn main() {
         Box::new(NumericalOrdering::new(domain, alph.clone(), "num-alph")),
         Box::new(NumericalOrdering::new(domain, card.clone(), "num-card")),
         Box::new(LexicographicalOrdering::new(domain, alph, "lex-alph")),
-        Box::new(LexicographicalOrdering::new(domain, card.clone(), "lex-card")),
+        Box::new(LexicographicalOrdering::new(
+            domain,
+            card.clone(),
+            "lex-card",
+        )),
         Box::new(SumBasedOrdering::new(domain, card)),
         Box::new(SumBasedL2Ordering::from_frequencies(
             domain,
@@ -87,6 +91,9 @@ fn main() {
         "1", "3", "2", "1,1", "1,3", "3,1", "3,3", "1,2", "2,1", "3,2", "2,3", "2,2",
     ];
     let got: Vec<String> = (0..12).map(|i| show(&orderings[4].path_at(i))).collect();
-    assert_eq!(got, expected_sum_based, "sum-based row diverged from the paper");
+    assert_eq!(
+        got, expected_sum_based,
+        "sum-based row diverged from the paper"
+    );
     println!("\nsum-based row matches the published Table 2 exactly.");
 }

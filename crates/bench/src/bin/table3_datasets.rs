@@ -10,7 +10,10 @@ fn main() {
     let config = RunConfig::from_args();
     let ((datasets, stats), secs) = timed(|| {
         let datasets = config.datasets();
-        let stats: Vec<GraphStats> = datasets.iter().map(|d| GraphStats::compute(&d.graph)).collect();
+        let stats: Vec<GraphStats> = datasets
+            .iter()
+            .map(|d| GraphStats::compute(&d.graph))
+            .collect();
         (datasets, stats)
     });
 
@@ -56,7 +59,12 @@ fn main() {
 
     if config.scale == Scale::Paper {
         // The facsimiles must hit the published numbers exactly.
-        let expect = [(6, 2539, 12969), (8, 37374, 209068), (6, 12333, 147996), (8, 50000, 132673)];
+        let expect = [
+            (6, 2539, 12969),
+            (8, 37374, 209068),
+            (6, 12333, 147996),
+            (8, 50000, 132673),
+        ];
         for ((l, v, e), s) in expect.iter().zip(&stats) {
             assert_eq!((s.label_count, s.vertex_count, s.edge_count), (*l, *v, *e));
         }

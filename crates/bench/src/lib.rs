@@ -164,9 +164,7 @@ fn usage(error: &str) -> ! {
 /// The paper's Table 4 β sweep: halving from `n/2` for `levels` levels
 /// (paper: 27993 down to 437 over a 55 996-path domain).
 pub fn beta_sweep(domain_size: usize, levels: usize) -> Vec<usize> {
-    (1..=levels)
-        .map(|i| (domain_size >> i).max(1))
-        .collect()
+    (1..=levels).map(|i| (domain_size >> i).max(1)).collect()
 }
 
 /// Renders an aligned text table.
@@ -210,7 +208,13 @@ pub fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
         }
     };
     let mut out = String::new();
-    out.push_str(&headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
     out.push('\n');
     for row in rows {
         out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));

@@ -1,0 +1,264 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock harness with criterion's macro/type names so the
+//! bench files compile and run unchanged (`criterion_group!`,
+//! `criterion_main!`, `Criterion`, `BenchmarkId`, `Bencher::iter`,
+//! benchmark groups with `sample_size`). Reporting is mean / p50 / min
+//! per iteration over the sampled batches — no plots, no statistics
+//! beyond that, but stable enough to compare configurations.
+//!
+//! Understands the harness flags cargo passes: `--bench` (ignored), a
+//! positional substring filter, and `--test` (each benchmark runs one
+//! batch only, which is how `cargo test --benches` smoke-runs benches).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" => {}
+                "--test" => test_mode = true,
+                // Flags with a value we don't interpret.
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--warm-up-time"
+                | "--sample-size" => {
+                    let _ = args.next();
+                }
+                other if !other.starts_with('-') => filter = Some(other.to_owned()),
+                _ => {}
+            }
+        }
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+            sample_size: 30,
+            filter,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, f: F) {
+        let sample_size = self.sample_size;
+        self.run_one(&id.to_string(), sample_size, f);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, id: &str, sample_size: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            warm_up: if self.test_mode {
+                Duration::ZERO
+            } else {
+                self.warm_up
+            },
+            measurement: if self.test_mode {
+                Duration::ZERO
+            } else {
+                self.measurement
+            },
+            sample_size: if self.test_mode { 1 } else { sample_size },
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(id);
+    }
+}
+
+/// A group of related benchmarks (criterion's `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, f: F) {
+        let full = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&full, sample_size, f);
+    }
+
+    /// Ends the group (reporting happens per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Identifier helpers mirroring criterion's `BenchmarkId`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f` repeatedly; per-iteration time is reported.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, during which the batch size is calibrated so each
+        // sampled batch runs ≥ ~1/4 of the per-sample budget.
+        let mut iters_per_batch = 1u64;
+        let warm_deadline = Instant::now() + self.warm_up;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            let per_sample =
+                self.measurement.max(Duration::from_millis(10)) / self.sample_size as u32;
+            if dt * 4 >= per_sample || iters_per_batch >= (1 << 40) {
+                if Instant::now() >= warm_deadline {
+                    break;
+                }
+            } else {
+                iters_per_batch = iters_per_batch.saturating_mul(2);
+            }
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            self.samples_ns
+                .push(dt.as_nanos() as f64 / iters_per_batch as f64);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64;
+        let p50 = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        println!(
+            "{id:<40} time: [min {} median {} mean {}]",
+            fmt_ns(min),
+            fmt_ns(p50),
+            fmt_ns(mean)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group; both criterion forms are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -150,9 +150,7 @@ impl SumBasedL2Ordering {
         greedy_split(path)
             .iter()
             .map(|piece| match piece {
-                Piece::Pair(l1, l2) => {
-                    self.pair_ranking.rank(LabelId(l1.0 * n + l2.0)) as u64
-                }
+                Piece::Pair(l1, l2) => self.pair_ranking.rank(LabelId(l1.0 * n + l2.0)) as u64,
                 Piece::Single(l) => self.single_ranking.rank(*l) as u64,
             })
             .sum()
@@ -170,9 +168,7 @@ impl SumBasedL2Ordering {
         if m.is_multiple_of(2) {
             self.dist_at(j, sr)
         } else {
-            (1..=n.min(sr))
-                .map(|ss| self.dist_at(j, sr - ss))
-                .sum()
+            (1..=n.min(sr)).map(|ss| self.dist_at(j, sr - ss)).sum()
         }
     }
 
@@ -309,9 +305,7 @@ impl DomainOrdering for SumBasedL2Ordering {
                     rem -= block;
                     continue;
                 }
-                pair_ranks = Some(
-                    multiset_permutation_unrank(rem, p).expect("rank within nop(p)"),
-                );
+                pair_ranks = Some(multiset_permutation_unrank(rem, p).expect("rank within nop(p)"));
                 break;
             }
         }
@@ -411,9 +405,7 @@ mod tests {
         // The length-2 block enumerates pairs by ascending f(l1/l2).
         let lo = d.offset_of_length(2);
         let freqs = |p: &LabelPath| {
-            let pairs = [
-                5u64, 40, 0, 90, 10, 30, 2, 60, 25,
-            ];
+            let pairs = [5u64, 40, 0, 90, 10, 30, 2, 60, 25];
             pairs[(p.label(0).0 * 3 + p.label(1).0) as usize]
         };
         let mut last = 0u64;

@@ -154,7 +154,10 @@ struct CountedMultiset {
 impl CountedMultiset {
     fn from_sorted(sorted: &[u32]) -> CountedMultiset {
         debug_assert!(sorted.len() <= 8, "multiset longer than MAX_K");
-        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0] <= w[1]),
+            "input must be sorted"
+        );
         let mut set = CountedMultiset {
             values: [0; 8],
             counts: [0; 8],
@@ -179,7 +182,11 @@ impl CountedMultiset {
     fn nop_without(&self, i: usize) -> u64 {
         let mut result = FACTORIALS[self.total - 1];
         for j in 0..self.distinct {
-            let c = if j == i { self.counts[j] - 1 } else { self.counts[j] };
+            let c = if j == i {
+                self.counts[j] - 1
+            } else {
+                self.counts[j]
+            };
             result /= FACTORIALS[c as usize];
         }
         result

@@ -124,8 +124,10 @@ impl PathSelectivityEstimator {
             .label_ids()
             .map(|l| graph.labels().name(l).unwrap_or_default().to_owned())
             .collect();
-        let label_frequencies: Vec<u64> =
-            graph.label_ids().map(|l| graph.label_frequency(l)).collect();
+        let label_frequencies: Vec<u64> = graph
+            .label_ids()
+            .map(|l| graph.label_frequency(l))
+            .collect();
         let pair_frequencies = if config.ordering == OrderingKind::SumBasedL2 {
             let n = graph.label_count();
             let mut pairs = vec![0u64; n * n];
@@ -165,7 +167,9 @@ impl PathSelectivityEstimator {
     /// # Errors
     /// [`crate::snapshot::SnapshotError::IdealNotSupported`] for the ideal
     /// reference ordering.
-    pub fn snapshot(&self) -> Result<crate::snapshot::EstimatorSnapshot, crate::snapshot::SnapshotError> {
+    pub fn snapshot(
+        &self,
+    ) -> Result<crate::snapshot::EstimatorSnapshot, crate::snapshot::SnapshotError> {
         if self.config.ordering == OrderingKind::Ideal {
             return Err(crate::snapshot::SnapshotError::IdealNotSupported);
         }
@@ -240,7 +244,34 @@ impl PathSelectivityEstimator {
     pub fn domain_size(&self) -> usize {
         self.catalog.len()
     }
+
+    /// Wraps the estimator in an [`std::sync::Arc`] for cheap sharing
+    /// across serving threads (see the `phe-service` crate). The estimator
+    /// is immutable after construction, so concurrent readers need no
+    /// locking.
+    pub fn into_shared(self) -> std::sync::Arc<Self> {
+        std::sync::Arc::new(self)
+    }
+
+    /// Decomposes the estimator into what a serving layer retains: the
+    /// configuration, the label names (for query-side name → id
+    /// resolution), and the label-path histogram. The construction-time
+    /// catalog — the large part — is dropped.
+    pub fn into_serving_parts(self) -> (EstimatorConfig, Vec<String>, LabelPathHistogram) {
+        (self.config, self.label_names, self.histogram)
+    }
 }
+
+// Serving audit: the estimator (and everything a serving layer shares
+// across threads) must be Send + Sync. `DomainOrdering: Send + Sync`
+// guarantees the trait objects inside `LabelPathHistogram` qualify; this
+// assertion keeps the property from regressing silently.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PathSelectivityEstimator>();
+    assert_send_sync::<LabelPathHistogram>();
+    assert_send_sync::<EstimatorConfig>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -95,13 +95,7 @@ mod tests {
         // with skewed label frequencies and independent placement, the
         // sum-based ordering yields a lower mean error rate than num-alph
         // under an equal bucket budget.
-        let g = erdos_renyi(
-            60,
-            900,
-            4,
-            LabelDistribution::Zipf { exponent: 1.2 },
-            17,
-        );
+        let g = erdos_renyi(60, 900, 4, LabelDistribution::Zipf { exponent: 1.2 }, 17);
         let catalog = SelectivityCatalog::compute(&g, 3);
         let domain = PathDomain::new(4, 3);
         let beta = 10;
@@ -155,11 +149,8 @@ mod tests {
         let catalog = SelectivityCatalog::compute(&g, 2);
         assert!(catalog.zero_count() > 0);
         let domain = PathDomain::new(g.label_count(), 2);
-        let ordering = NumericalOrdering::new(
-            domain,
-            LabelRanking::identity(g.label_count()),
-            "num-alph",
-        );
+        let ordering =
+            NumericalOrdering::new(domain, LabelRanking::identity(g.label_count()), "num-alph");
         let report = evaluate_configuration(
             &catalog,
             &ordering,

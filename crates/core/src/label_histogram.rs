@@ -1,9 +1,9 @@
 //! Label-path histograms: a domain ordering plus a histogram over the
 //! ordered frequency sequence.
 
+use phe_graph::LabelId;
 use phe_histogram::builder::{EquiDepth, EquiWidth, HistogramBuilder, VOptimal};
 use phe_histogram::{EndBiasedHistogram, Histogram, HistogramError, PointEstimator};
-use phe_graph::LabelId;
 use serde::{Deserialize, Serialize};
 
 use crate::ordering::DomainOrdering;

@@ -46,6 +46,18 @@
 //! let e = est.estimate(&[LabelId(0), LabelId(1)]);
 //! assert!(e >= 0.0);
 //! ```
+//!
+//! ## Serving
+//!
+//! Everything here is `Send + Sync` after construction (asserted at
+//! compile time in [`estimator`] and [`snapshot`]), so a built estimator
+//! — or one restored from an [`snapshot::EstimatorSnapshot`] — can be
+//! shared across threads behind an `Arc` with no locking. The
+//! `phe-service` crate builds the production serving tier on exactly that:
+//! a registry of named estimators with atomic snapshot hot-swap, batched
+//! estimation with a sharded LRU cache, and a TCP request loop (`phe
+//! serve`). Use [`PathSelectivityEstimator::into_shared`] /
+//! [`PathSelectivityEstimator::into_serving_parts`] at the boundary.
 
 pub mod base_set;
 pub mod combinatorics;
@@ -63,8 +75,8 @@ pub use estimator::{EstimatorConfig, HistogramKind, PathSelectivityEstimator};
 pub use eval::{evaluate_configuration, ordered_frequencies};
 pub use label_histogram::LabelPathHistogram;
 pub use ordering::{
-    IdealOrdering,
-    DomainOrdering, LexicographicalOrdering, NumericalOrdering, OrderingKind, SumBasedOrdering,
+    DomainOrdering, IdealOrdering, LexicographicalOrdering, NumericalOrdering, OrderingKind,
+    SumBasedOrdering,
 };
 pub use path::{LabelPath, MAX_K};
 pub use ranking::LabelRanking;

@@ -73,7 +73,8 @@ impl DomainOrdering for IdealOrdering {
     }
 
     fn path_at(&self, index: u64) -> LabelPath {
-        self.domain.canonical_path(self.by_index[index as usize] as u64)
+        self.domain
+            .canonical_path(self.by_index[index as usize] as u64)
     }
 }
 
@@ -126,24 +127,16 @@ mod tests {
         // Exact V-optimal on the monotone sequence is the global optimum
         // over (ordering, bucketing) pairs; no computable ordering with the
         // same builder may do better.
-        let ideal_err = evaluate_configuration(
-            &catalog,
-            &ideal,
-            HistogramKind::VOptimalExact,
-            beta,
-        )
-        .unwrap()
-        .mean_abs_error_rate;
+        let ideal_err =
+            evaluate_configuration(&catalog, &ideal, HistogramKind::VOptimalExact, beta)
+                .unwrap()
+                .mean_abs_error_rate;
         for kind in OrderingKind::ALL {
             let o = kind.build(&g, &catalog, k);
-            let err = evaluate_configuration(
-                &catalog,
-                o.as_ref(),
-                HistogramKind::VOptimalExact,
-                beta,
-            )
-            .unwrap()
-            .mean_abs_error_rate;
+            let err =
+                evaluate_configuration(&catalog, o.as_ref(), HistogramKind::VOptimalExact, beta)
+                    .unwrap()
+                    .mean_abs_error_rate;
             assert!(
                 ideal_err <= err + 1e-9,
                 "{} ({err:.4}) beat the ideal ({ideal_err:.4})",

@@ -193,7 +193,8 @@ mod tests {
             let want = p(name);
             let got = ordering.path_at(index as u64);
             assert_eq!(
-                got, want,
+                got,
+                want,
                 "{}: index {index} should be {name}, got {got}",
                 ordering.name()
             );

@@ -81,7 +81,11 @@ mod tests {
     #[test]
     fn round_trip_exhaustive() {
         let d = PathDomain::new(4, 3);
-        let o = NumericalOrdering::new(d, LabelRanking::cardinality_from_frequencies(&[9, 2, 7, 4]), "num-card");
+        let o = NumericalOrdering::new(
+            d,
+            LabelRanking::cardinality_from_frequencies(&[9, 2, 7, 4]),
+            "num-card",
+        );
         for i in 0..d.size() {
             let p = o.path_at(i);
             assert_eq!(o.index_of(&p), i, "round trip at {i}");

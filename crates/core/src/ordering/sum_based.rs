@@ -333,8 +333,7 @@ impl DomainOrdering for SumBasedOrdering {
         debug_assert!(pos < group.partitions.len(), "stage-2 residual too large");
         let p = &group.partitions[pos];
         rem -= group.offsets[pos];
-        let perm = multiset_permutation_unrank(rem, p)
-            .expect("rank within nop(p) by construction");
+        let perm = multiset_permutation_unrank(rem, p).expect("rank within nop(p) by construction");
         let labels: Vec<phe_graph::LabelId> =
             perm.iter().map(|&r| self.ranking.unrank(r)).collect();
         LabelPath::new(&labels)
@@ -364,7 +363,10 @@ mod tests {
     fn round_trip_paper_scale_spot_checks() {
         // 6 labels, k = 4 (1554 paths): full round trip.
         let d = PathDomain::new(6, 4);
-        let o = SumBasedOrdering::new(d, LabelRanking::cardinality_from_frequencies(&[40, 10, 60, 20, 50, 30]));
+        let o = SumBasedOrdering::new(
+            d,
+            LabelRanking::cardinality_from_frequencies(&[40, 10, 60, 20, 50, 30]),
+        );
         for i in 0..d.size() {
             let p = o.path_at(i);
             assert_eq!(o.index_of(&p), i, "round trip at {i} ({p})");
@@ -376,10 +378,7 @@ mod tests {
         // Within a length block, the summed rank never decreases as the
         // index grows — that is the stage-2 grouping.
         let d = PathDomain::new(4, 3);
-        let o = SumBasedOrdering::new(
-            d,
-            LabelRanking::cardinality_from_frequencies(&[7, 1, 9, 3]),
-        );
+        let o = SumBasedOrdering::new(d, LabelRanking::cardinality_from_frequencies(&[7, 1, 9, 3]));
         for m in 1..=3usize {
             let lo = d.offset_of_length(m);
             let hi = lo + d.length_block(m);

@@ -120,7 +120,10 @@ impl LabelPath {
     }
 
     /// Renders with label names from an interner, e.g. `knows/likes`.
-    pub fn display_with<'a>(&'a self, labels: &'a phe_graph::LabelInterner) -> impl fmt::Display + 'a {
+    pub fn display_with<'a>(
+        &'a self,
+        labels: &'a phe_graph::LabelInterner,
+    ) -> impl fmt::Display + 'a {
         NamedPath { path: self, labels }
     }
 }

@@ -56,7 +56,10 @@ impl LabelRanking {
 
     /// Cardinality ranking over a graph's edge-label frequencies.
     pub fn cardinality(graph: &Graph) -> LabelRanking {
-        let freqs: Vec<u64> = graph.label_ids().map(|l| graph.label_frequency(l)).collect();
+        let freqs: Vec<u64> = graph
+            .label_ids()
+            .map(|l| graph.label_frequency(l))
+            .collect();
         LabelRanking::cardinality_from_frequencies(&freqs)
     }
 

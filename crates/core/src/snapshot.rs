@@ -51,6 +51,14 @@ impl std::fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
+// Snapshots travel between builder and serving processes (see
+// `phe-service`), so they and everything `restore()` produces must be
+// shareable across threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EstimatorSnapshot>();
+};
+
 /// The serializable retained state of a built estimator.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EstimatorSnapshot {
@@ -93,7 +101,9 @@ impl EstimatorSnapshot {
         }
         let domain = PathDomain::new(n, self.k);
         let ordering = self.rebuild_ordering(domain)?;
-        if ordering.domain_size() as usize != phe_histogram::PointEstimator::domain_size(&self.histogram) {
+        if ordering.domain_size() as usize
+            != phe_histogram::PointEstimator::domain_size(&self.histogram)
+        {
             return Err(SnapshotError::Corrupt(format!(
                 "histogram covers {} values but the domain has {}",
                 phe_histogram::PointEstimator::domain_size(&self.histogram),
@@ -111,8 +121,9 @@ impl EstimatorSnapshot {
         domain: PathDomain,
     ) -> Result<Box<dyn DomainOrdering>, SnapshotError> {
         let alph = || {
-            let mut ids: Vec<phe_graph::LabelId> =
-                (0..self.label_names.len() as u16).map(phe_graph::LabelId).collect();
+            let mut ids: Vec<phe_graph::LabelId> = (0..self.label_names.len() as u16)
+                .map(phe_graph::LabelId)
+                .collect();
             ids.sort_by(|a, b| self.label_names[a.index()].cmp(&self.label_names[b.index()]));
             LabelRanking::from_rank_order(ids)
         };
@@ -209,7 +220,10 @@ mod tests {
     #[test]
     fn ideal_refuses_to_snapshot() {
         let est = build(OrderingKind::Ideal);
-        assert_eq!(est.snapshot().unwrap_err(), SnapshotError::IdealNotSupported);
+        assert_eq!(
+            est.snapshot().unwrap_err(),
+            SnapshotError::IdealNotSupported
+        );
     }
 
     #[test]
@@ -228,23 +242,14 @@ mod tests {
         let est = build(OrderingKind::SumBasedL2);
         let mut snapshot = est.snapshot().unwrap();
         snapshot.pair_frequencies = None;
-        assert!(matches!(
-            snapshot.restore(),
-            Err(SnapshotError::Corrupt(_))
-        ));
+        assert!(matches!(snapshot.restore(), Err(SnapshotError::Corrupt(_))));
 
         let mut snapshot = est.snapshot().unwrap();
         snapshot.label_frequencies.pop();
-        assert!(matches!(
-            snapshot.restore(),
-            Err(SnapshotError::Corrupt(_))
-        ));
+        assert!(matches!(snapshot.restore(), Err(SnapshotError::Corrupt(_))));
 
         let mut snapshot = est.snapshot().unwrap();
         snapshot.k = 0;
-        assert!(matches!(
-            snapshot.restore(),
-            Err(SnapshotError::Corrupt(_))
-        ));
+        assert!(matches!(snapshot.restore(), Err(SnapshotError::Corrupt(_))));
     }
 }

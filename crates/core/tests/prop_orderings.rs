@@ -34,10 +34,16 @@ fn all_orderings(freqs: &[u64], k: usize) -> Vec<Box<dyn DomainOrdering>> {
         Box::new(NumericalOrdering::new(domain, alph.clone(), "num-alph")),
         Box::new(NumericalOrdering::new(domain, card.clone(), "num-card")),
         Box::new(LexicographicalOrdering::new(domain, alph, "lex-alph")),
-        Box::new(LexicographicalOrdering::new(domain, card.clone(), "lex-card")),
+        Box::new(LexicographicalOrdering::new(
+            domain,
+            card.clone(),
+            "lex-card",
+        )),
         Box::new(SumBasedOrdering::new(domain, card)),
         Box::new(SumBasedL2Ordering::from_frequencies(
-            domain, freqs, &pair_freqs,
+            domain,
+            freqs,
+            &pair_freqs,
         )),
     ]
 }

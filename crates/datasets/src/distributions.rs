@@ -40,13 +40,12 @@ impl LabelDistribution {
             LabelDistribution::Uniform => {
                 let base = edges / labels as u64;
                 let extra = (edges % labels as u64) as usize;
-                (0..labels)
-                    .map(|i| base + u64::from(i < extra))
-                    .collect()
+                (0..labels).map(|i| base + u64::from(i < extra)).collect()
             }
             LabelDistribution::Zipf { exponent } => {
-                let weights: Vec<f64> =
-                    (0..labels).map(|i| 1.0 / ((i + 1) as f64).powf(*exponent)).collect();
+                let weights: Vec<f64> = (0..labels)
+                    .map(|i| 1.0 / ((i + 1) as f64).powf(*exponent))
+                    .collect();
                 let total_w: f64 = weights.iter().sum();
                 let mut counts: Vec<u64> = weights
                     .iter()
@@ -163,7 +162,12 @@ mod tests {
         assert!(counts[0] > counts[9] * 3, "{counts:?}");
         // Roughly monotone: first item most frequent.
         assert_eq!(
-            counts.iter().enumerate().max_by_key(|&(_, c)| *c).unwrap().0,
+            counts
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, c)| *c)
+                .unwrap()
+                .0,
             0
         );
     }

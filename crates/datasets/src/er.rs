@@ -89,13 +89,7 @@ mod tests {
 
     #[test]
     fn zipf_label_marginal() {
-        let g = erdos_renyi(
-            100,
-            1000,
-            4,
-            LabelDistribution::Zipf { exponent: 1.0 },
-            5,
-        );
+        let g = erdos_renyi(100, 1000, 4, LabelDistribution::Zipf { exponent: 1.0 }, 5);
         let freqs: Vec<u64> = g.label_ids().map(|l| g.label_frequency(l)).collect();
         assert_eq!(freqs.iter().sum::<u64>(), 1000);
         assert!(freqs[0] > freqs[3], "{freqs:?}");

@@ -303,7 +303,10 @@ mod tests {
         assert!(total > 0);
         let cells = (co.len() * co.len()) as u64;
         let mean = total / cells;
-        assert!(max > mean * 3, "max {max}, mean {mean} — not correlated enough");
+        assert!(
+            max > mean * 3,
+            "max {max}, mean {mean} — not correlated enough"
+        );
     }
 
     #[test]

@@ -162,11 +162,14 @@ pub fn forest_fire_exact_edges(
     seed: u64,
 ) -> Graph {
     for attempt in 0..8 {
-        let g = forest_fire(vertices, 1, params, LabelDistribution::Uniform, seed + attempt);
-        let structural: Vec<(u32, u32)> = g
-            .iter_edges()
-            .map(|(s, _, t)| (s.0, t.0))
-            .collect();
+        let g = forest_fire(
+            vertices,
+            1,
+            params,
+            LabelDistribution::Uniform,
+            seed + attempt,
+        );
+        let structural: Vec<(u32, u32)> = g.iter_edges().map(|(s, _, t)| (s.0, t.0)).collect();
         if (structural.len() as u64) >= edges {
             let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_f00d);
             let mut order: Vec<usize> = (0..structural.len()).collect();
@@ -195,7 +198,13 @@ mod tests {
 
     #[test]
     fn produces_connected_ish_graph() {
-        let g = forest_fire(500, 3, ForestFireParams::default(), LabelDistribution::Uniform, 7);
+        let g = forest_fire(
+            500,
+            3,
+            ForestFireParams::default(),
+            LabelDistribution::Uniform,
+            7,
+        );
         assert_eq!(g.vertex_count(), 500);
         // Every vertex except 0 has at least one out-edge (its ambassador link).
         assert!(g.edge_count() >= 499);
@@ -217,14 +226,22 @@ mod tests {
         let light = forest_fire(
             400,
             1,
-            ForestFireParams { forward_p: 0.1, backward_r: 0.2, max_burn: 200 },
+            ForestFireParams {
+                forward_p: 0.1,
+                backward_r: 0.2,
+                max_burn: 200,
+            },
             LabelDistribution::Uniform,
             11,
         );
         let heavy = forest_fire(
             400,
             1,
-            ForestFireParams { forward_p: 0.35, backward_r: 0.3, max_burn: 200 },
+            ForestFireParams {
+                forward_p: 0.35,
+                backward_r: 0.3,
+                max_burn: 200,
+            },
             LabelDistribution::Uniform,
             11,
         );
@@ -242,7 +259,11 @@ mod tests {
             300,
             800,
             4,
-            ForestFireParams { forward_p: 0.3, backward_r: 0.3, max_burn: 200 },
+            ForestFireParams {
+                forward_p: 0.3,
+                backward_r: 0.3,
+                max_burn: 200,
+            },
             LabelDistribution::Uniform,
             21,
         );
@@ -256,7 +277,11 @@ mod tests {
         let g = forest_fire(
             1000,
             1,
-            ForestFireParams { forward_p: 0.3, backward_r: 0.3, max_burn: 200 },
+            ForestFireParams {
+                forward_p: 0.3,
+                backward_r: 0.3,
+                max_burn: 200,
+            },
             LabelDistribution::Uniform,
             13,
         );

@@ -178,8 +178,8 @@ fn make_sampler(model: DegreeModel, size: u32) -> Sampler {
 /// ordering experiments.
 pub fn chained_schema(labels: u16, edges_total: u64) -> Vec<LabelSchema> {
     assert!(labels > 0);
-    let counts =
-        crate::distributions::LabelDistribution::Zipf { exponent: 0.9 }.per_label_counts(labels as usize, edges_total);
+    let counts = crate::distributions::LabelDistribution::Zipf { exponent: 0.9 }
+        .per_label_counts(labels as usize, edges_total);
     (0..labels)
         .map(|l| {
             let pos = l as f64 / labels as f64;
@@ -227,7 +227,10 @@ mod tests {
         let g = schema_graph(200, &schema, 3);
         for (s, _, t) in g.iter_edges() {
             assert!(s.0 < 50, "source {s} outside its community");
-            assert!((100..150).contains(&t.0), "target {t} outside its community");
+            assert!(
+                (100..150).contains(&t.0),
+                "target {t} outside its community"
+            );
         }
     }
 

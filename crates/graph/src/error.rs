@@ -42,7 +42,10 @@ impl fmt::Display for GraphError {
                 "vertex id {vertex} out of range (graph declares {vertex_count} vertices)"
             ),
             GraphError::TooManyLabels => {
-                write!(f, "label alphabet exceeds the 65536-label capacity of LabelId")
+                write!(
+                    f,
+                    "label alphabet exceeds the 65536-label capacity of LabelId"
+                )
             }
         }
     }

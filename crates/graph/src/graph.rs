@@ -220,7 +220,11 @@ mod tests {
     fn raw_and_typed_neighbors_agree() {
         let g = diamond();
         let a = g.labels().get("a").unwrap();
-        let typed: Vec<u32> = g.out_neighbors(VertexId(0), a).iter().map(|v| v.0).collect();
+        let typed: Vec<u32> = g
+            .out_neighbors(VertexId(0), a)
+            .iter()
+            .map(|v| v.0)
+            .collect();
         assert_eq!(typed, g.out_neighbors_raw(0, a));
     }
 }

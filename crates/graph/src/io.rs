@@ -33,12 +33,13 @@ pub fn read_tsv(reader: impl Read) -> Result<Graph, GraphError> {
         }
         let mut parts = trimmed.split('\t');
         let src = parse_vertex(parts.next(), line_no, "source")?;
-        let label = parts.next().filter(|s| !s.is_empty()).ok_or_else(|| {
-            GraphError::Parse {
+        let label = parts
+            .next()
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| GraphError::Parse {
                 line: line_no,
                 message: "missing label field".into(),
-            }
-        })?;
+            })?;
         let dst = parse_vertex(parts.next(), line_no, "target")?;
         if parts.next().is_some() {
             return Err(GraphError::Parse {

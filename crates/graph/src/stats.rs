@@ -38,8 +38,10 @@ impl GraphStats {
     pub fn compute(graph: &Graph) -> GraphStats {
         let n = graph.vertex_count();
         let l = graph.label_count();
-        let label_frequencies: Vec<u64> =
-            graph.label_ids().map(|id| graph.label_frequency(id)).collect();
+        let label_frequencies: Vec<u64> = graph
+            .label_ids()
+            .map(|id| graph.label_frequency(id))
+            .collect();
 
         let mut max_out = 0usize;
         let mut total_out = 0usize;

@@ -42,7 +42,9 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(HistogramError::EmptyData.to_string().contains("empty"));
-        assert!(HistogramError::ZeroBuckets.to_string().contains("at least 1"));
+        assert!(HistogramError::ZeroBuckets
+            .to_string()
+            .contains("at least 1"));
         let e = HistogramError::ExactTooLarge {
             domain: 100000,
             limit: 4096,

@@ -203,7 +203,10 @@ mod tests {
     fn validate_detects_gap() {
         let data = [1u64, 2, 3, 4];
         let h = Histogram {
-            buckets: vec![Bucket::from_range(&data, 0, 1), Bucket::from_range(&data, 3, 3)],
+            buckets: vec![
+                Bucket::from_range(&data, 0, 1),
+                Bucket::from_range(&data, 3, 3),
+            ],
             domain_size: 4,
             starts: vec![0, 3],
         };

@@ -167,7 +167,10 @@ mod tests {
         let truths = [10u64, 10, 10];
         let est = [5.0, 5.0, 5.0];
         let r = AccuracyReport::evaluate(&est, &truths);
-        assert!(r.mean_signed_error_rate < 0.0, "should report underestimation");
+        assert!(
+            r.mean_signed_error_rate < 0.0,
+            "should report underestimation"
+        );
         assert!((r.rmse - 5.0).abs() < 1e-12);
     }
 

@@ -191,10 +191,10 @@ fn greedy_merge_ends(data: &[u64], beta: usize) -> Vec<usize> {
         .collect();
     // Doubly linked list over alive segments (usize::MAX = none).
     const NONE: usize = usize::MAX;
-    let mut next: Vec<usize> = (0..n).map(|i| if i + 1 < n { i + 1 } else { NONE }).collect();
-    let mut prev_l: Vec<usize> = (0..n)
-        .map(|i| if i > 0 { i - 1 } else { NONE })
+    let mut next: Vec<usize> = (0..n)
+        .map(|i| if i + 1 < n { i + 1 } else { NONE })
         .collect();
+    let mut prev_l: Vec<usize> = (0..n).map(|i| if i > 0 { i - 1 } else { NONE }).collect();
 
     // Min-heap of merge candidates: (cost, left segment, left/right versions).
     let mut heap: BinaryHeap<Reverse<(TotalF64, usize, u32, u32)>> = BinaryHeap::new();
@@ -230,12 +230,22 @@ fn greedy_merge_ends(data: &[u64], beta: usize) -> Vec<usize> {
         // New candidates with both neighbors.
         if rn != NONE {
             let cost = merge_cost(&segs, l, rn, &prefix);
-            heap.push(Reverse((TotalF64(cost), l, segs[l].version, segs[rn].version)));
+            heap.push(Reverse((
+                TotalF64(cost),
+                l,
+                segs[l].version,
+                segs[rn].version,
+            )));
         }
         let lp = prev_l[l];
         if lp != NONE {
             let cost = merge_cost(&segs, lp, l, &prefix);
-            heap.push(Reverse((TotalF64(cost), lp, segs[lp].version, segs[l].version)));
+            heap.push(Reverse((
+                TotalF64(cost),
+                lp,
+                segs[lp].version,
+                segs[l].version,
+            )));
         }
     }
 
@@ -315,7 +325,9 @@ mod tests {
         let mut x = 123456789u64;
         let data: Vec<u64> = (0..80)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 33) % 1000
             })
             .collect();
@@ -344,7 +356,10 @@ mod tests {
         };
         assert!(matches!(
             b.build(&data, 4),
-            Err(HistogramError::ExactTooLarge { domain: 100, limit: 50 })
+            Err(HistogramError::ExactTooLarge {
+                domain: 100,
+                limit: 50
+            })
         ));
     }
 

@@ -1,9 +1,7 @@
 //! Property tests for histogram construction and estimation invariants.
 
 use phe_histogram::builder::{EquiDepth, EquiWidth, HistogramBuilder, VOptimal};
-use phe_histogram::{
-    error_rate, EndBiasedHistogram, Histogram, PointEstimator, PrefixSums,
-};
+use phe_histogram::{error_rate, EndBiasedHistogram, Histogram, PointEstimator, PrefixSums};
 use proptest::prelude::*;
 
 fn arb_data() -> impl Strategy<Value = Vec<u64>> {
@@ -20,9 +18,19 @@ fn all_builders() -> Vec<Box<dyn HistogramBuilder>> {
     ]
 }
 
-fn check_partition(h: &Histogram, data: &[u64], beta: usize, name: &str) -> Result<(), TestCaseError> {
+fn check_partition(
+    h: &Histogram,
+    data: &[u64],
+    beta: usize,
+    name: &str,
+) -> Result<(), TestCaseError> {
     prop_assert!(h.validate().is_ok(), "{name}: {:?}", h.validate());
-    prop_assert_eq!(h.bucket_count(), beta.min(data.len()), "{} bucket count", name);
+    prop_assert_eq!(
+        h.bucket_count(),
+        beta.min(data.len()),
+        "{} bucket count",
+        name
+    );
     // Bucket stats are consistent with the data.
     for b in h.buckets() {
         let slice = &data[b.lo..=b.hi];

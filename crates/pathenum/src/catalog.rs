@@ -33,7 +33,15 @@ impl SelectivityCatalog {
             path.push(label);
             counts[encoding.encode(&path)] = rel.pair_count();
             if !rel.is_empty() && k > 1 {
-                extend_recursive(graph, &encoding, &mut counts, &rel, &mut path, &mut scratch, k);
+                extend_recursive(
+                    graph,
+                    &encoding,
+                    &mut counts,
+                    &rel,
+                    &mut path,
+                    &mut scratch,
+                    k,
+                );
             }
             path.pop();
         }

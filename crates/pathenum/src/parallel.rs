@@ -39,9 +39,9 @@ pub fn compute_parallel(graph: &Graph, k: usize, threads: usize) -> SelectivityC
     let next_task = AtomicUsize::new(0);
     let global: Mutex<Vec<u64>> = Mutex::new(vec![0u64; size]);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 let mut local = vec![0u64; size];
                 let mut scratch = FixedBitSet::new(graph.vertex_count());
                 let mut path = Vec::with_capacity(k);
@@ -58,7 +58,15 @@ pub fn compute_parallel(graph: &Graph, k: usize, threads: usize) -> SelectivityC
                     path.push(label);
                     local[encoding.encode(&path)] += rel.pair_count();
                     if k > 1 {
-                        extend(graph, &encoding, &mut local, &rel, &mut path, &mut scratch, k);
+                        extend(
+                            graph,
+                            &encoding,
+                            &mut local,
+                            &rel,
+                            &mut path,
+                            &mut scratch,
+                            k,
+                        );
                     }
                 }
                 let mut g = global.lock().expect("count mutex poisoned");
@@ -67,8 +75,7 @@ pub fn compute_parallel(graph: &Graph, k: usize, threads: usize) -> SelectivityC
                 }
             });
         }
-    })
-    .expect("catalog worker panicked");
+    });
 
     SelectivityCatalog::from_counts(encoding, global.into_inner().expect("count mutex poisoned"))
 }
@@ -120,7 +127,9 @@ mod tests {
         // Small deterministic pseudo-random graph without pulling in `rand`:
         // a linear congruential walk.
         let mut b = GraphBuilder::with_numeric_labels(n, labels);
-        let mut x = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut x = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         for _ in 0..(n as usize * 6) {
             x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
             let s = (x >> 33) as u32 % n;

@@ -119,7 +119,12 @@ impl PathRelation {
     ///
     /// `scratch` must have capacity ≥ `graph.vertex_count()`; it is used to
     /// de-duplicate targets per source and is left cleared.
-    pub fn compose(&self, graph: &Graph, label: LabelId, scratch: &mut FixedBitSet) -> PathRelation {
+    pub fn compose(
+        &self,
+        graph: &Graph,
+        label: LabelId,
+        scratch: &mut FixedBitSet,
+    ) -> PathRelation {
         debug_assert!(scratch.is_empty(), "scratch bitset must start cleared");
         debug_assert!(scratch.capacity() >= graph.vertex_count());
         let csr = graph.forward_csr(label);

@@ -134,7 +134,12 @@ mod tests {
                 seed: 1,
             },
         );
-        for path in [vec![l(0)], vec![l(1)], vec![l(0), l(1)], vec![l(0), l(0), l(1)]] {
+        for path in [
+            vec![l(0)],
+            vec![l(1)],
+            vec![l(0), l(1)],
+            vec![l(0), l(0), l(1)],
+        ] {
             let exact = crate::naive::selectivity(&g, &path);
             assert_eq!(est.estimate(&path), exact as f64, "path {path:?}");
         }
@@ -170,7 +175,12 @@ mod tests {
             .estimate(&path);
             (est - exact).abs()
         };
-        assert!(err(51) <= err(4) + 1e-9, "51-sample not better: {} vs {}", err(51), err(4));
+        assert!(
+            err(51) <= err(4) + 1e-9,
+            "51-sample not better: {} vs {}",
+            err(51),
+            err(4)
+        );
         assert_eq!(err(51), 0.0, "covering sample must be exact");
     }
 

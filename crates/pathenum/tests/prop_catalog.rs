@@ -6,15 +6,17 @@ use phe_pathenum::{naive, parallel, PathRelation, SelectivityCatalog};
 use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = (phe_graph::Graph, u16)> {
-    (2u16..4, prop::collection::vec((0u32..25, 0u16..4, 0u32..25), 1..120)).prop_map(
-        |(labels, edges)| {
+    (
+        2u16..4,
+        prop::collection::vec((0u32..25, 0u16..4, 0u32..25), 1..120),
+    )
+        .prop_map(|(labels, edges)| {
             let mut b = GraphBuilder::with_numeric_labels(25, labels);
             for (s, l, t) in edges {
                 b.add_edge(VertexId(s), LabelId(l % labels), VertexId(t));
             }
             (b.build(), labels)
-        },
-    )
+        })
 }
 
 proptest! {

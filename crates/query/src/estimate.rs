@@ -80,7 +80,10 @@ impl IndependenceBaseline {
     /// Builds from a graph.
     pub fn from_graph(graph: &phe_graph::Graph) -> Self {
         IndependenceBaseline::new(
-            graph.label_ids().map(|l| graph.label_frequency(l)).collect(),
+            graph
+                .label_ids()
+                .map(|l| graph.label_frequency(l))
+                .collect(),
             graph.vertex_count(),
         )
     }
@@ -165,7 +168,10 @@ mod tests {
         let g = b.build();
         let adapter = SamplingAdapter::new(SamplingEstimator::new(
             &g,
-            phe_pathenum::SamplingConfig { sample_size: usize::MAX, seed: 1 },
+            phe_pathenum::SamplingConfig {
+                sample_size: usize::MAX,
+                seed: 1,
+            },
         ));
         assert_eq!(adapter.estimate(&[LabelId(0)]), 20.0);
         assert_eq!(adapter.name(), "sampling");

@@ -29,6 +29,17 @@
 //! let report = execute(&g, &plan);
 //! assert_eq!(report.result.pair_count(), 1); // 0 -> 3
 //! ```
+//!
+//! ## Serving
+//!
+//! In production the optimizer does not own the estimator: statistics are
+//! built offline, snapshotted, and served by a long-lived process. The
+//! `phe-service` crate provides that tier — an estimator registry with
+//! snapshot hot-swap, batched estimation with an LRU estimate cache, and
+//! a TCP protocol (`phe serve` / `phe query --remote`). An optimizer
+//! session maps naturally onto one batched request: collect the candidate
+//! paths for a plan search, estimate them in one round trip (answered
+//! consistently by a single estimator generation), then optimize locally.
 
 pub mod estimate;
 pub mod exec;

@@ -79,7 +79,12 @@ fn build_plan(
 /// its estimated cost — used by tests and the plan-quality experiment to
 /// rank the optimizer's choice among all alternatives.
 pub fn enumerate_plans(query: &[LabelId], estimator: &dyn CardinalityEstimator) -> Vec<Plan> {
-    fn rec(query: &[LabelId], estimator: &dyn CardinalityEstimator, i: usize, j: usize) -> Vec<Plan> {
+    fn rec(
+        query: &[LabelId],
+        estimator: &dyn CardinalityEstimator,
+        i: usize,
+        j: usize,
+    ) -> Vec<Plan> {
         if j - i == 1 {
             return vec![Plan::Leaf {
                 label: query[i],

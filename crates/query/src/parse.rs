@@ -120,7 +120,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(QueryError::UnknownLabel("x".into()).to_string().contains("x"));
-        assert!(QueryError::TooLong { len: 9, max: 8 }.to_string().contains("9"));
+        assert!(QueryError::UnknownLabel("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(QueryError::TooLong { len: 9, max: 8 }
+            .to_string()
+            .contains("9"));
     }
 }

@@ -70,7 +70,10 @@ impl Plan {
         match self {
             Plan::Leaf { .. } => 0.0,
             Plan::Join { left, right, .. } => {
-                left.estimated() + right.estimated() + left.estimated_cost() + right.estimated_cost()
+                left.estimated()
+                    + right.estimated()
+                    + left.estimated_cost()
+                    + right.estimated_cost()
             }
         }
     }

@@ -37,10 +37,7 @@ pub fn stratified_workload(
     // Collect (canonical index, selectivity) for non-zero paths of the
     // requested length.
     let lo = catalog.encoding().offset_of_length(len);
-    let hi = lo + catalog
-        .encoding()
-        .label_count()
-        .pow(len as u32);
+    let hi = lo + catalog.encoding().label_count().pow(len as u32);
     let mut candidates: Vec<(usize, u64)> = (lo..hi)
         .filter_map(|i| {
             let f = catalog.selectivity_at(i);
@@ -48,7 +45,9 @@ pub fn stratified_workload(
         })
         .collect();
     if candidates.is_empty() {
-        return Workload { queries: Vec::new() };
+        return Workload {
+            queries: Vec::new(),
+        };
     }
     candidates.sort_by_key(|&(i, f)| (f, i));
 

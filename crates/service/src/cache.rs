@@ -1,0 +1,293 @@
+//! A sharded LRU cache for repeated path estimates.
+//!
+//! Path-selectivity workloads are heavily skewed (optimizers re-ask the
+//! same hot join paths), so a small cache in front of the histogram's
+//! three-stage sum-based lookup pays for itself quickly. Sharding by path
+//! hash keeps lock hold times short under concurrent batches; hit/miss
+//! counters are shared with [`crate::metrics::ServiceMetrics`] so the
+//! cumulative hit rate survives snapshot hot-swaps (each swap installs a
+//! fresh, cold cache — the *counters* must not reset with it).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use phe_core::LabelPath;
+
+/// Cumulative hit/miss counters, shared between cache generations.
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CacheCounters {
+    /// Total hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hits / (hits + misses), or 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let total = h + self.misses() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            h / total
+        }
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: LabelPath,
+    value: f64,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: a classic HashMap + intrusive-list LRU.
+struct Shard {
+    map: HashMap<LabelPath, usize>,
+    nodes: Vec<Node>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Shard {
+        Shard {
+            map: HashMap::with_capacity(capacity.min(1024)),
+            nodes: Vec::with_capacity(capacity.min(1024)),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn detach(&mut self, i: usize) {
+        let (prev, next) = (self.nodes[i].prev, self.nodes[i].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.nodes[i].prev = NIL;
+        self.nodes[i].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn get(&mut self, key: &LabelPath) -> Option<f64> {
+        let &i = self.map.get(key)?;
+        let value = self.nodes[i].value;
+        if self.head != i {
+            self.detach(i);
+            self.push_front(i);
+        }
+        Some(value)
+    }
+
+    fn insert(&mut self, key: LabelPath, value: f64) {
+        if let Some(&i) = self.map.get(&key) {
+            self.nodes[i].value = value;
+            if self.head != i {
+                self.detach(i);
+                self.push_front(i);
+            }
+            return;
+        }
+        let i = if self.nodes.len() < self.capacity {
+            self.nodes.push(Node {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.nodes.len() - 1
+        } else {
+            // Evict the least recently used entry and reuse its node.
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.detach(victim);
+            self.map.remove(&self.nodes[victim].key);
+            self.nodes[victim] = Node {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            };
+            victim
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+    }
+}
+
+/// The sharded LRU estimate cache.
+pub struct ShardedLruCache {
+    shards: Vec<Mutex<Shard>>,
+    counters: Arc<CacheCounters>,
+}
+
+impl ShardedLruCache {
+    /// Number of shards (power of two so the hash → shard map is a mask).
+    pub const SHARDS: usize = 16;
+
+    /// A cache holding up to ~`capacity` entries, reporting into
+    /// `counters`.
+    pub fn new(capacity: usize, counters: Arc<CacheCounters>) -> ShardedLruCache {
+        let per_shard = capacity.div_ceil(Self::SHARDS).max(1);
+        ShardedLruCache {
+            shards: (0..Self::SHARDS)
+                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .collect(),
+            counters,
+        }
+    }
+
+    fn shard_for(&self, path: &LabelPath) -> &Mutex<Shard> {
+        // FNV-1a over the packed labels: cheap and well-mixed for the
+        // short u16 sequences paths are.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &l in &path.as_slice()[..path.len()] {
+            h ^= l as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= path.len() as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        &self.shards[(h as usize) & (Self::SHARDS - 1)]
+    }
+
+    /// Looks up a cached estimate, counting the hit or miss.
+    pub fn get(&self, path: &LabelPath) -> Option<f64> {
+        let result = self.shard_for(path).lock().get(path);
+        match result {
+            Some(_) => self.counters.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.counters.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        result
+    }
+
+    /// Inserts an estimate, evicting the shard's LRU entry if full.
+    pub fn insert(&self, path: LabelPath, value: f64) {
+        self.shard_for(&path).lock().insert(path, value);
+    }
+
+    /// Current number of cached entries (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phe_graph::LabelId;
+
+    fn path(labels: &[u16]) -> LabelPath {
+        let ids: Vec<LabelId> = labels.iter().map(|&l| LabelId(l)).collect();
+        LabelPath::new(&ids)
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let counters = Arc::new(CacheCounters::default());
+        let cache = ShardedLruCache::new(64, counters.clone());
+        let p = path(&[1, 2]);
+        assert_eq!(cache.get(&p), None);
+        cache.insert(p, 0.5);
+        assert_eq!(cache.get(&p), Some(0.5));
+        assert_eq!(counters.hits(), 1);
+        assert_eq!(counters.misses(), 1);
+        assert!((counters.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_per_shard() {
+        // Capacity 16 over 16 shards = 1 entry per shard: any two distinct
+        // paths landing in the same shard evict each other.
+        let cache = ShardedLruCache::new(16, Arc::new(CacheCounters::default()));
+        let mut same_shard = Vec::new();
+        for a in 0..200u16 {
+            let p = path(&[a]);
+            if std::ptr::eq(cache.shard_for(&p), cache.shard_for(&path(&[0]))) {
+                same_shard.push(p);
+            }
+            if same_shard.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(same_shard.len(), 2, "no shard collision in 200 paths?");
+        cache.insert(same_shard[0], 1.0);
+        cache.insert(same_shard[1], 2.0);
+        assert_eq!(cache.get(&same_shard[0]), None, "LRU entry should evict");
+        assert_eq!(cache.get(&same_shard[1]), Some(2.0));
+    }
+
+    #[test]
+    fn recently_used_survives_eviction() {
+        let cache = ShardedLruCache::new(
+            ShardedLruCache::SHARDS * 2,
+            Arc::new(CacheCounters::default()),
+        );
+        // Find three paths in one shard; touch the first, insert the
+        // third: the second (LRU) must go.
+        let reference = path(&[0]);
+        let mut trio = Vec::new();
+        for a in 0..2000u16 {
+            let p = path(&[a, 1]);
+            if std::ptr::eq(cache.shard_for(&p), cache.shard_for(&reference)) {
+                trio.push(p);
+            }
+            if trio.len() == 3 {
+                break;
+            }
+        }
+        assert_eq!(trio.len(), 3);
+        cache.insert(trio[0], 1.0);
+        cache.insert(trio[1], 2.0);
+        assert_eq!(cache.get(&trio[0]), Some(1.0)); // refresh
+        cache.insert(trio[2], 3.0); // evicts trio[1]
+        assert_eq!(cache.get(&trio[0]), Some(1.0));
+        assert_eq!(cache.get(&trio[1]), None);
+        assert_eq!(cache.get(&trio[2]), Some(3.0));
+    }
+
+    #[test]
+    fn updates_replace_in_place() {
+        let cache = ShardedLruCache::new(8, Arc::new(CacheCounters::default()));
+        let p = path(&[3, 4, 5]);
+        cache.insert(p, 1.0);
+        cache.insert(p, 9.0);
+        assert_eq!(cache.get(&p), Some(9.0));
+        assert_eq!(cache.len(), 1);
+    }
+}

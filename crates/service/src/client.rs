@@ -1,0 +1,179 @@
+//! A small blocking client for the NDJSON protocol — what `phe query
+//! --remote` and the integration tests drive.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use serde_json::Value;
+
+use crate::protocol::{PathStep, Request};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server answered, but not with valid protocol JSON.
+    Malformed(String),
+    /// The server answered `ok: false`.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Malformed(m) => write!(f, "malformed response: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A batched estimate answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchEstimates {
+    /// The generation that served the whole batch.
+    pub version: u64,
+    /// One estimate per requested path, in order.
+    pub estimates: Vec<f64>,
+}
+
+/// One connection to a serving process.
+pub struct ServiceClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServiceClient {
+    /// Connects (10 s read timeout — estimation is microseconds; anything
+    /// slower means the server is gone).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<ServiceClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(ServiceClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and reads its response object.
+    pub fn roundtrip(&mut self, request: &Request) -> Result<Value, ClientError> {
+        let line = request.to_line();
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        let value: Value = serde_json::from_str(response.trim())
+            .map_err(|e| ClientError::Malformed(e.to_string()))?;
+        match value.get("ok") {
+            Some(Value::Bool(true)) => Ok(value),
+            Some(Value::Bool(false)) => Err(ClientError::Server(
+                value
+                    .get("error")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unknown error")
+                    .to_owned(),
+            )),
+            _ => Err(ClientError::Malformed(format!(
+                "response without ok field: {value:?}"
+            ))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.roundtrip(&Request::Ping).map(|_| ())
+    }
+
+    /// Batched estimation.
+    pub fn estimate(
+        &mut self,
+        estimator: &str,
+        paths: Vec<Vec<PathStep>>,
+    ) -> Result<BatchEstimates, ClientError> {
+        let response = self.roundtrip(&Request::Estimate {
+            estimator: estimator.to_owned(),
+            paths,
+        })?;
+        let version = response
+            .get("version")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ClientError::Malformed("missing version".into()))?;
+        let estimates = response
+            .get("estimates")
+            .and_then(Value::as_array)
+            .ok_or_else(|| ClientError::Malformed("missing estimates".into()))?
+            .iter()
+            .map(|v| {
+                v.as_f64()
+                    .ok_or_else(|| ClientError::Malformed(format!("non-numeric estimate {v:?}")))
+            })
+            .collect::<Result<Vec<f64>, _>>()?;
+        Ok(BatchEstimates { version, estimates })
+    }
+
+    /// Asks the server to load/hot-swap a snapshot file; returns the new
+    /// version.
+    pub fn load(&mut self, name: &str, snapshot_path: &str) -> Result<u64, ClientError> {
+        let response = self.roundtrip(&Request::Load {
+            name: name.to_owned(),
+            snapshot: snapshot_path.to_owned(),
+        })?;
+        response
+            .get("version")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ClientError::Malformed("missing version".into()))
+    }
+
+    /// Lists registered estimators as `(name, version, k, description)`.
+    pub fn list(&mut self) -> Result<Vec<(String, u64, usize, String)>, ClientError> {
+        let response = self.roundtrip(&Request::List)?;
+        let entries = response
+            .get("estimators")
+            .and_then(Value::as_array)
+            .ok_or_else(|| ClientError::Malformed("missing estimators".into()))?;
+        entries
+            .iter()
+            .map(|e| {
+                Ok((
+                    e.get("name")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| ClientError::Malformed("entry without name".into()))?
+                        .to_owned(),
+                    e.get("version").and_then(Value::as_u64).unwrap_or(0),
+                    e.get("k").and_then(Value::as_u64).unwrap_or(0) as usize,
+                    e.get("description")
+                        .and_then(Value::as_str)
+                        .unwrap_or("")
+                        .to_owned(),
+                ))
+            })
+            .collect()
+    }
+
+    /// Fetches the server's metrics object.
+    pub fn metrics(&mut self) -> Result<Value, ClientError> {
+        let response = self.roundtrip(&Request::Metrics)?;
+        response
+            .get("metrics")
+            .cloned()
+            .ok_or_else(|| ClientError::Malformed("missing metrics".into()))
+    }
+}

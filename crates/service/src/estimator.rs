@@ -1,0 +1,240 @@
+//! The servable estimator: a restored label-path histogram plus the
+//! name → id resolution a remote caller needs, with panic-free
+//! validation on every query path.
+
+use std::collections::HashMap;
+
+use phe_core::snapshot::{EstimatorSnapshot, SnapshotError};
+use phe_core::{LabelPath, LabelPathHistogram, PathSelectivityEstimator};
+use phe_graph::LabelId;
+
+/// Why an estimate request was rejected. The core estimator panics on
+/// contract violations (it trusts the optimizer driving it); a service
+/// must instead refuse bad input and keep running.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EstimateError {
+    /// The path had no steps.
+    EmptyPath,
+    /// The path exceeds the `k` the statistics were built for.
+    TooLong {
+        /// Requested path length.
+        len: usize,
+        /// Maximum supported length.
+        k: usize,
+    },
+    /// A label name not present in the statistics.
+    UnknownLabel(String),
+    /// A numeric label id out of range.
+    UnknownLabelId(u16),
+}
+
+impl std::fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EstimateError::EmptyPath => write!(f, "empty label path"),
+            EstimateError::TooLong { len, k } => {
+                write!(f, "path has {len} steps but the statistics cover k <= {k}")
+            }
+            EstimateError::UnknownLabel(name) => write!(f, "unknown label {name:?}"),
+            EstimateError::UnknownLabelId(id) => write!(f, "unknown label id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+/// An immutable, thread-safe estimator ready to answer path-selectivity
+/// queries: the retained histogram, plus label-name resolution.
+///
+/// Build one [`from_snapshot`](ServableEstimator::from_snapshot) (the
+/// "ship statistics to the serving tier" workflow) or
+/// [`from_estimator`](ServableEstimator::from_estimator) (serve straight
+/// out of a build). All methods take `&self`; share it via `Arc` — the
+/// registry does exactly that.
+pub struct ServableEstimator {
+    label_names: Vec<String>,
+    by_name: HashMap<String, LabelId>,
+    k: usize,
+    histogram: LabelPathHistogram,
+    /// Human-readable provenance, e.g. `"sum-based/v-optimal-greedy β=64"`.
+    description: String,
+}
+
+impl ServableEstimator {
+    /// Restores a servable estimator from a snapshot.
+    ///
+    /// # Errors
+    /// Propagates [`SnapshotError`] for corrupt or unsupported snapshots.
+    pub fn from_snapshot(snapshot: &EstimatorSnapshot) -> Result<ServableEstimator, SnapshotError> {
+        let histogram = snapshot.restore()?;
+        Ok(Self::from_parts(
+            snapshot.label_names.clone(),
+            snapshot.k,
+            histogram,
+            format!(
+                "{} β={} (restored snapshot)",
+                snapshot.ordering.name(),
+                snapshot.beta
+            ),
+        ))
+    }
+
+    /// Converts a freshly built estimator, dropping its catalog (the
+    /// serving tier retains only the histogram-sized state).
+    pub fn from_estimator(estimator: PathSelectivityEstimator) -> ServableEstimator {
+        let (config, label_names, histogram) = estimator.into_serving_parts();
+        Self::from_parts(
+            label_names,
+            config.k,
+            histogram,
+            format!("{} β={}", config.ordering.name(), config.beta),
+        )
+    }
+
+    fn from_parts(
+        label_names: Vec<String>,
+        k: usize,
+        histogram: LabelPathHistogram,
+        description: String,
+    ) -> ServableEstimator {
+        let by_name = label_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), LabelId(i as u16)))
+            .collect();
+        ServableEstimator {
+            label_names,
+            by_name,
+            k,
+            histogram,
+            description,
+        }
+    }
+
+    /// Maximum supported path length.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of labels in the statistics' alphabet.
+    pub fn label_count(&self) -> usize {
+        self.label_names.len()
+    }
+
+    /// Provenance string for listings.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Resolves a label name.
+    pub fn resolve(&self, name: &str) -> Result<LabelId, EstimateError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| EstimateError::UnknownLabel(name.to_owned()))
+    }
+
+    /// Validates a raw id sequence into a [`LabelPath`].
+    pub fn validate(&self, labels: &[LabelId]) -> Result<LabelPath, EstimateError> {
+        if labels.is_empty() {
+            return Err(EstimateError::EmptyPath);
+        }
+        if labels.len() > self.k {
+            return Err(EstimateError::TooLong {
+                len: labels.len(),
+                k: self.k,
+            });
+        }
+        for l in labels {
+            if l.index() >= self.label_names.len() {
+                return Err(EstimateError::UnknownLabelId(l.0));
+            }
+        }
+        Ok(LabelPath::new(labels))
+    }
+
+    /// Estimated selectivity for an already-validated path.
+    pub fn estimate(&self, path: &LabelPath) -> f64 {
+        self.histogram.estimate(path)
+    }
+
+    /// Validates and estimates in one step.
+    pub fn estimate_labels(&self, labels: &[LabelId]) -> Result<f64, EstimateError> {
+        Ok(self.estimate(&self.validate(labels)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phe_core::{EstimatorConfig, HistogramKind, OrderingKind};
+    use phe_datasets::{erdos_renyi, LabelDistribution};
+
+    fn servable() -> ServableEstimator {
+        let g = erdos_renyi(50, 300, 3, LabelDistribution::Zipf { exponent: 1.0 }, 5);
+        let est = PathSelectivityEstimator::build(
+            &g,
+            EstimatorConfig {
+                k: 3,
+                beta: 16,
+                ordering: OrderingKind::SumBased,
+                histogram: HistogramKind::VOptimalGreedy,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        ServableEstimator::from_estimator(est)
+    }
+
+    #[test]
+    fn estimates_match_across_construction_paths() {
+        let g = erdos_renyi(50, 300, 3, LabelDistribution::Zipf { exponent: 1.0 }, 5);
+        let config = EstimatorConfig {
+            k: 3,
+            beta: 16,
+            ordering: OrderingKind::SumBased,
+            histogram: HistogramKind::VOptimalGreedy,
+            threads: 1,
+        };
+        let est = PathSelectivityEstimator::build(&g, config).unwrap();
+        let snapshot = est.snapshot().unwrap();
+        let from_snapshot = ServableEstimator::from_snapshot(&snapshot).unwrap();
+        let from_est = ServableEstimator::from_estimator(est);
+        for l1 in 0..3u16 {
+            for l2 in 0..3u16 {
+                let path = [LabelId(l1), LabelId(l2)];
+                assert_eq!(
+                    from_snapshot.estimate_labels(&path).unwrap(),
+                    from_est.estimate_labels(&path).unwrap(),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bad_input_is_refused_not_panicking() {
+        let s = servable();
+        assert_eq!(s.estimate_labels(&[]), Err(EstimateError::EmptyPath));
+        assert_eq!(
+            s.estimate_labels(&[LabelId(0); 4]),
+            Err(EstimateError::TooLong { len: 4, k: 3 })
+        );
+        assert_eq!(
+            s.estimate_labels(&[LabelId(200)]),
+            Err(EstimateError::UnknownLabelId(200))
+        );
+        assert!(matches!(
+            s.resolve("no-such-label"),
+            Err(EstimateError::UnknownLabel(_))
+        ));
+    }
+
+    #[test]
+    fn resolves_names_to_ids() {
+        let s = servable();
+        for i in 0..s.label_count() {
+            let name = s.label_names[i].clone();
+            assert_eq!(s.resolve(&name).unwrap(), LabelId(i as u16));
+        }
+    }
+}

@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+
+//! # phe-service — concurrent estimation serving
+//!
+//! Everything below `phe-service` in this workspace is batch-shaped:
+//! build an estimator, run a table, exit. This crate turns the estimator
+//! into what a production query optimizer actually consumes — a
+//! **long-lived, concurrently queryable statistics service**:
+//!
+//! * [`registry::EstimatorRegistry`] — named serving slots holding
+//!   `Arc`-swappable [`registry::ServingEstimator`] generations. A rebuilt
+//!   snapshot **hot-swaps** in atomically; in-flight readers keep the
+//!   generation they pinned, so no request ever sees a torn estimator.
+//! * [`registry::ServingEstimator::estimate_batch`] — batched estimation
+//!   that amortizes registry lookup, metrics, and protocol overhead over
+//!   many paths, fronted by a sharded LRU [`cache::ShardedLruCache`] with
+//!   hit/miss counters (optimizer workloads re-ask hot join paths
+//!   constantly).
+//! * [`server::Server`] — a std-only TCP serving loop (acceptor + worker
+//!   pool, newline-delimited JSON, see [`protocol`]) exposed through the
+//!   `phe serve` and `phe query --remote` CLI subcommands.
+//! * [`metrics::ServiceMetrics`] — qps, p50/p99 latency, cache hit rate;
+//!   the serve loop prints the report on SIGINT/shutdown.
+//!
+//! ## In-process quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use phe_core::{EstimatorConfig, PathSelectivityEstimator};
+//! use phe_datasets::{erdos_renyi, LabelDistribution};
+//! use phe_graph::LabelId;
+//! use phe_service::estimator::ServableEstimator;
+//! use phe_service::registry::EstimatorRegistry;
+//!
+//! let g = erdos_renyi(60, 240, 3, LabelDistribution::Zipf { exponent: 1.0 }, 7);
+//! let est = PathSelectivityEstimator::build(&g, EstimatorConfig {
+//!     k: 3, beta: 16, threads: 1, ..EstimatorConfig::default()
+//! }).unwrap();
+//!
+//! let registry = Arc::new(EstimatorRegistry::with_default_counters());
+//! registry.register("main", ServableEstimator::from_estimator(est));
+//!
+//! // Pin a generation, serve a batch; hot-swaps never disturb it.
+//! let generation = registry.get("main").unwrap();
+//! let estimates = generation
+//!     .estimate_id_batch(&[vec![LabelId(0), LabelId(1)], vec![LabelId(2)]])
+//!     .unwrap();
+//! assert_eq!(estimates.len(), 2);
+//! ```
+//!
+//! Over the wire, the same batch is one NDJSON line — see [`protocol`]
+//! for the full op set and [`client::ServiceClient`] for the blocking
+//! client.
+
+pub mod cache;
+pub mod client;
+pub mod estimator;
+pub mod metrics;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use cache::{CacheCounters, ShardedLruCache};
+pub use client::{BatchEstimates, ClientError, ServiceClient};
+pub use estimator::{EstimateError, ServableEstimator};
+pub use metrics::{MetricsReport, ServiceMetrics};
+pub use registry::{EstimatorRegistry, ServingEstimator};
+pub use server::{install_sigint_flag, load_snapshot, Server, ServerConfig};

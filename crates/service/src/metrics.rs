@@ -1,0 +1,257 @@
+//! Service-level metrics: request counts, throughput, latency quantiles,
+//! and cache hit rate.
+//!
+//! Latency is tracked in a fixed array of power-of-two nanosecond buckets
+//! — lock-free to record (one atomic add), and accurate to within its
+//! bucket width (≤ 2×) for quantile reads, which is plenty for a p50/p99
+//! operator report.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::cache::CacheCounters;
+
+const BUCKETS: usize = 64;
+
+/// Lock-free histogram over `[2^i, 2^(i+1))` nanosecond buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+        let bucket = (64 - ns.leading_zeros() as usize)
+            .saturating_sub(1)
+            .min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`), as the geometric midpoint
+    /// of the bucket where the cumulative count crosses `q`.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                let lo = if i == 0 { 0u64 } else { 1u64 << i };
+                let hi = 1u64.checked_shl(i as u32 + 1).unwrap_or(u64::MAX);
+                return Duration::from_nanos(lo / 2 + hi / 2);
+            }
+        }
+        Duration::from_nanos(u64::MAX)
+    }
+
+    /// Mean observation.
+    pub fn mean(&self) -> Duration {
+        let total = self.total_ns.load(Ordering::Relaxed);
+        match total.checked_div(self.count()) {
+            Some(mean) => Duration::from_nanos(mean),
+            None => Duration::ZERO,
+        }
+    }
+}
+
+/// Shared counters for one serving process.
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    started: Instant,
+    /// Protocol requests answered (a batch is one request).
+    requests: AtomicU64,
+    /// Individual paths estimated across all batches.
+    paths: AtomicU64,
+    /// Requests rejected with an error.
+    errors: AtomicU64,
+    /// Snapshot hot-swaps performed.
+    swaps: AtomicU64,
+    /// Per-request wall latency.
+    latency: LatencyHistogram,
+    /// Estimate-cache counters (shared with every cache generation).
+    cache: Arc<CacheCounters>,
+}
+
+impl ServiceMetrics {
+    /// Fresh metrics, clock started now.
+    pub fn new() -> ServiceMetrics {
+        ServiceMetrics {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            paths: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            latency: LatencyHistogram::default(),
+            cache: Arc::new(CacheCounters::default()),
+        }
+    }
+
+    /// The cache counters new cache generations should report into.
+    pub fn cache_counters(&self) -> Arc<CacheCounters> {
+        Arc::clone(&self.cache)
+    }
+
+    /// Records one answered request.
+    pub fn record_request(&self, paths: usize, latency: Duration, ok: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.paths.fetch_add(paths as u64, Ordering::Relaxed);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency.record(latency);
+    }
+
+    /// Records a snapshot hot-swap.
+    pub fn record_swap(&self) {
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time report.
+    pub fn report(&self) -> MetricsReport {
+        let elapsed = self.started.elapsed();
+        let requests = self.requests.load(Ordering::Relaxed);
+        MetricsReport {
+            uptime: elapsed,
+            requests,
+            paths: self.paths.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            qps: requests as f64 / elapsed.as_secs_f64().max(1e-9),
+            p50: self.latency.quantile(0.50),
+            p99: self.latency.quantile(0.99),
+            mean: self.latency.mean(),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_hit_rate: self.cache.hit_rate(),
+        }
+    }
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A printable snapshot of [`ServiceMetrics`].
+#[derive(Debug, Clone)]
+pub struct MetricsReport {
+    /// Time since the metrics were created.
+    pub uptime: Duration,
+    /// Requests answered.
+    pub requests: u64,
+    /// Paths estimated.
+    pub paths: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Snapshot hot-swaps performed.
+    pub swaps: u64,
+    /// Requests per second over the whole uptime.
+    pub qps: f64,
+    /// Median request latency.
+    pub p50: Duration,
+    /// 99th-percentile request latency.
+    pub p99: Duration,
+    /// Mean request latency.
+    pub mean: Duration,
+    /// Cumulative estimate-cache hits.
+    pub cache_hits: u64,
+    /// Cumulative estimate-cache misses.
+    pub cache_misses: u64,
+    /// hits / (hits + misses).
+    pub cache_hit_rate: f64,
+}
+
+impl std::fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "uptime           {:.1}s", self.uptime.as_secs_f64())?;
+        writeln!(
+            f,
+            "requests         {} ({} paths, {} errors, {} swaps)",
+            self.requests, self.paths, self.errors, self.swaps
+        )?;
+        writeln!(f, "throughput       {:.1} req/s", self.qps)?;
+        writeln!(
+            f,
+            "latency          p50 {:?}  p99 {:?}  mean {:?}",
+            self.p50, self.p99, self.mean
+        )?;
+        write!(
+            f,
+            "estimate cache   {:.1}% hit ({} hits / {} misses)",
+            self.cache_hit_rate * 100.0,
+            self.cache_hits,
+            self.cache_misses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_bracket_observations() {
+        let h = LatencyHistogram::default();
+        for _ in 0..90 {
+            h.record(Duration::from_micros(10)); // ~10_000 ns, bucket 13
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(10)); // ~10^7 ns, bucket 23
+        }
+        let p50 = h.quantile(0.5).as_nanos() as u64;
+        assert!((8_192..16_384 * 2).contains(&p50), "p50 = {p50} ns");
+        let p99 = h.quantile(0.99).as_nanos() as u64;
+        assert!((8_388_608..16_777_216 * 2).contains(&p99), "p99 = {p99} ns");
+        assert!(h.quantile(0.0) <= h.quantile(1.0));
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn report_counts_requests_and_errors() {
+        let m = ServiceMetrics::new();
+        m.record_request(8, Duration::from_micros(5), true);
+        m.record_request(1, Duration::from_micros(7), false);
+        m.record_swap();
+        let r = m.report();
+        assert_eq!(r.requests, 2);
+        assert_eq!(r.paths, 9);
+        assert_eq!(r.errors, 1);
+        assert_eq!(r.swaps, 1);
+        assert!(r.qps > 0.0);
+        let text = r.to_string();
+        assert!(text.contains("requests"), "{text}");
+        assert!(text.contains("estimate cache"), "{text}");
+    }
+}

@@ -1,0 +1,317 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line, over a plain TCP stream —
+//! trivially scriptable (`nc`, any language) and cheap to parse. Batched
+//! estimation is first-class: a single `estimate` request carries many
+//! paths and is answered by one pinned estimator generation.
+//!
+//! ```text
+//! → {"op":"ping"}
+//! ← {"ok":true}
+//! → {"op":"estimate","estimator":"main","paths":[["knows","likes"],[0,1]]}
+//! ← {"ok":true,"version":1,"estimates":[123.0,7.5]}
+//! → {"op":"list"}
+//! ← {"ok":true,"estimators":[{"name":"main","version":1,"k":3,"labels":4,"description":"sum-based β=64"}]}
+//! → {"op":"load","name":"main","snapshot":"/path/stats.json"}
+//! ← {"ok":true,"version":2}
+//! → {"op":"metrics"}
+//! ← {"ok":true,"metrics":{...}}
+//! ```
+//!
+//! Path steps may be label names (strings) or raw label ids (integers);
+//! a batch may mix both styles between paths.
+
+use serde_json::{Number, Value};
+
+use crate::metrics::MetricsReport;
+
+/// One step of a requested path: a label name or a raw id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathStep {
+    /// Resolve through the estimator's label names.
+    Name(String),
+    /// Use the id directly.
+    Id(u16),
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Batched estimation against a named estimator.
+    Estimate {
+        /// Registry slot name.
+        estimator: String,
+        /// The batch of paths.
+        paths: Vec<Vec<PathStep>>,
+    },
+    /// List registered estimators.
+    List,
+    /// Service metrics snapshot.
+    Metrics,
+    /// Load (or hot-swap) a snapshot file from the server's filesystem.
+    Load {
+        /// Registry slot name to publish under.
+        name: String,
+        /// Path to the snapshot JSON on the server host.
+        snapshot: String,
+    },
+}
+
+/// A protocol-level failure (malformed request line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError(pub String);
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn err(msg: impl Into<String>) -> ProtocolError {
+    ProtocolError(msg.into())
+}
+
+impl Request {
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<Request, ProtocolError> {
+        let value: Value =
+            serde_json::from_str(line).map_err(|e| err(format!("invalid JSON: {e}")))?;
+        let op = value
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or_else(|| err("missing string field \"op\""))?;
+        match op {
+            "ping" => Ok(Request::Ping),
+            "list" => Ok(Request::List),
+            "metrics" => Ok(Request::Metrics),
+            "estimate" => {
+                let estimator = value
+                    .get("estimator")
+                    .and_then(Value::as_str)
+                    .unwrap_or("default")
+                    .to_owned();
+                let paths_value = value
+                    .get("paths")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| err("estimate needs an array field \"paths\""))?;
+                let mut paths = Vec::with_capacity(paths_value.len());
+                for p in paths_value {
+                    let steps_value = p
+                        .as_array()
+                        .ok_or_else(|| err("each path must be an array of steps"))?;
+                    let mut steps = Vec::with_capacity(steps_value.len());
+                    for s in steps_value {
+                        steps.push(match s {
+                            Value::String(name) => PathStep::Name(name.clone()),
+                            Value::Number(n) => {
+                                let id = n
+                                    .as_u64()
+                                    .and_then(|v| u16::try_from(v).ok())
+                                    .ok_or_else(|| err(format!("label id {n:?} out of range")))?;
+                                PathStep::Id(id)
+                            }
+                            other => {
+                                return Err(err(format!(
+                                    "path step must be a name or id, got {other:?}"
+                                )))
+                            }
+                        });
+                    }
+                    paths.push(steps);
+                }
+                Ok(Request::Estimate { estimator, paths })
+            }
+            "load" => {
+                let name = value
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .unwrap_or("default")
+                    .to_owned();
+                let snapshot = value
+                    .get("snapshot")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| err("load needs a string field \"snapshot\""))?
+                    .to_owned();
+                Ok(Request::Load { name, snapshot })
+            }
+            other => Err(err(format!("unknown op {other:?}"))),
+        }
+    }
+
+    /// Serializes this request to one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let value = match self {
+            Request::Ping => Value::Object(vec![("op".into(), Value::string("ping"))]),
+            Request::List => Value::Object(vec![("op".into(), Value::string("list"))]),
+            Request::Metrics => Value::Object(vec![("op".into(), Value::string("metrics"))]),
+            Request::Estimate { estimator, paths } => {
+                let paths_value = Value::Array(
+                    paths
+                        .iter()
+                        .map(|p| {
+                            Value::Array(
+                                p.iter()
+                                    .map(|s| match s {
+                                        PathStep::Name(n) => Value::string(n.clone()),
+                                        PathStep::Id(id) => {
+                                            Value::Number(Number::PosInt(*id as u64))
+                                        }
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                );
+                Value::Object(vec![
+                    ("op".into(), Value::string("estimate")),
+                    ("estimator".into(), Value::string(estimator.clone())),
+                    ("paths".into(), paths_value),
+                ])
+            }
+            Request::Load { name, snapshot } => Value::Object(vec![
+                ("op".into(), Value::string("load")),
+                ("name".into(), Value::string(name.clone())),
+                ("snapshot".into(), Value::string(snapshot.clone())),
+            ]),
+        };
+        serde_json::to_string(&value).expect("request serialization is infallible")
+    }
+}
+
+/// Builds a success response carrying `fields`.
+pub fn ok_response(mut fields: Vec<(String, Value)>) -> String {
+    let mut all = vec![("ok".to_string(), Value::Bool(true))];
+    all.append(&mut fields);
+    serde_json::to_string(&Value::Object(all)).expect("response serialization is infallible")
+}
+
+/// Builds an error response.
+pub fn error_response(message: &str) -> String {
+    serde_json::to_string(&Value::Object(vec![
+        ("ok".to_string(), Value::Bool(false)),
+        ("error".to_string(), Value::string(message)),
+    ]))
+    .expect("response serialization is infallible")
+}
+
+/// Renders a metrics report as a JSON object.
+pub fn metrics_to_value(report: &MetricsReport) -> Value {
+    Value::Object(vec![
+        (
+            "uptime_seconds".into(),
+            Value::Number(Number::Float(report.uptime.as_secs_f64())),
+        ),
+        (
+            "requests".into(),
+            Value::Number(Number::PosInt(report.requests)),
+        ),
+        ("paths".into(), Value::Number(Number::PosInt(report.paths))),
+        (
+            "errors".into(),
+            Value::Number(Number::PosInt(report.errors)),
+        ),
+        ("swaps".into(), Value::Number(Number::PosInt(report.swaps))),
+        ("qps".into(), Value::Number(Number::Float(report.qps))),
+        (
+            "p50_us".into(),
+            Value::Number(Number::Float(report.p50.as_secs_f64() * 1e6)),
+        ),
+        (
+            "p99_us".into(),
+            Value::Number(Number::Float(report.p99.as_secs_f64() * 1e6)),
+        ),
+        (
+            "cache_hits".into(),
+            Value::Number(Number::PosInt(report.cache_hits)),
+        ),
+        (
+            "cache_misses".into(),
+            Value::Number(Number::PosInt(report.cache_misses)),
+        ),
+        (
+            "cache_hit_rate".into(),
+            Value::Number(Number::Float(report.cache_hit_rate)),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_mixed_name_and_id_paths() {
+        let r = Request::parse(
+            r#"{"op":"estimate","estimator":"main","paths":[["knows","likes"],[0,1]]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            r,
+            Request::Estimate {
+                estimator: "main".into(),
+                paths: vec![
+                    vec![
+                        PathStep::Name("knows".into()),
+                        PathStep::Name("likes".into())
+                    ],
+                    vec![PathStep::Id(0), PathStep::Id(1)],
+                ],
+            }
+        );
+    }
+
+    #[test]
+    fn round_trips_through_to_line() {
+        let requests = vec![
+            Request::Ping,
+            Request::List,
+            Request::Metrics,
+            Request::Estimate {
+                estimator: "default".into(),
+                paths: vec![vec![PathStep::Name("a".into()), PathStep::Id(3)]],
+            },
+            Request::Load {
+                name: "x".into(),
+                snapshot: "/tmp/s.json".into(),
+            },
+        ];
+        for r in requests {
+            assert_eq!(Request::parse(&r.to_line()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn estimator_defaults_to_default() {
+        let r = Request::parse(r#"{"op":"estimate","paths":[[1]]}"#).unwrap();
+        assert!(matches!(r, Request::Estimate { estimator, .. } if estimator == "default"));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse(r#"{"op":"nope"}"#).is_err());
+        assert!(Request::parse(r#"{"op":"estimate"}"#).is_err());
+        assert!(Request::parse(r#"{"op":"estimate","paths":[[true]]}"#).is_err());
+        assert!(Request::parse(r#"{"op":"estimate","paths":[[99999]]}"#).is_err());
+        assert!(Request::parse(r#"{"op":"load"}"#).is_err());
+        assert!(Request::parse(r#"{"paths":[[1]]}"#).is_err());
+    }
+
+    #[test]
+    fn responses_are_single_lines() {
+        let ok = ok_response(vec![(
+            "estimates".into(),
+            Value::Array(vec![Value::Number(Number::Float(1.5))]),
+        )]);
+        assert!(
+            ok.starts_with(r#"{"ok":true"#) && !ok.contains('\n'),
+            "{ok}"
+        );
+        let e = error_response("boom");
+        assert!(e.contains(r#""ok":false"#) && e.contains("boom"));
+    }
+}

@@ -1,0 +1,320 @@
+//! The estimator registry: named, hot-swappable serving slots.
+//!
+//! Each slot holds an `Arc<ServingEstimator>` behind a short write-locked
+//! swap: readers clone the `Arc` (nanoseconds), then work entirely
+//! lock-free against the pinned generation. A rebuild/refresh publishes a
+//! new generation with [`EstimatorRegistry::register`]; in-flight batches
+//! keep the generation they pinned, so **no request ever observes a
+//! half-swapped estimator** — the property the concurrent integration
+//! test exercises.
+//!
+//! Every generation carries its own cold [`ShardedLruCache`]; hit/miss
+//! counters live in the shared [`crate::metrics::ServiceMetrics`] so the
+//! cumulative rates survive swaps.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use phe_core::LabelPath;
+
+use crate::cache::{CacheCounters, ShardedLruCache};
+use crate::estimator::{EstimateError, ServableEstimator};
+
+/// One published generation: an immutable estimator plus its cache.
+pub struct ServingEstimator {
+    estimator: ServableEstimator,
+    cache: ShardedLruCache,
+    version: u64,
+}
+
+impl ServingEstimator {
+    /// The wrapped estimator.
+    pub fn estimator(&self) -> &ServableEstimator {
+        &self.estimator
+    }
+
+    /// Monotonic version of this generation within its slot (1-based).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Estimates one validated path through the cache.
+    pub fn estimate(&self, path: &LabelPath) -> f64 {
+        if let Some(v) = self.cache.get(path) {
+            return v;
+        }
+        let v = self.estimator.estimate(path);
+        self.cache.insert(*path, v);
+        v
+    }
+
+    /// Estimates a batch of validated paths. The whole batch is served by
+    /// this one generation, so its results are internally consistent even
+    /// if a hot-swap lands mid-batch.
+    pub fn estimate_batch(&self, paths: &[LabelPath]) -> Vec<f64> {
+        paths.iter().map(|p| self.estimate(p)).collect()
+    }
+
+    /// Validates raw label-id paths and estimates them as one batch.
+    ///
+    /// # Errors
+    /// The first validation failure aborts the batch — partial answers
+    /// would be ambiguous to the caller.
+    pub fn estimate_id_batch(
+        &self,
+        paths: &[Vec<phe_graph::LabelId>],
+    ) -> Result<Vec<f64>, EstimateError> {
+        let validated: Vec<LabelPath> = paths
+            .iter()
+            .map(|p| self.estimator.validate(p))
+            .collect::<Result<_, _>>()?;
+        Ok(self.estimate_batch(&validated))
+    }
+}
+
+struct Slot {
+    current: RwLock<Arc<ServingEstimator>>,
+}
+
+/// One row of [`EstimatorRegistry::list`], captured from a single
+/// generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EstimatorInfo {
+    /// Registry slot name.
+    pub name: String,
+    /// Current generation version.
+    pub version: u64,
+    /// Maximum supported path length.
+    pub k: usize,
+    /// Number of labels in the statistics' alphabet.
+    pub label_count: usize,
+    /// Provenance string.
+    pub description: String,
+}
+
+/// Named, concurrently readable, hot-swappable estimators.
+pub struct EstimatorRegistry {
+    slots: RwLock<HashMap<String, Arc<Slot>>>,
+    counters: Arc<CacheCounters>,
+    cache_capacity: usize,
+}
+
+impl EstimatorRegistry {
+    /// Default per-estimator cache capacity (entries).
+    pub const DEFAULT_CACHE_CAPACITY: usize = 16 * 1024;
+
+    /// An empty registry whose caches report into `counters`.
+    pub fn new(counters: Arc<CacheCounters>, cache_capacity: usize) -> EstimatorRegistry {
+        EstimatorRegistry {
+            slots: RwLock::new(HashMap::new()),
+            counters,
+            cache_capacity: cache_capacity.max(1),
+        }
+    }
+
+    /// An empty registry with stand-alone counters (tests, benches).
+    pub fn with_default_counters() -> EstimatorRegistry {
+        EstimatorRegistry::new(
+            Arc::new(CacheCounters::default()),
+            Self::DEFAULT_CACHE_CAPACITY,
+        )
+    }
+
+    /// Publishes `estimator` under `name`. If the slot exists this is a
+    /// **hot swap**: the new generation (with a fresh cold cache) becomes
+    /// visible atomically, while batches pinned to the old generation
+    /// finish undisturbed. Returns the new generation's version.
+    pub fn register(&self, name: &str, estimator: ServableEstimator) -> u64 {
+        // Fast path: swap an existing slot. The map read lock is held
+        // across the inner write so a concurrent `remove` (which needs
+        // the map write lock) cannot detach the slot between lookup and
+        // publish — registrations are never silently lost.
+        {
+            let slots = self.slots.read();
+            if let Some(slot) = slots.get(name) {
+                return self.swap_in(slot, estimator);
+            }
+        }
+        let mut slots = self.slots.write();
+        // Re-check: another thread may have created the slot between our
+        // read and this write lock.
+        if let Some(slot) = slots.get(name) {
+            return self.swap_in(slot, estimator);
+        }
+        slots.insert(
+            name.to_owned(),
+            Arc::new(Slot {
+                current: RwLock::new(Arc::new(self.generation(estimator, 1))),
+            }),
+        );
+        1
+    }
+
+    /// Installs a new generation into an existing slot; the caller holds a
+    /// map lock, so the slot cannot be detached concurrently.
+    fn swap_in(&self, slot: &Slot, estimator: ServableEstimator) -> u64 {
+        let mut current = slot.current.write();
+        let version = current.version() + 1;
+        *current = Arc::new(self.generation(estimator, version));
+        version
+    }
+
+    fn generation(&self, estimator: ServableEstimator, version: u64) -> ServingEstimator {
+        ServingEstimator {
+            estimator,
+            cache: ShardedLruCache::new(self.cache_capacity, Arc::clone(&self.counters)),
+            version,
+        }
+    }
+
+    /// Pins the current generation of `name` for reading. The returned
+    /// `Arc` stays valid (and internally consistent) across any number of
+    /// subsequent hot-swaps.
+    pub fn get(&self, name: &str) -> Option<Arc<ServingEstimator>> {
+        let slot = self.slots.read().get(name).cloned()?;
+        let generation = slot.current.read().clone();
+        Some(generation)
+    }
+
+    /// Removes a slot. In-flight readers keep their pinned generations.
+    pub fn remove(&self, name: &str) -> bool {
+        self.slots.write().remove(name).is_some()
+    }
+
+    /// Sorted listing, each row read from a single generation (so a
+    /// concurrent hot-swap never produces a row mixing two generations).
+    pub fn list(&self) -> Vec<EstimatorInfo> {
+        let mut entries: Vec<EstimatorInfo> = self
+            .slots
+            .read()
+            .iter()
+            .map(|(name, slot)| {
+                let generation = slot.current.read();
+                EstimatorInfo {
+                    name: name.clone(),
+                    version: generation.version(),
+                    k: generation.estimator().k(),
+                    label_count: generation.estimator().label_count(),
+                    description: generation.estimator().description().to_owned(),
+                }
+            })
+            .collect();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        entries
+    }
+
+    /// Number of registered estimators.
+    pub fn len(&self) -> usize {
+        self.slots.read().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// The registry is the object shared across every serving thread.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EstimatorRegistry>();
+    assert_send_sync::<ServingEstimator>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phe_core::{EstimatorConfig, HistogramKind, OrderingKind, PathSelectivityEstimator};
+    use phe_datasets::{erdos_renyi, LabelDistribution};
+    use phe_graph::LabelId;
+
+    fn servable(beta: usize) -> ServableEstimator {
+        let g = erdos_renyi(40, 240, 3, LabelDistribution::Zipf { exponent: 1.0 }, 11);
+        ServableEstimator::from_estimator(
+            PathSelectivityEstimator::build(
+                &g,
+                EstimatorConfig {
+                    k: 3,
+                    beta,
+                    ordering: OrderingKind::SumBased,
+                    histogram: HistogramKind::VOptimalGreedy,
+                    threads: 1,
+                },
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn register_get_roundtrip() {
+        let registry = EstimatorRegistry::with_default_counters();
+        assert!(registry.get("main").is_none());
+        assert_eq!(registry.register("main", servable(8)), 1);
+        let generation = registry.get("main").unwrap();
+        assert_eq!(generation.version(), 1);
+        let p = LabelPath::new(&[LabelId(0), LabelId(1)]);
+        // Cached value equals direct value.
+        let direct = generation.estimator().estimate(&p);
+        assert_eq!(generation.estimate(&p), direct);
+        assert_eq!(generation.estimate(&p), direct);
+    }
+
+    #[test]
+    fn hot_swap_bumps_version_and_preserves_pinned_readers() {
+        let registry = EstimatorRegistry::with_default_counters();
+        registry.register("main", servable(4));
+        let pinned = registry.get("main").unwrap();
+        assert_eq!(registry.register("main", servable(32)), 2);
+        // The pinned generation still answers with its own estimator.
+        let p = LabelPath::new(&[LabelId(1)]);
+        let old = pinned.estimate(&p);
+        assert_eq!(pinned.version(), 1);
+        let fresh = registry.get("main").unwrap();
+        assert_eq!(fresh.version(), 2);
+        // Old generation remains self-consistent.
+        assert_eq!(pinned.estimate(&p), old);
+    }
+
+    #[test]
+    fn batch_is_single_generation_consistent() {
+        let registry = EstimatorRegistry::with_default_counters();
+        registry.register("main", servable(16));
+        let generation = registry.get("main").unwrap();
+        let paths: Vec<Vec<LabelId>> = vec![
+            vec![LabelId(0)],
+            vec![LabelId(1), LabelId(2)],
+            vec![LabelId(2), LabelId(0), LabelId(1)],
+        ];
+        let batch = generation.estimate_id_batch(&paths).unwrap();
+        for (p, got) in paths.iter().zip(&batch) {
+            assert_eq!(*got, generation.estimator().estimate_labels(p).unwrap());
+        }
+    }
+
+    #[test]
+    fn invalid_path_fails_whole_batch() {
+        let registry = EstimatorRegistry::with_default_counters();
+        registry.register("main", servable(16));
+        let generation = registry.get("main").unwrap();
+        let paths = vec![vec![LabelId(0)], vec![LabelId(99)]];
+        assert!(matches!(
+            generation.estimate_id_batch(&paths),
+            Err(EstimateError::UnknownLabelId(99))
+        ));
+    }
+
+    #[test]
+    fn list_and_remove() {
+        let registry = EstimatorRegistry::with_default_counters();
+        registry.register("b", servable(8));
+        registry.register("a", servable(8));
+        let names: Vec<String> = registry.list().into_iter().map(|info| info.name).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        let info = &registry.list()[0];
+        assert_eq!((info.k, info.label_count, info.version), (3, 3, 1));
+        assert!(registry.remove("a"));
+        assert!(!registry.remove("a"));
+        assert_eq!(registry.len(), 1);
+    }
+}

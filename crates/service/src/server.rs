@@ -1,0 +1,471 @@
+//! The TCP serving loop: an acceptor thread feeding a fixed worker pool
+//! over a channel, std-only.
+//!
+//! Each worker owns one connection at a time and answers newline-delimited
+//! JSON requests against the shared [`EstimatorRegistry`]. Reads use a
+//! short timeout so workers notice shutdown promptly even with idle
+//! connections open. Per-request latency, path counts, and errors land in
+//! [`ServiceMetrics`]; the CLI prints the report on SIGINT/shutdown.
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use serde_json::{Number, Value};
+
+use crate::estimator::ServableEstimator;
+use crate::metrics::ServiceMetrics;
+use crate::protocol::{error_response, metrics_to_value, ok_response, PathStep, Request};
+use crate::registry::EstimatorRegistry;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (port 0 ⇒ ephemeral).
+    pub addr: String,
+    /// Worker threads (each serves one connection at a time).
+    pub workers: usize,
+    /// Whether `load` requests may read snapshot files from this host.
+    pub allow_load: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_owned(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get() * 2)
+                .unwrap_or(8),
+            allow_load: true,
+        }
+    }
+}
+
+/// A running server; dropping it does **not** stop the threads — call
+/// [`Server::shutdown`].
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts accepting. Returns once the listener is live, so
+    /// `local_addr` is immediately connectable (ephemeral ports included).
+    pub fn start(
+        registry: Arc<EstimatorRegistry>,
+        metrics: Arc<ServiceMetrics>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let worker_count = config.workers.max(1);
+        // Bounded queue: each worker owns one connection at a time, so
+        // connections beyond workers + backlog are refused with an error
+        // line instead of queueing (and hanging) unboundedly.
+        let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+            mpsc::sync_channel(worker_count * 4);
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut workers = Vec::with_capacity(worker_count);
+        for _ in 0..worker_count {
+            let rx = Arc::clone(&rx);
+            let registry = Arc::clone(&registry);
+            let metrics = Arc::clone(&metrics);
+            let stop = Arc::clone(&stop);
+            let allow_load = config.allow_load;
+            workers.push(std::thread::spawn(move || loop {
+                // Hold the receiver lock only to pull one connection.
+                let conn = {
+                    let guard = rx.lock();
+                    guard.recv_timeout(Duration::from_millis(100))
+                };
+                match conn {
+                    Ok(stream) => serve_connection(stream, &registry, &metrics, &stop, allow_load),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        if stop.load(Ordering::Acquire) {
+                            return;
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => return,
+                }
+            }));
+        }
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || loop {
+                match listener.accept() {
+                    Ok((stream, _peer)) => match tx.try_send(stream) {
+                        Ok(()) => {}
+                        Err(mpsc::TrySendError::Full(mut stream)) => {
+                            let _ = stream
+                                .write_all(
+                                    error_response("server at connection capacity").as_bytes(),
+                                )
+                                .and_then(|()| stream.write_all(b"\n"));
+                            // Dropped: the peer sees the error, then EOF.
+                        }
+                        Err(mpsc::TrySendError::Disconnected(_)) => return,
+                    },
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        if stop.load(Ordering::Acquire) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => {
+                        if stop.load(Ordering::Acquire) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                }
+            })
+        };
+
+        Ok(Server {
+            local_addr,
+            stop,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Signals shutdown and joins every thread. Idle connections are
+    /// noticed within the worker read timeout (~250 ms).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    registry: &EstimatorRegistry,
+    metrics: &ServiceMetrics,
+    stop: &AtomicBool,
+    allow_load: bool,
+) {
+    // A short read timeout lets the worker poll the stop flag while the
+    // peer is idle; the write timeout drops a peer that sends requests but
+    // never drains responses (otherwise a full send buffer would block
+    // the worker forever and wedge shutdown); TCP_NODELAY keeps one-line
+    // responses from waiting on Nagle.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    // Raw bytes, not a String: `read_until` keeps whatever it consumed
+    // before a timeout, so a request fragmented across timeouts
+    // reassembles — including fragments split mid multi-byte UTF-8
+    // character, which `read_line`'s validity guard would discard. The
+    // `take` bounds a single line: a peer streaming an endless
+    // unterminated line hits the cap instead of growing the buffer
+    // without limit.
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let budget = (MAX_REQUEST_BYTES + 1).saturating_sub(line.len()) as u64;
+        match std::io::Read::take(&mut reader, budget).read_until(b'\n', &mut line) {
+            Ok(0) if line.is_empty() => return, // peer closed
+            Ok(_) if line.len() > MAX_REQUEST_BYTES => {
+                metrics.record_request(0, Duration::ZERO, false);
+                let _ = writer
+                    .write_all(error_response("request line too large").as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"));
+                return;
+            }
+            // Ok(0) with buffered bytes: the peer closed mid-line after a
+            // timeout left a fragment — answer the fragment, then drop.
+            Ok(n) => {
+                let text = String::from_utf8_lossy(&line);
+                let trimmed = text.trim();
+                if !trimmed.is_empty() {
+                    let t0 = Instant::now();
+                    let (response, paths, ok) = handle_line(trimmed, registry, metrics, allow_load);
+                    metrics.record_request(paths, t0.elapsed(), ok);
+                    if writer
+                        .write_all(response.as_bytes())
+                        .and_then(|()| writer.write_all(b"\n"))
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                if n == 0 {
+                    return; // peer closed
+                }
+                line.clear();
+            }
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock
+                    || e.kind() == ErrorKind::TimedOut
+                    || e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// A request line still unterminated past this size closes the connection
+/// (an unbounded line would otherwise grow the buffer without limit).
+const MAX_REQUEST_BYTES: usize = 16 * 1024 * 1024;
+
+/// Answers one request line; returns `(response, paths_estimated, ok)`.
+fn handle_line(
+    line: &str,
+    registry: &EstimatorRegistry,
+    metrics: &ServiceMetrics,
+    allow_load: bool,
+) -> (String, usize, bool) {
+    let request = match Request::parse(line) {
+        Ok(r) => r,
+        Err(e) => return (error_response(&e.to_string()), 0, false),
+    };
+    match request {
+        Request::Ping => (ok_response(vec![]), 0, true),
+        Request::List => {
+            let estimators = registry
+                .list()
+                .into_iter()
+                .map(|info| {
+                    Value::Object(vec![
+                        ("name".into(), Value::string(info.name)),
+                        (
+                            "version".into(),
+                            Value::Number(Number::PosInt(info.version)),
+                        ),
+                        ("k".into(), Value::Number(Number::PosInt(info.k as u64))),
+                        (
+                            "labels".into(),
+                            Value::Number(Number::PosInt(info.label_count as u64)),
+                        ),
+                        ("description".into(), Value::string(info.description)),
+                    ])
+                })
+                .collect();
+            (
+                ok_response(vec![("estimators".into(), Value::Array(estimators))]),
+                0,
+                true,
+            )
+        }
+        Request::Metrics => {
+            let report = metrics.report();
+            (
+                ok_response(vec![("metrics".into(), metrics_to_value(&report))]),
+                0,
+                true,
+            )
+        }
+        Request::Estimate { estimator, paths } => {
+            let path_count = paths.len();
+            match estimate(registry, &estimator, &paths) {
+                Ok((version, estimates)) => (
+                    ok_response(vec![
+                        ("version".into(), Value::Number(Number::PosInt(version))),
+                        (
+                            "estimates".into(),
+                            Value::Array(
+                                estimates
+                                    .into_iter()
+                                    .map(|e| Value::Number(Number::Float(e)))
+                                    .collect(),
+                            ),
+                        ),
+                    ]),
+                    path_count,
+                    true,
+                ),
+                Err(message) => (error_response(&message), path_count, false),
+            }
+        }
+        Request::Load { name, snapshot } => {
+            if !allow_load {
+                return (error_response("load is disabled on this server"), 0, false);
+            }
+            match load_snapshot(&snapshot) {
+                Ok(servable) => {
+                    let version = registry.register(&name, servable);
+                    if version > 1 {
+                        metrics.record_swap();
+                    }
+                    (
+                        ok_response(vec![(
+                            "version".into(),
+                            Value::Number(Number::PosInt(version)),
+                        )]),
+                        0,
+                        true,
+                    )
+                }
+                Err(message) => (error_response(&message), 0, false),
+            }
+        }
+    }
+}
+
+fn estimate(
+    registry: &EstimatorRegistry,
+    name: &str,
+    paths: &[Vec<PathStep>],
+) -> Result<(u64, Vec<f64>), String> {
+    let generation = registry
+        .get(name)
+        .ok_or_else(|| format!("no estimator {name:?} (try \"list\")"))?;
+    let servable = generation.estimator();
+    let mut id_paths = Vec::with_capacity(paths.len());
+    for steps in paths {
+        let mut ids = Vec::with_capacity(steps.len());
+        for step in steps {
+            ids.push(match step {
+                PathStep::Name(n) => servable.resolve(n).map_err(|e| e.to_string())?,
+                PathStep::Id(id) => phe_graph::LabelId(*id),
+            });
+        }
+        id_paths.push(ids);
+    }
+    let estimates = generation
+        .estimate_id_batch(&id_paths)
+        .map_err(|e| e.to_string())?;
+    Ok((generation.version(), estimates))
+}
+
+/// Reads and restores a snapshot file into a servable estimator.
+pub fn load_snapshot(path: &str) -> Result<ServableEstimator, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let snapshot: phe_core::EstimatorSnapshot =
+        serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"))?;
+    ServableEstimator::from_snapshot(&snapshot).map_err(|e| e.to_string())
+}
+
+// ------------------------------------------------------------------ SIGINT
+
+static SIGINT_SEEN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn sigint_handler(_signum: i32) {
+    // Only async-signal-safe work here: one atomic store.
+    SIGINT_SEEN.store(true, Ordering::SeqCst);
+}
+
+/// Installs a SIGINT handler that flips a flag instead of killing the
+/// process, so the serve loop can drain and print its metrics report.
+/// Returns a closure polling the flag. On non-unix targets the closure is
+/// always false (ctrl-C terminates the process as usual).
+pub fn install_sigint_flag() -> impl Fn() -> bool {
+    #[cfg(unix)]
+    {
+        // `signal(2)` via a direct libc binding: the compat environment has
+        // no `libc` crate, and std exposes no signal API. SIGINT = 2 on
+        // every unix this builds for.
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        unsafe {
+            signal(SIGINT, sigint_handler as extern "C" fn(i32) as usize);
+        }
+    }
+    || SIGINT_SEEN.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phe_core::{EstimatorConfig, HistogramKind, OrderingKind, PathSelectivityEstimator};
+    use phe_datasets::{erdos_renyi, LabelDistribution};
+
+    fn test_registry() -> Arc<EstimatorRegistry> {
+        let g = erdos_renyi(40, 240, 3, LabelDistribution::Zipf { exponent: 1.0 }, 11);
+        let est = PathSelectivityEstimator::build(
+            &g,
+            EstimatorConfig {
+                k: 3,
+                beta: 16,
+                ordering: OrderingKind::SumBased,
+                histogram: HistogramKind::VOptimalGreedy,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        let registry = Arc::new(EstimatorRegistry::with_default_counters());
+        registry.register("default", ServableEstimator::from_estimator(est));
+        registry
+    }
+
+    #[test]
+    fn handle_line_answers_each_op() {
+        let registry = test_registry();
+        let metrics = ServiceMetrics::new();
+
+        let (r, _, ok) = handle_line(r#"{"op":"ping"}"#, &registry, &metrics, true);
+        assert!(ok && r.contains(r#""ok":true"#), "{r}");
+
+        let (r, paths, ok) = handle_line(
+            r#"{"op":"estimate","paths":[[0,1],[2]]}"#,
+            &registry,
+            &metrics,
+            true,
+        );
+        assert!(ok, "{r}");
+        assert_eq!(paths, 2);
+        assert!(r.contains("estimates"), "{r}");
+        assert!(r.contains(r#""version":1"#), "{r}");
+
+        let (r, _, ok) = handle_line(r#"{"op":"list"}"#, &registry, &metrics, true);
+        assert!(ok && r.contains("default"), "{r}");
+
+        let (r, _, ok) = handle_line(r#"{"op":"metrics"}"#, &registry, &metrics, true);
+        assert!(ok && r.contains("cache_hit_rate"), "{r}");
+    }
+
+    #[test]
+    fn handle_line_reports_errors_without_dying() {
+        let registry = test_registry();
+        let metrics = ServiceMetrics::new();
+        for bad in [
+            "garbage",
+            r#"{"op":"estimate","estimator":"missing","paths":[[0]]}"#,
+            r#"{"op":"estimate","paths":[[0,0,0,0,0]]}"#,
+            r#"{"op":"estimate","paths":[["nope"]]}"#,
+            r#"{"op":"load","name":"x","snapshot":"/nonexistent.json"}"#,
+        ] {
+            let (r, _, ok) = handle_line(bad, &registry, &metrics, true);
+            assert!(!ok, "{bad} should fail");
+            assert!(r.contains(r#""ok":false"#), "{r}");
+        }
+        // load disabled
+        let (r, _, ok) = handle_line(
+            r#"{"op":"load","name":"x","snapshot":"/y.json"}"#,
+            &registry,
+            &metrics,
+            false,
+        );
+        assert!(!ok && r.contains("disabled"), "{r}");
+    }
+}

@@ -28,7 +28,11 @@ fn main() {
     let catalog = parallel::compute_parallel(&graph, k, 0);
     let catalog_build = t.elapsed();
     let workload = stratified_workload(&catalog, k, 64, 7);
-    let truths: Vec<u64> = workload.queries.iter().map(|q| catalog.selectivity(q)).collect();
+    let truths: Vec<u64> = workload
+        .queries
+        .iter()
+        .map(|q| catalog.selectivity(q))
+        .collect();
     println!(
         "workload: {} stratified length-{k} queries (selectivity {} .. {})\n",
         workload.queries.len(),

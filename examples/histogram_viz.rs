@@ -34,7 +34,10 @@ fn main() {
         let max = *ordered.iter().max().expect("non-empty") as f64;
 
         println!("\n== {} ordering, equi-width β = {beta} ==\n", kind.name());
-        println!("{:>5} {:>10} {:>10}  distribution (█ = truth, estimate marked ▕)", "idx", "f", "est");
+        println!(
+            "{:>5} {:>10} {:>10}  distribution (█ = truth, estimate marked ▕)",
+            "idx", "f", "est"
+        );
         for (i, &f) in ordered.iter().enumerate() {
             let est = histogram.estimate(i);
             let est_pos = ((est / max) * WIDTH as f64).round() as usize;

@@ -14,7 +14,10 @@ use phe::core::{LabelPath, LabelRanking, PathDomain};
 use phe::graph::LabelId;
 
 fn show(p: &LabelPath) -> String {
-    p.iter().map(|l| (l.0 + 1).to_string()).collect::<Vec<_>>().join("/")
+    p.iter()
+        .map(|l| (l.0 + 1).to_string())
+        .collect::<Vec<_>>()
+        .join("/")
 }
 
 fn main() {
@@ -40,7 +43,11 @@ fn main() {
         Box::new(NumericalOrdering::new(domain, alph.clone(), "num-alph")),
         Box::new(NumericalOrdering::new(domain, card.clone(), "num-card")),
         Box::new(LexicographicalOrdering::new(domain, alph, "lex-alph")),
-        Box::new(LexicographicalOrdering::new(domain, card.clone(), "lex-card")),
+        Box::new(LexicographicalOrdering::new(
+            domain,
+            card.clone(),
+            "lex-card",
+        )),
         Box::new(SumBasedOrdering::new(domain, card.clone())),
     ];
     for o in &orderings {
@@ -51,8 +58,14 @@ fn main() {
     println!("\n== How sum-based ordering places \"3/1\" ==\n");
     let sum_based = SumBasedOrdering::new(domain, card);
     let path = LabelPath::new(&[LabelId(2), LabelId(0)]);
-    println!("path 3/1: ranks (2, 1), summed rank {}", sum_based.summed_rank(&path));
-    println!("stage 1: length 2 ⇒ skip the {} single-label paths", domain.offset_of_length(2));
+    println!(
+        "path 3/1: ranks (2, 1), summed rank {}",
+        sum_based.summed_rank(&path)
+    );
+    println!(
+        "stage 1: length 2 ⇒ skip the {} single-label paths",
+        domain.offset_of_length(2)
+    );
     println!("stage 2: skip groups with smaller sums (sum 2: 1 path)");
     println!("stage 3: within sum 3: combination {{1,2}}, permutations (1,2) then (2,1)");
     println!("⇒ index {}", sum_based.index_of(&path));
@@ -67,7 +80,10 @@ fn main() {
             Piece::Single(a) => format!("{}", a.0 + 1),
         })
         .collect();
-    println!("greedy split of 4/4/3/3/6 over B = L²: {}", pieces.join(" | "));
+    println!(
+        "greedy split of 4/4/3/3/6 over B = L²: {}",
+        pieces.join(" | ")
+    );
 
     // Pair frequencies that are NOT products of the marginals — a
     // correlated toy where the L2 ordering re-sorts pairs by truth.

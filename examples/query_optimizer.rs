@@ -14,8 +14,7 @@ use phe::core::{EstimatorConfig, HistogramKind, OrderingKind, PathSelectivityEst
 use phe::datasets::dbpedia_like_scaled;
 use phe::pathenum::parallel::compute_parallel;
 use phe::query::{
-    execute, optimize, CardinalityEstimator, ExactOracle, HistogramEstimator,
-    IndependenceBaseline,
+    execute, optimize, CardinalityEstimator, ExactOracle, HistogramEstimator, IndependenceBaseline,
 };
 
 fn main() {

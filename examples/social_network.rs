@@ -44,7 +44,10 @@ fn main() {
         catalog.len()
     );
 
-    println!("{:<14} {:>12} {:>14}", "ordering", "mean |err|", "median q-error");
+    println!(
+        "{:<14} {:>12} {:>14}",
+        "ordering", "mean |err|", "median q-error"
+    );
     for kind in OrderingKind::ALL {
         let ordering = kind.build(&graph, &catalog, k);
         let report = evaluate_configuration(
@@ -81,7 +84,10 @@ fn main() {
         (vec![2, 0], "knows/follows"),
         (vec![3, 0], "blocks/follows (rare prefix)"),
     ];
-    println!("\n{:<38} {:>10} {:>8} {:>8}", "query", "estimate", "true", "err");
+    println!(
+        "\n{:<38} {:>10} {:>8} {:>8}",
+        "query", "estimate", "true", "err"
+    );
     for (ids, desc) in &queries {
         let path: Vec<phe::graph::LabelId> = ids
             .iter()

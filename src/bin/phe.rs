@@ -6,18 +6,25 @@
 //! phe build <graph.tsv> --k K --beta B [--ordering NAME] [--histogram NAME] --out stats.json
 //! phe estimate <stats.json> <path-expr>...          # e.g. knows/likes
 //! phe accuracy <graph.tsv> --k K --beta B           # compare all orderings
+//! phe serve --snapshot [name=]stats.json... [--addr A] [--workers N]
+//! phe query --remote ADDR [--estimator NAME] <path-expr>...
 //! ```
 //!
 //! The `build` → `estimate` pair demonstrates the production workflow:
 //! statistics are built once against the graph (expensive: exact catalog),
 //! serialized as a small JSON snapshot, and then queried with **no graph
 //! access** — exactly what a query optimizer's statistics module does.
+//! `serve` keeps that restored estimator resident and answers batched
+//! estimate requests over TCP (see `phe-service`); `query --remote` is the
+//! matching client. Re-issuing `load` (or `phe serve`'s snapshot op) while
+//! serving hot-swaps statistics without dropping in-flight requests.
 
 use std::process::ExitCode;
 
 use phe::core::snapshot::EstimatorSnapshot;
 use phe::core::{EstimatorConfig, HistogramKind, OrderingKind, PathSelectivityEstimator};
 use phe::graph::{Graph, GraphStats, LabelId};
+use phe::service::protocol::PathStep;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,6 +34,8 @@ fn main() -> ExitCode {
         Some("build") => cmd_build(&args[1..]),
         Some("estimate") => cmd_estimate(&args[1..]),
         Some("accuracy") => cmd_accuracy(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprint!("{USAGE}");
             return ExitCode::from(2);
@@ -57,6 +66,11 @@ USAGE:
   phe estimate <stats.json> <path-expr>...
       path-expr: slash-separated label names, e.g. knows/likes
   phe accuracy <graph.tsv> --k K --beta B
+  phe serve --snapshot [name=]stats.json [--snapshot ...] [--addr 127.0.0.1:7878]
+            [--workers N] [--cache ENTRIES] [--no-load]
+      serves batched estimates over newline-delimited JSON TCP; ctrl-C
+      prints the metrics report (qps, p50/p99, cache hit rate) and exits
+  phe query --remote 127.0.0.1:7878 [--estimator NAME] <path-expr>...
 ";
 
 /// Tiny flag parser: positional args plus `--flag value` pairs.
@@ -67,11 +81,22 @@ struct Flags {
 
 impl Flags {
     fn parse(args: &[String]) -> Result<Flags, String> {
+        Self::parse_with_booleans(args, &[])
+    }
+
+    /// Like [`Flags::parse`], but the named flags are valueless switches
+    /// (recorded with value `"true"`).
+    fn parse_with_booleans(args: &[String], booleans: &[&str]) -> Result<Flags, String> {
         let mut positional = Vec::new();
         let mut flags = Vec::new();
         let mut i = 0;
         while i < args.len() {
             if let Some(name) = args[i].strip_prefix("--") {
+                if booleans.contains(&name) {
+                    flags.push((name.to_owned(), "true".to_owned()));
+                    i += 1;
+                    continue;
+                }
                 let value = args
                     .get(i + 1)
                     .ok_or_else(|| format!("flag --{name} needs a value"))?;
@@ -91,6 +116,15 @@ impl Flags {
             .rev()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// All values of a repeatable flag, in order.
+    fn get_all(&self, name: &str) -> Vec<&str> {
+        self.flags
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 
     fn get_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
@@ -200,8 +234,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         threads: 0,
     };
     let out: String = flags.require("out")?;
-    let estimator =
-        PathSelectivityEstimator::build(&graph, config).map_err(|e| e.to_string())?;
+    let estimator = PathSelectivityEstimator::build(&graph, config).map_err(|e| e.to_string())?;
     let report = estimator.accuracy_report();
     let snapshot = estimator.snapshot().map_err(|e| e.to_string())?;
     let json = serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?;
@@ -223,7 +256,10 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         "whole-domain mean |err| = {:.4}, median q-error = {:.3}",
         report.mean_abs_error_rate, report.median_q_error
     );
-    println!("wrote {out} ({} bytes retained state)", snapshot.retained_bytes());
+    println!(
+        "wrote {out} ({} bytes retained state)",
+        snapshot.retained_bytes()
+    );
     Ok(())
 }
 
@@ -283,7 +319,10 @@ fn cmd_accuracy(args: &[String]) -> Result<(), String> {
     let k: usize = flags.require("k")?;
     let beta: usize = flags.require("beta")?;
     let catalog = phe::pathenum::parallel::compute_parallel(&graph, k, 0);
-    println!("{:<14} {:>12} {:>14}", "ordering", "mean |err|", "median q-error");
+    println!(
+        "{:<14} {:>12} {:>14}",
+        "ordering", "mean |err|", "median q-error"
+    );
     for kind in OrderingKind::ALL {
         let ordering = kind.build(&graph, &catalog, k);
         let report = phe::core::evaluate_configuration(
@@ -303,12 +342,151 @@ fn cmd_accuracy(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse_with_booleans(args, &["no-load"])?;
+    let snapshots = flags.get_all("snapshot");
+    if snapshots.is_empty() {
+        return Err("serve needs at least one --snapshot [name=]stats.json".into());
+    }
+
+    let metrics = std::sync::Arc::new(phe::service::ServiceMetrics::new());
+    let cache_capacity: usize = flags
+        .get_parsed("cache")?
+        .unwrap_or(phe::service::EstimatorRegistry::DEFAULT_CACHE_CAPACITY);
+    let registry = std::sync::Arc::new(phe::service::EstimatorRegistry::new(
+        metrics.cache_counters(),
+        cache_capacity,
+    ));
+    for spec in snapshots {
+        // "--snapshot name=path" names the slot; bare paths serve as
+        // "default" (first) or their file stem (subsequent).
+        let (name, path) = match spec.split_once('=') {
+            Some((name, path)) => (name.to_owned(), path),
+            None if registry.is_empty() => ("default".to_owned(), spec),
+            None => {
+                let stem = std::path::Path::new(spec)
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or(spec);
+                (stem.to_owned(), spec)
+            }
+        };
+        // register() hot-swaps silently; at startup a repeated name is an
+        // operator mistake (e.g. two bare paths with the same file stem),
+        // not a swap — refuse before publishing anything over the first.
+        if registry.get(&name).is_some() {
+            return Err(format!(
+                "duplicate estimator name {name:?} (name snapshots explicitly: --snapshot NAME={path})"
+            ));
+        }
+        let servable = phe::service::load_snapshot(path)?;
+        registry.register(&name, servable);
+        println!("loaded {name:?} from {path}");
+    }
+
+    let mut config = phe::service::ServerConfig {
+        allow_load: flags.get("no-load").is_none(),
+        ..Default::default()
+    };
+    if let Some(addr) = flags.get("addr") {
+        config.addr = addr.to_owned();
+    }
+    if let Some(workers) = flags.get_parsed("workers")? {
+        config.workers = workers;
+    }
+    let sigint = phe::service::install_sigint_flag();
+    let server =
+        phe::service::Server::start(std::sync::Arc::clone(&registry), metrics.clone(), config)
+            .map_err(|e| format!("starting server: {e}"))?;
+    println!(
+        "serving {} estimator(s) on {} — ctrl-C for metrics + shutdown",
+        registry.len(),
+        server.local_addr()
+    );
+    while !sigint() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    println!("\nshutting down...");
+    server.shutdown();
+    println!("{}", metrics.report());
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let remote = flags
+        .get("remote")
+        .ok_or("query needs --remote host:port (local estimation is `phe estimate`)")?;
+    let estimator = flags.get("estimator").unwrap_or("default");
+    if flags.positional.is_empty() {
+        return Err("query needs at least one path expression".into());
+    }
+    // One batched request for all expressions: the batch is answered by a
+    // single estimator generation, so the printed results are consistent
+    // even if the server hot-swaps mid-call.
+    let paths: Vec<Vec<PathStep>> = flags
+        .positional
+        .iter()
+        .map(|expr| {
+            let steps: Vec<PathStep> = expr
+                .split('/')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|s| PathStep::Name(s.to_owned()))
+                .collect();
+            if steps.is_empty() {
+                Err(format!("empty path expression {expr:?}"))
+            } else {
+                Ok(steps)
+            }
+        })
+        .collect::<Result<_, _>>()?;
+    let mut client = phe::service::ServiceClient::connect(remote)
+        .map_err(|e| format!("connecting {remote}: {e}"))?;
+    let batch = client
+        .estimate(estimator, paths)
+        .map_err(|e| e.to_string())?;
+    if batch.estimates.len() != flags.positional.len() {
+        return Err(format!(
+            "server answered {} estimates for {} paths",
+            batch.estimates.len(),
+            flags.positional.len()
+        ));
+    }
+    for (expr, estimate) in flags.positional.iter().zip(&batch.estimates) {
+        println!("{expr}\t{estimate:.2}");
+    }
+    eprintln!(
+        "(estimator {estimator:?} v{} answered {} paths)",
+        batch.version,
+        batch.estimates.len()
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn s(v: &[&str]) -> Vec<String> {
         v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn get_all_collects_repeated_flags() {
+        let f = Flags::parse(&s(&["--snapshot", "a.json", "--snapshot", "b=c.json"])).unwrap();
+        assert_eq!(f.get_all("snapshot"), vec!["a.json", "b=c.json"]);
+        assert!(f.get_all("missing").is_empty());
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let f =
+            Flags::parse_with_booleans(&s(&["--no-load", "--addr", "x:1"]), &["no-load"]).unwrap();
+        assert_eq!(f.get("no-load"), Some("true"));
+        assert_eq!(f.get("addr"), Some("x:1"));
+        // Bare non-boolean flags still error.
+        assert!(Flags::parse_with_booleans(&s(&["--k"]), &["no-load"]).is_err());
     }
 
     #[test]

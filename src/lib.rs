@@ -11,7 +11,9 @@
 //! * [`histogram`] — equi-width / equi-depth / V-optimal histograms,
 //! * [`core`] — the paper's contribution: ranking rules, domain orderings
 //!   (numerical, lexicographical, sum-based), and the estimator,
-//! * [`query`] — a path-query optimizer driven by the estimator.
+//! * [`query`] — a path-query optimizer driven by the estimator,
+//! * [`service`] — long-lived concurrent serving: estimator registry with
+//!   snapshot hot-swap, batched estimation, LRU caching, TCP server.
 
 pub use phe_core as core;
 pub use phe_datasets as datasets;
@@ -19,3 +21,4 @@ pub use phe_graph as graph;
 pub use phe_histogram as histogram;
 pub use phe_pathenum as pathenum;
 pub use phe_query as query;
+pub use phe_service as service;

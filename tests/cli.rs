@@ -34,11 +34,18 @@ fn full_workflow_generate_build_estimate() {
         ])
         .output()
         .expect("spawn phe generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(graph.exists());
 
     // stats
-    let out = phe().args(["stats", graph.to_str().unwrap()]).output().unwrap();
+    let out = phe()
+        .args(["stats", graph.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("labels:   6"), "{text}");
@@ -57,7 +64,11 @@ fn full_workflow_generate_build_estimate() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(stats.exists());
 
     // estimate — needs only the snapshot, not the graph.
@@ -65,7 +76,11 @@ fn full_workflow_generate_build_estimate() {
         .args(["estimate", stats.to_str().unwrap(), "r0/r1", "r5"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     let lines: Vec<&str> = text.lines().collect();
     assert_eq!(lines.len(), 2, "{text}");
@@ -78,7 +93,14 @@ fn full_workflow_generate_build_estimate() {
 
     // accuracy
     let out = phe()
-        .args(["accuracy", graph.to_str().unwrap(), "--k", "2", "--beta", "16"])
+        .args([
+            "accuracy",
+            graph.to_str().unwrap(),
+            "--k",
+            "2",
+            "--beta",
+            "16",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -94,7 +116,10 @@ fn errors_are_reported_not_panicked() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
 
     // Missing file.
-    let out = phe().args(["stats", "/nonexistent/g.tsv"]).output().unwrap();
+    let out = phe()
+        .args(["stats", "/nonexistent/g.tsv"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
 
@@ -129,7 +154,11 @@ fn estimate_rejects_unknown_labels_and_overlong_paths() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = phe()
         .args(["estimate", stats.to_str().unwrap(), "a/zzz"])

@@ -27,7 +27,12 @@ fn every_configuration_builds_on_every_dataset() {
                 let built = ordering.build(graph, &catalog, k);
                 let report = evaluate_configuration(&catalog, built.as_ref(), histogram, 8)
                     .unwrap_or_else(|e| {
-                        panic!("{}/{}/{}: {e}", dataset.name, ordering.name(), histogram.name())
+                        panic!(
+                            "{}/{}/{}: {e}",
+                            dataset.name,
+                            ordering.name(),
+                            histogram.name()
+                        )
                     });
                 assert!(
                     report.mean_abs_error_rate.is_finite()
@@ -48,13 +53,7 @@ fn every_configuration_builds_on_every_dataset() {
 /// ordering at an equal (tight) bucket budget.
 #[test]
 fn sum_based_wins_on_skewed_synthetic_data() {
-    let graph = datasets::erdos_renyi(
-        120,
-        2400,
-        5,
-        LabelDistribution::Zipf { exponent: 1.1 },
-        99,
-    );
+    let graph = datasets::erdos_renyi(120, 2400, 5, LabelDistribution::Zipf { exponent: 1.1 }, 99);
     let k = 3;
     let catalog = SelectivityCatalog::compute(&graph, k);
     let beta = catalog.len() / 32;

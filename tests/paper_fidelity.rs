@@ -38,23 +38,33 @@ fn table2_all_rows() {
 
     assert_row(
         &NumericalOrdering::new(domain, alph.clone(), "num-alph"),
-        &["1", "2", "3", "1,1", "1,2", "1,3", "2,1", "2,2", "2,3", "3,1", "3,2", "3,3"],
+        &[
+            "1", "2", "3", "1,1", "1,2", "1,3", "2,1", "2,2", "2,3", "3,1", "3,2", "3,3",
+        ],
     );
     assert_row(
         &NumericalOrdering::new(domain, card.clone(), "num-card"),
-        &["1", "3", "2", "1,1", "1,3", "1,2", "3,1", "3,3", "3,2", "2,1", "2,3", "2,2"],
+        &[
+            "1", "3", "2", "1,1", "1,3", "1,2", "3,1", "3,3", "3,2", "2,1", "2,3", "2,2",
+        ],
     );
     assert_row(
         &LexicographicalOrdering::new(domain, alph, "lex-alph"),
-        &["1", "1,1", "1,2", "1,3", "2", "2,1", "2,2", "2,3", "3", "3,1", "3,2", "3,3"],
+        &[
+            "1", "1,1", "1,2", "1,3", "2", "2,1", "2,2", "2,3", "3", "3,1", "3,2", "3,3",
+        ],
     );
     assert_row(
         &LexicographicalOrdering::new(domain, card.clone(), "lex-card"),
-        &["1", "1,1", "1,3", "1,2", "3", "3,1", "3,3", "3,2", "2", "2,1", "2,3", "2,2"],
+        &[
+            "1", "1,1", "1,3", "1,2", "3", "3,1", "3,3", "3,2", "2", "2,1", "2,3", "2,2",
+        ],
     );
     assert_row(
         &SumBasedOrdering::new(domain, card),
-        &["1", "3", "2", "1,1", "1,3", "3,1", "3,3", "1,2", "2,1", "3,2", "2,3", "2,2"],
+        &[
+            "1", "3", "2", "1,1", "1,3", "3,1", "3,3", "1,2", "2,1", "3,2", "2,3", "2,2",
+        ],
     );
 }
 

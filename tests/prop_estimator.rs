@@ -6,15 +6,17 @@ use phe::graph::{GraphBuilder, LabelId, VertexId};
 use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = phe::graph::Graph> {
-    (2u16..4, prop::collection::vec((0u32..20, 0u16..4, 0u32..20), 1..120)).prop_map(
-        |(labels, edges)| {
+    (
+        2u16..4,
+        prop::collection::vec((0u32..20, 0u16..4, 0u32..20), 1..120),
+    )
+        .prop_map(|(labels, edges)| {
             let mut b = GraphBuilder::with_numeric_labels(20, labels);
             for (s, l, t) in edges {
                 b.add_edge(VertexId(s), LabelId(l % labels), VertexId(t));
             }
             b.build()
-        },
-    )
+        })
 }
 
 fn arb_config() -> impl Strategy<Value = (usize, usize, OrderingKind, HistogramKind)> {

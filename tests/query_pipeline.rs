@@ -6,8 +6,7 @@ use phe::core::{EstimatorConfig, HistogramKind, OrderingKind, PathSelectivityEst
 use phe::datasets::dbpedia_like_scaled;
 use phe::pathenum::{parallel, PathRelation};
 use phe::query::{
-    execute, optimize, CardinalityEstimator, ExactOracle, HistogramEstimator,
-    IndependenceBaseline,
+    execute, optimize, CardinalityEstimator, ExactOracle, HistogramEstimator, IndependenceBaseline,
 };
 
 /// Whatever the estimator, the optimizer's plan must compute the correct
@@ -37,7 +36,9 @@ fn all_estimators_produce_correct_answers() {
     let estimators: [&dyn CardinalityEstimator; 3] = [&oracle, &histogram, &independence];
 
     let query: Vec<phe::graph::LabelId> = (0..4u16).map(phe::graph::LabelId).collect();
-    let reference: Vec<(u32, u32)> = PathRelation::evaluate(&graph, &query).iter_pairs().collect();
+    let reference: Vec<(u32, u32)> = PathRelation::evaluate(&graph, &query)
+        .iter_pairs()
+        .collect();
     for est in estimators {
         let plan = optimize(&query, est);
         let report = execute(&graph, &plan);

@@ -1,0 +1,233 @@
+//! Concurrent serving under snapshot hot-swap: several client threads fire
+//! batched estimate requests over TCP while the main thread swaps the
+//! estimator mid-flight. The contract under test:
+//!
+//! * **zero failed requests** — a swap never drops or errors a request;
+//! * **batch consistency** — every batch is answered entirely by one
+//!   generation (all estimates match that generation's expected values,
+//!   never a mix);
+//! * **monotone visibility** — a connection never sees the version go
+//!   backwards, and after the swap completes new requests see v2.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use phe::core::{EstimatorConfig, HistogramKind, OrderingKind, PathSelectivityEstimator};
+use phe::datasets::{erdos_renyi, LabelDistribution};
+use phe::graph::LabelId;
+use phe::service::protocol::PathStep;
+use phe::service::{
+    EstimatorRegistry, ServableEstimator, Server, ServerConfig, ServiceClient, ServiceMetrics,
+};
+
+const LABELS: u16 = 4;
+const K: usize = 3;
+
+fn build_servable(beta: usize, ordering: OrderingKind) -> ServableEstimator {
+    let g = erdos_renyi(
+        60,
+        480,
+        LABELS,
+        LabelDistribution::Zipf { exponent: 1.0 },
+        23,
+    );
+    ServableEstimator::from_estimator(
+        PathSelectivityEstimator::build(
+            &g,
+            EstimatorConfig {
+                k: K,
+                beta,
+                ordering,
+                histogram: HistogramKind::VOptimalGreedy,
+                threads: 1,
+            },
+        )
+        .unwrap(),
+    )
+}
+
+/// The fixed query batch every request asks for.
+fn batch_paths() -> Vec<Vec<LabelId>> {
+    let mut paths = Vec::new();
+    for l1 in 0..LABELS {
+        paths.push(vec![LabelId(l1)]);
+        for l2 in 0..LABELS {
+            paths.push(vec![LabelId(l1), LabelId(l2)]);
+        }
+    }
+    paths
+}
+
+fn expected_estimates(est: &ServableEstimator) -> Vec<f64> {
+    batch_paths()
+        .iter()
+        .map(|p| est.estimate_labels(p).unwrap())
+        .collect()
+}
+
+#[test]
+fn concurrent_batches_survive_hot_swap() {
+    // Two deliberately different estimator generations: different β and
+    // ordering ⇒ different estimates for at least some paths.
+    let v1 = build_servable(4, OrderingKind::SumBased);
+    let v2 = build_servable(48, OrderingKind::NumCard);
+    let expected_v1 = expected_estimates(&v1);
+    let expected_v2 = expected_estimates(&v2);
+    assert_ne!(
+        expected_v1, expected_v2,
+        "test needs distinguishable generations"
+    );
+
+    let metrics = Arc::new(ServiceMetrics::new());
+    let registry = Arc::new(EstimatorRegistry::new(metrics.cache_counters(), 4096));
+    registry.register("main", v1);
+
+    let server = Server::start(
+        Arc::clone(&registry),
+        Arc::clone(&metrics),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(), // ephemeral port
+            workers: 8,
+            allow_load: false,
+        },
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    const CLIENTS: usize = 4;
+    const REQUESTS_PER_CLIENT: usize = 120;
+
+    let wire_paths: Vec<Vec<PathStep>> = batch_paths()
+        .iter()
+        .map(|p| p.iter().map(|l| PathStep::Id(l.0)).collect())
+        .collect();
+
+    let v1_batches = Arc::new(AtomicU64::new(0));
+    let v2_batches = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for client_id in 0..CLIENTS {
+            let wire_paths = wire_paths.clone();
+            let expected_v1 = expected_v1.clone();
+            let expected_v2 = expected_v2.clone();
+            let v1_batches = Arc::clone(&v1_batches);
+            let v2_batches = Arc::clone(&v2_batches);
+            handles.push(scope.spawn(move || {
+                let mut client = ServiceClient::connect(addr).expect("client connects");
+                let mut last_version = 0u64;
+                for request in 0..REQUESTS_PER_CLIENT {
+                    let batch = client
+                        .estimate("main", wire_paths.clone())
+                        .unwrap_or_else(|e| {
+                            panic!("client {client_id} request {request} failed: {e}")
+                        });
+                    // Monotone visibility per connection.
+                    assert!(
+                        batch.version >= last_version,
+                        "client {client_id}: version went {last_version} -> {}",
+                        batch.version
+                    );
+                    last_version = batch.version;
+                    // Batch consistency: entirely one generation's answers.
+                    let expected = match batch.version {
+                        1 => &expected_v1,
+                        2 => &expected_v2,
+                        v => panic!("client {client_id}: unexpected version {v}"),
+                    };
+                    assert_eq!(
+                        &batch.estimates, expected,
+                        "client {client_id} request {request}: batch mixes generations \
+                         (version {})",
+                        batch.version
+                    );
+                    match batch.version {
+                        1 => v1_batches.fetch_add(1, Ordering::Relaxed),
+                        _ => v2_batches.fetch_add(1, Ordering::Relaxed),
+                    };
+                }
+            }));
+        }
+
+        // Let the clients get going, then hot-swap mid-flight. `v2` was
+        // built up front, so the swap window is microseconds — rebuilding
+        // here could let fast clients drain all traffic first.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while v1_batches.load(Ordering::Relaxed) < (CLIENTS * 5) as u64 {
+            // A deadline keeps an early client panic (which only surfaces
+            // at join, after this loop) from turning into a test hang.
+            assert!(
+                std::time::Instant::now() < deadline,
+                "clients made no progress — check for client-thread panics"
+            );
+            std::thread::yield_now();
+        }
+        let version = registry.register("main", v2);
+        metrics.record_swap();
+        assert_eq!(version, 2);
+
+        for handle in handles {
+            handle.join().expect("client thread panicked");
+        }
+    });
+
+    // Post-swap, a fresh request must see v2.
+    let mut client = ServiceClient::connect(addr).expect("post-swap connect");
+    let batch = client
+        .estimate("main", wire_paths.clone())
+        .expect("post-swap estimate");
+    assert_eq!(batch.version, 2);
+    assert_eq!(batch.estimates, expected_v2);
+
+    // The swap happened mid-flight: both generations actually served.
+    assert!(
+        v1_batches.load(Ordering::Relaxed) > 0,
+        "no batch served by v1"
+    );
+    assert!(
+        v2_batches.load(Ordering::Relaxed) > 0,
+        "swap landed after all traffic — not mid-flight"
+    );
+
+    let report = metrics.report();
+    assert_eq!(report.errors, 0, "no request may fail during a swap");
+    assert_eq!(
+        report.requests,
+        (CLIENTS * REQUESTS_PER_CLIENT) as u64 + 1,
+        "every request was answered exactly once"
+    );
+    // The fixed batch repeats, so the cache must be doing real work.
+    assert!(
+        report.cache_hits > 0,
+        "repeated identical batches should hit the cache"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn server_shutdown_with_open_idle_connection() {
+    let registry = Arc::new(EstimatorRegistry::with_default_counters());
+    registry.register("main", build_servable(8, OrderingKind::SumBased));
+    let server = Server::start(
+        registry,
+        Arc::new(ServiceMetrics::new()),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            allow_load: false,
+        },
+    )
+    .expect("server starts");
+    // An idle connection must not wedge shutdown (workers poll the stop
+    // flag on read timeout).
+    let idle = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    let t0 = std::time::Instant::now();
+    server.shutdown();
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(5),
+        "shutdown took {:?}",
+        t0.elapsed()
+    );
+    drop(idle);
+}

@@ -78,7 +78,11 @@ fn snapshot_is_much_smaller_than_the_catalog() {
 #[test]
 fn restored_estimator_resolves_label_names() {
     let graph = moreno_health_like_scaled(0.05, 9);
-    let est = build(&graph, OrderingKind::SumBased, HistogramKind::VOptimalGreedy);
+    let est = build(
+        &graph,
+        OrderingKind::SumBased,
+        HistogramKind::VOptimalGreedy,
+    );
     let snapshot = est.snapshot().unwrap();
     // Label names are carried in the snapshot, so a restored estimator's
     // host can rebuild a name → id mapping without the original graph.
@@ -91,7 +95,11 @@ fn restored_estimator_resolves_label_names() {
 #[test]
 fn tampered_json_is_rejected_not_trusted() {
     let graph = moreno_health_like_scaled(0.05, 4);
-    let est = build(&graph, OrderingKind::SumBasedL2, HistogramKind::VOptimalGreedy);
+    let est = build(
+        &graph,
+        OrderingKind::SumBasedL2,
+        HistogramKind::VOptimalGreedy,
+    );
     let snapshot = est.snapshot().unwrap();
     let mut json: serde_json::Value = serde_json::to_value(&snapshot).unwrap();
     // Drop a label frequency: lengths no longer match the names.
