@@ -53,6 +53,7 @@ fn build_servable() -> ServableEstimator {
                 ordering: OrderingKind::SumBased,
                 histogram: HistogramKind::VOptimalGreedy,
                 threads: 1,
+                retain_catalog: false,
             },
         )
         .unwrap(),

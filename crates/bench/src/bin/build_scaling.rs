@@ -1,0 +1,201 @@
+//! `build_scaling` — the sparse-first pipeline's scaling envelope.
+//!
+//! Sweeps `(|L|, k)` over schema-constrained graphs (real-world label
+//! alphabets are schema-sparse: most label sequences never occur) and
+//! records, per point:
+//!
+//! * sparse catalog build time and realized-path count;
+//! * sparse vs dense catalog bytes (the dense side computed in `u128`,
+//!   because past the dense limit it *cannot* be allocated);
+//! * the dense build time where the dense representation is feasible, or
+//!   `"infeasible"` where it is not — the configurations only the sparse
+//!   pipeline can reach.
+//!
+//! Output: an aligned table plus one JSON line per point (`"bench":
+//! "build_scaling"`), machine-readable for the benchmark trajectory.
+
+use phe_bench::{emit, timed, RunConfig, Scale};
+use phe_core::{EstimatorConfig, PathSelectivityEstimator};
+use phe_datasets::schema::{schema_graph, Community, DegreeModel, LabelSchema};
+use phe_datasets::LabelDistribution;
+use phe_pathenum::catalog::DENSE_DOMAIN_LIMIT;
+use phe_pathenum::{SelectivityCatalog, SparseCatalog};
+use serde_json::{Number, Value};
+
+/// A chained label schema with a *narrow* follow window: label `l`'s
+/// targets overlap the sources of only a few nearby labels, so the
+/// realized path set grows like `|L| · b^(k−1)` for a small branching
+/// factor `b` instead of `|L|^k` — the regime real schemas live in.
+fn narrow_chained_schema(labels: u16, edges_total: u64, width: f64) -> Vec<LabelSchema> {
+    let counts =
+        LabelDistribution::Zipf { exponent: 0.9 }.per_label_counts(labels as usize, edges_total);
+    (0..labels)
+        .map(|l| {
+            let pos = l as f64 / labels as f64;
+            let next = ((l + 1) % labels) as f64 / labels as f64;
+            LabelSchema {
+                name: format!("r{l}"),
+                edges: counts[l as usize],
+                sources: Community::new(pos, width),
+                targets: Community::new(next, width),
+                source_degrees: DegreeModel::Uniform,
+                target_degrees: DegreeModel::Zipf { exponent: 0.8 },
+            }
+        })
+        .collect()
+}
+
+struct Point {
+    labels: u16,
+    k: usize,
+    headline: bool,
+}
+
+fn main() {
+    let config = RunConfig::from_args();
+    let (vertices, edges_per_label) = match config.scale {
+        Scale::Ci => (1_500u32, 160u64),
+        Scale::Paper => (50_000u32, 4_000u64),
+    };
+
+    let mut points: Vec<Point> = Vec::new();
+    for &labels in &[8u16, 16, 32] {
+        for &k in &[3usize, 4] {
+            points.push(Point {
+                labels,
+                k,
+                headline: false,
+            });
+        }
+    }
+    // The headline: a domain the dense pipeline cannot even allocate
+    // (both are past DENSE_DOMAIN_LIMIT; paper scale pushes to the
+    // paper's k = 6, CI keeps the sweep inside the smoke budget).
+    points.push(Point {
+        labels: 64,
+        k: match config.scale {
+            Scale::Ci => 5,
+            Scale::Paper => 6,
+        },
+        headline: true,
+    });
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut json_lines: Vec<String> = Vec::new();
+    for point in &points {
+        let schema =
+            narrow_chained_schema(point.labels, point.labels as u64 * edges_per_label, 0.08);
+        let graph = schema_graph(vertices, &schema, config.seed);
+        let k = point.k;
+
+        let (sparse, sparse_secs) =
+            timed(|| SparseCatalog::compute_parallel(&graph, k, 0).expect("domain fits u48"));
+        let domain = sparse.len() as u64;
+        let nnz = sparse.nonzero_count() as u64;
+        let sparse_bytes = sparse.size_bytes() as u64;
+        let dense_bytes = sparse.dense_bytes();
+        let ratio = dense_bytes as f64 / (sparse_bytes as f64).max(1.0);
+
+        let dense_feasible = sparse.len() <= DENSE_DOMAIN_LIMIT;
+        let dense_secs = if dense_feasible {
+            let (_, secs) = timed(|| SelectivityCatalog::compute(&graph, k));
+            Some(secs)
+        } else {
+            None
+        };
+
+        // End-to-end sparse estimator build (catalog → remap → histogram).
+        let (estimator, pipeline_secs) = timed(|| {
+            PathSelectivityEstimator::from_sparse_catalog(
+                &graph,
+                sparse.clone(),
+                EstimatorConfig {
+                    k,
+                    beta: 256,
+                    threads: 1,
+                    retain_catalog: false,
+                    ..EstimatorConfig::default()
+                },
+                std::time::Duration::ZERO,
+            )
+            .expect("sparse build")
+        });
+
+        rows.push(vec![
+            format!("{}{}", point.labels, if point.headline { "*" } else { "" }),
+            k.to_string(),
+            domain.to_string(),
+            nnz.to_string(),
+            format!("{sparse_bytes}"),
+            format!("{dense_bytes}"),
+            format!("{ratio:.1}x"),
+            format!("{sparse_secs:.3}"),
+            dense_secs
+                .map(|s| format!("{s:.3}"))
+                .unwrap_or_else(|| "infeasible".into()),
+            format!("{pipeline_secs:.3}"),
+        ]);
+        let obj = Value::Object(vec![
+            ("bench".into(), Value::string("build_scaling")),
+            (
+                "labels".into(),
+                Value::Number(Number::PosInt(point.labels as u64)),
+            ),
+            ("k".into(), Value::Number(Number::PosInt(k as u64))),
+            ("domain_paths".into(), Value::Number(Number::PosInt(domain))),
+            ("nonzero_paths".into(), Value::Number(Number::PosInt(nnz))),
+            (
+                "sparse_bytes".into(),
+                Value::Number(Number::PosInt(sparse_bytes)),
+            ),
+            (
+                "dense_bytes".into(),
+                Value::Number(Number::PosInt(dense_bytes.min(u64::MAX as u128) as u64)),
+            ),
+            (
+                "dense_over_sparse".into(),
+                Value::Number(Number::Float(ratio)),
+            ),
+            (
+                "sparse_build_seconds".into(),
+                Value::Number(Number::Float(sparse_secs)),
+            ),
+            (
+                "dense_build_seconds".into(),
+                dense_secs.map_or(Value::Null, |s| Value::Number(Number::Float(s))),
+            ),
+            ("dense_feasible".into(), Value::Bool(dense_feasible)),
+            (
+                "pipeline_seconds".into(),
+                Value::Number(Number::Float(pipeline_secs)),
+            ),
+            (
+                "retained_bytes".into(),
+                Value::Number(Number::PosInt(estimator.size_bytes() as u64)),
+            ),
+        ]);
+        json_lines.push(serde_json::to_string(&obj).expect("flat object"));
+    }
+
+    emit(
+        "Sparse-first build scaling (* = dense-infeasible headline)",
+        &[
+            "|L|",
+            "k",
+            "domain",
+            "nnz",
+            "sparse B",
+            "dense B",
+            "ratio",
+            "sparse s",
+            "dense s",
+            "pipeline s",
+        ],
+        &rows,
+        config.csv,
+    );
+    println!("\n--- JSON ---");
+    for line in &json_lines {
+        println!("{line}");
+    }
+}

@@ -41,6 +41,7 @@ fn main() {
                     ordering,
                     histogram: HistogramKind::VOptimalGreedy,
                     threads: 1,
+                    retain_catalog: false,
                 },
                 std::time::Duration::ZERO,
             )

@@ -122,6 +122,43 @@ impl SumBasedL2Ordering {
         SumBasedL2Ordering::from_frequencies(domain, &single_freqs, &pair_freqs)
     }
 
+    /// Builds the ordering from a sparse catalog — identical to
+    /// [`SumBasedL2Ordering::from_catalog`] on the equivalent dense
+    /// catalog; the `n + n²` frequency lookups are binary searches over
+    /// the realized entries.
+    ///
+    /// # Panics
+    /// As for [`SumBasedL2Ordering::from_catalog`].
+    pub fn from_sparse(
+        domain: PathDomain,
+        catalog: &phe_pathenum::SparseCatalog,
+    ) -> SumBasedL2Ordering {
+        let n = domain.label_count();
+        assert!(n <= 256, "L2 base set needs |L| ≤ 256, got {n}");
+        assert_eq!(
+            catalog.encoding().label_count(),
+            n,
+            "catalog alphabet does not match the domain"
+        );
+        let single_freqs: Vec<u64> = (0..n as u16)
+            .map(|l| catalog.selectivity(&[LabelId(l)]))
+            .collect();
+        let mut pair_freqs = vec![0u64; n * n];
+        if domain.max_len() >= 2 {
+            assert!(
+                catalog.encoding().max_len() >= 2,
+                "catalog must cover paths of length ≥ 2 to rank pairs"
+            );
+            for l1 in 0..n as u16 {
+                for l2 in 0..n as u16 {
+                    pair_freqs[(l1 as usize) * n + l2 as usize] =
+                        catalog.selectivity(&[LabelId(l1), LabelId(l2)]);
+                }
+            }
+        }
+        SumBasedL2Ordering::from_frequencies(domain, &single_freqs, &pair_freqs)
+    }
+
     /// Builds from explicit frequencies (`pair_freqs[l1·n + l2]`).
     pub fn from_frequencies(
         domain: PathDomain,

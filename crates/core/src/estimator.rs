@@ -4,11 +4,11 @@ use std::time::{Duration, Instant};
 
 use phe_graph::{Graph, LabelId};
 use phe_histogram::{error_rate, AccuracyReport, HistogramError};
-use phe_pathenum::{parallel, SelectivityCatalog};
+use phe_pathenum::{CatalogError, SelectivityCatalog, SparseCatalog};
 
 pub use crate::label_histogram::HistogramKind;
 
-use crate::eval::{evaluate_configuration, ordered_frequencies};
+use crate::eval::{evaluate_configuration, ordered_frequencies, sparse_ordered_frequencies};
 use crate::label_histogram::LabelPathHistogram;
 use crate::ordering::OrderingKind;
 use crate::path::{LabelPath, MAX_K};
@@ -27,11 +27,20 @@ pub struct EstimatorConfig {
     /// Worker threads for catalog computation (0 ⇒ all cores, 1 ⇒
     /// sequential).
     pub threads: usize,
+    /// Keep the full **dense** ground-truth catalog on the built
+    /// estimator. Off (the default), [`PathSelectivityEstimator::build`]
+    /// streams sparse counts straight into the histogram and retains only
+    /// buckets + ordering state — the serving footprint. On, the catalog
+    /// is materialized for [`PathSelectivityEstimator::exact`] /
+    /// [`PathSelectivityEstimator::accuracy_report`], which requires a
+    /// dense-feasible domain.
+    pub retain_catalog: bool,
 }
 
 impl Default for EstimatorConfig {
     /// The paper's headline configuration: sum-based ordering over a
-    /// V-optimal (greedy) histogram, `k = 3`, β = 64.
+    /// V-optimal (greedy) histogram, `k = 3`, β = 64, sparse build with no
+    /// retained catalog.
     fn default() -> Self {
         EstimatorConfig {
             k: 3,
@@ -39,6 +48,43 @@ impl Default for EstimatorConfig {
             ordering: OrderingKind::SumBased,
             histogram: HistogramKind::VOptimalGreedy,
             threads: 0,
+            retain_catalog: false,
+        }
+    }
+}
+
+/// Memory accounting of the catalog stage, captured at build time (cheap
+/// to keep even when the catalog itself is dropped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatalogFootprint {
+    /// Domain size `|Lk|`, zeros included.
+    pub domain_size: u64,
+    /// Realized (non-zero) paths.
+    pub nonzero_paths: u64,
+    /// Bytes of the sparse `(index, count)` representation.
+    pub sparse_bytes: u64,
+    /// Bytes the dense count vector needs (or would need), in `u128` so
+    /// dense-infeasible configurations report instead of wrapping.
+    pub dense_bytes: u128,
+}
+
+impl CatalogFootprint {
+    fn from_sparse(catalog: &SparseCatalog) -> CatalogFootprint {
+        CatalogFootprint {
+            domain_size: catalog.len() as u64,
+            nonzero_paths: catalog.nonzero_count() as u64,
+            sparse_bytes: catalog.size_bytes() as u64,
+            dense_bytes: catalog.dense_bytes(),
+        }
+    }
+
+    fn from_dense(catalog: &SelectivityCatalog) -> CatalogFootprint {
+        let nonzero = (catalog.len() - catalog.zero_count()) as u64;
+        CatalogFootprint {
+            domain_size: catalog.len() as u64,
+            nonzero_paths: nonzero,
+            sparse_bytes: nonzero * 16,
+            dense_bytes: catalog.len() as u128 * 8,
         }
     }
 }
@@ -56,10 +102,12 @@ pub struct BuildStats {
 }
 
 /// A built estimator: histogram + ordering, with the construction-time
-/// catalog retained for ground-truth queries and accuracy reports.
+/// catalog optionally retained for ground-truth queries and accuracy
+/// reports ([`EstimatorConfig::retain_catalog`]).
 pub struct PathSelectivityEstimator {
     config: EstimatorConfig,
-    catalog: SelectivityCatalog,
+    catalog: Option<SelectivityCatalog>,
+    footprint: CatalogFootprint,
     histogram: LabelPathHistogram,
     stats: BuildStats,
     /// Snapshot inputs captured at build time (label names/frequencies,
@@ -70,15 +118,23 @@ pub struct PathSelectivityEstimator {
 }
 
 impl PathSelectivityEstimator {
-    /// Builds the estimator: catalog → ordering → permuted frequencies →
-    /// histogram.
+    /// Builds the estimator through the **sparse streaming pipeline**:
+    /// sharded sparse catalog → combinatorial index remap → sparse
+    /// histogram build. The dense path domain is never materialized unless
+    /// [`EstimatorConfig::retain_catalog`] asks for the ground-truth
+    /// catalog.
     ///
     /// # Errors
     /// Propagates histogram construction failures (e.g. asking for the
-    /// exact V-optimal DP on a paper-scale domain).
+    /// exact V-optimal DP on a paper-scale domain), and
+    /// [`HistogramError::DomainTooLarge`] when the domain overflows the
+    /// canonical index space (2⁴⁸ paths) or when `retain_catalog` (or a
+    /// builder with no sparse path) needs a dense domain the machine
+    /// cannot hold.
     ///
     /// # Panics
-    /// Panics if `k` is 0 or exceeds [`MAX_K`], or the graph has no labels.
+    /// Panics if `k` is 0 or exceeds [`MAX_K`], or the graph has no
+    /// labels.
     pub fn build(
         graph: &Graph,
         config: EstimatorConfig,
@@ -91,14 +147,79 @@ impl PathSelectivityEstimator {
         assert!(graph.label_count() > 0, "graph has no edge labels");
 
         let t0 = Instant::now();
-        let catalog = parallel::compute_parallel(graph, config.k, config.threads);
+        let sparse = SparseCatalog::compute_parallel(graph, config.k, config.threads)
+            .map_err(catalog_to_histogram_error)?;
         let catalog_time = t0.elapsed();
 
-        Self::from_catalog(graph, catalog, config, catalog_time)
+        Self::from_sparse_catalog(graph, sparse, config, catalog_time)
     }
 
-    /// Builds from a precomputed catalog (lets experiment drivers compute
-    /// the catalog once and build many estimators over it).
+    /// Builds from a precomputed **sparse** catalog.
+    ///
+    /// # Errors
+    /// As for [`PathSelectivityEstimator::build`].
+    pub fn from_sparse_catalog(
+        graph: &Graph,
+        sparse: SparseCatalog,
+        config: EstimatorConfig,
+        catalog_time: Duration,
+    ) -> Result<PathSelectivityEstimator, HistogramError> {
+        // Retaining ground truth needs a dense-feasible domain: fail the
+        // precondition now, in microseconds, instead of after the full
+        // ordering + histogram build.
+        if config.retain_catalog {
+            sparse
+                .check_dense_feasible()
+                .map_err(catalog_to_histogram_error)?;
+        }
+        let footprint = CatalogFootprint::from_sparse(&sparse);
+
+        let t1 = Instant::now();
+        let ordering = config.ordering.build_sparse(graph, &sparse, config.k);
+        let runs = sparse_ordered_frequencies(&sparse, ordering.as_ref());
+        let ordering_time = t1.elapsed();
+
+        let t2 = Instant::now();
+        let histogram = LabelPathHistogram::from_sparse_frequencies(
+            ordering,
+            &runs,
+            config.histogram,
+            config.beta,
+        )?;
+        let histogram_time = t2.elapsed();
+
+        let pair_frequencies = pair_frequencies_for(config, graph.label_count(), |l1, l2| {
+            sparse.selectivity(&[l1, l2])
+        });
+        let catalog = if config.retain_catalog {
+            Some(sparse.to_dense().map_err(catalog_to_histogram_error)?)
+        } else {
+            None
+        };
+
+        let (label_names, label_frequencies) = snapshot_state(graph);
+        Ok(PathSelectivityEstimator {
+            config,
+            catalog,
+            footprint,
+            histogram,
+            stats: BuildStats {
+                catalog_time,
+                ordering_time,
+                histogram_time,
+            },
+            label_names,
+            label_frequencies,
+            pair_frequencies,
+        })
+    }
+
+    /// Builds from a precomputed **dense** catalog (lets experiment
+    /// drivers compute the catalog once and build many estimators over
+    /// it). This is the dense reference pipeline — the sparse pipeline is
+    /// property-tested to produce bit-identical estimates against it. The
+    /// supplied catalog is always retained, regardless of
+    /// [`EstimatorConfig::retain_catalog`].
     pub fn from_catalog(
         graph: &Graph,
         catalog: SelectivityCatalog,
@@ -119,36 +240,15 @@ impl PathSelectivityEstimator {
         )?;
         let histogram_time = t2.elapsed();
 
-        // Capture the small reconstruction state for snapshots.
-        let label_names: Vec<String> = graph
-            .label_ids()
-            .map(|l| graph.labels().name(l).unwrap_or_default().to_owned())
-            .collect();
-        let label_frequencies: Vec<u64> = graph
-            .label_ids()
-            .map(|l| graph.label_frequency(l))
-            .collect();
-        let pair_frequencies = if config.ordering == OrderingKind::SumBasedL2 {
-            let n = graph.label_count();
-            let mut pairs = vec![0u64; n * n];
-            // A k = 1 domain never uses pair ranks (see SumBasedL2Ordering);
-            // store zeros so the snapshot stays restorable.
-            if config.k >= 2 {
-                for l1 in 0..n as u16 {
-                    for l2 in 0..n as u16 {
-                        pairs[(l1 as usize) * n + l2 as usize] =
-                            catalog.selectivity(&[LabelId(l1), LabelId(l2)]);
-                    }
-                }
-            }
-            Some(pairs)
-        } else {
-            None
-        };
+        let pair_frequencies = pair_frequencies_for(config, graph.label_count(), |l1, l2| {
+            catalog.selectivity(&[l1, l2])
+        });
 
+        let (label_names, label_frequencies) = snapshot_state(graph);
         Ok(PathSelectivityEstimator {
             config,
-            catalog,
+            footprint: CatalogFootprint::from_dense(&catalog),
+            catalog: Some(catalog),
             histogram,
             stats: BuildStats {
                 catalog_time,
@@ -174,6 +274,9 @@ impl PathSelectivityEstimator {
             return Err(crate::snapshot::SnapshotError::IdealNotSupported);
         }
         Ok(crate::snapshot::EstimatorSnapshot {
+            version: Some(crate::snapshot::SNAPSHOT_VERSION),
+            domain_paths: Some(self.footprint.domain_size),
+            nonzero_paths: Some(self.footprint.nonzero_paths),
             k: self.config.k,
             beta: self.config.beta,
             ordering: self.config.ordering,
@@ -200,19 +303,30 @@ impl PathSelectivityEstimator {
     }
 
     /// Exact selectivity `f(ℓ)` from the retained catalog.
+    ///
+    /// # Panics
+    /// Panics when the estimator was built without
+    /// [`EstimatorConfig::retain_catalog`] — ground truth is a build-time
+    /// opt-in under the sparse pipeline.
     pub fn exact(&self, labels: &[LabelId]) -> u64 {
-        self.catalog.selectivity(labels)
+        self.require_catalog().selectivity(labels)
     }
 
     /// The paper's signed error rate `err(ℓ)` (Formula 6) for one path.
+    ///
+    /// # Panics
+    /// As for [`PathSelectivityEstimator::exact`].
     pub fn error(&self, labels: &[LabelId]) -> f64 {
         error_rate(self.estimate(labels), self.exact(labels))
     }
 
     /// Accuracy over the whole domain — one Figure 2 data point.
+    ///
+    /// # Panics
+    /// As for [`PathSelectivityEstimator::exact`].
     pub fn accuracy_report(&self) -> AccuracyReport {
         evaluate_configuration(
-            &self.catalog,
+            self.require_catalog(),
             self.histogram.ordering(),
             self.config.histogram,
             self.config.beta,
@@ -230,9 +344,35 @@ impl PathSelectivityEstimator {
         &self.stats
     }
 
-    /// The retained ground-truth catalog.
-    pub fn catalog(&self) -> &SelectivityCatalog {
-        &self.catalog
+    /// The retained ground-truth catalog, if the build kept one
+    /// ([`EstimatorConfig::retain_catalog`], or the dense
+    /// [`PathSelectivityEstimator::from_catalog`] pipeline).
+    pub fn catalog(&self) -> Option<&SelectivityCatalog> {
+        self.catalog.as_ref()
+    }
+
+    fn require_catalog(&self) -> &SelectivityCatalog {
+        self.catalog
+            .as_ref()
+            .expect("ground-truth catalog not retained; build with EstimatorConfig::retain_catalog")
+    }
+
+    /// Memory accounting of the catalog stage (domain size, realized
+    /// paths, sparse vs dense bytes) — kept even when the catalog itself
+    /// was dropped.
+    pub fn footprint(&self) -> &CatalogFootprint {
+        &self.footprint
+    }
+
+    /// Approximate retained memory of this estimator: histogram buckets +
+    /// ordering reconstruction state + the optional dense catalog.
+    pub fn size_bytes(&self) -> usize {
+        let names: usize = self.label_names.iter().map(String::len).sum();
+        self.histogram.size_bytes()
+            + names
+            + self.label_frequencies.len() * 8
+            + self.pair_frequencies.as_ref().map_or(0, |p| p.len() * 8)
+            + self.catalog.as_ref().map_or(0, |c| c.len() * 8)
     }
 
     /// The label-path histogram (ordering + buckets).
@@ -242,7 +382,7 @@ impl PathSelectivityEstimator {
 
     /// Number of label paths in the domain.
     pub fn domain_size(&self) -> usize {
-        self.catalog.len()
+        self.footprint.domain_size as usize
     }
 
     /// Wraps the estimator in an [`std::sync::Arc`] for cheap sharing
@@ -259,6 +399,61 @@ impl PathSelectivityEstimator {
     /// catalog — the large part — is dropped.
     pub fn into_serving_parts(self) -> (EstimatorConfig, Vec<String>, LabelPathHistogram) {
         (self.config, self.label_names, self.histogram)
+    }
+}
+
+/// Captures the small snapshot reconstruction state from the graph.
+fn snapshot_state(graph: &Graph) -> (Vec<String>, Vec<u64>) {
+    let label_names: Vec<String> = graph
+        .label_ids()
+        .map(|l| graph.labels().name(l).unwrap_or_default().to_owned())
+        .collect();
+    let label_frequencies: Vec<u64> = graph
+        .label_ids()
+        .map(|l| graph.label_frequency(l))
+        .collect();
+    (label_names, label_frequencies)
+}
+
+/// The `n²` pair selectivities the L2 ordering snapshot needs, from either
+/// pipeline's catalog. `None` for every other ordering.
+fn pair_frequencies_for(
+    config: EstimatorConfig,
+    n: usize,
+    selectivity: impl Fn(LabelId, LabelId) -> u64,
+) -> Option<Vec<u64>> {
+    if config.ordering != OrderingKind::SumBasedL2 {
+        return None;
+    }
+    let mut pairs = vec![0u64; n * n];
+    // A k = 1 domain never uses pair ranks (see SumBasedL2Ordering);
+    // store zeros so the snapshot stays restorable.
+    if config.k >= 2 {
+        for l1 in 0..n as u16 {
+            for l2 in 0..n as u16 {
+                pairs[(l1 as usize) * n + l2 as usize] = selectivity(LabelId(l1), LabelId(l2));
+            }
+        }
+    }
+    Some(pairs)
+}
+
+/// Maps a catalog failure into the estimator's error type: both size
+/// refusals become [`HistogramError::DomainTooLarge`] (sizes saturate at
+/// `u64::MAX` — past 2⁴⁸ the exact value no longer matters). Alphabet /
+/// length violations stay panics: `build` asserts them first, so reaching
+/// one here is a caller bug, not an input condition.
+fn catalog_to_histogram_error(e: CatalogError) -> HistogramError {
+    match e {
+        CatalogError::DenseTooLarge { size, limit } => HistogramError::DomainTooLarge {
+            domain: size.min(u64::MAX as u128) as u64,
+            limit: limit as u64,
+        },
+        CatalogError::DomainTooLarge { size, limit, .. } => HistogramError::DomainTooLarge {
+            domain: size.min(u64::MAX as u128) as u64,
+            limit: limit.min(u64::MAX as u128) as u64,
+        },
+        other => panic!("unexpected catalog conversion failure: {other}"),
     }
 }
 
@@ -298,6 +493,7 @@ mod tests {
                     ordering,
                     histogram: HistogramKind::VOptimalGreedy,
                     threads: 1,
+                    retain_catalog: false,
                 },
             )
             .unwrap();
@@ -318,6 +514,7 @@ mod tests {
                 ordering: OrderingKind::SumBased,
                 histogram: HistogramKind::VOptimalGreedy,
                 threads: 1,
+                retain_catalog: true,
             },
         )
         .unwrap();
@@ -343,6 +540,7 @@ mod tests {
                 ordering: OrderingKind::NumCard,
                 histogram: HistogramKind::VOptimalGreedy,
                 threads: 1,
+                retain_catalog: true,
             },
         )
         .unwrap();
@@ -363,9 +561,27 @@ mod tests {
                 ordering: OrderingKind::NumAlph,
                 histogram: HistogramKind::VOptimalExact,
                 threads: 1,
+                retain_catalog: false,
             },
         );
         assert!(matches!(res, Err(HistogramError::ExactTooLarge { .. })));
+    }
+
+    #[test]
+    fn oversized_domain_is_a_checked_error() {
+        // 1000 labels at k = 8 ⇒ ~10^24 paths: past the index space, the
+        // build must return an error, not panic in the catalog layer.
+        let mut b = phe_graph::GraphBuilder::with_numeric_labels(2, 1000);
+        b.add_edge(phe_graph::VertexId(0), l(0), phe_graph::VertexId(1));
+        let g = b.build();
+        let res = PathSelectivityEstimator::build(
+            &g,
+            EstimatorConfig {
+                k: 8,
+                ..EstimatorConfig::default()
+            },
+        );
+        assert!(matches!(res, Err(HistogramError::DomainTooLarge { .. })));
     }
 
     #[test]

@@ -1,7 +1,8 @@
-//! Whole-domain accuracy evaluation — the machinery behind Figure 2.
+//! Whole-domain accuracy evaluation — the machinery behind Figure 2 —
+//! plus the sparse permutation step of the streaming build pipeline.
 
 use phe_histogram::{AccuracyReport, HistogramError, PointEstimator};
-use phe_pathenum::SelectivityCatalog;
+use phe_pathenum::{SelectivityCatalog, SparseCatalog};
 
 use crate::label_histogram::HistogramKind;
 use crate::ordering::DomainOrdering;
@@ -28,6 +29,25 @@ pub fn ordered_frequencies(
             catalog.selectivity(path.as_label_ids())
         })
         .collect()
+}
+
+/// Permutes a **sparse** catalog's non-zero frequencies into an
+/// ordering's index space: `(canonical_index, f)` → `(ordered_index, f)`,
+/// sorted by ordered index, zeros implicit.
+///
+/// This replaces the dense [`ordered_frequencies`] permutation in the
+/// streaming pipeline: cost is `O(nnz · rank + nnz log nnz)` instead of
+/// `O(|Lk| · unrank)` — and, more importantly, no `|Lk|`-sized allocation.
+pub fn sparse_ordered_frequencies(
+    catalog: &SparseCatalog,
+    ordering: &dyn DomainOrdering,
+) -> Vec<(u64, u64)> {
+    assert_eq!(
+        ordering.domain_size() as usize,
+        catalog.len(),
+        "ordering domain and catalog disagree on |Lk|"
+    );
+    ordering.ordered_entries(catalog.entries())
 }
 
 /// Builds a histogram of `kind`/`beta` under `ordering` and evaluates the
@@ -68,6 +88,39 @@ mod tests {
             b.sort_unstable();
             assert_eq!(a, b, "{} must permute the catalog", kind.name());
             assert_eq!(ordered.len() as u64, domain.size());
+        }
+    }
+
+    #[test]
+    fn sparse_permutation_matches_dense() {
+        let g = erdos_renyi(40, 160, 3, LabelDistribution::Zipf { exponent: 1.0 }, 3);
+        let dense = SelectivityCatalog::compute(&g, 3);
+        let sparse = phe_pathenum::SparseCatalog::compute(&g, 3).unwrap();
+        for kind in OrderingKind::ALL {
+            let ordering = kind.build(&g, &dense, 3);
+            let ordered = ordered_frequencies(&dense, ordering.as_ref());
+            let runs = sparse_ordered_frequencies(&sparse, ordering.as_ref());
+            // Runs are sorted, non-zero, and agree with the dense permutation.
+            assert!(runs.windows(2).all(|w| w[0].0 < w[1].0), "{}", kind.name());
+            let mut reconstructed = vec![0u64; ordered.len()];
+            for &(index, count) in &runs {
+                reconstructed[index as usize] = count;
+            }
+            assert_eq!(reconstructed, ordered, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn sparse_ordering_builders_agree_with_dense() {
+        let g = erdos_renyi(40, 160, 4, LabelDistribution::Zipf { exponent: 1.1 }, 11);
+        let dense = SelectivityCatalog::compute(&g, 3);
+        let sparse = phe_pathenum::SparseCatalog::compute(&g, 3).unwrap();
+        for kind in [OrderingKind::SumBasedL2, OrderingKind::Ideal] {
+            let a = kind.build(&g, &dense, 3);
+            let b = kind.build_sparse(&g, &sparse, 3);
+            for i in 0..a.domain_size() {
+                assert_eq!(a.path_at(i), b.path_at(i), "{} at {i}", kind.name());
+            }
         }
     }
 

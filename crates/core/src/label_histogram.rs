@@ -3,7 +3,9 @@
 
 use phe_graph::LabelId;
 use phe_histogram::builder::{EquiDepth, EquiWidth, HistogramBuilder, VOptimal};
-use phe_histogram::{EndBiasedHistogram, Histogram, HistogramError, PointEstimator};
+use phe_histogram::{
+    EndBiasedHistogram, Histogram, HistogramError, PointEstimator, SparseFrequencies,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::ordering::DomainOrdering;
@@ -107,6 +109,37 @@ impl HistogramKind {
             }
         })
     }
+
+    /// Builds the histogram from sparse ordered `(index, frequency)` runs
+    /// with implicit zeros — same boundaries as [`HistogramKind::build`]
+    /// on the materialized sequence (see the `phe-histogram` sparse
+    /// builders for the exactness guarantee).
+    pub fn build_sparse(
+        &self,
+        data: &SparseFrequencies<'_>,
+        beta: usize,
+    ) -> Result<BuiltHistogram, HistogramError> {
+        Ok(match self {
+            HistogramKind::EquiWidth => {
+                BuiltHistogram::Buckets(EquiWidth.build_sparse(data, beta)?)
+            }
+            HistogramKind::EquiDepth => {
+                BuiltHistogram::Buckets(EquiDepth.build_sparse(data, beta)?)
+            }
+            HistogramKind::VOptimalExact => {
+                BuiltHistogram::Buckets(VOptimal::exact().build_sparse(data, beta)?)
+            }
+            HistogramKind::VOptimalGreedy => {
+                BuiltHistogram::Buckets(VOptimal::greedy().build_sparse(data, beta)?)
+            }
+            HistogramKind::VOptimalMaxDiff => {
+                BuiltHistogram::Buckets(VOptimal::maxdiff().build_sparse(data, beta)?)
+            }
+            HistogramKind::EndBiased => {
+                BuiltHistogram::EndBiased(EndBiasedHistogram::build_sparse(data, beta)?)
+            }
+        })
+    }
 }
 
 impl std::fmt::Display for HistogramKind {
@@ -139,6 +172,25 @@ impl LabelPathHistogram {
             "frequency sequence does not cover the domain"
         );
         let histogram = kind.build(ordered, beta)?;
+        Ok(LabelPathHistogram {
+            ordering,
+            histogram,
+        })
+    }
+
+    /// Builds a histogram from **sparse** ordered `(index, frequency)`
+    /// runs (implicit zeros), already permuted into `ordering`'s index
+    /// space by [`crate::eval::sparse_ordered_frequencies`]. This is the
+    /// streaming pipeline's construction path: the dense ordered sequence
+    /// is never materialized.
+    pub fn from_sparse_frequencies(
+        ordering: Box<dyn DomainOrdering>,
+        runs: &[(u64, u64)],
+        kind: HistogramKind,
+        beta: usize,
+    ) -> Result<LabelPathHistogram, HistogramError> {
+        let data = SparseFrequencies::new(runs, ordering.domain_size())?;
+        let histogram = kind.build_sparse(&data, beta)?;
         Ok(LabelPathHistogram {
             ordering,
             histogram,
@@ -183,10 +235,11 @@ impl LabelPathHistogram {
         &self.histogram
     }
 
-    /// Approximate retained memory (histogram only — the ordering is
-    /// O(|L|) state).
+    /// Approximate retained memory: histogram buckets plus any ordering
+    /// tables beyond O(|L|) state (only the ideal reference ordering has
+    /// them — see [`DomainOrdering::size_bytes`]).
     pub fn size_bytes(&self) -> usize {
-        self.histogram.size_bytes()
+        self.histogram.size_bytes() + self.ordering.size_bytes()
     }
 }
 

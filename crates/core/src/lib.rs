@@ -41,11 +41,38 @@
 //!         ordering: OrderingKind::SumBased,
 //!         histogram: HistogramKind::VOptimalGreedy,
 //!         threads: 1,
+//!         retain_catalog: false,
 //!     },
 //! ).unwrap();
 //! let e = est.estimate(&[LabelId(0), LabelId(1)]);
 //! assert!(e >= 0.0);
 //! ```
+//!
+//! ## Scaling
+//!
+//! The paper's domain `Lk` grows as `Σ |L|^i`, but real graphs realize
+//! only the label paths actual edge chains spell out. The build pipeline
+//! is therefore **sparse-first**: [`PathSelectivityEstimator::build`]
+//! streams a sharded sparse catalog (`phe-pathenum`'s `SparseCatalog`,
+//! sorted `(canonical_index, count)` runs) through
+//! [`DomainOrdering::ordered_index`] — the combinatorial canonical →
+//! ordered remap of Formulas 3–5 — into the sparse histogram builders of
+//! `phe-histogram`, which charge O(1) per zero run. The dense `Vec<u64>`
+//! over the full domain is never materialized, so `(|L|, k)` points whose
+//! dense vector would not even allocate (e.g. `|L| = 64, k = 6`: ~70
+//! billion paths, half a terabyte dense) build in seconds from tens of
+//! megabytes of realized counts. Sparse and dense pipelines produce
+//! **bit-identical** estimates (property-tested across every ordering ×
+//! histogram kind in `tests/sparse_equivalence.rs`).
+//!
+//! Ground truth is the one thing that still costs `O(|Lk|)`: set
+//! [`EstimatorConfig::retain_catalog`] (`estimator` module) to keep the
+//! dense catalog for [`PathSelectivityEstimator::exact`] /
+//! [`PathSelectivityEstimator::accuracy_report`] on dense-feasible
+//! domains; leave it off (the default) and the estimator retains only
+//! buckets + ordering state — the serving footprint. Snapshots written by
+//! the sparse pipeline are format v2 (adding build provenance); v1 files
+//! restore unchanged.
 //!
 //! ## Serving
 //!

@@ -51,6 +51,55 @@ impl IdealOrdering {
         }
     }
 
+    /// Builds the ideal ordering from a sparse catalog. Identical to
+    /// [`IdealOrdering::from_catalog`] on the equivalent dense catalog:
+    /// the `(selectivity, canonical)` sort key puts the whole zero plateau
+    /// first in canonical order, followed by the realized entries sorted
+    /// by `(count, canonical)` — both reconstructable without the dense
+    /// vector. Memory stays `O(|Lk|)`, of course: that is the point of
+    /// this reference ordering, and why it has no place past the dense
+    /// limit.
+    pub fn from_sparse(domain: PathDomain, catalog: &phe_pathenum::SparseCatalog) -> IdealOrdering {
+        assert_eq!(
+            catalog.len() as u64,
+            domain.size(),
+            "catalog does not cover the domain"
+        );
+        // The permutation tables index with u32; a sparse catalog can
+        // describe domains past that (up to 2⁴⁸), where this O(|Lk|)
+        // reference ordering is unbuildable anyway — refuse loudly
+        // instead of wrapping indexes.
+        assert!(
+            catalog.len() as u64 <= u32::MAX as u64,
+            "ideal ordering over {} paths exceeds the u32 index space",
+            catalog.len()
+        );
+        let entries = catalog.entries();
+        let mut by_index: Vec<u32> = Vec::with_capacity(catalog.len());
+        // Zero plateau: every canonical index absent from the entries.
+        by_index.extend(
+            phe_histogram::sparse::absent_indexes(
+                entries.iter().map(|&(index, _)| index),
+                catalog.len() as u64,
+            )
+            .map(|canonical| canonical as u32),
+        );
+        // Realized paths by (count, canonical); entries are already
+        // canonical-sorted, so a stable sort by count suffices.
+        let mut realized: Vec<(u64, u64)> = entries.to_vec();
+        realized.sort_by_key(|&(_, count)| count);
+        by_index.extend(realized.iter().map(|&(index, _)| index as u32));
+        let mut position = vec![0u32; catalog.len()];
+        for (pos, &c) in by_index.iter().enumerate() {
+            position[c as usize] = pos as u32;
+        }
+        IdealOrdering {
+            domain,
+            by_index,
+            position,
+        }
+    }
+
     /// The memory this ordering must retain — the cost the paper rules it
     /// out by.
     pub fn size_bytes(&self) -> usize {
@@ -75,6 +124,12 @@ impl DomainOrdering for IdealOrdering {
     fn path_at(&self, index: u64) -> LabelPath {
         self.domain
             .canonical_path(self.by_index[index as usize] as u64)
+    }
+
+    /// The `O(|Lk|)` permutation tables — the cost the paper rules this
+    /// ordering out by, surfaced to memory accounting.
+    fn size_bytes(&self) -> usize {
+        IdealOrdering::size_bytes(self)
     }
 }
 
@@ -146,9 +201,31 @@ mod tests {
     }
 
     #[test]
+    fn from_sparse_matches_from_catalog() {
+        let g = erdos_renyi(40, 300, 3, LabelDistribution::Zipf { exponent: 1.0 }, 5);
+        let dense = SelectivityCatalog::compute(&g, 3);
+        let sparse = phe_pathenum::SparseCatalog::compute(&g, 3).unwrap();
+        let domain = PathDomain::new(3, 3);
+        let a = IdealOrdering::from_catalog(domain, &dense);
+        let b = IdealOrdering::from_sparse(domain, &sparse);
+        for i in 0..domain.size() {
+            assert_eq!(a.path_at(i), b.path_at(i), "position {i}");
+        }
+    }
+
+    #[test]
     fn memory_is_linear_in_domain() {
         let (domain, _, ideal) = setup();
         assert_eq!(ideal.size_bytes(), domain.size() as usize * 8);
+        // The trait-level accounting reports the same tables, so serving
+        // footprints include them; rank-based orderings report 0.
+        let as_ordering: &dyn DomainOrdering = &ideal;
+        assert_eq!(as_ordering.size_bytes(), domain.size() as usize * 8);
+        let sum_based = crate::ordering::SumBasedOrdering::new(
+            domain,
+            crate::ranking::LabelRanking::cardinality_from_frequencies(&[3, 1, 2]),
+        );
+        assert_eq!(DomainOrdering::size_bytes(&sum_based), 0);
     }
 
     #[test]
@@ -173,6 +250,7 @@ mod tests {
                 ordering: OrderingKind::Ideal,
                 histogram: HistogramKind::VOptimalGreedy,
                 threads: 1,
+                retain_catalog: false,
             },
         )
         .unwrap();

@@ -48,9 +48,45 @@ pub trait DomainOrdering: Send + Sync {
     /// Panics if `index ≥ domain().size()`.
     fn path_at(&self, index: u64) -> LabelPath;
 
+    /// Maps a *canonical* index (the catalog storage layout) to this
+    /// ordering's index — the composition `index_of ∘ canonical_path`.
+    ///
+    /// This is the sparse pipeline's workhorse: a sparse catalog entry
+    /// `(canonical_index, count)` becomes `(ordered_index(c), count)`
+    /// without ever enumerating the zero entries between them. Orderings
+    /// with a cheaper combinatorial route (e.g. the numerical ordering's
+    /// digit remap) override it.
+    fn ordered_index(&self, canonical_index: u64) -> u64 {
+        self.index_of(&self.domain().canonical_path(canonical_index))
+    }
+
+    /// Bulk [`DomainOrdering::ordered_index`] over sparse
+    /// `(canonical_index, count)` entries, returning `(ordered_index,
+    /// count)` pairs **sorted by ordered index**. Counts ride along
+    /// untouched; the permutation property guarantees no duplicates.
+    fn ordered_entries(&self, canonical: &[(u64, u64)]) -> Vec<(u64, u64)> {
+        let mut mapped: Vec<(u64, u64)> = canonical
+            .iter()
+            .map(|&(index, count)| (self.ordered_index(index), count))
+            .collect();
+        mapped.sort_unstable_by_key(|&(index, _)| index);
+        mapped
+    }
+
     /// Domain size, `|Lk|`.
     fn domain_size(&self) -> u64 {
         self.domain().size()
+    }
+
+    /// Retained table bytes beyond the O(|L|) configuration state.
+    ///
+    /// Most orderings hold only a ranking (a few bytes per label) and
+    /// report 0; table-backed orderings — the ideal reference with its
+    /// `O(|Lk|)` permutation — override this so memory accounting
+    /// (`phe-service`'s `list`, the estimator footprint) reflects what
+    /// they actually pin.
+    fn size_bytes(&self) -> usize {
+        0
     }
 }
 
@@ -119,8 +155,36 @@ impl OrderingKind {
         catalog: &SelectivityCatalog,
         k: usize,
     ) -> Box<dyn DomainOrdering> {
-        let n = graph.label_count();
-        let domain = PathDomain::new(n, k);
+        let domain = PathDomain::new(graph.label_count(), k);
+        match self {
+            OrderingKind::SumBasedL2 => Box::new(SumBasedL2Ordering::from_catalog(domain, catalog)),
+            OrderingKind::Ideal => Box::new(IdealOrdering::from_catalog(domain, catalog)),
+            graph_only => graph_only.build_from_graph(graph, domain),
+        }
+    }
+
+    /// Builds the ordering from a **sparse** catalog — the sparse-first
+    /// pipeline's counterpart of [`OrderingKind::build`]. Identical
+    /// orderings result; only the two catalog-dependent kinds read the
+    /// catalog (sum-based-L2 looks up its `n²` pair selectivities by
+    /// binary search, the ideal reference sorts the realized entries and
+    /// inherits the canonical tie-break for the zero plateau).
+    pub fn build_sparse(
+        &self,
+        graph: &Graph,
+        catalog: &phe_pathenum::SparseCatalog,
+        k: usize,
+    ) -> Box<dyn DomainOrdering> {
+        let domain = PathDomain::new(graph.label_count(), k);
+        match self {
+            OrderingKind::SumBasedL2 => Box::new(SumBasedL2Ordering::from_sparse(domain, catalog)),
+            OrderingKind::Ideal => Box::new(IdealOrdering::from_sparse(domain, catalog)),
+            graph_only => graph_only.build_from_graph(graph, domain),
+        }
+    }
+
+    /// The five catalog-free methods, shared by both pipelines.
+    fn build_from_graph(&self, graph: &Graph, domain: PathDomain) -> Box<dyn DomainOrdering> {
         match self {
             OrderingKind::NumAlph => Box::new(NumericalOrdering::new(
                 domain,
@@ -146,8 +210,9 @@ impl OrderingKind {
                 domain,
                 LabelRanking::cardinality(graph),
             )),
-            OrderingKind::SumBasedL2 => Box::new(SumBasedL2Ordering::from_catalog(domain, catalog)),
-            OrderingKind::Ideal => Box::new(IdealOrdering::from_catalog(domain, catalog)),
+            OrderingKind::SumBasedL2 | OrderingKind::Ideal => {
+                unreachable!("catalog-dependent kinds are handled by the callers")
+            }
         }
     }
 }

@@ -71,6 +71,25 @@ impl DomainOrdering for NumericalOrdering {
             ranks[..m].iter().map(|&r| self.ranking.unrank(r)).collect();
         LabelPath::new(&labels)
     }
+
+    /// Combinatorial override: canonical and numerical indexes share the
+    /// length-major base-`n` layout, differing only in the digit alphabet
+    /// (label ids vs ranks − 1) — remap digits without building a path.
+    fn ordered_index(&self, canonical_index: u64) -> u64 {
+        let (m, mut rem) = self.domain.length_of_index(canonical_index);
+        let n = self.domain.label_count() as u64;
+        let mut digits = [0u64; crate::path::MAX_K];
+        for i in (0..m).rev() {
+            digits[i] = rem % n;
+            rem /= n;
+        }
+        let mut value = 0u64;
+        for &digit in &digits[..m] {
+            let rank = self.ranking.rank(phe_graph::LabelId(digit as u16));
+            value = value * n + (rank - 1) as u64;
+        }
+        self.domain.offset_of_length(m) + value
+    }
 }
 
 #[cfg(test)]

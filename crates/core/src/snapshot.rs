@@ -59,9 +59,23 @@ const _: () = {
     assert_send_sync::<EstimatorSnapshot>();
 };
 
+/// Current snapshot format version. v1 files (written before the sparse
+/// pipeline) carry no `version` field and restore unchanged; v2 adds the
+/// optional sparse-build provenance (`domain_paths`, `nonzero_paths`).
+pub const SNAPSHOT_VERSION: u32 = 2;
+
 /// The serializable retained state of a built estimator.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EstimatorSnapshot {
+    /// Format version: `None` for v1 files, `Some(2)` for snapshots
+    /// written by the sparse pipeline. Restoring refuses versions newer
+    /// than [`SNAPSHOT_VERSION`].
+    pub version: Option<u32>,
+    /// Domain size `|Lk|` at build time (v2; provenance only).
+    pub domain_paths: Option<u64>,
+    /// Realized (non-zero) paths at build time (v2; provenance only —
+    /// what the `phe build --stats` report is derived from).
+    pub nonzero_paths: Option<u64>,
     /// Maximum path length `k`.
     pub k: usize,
     /// Bucket budget the histogram was built with.
@@ -84,8 +98,14 @@ pub struct EstimatorSnapshot {
 
 impl EstimatorSnapshot {
     /// Rebuilds the retained estimator (ordering + histogram) without any
-    /// graph or catalog access.
+    /// graph or catalog access. Accepts v1 (no `version` field) and v2
+    /// snapshots; newer versions are refused.
     pub fn restore(&self) -> Result<LabelPathHistogram, SnapshotError> {
+        if let Some(version) = self.version.filter(|&v| v > SNAPSHOT_VERSION) {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot version {version} is newer than supported {SNAPSHOT_VERSION}"
+            )));
+        }
         let n = self.label_names.len();
         if self.label_frequencies.len() != n {
             return Err(SnapshotError::Corrupt(format!(
@@ -192,6 +212,7 @@ mod tests {
                 ordering,
                 histogram: HistogramKind::VOptimalGreedy,
                 threads: 1,
+                retain_catalog: false,
             },
         )
         .unwrap()
@@ -235,6 +256,58 @@ mod tests {
         // is it does not scale with |Lk|).
         assert!(snapshot.retained_bytes() < 16 * 64 + 4 * 16 + 64);
         assert_eq!(snapshot.label_names.len(), 4);
+    }
+
+    #[test]
+    fn v1_snapshots_without_version_field_restore() {
+        // A v1 file is today's serialization minus the v2 fields; the
+        // compat serde treats missing fields as null ⇒ None.
+        let est = build(OrderingKind::SumBased);
+        let snapshot = est.snapshot().unwrap();
+        let mut v1 = snapshot.clone();
+        v1.version = None;
+        v1.domain_paths = None;
+        v1.nonzero_paths = None;
+        let json = serde_json::to_string(&v1).unwrap();
+        let parsed: EstimatorSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.version, None);
+        let restored = parsed.restore().unwrap();
+        for l in 0..4u16 {
+            let path = [LabelId(l)];
+            assert_eq!(est.estimate(&path), restored.estimate_labels(&path));
+        }
+        // And a literal v1 wire file (no version key at all) parses too.
+        let stripped: String = {
+            let full = serde_json::to_string(&snapshot).unwrap();
+            // The v2 fields serialize as null when absent; drop them from
+            // the object to mimic a pre-v2 writer.
+            full.replacen("\"version\":2,", "", 1)
+                .replacen(&format!("\"domain_paths\":{},", est.domain_size()), "", 1)
+                .replacen(
+                    &format!("\"nonzero_paths\":{},", est.footprint().nonzero_paths),
+                    "",
+                    1,
+                )
+        };
+        let parsed: EstimatorSnapshot = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(parsed.version, None);
+        parsed.restore().unwrap();
+    }
+
+    #[test]
+    fn future_snapshot_versions_are_refused() {
+        let est = build(OrderingKind::SumBased);
+        let mut snapshot = est.snapshot().unwrap();
+        assert_eq!(snapshot.version, Some(SNAPSHOT_VERSION));
+        snapshot.version = Some(SNAPSHOT_VERSION + 1);
+        let err = snapshot
+            .restore()
+            .err()
+            .expect("must refuse newer versions");
+        match err {
+            SnapshotError::Corrupt(msg) => assert!(msg.contains("newer"), "{msg}"),
+            other => panic!("expected version refusal, got {other:?}"),
+        }
     }
 
     #[test]

@@ -4,6 +4,9 @@ use crate::bucket::Bucket;
 use crate::error::HistogramError;
 use crate::histogram::Histogram;
 use crate::prefix::PrefixSums;
+use crate::sparse::{
+    buckets_from_ends_sparse, check_inputs_sparse, SparseFrequencies, SparsePrefix,
+};
 
 pub use crate::v_optimal::{VOptimal, VOptimalMode};
 
@@ -19,6 +22,21 @@ pub trait HistogramBuilder {
 
     /// Builds the histogram.
     fn build(&self, data: &[u64], beta: usize) -> Result<Histogram, HistogramError>;
+
+    /// Builds the histogram from sparse `(index, frequency)` runs with
+    /// implicit zeros, producing **the same bucket boundaries** as
+    /// [`HistogramBuilder::build`] on the materialized sequence.
+    ///
+    /// The default implementation materializes the dense sequence (guarded
+    /// by [`crate::sparse::DENSE_MATERIALIZE_LIMIT`]); builders with a
+    /// sparse-native algorithm override it so zero runs cost O(1).
+    fn build_sparse(
+        &self,
+        data: &SparseFrequencies<'_>,
+        beta: usize,
+    ) -> Result<Histogram, HistogramError> {
+        self.build(&data.materialize()?, beta)
+    }
 }
 
 /// Checks the common preconditions and normalizes the bucket budget.
@@ -62,6 +80,26 @@ impl HistogramBuilder for EquiWidth {
         let n = data.len();
         let ends: Vec<usize> = (1..=beta).map(|i| n * i / beta - 1).collect();
         Ok(Histogram::from_buckets(buckets_from_ends(data, &ends), n))
+    }
+
+    /// Sparse-native: bucket boundaries depend only on `(N, β)`, so only
+    /// the per-bucket statistics touch the entries — O(β + nnz) total.
+    fn build_sparse(
+        &self,
+        data: &SparseFrequencies<'_>,
+        beta: usize,
+    ) -> Result<Histogram, HistogramError> {
+        let beta = check_inputs_sparse(data, beta)?;
+        let n = data.domain_size();
+        // u128 intermediate: `n · i` can overflow u64 on huge domains.
+        let ends: Vec<u64> = (1..=beta as u64)
+            .map(|i| (n as u128 * i as u128 / beta as u128 - 1) as u64)
+            .collect();
+        let prefix = SparsePrefix::new(data);
+        Ok(Histogram::from_buckets(
+            buckets_from_ends_sparse(data, &prefix, &ends),
+            n as usize,
+        ))
     }
 }
 
@@ -109,6 +147,94 @@ impl HistogramBuilder for EquiDepth {
         debug_assert_eq!(ends.len(), beta);
         Ok(Histogram::from_buckets(buckets_from_ends(data, &ends), n))
     }
+
+    /// Sparse-native: the dense scan only changes state at non-zero
+    /// entries (the running sum is constant across a zero run), so the
+    /// per-index close decisions inside a constant-sum region are solved
+    /// arithmetically. Each bucket close is O(1) ⇒ O(β + nnz) total.
+    fn build_sparse(
+        &self,
+        data: &SparseFrequencies<'_>,
+        beta: usize,
+    ) -> Result<Histogram, HistogramError> {
+        let beta = check_inputs_sparse(data, beta)?;
+        let n = data.domain_size();
+        let total = data.total();
+        if total == 0 {
+            return EquiWidth.build_sparse(data, beta);
+        }
+        let mut ends: Vec<u64> = Vec::with_capacity(beta);
+        let mut acc = 0u64;
+        let mut pos = 0u64;
+        'scan: {
+            for &(index, frequency) in data.entries() {
+                // Zero run [pos, index-1]: the accumulator is unchanged.
+                if pos < index && !equi_depth_region(pos, index - 1, acc, total, beta, n, &mut ends)
+                {
+                    break 'scan;
+                }
+                acc += frequency;
+                if !equi_depth_region(index, index, acc, total, beta, n, &mut ends) {
+                    break 'scan;
+                }
+                pos = index + 1;
+            }
+            if pos < n {
+                equi_depth_region(pos, n - 1, acc, total, beta, n, &mut ends);
+            }
+        }
+        ends.push(n - 1);
+        debug_assert_eq!(ends.len(), beta);
+        let prefix = SparsePrefix::new(data);
+        Ok(Histogram::from_buckets(
+            buckets_from_ends_sparse(data, &prefix, &ends),
+            n as usize,
+        ))
+    }
+}
+
+/// Replays the dense equi-depth close decisions over a constant-`acc`
+/// index region `[a, b]`. Returns `false` once `β − 1` buckets are closed
+/// (the dense loop's `break`). Each iteration closes a bucket or exits, so
+/// the cost is bounded by the closes performed, not the region width.
+fn equi_depth_region(
+    a: u64,
+    b: u64,
+    acc: u64,
+    total: u64,
+    beta: usize,
+    n: u64,
+    ends: &mut Vec<u64>,
+) -> bool {
+    let beta = beta as u64;
+    let mut i = a;
+    while i <= b {
+        let closed = ends.len() as u64;
+        if closed == beta - 1 {
+            return false;
+        }
+        let remaining_buckets = beta - closed - 1;
+        let threshold = (closed + 1) * total / beta;
+        if acc >= threshold {
+            // `wants_close`; the feasibility guard (`remaining_values >=
+            // remaining_buckets`) is an invariant of the scan, asserted
+            // rather than branched on.
+            debug_assert!(n - i > remaining_buckets);
+            ends.push(i);
+            i += 1;
+            continue;
+        }
+        // Below the threshold the only possible close left in this region
+        // is `must_close` at the index where remaining values equal
+        // remaining buckets.
+        let must_close_at = n - 1 - remaining_buckets;
+        if must_close_at < i || must_close_at > b {
+            return true;
+        }
+        ends.push(must_close_at);
+        i = must_close_at + 1;
+    }
+    true
 }
 
 #[cfg(test)]

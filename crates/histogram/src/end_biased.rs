@@ -58,6 +58,52 @@ impl EndBiasedHistogram {
         })
     }
 
+    /// Builds from sparse `(index, frequency)` runs with implicit zeros,
+    /// matching [`EndBiasedHistogram::build`] on the dense sequence
+    /// exactly: the dense tie-break (higher frequency first, then lower
+    /// index) puts every implicit zero after every entry, ordered by
+    /// index — so zero singletons, when the budget reaches them, are the
+    /// smallest non-entry indexes. O(nnz log nnz + β).
+    pub fn build_sparse(
+        data: &crate::sparse::SparseFrequencies<'_>,
+        beta: usize,
+    ) -> Result<EndBiasedHistogram, HistogramError> {
+        if data.domain_size() == 0 {
+            return Err(HistogramError::EmptyData);
+        }
+        if beta == 0 {
+            return Err(HistogramError::ZeroBuckets);
+        }
+        let n = data.domain_size();
+        let singles = ((beta - 1) as u64).min(n);
+        let mut order: Vec<(u64, u64)> = data.entries().to_vec();
+        order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let from_entries = (order.len() as u64).min(singles);
+        let mut exact: HashMap<usize, u64> = order[..from_entries as usize]
+            .iter()
+            .map(|&(index, frequency)| (index as usize, frequency))
+            .collect();
+        // Remaining budget stores zeros at the smallest non-entry indexes.
+        let zero_budget = (singles - from_entries) as usize;
+        let occupied = data.entries().iter().map(|&(index, _)| index);
+        for position in crate::sparse::absent_indexes(occupied, n).take(zero_budget) {
+            exact.insert(position as usize, 0);
+        }
+        debug_assert_eq!(exact.len() as u64, singles, "budget exceeds zero count");
+        let rest_count = n - singles;
+        let exact_sum: u64 = exact.values().sum();
+        let rest_mean = if rest_count == 0 {
+            0.0
+        } else {
+            (data.total() - exact_sum) as f64 / rest_count as f64
+        };
+        Ok(EndBiasedHistogram {
+            exact,
+            rest_mean,
+            domain_size: n as usize,
+        })
+    }
+
     /// Number of exactly stored values.
     pub fn exact_count(&self) -> usize {
         self.exact.len()
@@ -144,5 +190,40 @@ mod tests {
     fn out_of_domain_panics() {
         let h = EndBiasedHistogram::build(&[1, 2], 2).unwrap();
         h.estimate(2);
+    }
+
+    #[test]
+    fn sparse_build_matches_dense() {
+        use crate::sparse::SparseFrequencies;
+        let cases: &[&[u64]] = &[
+            &[1, 500, 2, 3, 900, 1],
+            &[0, 0, 7, 0, 0, 0, 7, 9],
+            &[0, 0, 0],
+            &[5],
+        ];
+        for dense in cases {
+            let entries = SparseFrequencies::collect_from_dense(dense);
+            let s = SparseFrequencies::new(&entries, dense.len() as u64).unwrap();
+            for beta in [1usize, 2, 3, 10] {
+                let d = EndBiasedHistogram::build(dense, beta).unwrap();
+                let sp = EndBiasedHistogram::build_sparse(&s, beta).unwrap();
+                assert_eq!(d.exact_count(), sp.exact_count(), "{dense:?} β={beta}");
+                assert_eq!(d.rest_mean().to_bits(), sp.rest_mean().to_bits());
+                for i in 0..dense.len() {
+                    assert_eq!(d.estimate(i), sp.estimate(i), "{dense:?} β={beta} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_build_on_huge_domain() {
+        use crate::sparse::SparseFrequencies;
+        let entries = [(3u64, 40u64), ((1 << 40) - 1, 7)];
+        let s = SparseFrequencies::new(&entries, 1 << 40).unwrap();
+        let h = EndBiasedHistogram::build_sparse(&s, 3).unwrap();
+        assert_eq!(h.estimate(3), 40.0);
+        assert_eq!(h.estimate((1 << 40) - 1), 7.0);
+        assert_eq!(h.estimate(100), 0.0);
     }
 }

@@ -17,6 +17,17 @@ pub enum HistogramError {
         /// The configured maximum.
         limit: usize,
     },
+    /// A sparse build needed to materialize (or enumerate) the full dense
+    /// domain and the domain exceeds the materialization limit.
+    DomainTooLarge {
+        /// The (implicit-zeros) domain size.
+        domain: u64,
+        /// The configured materialization limit.
+        limit: u64,
+    },
+    /// The sparse `(index, frequency)` runs violated an invariant
+    /// (unsorted, duplicate, or out-of-domain indexes).
+    InvalidSparseRuns(String),
 }
 
 impl fmt::Display for HistogramError {
@@ -29,6 +40,14 @@ impl fmt::Display for HistogramError {
                 "exact V-optimal DP over {domain} values exceeds the {limit}-value limit; \
                  use VOptimalMode::GreedyMerge"
             ),
+            HistogramError::DomainTooLarge { domain, limit } => write!(
+                f,
+                "domain of {domain} values exceeds the {limit}-value dense materialization \
+                 limit; use a sparse-native builder"
+            ),
+            HistogramError::InvalidSparseRuns(msg) => {
+                write!(f, "invalid sparse frequency runs: {msg}")
+            }
         }
     }
 }

@@ -8,7 +8,13 @@
 //! some domain ordering; the whole point of the paper is that the choice of
 //! that ordering decides how well *any* bucketing can do.
 //!
-//! This crate is deliberately domain-agnostic: it sees only `&[u64]`.
+//! This crate is deliberately domain-agnostic: it sees only `&[u64]` — or,
+//! for domains too large to materialize, a [`sparse::SparseFrequencies`]
+//! view of the non-zero `(index, frequency)` runs with implicit zeros.
+//! Every builder accepts both ([`builder::HistogramBuilder::build_sparse`]),
+//! and the sparse-native implementations (equi-width, equi-depth, greedy
+//! and max-diff V-optimal, end-biased) produce identical bucket boundaries
+//! to their dense counterparts while paying O(1) per zero run.
 //!
 //! Provided partitioners (see [`builder::HistogramBuilder`]):
 //!
@@ -39,6 +45,7 @@ pub mod error;
 pub mod histogram;
 pub mod metrics;
 pub mod prefix;
+pub mod sparse;
 pub mod v_optimal;
 
 pub use bucket::Bucket;
@@ -48,6 +55,7 @@ pub use error::HistogramError;
 pub use histogram::Histogram;
 pub use metrics::{error_rate, mean_abs_error_rate, q_error, AccuracyReport};
 pub use prefix::PrefixSums;
+pub use sparse::{SparseFrequencies, SparsePrefix};
 
 /// Anything that can answer a point-frequency estimate for a domain index.
 ///

@@ -1,0 +1,419 @@
+//! Sparse frequency sequences: `(index, frequency)` runs with implicit
+//! zeros.
+//!
+//! A sparse-first build pipeline hands histogram builders the non-zero
+//! frequencies only — sorted by domain index — so a domain dominated by
+//! zero-selectivity paths costs O(nnz) instead of O(N). The builders in
+//! this crate consume [`SparseFrequencies`] through
+//! [`crate::builder::HistogramBuilder::build_sparse`]; the sparse-native
+//! implementations produce **identical bucket boundaries** to their dense
+//! counterparts (guaranteed whenever the squared-frequency prefix sums are
+//! exactly representable in `f64`, i.e. `Σ f² < 2⁵³` — the same regime in
+//! which the dense V-optimal cost model itself is exact).
+//!
+//! [`SparsePrefix`] is the sparse analogue of [`crate::prefix::PrefixSums`]:
+//! it accumulates the *same* `f64` square-sum sequence the dense prefix
+//! would (zeros add exactly `0.0`), so range sums, square sums, and SSE
+//! values are bit-identical to the dense computation.
+
+use crate::bucket::Bucket;
+use crate::error::HistogramError;
+
+/// The largest domain a sparse build may materialize (or enumerate
+/// per-index) when a builder has no sparse-native path. 2²⁶ values ⇒ a
+/// 512 MiB dense vector — beyond that, materializing defeats the point.
+pub const DENSE_MATERIALIZE_LIMIT: u64 = 1 << 26;
+
+/// A sparse frequency sequence over the domain `[0, domain_size)`:
+/// strictly increasing indexes with non-zero frequencies; every index not
+/// listed has frequency 0.
+#[derive(Debug, Clone, Copy)]
+pub struct SparseFrequencies<'a> {
+    entries: &'a [(u64, u64)],
+    domain_size: u64,
+}
+
+impl<'a> SparseFrequencies<'a> {
+    /// Wraps validated runs.
+    ///
+    /// # Errors
+    /// [`HistogramError::InvalidSparseRuns`] when indexes are unsorted,
+    /// duplicated, or outside the domain, or a listed frequency is zero
+    /// (zeros must stay implicit so `nnz` is meaningful).
+    pub fn new(
+        entries: &'a [(u64, u64)],
+        domain_size: u64,
+    ) -> Result<SparseFrequencies<'a>, HistogramError> {
+        if let Some(w) = entries.windows(2).find(|w| w[0].0 >= w[1].0) {
+            return Err(HistogramError::InvalidSparseRuns(format!(
+                "indexes not strictly increasing at {} .. {}",
+                w[0].0, w[1].0
+            )));
+        }
+        if let Some(&(index, _)) = entries.last().filter(|&&(index, _)| index >= domain_size) {
+            return Err(HistogramError::InvalidSparseRuns(format!(
+                "index {index} outside domain of {domain_size}"
+            )));
+        }
+        if let Some(&(index, _)) = entries.iter().find(|&&(_, frequency)| frequency == 0) {
+            return Err(HistogramError::InvalidSparseRuns(format!(
+                "explicit zero frequency at index {index}"
+            )));
+        }
+        Ok(SparseFrequencies {
+            entries,
+            domain_size,
+        })
+    }
+
+    /// The non-zero `(index, frequency)` entries, sorted by index.
+    #[inline]
+    pub fn entries(&self) -> &'a [(u64, u64)] {
+        self.entries
+    }
+
+    /// The logical domain size (zeros included).
+    #[inline]
+    pub fn domain_size(&self) -> u64 {
+        self.domain_size
+    }
+
+    /// Number of non-zero entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total frequency mass.
+    pub fn total(&self) -> u64 {
+        self.entries.iter().map(|&(_, frequency)| frequency).sum()
+    }
+
+    /// Materializes the dense sequence.
+    ///
+    /// # Errors
+    /// [`HistogramError::DomainTooLarge`] past [`DENSE_MATERIALIZE_LIMIT`].
+    pub fn materialize(&self) -> Result<Vec<u64>, HistogramError> {
+        if self.domain_size > DENSE_MATERIALIZE_LIMIT {
+            return Err(HistogramError::DomainTooLarge {
+                domain: self.domain_size,
+                limit: DENSE_MATERIALIZE_LIMIT,
+            });
+        }
+        let mut dense = vec![0u64; self.domain_size as usize];
+        for &(index, frequency) in self.entries {
+            dense[index as usize] = frequency;
+        }
+        Ok(dense)
+    }
+
+    /// Borrows a sparse view of a dense sequence (zeros dropped) — the
+    /// test oracle direction.
+    pub fn collect_from_dense(data: &[u64]) -> Vec<(u64, u64)> {
+        data.iter()
+            .enumerate()
+            .filter(|(_, &frequency)| frequency > 0)
+            .map(|(index, &frequency)| (index as u64, frequency))
+            .collect()
+    }
+
+    /// The maximal equal-value runs of the dense sequence, as inclusive
+    /// `(lo, hi)` ranges in index order. Gaps between entries are zero
+    /// runs; adjacent entries with equal frequencies fuse. This is the
+    /// starting segmentation for the sparse greedy V-optimal builder.
+    pub fn equal_value_runs(&self) -> Vec<(u64, u64)> {
+        let mut runs: Vec<(u64, u64, u64)> = Vec::with_capacity(2 * self.entries.len() + 1);
+        let mut pos = 0u64;
+        for &(index, frequency) in self.entries {
+            if pos < index {
+                runs.push((pos, index - 1, 0));
+            }
+            match runs.last_mut() {
+                Some(last) if last.1 + 1 == index && last.2 == frequency => last.1 = index,
+                _ => runs.push((index, index, frequency)),
+            }
+            pos = index + 1;
+        }
+        if pos < self.domain_size {
+            runs.push((pos, self.domain_size - 1, 0));
+        }
+        runs.into_iter().map(|(lo, hi, _)| (lo, hi)).collect()
+    }
+}
+
+/// Iterates the indexes of `[0, domain_size)` **absent** from `occupied`
+/// (a sorted, strictly increasing index sequence), ascending.
+///
+/// This is the "walk the implicit zeros" primitive shared by the
+/// sparse-native builders: end-biased zero singletons, max-diff zero-diff
+/// boundary fill, and the ideal ordering's zero plateau all need the
+/// smallest non-occupied indexes without materializing the domain.
+pub fn absent_indexes<I>(occupied: I, domain_size: u64) -> impl Iterator<Item = u64>
+where
+    I: IntoIterator<Item = u64>,
+{
+    let mut next_occupied = occupied.into_iter().peekable();
+    (0..domain_size).filter(move |&position| {
+        if next_occupied.peek() == Some(&position) {
+            next_occupied.next();
+            false
+        } else {
+            true
+        }
+    })
+}
+
+/// Sparse prefix sums: exact `u64` range sums and the *same* `f64`
+/// square-sum accumulation order as [`crate::prefix::PrefixSums`], so SSE
+/// values match the dense computation bit for bit (zeros contribute an
+/// exact `+0.0`).
+#[derive(Debug)]
+pub struct SparsePrefix {
+    /// Entry indexes, for rank queries.
+    indexes: Vec<u64>,
+    /// `sum[j]` = Σ frequency of the first `j` entries.
+    sum: Vec<u64>,
+    /// `sq[j]` = Σ frequency² of the first `j` entries, accumulated in
+    /// entry order exactly as the dense prefix would.
+    sq: Vec<f64>,
+}
+
+impl SparsePrefix {
+    /// Builds the prefix structure in one pass over the entries.
+    pub fn new(data: &SparseFrequencies<'_>) -> SparsePrefix {
+        let entries = data.entries();
+        let mut indexes = Vec::with_capacity(entries.len());
+        let mut sum = Vec::with_capacity(entries.len() + 1);
+        let mut sq = Vec::with_capacity(entries.len() + 1);
+        sum.push(0);
+        sq.push(0.0);
+        let mut s = 0u64;
+        let mut q = 0.0f64;
+        for &(index, frequency) in entries {
+            indexes.push(index);
+            s = s
+                .checked_add(frequency)
+                .expect("frequency sum overflows u64 — domain too heavy");
+            q += (frequency as f64) * (frequency as f64);
+            sum.push(s);
+            sq.push(q);
+        }
+        SparsePrefix { indexes, sum, sq }
+    }
+
+    /// Number of entries with index strictly below `position`.
+    #[inline]
+    pub fn rank(&self, position: u64) -> usize {
+        self.indexes.partition_point(|&index| index < position)
+    }
+
+    /// Sum of frequencies over the inclusive index range `[lo, hi]`.
+    #[inline]
+    pub fn range_sum(&self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        self.sum[self.rank(hi + 1)] - self.sum[self.rank(lo)]
+    }
+
+    /// Sum of squared frequencies over `[lo, hi]`, bit-identical to the
+    /// dense prefix difference.
+    #[inline]
+    pub fn range_sq(&self, lo: u64, hi: u64) -> f64 {
+        debug_assert!(lo <= hi);
+        self.sq[self.rank(hi + 1)] - self.sq[self.rank(lo)]
+    }
+
+    /// Number of non-zero entries inside `[lo, hi]`.
+    #[inline]
+    pub fn nnz_in_range(&self, lo: u64, hi: u64) -> usize {
+        self.rank(hi + 1) - self.rank(lo)
+    }
+
+    /// SSE of `[lo, hi]` around its mean — the same expression (and the
+    /// same zero clamp) as [`crate::prefix::PrefixSums::range_sse`].
+    #[inline]
+    pub fn range_sse(&self, lo: u64, hi: u64) -> f64 {
+        let n = (hi - lo + 1) as f64;
+        let s = self.range_sum(lo, hi) as f64;
+        let q = self.range_sq(lo, hi);
+        (q - s * s / n).max(0.0)
+    }
+
+    /// Builds the [`Bucket`] covering `[lo, hi]`, with min/max accounting
+    /// for implicit zeros.
+    pub fn bucket(&self, entries: &[(u64, u64)], lo: u64, hi: u64) -> Bucket {
+        let first = self.rank(lo);
+        let last = self.rank(hi + 1);
+        let inside = &entries[first..last];
+        let count = hi - lo + 1;
+        let sum = self.sum[last] - self.sum[first];
+        let has_zero = (inside.len() as u64) < count;
+        let min = if has_zero {
+            0
+        } else {
+            inside
+                .iter()
+                .map(|&(_, frequency)| frequency)
+                .min()
+                .unwrap_or(0)
+        };
+        let max = inside
+            .iter()
+            .map(|&(_, frequency)| frequency)
+            .max()
+            .unwrap_or(0);
+        Bucket {
+            lo: lo as usize,
+            hi: hi as usize,
+            sum,
+            min,
+            max,
+        }
+    }
+}
+
+/// Builds the bucket vector for sorted inclusive end indexes, the sparse
+/// analogue of [`crate::builder::buckets_from_ends`].
+pub(crate) fn buckets_from_ends_sparse(
+    data: &SparseFrequencies<'_>,
+    prefix: &SparsePrefix,
+    ends: &[u64],
+) -> Vec<Bucket> {
+    debug_assert_eq!(
+        *ends.last().expect("at least one bucket"),
+        data.domain_size() - 1
+    );
+    let mut buckets = Vec::with_capacity(ends.len());
+    let mut lo = 0u64;
+    for &hi in ends {
+        buckets.push(prefix.bucket(data.entries(), lo, hi));
+        lo = hi + 1;
+    }
+    buckets
+}
+
+/// Sparse analogue of [`crate::builder::check_inputs`]: normalizes the
+/// bucket budget and refuses shapes a sparse build cannot honour without
+/// densifying.
+pub(crate) fn check_inputs_sparse(
+    data: &SparseFrequencies<'_>,
+    beta: usize,
+) -> Result<usize, HistogramError> {
+    if data.domain_size() == 0 {
+        return Err(HistogramError::EmptyData);
+    }
+    if beta == 0 {
+        return Err(HistogramError::ZeroBuckets);
+    }
+    let beta = (beta as u64).min(data.domain_size());
+    // β buckets materialize β `Bucket` values regardless of representation:
+    // a budget past the materialization limit is a dense-sized output and
+    // gets the dense-sized refusal.
+    if beta > DENSE_MATERIALIZE_LIMIT {
+        return Err(HistogramError::DomainTooLarge {
+            domain: data.domain_size(),
+            limit: DENSE_MATERIALIZE_LIMIT,
+        });
+    }
+    Ok(beta as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefix::PrefixSums;
+
+    fn sparse_of(dense: &[u64]) -> Vec<(u64, u64)> {
+        SparseFrequencies::collect_from_dense(dense)
+    }
+
+    #[test]
+    fn validation_rejects_bad_runs() {
+        assert!(SparseFrequencies::new(&[(3, 1), (2, 1)], 10).is_err());
+        assert!(SparseFrequencies::new(&[(2, 1), (2, 1)], 10).is_err());
+        assert!(SparseFrequencies::new(&[(12, 1)], 10).is_err());
+        assert!(SparseFrequencies::new(&[(1, 0)], 10).is_err());
+        assert!(SparseFrequencies::new(&[(1, 5), (9, 1)], 10).is_ok());
+    }
+
+    #[test]
+    fn materialize_round_trips() {
+        let dense = [0u64, 5, 0, 0, 7, 1, 0];
+        let entries = sparse_of(&dense);
+        let s = SparseFrequencies::new(&entries, dense.len() as u64).unwrap();
+        assert_eq!(s.materialize().unwrap(), dense);
+        assert_eq!(s.total(), 13);
+        assert_eq!(s.nnz(), 3);
+    }
+
+    #[test]
+    fn materialize_refuses_huge_domains() {
+        let entries = [(0u64, 1u64)];
+        let s = SparseFrequencies::new(&entries, 1 << 40).unwrap();
+        assert!(matches!(
+            s.materialize(),
+            Err(HistogramError::DomainTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn prefix_matches_dense_bitwise() {
+        let dense = [3u64, 0, 0, 4, 4, 0, 9, 2, 0, 0, 0, 7];
+        let entries = sparse_of(&dense);
+        let s = SparseFrequencies::new(&entries, dense.len() as u64).unwrap();
+        let sparse = SparsePrefix::new(&s);
+        let reference = PrefixSums::new(&dense);
+        for lo in 0..dense.len() {
+            for hi in lo..dense.len() {
+                assert_eq!(
+                    sparse.range_sum(lo as u64, hi as u64),
+                    reference.range_sum(lo, hi)
+                );
+                assert_eq!(
+                    sparse.range_sq(lo as u64, hi as u64).to_bits(),
+                    reference.range_sq(lo, hi).to_bits(),
+                    "sq differs on [{lo},{hi}]"
+                );
+                assert_eq!(
+                    sparse.range_sse(lo as u64, hi as u64).to_bits(),
+                    reference.range_sse(lo, hi).to_bits(),
+                    "sse differs on [{lo},{hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_account_for_implicit_zeros() {
+        let dense = [0u64, 5, 0, 0, 7, 1];
+        let entries = sparse_of(&dense);
+        let s = SparseFrequencies::new(&entries, 6).unwrap();
+        let prefix = SparsePrefix::new(&s);
+        let b = prefix.bucket(s.entries(), 0, 2);
+        assert_eq!((b.sum, b.min, b.max), (5, 0, 5));
+        let b = prefix.bucket(s.entries(), 4, 5);
+        assert_eq!((b.sum, b.min, b.max), (8, 1, 7));
+        let b = prefix.bucket(s.entries(), 2, 3);
+        assert_eq!((b.sum, b.min, b.max), (0, 0, 0));
+    }
+
+    #[test]
+    fn absent_indexes_walks_the_gaps() {
+        let occupied = [1u64, 2, 5];
+        let absent: Vec<u64> = absent_indexes(occupied.iter().copied(), 8).collect();
+        assert_eq!(absent, vec![0, 3, 4, 6, 7]);
+        assert_eq!(absent_indexes(std::iter::empty(), 3).count(), 3);
+        assert_eq!(absent_indexes([0u64, 1].into_iter(), 2).count(), 0);
+    }
+
+    #[test]
+    fn equal_value_runs_partition_the_domain() {
+        let dense = [0u64, 0, 5, 5, 1, 0, 0, 2, 2, 2];
+        let entries = sparse_of(&dense);
+        let s = SparseFrequencies::new(&entries, dense.len() as u64).unwrap();
+        let runs = s.equal_value_runs();
+        assert_eq!(runs, vec![(0, 1), (2, 3), (4, 4), (5, 6), (7, 9)]);
+        // All-zero and empty-entry domains are one run.
+        let s = SparseFrequencies::new(&[], 4).unwrap();
+        assert_eq!(s.equal_value_runs(), vec![(0, 3)]);
+    }
+}

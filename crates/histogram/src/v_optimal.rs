@@ -23,6 +23,9 @@ use crate::builder::{buckets_from_ends, check_inputs, HistogramBuilder};
 use crate::error::HistogramError;
 use crate::histogram::Histogram;
 use crate::prefix::PrefixSums;
+use crate::sparse::{
+    buckets_from_ends_sparse, check_inputs_sparse, SparseFrequencies, SparsePrefix,
+};
 
 /// Construction mode for [`VOptimal`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -98,6 +101,38 @@ impl HistogramBuilder for VOptimal {
             data.len(),
         ))
     }
+
+    /// Sparse-native construction for the greedy and max-diff modes
+    /// (identical boundaries to the dense build — see the exactness
+    /// argument on `greedy_merge_ends_sparse`); the exact DP keeps its
+    /// hard size limit and materializes within it.
+    fn build_sparse(
+        &self,
+        data: &SparseFrequencies<'_>,
+        beta: usize,
+    ) -> Result<Histogram, HistogramError> {
+        let beta = check_inputs_sparse(data, beta)?;
+        let n = data.domain_size();
+        let ends = match self.mode {
+            VOptimalMode::Exact { limit } => {
+                if n > limit as u64 {
+                    return Err(HistogramError::ExactTooLarge {
+                        domain: n as usize,
+                        limit,
+                    });
+                }
+                // Within the DP limit the domain is tiny; densify.
+                return self.build(&data.materialize()?, beta);
+            }
+            VOptimalMode::GreedyMerge => greedy_merge_ends_sparse(data, beta),
+            VOptimalMode::MaxDiff => maxdiff_ends_sparse(data, beta),
+        };
+        let prefix = SparsePrefix::new(data);
+        Ok(Histogram::from_buckets(
+            buckets_from_ends_sparse(data, &prefix, &ends),
+            n as usize,
+        ))
+    }
 }
 
 /// `f64` ordered by `total_cmp`, for use in heaps.
@@ -164,75 +199,151 @@ fn exact_dp_ends(data: &[u64], beta: usize) -> Vec<usize> {
 }
 
 /// Greedy bottom-up merging. Returns inclusive bucket end indexes.
+///
+/// One implementation serves both representations: the dense entry point
+/// is a sparse view of its input, so dense and sparse builds share every
+/// merge decision *by construction* (there are no two copies of the heap
+/// machinery to drift apart).
 fn greedy_merge_ends(data: &[u64], beta: usize) -> Vec<usize> {
-    let n = data.len();
-    if beta >= n {
+    let entries = SparseFrequencies::collect_from_dense(data);
+    let sparse =
+        SparseFrequencies::new(&entries, data.len() as u64).expect("dense view upholds invariants");
+    greedy_merge_ends_sparse(&sparse, beta)
+        .into_iter()
+        .map(|end| end as usize)
+        .collect()
+}
+
+/// Sparse greedy bottom-up merging — the one shared implementation
+/// (dense inputs go through [`greedy_merge_ends`]'s sparse view), so zero
+/// indexes are never touched.
+///
+/// The textbook greedy starts from `N` singleton buckets and repeatedly
+/// pops the cheapest adjacent merge. The key structural fact: a merge costs
+/// exactly `0.0` precisely when the two segments carry the same constant
+/// value (zero runs always do; the SSE terms are exact integers there),
+/// positive costs sort strictly after `0.0` under `total_cmp`, and ties at
+/// `0.0` pop in ascending leader order. So the dense heap performs the
+/// first `N − β` merges *inside maximal equal-value runs, left to right,
+/// folding each run into its leader one element at a time* — computable in
+/// O(runs) without a heap. Only if the budget outlives all equal-value
+/// merges does a real heap phase start, and by then the segmentation is
+/// the equal-value runs (≤ 2·nnz + 1 of them), over which we replay the
+/// identical heap algorithm with [`SparsePrefix`] supplying bit-identical
+/// SSE values.
+///
+/// The phase split equals the all-singletons heap whenever the
+/// squared-frequency prefix sums are exact in `f64` (`Σ f² < 2⁵³`); past
+/// that it is simply the algorithm's (deterministic) definition — dense
+/// and sparse inputs run this same code either way.
+fn greedy_merge_ends_sparse(data: &SparseFrequencies<'_>, beta: usize) -> Vec<u64> {
+    let n = data.domain_size();
+    if beta as u64 >= n {
         return (0..n).collect();
     }
-    let prefix = PrefixSums::new(data);
+    let runs = data.equal_value_runs();
+    let needed = n - beta as u64;
+    let zero_cost_merges = n - runs.len() as u64;
 
-    // Segment arena: segment i initially covers [i, i].
+    if needed <= zero_cost_merges {
+        // Phase 1 only: collapse runs left to right until β segments
+        // remain. A partially collapsed run is its leader (grown by
+        // `budget` elements) followed by untouched singletons.
+        let mut ends = Vec::with_capacity(beta);
+        let mut budget = needed;
+        for &(lo, hi) in &runs {
+            let len = hi - lo + 1;
+            if budget >= len - 1 {
+                budget -= len - 1;
+                ends.push(hi);
+            } else {
+                ends.push(lo + budget);
+                for i in lo + budget + 1..=hi {
+                    ends.push(i);
+                }
+                budget = 0;
+            }
+        }
+        debug_assert_eq!(ends.len(), beta);
+        return ends;
+    }
+
+    // Phase 2: all equal-value runs have collapsed; replay the dense heap
+    // over the run segmentation. Leaders keep their domain index as the
+    // heap tie-break key, exactly as in the dense arena.
+    let prefix = SparsePrefix::new(data);
     #[derive(Clone)]
     struct Seg {
-        lo: usize,
-        hi: usize,
+        lo: u64,
+        hi: u64,
         sse: f64,
         version: u32,
         alive: bool,
     }
-    let mut segs: Vec<Seg> = (0..n)
-        .map(|i| Seg {
-            lo: i,
-            hi: i,
-            sse: 0.0,
+    let mut segs: Vec<Seg> = runs
+        .iter()
+        .map(|&(lo, hi)| Seg {
+            lo,
+            hi,
+            // The dense arena recomputes SSE only on merge; a run that
+            // was never merged (singleton) still holds its initial 0.0.
+            sse: if lo == hi {
+                0.0
+            } else {
+                prefix.range_sse(lo, hi)
+            },
             version: 0,
             alive: true,
         })
         .collect();
-    // Doubly linked list over alive segments (usize::MAX = none).
+    let r = segs.len();
     const NONE: usize = usize::MAX;
-    let mut next: Vec<usize> = (0..n)
-        .map(|i| if i + 1 < n { i + 1 } else { NONE })
+    let mut next: Vec<usize> = (0..r)
+        .map(|i| if i + 1 < r { i + 1 } else { NONE })
         .collect();
-    let mut prev_l: Vec<usize> = (0..n).map(|i| if i > 0 { i - 1 } else { NONE }).collect();
+    let mut prev_l: Vec<usize> = (0..r).map(|i| if i > 0 { i - 1 } else { NONE }).collect();
 
-    // Min-heap of merge candidates: (cost, left segment, left/right versions).
-    let mut heap: BinaryHeap<Reverse<(TotalF64, usize, u32, u32)>> = BinaryHeap::new();
-    let merge_cost = |segs: &[Seg], l: usize, r: usize, prefix: &PrefixSums| {
+    let mut heap: BinaryHeap<Reverse<(TotalF64, u64, u32, u32)>> = BinaryHeap::new();
+    let merge_cost = |segs: &[Seg], l: usize, r: usize, prefix: &SparsePrefix| {
         prefix.range_sse(segs[l].lo, segs[r].hi) - segs[l].sse - segs[r].sse
     };
-    for l in 0..n - 1 {
+    for l in 0..r - 1 {
         let cost = merge_cost(&segs, l, l + 1, &prefix);
-        heap.push(Reverse((TotalF64(cost), l, 0, 0)));
+        heap.push(Reverse((TotalF64(cost), segs[l].lo, 0, 0)));
     }
+    // Leader domain index → segment arena index, for heap keys.
+    let seg_of_lo: std::collections::HashMap<u64, usize> = segs
+        .iter()
+        .enumerate()
+        .map(|(i, seg)| (seg.lo, i))
+        .collect();
 
-    let mut alive = n;
+    let mut alive = r;
     while alive > beta {
-        let Reverse((_, l, vl, vr)) = heap.pop().expect("heap exhausted before reaching beta");
+        let Reverse((_, leader, vl, vr)) = heap.pop().expect("heap exhausted before reaching beta");
+        let l = seg_of_lo[&leader];
         if !segs[l].alive || segs[l].version != vl {
             continue;
         }
-        let r = next[l];
-        if r == NONE || !segs[r].alive || segs[r].version != vr {
+        let right = next[l];
+        if right == NONE || !segs[right].alive || segs[right].version != vr {
             continue;
         }
-        // Merge r into l.
-        segs[l].hi = segs[r].hi;
+        segs[l].hi = segs[right].hi;
         segs[l].sse = prefix.range_sse(segs[l].lo, segs[l].hi);
         segs[l].version += 1;
-        segs[r].alive = false;
-        let rn = next[r];
+        segs[right].alive = false;
+        let rn = next[right];
         next[l] = rn;
         if rn != NONE {
             prev_l[rn] = l;
         }
         alive -= 1;
-        // New candidates with both neighbors.
         if rn != NONE {
             let cost = merge_cost(&segs, l, rn, &prefix);
             heap.push(Reverse((
                 TotalF64(cost),
-                l,
+                segs[l].lo,
                 segs[l].version,
                 segs[rn].version,
             )));
@@ -242,7 +353,7 @@ fn greedy_merge_ends(data: &[u64], beta: usize) -> Vec<usize> {
             let cost = merge_cost(&segs, lp, l, &prefix);
             heap.push(Reverse((
                 TotalF64(cost),
-                lp,
+                segs[lp].lo,
                 segs[lp].version,
                 segs[l].version,
             )));
@@ -251,8 +362,6 @@ fn greedy_merge_ends(data: &[u64], beta: usize) -> Vec<usize> {
 
     let mut ends = Vec::with_capacity(beta);
     let mut i = 0usize;
-    // Find the first alive segment (segment 0 always stays alive: merges
-    // fold the right segment into the left).
     debug_assert!(segs[0].alive);
     loop {
         ends.push(segs[i].hi);
@@ -261,6 +370,64 @@ fn greedy_merge_ends(data: &[u64], beta: usize) -> Vec<usize> {
             break;
         }
     }
+    debug_assert_eq!(ends.len(), beta);
+    ends
+}
+
+/// Sparse max-diff boundaries, identical to [`maxdiff_ends`]: non-zero
+/// adjacent differences exist only next to entries (O(nnz) candidates);
+/// if the budget outlives them, the dense tie-break fills in zero-diff
+/// boundaries at the smallest positions, which we enumerate directly.
+fn maxdiff_ends_sparse(data: &SparseFrequencies<'_>, beta: usize) -> Vec<u64> {
+    let n = data.domain_size();
+    if beta as u64 >= n {
+        return (0..n).collect();
+    }
+    let entries = data.entries();
+    let value_at = |position: u64| -> u64 {
+        match entries.binary_search_by_key(&position, |&(index, _)| index) {
+            Ok(found) => entries[found].1,
+            Err(_) => 0,
+        }
+    };
+    // Candidate boundary positions: only p with v[p] ≠ v[p+1], which
+    // requires p or p+1 to be an entry index.
+    let mut positions: Vec<u64> = Vec::with_capacity(2 * entries.len());
+    for &(index, _) in entries {
+        if index > 0 {
+            positions.push(index - 1);
+        }
+        if index + 1 < n {
+            positions.push(index);
+        }
+    }
+    positions.sort_unstable();
+    positions.dedup();
+    let mut diffs: Vec<(u64, u64)> = positions
+        .into_iter()
+        .filter_map(|p| {
+            let d = value_at(p).abs_diff(value_at(p + 1));
+            (d > 0).then_some((d, p))
+        })
+        .collect();
+    diffs.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+    let want = beta - 1;
+    let mut ends: Vec<u64> = diffs.iter().take(want).map(|&(_, p)| p).collect();
+    if ends.len() < want {
+        // The dense sort puts all zero-diff pairs after, ordered by
+        // position: take the smallest positions (valid boundaries are
+        // `0..n-1`) not already used by a non-zero diff (all of which
+        // were taken, since want ≥ |diffs|).
+        let mut taken: Vec<u64> = ends.clone();
+        taken.sort_unstable();
+        let missing = want - ends.len();
+        ends.extend(crate::sparse::absent_indexes(taken, n - 1).take(missing));
+        debug_assert_eq!(ends.len(), want, "ran out of boundary positions");
+    }
+    ends.push(n - 1);
+    ends.sort_unstable();
+    ends.dedup();
     debug_assert_eq!(ends.len(), beta);
     ends
 }
@@ -407,5 +574,74 @@ mod tests {
     #[test]
     fn default_mode_is_greedy() {
         assert_eq!(VOptimal::default().mode, VOptimalMode::GreedyMerge);
+    }
+
+    fn sparse_view(dense: &[u64]) -> Vec<(u64, u64)> {
+        SparseFrequencies::collect_from_dense(dense)
+    }
+
+    /// Pseudo-random sparse-ish sequence: mostly zeros, some runs.
+    fn noisy(len: usize, seed: u64, zero_bias: u64) -> Vec<u64> {
+        let mut x = seed;
+        (0..len)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let v = (x >> 33) % 100;
+                if v < zero_bias {
+                    0
+                } else {
+                    v
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sparse_builds_match_dense_boundaries() {
+        for (seed, zero_bias) in [(1u64, 70), (2, 95), (3, 0), (4, 99), (5, 50)] {
+            for len in [1usize, 7, 40, 200] {
+                let dense = noisy(len, seed, zero_bias);
+                let entries = sparse_view(&dense);
+                let s = SparseFrequencies::new(&entries, len as u64).unwrap();
+                for beta in [1usize, 2, 5, 16, len, len + 9] {
+                    for b in [
+                        &VOptimal::greedy() as &dyn HistogramBuilder,
+                        &VOptimal::maxdiff(),
+                        &VOptimal::exact(),
+                        &crate::builder::EquiWidth,
+                        &crate::builder::EquiDepth,
+                    ] {
+                        let from_dense = b.build(&dense, beta).unwrap();
+                        let from_sparse = b.build_sparse(&s, beta).unwrap();
+                        assert_eq!(
+                            from_dense.buckets(),
+                            from_sparse.buckets(),
+                            "{} diverged: seed {seed}, bias {zero_bias}, len {len}, β {beta}",
+                            b.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_greedy_skips_huge_zero_runs() {
+        // A domain far past the materialization limit: entries cluster at
+        // the ends, the middle is one giant implicit zero run.
+        let n: u64 = 1 << 32;
+        let entries: Vec<(u64, u64)> = vec![(0, 10), (1, 12), (2, 11), (n - 2, 90), (n - 1, 95)];
+        let s = SparseFrequencies::new(&entries, n).unwrap();
+        let h = VOptimal::greedy().build_sparse(&s, 3).unwrap();
+        assert_eq!(h.bucket_count(), 3);
+        h.validate().unwrap();
+        assert_eq!(h.total_sum(), 218);
+        // The dense path must refuse this size rather than allocate.
+        assert!(matches!(
+            VOptimal::exact().build_sparse(&s, 3),
+            Err(HistogramError::ExactTooLarge { .. })
+        ));
     }
 }

@@ -5,6 +5,82 @@ use phe_graph::{FixedBitSet, Graph, LabelId};
 use crate::encoding::PathEncoding;
 use crate::relation::PathRelation;
 
+/// The largest domain the **dense** catalog will allocate: beyond this the
+/// flat `Vec<u64>` alone exceeds 2 GiB and the sparse pipeline
+/// ([`crate::sparse::SparseCatalog`]) is the only sane representation.
+pub const DENSE_DOMAIN_LIMIT: usize = 1 << 28;
+
+/// Why a catalog could not be built or converted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// The label alphabet is empty or exceeds the `u16` id space.
+    BadAlphabet {
+        /// Offending alphabet size.
+        label_count: usize,
+    },
+    /// `max_len` (`k`) was zero.
+    ZeroLength,
+    /// The path domain `Σ |L|^i` overflows the addressable index space.
+    DomainTooLarge {
+        /// Alphabet size `|L|`.
+        label_count: usize,
+        /// Maximum path length `k`.
+        max_len: usize,
+        /// Exact domain size, computed in `u128` so it cannot wrap.
+        size: u128,
+        /// The limit that was exceeded.
+        limit: u128,
+    },
+    /// The domain fits the index space but is too large to *materialize*
+    /// densely (the flat count vector would exceed
+    /// [`DENSE_DOMAIN_LIMIT`]).
+    DenseTooLarge {
+        /// Domain size in paths.
+        size: u128,
+        /// The dense materialization limit.
+        limit: usize,
+    },
+    /// An externally supplied count vector does not cover the domain.
+    CountsLengthMismatch {
+        /// `encoding.domain_size()`.
+        expected: usize,
+        /// Length of the supplied vector.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::BadAlphabet { label_count } => {
+                write!(f, "label alphabet of {label_count} is outside 1..=65535")
+            }
+            CatalogError::ZeroLength => write!(f, "need max_len >= 1"),
+            CatalogError::DomainTooLarge {
+                label_count,
+                max_len,
+                size,
+                limit,
+            } => write!(
+                f,
+                "path domain of {size} entries (|L| = {label_count}, k = {max_len}) \
+                 is too large to catalog (limit {limit})"
+            ),
+            CatalogError::DenseTooLarge { size, limit } => write!(
+                f,
+                "domain of {size} paths is too large to materialize densely \
+                 (limit {limit}); use the sparse catalog"
+            ),
+            CatalogError::CountsLengthMismatch { expected, found } => write!(
+                f,
+                "count vector of length {found} does not cover the domain of {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
 /// The complete table of path selectivities up to length `k`.
 ///
 /// Conceptually a map `label path → f(ℓ)`; stored as a dense vector in
@@ -20,8 +96,34 @@ impl SelectivityCatalog {
     /// Computes the catalog with the shared-prefix trie traversal
     /// (single-threaded). See [`crate::parallel::compute_parallel`] for the
     /// multi-threaded variant.
+    ///
+    /// # Panics
+    /// Panics if the domain overflows the index space or the dense
+    /// materialization limit — use [`SelectivityCatalog::try_compute`] for
+    /// a checked error (large `(|L|, k)` belongs to the sparse pipeline).
     pub fn compute(graph: &Graph, k: usize) -> SelectivityCatalog {
-        let encoding = PathEncoding::new(graph.label_count().max(1), k);
+        match Self::try_compute(graph, k) {
+            Ok(catalog) => catalog,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Checked variant of [`SelectivityCatalog::compute`]: refuses domains
+    /// that overflow the canonical index space or exceed
+    /// [`DENSE_DOMAIN_LIMIT`] with a [`CatalogError`] instead of an
+    /// allocation panic (or worse, an OOM abort) deep in `Vec::with_capacity`.
+    pub fn try_compute(graph: &Graph, k: usize) -> Result<SelectivityCatalog, CatalogError> {
+        let encoding = PathEncoding::try_new(graph.label_count().max(1), k)?;
+        check_dense_domain(&encoding)?;
+        Ok(Self::compute_with_encoding(graph, encoding, k))
+    }
+
+    /// Fills the dense count vector for a pre-validated encoding.
+    fn compute_with_encoding(
+        graph: &Graph,
+        encoding: PathEncoding,
+        k: usize,
+    ) -> SelectivityCatalog {
         let mut counts = vec![0u64; encoding.domain_size()];
         if graph.label_count() == 0 {
             return SelectivityCatalog { encoding, counts };
@@ -50,9 +152,29 @@ impl SelectivityCatalog {
 
     /// Wraps an externally computed count vector (canonical order).
     /// Used by the parallel builder.
+    ///
+    /// # Panics
+    /// Panics if the vector does not cover the domain — use
+    /// [`SelectivityCatalog::try_from_counts`] for a checked error.
     pub fn from_counts(encoding: PathEncoding, counts: Vec<u64>) -> SelectivityCatalog {
-        assert_eq!(counts.len(), encoding.domain_size());
-        SelectivityCatalog { encoding, counts }
+        match Self::try_from_counts(encoding, counts) {
+            Ok(catalog) => catalog,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Checked variant of [`SelectivityCatalog::from_counts`].
+    pub fn try_from_counts(
+        encoding: PathEncoding,
+        counts: Vec<u64>,
+    ) -> Result<SelectivityCatalog, CatalogError> {
+        if counts.len() != encoding.domain_size() {
+            return Err(CatalogError::CountsLengthMismatch {
+                expected: encoding.domain_size(),
+                found: counts.len(),
+            });
+        }
+        Ok(SelectivityCatalog { encoding, counts })
     }
 
     /// The selectivity `f(ℓ)` of `path`.
@@ -129,6 +251,19 @@ impl SelectivityCatalog {
     pub fn zero_count(&self) -> usize {
         self.counts.iter().filter(|&&c| c == 0).count()
     }
+}
+
+/// Refuses encodings whose dense count vector would exceed
+/// [`DENSE_DOMAIN_LIMIT`].
+pub(crate) fn check_dense_domain(encoding: &PathEncoding) -> Result<(), CatalogError> {
+    let size = encoding.domain_size();
+    if size > DENSE_DOMAIN_LIMIT {
+        return Err(CatalogError::DenseTooLarge {
+            size: size as u128,
+            limit: DENSE_DOMAIN_LIMIT,
+        });
+    }
+    Ok(())
 }
 
 /// Depth-first extension of `rel` (the relation of `path`) by every label.
@@ -251,6 +386,41 @@ mod tests {
     fn truncated_rejects_larger_k() {
         let g = chain();
         SelectivityCatalog::compute(&g, 2).truncated(3);
+    }
+
+    #[test]
+    fn oversized_domains_are_checked_errors() {
+        // |L| = 1000, k = 8 ⇒ 10^24 paths: overflows the index space.
+        let mut b = GraphBuilder::with_numeric_labels(2, 1000);
+        b.add_edge_named(0, "l0", 1);
+        let g = b.build();
+        match SelectivityCatalog::try_compute(&g, 8) {
+            Err(CatalogError::DomainTooLarge { size, .. }) => {
+                assert!(size > 1 << 48, "size {size}")
+            }
+            other => panic!("expected DomainTooLarge, got {other:?}"),
+        }
+        // |L| = 64, k = 6 ⇒ ~6.9e10 paths: fits the index space but not a
+        // dense vector.
+        let mut b = GraphBuilder::with_numeric_labels(2, 64);
+        b.add_edge_named(0, "l0", 1);
+        let g = b.build();
+        assert!(matches!(
+            SelectivityCatalog::try_compute(&g, 6),
+            Err(CatalogError::DenseTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn from_counts_length_mismatch_is_a_checked_error() {
+        let encoding = PathEncoding::new(2, 2);
+        assert!(matches!(
+            SelectivityCatalog::try_from_counts(encoding, vec![0; 3]),
+            Err(CatalogError::CountsLengthMismatch {
+                expected: 6,
+                found: 3
+            })
+        ));
     }
 
     #[test]

@@ -17,6 +17,10 @@ pub struct PathEncoding {
     max_len: usize,
 }
 
+/// The largest addressable path domain, `Σ n^i < 2^48` entries. Canonical
+/// indexes beyond this no longer fit the catalog index space.
+pub const MAX_DOMAIN_SIZE: u128 = 1 << 48;
+
 impl PathEncoding {
     /// Creates an encoding for paths of length `1..=max_len` over
     /// `label_count` labels.
@@ -24,22 +28,42 @@ impl PathEncoding {
     /// # Panics
     /// Panics if the domain does not fit in memory-addressable space
     /// (`Σ n^i ≥ 2^48`), if `label_count == 0`, or if `max_len == 0`.
+    /// Use [`PathEncoding::try_new`] for a checked error instead.
     pub fn new(label_count: usize, max_len: usize) -> PathEncoding {
-        assert!(label_count > 0, "need at least one label");
-        assert!(
-            label_count <= u16::MAX as usize,
-            "label alphabet exceeds u16"
-        );
-        assert!(max_len > 0, "need max_len >= 1");
+        match Self::try_new(label_count, max_len) {
+            Ok(encoding) => encoding,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Checked variant of [`PathEncoding::new`]: a degenerate alphabet or
+    /// a domain `Σ n^i ≥ 2^48` is reported as an error instead of a panic,
+    /// so callers probing large `(|L|, k)` configurations can refuse them
+    /// gracefully.
+    pub fn try_new(
+        label_count: usize,
+        max_len: usize,
+    ) -> Result<PathEncoding, crate::catalog::CatalogError> {
+        use crate::catalog::CatalogError;
+        if label_count == 0 || label_count > u16::MAX as usize {
+            return Err(CatalogError::BadAlphabet { label_count });
+        }
+        if max_len == 0 {
+            return Err(CatalogError::ZeroLength);
+        }
         let size = domain_size_u128(label_count as u128, max_len);
-        assert!(
-            size < (1u128 << 48),
-            "path domain of {size} entries is too large to catalog"
-        );
-        PathEncoding {
+        if size >= MAX_DOMAIN_SIZE {
+            return Err(CatalogError::DomainTooLarge {
+                label_count,
+                max_len,
+                size,
+                limit: MAX_DOMAIN_SIZE,
+            });
+        }
+        Ok(PathEncoding {
             label_count: label_count as u16,
             max_len,
-        }
+        })
     }
 
     /// Number of labels `n`.

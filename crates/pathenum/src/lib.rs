@@ -18,8 +18,15 @@
 //! * [`naive`] — an independent per-path evaluator used as a correctness
 //!   oracle and as the unshared baseline in benchmarks;
 //! * [`parallel`] — a source-partitioned parallel catalog builder
-//!   (crossbeam scoped threads), exact because
-//!   `f(ℓ) = Σ_s |targets(s, ℓ)|` decomposes over disjoint source sets.
+//!   (scoped threads), exact because `f(ℓ) = Σ_s |targets(s, ℓ)|`
+//!   decomposes over disjoint source sets;
+//! * [`sparse`] — the [`sparse::SparseCatalog`]: sorted
+//!   `(canonical_index, count)` runs over only the *realized* paths,
+//!   built by sharded per-thread counting with a k-way merge. This is the
+//!   representation that scales past the dense limit
+//!   ([`catalog::DENSE_DOMAIN_LIMIT`]); oversized `(|L|, k)` requests are
+//!   refused with a checked [`catalog::CatalogError`] rather than an
+//!   allocation panic.
 //!
 //! ```
 //! use phe_graph::GraphBuilder;
@@ -43,8 +50,10 @@ pub mod naive;
 pub mod parallel;
 pub mod relation;
 pub mod sampling;
+pub mod sparse;
 
-pub use catalog::SelectivityCatalog;
+pub use catalog::{CatalogError, SelectivityCatalog};
 pub use encoding::PathEncoding;
 pub use relation::PathRelation;
 pub use sampling::{SamplingConfig, SamplingEstimator};
+pub use sparse::SparseCatalog;

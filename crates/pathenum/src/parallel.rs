@@ -82,7 +82,8 @@ pub fn compute_parallel(graph: &Graph, k: usize, threads: usize) -> SelectivityC
 
 /// Splits every label's source space into ranges sized for ~4 tasks per
 /// thread per label, so the atomic queue can rebalance skewed subtrees.
-fn build_tasks(graph: &Graph, threads: usize) -> Vec<(LabelId, u32, u32)> {
+/// Shared with the sparse builder ([`crate::sparse::SparseCatalog`]).
+pub(crate) fn build_tasks(graph: &Graph, threads: usize) -> Vec<(LabelId, u32, u32)> {
     let n = graph.vertex_count() as u32;
     let chunks = (threads * 4).max(1) as u32;
     let chunk = n.div_ceil(chunks).max(1);

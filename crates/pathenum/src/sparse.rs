@@ -1,0 +1,460 @@
+//! Sparse selectivity catalogs: only the *realized* label paths.
+//!
+//! The dense [`SelectivityCatalog`] stores `f(ℓ)` for every path in the
+//! domain `Σ |L|^i` — including the overwhelming majority that never occur
+//! in the graph. Real graphs realize only the paths reachable by actual
+//! edge chains, a set bounded by the trie of non-empty path relations, so
+//! a catalog of sorted `(canonical_index, count)` runs scales with the
+//! *graph*, not with the combinatorial domain. That is what lets the
+//! build pipeline reach `(|L|, k)` configurations whose dense vector would
+//! not even allocate (see [`crate::catalog::DENSE_DOMAIN_LIMIT`]).
+//!
+//! Construction mirrors the dense builders:
+//!
+//! * [`SparseCatalog::compute`] — the shared-prefix trie DFS, emitting one
+//!   entry per non-empty relation;
+//! * [`SparseCatalog::compute_parallel`] — sharded per-thread counting
+//!   over `(label, source-range)` tasks; each worker sorts and coalesces
+//!   its local entries into a run, and the runs are combined by a k-way
+//!   heap merge that sums counts of equal indexes;
+//! * [`SparseCatalog::from_dense`] / [`SparseCatalog::to_dense`] — lossless
+//!   conversions (the dense direction is guarded by the materialization
+//!   limit), which make the dense catalog the test oracle for this one.
+//!
+//! Entries are length-partitioned for free: the canonical encoding is
+//! length-major, so a sort by index groups paths by length first.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use phe_graph::{FixedBitSet, Graph, LabelId};
+
+use crate::catalog::{check_dense_domain, CatalogError, SelectivityCatalog};
+use crate::encoding::PathEncoding;
+use crate::parallel::build_tasks;
+use crate::relation::PathRelation;
+
+/// The sparse table of path selectivities: sorted, duplicate-free
+/// `(canonical_index, count)` entries with `count > 0`; every index absent
+/// from the entries has selectivity 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparseCatalog {
+    encoding: PathEncoding,
+    /// Sorted by canonical index, strictly increasing, counts non-zero.
+    entries: Vec<(u64, u64)>,
+    total_mass: u64,
+}
+
+impl SparseCatalog {
+    /// Computes the sparse catalog with the shared-prefix trie traversal
+    /// (single-threaded).
+    ///
+    /// # Errors
+    /// [`CatalogError::DomainTooLarge`] when `Σ |L|^i` overflows the
+    /// canonical index space — the one limit the sparse representation
+    /// still has.
+    pub fn compute(graph: &Graph, k: usize) -> Result<SparseCatalog, CatalogError> {
+        let encoding = PathEncoding::try_new(graph.label_count().max(1), k)?;
+        let mut entries = Vec::new();
+        if graph.label_count() > 0 {
+            let mut scratch = FixedBitSet::new(graph.vertex_count());
+            let mut path = Vec::with_capacity(k);
+            for label in graph.label_ids() {
+                let rel = PathRelation::from_label(graph, label);
+                collect_subtree(
+                    graph,
+                    &encoding,
+                    &mut entries,
+                    &rel,
+                    label,
+                    &mut path,
+                    &mut scratch,
+                    k,
+                );
+            }
+        }
+        entries.sort_unstable_by_key(|&(index, _)| index);
+        Ok(Self::from_sorted_entries(encoding, entries))
+    }
+
+    /// Computes the sparse catalog with `threads` workers (0 ⇒ one per
+    /// core): the label × source-range task grid is counted into
+    /// per-thread shards, each shard is sorted and coalesced into a run,
+    /// and the runs are k-way merged. Produces entries identical to
+    /// [`SparseCatalog::compute`].
+    ///
+    /// # Errors
+    /// [`CatalogError::DomainTooLarge`] as for [`SparseCatalog::compute`].
+    pub fn compute_parallel(
+        graph: &Graph,
+        k: usize,
+        threads: usize,
+    ) -> Result<SparseCatalog, CatalogError> {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        if threads <= 1 || graph.label_count() == 0 || graph.vertex_count() == 0 {
+            return Self::compute(graph, k);
+        }
+        let encoding = PathEncoding::try_new(graph.label_count().max(1), k)?;
+
+        let tasks = build_tasks(graph, threads);
+        let next_task = AtomicUsize::new(0);
+        let runs: Mutex<Vec<Vec<(u64, u64)>>> = Mutex::new(Vec::with_capacity(threads));
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut local: Vec<(u64, u64)> = Vec::new();
+                    let mut scratch = FixedBitSet::new(graph.vertex_count());
+                    let mut path = Vec::with_capacity(k);
+                    loop {
+                        let i = next_task.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(label, lo, hi)) = tasks.get(i) else {
+                            break;
+                        };
+                        let rel = PathRelation::from_label_source_range(graph, label, lo, hi);
+                        if rel.is_empty() {
+                            continue;
+                        }
+                        collect_subtree(
+                            graph,
+                            &encoding,
+                            &mut local,
+                            &rel,
+                            label,
+                            &mut path,
+                            &mut scratch,
+                            k,
+                        );
+                    }
+                    // Shard-local sort + coalesce: the same path appears
+                    // once per source-range task it was counted under.
+                    coalesce_sorted(&mut local);
+                    runs.lock().expect("run mutex poisoned").push(local);
+                });
+            }
+        });
+
+        let runs = runs.into_inner().expect("run mutex poisoned");
+        Ok(Self::from_sorted_entries(encoding, merge_runs(runs)))
+    }
+
+    /// Converts a dense catalog by dropping its zero entries. Lossless:
+    /// [`SparseCatalog::to_dense`] restores the original exactly.
+    pub fn from_dense(catalog: &SelectivityCatalog) -> SparseCatalog {
+        let entries: Vec<(u64, u64)> = catalog
+            .counts()
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(index, &count)| (index as u64, count))
+            .collect();
+        Self::from_sorted_entries(*catalog.encoding(), entries)
+    }
+
+    /// Whether [`SparseCatalog::to_dense`] would succeed — a
+    /// microseconds-cheap precondition callers can test *before* spending
+    /// a full build on a pipeline that will need the dense form.
+    ///
+    /// # Errors
+    /// [`CatalogError::DenseTooLarge`] past
+    /// [`crate::catalog::DENSE_DOMAIN_LIMIT`].
+    pub fn check_dense_feasible(&self) -> Result<(), CatalogError> {
+        check_dense_domain(&self.encoding)
+    }
+
+    /// Materializes the dense catalog (zeros included).
+    ///
+    /// # Errors
+    /// [`CatalogError::DenseTooLarge`] when the domain exceeds
+    /// [`crate::catalog::DENSE_DOMAIN_LIMIT`] — exactly the configurations
+    /// the sparse catalog exists for.
+    pub fn to_dense(&self) -> Result<SelectivityCatalog, CatalogError> {
+        check_dense_domain(&self.encoding)?;
+        let mut counts = vec![0u64; self.encoding.domain_size()];
+        for &(index, count) in &self.entries {
+            counts[index as usize] = count;
+        }
+        SelectivityCatalog::try_from_counts(self.encoding, counts)
+    }
+
+    /// Wraps pre-sorted entries, asserting the sparse invariants in debug
+    /// builds.
+    fn from_sorted_entries(encoding: PathEncoding, entries: Vec<(u64, u64)>) -> SparseCatalog {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "entries must be strictly increasing"
+        );
+        debug_assert!(entries.iter().all(|&(_, count)| count > 0));
+        let total_mass = entries.iter().map(|&(_, count)| count).sum();
+        SparseCatalog {
+            encoding,
+            entries,
+            total_mass,
+        }
+    }
+
+    /// The selectivity `f(ℓ)` of `path` (0 when unrealized).
+    ///
+    /// # Panics
+    /// Panics if the path is empty, longer than `k`, or mentions an
+    /// unknown label.
+    pub fn selectivity(&self, path: &[LabelId]) -> u64 {
+        self.selectivity_at(self.encoding.encode(path) as u64)
+    }
+
+    /// The selectivity at a canonical index (binary search, O(log nnz)).
+    pub fn selectivity_at(&self, canonical_index: u64) -> u64 {
+        match self
+            .entries
+            .binary_search_by_key(&canonical_index, |&(index, _)| index)
+        {
+            Ok(pos) => self.entries[pos].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// The canonical encoding (for permuting into domain orderings).
+    #[inline]
+    pub fn encoding(&self) -> &PathEncoding {
+        &self.encoding
+    }
+
+    /// The sorted non-zero `(canonical_index, count)` entries.
+    #[inline]
+    pub fn entries(&self) -> &[(u64, u64)] {
+        &self.entries
+    }
+
+    /// Number of realized (non-zero) paths.
+    #[inline]
+    pub fn nonzero_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Domain size `Σ |L|^i` — the *logical* length, zeros included.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.encoding.domain_size()
+    }
+
+    /// Whether the domain is empty (never: the encoding guarantees ≥ 1
+    /// label), kept for `len`/`is_empty` pairing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of paths with zero selectivity.
+    pub fn zero_count(&self) -> usize {
+        self.len() - self.nonzero_count()
+    }
+
+    /// Sum of all selectivities.
+    pub fn total_mass(&self) -> u64 {
+        self.total_mass
+    }
+
+    /// Iterates `(path, f(path))` over the realized paths in canonical
+    /// order.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (Vec<LabelId>, u64)> + '_ {
+        self.entries
+            .iter()
+            .map(move |&(index, count)| (self.encoding.decode(index as usize), count))
+    }
+
+    /// Retained bytes of this representation (entries only).
+    pub fn size_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<(u64, u64)>()
+    }
+
+    /// Bytes the equivalent dense count vector would need, computed in
+    /// `u128` so infeasible configurations report instead of wrapping.
+    pub fn dense_bytes(&self) -> u128 {
+        self.len() as u128 * std::mem::size_of::<u64>() as u128
+    }
+}
+
+/// DFS over the label extensions of `rel` (the relation of `…/label`),
+/// pushing one `(canonical_index, pair_count)` entry per non-empty
+/// relation. Entries arrive in trie order, *not* canonical order.
+#[allow(clippy::too_many_arguments)]
+fn collect_subtree(
+    graph: &Graph,
+    encoding: &PathEncoding,
+    entries: &mut Vec<(u64, u64)>,
+    rel: &PathRelation,
+    label: LabelId,
+    path: &mut Vec<LabelId>,
+    scratch: &mut FixedBitSet,
+    k: usize,
+) {
+    path.push(label);
+    let count = rel.pair_count();
+    if count > 0 {
+        entries.push((encoding.encode(path) as u64, count));
+        if path.len() < k {
+            for next_label in graph.label_ids() {
+                let next = rel.compose(graph, next_label, scratch);
+                collect_subtree(
+                    graph, encoding, entries, &next, next_label, path, scratch, k,
+                );
+            }
+        }
+    }
+    path.pop();
+}
+
+/// Sorts a shard and sums duplicate indexes in place.
+fn coalesce_sorted(entries: &mut Vec<(u64, u64)>) {
+    entries.sort_unstable_by_key(|&(index, _)| index);
+    let mut write = 0usize;
+    for read in 0..entries.len() {
+        if write > 0 && entries[write - 1].0 == entries[read].0 {
+            entries[write - 1].1 += entries[read].1;
+        } else {
+            entries[write] = entries[read];
+            write += 1;
+        }
+    }
+    entries.truncate(write);
+}
+
+/// K-way merges sorted runs, summing counts of equal indexes.
+fn merge_runs(runs: Vec<Vec<(u64, u64)>>) -> Vec<(u64, u64)> {
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut cursors = vec![0usize; runs.len()];
+    for (run_id, run) in runs.iter().enumerate() {
+        if let Some(&(index, _)) = run.first() {
+            heap.push(Reverse((index, run_id)));
+        }
+    }
+    let mut merged: Vec<(u64, u64)> =
+        Vec::with_capacity(runs.iter().map(Vec::len).max().unwrap_or(0));
+    while let Some(Reverse((index, run_id))) = heap.pop() {
+        let cursor = cursors[run_id];
+        let count = runs[run_id][cursor].1;
+        match merged.last_mut() {
+            Some(last) if last.0 == index => last.1 += count,
+            _ => merged.push((index, count)),
+        }
+        cursors[run_id] = cursor + 1;
+        if let Some(&(next_index, _)) = runs[run_id].get(cursor + 1) {
+            heap.push(Reverse((next_index, run_id)));
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phe_graph::GraphBuilder;
+
+    fn dense_graph(n: u32, labels: u16, seed: u64) -> Graph {
+        let mut b = GraphBuilder::with_numeric_labels(n, labels);
+        let mut x = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
+        for _ in 0..(n as usize * 6) {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let s = (x >> 33) as u32 % n;
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let t = (x >> 33) as u32 % n;
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let l = ((x >> 33) as u16) % labels;
+            b.add_edge(phe_graph::VertexId(s), LabelId(l), phe_graph::VertexId(t));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn sequential_matches_dense_oracle() {
+        let g = dense_graph(50, 3, 7);
+        let dense = SelectivityCatalog::compute(&g, 4);
+        let sparse = SparseCatalog::compute(&g, 4).unwrap();
+        assert_eq!(sparse, SparseCatalog::from_dense(&dense));
+        assert_eq!(sparse.to_dense().unwrap().counts(), dense.counts());
+        assert_eq!(sparse.total_mass(), dense.total_mass());
+        assert_eq!(sparse.zero_count(), dense.zero_count());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = dense_graph(60, 3, 42);
+        let seq = SparseCatalog::compute(&g, 4).unwrap();
+        for threads in [2, 3, 8] {
+            let par = SparseCatalog::compute_parallel(&g, 4, threads).unwrap();
+            assert_eq!(seq, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn selectivity_lookups_match_dense() {
+        let g = dense_graph(40, 4, 9);
+        let dense = SelectivityCatalog::compute(&g, 3);
+        let sparse = SparseCatalog::compute(&g, 3).unwrap();
+        for index in 0..dense.len() {
+            assert_eq!(
+                sparse.selectivity_at(index as u64),
+                dense.selectivity_at(index),
+                "index {index}"
+            );
+        }
+        assert_eq!(
+            sparse.selectivity(&[LabelId(0), LabelId(1)]),
+            dense.selectivity(&[LabelId(0), LabelId(1)])
+        );
+    }
+
+    #[test]
+    fn iter_nonzero_is_sorted_and_positive() {
+        let g = dense_graph(30, 2, 3);
+        let sparse = SparseCatalog::compute(&g, 3).unwrap();
+        let entries = sparse.entries();
+        assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(entries.iter().all(|&(_, c)| c > 0));
+        assert_eq!(sparse.iter_nonzero().count(), sparse.nonzero_count());
+    }
+
+    #[test]
+    fn handles_infeasible_dense_domains() {
+        // |L| = 64, k = 6: the dense vector would be ~550 GB; sparse build
+        // succeeds and conversion back is refused with a checked error.
+        let g = dense_graph(30, 64, 5);
+        let sparse = SparseCatalog::compute(&g, 6).unwrap();
+        assert!(sparse.nonzero_count() > 0);
+        assert!(sparse.dense_bytes() > 1 << 39);
+        assert!((sparse.size_bytes() as u128) < sparse.dense_bytes() / 10);
+        assert!(matches!(
+            sparse.to_dense(),
+            Err(CatalogError::DenseTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        let c = SparseCatalog::compute_parallel(&g, 3, 4).unwrap();
+        assert_eq!(c.len(), 3); // one pseudo-label alphabet
+        assert_eq!(c.nonzero_count(), 0);
+        assert_eq!(c.total_mass(), 0);
+    }
+
+    #[test]
+    fn merge_runs_sums_duplicates() {
+        let merged = merge_runs(vec![
+            vec![(0, 1), (5, 2), (9, 1)],
+            vec![(5, 3), (7, 1)],
+            vec![],
+            vec![(0, 4)],
+        ]);
+        assert_eq!(merged, vec![(0, 5), (5, 5), (7, 1), (9, 1)]);
+    }
+}

@@ -126,6 +126,20 @@ impl ServableEstimator {
         &self.description
     }
 
+    /// Approximate retained memory of this estimator: histogram buckets +
+    /// label-name resolution state. A sparse-pipeline estimator retains no
+    /// catalog, so this *is* the serve-time footprint — the number the
+    /// `list` op and the shutdown metrics dump report.
+    pub fn size_bytes(&self) -> usize {
+        let names: usize = self.label_names.iter().map(String::len).sum();
+        // Both name tables hold each label name once (by_name clones the
+        // strings), plus the id payloads.
+        self.histogram.size_bytes()
+            + 2 * names
+            + self.by_name.len() * std::mem::size_of::<LabelId>()
+            + self.description.len()
+    }
+
     /// Resolves a label name.
     pub fn resolve(&self, name: &str) -> Result<LabelId, EstimateError> {
         self.by_name
@@ -180,6 +194,7 @@ mod tests {
                 ordering: OrderingKind::SumBased,
                 histogram: HistogramKind::VOptimalGreedy,
                 threads: 1,
+                retain_catalog: false,
             },
         )
         .unwrap();
@@ -195,6 +210,7 @@ mod tests {
             ordering: OrderingKind::SumBased,
             histogram: HistogramKind::VOptimalGreedy,
             threads: 1,
+            retain_catalog: false,
         };
         let est = PathSelectivityEstimator::build(&g, config).unwrap();
         let snapshot = est.snapshot().unwrap();

@@ -91,6 +91,12 @@ pub struct ServiceMetrics {
     errors: AtomicU64,
     /// Snapshot hot-swaps performed.
     swaps: AtomicU64,
+    /// Background rebuilds started.
+    rebuilds_started: AtomicU64,
+    /// Background rebuilds that failed (load/build error).
+    rebuilds_failed: AtomicU64,
+    /// Background rebuilds discarded because a newer publish landed first.
+    rebuilds_superseded: AtomicU64,
     /// Per-request wall latency.
     latency: LatencyHistogram,
     /// Estimate-cache counters (shared with every cache generation).
@@ -106,6 +112,9 @@ impl ServiceMetrics {
             paths: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             swaps: AtomicU64::new(0),
+            rebuilds_started: AtomicU64::new(0),
+            rebuilds_failed: AtomicU64::new(0),
+            rebuilds_superseded: AtomicU64::new(0),
             latency: LatencyHistogram::default(),
             cache: Arc::new(CacheCounters::default()),
         }
@@ -131,6 +140,23 @@ impl ServiceMetrics {
         self.swaps.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a background rebuild being kicked off.
+    pub fn record_rebuild_started(&self) {
+        self.rebuilds_started.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a background rebuild that did not publish (graph load or
+    /// build failure).
+    pub fn record_rebuild_failed(&self) {
+        self.rebuilds_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a background rebuild discarded because the slot advanced
+    /// (e.g. a `load`) while it was building.
+    pub fn record_rebuild_superseded(&self) {
+        self.rebuilds_superseded.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time report.
     pub fn report(&self) -> MetricsReport {
         let elapsed = self.started.elapsed();
@@ -141,6 +167,9 @@ impl ServiceMetrics {
             paths: self.paths.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             swaps: self.swaps.load(Ordering::Relaxed),
+            rebuilds_started: self.rebuilds_started.load(Ordering::Relaxed),
+            rebuilds_failed: self.rebuilds_failed.load(Ordering::Relaxed),
+            rebuilds_superseded: self.rebuilds_superseded.load(Ordering::Relaxed),
             qps: requests as f64 / elapsed.as_secs_f64().max(1e-9),
             p50: self.latency.quantile(0.50),
             p99: self.latency.quantile(0.99),
@@ -171,6 +200,12 @@ pub struct MetricsReport {
     pub errors: u64,
     /// Snapshot hot-swaps performed.
     pub swaps: u64,
+    /// Background rebuilds started.
+    pub rebuilds_started: u64,
+    /// Background rebuilds that failed.
+    pub rebuilds_failed: u64,
+    /// Background rebuilds discarded in favour of a newer publish.
+    pub rebuilds_superseded: u64,
     /// Requests per second over the whole uptime.
     pub qps: f64,
     /// Median request latency.
@@ -194,6 +229,11 @@ impl std::fmt::Display for MetricsReport {
             f,
             "requests         {} ({} paths, {} errors, {} swaps)",
             self.requests, self.paths, self.errors, self.swaps
+        )?;
+        writeln!(
+            f,
+            "rebuilds         {} started, {} failed, {} superseded",
+            self.rebuilds_started, self.rebuilds_failed, self.rebuilds_superseded
         )?;
         writeln!(f, "throughput       {:.1} req/s", self.qps)?;
         writeln!(
@@ -244,11 +284,14 @@ mod tests {
         m.record_request(8, Duration::from_micros(5), true);
         m.record_request(1, Duration::from_micros(7), false);
         m.record_swap();
+        m.record_rebuild_started();
+        m.record_rebuild_failed();
         let r = m.report();
         assert_eq!(r.requests, 2);
         assert_eq!(r.paths, 9);
         assert_eq!(r.errors, 1);
         assert_eq!(r.swaps, 1);
+        assert_eq!((r.rebuilds_started, r.rebuilds_failed), (1, 1));
         assert!(r.qps > 0.0);
         let text = r.to_string();
         assert!(text.contains("requests"), "{text}");

@@ -14,9 +14,16 @@
 //! ← {"ok":true,"estimators":[{"name":"main","version":1,"k":3,"labels":4,"description":"sum-based β=64"}]}
 //! → {"op":"load","name":"main","snapshot":"/path/stats.json"}
 //! ← {"ok":true,"version":2}
+//! → {"op":"rebuild","name":"main","graph":"/path/graph.tsv","k":3,"beta":64}
+//! ← {"ok":true,"status":"rebuilding"}
 //! → {"op":"metrics"}
 //! ← {"ok":true,"metrics":{...}}
 //! ```
+//!
+//! `rebuild` is asynchronous: the server answers immediately and a
+//! background thread builds fresh statistics from the graph file through
+//! the sparse pipeline, hot-swapping the slot when done (watch the slot's
+//! `version` via `list`).
 //!
 //! Path steps may be label names (strings) or raw label ids (integers);
 //! a batch may mix both styles between paths.
@@ -56,6 +63,28 @@ pub enum Request {
         name: String,
         /// Path to the snapshot JSON on the server host.
         snapshot: String,
+    },
+    /// Rebuild a slot's statistics from a graph file on the server's
+    /// filesystem, in the background, through the sparse build pipeline;
+    /// the finished estimator hot-swaps the slot.
+    Rebuild {
+        /// Registry slot name to publish under.
+        name: String,
+        /// Path to the graph TSV on the server host.
+        graph: String,
+        /// Maximum path length `k`.
+        k: usize,
+        /// Histogram bucket budget β.
+        beta: usize,
+        /// Ordering method name (e.g. `"sum-based"`).
+        ordering: String,
+        /// Histogram family name (e.g. `"v-optimal-greedy"`).
+        histogram: String,
+        /// Worker threads for the background build. Defaults to 1 so a
+        /// rebuild shares the machine with the serving workers instead of
+        /// starving them; raise it explicitly when latency can spare the
+        /// cores (0 ⇒ all cores).
+        threads: usize,
     },
 }
 
@@ -138,6 +167,51 @@ impl Request {
                     .to_owned();
                 Ok(Request::Load { name, snapshot })
             }
+            "rebuild" => {
+                let name = value
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .unwrap_or("default")
+                    .to_owned();
+                let graph = value
+                    .get("graph")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| err("rebuild needs a string field \"graph\""))?
+                    .to_owned();
+                let uint_field = |field: &str, default: u64| -> Result<usize, ProtocolError> {
+                    match value.get(field) {
+                        None => Ok(default as usize),
+                        Some(Value::Number(n)) => n.as_u64().map(|v| v as usize).ok_or_else(|| {
+                            err(format!("field {field:?} must be a non-negative integer"))
+                        }),
+                        Some(other) => Err(err(format!(
+                            "field {field:?} must be a number, got {other:?}"
+                        ))),
+                    }
+                };
+                let k = uint_field("k", 3)?;
+                let beta = uint_field("beta", 64)?;
+                let threads = uint_field("threads", 1)?;
+                let ordering = value
+                    .get("ordering")
+                    .and_then(Value::as_str)
+                    .unwrap_or("sum-based")
+                    .to_owned();
+                let histogram = value
+                    .get("histogram")
+                    .and_then(Value::as_str)
+                    .unwrap_or("v-optimal-greedy")
+                    .to_owned();
+                Ok(Request::Rebuild {
+                    name,
+                    graph,
+                    k,
+                    beta,
+                    ordering,
+                    histogram,
+                    threads,
+                })
+            }
             other => Err(err(format!("unknown op {other:?}"))),
         }
     }
@@ -177,6 +251,27 @@ impl Request {
                 ("name".into(), Value::string(name.clone())),
                 ("snapshot".into(), Value::string(snapshot.clone())),
             ]),
+            Request::Rebuild {
+                name,
+                graph,
+                k,
+                beta,
+                ordering,
+                histogram,
+                threads,
+            } => Value::Object(vec![
+                ("op".into(), Value::string("rebuild")),
+                ("name".into(), Value::string(name.clone())),
+                ("graph".into(), Value::string(graph.clone())),
+                ("k".into(), Value::Number(Number::PosInt(*k as u64))),
+                ("beta".into(), Value::Number(Number::PosInt(*beta as u64))),
+                ("ordering".into(), Value::string(ordering.clone())),
+                ("histogram".into(), Value::string(histogram.clone())),
+                (
+                    "threads".into(),
+                    Value::Number(Number::PosInt(*threads as u64)),
+                ),
+            ]),
         };
         serde_json::to_string(&value).expect("request serialization is infallible")
     }
@@ -215,6 +310,18 @@ pub fn metrics_to_value(report: &MetricsReport) -> Value {
             Value::Number(Number::PosInt(report.errors)),
         ),
         ("swaps".into(), Value::Number(Number::PosInt(report.swaps))),
+        (
+            "rebuilds_started".into(),
+            Value::Number(Number::PosInt(report.rebuilds_started)),
+        ),
+        (
+            "rebuilds_failed".into(),
+            Value::Number(Number::PosInt(report.rebuilds_failed)),
+        ),
+        (
+            "rebuilds_superseded".into(),
+            Value::Number(Number::PosInt(report.rebuilds_superseded)),
+        ),
         ("qps".into(), Value::Number(Number::Float(report.qps))),
         (
             "p50_us".into(),
@@ -278,10 +385,38 @@ mod tests {
                 name: "x".into(),
                 snapshot: "/tmp/s.json".into(),
             },
+            Request::Rebuild {
+                name: "x".into(),
+                graph: "/tmp/g.tsv".into(),
+                k: 4,
+                beta: 128,
+                ordering: "sum-based".into(),
+                histogram: "equi-width".into(),
+                threads: 2,
+            },
         ];
         for r in requests {
             assert_eq!(Request::parse(&r.to_line()).unwrap(), r);
         }
+    }
+
+    #[test]
+    fn rebuild_defaults_and_errors() {
+        let r = Request::parse(r#"{"op":"rebuild","graph":"/g.tsv"}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Rebuild {
+                name: "default".into(),
+                graph: "/g.tsv".into(),
+                k: 3,
+                beta: 64,
+                ordering: "sum-based".into(),
+                histogram: "v-optimal-greedy".into(),
+                threads: 1,
+            }
+        );
+        assert!(Request::parse(r#"{"op":"rebuild"}"#).is_err());
+        assert!(Request::parse(r#"{"op":"rebuild","graph":"/g","k":"three"}"#).is_err());
     }
 
     #[test]

@@ -12,10 +12,10 @@
 //! counters live in the shared [`crate::metrics::ServiceMetrics`] so the
 //! cumulative rates survive swaps.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use phe_core::LabelPath;
 
 use crate::cache::{CacheCounters, ShardedLruCache};
@@ -89,6 +89,9 @@ pub struct EstimatorInfo {
     pub k: usize,
     /// Number of labels in the statistics' alphabet.
     pub label_count: usize,
+    /// Approximate retained memory of the estimator (buckets + ordering
+    /// reconstruction state; no catalog is held at serve time).
+    pub size_bytes: usize,
     /// Provenance string.
     pub description: String,
 }
@@ -98,6 +101,10 @@ pub struct EstimatorRegistry {
     slots: RwLock<HashMap<String, Arc<Slot>>>,
     counters: Arc<CacheCounters>,
     cache_capacity: usize,
+    /// Slots with a background rebuild in flight — one rebuild per slot
+    /// at a time, so repeated `rebuild` requests cannot stack full-graph
+    /// builds or publish out of order.
+    rebuilding: Mutex<HashSet<String>>,
 }
 
 impl EstimatorRegistry {
@@ -110,7 +117,22 @@ impl EstimatorRegistry {
             slots: RwLock::new(HashMap::new()),
             counters,
             cache_capacity: cache_capacity.max(1),
+            rebuilding: Mutex::new(HashSet::new()),
         }
+    }
+
+    /// Marks `name` as having a background rebuild in flight. Returns
+    /// `false` when one is already running — callers refuse the request
+    /// instead of stacking builds. Pair with
+    /// [`EstimatorRegistry::finish_rebuild`].
+    pub fn try_begin_rebuild(&self, name: &str) -> bool {
+        self.rebuilding.lock().insert(name.to_owned())
+    }
+
+    /// Clears the in-flight rebuild mark (success, failure, or panic —
+    /// the rebuild worker must always release it).
+    pub fn finish_rebuild(&self, name: &str) {
+        self.rebuilding.lock().remove(name);
     }
 
     /// An empty registry with stand-alone counters (tests, benches).
@@ -160,6 +182,48 @@ impl EstimatorRegistry {
         version
     }
 
+    /// Publishes `estimator` under `name` **only if** the slot's version
+    /// still equals `expected` (`0` ⇒ the slot must not exist yet).
+    /// Returns the new version, or `None` when a newer generation landed
+    /// in the meantime — the compare-and-swap a slow background rebuild
+    /// needs so it can never stomp a fresher `load`/`register`.
+    pub fn register_if_version(
+        &self,
+        name: &str,
+        estimator: ServableEstimator,
+        expected: u64,
+    ) -> Option<u64> {
+        {
+            let slots = self.slots.read();
+            if let Some(slot) = slots.get(name) {
+                // Hold the generation write lock across the version check
+                // so a concurrent publish cannot slip between check and
+                // swap.
+                let mut current = slot.current.write();
+                if current.version() != expected {
+                    return None;
+                }
+                let version = expected + 1;
+                *current = Arc::new(self.generation(estimator, version));
+                return Some(version);
+            }
+        }
+        if expected != 0 {
+            return None; // slot was removed since the caller observed it
+        }
+        let mut slots = self.slots.write();
+        if slots.contains_key(name) {
+            return None; // created concurrently: that publish is newer
+        }
+        slots.insert(
+            name.to_owned(),
+            Arc::new(Slot {
+                current: RwLock::new(Arc::new(self.generation(estimator, 1))),
+            }),
+        );
+        Some(1)
+    }
+
     fn generation(&self, estimator: ServableEstimator, version: u64) -> ServingEstimator {
         ServingEstimator {
             estimator,
@@ -196,6 +260,7 @@ impl EstimatorRegistry {
                     version: generation.version(),
                     k: generation.estimator().k(),
                     label_count: generation.estimator().label_count(),
+                    size_bytes: generation.estimator().size_bytes(),
                     description: generation.estimator().description().to_owned(),
                 }
             })
@@ -240,6 +305,7 @@ mod tests {
                     ordering: OrderingKind::SumBased,
                     histogram: HistogramKind::VOptimalGreedy,
                     threads: 1,
+                    retain_catalog: false,
                 },
             )
             .unwrap(),
@@ -305,6 +371,58 @@ mod tests {
     }
 
     #[test]
+    fn register_if_version_refuses_stale_publishes() {
+        let registry = EstimatorRegistry::with_default_counters();
+        // Fresh slot: expected 0 creates it.
+        assert_eq!(
+            registry.register_if_version("main", servable(4), 0),
+            Some(1)
+        );
+        // Matching version swaps.
+        assert_eq!(
+            registry.register_if_version("main", servable(8), 1),
+            Some(2)
+        );
+        // Stale expectation (a newer publish landed): refused, current kept.
+        assert_eq!(registry.register_if_version("main", servable(16), 1), None);
+        assert_eq!(registry.get("main").unwrap().version(), 2);
+        // Expecting an existing version on a missing slot: refused.
+        assert_eq!(registry.register_if_version("other", servable(4), 3), None);
+        // Expecting creation when the slot exists: refused.
+        assert_eq!(registry.register_if_version("main", servable(4), 0), None);
+    }
+
+    #[test]
+    fn rebuild_marks_are_per_slot_and_releasable() {
+        let registry = EstimatorRegistry::with_default_counters();
+        assert!(registry.try_begin_rebuild("a"));
+        assert!(!registry.try_begin_rebuild("a"), "second rebuild refused");
+        assert!(registry.try_begin_rebuild("b"), "other slots unaffected");
+        registry.finish_rebuild("a");
+        assert!(registry.try_begin_rebuild("a"), "released after finish");
+    }
+
+    #[test]
+    fn size_bytes_tracks_histogram_footprint() {
+        // More buckets ⇒ a strictly larger reported footprint, and the
+        // report matches the estimator's own accounting.
+        let registry = EstimatorRegistry::with_default_counters();
+        registry.register("small", servable(4));
+        registry.register("large", servable(32));
+        let list = registry.list();
+        let small = list.iter().find(|i| i.name == "small").unwrap();
+        let large = list.iter().find(|i| i.name == "large").unwrap();
+        assert!(
+            large.size_bytes > small.size_bytes,
+            "β=32 ({}) must outweigh β=4 ({})",
+            large.size_bytes,
+            small.size_bytes
+        );
+        let pinned = registry.get("small").unwrap();
+        assert_eq!(small.size_bytes, pinned.estimator().size_bytes());
+    }
+
+    #[test]
     fn list_and_remove() {
         let registry = EstimatorRegistry::with_default_counters();
         registry.register("b", servable(8));
@@ -313,6 +431,7 @@ mod tests {
         assert_eq!(names, vec!["a", "b"]);
         let info = &registry.list()[0];
         assert_eq!((info.k, info.label_count, info.version), (3, 3, 1));
+        assert!(info.size_bytes > 0, "footprint must be reported");
         assert!(registry.remove("a"));
         assert!(!registry.remove("a"));
         assert_eq!(registry.len(), 1);

@@ -160,8 +160,8 @@ impl Server {
 
 fn serve_connection(
     stream: TcpStream,
-    registry: &EstimatorRegistry,
-    metrics: &ServiceMetrics,
+    registry: &Arc<EstimatorRegistry>,
+    metrics: &Arc<ServiceMetrics>,
     stop: &AtomicBool,
     allow_load: bool,
 ) {
@@ -238,8 +238,8 @@ const MAX_REQUEST_BYTES: usize = 16 * 1024 * 1024;
 /// Answers one request line; returns `(response, paths_estimated, ok)`.
 fn handle_line(
     line: &str,
-    registry: &EstimatorRegistry,
-    metrics: &ServiceMetrics,
+    registry: &Arc<EstimatorRegistry>,
+    metrics: &Arc<ServiceMetrics>,
     allow_load: bool,
 ) -> (String, usize, bool) {
     let request = match Request::parse(line) {
@@ -263,6 +263,10 @@ fn handle_line(
                         (
                             "labels".into(),
                             Value::Number(Number::PosInt(info.label_count as u64)),
+                        ),
+                        (
+                            "size_bytes".into(),
+                            Value::Number(Number::PosInt(info.size_bytes as u64)),
                         ),
                         ("description".into(), Value::string(info.description)),
                     ])
@@ -303,6 +307,88 @@ fn handle_line(
                 ),
                 Err(message) => (error_response(&message), path_count, false),
             }
+        }
+        Request::Rebuild {
+            name,
+            graph,
+            k,
+            beta,
+            ordering,
+            histogram,
+            threads,
+        } => {
+            // Rebuild reads the server's filesystem, like `load`.
+            if !allow_load {
+                return (
+                    error_response("rebuild is disabled on this server"),
+                    0,
+                    false,
+                );
+            }
+            let ordering = match phe_core::OrderingKind::ALL
+                .into_iter()
+                .find(|o| o.name() == ordering)
+            {
+                Some(o) => o,
+                None => {
+                    return (
+                        error_response(&format!("unknown ordering {ordering:?}")),
+                        0,
+                        false,
+                    )
+                }
+            };
+            let histogram = match phe_core::HistogramKind::ALL
+                .into_iter()
+                .find(|h| h.name() == histogram)
+            {
+                Some(h) => h,
+                None => {
+                    return (
+                        error_response(&format!("unknown histogram {histogram:?}")),
+                        0,
+                        false,
+                    )
+                }
+            };
+            if k == 0 || k > phe_core::MAX_K || beta == 0 {
+                return (
+                    error_response(&format!("invalid k = {k} or beta = {beta}")),
+                    0,
+                    false,
+                );
+            }
+            if !registry.try_begin_rebuild(&name) {
+                return (
+                    error_response(&format!("rebuild of {name:?} already in flight")),
+                    0,
+                    false,
+                );
+            }
+            // The version observed now is the publish precondition: if the
+            // slot advances while the build runs (e.g. a `load`), the
+            // rebuild result is stale and must not stomp it.
+            let expected_version = registry.get(&name).map_or(0, |g| g.version());
+            spawn_rebuild(
+                Arc::clone(registry),
+                Arc::clone(metrics),
+                name.clone(),
+                graph,
+                phe_core::EstimatorConfig {
+                    k,
+                    beta,
+                    ordering,
+                    histogram,
+                    threads,
+                    retain_catalog: false,
+                },
+                expected_version,
+            );
+            (
+                ok_response(vec![("status".into(), Value::string("rebuilding"))]),
+                0,
+                true,
+            )
         }
         Request::Load { name, snapshot } => {
             if !allow_load {
@@ -353,6 +439,70 @@ fn estimate(
         .estimate_id_batch(&id_paths)
         .map_err(|e| e.to_string())?;
     Ok((generation.version(), estimates))
+}
+
+/// Kicks off a detached background rebuild: load the graph, build fresh
+/// statistics through the sparse pipeline, hot-swap the slot. Failures —
+/// including panics from the build layer (e.g. a graph with no edge
+/// labels) — are counted in the metrics and logged to stderr; the
+/// requesting connection got its acknowledgement long ago. The caller
+/// must already hold the slot's rebuild mark
+/// ([`EstimatorRegistry::try_begin_rebuild`]); it is released here on
+/// every outcome.
+fn spawn_rebuild(
+    registry: Arc<EstimatorRegistry>,
+    metrics: Arc<ServiceMetrics>,
+    name: String,
+    graph_path: String,
+    config: phe_core::EstimatorConfig,
+    expected_version: u64,
+) {
+    metrics.record_rebuild_started();
+    std::thread::spawn(move || {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            phe_graph::io::read_tsv_path(&graph_path)
+                .map_err(|e| format!("reading {graph_path}: {e}"))
+                .and_then(|graph| {
+                    phe_core::PathSelectivityEstimator::build(&graph, config)
+                        .map_err(|e| format!("building statistics: {e}"))
+                })
+        }));
+        match result {
+            Ok(Ok(estimator)) => {
+                match registry.register_if_version(
+                    &name,
+                    ServableEstimator::from_estimator(estimator),
+                    expected_version,
+                ) {
+                    Some(version) => {
+                        if version > 1 {
+                            metrics.record_swap();
+                        }
+                    }
+                    None => {
+                        // A newer generation (load/register) landed while
+                        // building; the fresher statistics win.
+                        metrics.record_rebuild_superseded();
+                        eprintln!("rebuild of {name:?} superseded by a newer publish; discarded");
+                    }
+                }
+            }
+            Ok(Err(message)) => {
+                metrics.record_rebuild_failed();
+                eprintln!("rebuild of {name:?} failed: {message}");
+            }
+            Err(panic) => {
+                metrics.record_rebuild_failed();
+                let message = panic
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| panic.downcast_ref::<&str>().copied())
+                    .unwrap_or("build panicked");
+                eprintln!("rebuild of {name:?} failed: {message}");
+            }
+        }
+        registry.finish_rebuild(&name);
+    });
 }
 
 /// Reads and restores a snapshot file into a servable estimator.
@@ -410,6 +560,7 @@ mod tests {
                 ordering: OrderingKind::SumBased,
                 histogram: HistogramKind::VOptimalGreedy,
                 threads: 1,
+                retain_catalog: false,
             },
         )
         .unwrap();
@@ -421,7 +572,7 @@ mod tests {
     #[test]
     fn handle_line_answers_each_op() {
         let registry = test_registry();
-        let metrics = ServiceMetrics::new();
+        let metrics = Arc::new(ServiceMetrics::new());
 
         let (r, _, ok) = handle_line(r#"{"op":"ping"}"#, &registry, &metrics, true);
         assert!(ok && r.contains(r#""ok":true"#), "{r}");
@@ -445,9 +596,98 @@ mod tests {
     }
 
     #[test]
+    fn rebuild_hot_swaps_in_the_background() {
+        let registry = test_registry();
+        let metrics = Arc::new(ServiceMetrics::new());
+
+        // Write a small graph for the rebuild to read.
+        let g = erdos_renyi(30, 150, 3, LabelDistribution::Uniform, 7);
+        let dir = std::env::temp_dir().join(format!("phe-rebuild-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("graph.tsv");
+        phe_graph::io::write_tsv_path(&g, &path).unwrap();
+
+        let line = format!(
+            r#"{{"op":"rebuild","name":"default","graph":{:?},"k":2,"beta":8}}"#,
+            path.to_str().unwrap()
+        );
+        let (r, _, ok) = handle_line(&line, &registry, &metrics, true);
+        assert!(ok && r.contains("rebuilding"), "{r}");
+
+        // The swap lands asynchronously; poll the slot version.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let generation = registry.get("default").unwrap();
+            if generation.version() == 2 {
+                assert_eq!(generation.estimator().k(), 2);
+                break;
+            }
+            assert!(Instant::now() < deadline, "rebuild never landed");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(metrics.report().rebuilds_started, 1);
+        assert_eq!(metrics.report().rebuilds_failed, 0);
+        assert_eq!(metrics.report().swaps, 1);
+
+        // A bad graph path counts as a failed rebuild, without a response
+        // error (the acknowledgement already went out).
+        let (r, _, ok) = handle_line(
+            r#"{"op":"rebuild","name":"default","graph":"/nonexistent.tsv"}"#,
+            &registry,
+            &metrics,
+            true,
+        );
+        assert!(ok, "{r}");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while metrics.report().rebuilds_failed == 0 {
+            assert!(Instant::now() < deadline, "failure never recorded");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        // A graph file that parses to zero labels panics inside the build
+        // layer; the panic is caught, counted as a failure, and the
+        // slot's rebuild mark is released for the next attempt.
+        let empty = dir.join("empty.tsv");
+        std::fs::write(&empty, "# no edges\n").unwrap();
+        let empty_line = format!(
+            r#"{{"op":"rebuild","name":"default","graph":{:?}}}"#,
+            empty.to_str().unwrap()
+        );
+        let failed_before = metrics.report().rebuilds_failed;
+        let (r, _, ok) = handle_line(&empty_line, &registry, &metrics, true);
+        assert!(ok, "{r}");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while metrics.report().rebuilds_failed == failed_before {
+            assert!(Instant::now() < deadline, "panic never recorded");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(
+            registry.try_begin_rebuild("default"),
+            "mark must be released after a panicked rebuild"
+        );
+        // While a slot is marked, further rebuilds are refused.
+        let (r, _, ok) = handle_line(&line, &registry, &metrics, true);
+        assert!(!ok && r.contains("in flight"), "{r}");
+        registry.finish_rebuild("default");
+
+        // Disabled alongside load; bad parameters are synchronous errors.
+        let (r, _, ok) = handle_line(&line, &registry, &metrics, false);
+        assert!(!ok && r.contains("disabled"), "{r}");
+        let (r, _, ok) = handle_line(
+            r#"{"op":"rebuild","graph":"/g.tsv","ordering":"nope"}"#,
+            &registry,
+            &metrics,
+            true,
+        );
+        assert!(!ok && r.contains("unknown ordering"), "{r}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn handle_line_reports_errors_without_dying() {
         let registry = test_registry();
-        let metrics = ServiceMetrics::new();
+        let metrics = Arc::new(ServiceMetrics::new());
         for bad in [
             "garbage",
             r#"{"op":"estimate","estimator":"missing","paths":[[0]]}"#,

@@ -76,6 +76,7 @@ fn main() {
                 ordering,
                 histogram: HistogramKind::VOptimalGreedy,
                 threads: 0,
+                retain_catalog: false,
             },
             catalog_build,
         )

@@ -37,6 +37,7 @@ fn main() {
             ordering: OrderingKind::SumBased,
             histogram: HistogramKind::VOptimalGreedy,
             threads: 0,
+            retain_catalog: false,
         },
         std::time::Duration::ZERO,
     )

@@ -44,6 +44,7 @@ fn main() {
             ordering: OrderingKind::SumBased,
             histogram: HistogramKind::VOptimalGreedy,
             threads: 1,
+            retain_catalog: true,
         },
     )
     .expect("estimator");

@@ -74,6 +74,7 @@ fn main() {
             ordering: OrderingKind::SumBased,
             histogram: HistogramKind::VOptimalGreedy,
             threads: 0,
+            retain_catalog: true,
         },
     )
     .expect("estimator");

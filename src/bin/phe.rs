@@ -59,10 +59,15 @@ USAGE:
   phe generate <dataset> [--scale X] [--seed N] --out <graph.tsv>
       dataset: moreno | dbpedia | snap-er | snap-ff | chained
   phe stats <graph.tsv>
-  phe build <graph.tsv> --k K --beta B [--ordering O] [--histogram H] --out <stats.json>
+  phe build <graph.tsv> --k K --beta B [--ordering O] [--histogram H] [--stats]
+            [--no-accuracy] --out <stats.json>
       ordering:  num-alph | num-card | lex-alph | lex-card | sum-based | sum-based-L2
       histogram: equi-width | equi-depth | v-optimal-greedy | v-optimal-exact |
                  v-optimal-maxdiff | end-biased
+      --stats        report sparse vs dense catalog memory
+      --no-accuracy  skip the whole-domain accuracy report; keeps the
+                     build sparse end-to-end (required past the dense
+                     domain limit)
   phe estimate <stats.json> <path-expr>...
       path-expr: slash-separated label names, e.g. knows/likes
   phe accuracy <graph.tsv> --k K --beta B
@@ -221,21 +226,31 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_build(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args)?;
+    let flags = Flags::parse_with_booleans(args, &["stats", "no-accuracy"])?;
     let [path] = flags.positional.as_slice() else {
         return Err("build needs exactly one graph file".into());
     };
     let graph = load_graph(path)?;
+    // The accuracy report needs the dense ground-truth catalog; skipping
+    // it (--no-accuracy) keeps the build sparse end-to-end, which is the
+    // only way through domains past the dense limit.
+    let with_accuracy = flags.get("no-accuracy").is_none();
     let config = EstimatorConfig {
         k: flags.require("k")?,
         beta: flags.require("beta")?,
         ordering: parse_ordering(flags.get("ordering").unwrap_or("sum-based"))?,
         histogram: parse_histogram(flags.get("histogram").unwrap_or("v-optimal-greedy"))?,
         threads: 0,
+        retain_catalog: with_accuracy,
     };
     let out: String = flags.require("out")?;
-    let estimator = PathSelectivityEstimator::build(&graph, config).map_err(|e| e.to_string())?;
-    let report = estimator.accuracy_report();
+    let estimator = PathSelectivityEstimator::build(&graph, config).map_err(|e| {
+        if with_accuracy && matches!(e, phe::histogram::HistogramError::DomainTooLarge { .. }) {
+            format!("{e}\nhint: retry with --no-accuracy to keep the build sparse end-to-end")
+        } else {
+            e.to_string()
+        }
+    })?;
     let snapshot = estimator.snapshot().map_err(|e| e.to_string())?;
     let json = serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?;
     std::fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
@@ -252,10 +267,36 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         estimator.build_stats().ordering_time.as_secs_f64(),
         estimator.build_stats().histogram_time.as_secs_f64()
     );
-    println!(
-        "whole-domain mean |err| = {:.4}, median q-error = {:.3}",
-        report.mean_abs_error_rate, report.median_q_error
-    );
+    if with_accuracy {
+        let report = estimator.accuracy_report();
+        println!(
+            "whole-domain mean |err| = {:.4}, median q-error = {:.3}",
+            report.mean_abs_error_rate, report.median_q_error
+        );
+    }
+    if flags.get("stats").is_some() {
+        let fp = estimator.footprint();
+        let percent = 100.0 * fp.nonzero_paths as f64 / fp.domain_size.max(1) as f64;
+        println!(
+            "domain           {} paths, {} realized ({percent:.2}% non-zero)",
+            fp.domain_size, fp.nonzero_paths
+        );
+        println!(
+            "sparse catalog   {} bytes; dense equivalent {} bytes ({:.1}x)",
+            fp.sparse_bytes,
+            fp.dense_bytes,
+            fp.dense_bytes as f64 / (fp.sparse_bytes as f64).max(1.0)
+        );
+        println!(
+            "retained         {} bytes ({})",
+            estimator.size_bytes(),
+            if with_accuracy {
+                "histogram + ordering state + dense catalog"
+            } else {
+                "histogram + ordering state only"
+            }
+        );
+    }
     println!(
         "wrote {out} ({} bytes retained state)",
         snapshot.retained_bytes()
@@ -409,6 +450,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     println!("\nshutting down...");
     server.shutdown();
     println!("{}", metrics.report());
+    for info in registry.list() {
+        println!(
+            "estimator        {:?} v{}: {} bytes retained ({})",
+            info.name, info.version, info.size_bytes, info.description
+        );
+    }
     Ok(())
 }
 

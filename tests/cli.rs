@@ -109,6 +109,69 @@ fn full_workflow_generate_build_estimate() {
 }
 
 #[test]
+fn build_stats_reports_sparse_memory() {
+    let dir = workdir("build_stats");
+    let graph = dir.join("g.tsv");
+    let stats = dir.join("stats.json");
+    let out = phe()
+        .args([
+            "generate",
+            "chained",
+            "--scale",
+            "0.05",
+            "--seed",
+            "11",
+            "--out",
+            graph.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // --stats + --no-accuracy: sparse end-to-end, memory report printed,
+    // no accuracy line.
+    let out = phe()
+        .args([
+            "build",
+            graph.to_str().unwrap(),
+            "--k",
+            "3",
+            "--beta",
+            "32",
+            "--stats",
+            "--no-accuracy",
+            "--out",
+            stats.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("sparse catalog"), "{text}");
+    assert!(text.contains("realized"), "{text}");
+    assert!(text.contains("histogram + ordering state only"), "{text}");
+    assert!(!text.contains("whole-domain mean"), "{text}");
+
+    // The written snapshot is v2 and still estimates.
+    let json = std::fs::read_to_string(&stats).unwrap();
+    assert!(json.contains("\"version\": 2"), "{json}");
+    assert!(json.contains("\"nonzero_paths\""), "{json}");
+    let out = phe()
+        .args(["estimate", stats.to_str().unwrap(), "r0/r1"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn errors_are_reported_not_panicked() {
     // Unknown subcommand.
     let out = phe().args(["frobnicate"]).output().unwrap();

@@ -97,6 +97,7 @@ fn estimates_are_deterministic() {
                 ordering: OrderingKind::SumBased,
                 histogram: HistogramKind::VOptimalGreedy,
                 threads: 2, // parallel catalog must not break determinism
+                retain_catalog: true,
             },
         )
         .unwrap()
@@ -126,6 +127,7 @@ fn full_budget_estimator_is_an_oracle() {
             ordering: OrderingKind::LexCard,
             histogram: HistogramKind::VOptimalGreedy,
             threads: 1,
+            retain_catalog: true,
         },
     )
     .unwrap();

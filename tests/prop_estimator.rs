@@ -41,10 +41,10 @@ proptest! {
     fn estimates_are_finite_and_nonnegative(g in arb_graph(), (k, beta, ordering, histogram) in arb_config()) {
         let est = PathSelectivityEstimator::build(
             &g,
-            EstimatorConfig { k, beta, ordering, histogram, threads: 1 },
+            EstimatorConfig { k, beta, ordering, histogram, threads: 1, retain_catalog: true },
         ).unwrap();
         // Walk the whole domain through the public API.
-        for (path, truth) in est.catalog().iter() {
+        for (path, truth) in est.catalog().expect("retained").iter() {
             let e = est.estimate(&path);
             prop_assert!(e.is_finite() && e >= 0.0, "estimate {e} for {path:?}");
             let err = est.error(&path);
@@ -69,14 +69,16 @@ proptest! {
                 ordering: OrderingKind::SumBased,
                 histogram: HistogramKind::VOptimalGreedy,
                 threads: 1,
+                            retain_catalog: true,
             },
         ).unwrap();
         let total_estimate: f64 = est
             .catalog()
+            .expect("retained")
             .iter()
             .map(|(path, _)| est.estimate(&path))
             .sum();
-        let total_truth = est.catalog().total_mass() as f64;
+        let total_truth = est.catalog().expect("retained").total_mass() as f64;
         prop_assert!(
             (total_estimate - total_truth).abs() <= 1e-6 * total_truth.max(1.0) + 1e-3,
             "mass drifted: {total_estimate} vs {total_truth}"
@@ -88,10 +90,10 @@ proptest! {
         prop_assume!(ordering != OrderingKind::Ideal);
         let est = PathSelectivityEstimator::build(
             &g,
-            EstimatorConfig { k, beta, ordering, histogram, threads: 1 },
+            EstimatorConfig { k, beta, ordering, histogram, threads: 1, retain_catalog: true },
         ).unwrap();
         let restored = est.snapshot().unwrap().restore().unwrap();
-        for (path, _) in est.catalog().iter() {
+        for (path, _) in est.catalog().expect("retained").iter() {
             prop_assert_eq!(est.estimate(&path), restored.estimate_labels(&path));
         }
     }

@@ -25,6 +25,7 @@ fn all_estimators_produce_correct_answers() {
             ordering: OrderingKind::SumBased,
             histogram: HistogramKind::VOptimalGreedy,
             threads: 1,
+            retain_catalog: false,
         },
         std::time::Duration::ZERO,
     )
@@ -67,6 +68,7 @@ fn oracle_plans_lower_bound_other_estimators() {
             ordering: OrderingKind::SumBased,
             histogram: HistogramKind::VOptimalGreedy,
             threads: 1,
+            retain_catalog: false,
         },
         std::time::Duration::ZERO,
     )

@@ -40,6 +40,7 @@ fn build_servable(beta: usize, ordering: OrderingKind) -> ServableEstimator {
                 ordering,
                 histogram: HistogramKind::VOptimalGreedy,
                 threads: 1,
+                retain_catalog: false,
             },
         )
         .unwrap(),

@@ -20,6 +20,7 @@ fn build(
             ordering,
             histogram,
             threads: 1,
+            retain_catalog: true,
         },
     )
     .unwrap()
@@ -36,7 +37,7 @@ fn json_round_trip_preserves_every_estimate() {
             let back: EstimatorSnapshot = serde_json::from_str(&json).unwrap();
             let restored = back.restore().unwrap();
             // Every path in the domain estimates identically.
-            for (path, _) in est.catalog().iter() {
+            for (path, _) in est.catalog().expect("retained").iter() {
                 let want = est.estimate(&path);
                 let got = restored.estimate_labels(&path);
                 assert_eq!(
@@ -62,6 +63,7 @@ fn snapshot_is_much_smaller_than_the_catalog() {
             ordering: OrderingKind::SumBased,
             histogram: HistogramKind::VOptimalGreedy,
             threads: 1,
+            retain_catalog: true,
         },
     )
     .unwrap();

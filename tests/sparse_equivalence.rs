@@ -1,0 +1,126 @@
+//! The sparse pipeline's contract: for arbitrary graphs, every ordering ×
+//! histogram configuration built through the sparse streaming pipeline
+//! produces **bit-identical** estimates to the dense reference pipeline,
+//! and the two catalog representations round-trip losslessly.
+
+use std::time::Duration;
+
+use phe::core::{EstimatorConfig, HistogramKind, OrderingKind, PathSelectivityEstimator};
+use phe::graph::{GraphBuilder, LabelId, VertexId};
+use phe::pathenum::{SelectivityCatalog, SparseCatalog};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = phe::graph::Graph> {
+    (
+        2u16..5,
+        prop::collection::vec((0u32..20, 0u16..5, 0u32..20), 0..120),
+    )
+        .prop_map(|(labels, edges)| {
+            let mut b = GraphBuilder::with_numeric_labels(20, labels);
+            for (s, l, t) in edges {
+                b.add_edge(VertexId(s), LabelId(l % labels), VertexId(t));
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Sparse build ≡ dense build, across every ordering and histogram
+    // kind, over every path in the domain.
+    #[test]
+    fn sparse_and_dense_pipelines_estimate_identically(
+        g in arb_graph(),
+        k in 1usize..4,
+        beta in 1usize..24,
+    ) {
+        let dense_catalog = SelectivityCatalog::compute(&g, k);
+        for ordering in OrderingKind::ALL.into_iter().chain([OrderingKind::Ideal]) {
+            for histogram in HistogramKind::ALL {
+                let config = EstimatorConfig {
+                    k,
+                    beta,
+                    ordering,
+                    histogram,
+                    threads: 1,
+                    retain_catalog: false,
+                };
+                let sparse_est = PathSelectivityEstimator::build(&g, config).unwrap();
+                let dense_est = PathSelectivityEstimator::from_catalog(
+                    &g,
+                    dense_catalog.clone(),
+                    config,
+                    Duration::ZERO,
+                )
+                .unwrap();
+                for (path, _) in dense_catalog.iter() {
+                    let d = dense_est.estimate(&path);
+                    let s = sparse_est.estimate(&path);
+                    prop_assert_eq!(
+                        d.to_bits(),
+                        s.to_bits(),
+                        "{}/{}: dense {} != sparse {} for {:?}",
+                        ordering.name(),
+                        histogram.name(),
+                        d,
+                        s,
+                        path
+                    );
+                }
+            }
+        }
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // `SparseCatalog ⇄ SelectivityCatalog` round-trips losslessly, and
+    // both computation routes agree (sequential, sharded-parallel,
+    // converted-from-dense).
+    #[test]
+    fn catalog_representations_round_trip(g in arb_graph(), k in 1usize..5) {
+        let dense = SelectivityCatalog::compute(&g, k);
+        let sparse = SparseCatalog::compute(&g, k).unwrap();
+        prop_assert_eq!(&sparse, &SparseCatalog::from_dense(&dense));
+        let round_tripped = sparse.to_dense().unwrap();
+        prop_assert_eq!(round_tripped.counts(), dense.counts());
+        for threads in [2, 5] {
+            let parallel = SparseCatalog::compute_parallel(&g, k, threads).unwrap();
+            prop_assert_eq!(&sparse, &parallel, "threads = {}", threads);
+        }
+        // Aggregates agree with the dense oracle.
+        prop_assert_eq!(sparse.total_mass(), dense.total_mass());
+        prop_assert_eq!(sparse.zero_count(), dense.zero_count());
+        prop_assert_eq!(sparse.len(), dense.len());
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // The ordered-index remap is the composition the trait documents:
+    // `ordered_index(c) == index_of(canonical_path(c))` for every
+    // ordering, including the combinatorial overrides.
+    #[test]
+    fn ordered_index_matches_index_of(g in arb_graph(), k in 1usize..4) {
+        let catalog = SelectivityCatalog::compute(&g, k);
+        let domain = phe::core::PathDomain::new(g.label_count(), k);
+        for kind in OrderingKind::ALL.into_iter().chain([OrderingKind::Ideal]) {
+            let ordering = kind.build(&g, &catalog, k);
+            for c in 0..domain.size() {
+                let via_path = ordering.index_of(&domain.canonical_path(c));
+                prop_assert_eq!(
+                    ordering.ordered_index(c),
+                    via_path,
+                    "{} at canonical {}",
+                    kind.name(),
+                    c
+                );
+            }
+        }
+    }
+}
