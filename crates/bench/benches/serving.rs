@@ -54,6 +54,7 @@ fn build_servable() -> ServableEstimator {
                 histogram: HistogramKind::VOptimalGreedy,
                 threads: 1,
                 retain_catalog: false,
+                retain_sparse: false,
             },
         )
         .unwrap(),

@@ -16,34 +16,10 @@
 
 use phe_bench::{emit, timed, RunConfig, Scale};
 use phe_core::{EstimatorConfig, PathSelectivityEstimator};
-use phe_datasets::schema::{schema_graph, Community, DegreeModel, LabelSchema};
-use phe_datasets::LabelDistribution;
+use phe_datasets::schema::{narrow_chained_schema, schema_graph};
 use phe_pathenum::catalog::DENSE_DOMAIN_LIMIT;
 use phe_pathenum::{SelectivityCatalog, SparseCatalog};
 use serde_json::{Number, Value};
-
-/// A chained label schema with a *narrow* follow window: label `l`'s
-/// targets overlap the sources of only a few nearby labels, so the
-/// realized path set grows like `|L| · b^(k−1)` for a small branching
-/// factor `b` instead of `|L|^k` — the regime real schemas live in.
-fn narrow_chained_schema(labels: u16, edges_total: u64, width: f64) -> Vec<LabelSchema> {
-    let counts =
-        LabelDistribution::Zipf { exponent: 0.9 }.per_label_counts(labels as usize, edges_total);
-    (0..labels)
-        .map(|l| {
-            let pos = l as f64 / labels as f64;
-            let next = ((l + 1) % labels) as f64 / labels as f64;
-            LabelSchema {
-                name: format!("r{l}"),
-                edges: counts[l as usize],
-                sources: Community::new(pos, width),
-                targets: Community::new(next, width),
-                source_degrees: DegreeModel::Uniform,
-                target_degrees: DegreeModel::Zipf { exponent: 0.8 },
-            }
-        })
-        .collect()
-}
 
 struct Point {
     labels: u16,
@@ -114,6 +90,7 @@ fn main() {
                     beta: 256,
                     threads: 1,
                     retain_catalog: false,
+                    retain_sparse: false,
                     ..EstimatorConfig::default()
                 },
                 std::time::Duration::ZERO,

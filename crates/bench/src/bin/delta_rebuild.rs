@@ -1,0 +1,333 @@
+//! `delta_rebuild` — incremental maintenance vs full rebuild.
+//!
+//! Simulates the serving-system maintenance loop: statistics exist for a
+//! graph, a batch of edge changes arrives (1% of the edges by default),
+//! and the estimator must be refreshed. The incremental path
+//! ([`PathSelectivityEstimator::apply_delta`]: delta counting over only
+//! the touched paths → k-way merge into the retained sparse catalog →
+//! ordering/histogram re-derivation) is timed against a from-scratch
+//! rebuild of the changed graph, and its merged catalog is verified
+//! **bit-identical** to the recount — the run aborts on any mismatch.
+//!
+//! The churn model matches how graph updates arrive in practice: a batch
+//! refreshes one relation family (a 2-label band starting mid-ring), not
+//! a uniform sprinkle over every label — a batch that touched *every*
+//! relation would leave every path's count in doubt and defeat any
+//! incremental scheme. That locality is exactly what the delta counter's
+//! dirty-label and changed-row pruning convert into work proportional to
+//! |delta|. Insertions are sampled from the dirty labels' existing
+//! endpoint communities, so the churn respects the schema instead of
+//! rewiring it.
+//!
+//! The full rebuild is timed both single-threaded — the like-for-like
+//! comparison (delta counting is single-threaded), and what a serving
+//! host actually runs: the background `rebuild` op defaults to one
+//! thread so it cannot starve the serving workers — and with all cores.
+//!
+//! Output: an aligned table plus one JSON line per point (`"bench":
+//! "delta_rebuild"`), machine-readable for the benchmark trajectory.
+
+use phe_bench::{emit, timed, RunConfig, Scale};
+use phe_core::{EstimatorConfig, PathSelectivityEstimator};
+use phe_datasets::schema::{narrow_chained_schema, schema_graph};
+use phe_graph::{Graph, GraphDelta, LabelId, VertexId};
+use phe_pathenum::compute_delta;
+use serde_json::{Number, Value};
+
+/// Fraction of all edges replaced per maintenance batch.
+const CHURN_FRACTION: f64 = 0.01;
+/// The labels the churn is concentrated on: a band of adjacent relations
+/// starting mid-ring — the "refresh one relation family" update model.
+/// (A batch spread uniformly over every label would defeat *any*
+/// incremental scheme: each label's relation would be touched and every
+/// path's count would need re-verification.)
+const DIRTY_BAND_START: u16 = 16;
+const DIRTY_BAND: u16 = 2;
+
+struct Point {
+    labels: u16,
+    k: usize,
+    headline: bool,
+}
+
+/// Builds a schema-respecting churn batch: removes `m/2` edges of the
+/// dirty band and inserts `m/2` fresh band edges whose endpoints are
+/// drawn from the band labels' existing source/target communities.
+fn churn_delta(graph: &Graph, fraction: f64, band: u16, seed: u64) -> GraphDelta {
+    let budget = ((graph.edge_count() as f64 * fraction).round() as usize).max(2);
+    let (removals, insertions) = (budget / 2, budget - budget / 2);
+
+    let mut x = seed
+        .wrapping_mul(2862933555777941757)
+        .wrapping_add(3037000493);
+    let mut step = || {
+        x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        (x >> 33) as usize
+    };
+
+    let mut delta = GraphDelta::new();
+    let mut removed = std::collections::HashSet::new();
+    let mut added = std::collections::HashSet::new();
+    let label_count = graph.label_count() as u16;
+    for label in DIRTY_BAND_START..(DIRTY_BAND_START + band).min(label_count) {
+        let label = LabelId(label);
+        let edges: Vec<(u32, u32)> = graph
+            .forward_csr(label)
+            .iter_edges()
+            .map(|(s, t)| (s.0, t.0))
+            .collect();
+        if edges.is_empty() {
+            continue;
+        }
+        let share_r = removals / (band as usize);
+        let share_i = insertions / (band as usize);
+        // Removals: distinct random edges of this label (attempt-bounded,
+        // like the insertion loop — `removed` spans the whole band, so it
+        // cannot double as a per-label exhaustion test).
+        let mut taken = 0;
+        let mut attempts = 0;
+        while taken < share_r && attempts < share_r * 200 {
+            attempts += 1;
+            let (s, t) = edges[step() % edges.len()];
+            if removed.insert((s, label.0, t)) {
+                delta.remove(VertexId(s), label, VertexId(t));
+                taken += 1;
+            }
+        }
+        // Insertions: recombine existing sources × targets of the same
+        // label (absent combinations only), staying inside the schema's
+        // communities.
+        let mut taken = 0;
+        let mut attempts = 0;
+        while taken < share_i && attempts < share_i * 200 {
+            attempts += 1;
+            let (s, _) = edges[step() % edges.len()];
+            let (_, t) = edges[step() % edges.len()];
+            let present = graph.has_edge(VertexId(s), label, VertexId(t))
+                && !removed.contains(&(s, label.0, t));
+            if present || !added.insert((s, label.0, t)) {
+                continue;
+            }
+            delta.insert(VertexId(s), label, VertexId(t));
+            taken += 1;
+        }
+    }
+    delta
+}
+
+fn main() {
+    let config = RunConfig::from_args();
+    // Denser than `build_scaling`'s sweep (4× the vertices and edges per
+    // label at CI scale): the maintenance question only matters when the
+    // full recount is genuinely expensive.
+    let (vertices, edges_per_label) = match config.scale {
+        Scale::Ci => (6_000u32, 640u64),
+        Scale::Paper => (50_000u32, 4_000u64),
+    };
+
+    let mut points: Vec<Point> = vec![
+        Point {
+            labels: 32,
+            k: 4,
+            headline: false,
+        },
+        // The CI headline configuration of `build_scaling`: a domain the
+        // dense pipeline cannot even allocate.
+        Point {
+            labels: 64,
+            k: match config.scale {
+                Scale::Ci => 5,
+                Scale::Paper => 6,
+            },
+            headline: true,
+        },
+    ];
+    if config.scale == Scale::Paper {
+        points.insert(
+            0,
+            Point {
+                labels: 64,
+                k: 5,
+                headline: false,
+            },
+        );
+    }
+
+    let estimator_config = EstimatorConfig {
+        beta: 256,
+        retain_catalog: false,
+        retain_sparse: true,
+        ..EstimatorConfig::default()
+    };
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut json_lines: Vec<String> = Vec::new();
+    for point in &points {
+        let schema =
+            narrow_chained_schema(point.labels, point.labels as u64 * edges_per_label, 0.08);
+        let old_graph = schema_graph(vertices, &schema, config.seed);
+        let k = point.k;
+        let delta = churn_delta(&old_graph, CHURN_FRACTION, DIRTY_BAND, config.seed + 1);
+        let new_graph = old_graph.apply_delta(&delta).expect("churn is valid");
+
+        // The maintained base: built once, outside the timed region (a
+        // serving system amortizes this over every delta it absorbs).
+        let base = PathSelectivityEstimator::build(
+            &old_graph,
+            EstimatorConfig {
+                k,
+                ..estimator_config
+            },
+        )
+        .expect("base build");
+
+        // Full rebuilds of the changed graph: single-threaded (what the
+        // service's background rebuild runs, and the like-for-like
+        // comparison) and all-cores.
+        let (full_1t, full_1t_secs) = timed(|| {
+            PathSelectivityEstimator::build(
+                &new_graph,
+                EstimatorConfig {
+                    k,
+                    threads: 1,
+                    ..estimator_config
+                },
+            )
+            .expect("full rebuild")
+        });
+        let (_, full_mt_secs) = timed(|| {
+            PathSelectivityEstimator::build(
+                &new_graph,
+                EstimatorConfig {
+                    k,
+                    ..estimator_config
+                },
+            )
+            .expect("full rebuild")
+        });
+
+        // The incremental path under test.
+        let (applied, delta_secs) = timed(|| base.apply_delta(&old_graph, &delta).expect("delta"));
+        let (refreshed, _) = applied;
+
+        // Correctness gate: the merged catalog must be bit-identical to
+        // the recount. A bench that silently drifts is worse than none.
+        let merged = refreshed.sparse_catalog().expect("retain_sparse");
+        let recounted = full_1t.sparse_catalog().expect("retain_sparse");
+        assert_eq!(
+            merged, recounted,
+            "incremental catalog diverged from the full recount"
+        );
+
+        // Touched-path count, for the |delta|-proportionality story.
+        let touched = compute_delta(&old_graph, &new_graph, &delta, k)
+            .expect("delta counting")
+            .len();
+
+        let nnz = refreshed.footprint().nonzero_paths;
+        let speedup_1t = full_1t_secs / delta_secs.max(1e-9);
+        let speedup_mt = full_mt_secs / delta_secs.max(1e-9);
+        rows.push(vec![
+            format!("{}{}", point.labels, if point.headline { "*" } else { "" }),
+            k.to_string(),
+            new_graph.edge_count().to_string(),
+            delta.edge_count().to_string(),
+            nnz.to_string(),
+            touched.to_string(),
+            format!("{full_1t_secs:.3}"),
+            format!("{full_mt_secs:.3}"),
+            format!("{delta_secs:.3}"),
+            format!("{speedup_1t:.1}x"),
+            format!("{speedup_mt:.1}x"),
+        ]);
+        let obj = Value::Object(vec![
+            ("bench".into(), Value::string("delta_rebuild")),
+            (
+                "labels".into(),
+                Value::Number(Number::PosInt(point.labels as u64)),
+            ),
+            ("k".into(), Value::Number(Number::PosInt(k as u64))),
+            (
+                "edges".into(),
+                Value::Number(Number::PosInt(new_graph.edge_count() as u64)),
+            ),
+            (
+                "churn_edges".into(),
+                Value::Number(Number::PosInt(delta.edge_count() as u64)),
+            ),
+            (
+                "churn_fraction".into(),
+                Value::Number(Number::Float(CHURN_FRACTION)),
+            ),
+            ("nonzero_paths".into(), Value::Number(Number::PosInt(nnz))),
+            (
+                "touched_paths".into(),
+                Value::Number(Number::PosInt(touched as u64)),
+            ),
+            (
+                "full_build_seconds".into(),
+                Value::Number(Number::Float(full_1t_secs)),
+            ),
+            (
+                "full_build_parallel_seconds".into(),
+                Value::Number(Number::Float(full_mt_secs)),
+            ),
+            (
+                "delta_seconds".into(),
+                Value::Number(Number::Float(delta_secs)),
+            ),
+            (
+                "delta_counting_seconds".into(),
+                Value::Number(Number::Float(
+                    refreshed.build_stats().catalog_time.as_secs_f64(),
+                )),
+            ),
+            (
+                "delta_ordering_seconds".into(),
+                Value::Number(Number::Float(
+                    refreshed.build_stats().ordering_time.as_secs_f64(),
+                )),
+            ),
+            (
+                "delta_histogram_seconds".into(),
+                Value::Number(Number::Float(
+                    refreshed.build_stats().histogram_time.as_secs_f64(),
+                )),
+            ),
+            ("speedup".into(), Value::Number(Number::Float(speedup_1t))),
+            (
+                "speedup_parallel".into(),
+                Value::Number(Number::Float(speedup_mt)),
+            ),
+            ("verified".into(), Value::Bool(true)),
+        ]);
+        json_lines.push(serde_json::to_string(&obj).expect("flat object"));
+    }
+
+    emit(
+        &format!(
+            "Incremental delta rebuild at {:.0}% churn (* = dense-infeasible headline; \
+             full-rebuild times single-threaded and all-cores)",
+            CHURN_FRACTION * 100.0
+        ),
+        &[
+            "|L|",
+            "k",
+            "edges",
+            "churn",
+            "nnz",
+            "touched",
+            "full 1t s",
+            "full mt s",
+            "delta s",
+            "vs 1t",
+            "vs mt",
+        ],
+        &rows,
+        config.csv,
+    );
+    println!("\n--- JSON ---");
+    for line in &json_lines {
+        println!("{line}");
+    }
+}

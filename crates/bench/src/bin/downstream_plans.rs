@@ -42,6 +42,7 @@ fn main() {
                     histogram: HistogramKind::VOptimalGreedy,
                     threads: 1,
                     retain_catalog: false,
+                    retain_sparse: false,
                 },
                 std::time::Duration::ZERO,
             )

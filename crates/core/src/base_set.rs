@@ -253,6 +253,12 @@ impl DomainOrdering for SumBasedL2Ordering {
         &self.domain
     }
 
+    fn reuse_key(&self) -> Option<Vec<u32>> {
+        let mut key = self.single_ranking.rank_sequence();
+        key.extend(self.pair_ranking.rank_sequence());
+        Some(key)
+    }
+
     fn index_of(&self, path: &LabelPath) -> u64 {
         let m = path.len();
         let j = m / 2;

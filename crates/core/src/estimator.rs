@@ -2,9 +2,9 @@
 
 use std::time::{Duration, Instant};
 
-use phe_graph::{Graph, LabelId};
+use phe_graph::{Graph, GraphDelta, LabelId};
 use phe_histogram::{error_rate, AccuracyReport, HistogramError};
-use phe_pathenum::{CatalogError, SelectivityCatalog, SparseCatalog};
+use phe_pathenum::{compute_delta, CatalogError, SelectivityCatalog, SparseCatalog};
 
 pub use crate::label_histogram::HistogramKind;
 
@@ -35,6 +35,12 @@ pub struct EstimatorConfig {
     /// [`PathSelectivityEstimator::accuracy_report`], which requires a
     /// dense-feasible domain.
     pub retain_catalog: bool,
+    /// Keep the **sparse** catalog (sorted `(canonical_index, count)`
+    /// runs, `O(realized paths)` bytes) on the built estimator — the
+    /// state [`PathSelectivityEstimator::apply_delta`] merges graph
+    /// changes into. Off (the default) the estimator cannot absorb deltas
+    /// and a graph change means a full rebuild.
+    pub retain_sparse: bool,
 }
 
 impl Default for EstimatorConfig {
@@ -49,6 +55,7 @@ impl Default for EstimatorConfig {
             histogram: HistogramKind::VOptimalGreedy,
             threads: 0,
             retain_catalog: false,
+            retain_sparse: false,
         }
     }
 }
@@ -101,15 +108,81 @@ pub struct BuildStats {
     pub histogram_time: Duration,
 }
 
+/// Why a delta could not be applied to an estimator.
+#[derive(Debug)]
+pub enum DeltaError {
+    /// The estimator was built without [`EstimatorConfig::retain_sparse`],
+    /// so there is no catalog to merge the change into.
+    SparseNotRetained,
+    /// The supplied base graph is not the graph this estimator was built
+    /// from (label alphabet or frequencies disagree).
+    GraphMismatch(String),
+    /// The delta violated its contract against the base graph.
+    Graph(phe_graph::GraphError),
+    /// Delta counting or merging failed.
+    Catalog(CatalogError),
+    /// Rebuilding the histogram over the merged catalog failed.
+    Histogram(HistogramError),
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::SparseNotRetained => write!(
+                f,
+                "estimator was built without retain_sparse; no catalog to merge the \
+                 delta into (rebuild with EstimatorConfig::retain_sparse)"
+            ),
+            DeltaError::GraphMismatch(msg) => {
+                write!(f, "base graph does not match the estimator: {msg}")
+            }
+            DeltaError::Graph(e) => write!(f, "applying delta to the graph: {e}"),
+            DeltaError::Catalog(e) => write!(f, "incremental counting: {e}"),
+            DeltaError::Histogram(e) => write!(f, "rebuilding statistics: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// Delta lineage of a build: which full build it descends from and how
+/// many incremental deltas have been folded in since. Persisted by
+/// snapshot format v3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Provenance {
+    /// Stable id of the originating full build (a hash of its inputs).
+    build_id: u64,
+    /// Number of [`PathSelectivityEstimator::apply_delta`] steps since.
+    applied_deltas: u64,
+}
+
 /// A built estimator: histogram + ordering, with the construction-time
 /// catalog optionally retained for ground-truth queries and accuracy
-/// reports ([`EstimatorConfig::retain_catalog`]).
+/// reports ([`EstimatorConfig::retain_catalog`]) and the sparse catalog
+/// optionally retained for incremental maintenance
+/// ([`EstimatorConfig::retain_sparse`]).
 pub struct PathSelectivityEstimator {
     config: EstimatorConfig,
     catalog: Option<SelectivityCatalog>,
+    /// The sparse counts, kept only under `retain_sparse` — the state
+    /// `apply_delta` merges graph changes into.
+    sparse: Option<SparseCatalog>,
+    /// The ordering-permuted `(ordered_index, count)` runs the histogram
+    /// was built from, kept only under `retain_sparse`. When a delta
+    /// leaves the ordering's permutation unchanged (the common case:
+    /// small churn rarely reorders label frequencies), `apply_delta`
+    /// remaps **only the delta entries** and merges them into these runs
+    /// instead of re-permuting all `nnz` entries.
+    ordered_runs: Option<Vec<(u64, u64)>>,
     footprint: CatalogFootprint,
     histogram: LabelPathHistogram,
     stats: BuildStats,
+    provenance: Provenance,
+    /// Hash of the build graph's full edge set — how `apply_delta`
+    /// verifies the supplied base graph really is the one these counts
+    /// describe (label frequencies alone cannot distinguish rewired
+    /// edges).
+    graph_fingerprint: u64,
     /// Snapshot inputs captured at build time (label names/frequencies,
     /// pair frequencies for the L2 ordering).
     label_names: Vec<String>,
@@ -164,9 +237,54 @@ impl PathSelectivityEstimator {
         config: EstimatorConfig,
         catalog_time: Duration,
     ) -> Result<PathSelectivityEstimator, HistogramError> {
+        let provenance = Provenance {
+            build_id: build_id(graph, &sparse, config),
+            applied_deltas: 0,
+        };
+        Self::from_sparse_with_provenance(graph, sparse, config, catalog_time, provenance)
+    }
+
+    /// The shared sparse-pipeline tail: ordering remap → histogram build →
+    /// retained-state capture, stamping the given delta lineage.
+    fn from_sparse_with_provenance(
+        graph: &Graph,
+        sparse: SparseCatalog,
+        config: EstimatorConfig,
+        catalog_time: Duration,
+        provenance: Provenance,
+    ) -> Result<PathSelectivityEstimator, HistogramError> {
+        let t1 = Instant::now();
+        let ordering = config.ordering.build_sparse(graph, &sparse, config.k);
+        let runs = sparse_ordered_frequencies(&sparse, ordering.as_ref());
+        let ordering_time = t1.elapsed();
+        Self::assemble(
+            graph,
+            sparse,
+            config,
+            provenance,
+            ordering,
+            runs,
+            catalog_time,
+            ordering_time,
+        )
+    }
+
+    /// Builds the histogram over precomputed ordered runs and captures
+    /// every piece of retained state. The one place an estimator is
+    /// actually constructed, shared by full builds and both delta paths.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        graph: &Graph,
+        sparse: SparseCatalog,
+        config: EstimatorConfig,
+        provenance: Provenance,
+        ordering: Box<dyn crate::ordering::DomainOrdering>,
+        runs: Vec<(u64, u64)>,
+        catalog_time: Duration,
+        ordering_time: Duration,
+    ) -> Result<PathSelectivityEstimator, HistogramError> {
         // Retaining ground truth needs a dense-feasible domain: fail the
-        // precondition now, in microseconds, instead of after the full
-        // ordering + histogram build.
+        // precondition before the histogram build.
         if config.retain_catalog {
             sparse
                 .check_dense_feasible()
@@ -174,12 +292,8 @@ impl PathSelectivityEstimator {
         }
         let footprint = CatalogFootprint::from_sparse(&sparse);
 
-        let t1 = Instant::now();
-        let ordering = config.ordering.build_sparse(graph, &sparse, config.k);
-        let runs = sparse_ordered_frequencies(&sparse, ordering.as_ref());
-        let ordering_time = t1.elapsed();
-
         let t2 = Instant::now();
+        let ordered_runs = config.retain_sparse.then(|| runs.clone());
         let histogram = LabelPathHistogram::from_sparse_frequencies(
             ordering,
             &runs,
@@ -196,11 +310,14 @@ impl PathSelectivityEstimator {
         } else {
             None
         };
+        let sparse = config.retain_sparse.then_some(sparse);
 
         let (label_names, label_frequencies) = snapshot_state(graph);
         Ok(PathSelectivityEstimator {
             config,
             catalog,
+            sparse,
+            ordered_runs,
             footprint,
             histogram,
             stats: BuildStats {
@@ -208,10 +325,109 @@ impl PathSelectivityEstimator {
                 ordering_time,
                 histogram_time,
             },
+            provenance,
+            graph_fingerprint: graph_fingerprint(graph),
             label_names,
             label_frequencies,
             pair_frequencies,
         })
+    }
+
+    /// Absorbs a graph change **incrementally**: applies `delta` to
+    /// `old_graph`, counts the signed selectivity difference over only the
+    /// touched paths, merges it into the retained sparse catalog, and
+    /// re-derives the ordering and histogram from the merged counts. The
+    /// result is bit-identical to a full rebuild on the changed graph
+    /// (property-tested in `tests/sparse_equivalence.rs`) at a cost
+    /// proportional to the change. Returns the refreshed estimator and the
+    /// changed graph (the base for the *next* delta).
+    ///
+    /// Provenance: the returned estimator keeps this build's id and bumps
+    /// its applied-delta count — the v3 snapshot lineage.
+    ///
+    /// # Errors
+    /// [`DeltaError::SparseNotRetained`] unless this estimator was built
+    /// with [`EstimatorConfig::retain_sparse`];
+    /// [`DeltaError::GraphMismatch`] when `old_graph` is not the graph the
+    /// estimator was built from; plus any delta-contract, counting, or
+    /// histogram failure.
+    pub fn apply_delta(
+        &self,
+        old_graph: &Graph,
+        delta: &GraphDelta,
+    ) -> Result<(PathSelectivityEstimator, Graph), DeltaError> {
+        let sparse = self.sparse.as_ref().ok_or(DeltaError::SparseNotRetained)?;
+        let (names, frequencies) = snapshot_state(old_graph);
+        if names != self.label_names || frequencies != self.label_frequencies {
+            return Err(DeltaError::GraphMismatch(format!(
+                "expected {} labels with the build-time frequencies, got {} labels",
+                self.label_names.len(),
+                names.len()
+            )));
+        }
+        // Frequencies can collide (same edge counts, rewired endpoints);
+        // the edge-set hash cannot. One O(|E|) pass guards against
+        // silently merging a delta computed over the wrong base.
+        if graph_fingerprint(old_graph) != self.graph_fingerprint {
+            return Err(DeltaError::GraphMismatch(
+                "edge-set fingerprint differs from the build graph".into(),
+            ));
+        }
+        let t0 = Instant::now();
+        let new_graph = old_graph.apply_delta(delta).map_err(DeltaError::Graph)?;
+        let run = compute_delta(old_graph, &new_graph, delta, self.config.k)
+            .map_err(DeltaError::Catalog)?;
+        let merged = sparse.merge_delta(&run).map_err(DeltaError::Catalog)?;
+        let catalog_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let ordering = self
+            .config
+            .ordering
+            .build_sparse(&new_graph, &merged, self.config.k);
+        // When the delta leaves the permutation unchanged (equal reuse
+        // keys — label frequencies rarely reorder under small churn),
+        // remap only the |delta| entries and fold them into the previous
+        // ordered runs. Bit-identical to the full remap: the permutation
+        // is the same bijection, so permuting the merged catalog equals
+        // merging the permuted delta.
+        let reusable = match (
+            self.ordered_runs.as_ref(),
+            self.histogram.ordering().reuse_key(),
+            ordering.reuse_key(),
+        ) {
+            (Some(runs), Some(old_key), Some(new_key)) if old_key == new_key => Some(runs),
+            _ => None,
+        };
+        let runs = match reusable {
+            Some(old_runs) => {
+                let mut ordered_delta: Vec<(u64, i64)> = run
+                    .entries()
+                    .iter()
+                    .map(|&(index, diff)| (ordering.ordered_index(index), diff))
+                    .collect();
+                ordered_delta.sort_unstable_by_key(|&(index, _)| index);
+                merge_signed_runs(old_runs, &ordered_delta)
+            }
+            None => sparse_ordered_frequencies(&merged, ordering.as_ref()),
+        };
+        let ordering_time = t1.elapsed();
+
+        let estimator = Self::assemble(
+            &new_graph,
+            merged,
+            self.config,
+            Provenance {
+                build_id: self.provenance.build_id,
+                applied_deltas: self.provenance.applied_deltas + 1,
+            },
+            ordering,
+            runs,
+            catalog_time,
+            ordering_time,
+        )
+        .map_err(DeltaError::Histogram)?;
+        Ok((estimator, new_graph))
     }
 
     /// Builds from a precomputed **dense** catalog (lets experiment
@@ -244,17 +460,43 @@ impl PathSelectivityEstimator {
             catalog.selectivity(&[l1, l2])
         });
 
+        let sparse = config
+            .retain_sparse
+            .then(|| SparseCatalog::from_dense(&catalog));
+        let ordered_runs = config.retain_sparse.then(|| {
+            ordered
+                .iter()
+                .enumerate()
+                .filter(|&(_, &count)| count > 0)
+                .map(|(index, &count)| (index as u64, count))
+                .collect()
+        });
         let (label_names, label_frequencies) = snapshot_state(graph);
+        let footprint = CatalogFootprint::from_dense(&catalog);
+        let provenance = Provenance {
+            build_id: fnv_build_id(
+                config,
+                &label_frequencies,
+                footprint.domain_size,
+                footprint.nonzero_paths,
+                catalog.total_mass(),
+            ),
+            applied_deltas: 0,
+        };
         Ok(PathSelectivityEstimator {
             config,
-            footprint: CatalogFootprint::from_dense(&catalog),
+            footprint,
             catalog: Some(catalog),
+            sparse,
+            ordered_runs,
             histogram,
             stats: BuildStats {
                 catalog_time,
                 ordering_time,
                 histogram_time,
             },
+            provenance,
+            graph_fingerprint: graph_fingerprint(graph),
             label_names,
             label_frequencies,
             pair_frequencies,
@@ -277,6 +519,8 @@ impl PathSelectivityEstimator {
             version: Some(crate::snapshot::SNAPSHOT_VERSION),
             domain_paths: Some(self.footprint.domain_size),
             nonzero_paths: Some(self.footprint.nonzero_paths),
+            base_build_id: Some(self.provenance.build_id),
+            applied_deltas: Some(self.provenance.applied_deltas),
             k: self.config.k,
             beta: self.config.beta,
             ordering: self.config.ordering,
@@ -351,6 +595,25 @@ impl PathSelectivityEstimator {
         self.catalog.as_ref()
     }
 
+    /// The retained sparse catalog, if the build kept one
+    /// ([`EstimatorConfig::retain_sparse`]) — the state
+    /// [`PathSelectivityEstimator::apply_delta`] maintains.
+    pub fn sparse_catalog(&self) -> Option<&SparseCatalog> {
+        self.sparse.as_ref()
+    }
+
+    /// Stable id of the full build this estimator descends from
+    /// (unchanged across [`PathSelectivityEstimator::apply_delta`]).
+    pub fn build_id(&self) -> u64 {
+        self.provenance.build_id
+    }
+
+    /// How many incremental deltas have been folded in since the full
+    /// build identified by [`PathSelectivityEstimator::build_id`].
+    pub fn applied_deltas(&self) -> u64 {
+        self.provenance.applied_deltas
+    }
+
     fn require_catalog(&self) -> &SelectivityCatalog {
         self.catalog
             .as_ref()
@@ -365,7 +628,8 @@ impl PathSelectivityEstimator {
     }
 
     /// Approximate retained memory of this estimator: histogram buckets +
-    /// ordering reconstruction state + the optional dense catalog.
+    /// ordering reconstruction state + the optional dense and sparse
+    /// catalogs.
     pub fn size_bytes(&self) -> usize {
         let names: usize = self.label_names.iter().map(String::len).sum();
         self.histogram.size_bytes()
@@ -373,6 +637,11 @@ impl PathSelectivityEstimator {
             + self.label_frequencies.len() * 8
             + self.pair_frequencies.as_ref().map_or(0, |p| p.len() * 8)
             + self.catalog.as_ref().map_or(0, |c| c.len() * 8)
+            + self.sparse.as_ref().map_or(0, |s| s.size_bytes())
+            + self
+                .ordered_runs
+                .as_ref()
+                .map_or(0, |r| r.len() * std::mem::size_of::<(u64, u64)>())
     }
 
     /// The label-path histogram (ordering + buckets).
@@ -400,6 +669,114 @@ impl PathSelectivityEstimator {
     pub fn into_serving_parts(self) -> (EstimatorConfig, Vec<String>, LabelPathHistogram) {
         (self.config, self.label_names, self.histogram)
     }
+}
+
+/// Folds sorted signed `(ordered_index, diff)` entries into sorted
+/// `(ordered_index, count)` runs: sums matching indexes, admits new ones,
+/// and drops entries whose count cancels to zero — the ordered-space twin
+/// of `SparseCatalog::merge_delta`. Underflow is impossible here: the
+/// canonical-space merge already validated every count, and a permutation
+/// maps entries one-to-one.
+fn merge_signed_runs(base: &[(u64, u64)], delta: &[(u64, i64)]) -> Vec<(u64, u64)> {
+    let mut merged: Vec<(u64, u64)> = Vec::with_capacity(base.len() + delta.len());
+    let mut base_iter = base.iter().copied().peekable();
+    for &(index, diff) in delta {
+        while let Some(&entry) = base_iter.peek().filter(|&&(i, _)| i < index) {
+            merged.push(entry);
+            base_iter.next();
+        }
+        let count = match base_iter.peek() {
+            Some(&(i, count)) if i == index => {
+                base_iter.next();
+                count
+            }
+            _ => 0,
+        };
+        let summed = count as i128 + diff as i128;
+        let summed = u64::try_from(summed).expect("validated by the canonical merge");
+        if summed > 0 {
+            merged.push((index, summed));
+        }
+    }
+    merged.extend(base_iter);
+    merged
+}
+
+/// The id a fresh full build stamps on its lineage: an FNV-1a hash of the
+/// build inputs (configuration, label frequencies, catalog aggregates).
+/// Deterministic, so the same graph + configuration always yields the
+/// same id, and deltas applied on top inherit it unchanged.
+fn build_id(graph: &Graph, sparse: &SparseCatalog, config: EstimatorConfig) -> u64 {
+    let frequencies: Vec<u64> = graph
+        .label_ids()
+        .map(|l| graph.label_frequency(l))
+        .collect();
+    fnv_build_id(
+        config,
+        &frequencies,
+        sparse.len() as u64,
+        sparse.nonzero_count() as u64,
+        sparse.total_mass(),
+    )
+}
+
+/// The one FNV-1a accumulator behind both provenance hashes
+/// ([`build_id`] and [`graph_fingerprint`]) — a single definition so the
+/// two can never silently desynchronize.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf29ce484222325)
+    }
+
+    fn mix(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+}
+
+fn fnv_build_id(
+    config: EstimatorConfig,
+    label_frequencies: &[u64],
+    domain: u64,
+    nnz: u64,
+    total_mass: u64,
+) -> u64 {
+    let mut fnv = Fnv::new();
+    fnv.mix(config.k as u64);
+    fnv.mix(config.beta as u64);
+    for byte in config
+        .ordering
+        .name()
+        .bytes()
+        .chain(config.histogram.name().bytes())
+    {
+        fnv.mix(byte as u64);
+    }
+    for &f in label_frequencies {
+        fnv.mix(f);
+    }
+    fnv.mix(domain);
+    fnv.mix(nnz);
+    fnv.mix(total_mass);
+    fnv.0
+}
+
+/// FNV-1a over the graph's vertex count and full edge set (in the
+/// deterministic `iter_edges` order) — the identity `apply_delta` checks
+/// its base graph against.
+fn graph_fingerprint(graph: &Graph) -> u64 {
+    let mut fnv = Fnv::new();
+    fnv.mix(graph.vertex_count() as u64);
+    for (s, l, t) in graph.iter_edges() {
+        fnv.mix(s.0 as u64);
+        fnv.mix(l.0 as u64);
+        fnv.mix(t.0 as u64);
+    }
+    fnv.0
 }
 
 /// Captures the small snapshot reconstruction state from the graph.
@@ -494,6 +871,7 @@ mod tests {
                     histogram: HistogramKind::VOptimalGreedy,
                     threads: 1,
                     retain_catalog: false,
+                    retain_sparse: false,
                 },
             )
             .unwrap();
@@ -515,6 +893,7 @@ mod tests {
                 histogram: HistogramKind::VOptimalGreedy,
                 threads: 1,
                 retain_catalog: true,
+                retain_sparse: false,
             },
         )
         .unwrap();
@@ -541,6 +920,7 @@ mod tests {
                 histogram: HistogramKind::VOptimalGreedy,
                 threads: 1,
                 retain_catalog: true,
+                retain_sparse: false,
             },
         )
         .unwrap();
@@ -562,6 +942,7 @@ mod tests {
                 histogram: HistogramKind::VOptimalExact,
                 threads: 1,
                 retain_catalog: false,
+                retain_sparse: false,
             },
         );
         assert!(matches!(res, Err(HistogramError::ExactTooLarge { .. })));
@@ -593,6 +974,168 @@ mod tests {
         // fields and the config echoes back.
         assert_eq!(est.config().k, 3);
         let _ = est.build_stats().catalog_time;
+    }
+
+    /// Deterministic churn for the delta tests: removes every 6th edge
+    /// and inserts fresh edges derived from an LCG walk.
+    fn churn(graph: &Graph, inserts: usize, seed: u64) -> phe_graph::GraphDelta {
+        let mut delta = phe_graph::GraphDelta::new();
+        let mut removed = std::collections::HashSet::new();
+        for (i, (s, lab, t)) in graph.iter_edges().enumerate() {
+            if i % 6 == 0 {
+                delta.remove(s, lab, t);
+                removed.insert((s.0, lab.0, t.0));
+            }
+        }
+        let (n, labels) = (graph.vertex_count() as u32, graph.label_count() as u16);
+        let mut x = seed;
+        let mut step = || {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            (x >> 33) as u32
+        };
+        let mut added = std::collections::HashSet::new();
+        let mut remaining = inserts;
+        while remaining > 0 {
+            let (s, t, lab) = (step() % n, step() % n, (step() as u16) % labels);
+            let present = graph.has_edge(phe_graph::VertexId(s), l(lab), phe_graph::VertexId(t))
+                && !removed.contains(&(s, lab, t));
+            if present || !added.insert((s, lab, t)) {
+                continue;
+            }
+            delta.insert(phe_graph::VertexId(s), l(lab), phe_graph::VertexId(t));
+            remaining -= 1;
+        }
+        delta
+    }
+
+    #[test]
+    fn apply_delta_chains_and_tracks_lineage() {
+        let g0 = graph();
+        let config = EstimatorConfig {
+            retain_sparse: true,
+            threads: 1,
+            ..EstimatorConfig::default()
+        };
+        let base = PathSelectivityEstimator::build(&g0, config).unwrap();
+        assert_eq!(base.applied_deltas(), 0);
+
+        let d1 = churn(&g0, 15, 17);
+        let (est1, g1) = base.apply_delta(&g0, &d1).unwrap();
+        assert_eq!(est1.applied_deltas(), 1);
+        assert_eq!(est1.build_id(), base.build_id(), "lineage is inherited");
+
+        // A second delta chains off the first result.
+        let d2 = churn(&g1, 10, 99);
+        let (est2, g2) = est1.apply_delta(&g1, &d2).unwrap();
+        assert_eq!(est2.applied_deltas(), 2);
+        assert_eq!(est2.build_id(), base.build_id());
+
+        // The chained result is bit-identical to a full rebuild on g2.
+        let fresh = PathSelectivityEstimator::build(&g2, config).unwrap();
+        assert_eq!(
+            est2.sparse_catalog().unwrap(),
+            fresh.sparse_catalog().unwrap()
+        );
+        for l1 in 0..3u16 {
+            for l2 in 0..3u16 {
+                let path = [l(l1), l(l2)];
+                assert_eq!(
+                    est2.estimate(&path).to_bits(),
+                    fresh.estimate(&path).to_bits(),
+                    "{l1}/{l2}"
+                );
+            }
+        }
+        // The v3 snapshot records the lineage.
+        let snapshot = est2.snapshot().unwrap();
+        assert_eq!(snapshot.base_build_id, Some(base.build_id()));
+        assert_eq!(snapshot.applied_deltas, Some(2));
+        // A fresh full build starts a new lineage (same id only for the
+        // same inputs — g2 differs from g0).
+        assert_eq!(fresh.applied_deltas(), 0);
+        assert_ne!(fresh.build_id(), base.build_id());
+    }
+
+    #[test]
+    fn apply_delta_requires_retained_sparse_and_matching_graph() {
+        let g = graph();
+        let plain = PathSelectivityEstimator::build(
+            &g,
+            EstimatorConfig {
+                threads: 1,
+                ..EstimatorConfig::default()
+            },
+        )
+        .unwrap();
+        let delta = churn(&g, 4, 5);
+        assert!(matches!(
+            plain.apply_delta(&g, &delta),
+            Err(DeltaError::SparseNotRetained)
+        ));
+
+        let maintainable = PathSelectivityEstimator::build(
+            &g,
+            EstimatorConfig {
+                retain_sparse: true,
+                threads: 1,
+                ..EstimatorConfig::default()
+            },
+        )
+        .unwrap();
+        // Wrong base graph: refused before any counting happens.
+        let other = erdos_renyi(50, 380, 3, LabelDistribution::Uniform, 99);
+        assert!(matches!(
+            maintainable.apply_delta(&other, &delta),
+            Err(DeltaError::GraphMismatch(_))
+        ));
+        // A delta violating its contract surfaces as a graph error.
+        let mut bad = phe_graph::GraphDelta::new();
+        bad.remove(phe_graph::VertexId(0), l(0), phe_graph::VertexId(0));
+        if !g.has_edge(phe_graph::VertexId(0), l(0), phe_graph::VertexId(0)) {
+            assert!(matches!(
+                maintainable.apply_delta(&g, &bad),
+                Err(DeltaError::Graph(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn apply_delta_rejects_rewired_base_graph() {
+        // Same labels, same per-label edge counts, one edge's target
+        // moved: label frequencies collide, the edge-set fingerprint
+        // must not.
+        let g = graph();
+        let est = PathSelectivityEstimator::build(
+            &g,
+            EstimatorConfig {
+                retain_sparse: true,
+                threads: 1,
+                ..EstimatorConfig::default()
+            },
+        )
+        .unwrap();
+        let edges: Vec<_> = g.iter_edges().collect();
+        let (rs, rl, rt) = edges[0];
+        let new_t = (0..g.vertex_count() as u32)
+            .map(phe_graph::VertexId)
+            .find(|&t| t != rt && !g.has_edge(rs, rl, t))
+            .expect("some absent target exists");
+        let mut b = phe_graph::GraphBuilder::with_numeric_labels(
+            g.vertex_count() as u32,
+            g.label_count() as u16,
+        );
+        b.add_edge(rs, rl, new_t);
+        for &(s, lab, t) in &edges[1..] {
+            b.add_edge(s, lab, t);
+        }
+        let rewired = b.build();
+        assert_eq!(g.edge_count(), rewired.edge_count());
+        let delta = churn(&g, 3, 21);
+        let err = est.apply_delta(&rewired, &delta).map(|_| ()).unwrap_err();
+        match err {
+            DeltaError::GraphMismatch(msg) => assert!(msg.contains("fingerprint"), "{msg}"),
+            other => panic!("expected a fingerprint mismatch, got {other}"),
+        }
     }
 
     #[test]

@@ -42,6 +42,7 @@
 //!         histogram: HistogramKind::VOptimalGreedy,
 //!         threads: 1,
 //!         retain_catalog: false,
+//!         retain_sparse: false,
 //!     },
 //! ).unwrap();
 //! let e = est.estimate(&[LabelId(0), LabelId(1)]);
@@ -70,9 +71,22 @@
 //! dense catalog for [`PathSelectivityEstimator::exact`] /
 //! [`PathSelectivityEstimator::accuracy_report`] on dense-feasible
 //! domains; leave it off (the default) and the estimator retains only
-//! buckets + ordering state — the serving footprint. Snapshots written by
-//! the sparse pipeline are format v2 (adding build provenance); v1 files
-//! restore unchanged.
+//! buckets + ordering state — the serving footprint. Snapshots are
+//! versioned (currently v3, which records the delta lineage below); every
+//! older format restores unchanged.
+//!
+//! ## Keeping statistics fresh
+//!
+//! A serving system absorbs graph updates without recounting from
+//! scratch: build with [`EstimatorConfig::retain_sparse`] (keeps the
+//! `O(realized paths)` sparse catalog), then feed each batch of edge
+//! changes to [`PathSelectivityEstimator::apply_delta`]. The delta is
+//! counted over only the touched paths (`phe-pathenum`'s `compute_delta`),
+//! k-way merged into the retained catalog with cancellation of zeroed
+//! entries, and the ordering + histogram are re-derived — bit-identical
+//! to a full rebuild, at a cost proportional to the change. Provenance
+//! travels along: the snapshot records the originating full build's id
+//! and the number of deltas applied since (format v3).
 //!
 //! ## Serving
 //!
@@ -98,7 +112,7 @@ pub mod ranking;
 pub mod snapshot;
 
 pub use domain::PathDomain;
-pub use estimator::{EstimatorConfig, HistogramKind, PathSelectivityEstimator};
+pub use estimator::{DeltaError, EstimatorConfig, HistogramKind, PathSelectivityEstimator};
 pub use eval::{evaluate_configuration, ordered_frequencies};
 pub use label_histogram::LabelPathHistogram;
 pub use ordering::{

@@ -251,6 +251,7 @@ mod tests {
                 histogram: HistogramKind::VOptimalGreedy,
                 threads: 1,
                 retain_catalog: false,
+                retain_sparse: false,
             },
         )
         .unwrap();

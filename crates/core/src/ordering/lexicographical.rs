@@ -77,6 +77,10 @@ impl DomainOrdering for LexicographicalOrdering {
         &self.domain
     }
 
+    fn reuse_key(&self) -> Option<Vec<u32>> {
+        Some(self.ranking.rank_sequence())
+    }
+
     fn index_of(&self, path: &LabelPath) -> u64 {
         // Descending to child r at depth d skips (r − 1) whole subtrees;
         // continuing past a node (to its children) skips the node itself.

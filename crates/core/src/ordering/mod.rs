@@ -78,6 +78,18 @@ pub trait DomainOrdering: Send + Sync {
         self.domain().size()
     }
 
+    /// The data-dependent state that determines this ordering's
+    /// permutation, or `None` when the permutation depends on the full
+    /// catalog (the ideal reference). Two orderings of the **same kind
+    /// over the same domain** with equal keys define the identical
+    /// bijection `Lk ⇄ [0, |Lk|)` — the check that lets an incremental
+    /// rebuild reuse its previous ordered runs and remap only the delta
+    /// entries instead of all `nnz` (see
+    /// `PathSelectivityEstimator::apply_delta`).
+    fn reuse_key(&self) -> Option<Vec<u32>> {
+        None
+    }
+
     /// Retained table bytes beyond the O(|L|) configuration state.
     ///
     /// Most orderings hold only a ranking (a few bytes per label) and

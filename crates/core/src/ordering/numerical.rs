@@ -49,6 +49,10 @@ impl DomainOrdering for NumericalOrdering {
         &self.domain
     }
 
+    fn reuse_key(&self) -> Option<Vec<u32>> {
+        Some(self.ranking.rank_sequence())
+    }
+
     fn index_of(&self, path: &LabelPath) -> u64 {
         let n = self.domain.label_count() as u64;
         let mut value = 0u64;

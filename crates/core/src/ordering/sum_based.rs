@@ -23,9 +23,11 @@
 //! Unranking is the paper's Algorithm 2. Ranking (needed at estimation
 //! time) is the inverse, not spelled out in the paper; it mirrors the same
 //! three stages. Both are `O(poly(k) · |groups|)`; the per-`(m, sr)`
-//! partition lists are memoized behind a `parking_lot` lock (disable with
-//! [`SumBasedOrdering::with_cache`] to measure the uncached cost — that
-//! switch is what the Table 4 timing ablation uses).
+//! partition lists are memoized **process-wide** for large alphabets
+//! (see [`Groups::Shared`]'s docs — repeated builds, e.g. incremental
+//! delta rebuilds, pay the partition enumeration once per group ever;
+//! disable with [`SumBasedOrdering::with_cache`] to measure the uncached
+//! cost — that switch is what the Table 4 timing ablation uses).
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -122,14 +124,37 @@ fn pack_multiset(sorted: &[u32]) -> u128 {
 }
 
 /// Group storage: precomputed flat table for small alphabets (no locks in
-/// the hot path), lazy memoization for large ones, or fully uncached for
-/// the Table 4 timing ablation.
+/// the hot path), process-wide memoization for large ones, or fully
+/// uncached for the Table 4 timing ablation.
 #[derive(Debug)]
 enum Groups {
     /// `table[(m − 1) · (k·n + 1) + sr]`, rows for every reachable group.
     Eager(Vec<Option<Arc<GroupIndex>>>),
-    Lazy(RwLock<HashMap<(u8, u32), Arc<GroupIndex>>>),
+    /// Consult [`shared_groups`], keyed `(n, m, sr)`.
+    Shared,
     Uncached,
+}
+
+/// The process-wide `(n, m, sr) → GroupIndex` memo behind
+/// [`Groups::Shared`]. A partition group depends only on those three
+/// values, so every sum-based ordering in the process can share one memo
+/// — which is what keeps repeated builds cheap: a serving system that
+/// re-derives its ordering per incremental delta (or per background
+/// rebuild) pays the Formula 4 partition enumeration once per group
+/// *ever*, not once per build.
+type SharedGroupMap = RwLock<HashMap<(u16, u8, u32), Arc<GroupIndex>>>;
+
+/// Bound on the process-wide memo. One `(|L|, k)` configuration needs at
+/// most `k · (k·(|L| − 1) + 1)` groups (a few thousand at `|L| = 64,
+/// k = 6`), so steady-state serving never hits this; it only trips when
+/// many *different* large alphabets pass through one process, and then
+/// the map is cleared wholesale — an epoch eviction that keeps memory
+/// bounded at the cost of one re-warm (outstanding `Arc`s stay valid).
+const SHARED_GROUP_CAP: usize = 1 << 14;
+
+fn shared_groups() -> &'static SharedGroupMap {
+    static GROUPS: std::sync::OnceLock<SharedGroupMap> = std::sync::OnceLock::new();
+    GROUPS.get_or_init(|| RwLock::new(HashMap::new()))
 }
 
 /// Alphabets up to this size get the eagerly precomputed group table
@@ -186,7 +211,7 @@ impl SumBasedOrdering {
             }
             Groups::Eager(table)
         } else {
-            Groups::Lazy(RwLock::new(HashMap::new()))
+            Groups::Shared
         };
         SumBasedOrdering {
             domain,
@@ -204,7 +229,7 @@ impl SumBasedOrdering {
         if !enabled {
             self.groups = Groups::Uncached;
         } else if matches!(self.groups, Groups::Uncached) {
-            self.groups = Groups::Lazy(RwLock::new(HashMap::new()));
+            self.groups = Groups::Shared;
         }
         self
     }
@@ -230,15 +255,19 @@ impl SumBasedOrdering {
                         .expect("(m, sr) group outside the reachable range"),
                 )
             }
-            Groups::Lazy(cache) => {
-                let key = (m as u8, sr as u32);
+            Groups::Shared => {
+                let cache = shared_groups();
+                let key = (n as u16, m as u8, sr as u32);
                 if let Some(hit) = cache.read().get(&key) {
                     return GroupHandle::Owned(Arc::clone(hit));
                 }
                 let computed = Arc::new(GroupIndex::new(integer_partitions(sr, m, n)));
+                let mut cache = cache.write();
+                if cache.len() >= SHARED_GROUP_CAP {
+                    cache.clear();
+                }
                 GroupHandle::Owned(
                     cache
-                        .write()
                         .entry(key)
                         .or_insert_with(|| Arc::clone(&computed))
                         .clone(),
@@ -282,6 +311,10 @@ impl DomainOrdering for SumBasedOrdering {
 
     /// The inverse of Algorithm 2: stage offsets are *added* instead of
     /// subtracted.
+    fn reuse_key(&self) -> Option<Vec<u32>> {
+        Some(self.ranking.rank_sequence())
+    }
+
     fn index_of(&self, path: &LabelPath) -> u64 {
         let m = path.len();
         let mut ranks = [0u32; crate::path::MAX_K];

@@ -86,6 +86,13 @@ impl LabelRanking {
         self.to_rank[label.index()]
     }
 
+    /// The full rank assignment, indexed by label id — two rankings with
+    /// equal sequences define the same bijection (the identity behind
+    /// ordered-run reuse in incremental rebuilds).
+    pub fn rank_sequence(&self) -> Vec<u32> {
+        self.to_rank.clone()
+    }
+
     /// The label holding 1-based `rank`.
     #[inline]
     pub fn unrank(&self, rank: u32) -> LabelId {

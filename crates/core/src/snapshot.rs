@@ -61,21 +61,30 @@ const _: () = {
 
 /// Current snapshot format version. v1 files (written before the sparse
 /// pipeline) carry no `version` field and restore unchanged; v2 adds the
-/// optional sparse-build provenance (`domain_paths`, `nonzero_paths`).
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// optional sparse-build provenance (`domain_paths`, `nonzero_paths`);
+/// v3 adds the delta lineage (`base_build_id`, `applied_deltas`) written
+/// by the incremental-maintenance pipeline. Every older version restores;
+/// newer versions are refused.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// The serializable retained state of a built estimator.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EstimatorSnapshot {
-    /// Format version: `None` for v1 files, `Some(2)` for snapshots
-    /// written by the sparse pipeline. Restoring refuses versions newer
-    /// than [`SNAPSHOT_VERSION`].
+    /// Format version: `None` for v1 files, `Some(2)` / `Some(3)` for
+    /// snapshots written by the sparse pipeline. Restoring refuses
+    /// versions newer than [`SNAPSHOT_VERSION`].
     pub version: Option<u32>,
     /// Domain size `|Lk|` at build time (v2; provenance only).
     pub domain_paths: Option<u64>,
     /// Realized (non-zero) paths at build time (v2; provenance only —
     /// what the `phe build --stats` report is derived from).
     pub nonzero_paths: Option<u64>,
+    /// Stable id of the full build these statistics descend from (v3;
+    /// lineage only — unchanged as deltas are applied on top).
+    pub base_build_id: Option<u64>,
+    /// Incremental deltas folded in since that full build (v3; lineage
+    /// only — `Some(0)` for a fresh build).
+    pub applied_deltas: Option<u64>,
     /// Maximum path length `k`.
     pub k: usize,
     /// Bucket budget the histogram was built with.
@@ -98,8 +107,9 @@ pub struct EstimatorSnapshot {
 
 impl EstimatorSnapshot {
     /// Rebuilds the retained estimator (ordering + histogram) without any
-    /// graph or catalog access. Accepts v1 (no `version` field) and v2
-    /// snapshots; newer versions are refused.
+    /// graph or catalog access. Accepts every format up to
+    /// [`SNAPSHOT_VERSION`] — v1 (no `version` field), v2, and v3;
+    /// newer versions are refused.
     pub fn restore(&self) -> Result<LabelPathHistogram, SnapshotError> {
         if let Some(version) = self.version.filter(|&v| v > SNAPSHOT_VERSION) {
             return Err(SnapshotError::Corrupt(format!(
@@ -213,6 +223,7 @@ mod tests {
                 histogram: HistogramKind::VOptimalGreedy,
                 threads: 1,
                 retain_catalog: false,
+                retain_sparse: false,
             },
         )
         .unwrap()
@@ -268,6 +279,8 @@ mod tests {
         v1.version = None;
         v1.domain_paths = None;
         v1.nonzero_paths = None;
+        v1.base_build_id = None;
+        v1.applied_deltas = None;
         let json = serde_json::to_string(&v1).unwrap();
         let parsed: EstimatorSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed.version, None);
@@ -279,18 +292,56 @@ mod tests {
         // And a literal v1 wire file (no version key at all) parses too.
         let stripped: String = {
             let full = serde_json::to_string(&snapshot).unwrap();
-            // The v2 fields serialize as null when absent; drop them from
-            // the object to mimic a pre-v2 writer.
-            full.replacen("\"version\":2,", "", 1)
+            // The newer optional fields serialize as null when absent;
+            // drop them from the object to mimic a pre-v2 writer.
+            full.replacen(&format!("\"version\":{SNAPSHOT_VERSION},"), "", 1)
                 .replacen(&format!("\"domain_paths\":{},", est.domain_size()), "", 1)
                 .replacen(
                     &format!("\"nonzero_paths\":{},", est.footprint().nonzero_paths),
                     "",
                     1,
                 )
+                .replacen(&format!("\"base_build_id\":{},", est.build_id()), "", 1)
+                .replacen("\"applied_deltas\":0,", "", 1)
         };
         let parsed: EstimatorSnapshot = serde_json::from_str(&stripped).unwrap();
         assert_eq!(parsed.version, None);
+        parsed.restore().unwrap();
+    }
+
+    #[test]
+    fn v2_snapshots_without_lineage_fields_restore() {
+        // A v2 file is today's serialization with version 2 and no delta
+        // lineage — written by the sparse pipeline before incremental
+        // maintenance existed.
+        let est = build(OrderingKind::SumBased);
+        let mut v2 = est.snapshot().unwrap();
+        v2.version = Some(2);
+        v2.base_build_id = None;
+        v2.applied_deltas = None;
+        let json = serde_json::to_string(&v2).unwrap();
+        let parsed: EstimatorSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.version, Some(2));
+        assert_eq!(parsed.base_build_id, None);
+        let restored = parsed.restore().unwrap();
+        for l in 0..4u16 {
+            let path = [LabelId(l)];
+            assert_eq!(est.estimate(&path), restored.estimate_labels(&path));
+        }
+    }
+
+    #[test]
+    fn v3_snapshots_carry_delta_lineage() {
+        let est = build(OrderingKind::SumBased);
+        let snapshot = est.snapshot().unwrap();
+        assert_eq!(snapshot.version, Some(3));
+        assert_eq!(snapshot.base_build_id, Some(est.build_id()));
+        assert_eq!(snapshot.applied_deltas, Some(0));
+        // Lineage round-trips through the wire format.
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let parsed: EstimatorSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.base_build_id, snapshot.base_build_id);
+        assert_eq!(parsed.applied_deltas, Some(0));
         parsed.restore().unwrap();
     }
 

@@ -45,4 +45,6 @@ pub use facsimile::{
 };
 pub use forest_fire::{forest_fire, ForestFireParams};
 pub use preferential::barabasi_albert;
-pub use schema::{chained_schema, schema_graph, Community, DegreeModel, LabelSchema};
+pub use schema::{
+    chained_schema, narrow_chained_schema, schema_graph, Community, DegreeModel, LabelSchema,
+};

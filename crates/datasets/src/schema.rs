@@ -196,6 +196,31 @@ pub fn chained_schema(labels: u16, edges_total: u64) -> Vec<LabelSchema> {
         .collect()
 }
 
+/// [`chained_schema`] with a *narrow* follow window: label `l`'s targets
+/// overlap the sources of only a few nearby labels, so the realized path
+/// set grows like `|L| · b^(k−1)` for a small branching factor `b`
+/// instead of `|L|^k` — the regime real schemas live in. This is the
+/// workload of the `build_scaling` and `delta_rebuild` benches.
+pub fn narrow_chained_schema(labels: u16, edges_total: u64, width: f64) -> Vec<LabelSchema> {
+    assert!(labels > 0);
+    let counts = crate::distributions::LabelDistribution::Zipf { exponent: 0.9 }
+        .per_label_counts(labels as usize, edges_total);
+    (0..labels)
+        .map(|l| {
+            let pos = l as f64 / labels as f64;
+            let next = ((l + 1) % labels) as f64 / labels as f64;
+            LabelSchema {
+                name: format!("r{l}"),
+                edges: counts[l as usize],
+                sources: Community::new(pos, width),
+                targets: Community::new(next, width),
+                source_degrees: DegreeModel::Uniform,
+                target_degrees: DegreeModel::Zipf { exponent: 0.8 },
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

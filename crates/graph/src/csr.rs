@@ -97,6 +97,25 @@ impl Csr {
     pub fn non_empty_rows(&self) -> impl Iterator<Item = u32> + '_ {
         (0..self.row_count() as u32).filter(move |&v| self.degree(v) > 0)
     }
+
+    /// A copy of this CSR padded (or returned as-is) to `vertex_count`
+    /// rows, the tail rows empty — how delta application extends an
+    /// untouched label's adjacency when insertions grow the vertex set.
+    ///
+    /// # Panics
+    /// Panics if `vertex_count` is smaller than the current row count
+    /// (a CSR never shrinks; rows with edges cannot be dropped).
+    pub fn with_rows(&self, vertex_count: usize) -> Csr {
+        assert!(
+            vertex_count >= self.row_count(),
+            "cannot shrink a CSR from {} to {vertex_count} rows",
+            self.row_count()
+        );
+        let mut csr = self.clone();
+        csr.offsets
+            .resize(vertex_count + 1, self.targets.len() as u32);
+        csr
+    }
 }
 
 #[cfg(test)]

@@ -25,6 +25,13 @@ pub enum GraphError {
     },
     /// The label alphabet exceeded the `u16` capacity of [`crate::LabelId`].
     TooManyLabels,
+    /// A [`crate::GraphDelta`] violated its contract against the base
+    /// graph (absent removal, present insertion, duplicate change, or a
+    /// label outside the alphabet).
+    Delta {
+        /// Human-readable description of the violation.
+        message: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -47,6 +54,7 @@ impl fmt::Display for GraphError {
                     "label alphabet exceeds the 65536-label capacity of LabelId"
                 )
             }
+            GraphError::Delta { message } => write!(f, "invalid graph delta: {message}"),
         }
     }
 }

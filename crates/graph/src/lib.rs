@@ -40,6 +40,7 @@
 pub mod bitset;
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod error;
 pub mod graph;
 pub mod ids;
@@ -50,6 +51,7 @@ pub mod stats;
 pub use bitset::FixedBitSet;
 pub use builder::GraphBuilder;
 pub use csr::Csr;
+pub use delta::GraphDelta;
 pub use error::GraphError;
 pub use graph::Graph;
 pub use ids::{LabelId, VertexId};

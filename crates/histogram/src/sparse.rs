@@ -238,6 +238,23 @@ impl SparsePrefix {
         (q - s * s / n).max(0.0)
     }
 
+    /// [`SparsePrefix::range_sse`] with the two entry ranks supplied by
+    /// the caller instead of binary-searched: `rank_lo = rank(lo)`,
+    /// `rank_hi = rank(hi + 1)` (asserted in debug builds). Same
+    /// subtractions on the same prefix elements ⇒ bit-identical values —
+    /// this is the lookup-free variant for callers that track entry ranks
+    /// incrementally, like the greedy V-optimal heap replay, where the
+    /// per-call binary searches otherwise dominate.
+    #[inline]
+    pub fn range_sse_at(&self, lo: u64, hi: u64, rank_lo: usize, rank_hi: usize) -> f64 {
+        debug_assert_eq!(rank_lo, self.rank(lo));
+        debug_assert_eq!(rank_hi, self.rank(hi + 1));
+        let n = (hi - lo + 1) as f64;
+        let s = (self.sum[rank_hi] - self.sum[rank_lo]) as f64;
+        let q = self.sq[rank_hi] - self.sq[rank_lo];
+        (q - s * s / n).max(0.0)
+    }
+
     /// Builds the [`Bucket`] covering `[lo, hi]`, with min/max accounting
     /// for implicit zeros.
     pub fn bucket(&self, entries: &[(u64, u64)], lo: u64, hi: u64) -> Bucket {

@@ -270,32 +270,45 @@ fn greedy_merge_ends_sparse(data: &SparseFrequencies<'_>, beta: usize) -> Vec<u6
 
     // Phase 2: all equal-value runs have collapsed; replay the dense heap
     // over the run segmentation. Leaders keep their domain index as the
-    // heap tie-break key, exactly as in the dense arena.
+    // heap tie-break key, exactly as in the dense arena. Every segment
+    // carries its entry-rank span `[rank_lo, rank_hi)` so SSE reads are
+    // plain prefix-array subtractions — no binary search in the loop.
     let prefix = SparsePrefix::new(data);
     #[derive(Clone)]
     struct Seg {
         lo: u64,
         hi: u64,
+        /// Entry ranks spanning `[lo, hi]`: `rank(lo) .. rank(hi + 1)`.
+        rank_lo: u32,
+        rank_hi: u32,
         sse: f64,
         version: u32,
         alive: bool,
     }
-    let mut segs: Vec<Seg> = runs
-        .iter()
-        .map(|&(lo, hi)| Seg {
+    let mut segs: Vec<Seg> = Vec::with_capacity(runs.len());
+    let mut rank = 0usize;
+    let entries = data.entries();
+    for &(lo, hi) in &runs {
+        let rank_lo = rank;
+        while rank < entries.len() && entries[rank].0 <= hi {
+            rank += 1;
+        }
+        segs.push(Seg {
             lo,
             hi,
+            rank_lo: rank_lo as u32,
+            rank_hi: rank as u32,
             // The dense arena recomputes SSE only on merge; a run that
             // was never merged (singleton) still holds its initial 0.0.
             sse: if lo == hi {
                 0.0
             } else {
-                prefix.range_sse(lo, hi)
+                prefix.range_sse_at(lo, hi, rank_lo, rank)
             },
             version: 0,
             alive: true,
-        })
-        .collect();
+        });
+    }
     let r = segs.len();
     const NONE: usize = usize::MAX;
     let mut next: Vec<usize> = (0..r)
@@ -303,25 +316,33 @@ fn greedy_merge_ends_sparse(data: &SparseFrequencies<'_>, beta: usize) -> Vec<u6
         .collect();
     let mut prev_l: Vec<usize> = (0..r).map(|i| if i > 0 { i - 1 } else { NONE }).collect();
 
-    let mut heap: BinaryHeap<Reverse<(TotalF64, u64, u32, u32)>> = BinaryHeap::new();
+    // Heap keys carry the *arena index* of the left segment. The dense
+    // algorithm tie-breaks equal costs by leader domain index; segments
+    // are created in ascending `lo` order, so arena order and `lo` order
+    // coincide and the pop sequence (hence every merge decision) is
+    // unchanged — while the pop path loses its hash-map lookup, which
+    // dominated the replay on large inputs. The initial entries are
+    // heapified in one O(r) pass instead of r pushes.
     let merge_cost = |segs: &[Seg], l: usize, r: usize, prefix: &SparsePrefix| {
-        prefix.range_sse(segs[l].lo, segs[r].hi) - segs[l].sse - segs[r].sse
+        prefix.range_sse_at(
+            segs[l].lo,
+            segs[r].hi,
+            segs[l].rank_lo as usize,
+            segs[r].rank_hi as usize,
+        ) - segs[l].sse
+            - segs[r].sse
     };
-    for l in 0..r - 1 {
-        let cost = merge_cost(&segs, l, l + 1, &prefix);
-        heap.push(Reverse((TotalF64(cost), segs[l].lo, 0, 0)));
-    }
-    // Leader domain index → segment arena index, for heap keys.
-    let seg_of_lo: std::collections::HashMap<u64, usize> = segs
-        .iter()
-        .enumerate()
-        .map(|(i, seg)| (seg.lo, i))
+    let mut heap: BinaryHeap<Reverse<(TotalF64, u64, u32, u32)>> = (0..r - 1)
+        .map(|l| {
+            let cost = merge_cost(&segs, l, l + 1, &prefix);
+            Reverse((TotalF64(cost), l as u64, 0, 0))
+        })
         .collect();
 
     let mut alive = r;
     while alive > beta {
         let Reverse((_, leader, vl, vr)) = heap.pop().expect("heap exhausted before reaching beta");
-        let l = seg_of_lo[&leader];
+        let l = leader as usize;
         if !segs[l].alive || segs[l].version != vl {
             continue;
         }
@@ -330,7 +351,13 @@ fn greedy_merge_ends_sparse(data: &SparseFrequencies<'_>, beta: usize) -> Vec<u6
             continue;
         }
         segs[l].hi = segs[right].hi;
-        segs[l].sse = prefix.range_sse(segs[l].lo, segs[l].hi);
+        segs[l].rank_hi = segs[right].rank_hi;
+        segs[l].sse = prefix.range_sse_at(
+            segs[l].lo,
+            segs[l].hi,
+            segs[l].rank_lo as usize,
+            segs[l].rank_hi as usize,
+        );
         segs[l].version += 1;
         segs[right].alive = false;
         let rn = next[right];
@@ -343,7 +370,7 @@ fn greedy_merge_ends_sparse(data: &SparseFrequencies<'_>, beta: usize) -> Vec<u6
             let cost = merge_cost(&segs, l, rn, &prefix);
             heap.push(Reverse((
                 TotalF64(cost),
-                segs[l].lo,
+                l as u64,
                 segs[l].version,
                 segs[rn].version,
             )));
@@ -353,7 +380,7 @@ fn greedy_merge_ends_sparse(data: &SparseFrequencies<'_>, beta: usize) -> Vec<u6
             let cost = merge_cost(&segs, lp, l, &prefix);
             heap.push(Reverse((
                 TotalF64(cost),
-                segs[lp].lo,
+                lp as u64,
                 segs[lp].version,
                 segs[l].version,
             )));

@@ -47,6 +47,33 @@ pub enum CatalogError {
         /// Length of the supplied vector.
         found: usize,
     },
+    /// Incremental counting was asked to bridge two graphs with different
+    /// label alphabets — a delta cannot introduce or drop labels, because
+    /// every canonical index is pinned to `|L|`.
+    AlphabetChanged {
+        /// `|L|` of the base graph.
+        old: usize,
+        /// `|L|` of the changed graph.
+        new: usize,
+    },
+    /// A delta run was merged into a catalog with a different encoding
+    /// (its canonical indexes mean different paths).
+    DeltaEncodingMismatch {
+        /// The catalog's `(|L|, k)`.
+        catalog: (usize, usize),
+        /// The delta run's `(|L|, k)`.
+        delta: (usize, usize),
+    },
+    /// Applying a delta would drive a count negative — the run was not
+    /// computed against the graph this catalog counts.
+    DeltaUnderflow {
+        /// The offending canonical index.
+        canonical_index: u64,
+        /// The catalog's count at that index.
+        count: u64,
+        /// The signed difference that was applied.
+        delta: i64,
+    },
 }
 
 impl std::fmt::Display for CatalogError {
@@ -74,6 +101,27 @@ impl std::fmt::Display for CatalogError {
             CatalogError::CountsLengthMismatch { expected, found } => write!(
                 f,
                 "count vector of length {found} does not cover the domain of {expected}"
+            ),
+            CatalogError::AlphabetChanged { old, new } => write!(
+                f,
+                "label alphabet changed from {old} to {new} labels; a delta cannot \
+                 change |L| — rebuild from scratch"
+            ),
+            CatalogError::DeltaEncodingMismatch { catalog, delta } => write!(
+                f,
+                "delta run over (|L| = {}, k = {}) cannot merge into a catalog over \
+                 (|L| = {}, k = {})",
+                delta.0, delta.1, catalog.0, catalog.1
+            ),
+            CatalogError::DeltaUnderflow {
+                canonical_index,
+                count,
+                delta,
+            } => write!(
+                f,
+                "delta {delta} at canonical index {canonical_index} underflows the \
+                 catalog count {count}; the run was not computed against this \
+                 catalog's graph"
             ),
         }
     }

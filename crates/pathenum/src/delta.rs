@@ -1,0 +1,874 @@
+//! Incremental path counting: the signed sparse delta of a graph change.
+//!
+//! Given a base graph `G`, the changed graph `G' = G + Δ`, and the edge
+//! delta `Δ` itself, [`compute_delta`] produces a [`SparseDeltaRun`]: the
+//! sorted `(canonical_index, f_G'(ℓ) − f_G(ℓ))` entries for exactly the
+//! label paths whose selectivity changed. Merging that run into the
+//! previous [`SparseCatalog`](crate::SparseCatalog) with
+//! [`SparseCatalog::merge_delta`](crate::SparseCatalog::merge_delta)
+//! reproduces the from-scratch catalog of `G'` **bit-identically**
+//! (property-tested in `tests/sparse_equivalence.rs`) at a cost
+//! proportional to the *change*, not the graph.
+//!
+//! ## Why only touched paths need visiting
+//!
+//! A path relation `ℓ(G)` is a function of the CSRs of the labels in `ℓ`
+//! alone, built by left-to-right composition. Two facts bound where
+//! old/new relations can differ:
+//!
+//! 1. **Divergence is created only at changed rows.** Composing a
+//!    relation `R` (equal in both graphs) with label `m` reads `m`'s CSR
+//!    only at `targets(R)`. Unless `targets(R)` meets the source of some
+//!    changed `m`-edge, `R ∘ E_m` is equal in both graphs too.
+//! 2. **Realized paths are walks of the label-follow graph.** A
+//!    composition chain stays non-empty only while consecutive labels
+//!    `a, b` satisfy `targets(E_a) ∩ sources(E_b) ≠ ∅` (in the old or new
+//!    graph). So a path whose count *changed* must reach a dirty label
+//!    within its remaining length along that |L|-node follow graph.
+//!
+//! The traversal mirrors the full build's shared-prefix trie DFS but runs
+//! in two modes:
+//!
+//! * **Clean** nodes hold one shared relation (old ≡ new) and emit
+//!   nothing. Descent is pruned twice over: a child label must have a
+//!   dirty label follow-reachable within the remaining path budget
+//!   (label-level, fact 2), and some relation target must have a
+//!   `child`-edge into a vertex within walk distance of a changed source
+//!   (vertex-level bitmask test, fact 1 — checked *before* paying the
+//!   composition). The untouched bulk of the trie is never visited.
+//! * **Tainted** nodes (entered when a composition reads changed rows
+//!   and some row's result differs) carry only the **changed rows** —
+//!   each source's old and new target sets. The unchanged bulk of the
+//!   relation composes identically on both sides and cancels out of the
+//!   count difference, so a tainted child's signed diff is the row-wise
+//!   difference over the carried rows alone, and the work is
+//!   proportional to the *changed rows*, not the relation. Rows that
+//!   re-converge are dropped; a child whose rows all re-converge falls
+//!   back to a clean node (the subtree may still meet deeper dirt). The
+//!   one composition the row delta cannot answer locally — a **dirty**
+//!   label deeper in a tainted subtree, where an *unchanged* row may
+//!   newly meet a changed source — re-evaluates that node exactly from
+//!   both graphs (gated by the follow matrix, so it never fires unless
+//!   the label sequence is realizable).
+
+use phe_graph::delta::GraphDelta;
+use phe_graph::{FixedBitSet, Graph, LabelId};
+
+use crate::catalog::CatalogError;
+use crate::encoding::PathEncoding;
+use crate::relation::PathRelation;
+
+/// The signed sparse outcome of a graph delta: sorted, duplicate-free
+/// `(canonical_index, f_new − f_old)` entries, differences non-zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparseDeltaRun {
+    encoding: PathEncoding,
+    entries: Vec<(u64, i64)>,
+}
+
+impl SparseDeltaRun {
+    /// The canonical encoding both catalogs share.
+    #[inline]
+    pub fn encoding(&self) -> &PathEncoding {
+        &self.encoding
+    }
+
+    /// The sorted `(canonical_index, signed_difference)` entries.
+    #[inline]
+    pub fn entries(&self) -> &[(u64, i64)] {
+        &self.entries
+    }
+
+    /// Number of paths whose selectivity changed.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the delta changed no path's selectivity.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Counts the signed selectivity difference `f_new(ℓ) − f_old(ℓ)` for
+/// every label path of length `≤ k`, visiting only the paths the delta
+/// can have touched (see the module docs for the pruning argument).
+///
+/// `old` and `new` must be the delta's base graph and its
+/// [`Graph::apply_delta`] result; the label alphabet must be unchanged
+/// (a delta cannot introduce labels).
+///
+/// # Errors
+/// [`CatalogError::AlphabetChanged`] when the two graphs disagree on
+/// `|L|`, and [`CatalogError::DomainTooLarge`] when `Σ |L|^i` overflows
+/// the canonical index space.
+pub fn compute_delta(
+    old: &Graph,
+    new: &Graph,
+    delta: &GraphDelta,
+    k: usize,
+) -> Result<SparseDeltaRun, CatalogError> {
+    if old.label_count() != new.label_count() {
+        return Err(CatalogError::AlphabetChanged {
+            old: old.label_count(),
+            new: new.label_count(),
+        });
+    }
+    let encoding = PathEncoding::try_new(old.label_count().max(1), k)?;
+    let label_count = old.label_count();
+    let changed_sources = delta.changed_sources_by_label(label_count);
+    let dirty: Vec<bool> = changed_sources.iter().map(|s| !s.is_empty()).collect();
+    if !dirty.iter().any(|&d| d) || label_count == 0 {
+        return Ok(SparseDeltaRun {
+            encoding,
+            entries: Vec::new(),
+        });
+    }
+
+    let follows = follow_matrix(old, new);
+    let dist = dirty_distances(&follows, &dirty, k);
+    let vertex_count = old.vertex_count().max(new.vertex_count());
+    let masks = ReachMasks::build(old, new, &changed_sources, k);
+    let mut ctx = DeltaCtx {
+        old,
+        new,
+        encoding: &encoding,
+        dirty: &dirty,
+        dist: &dist,
+        follows: &follows,
+        masks: &masks,
+        k,
+        scratch: FixedBitSet::new(vertex_count),
+        path: Vec::with_capacity(k),
+        entries: Vec::new(),
+    };
+
+    for label in old.label_ids() {
+        // The whole subtree rooted at `label` can only contain a changed
+        // path if a dirty label is follow-reachable within `k − 1` steps.
+        if ctx.dist[label.index()] > k - 1 {
+            continue;
+        }
+        if ctx.dirty[label.index()] {
+            let ro = PathRelation::from_label(old, label);
+            let rn = PathRelation::from_label(new, label);
+            ctx.path.push(label);
+            if ro == rn {
+                if !ro.is_empty() {
+                    ctx.clean_subtree(&ro);
+                }
+            } else {
+                ctx.emit(rn.pair_count() as i64 - ro.pair_count() as i64);
+                let rows = differing_rows(&ro, &rn);
+                ctx.tainted_subtree(&rows);
+            }
+            ctx.path.pop();
+        } else {
+            // Clean label: identical edge set in both graphs.
+            let rel = PathRelation::from_label(new, label);
+            if !rel.is_empty() {
+                ctx.path.push(label);
+                ctx.clean_subtree(&rel);
+                ctx.path.pop();
+            }
+        }
+    }
+
+    let mut entries = ctx.entries;
+    entries.sort_unstable_by_key(|&(index, _)| index);
+    debug_assert!(
+        entries.windows(2).all(|w| w[0].0 < w[1].0),
+        "each trie node is visited exactly once"
+    );
+    Ok(SparseDeltaRun { encoding, entries })
+}
+
+struct DeltaCtx<'a> {
+    old: &'a Graph,
+    new: &'a Graph,
+    encoding: &'a PathEncoding,
+    dirty: &'a [bool],
+    /// Follow-graph distance from each label to the nearest dirty label
+    /// (0 for dirty labels themselves; `usize::MAX` when unreachable).
+    dist: &'a [usize],
+    /// `follows[a · |L| + b]`: some `a`-edge target has an outgoing
+    /// `b`-edge (old ∪ new). `false` proves `… a/b …` relations empty on
+    /// both sides.
+    follows: &'a [bool],
+    /// Vertex-level reachability masks (see [`ReachMasks`]).
+    masks: &'a ReachMasks,
+    k: usize,
+    scratch: FixedBitSet,
+    path: Vec<LabelId>,
+    entries: Vec<(u64, i64)>,
+}
+
+/// Word-level bitmask over vertices.
+type Mask = Vec<u64>;
+
+#[inline]
+fn masks_intersect(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).any(|(x, y)| x & y != 0)
+}
+
+/// Per-vertex reachability structure driving the clean-mode prunes, all
+/// derived from one reverse BFS (`vertex_distances`) over the union of
+/// the old and new edges:
+///
+/// * `changed[l]` — the changed `l`-edge sources (where composing `l`
+///   reads a changed row and divergence can be *created*);
+/// * `reach[d]` — vertices within `d` walk steps of any changed source;
+/// * `pre[l][d]` — vertices with an `l`-edge into `reach[d]`: composing
+///   `l` from a relation disjoint from `pre[l][d]` yields targets outside
+///   `reach[d]`, so requiring `targets ∩ pre[l][r−2] ≠ ∅` before
+///   composing a clean child prunes, per child and **before paying the
+///   composition**, every subtree whose relations can no longer funnel
+///   onto a changed row within the remaining budget.
+struct ReachMasks {
+    changed: Vec<Mask>,
+    reach: Vec<Mask>,
+    pre: Vec<Vec<Mask>>,
+}
+
+impl ReachMasks {
+    fn build(old: &Graph, new: &Graph, changed_sources: &[Vec<u32>], k: usize) -> ReachMasks {
+        let vertex_count = old.vertex_count().max(new.vertex_count());
+        let words = vertex_count.div_ceil(64).max(1);
+        let vdist = vertex_distances(old, new, changed_sources, k);
+
+        let changed: Vec<Mask> = changed_sources
+            .iter()
+            .map(|sources| {
+                let mut mask = vec![0u64; words];
+                for &s in sources {
+                    mask[s as usize / 64] |= 1 << (s % 64);
+                }
+                mask
+            })
+            .collect();
+
+        let mut reach: Vec<Mask> = vec![vec![0u64; words]; k];
+        for (v, &d) in vdist.iter().enumerate() {
+            for mask in reach.iter_mut().skip(d as usize) {
+                mask[v / 64] |= 1 << (v % 64);
+            }
+        }
+
+        let label_count = old.label_count();
+        let mut pre: Vec<Vec<Mask>> = vec![vec![vec![0u64; words]; k]; label_count];
+        for graph in [old, new] {
+            for l in graph.label_ids() {
+                let csr = graph.forward_csr(l);
+                for v in csr.non_empty_rows() {
+                    let min_out = csr
+                        .neighbors(v)
+                        .iter()
+                        .map(|&w| vdist[w as usize])
+                        .min()
+                        .unwrap_or(u32::MAX);
+                    for mask in pre[l.index()].iter_mut().skip(min_out as usize) {
+                        mask[v as usize / 64] |= 1 << (v % 64);
+                    }
+                }
+            }
+        }
+        ReachMasks {
+            changed,
+            reach,
+            pre,
+        }
+    }
+}
+
+/// Collects a relation's target set as a vertex bitmask.
+fn target_mask(rel: &PathRelation, words: usize) -> Mask {
+    let mut mask = vec![0u64; words];
+    for i in 0..rel.source_count() {
+        for &t in rel.targets_of_nth(i) {
+            mask[t as usize / 64] |= 1 << (t % 64);
+        }
+    }
+    mask
+}
+
+impl DeltaCtx<'_> {
+    fn emit(&mut self, diff: i64) {
+        if diff != 0 {
+            self.entries
+                .push((self.encoding.encode(&self.path) as u64, diff));
+        }
+    }
+
+    /// Descends below a node whose relation is identical in both graphs.
+    /// Emits nothing at this level (the counts agree); recurses only where
+    /// a dirty label remains reachable within the budget.
+    fn clean_subtree(&mut self, rel: &PathRelation) {
+        if self.path.len() == self.k {
+            return;
+        }
+        let remaining = self.k - self.path.len();
+        // Vertex-level prune: a descendant diverges only if some walk of
+        // ≤ remaining − 1 further compositions moves a target of this
+        // relation onto a changed-edge source (where a dirty composition
+        // can then read a changed row). Relation targets advance one walk
+        // step per composition, so if no target is within `remaining − 1`
+        // walk steps of any changed source, the entire subtree is clean.
+        let tmask = target_mask(rel, self.masks.reach[0].len());
+        if !masks_intersect(&tmask, &self.masks.reach[remaining - 1]) {
+            return;
+        }
+        for label in self.old.label_ids() {
+            let li = label.index();
+            // After appending `label`, `remaining − 1` slots stay; the
+            // subtree matters only if dirt is that close in follow steps.
+            if self.dist[li] > remaining - 1 {
+                continue;
+            }
+            if self.dirty[li] && masks_intersect(&tmask, &self.masks.changed[li]) {
+                // The composition reads changed rows: old and new can part
+                // ways here — but only in the rows whose targets meet a
+                // changed source. Compose exactly those rows on both
+                // sides; everything else is untouched by construction.
+                let (old_g, new_g) = (self.old, self.new);
+                let mut rows: Vec<RowDelta> = Vec::new();
+                let mut diff = 0i64;
+                for i in 0..rel.source_count() {
+                    let targets = rel.targets_of_nth(i);
+                    let hit = targets
+                        .iter()
+                        .any(|&t| mask_bit(&self.masks.changed[li], t));
+                    if !hit {
+                        continue;
+                    }
+                    let old_targets = self.compose_targets(targets, old_g, label);
+                    let new_targets = self.compose_targets(targets, new_g, label);
+                    if old_targets != new_targets {
+                        diff += new_targets.len() as i64 - old_targets.len() as i64;
+                        rows.push(RowDelta {
+                            old_targets,
+                            new_targets,
+                        });
+                    }
+                }
+                if rows.is_empty() {
+                    // Every touched row composed to the same result: the
+                    // child is still clean. Descend with the full relation
+                    // if the subtree remains viable.
+                    if remaining >= 2 && masks_intersect(&tmask, &self.masks.pre[li][remaining - 2])
+                    {
+                        let next = rel.compose(self.new, label, &mut self.scratch);
+                        if !next.is_empty() {
+                            self.path.push(label);
+                            self.clean_subtree(&next);
+                            self.path.pop();
+                        }
+                    }
+                } else {
+                    self.path.push(label);
+                    self.emit(diff);
+                    self.tainted_subtree(&rows);
+                    self.path.pop();
+                }
+            } else if remaining >= 2 && masks_intersect(&tmask, &self.masks.pre[li][remaining - 2])
+            {
+                // A clean composition (identical in both graphs: the label
+                // is clean, or no target is a changed source) — and one
+                // worth paying for: some target has a `label`-edge into a
+                // vertex that can still funnel onto a changed row within
+                // the remaining budget. Children failing this test are
+                // skipped without composing at all.
+                let next = rel.compose(self.new, label, &mut self.scratch);
+                if !next.is_empty() {
+                    self.path.push(label);
+                    self.clean_subtree(&next);
+                    self.path.pop();
+                }
+            }
+        }
+    }
+
+    /// Descends below a node whose old and new relations differ in
+    /// exactly `rows` (every other row is identical in both graphs). The
+    /// signed count difference of each child is the row-wise difference
+    /// over these rows alone — the unchanged bulk cancels — so the work
+    /// here is proportional to the *changed rows*, not the relation. A
+    /// child whose changed rows all re-converge ends the recursion: the
+    /// subtree below it is identical in both graphs.
+    ///
+    /// The one case the row delta cannot answer locally is composing a
+    /// **dirty** label: an unchanged row may meet a changed source and
+    /// newly diverge. That child (a path containing two dirty labels —
+    /// rare under localized churn) falls back to exact full evaluation
+    /// of both sides and re-derives the row delta from scratch.
+    fn tainted_subtree(&mut self, rows: &[RowDelta]) {
+        if self.path.len() == self.k {
+            return;
+        }
+        let (old_g, new_g) = (self.old, self.new);
+        let label_count = self.old.label_count();
+        let prev = self
+            .path
+            .last()
+            .copied()
+            .expect("tainted nodes sit below the root");
+        for label in self.old.label_ids() {
+            // If `prev` cannot be followed by `label` in either graph,
+            // the child relation is empty on both sides and nothing below
+            // it can differ — in particular, the dirty-label fallback's
+            // full evaluations are skipped wholesale.
+            if !self.follows[prev.index() * label_count + label.index()] {
+                continue;
+            }
+            if self.dirty[label.index()] {
+                self.path.push(label);
+                let ro = PathRelation::evaluate(old_g, &self.path);
+                let rn = PathRelation::evaluate(new_g, &self.path);
+                self.emit(rn.pair_count() as i64 - ro.pair_count() as i64);
+                if ro == rn {
+                    if !ro.is_empty() {
+                        self.clean_subtree(&rn);
+                    }
+                } else {
+                    let next = differing_rows(&ro, &rn);
+                    self.tainted_subtree(&next);
+                }
+                self.path.pop();
+                continue;
+            }
+            // Clean label: unchanged rows compose identically on both
+            // sides, so only the carried rows can keep the sides apart.
+            let mut next: Vec<RowDelta> = Vec::new();
+            let mut diff = 0i64;
+            for row in rows {
+                let old_targets = self.compose_targets(&row.old_targets, old_g, label);
+                let new_targets = self.compose_targets(&row.new_targets, new_g, label);
+                if old_targets != new_targets {
+                    diff += new_targets.len() as i64 - old_targets.len() as i64;
+                    next.push(RowDelta {
+                        old_targets,
+                        new_targets,
+                    });
+                }
+            }
+            if next.is_empty() {
+                // Re-converged: the child relation is identical in both
+                // graphs. That is a *clean* child, not a dead one — a
+                // deeper dirty composition could still diverge it — so if
+                // dirt remains follow-reachable within the budget, drop
+                // back to clean mode with the full (shared) relation.
+                let remaining = self.k - self.path.len();
+                if self.dist[label.index()] < remaining {
+                    self.path.push(label);
+                    let rel = PathRelation::evaluate(new_g, &self.path);
+                    if !rel.is_empty() {
+                        self.clean_subtree(&rel);
+                    }
+                    self.path.pop();
+                }
+                continue;
+            }
+            self.path.push(label);
+            self.emit(diff);
+            self.tainted_subtree(&next);
+            self.path.pop();
+        }
+    }
+
+    /// One row's targets pushed through `label`'s edges of `graph`,
+    /// de-duplicated and sorted.
+    fn compose_targets(&mut self, targets: &[u32], graph: &Graph, label: LabelId) -> Vec<u32> {
+        for &t in targets {
+            if (t as usize) < graph.vertex_count() {
+                for &w in graph.out_neighbors_raw(t, label) {
+                    self.scratch.insert(w);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        self.scratch.drain_sorted_into(&mut out);
+        out
+    }
+}
+
+/// One changed row of a tainted relation: the same source's target set
+/// on the old and new side (differing by construction; either may be
+/// empty). The source vertex itself is irrelevant to counting — only the
+/// target-set sizes enter the difference — so it is not stored.
+struct RowDelta {
+    old_targets: Vec<u32>,
+    new_targets: Vec<u32>,
+}
+
+/// The row deltas between two full relations: a merge-join over their
+/// sorted source lists, keeping rows whose target sets differ.
+fn differing_rows(old_rel: &PathRelation, new_rel: &PathRelation) -> Vec<RowDelta> {
+    let mut rows = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    let (on, nn) = (old_rel.source_count(), new_rel.source_count());
+    while i < on || j < nn {
+        let os = old_rel.sources().get(i).copied();
+        let ns = new_rel.sources().get(j).copied();
+        match (os, ns) {
+            (Some(o), Some(n)) if o == n => {
+                let (ot, nt) = (old_rel.targets_of_nth(i), new_rel.targets_of_nth(j));
+                if ot != nt {
+                    rows.push(RowDelta {
+                        old_targets: ot.to_vec(),
+                        new_targets: nt.to_vec(),
+                    });
+                }
+                i += 1;
+                j += 1;
+            }
+            (Some(o), Some(n)) if o < n => {
+                rows.push(RowDelta {
+                    old_targets: old_rel.targets_of_nth(i).to_vec(),
+                    new_targets: Vec::new(),
+                });
+                i += 1;
+            }
+            (Some(_), None) => {
+                rows.push(RowDelta {
+                    old_targets: old_rel.targets_of_nth(i).to_vec(),
+                    new_targets: Vec::new(),
+                });
+                i += 1;
+            }
+            _ => {
+                rows.push(RowDelta {
+                    old_targets: Vec::new(),
+                    new_targets: new_rel.targets_of_nth(j).to_vec(),
+                });
+                j += 1;
+            }
+        }
+    }
+    rows
+}
+
+/// Tests one vertex against a mask.
+#[inline]
+fn mask_bit(mask: &[u64], v: u32) -> bool {
+    mask[v as usize / 64] & (1 << (v % 64)) != 0
+}
+
+/// Per-vertex walk distance to the nearest changed-edge source: a
+/// multi-source reverse BFS over the union of the old and new graphs'
+/// edges (all labels), capped at `k − 1` steps — deeper vertices can
+/// never funnel a relation onto a changed row within one path's budget.
+fn vertex_distances(old: &Graph, new: &Graph, changed_sources: &[Vec<u32>], k: usize) -> Vec<u32> {
+    let vertex_count = old.vertex_count().max(new.vertex_count());
+    let mut dist = vec![u32::MAX; vertex_count];
+    let mut frontier: Vec<u32> = Vec::new();
+    for sources in changed_sources {
+        for &s in sources {
+            if dist[s as usize] == u32::MAX {
+                dist[s as usize] = 0;
+                frontier.push(s);
+            }
+        }
+    }
+    for d in 1..k.max(1) as u32 {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for graph in [old, new] {
+                if u as usize >= graph.vertex_count() {
+                    continue;
+                }
+                for label in graph.label_ids() {
+                    for &v in graph.in_neighbors_raw(u, label) {
+                        if dist[v as usize] == u32::MAX {
+                            dist[v as usize] = d;
+                            next.push(v);
+                        }
+                    }
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    dist
+}
+
+/// The label-follow matrix over the union of both graphs' edges:
+/// `follows[a · |L| + b]` holds when some `a`-edge target has an outgoing
+/// `b`-edge — an over-approximation of "a realized path can continue `a`
+/// with `b`" (any composition's targets are a subset of its last label's
+/// edge targets), which is what makes pruning on its complement sound.
+fn follow_matrix(old: &Graph, new: &Graph) -> Vec<bool> {
+    let label_count = old.label_count();
+    let vertex_count = old.vertex_count().max(new.vertex_count());
+    let words = vertex_count.div_ceil(64).max(1);
+
+    // target_mask[l]: vertices that are a target of an l-edge (old ∪ new).
+    // out_mask[l]: vertices with at least one outgoing l-edge (old ∪ new).
+    let mut target_mask = vec![vec![0u64; words]; label_count];
+    let mut out_mask = vec![vec![0u64; words]; label_count];
+    for graph in [old, new] {
+        for l in graph.label_ids() {
+            let csr = graph.forward_csr(l);
+            for v in csr.non_empty_rows() {
+                out_mask[l.index()][v as usize / 64] |= 1 << (v % 64);
+                for &t in csr.neighbors(v) {
+                    target_mask[l.index()][t as usize / 64] |= 1 << (t % 64);
+                }
+            }
+        }
+    }
+    let mut follows = vec![false; label_count * label_count];
+    for a in 0..label_count {
+        for b in 0..label_count {
+            follows[a * label_count + b] = masks_intersect(&target_mask[a], &out_mask[b]);
+        }
+    }
+    follows
+}
+
+/// Multi-source BFS over the **reversed label-follow graph**: for each
+/// label, the minimum number of follow steps to reach a dirty label
+/// (`usize::MAX` when unreachable).
+fn dirty_distances(follows: &[bool], dirty: &[bool], k: usize) -> Vec<usize> {
+    let label_count = dirty.len();
+    let mut dist = vec![usize::MAX; label_count];
+    let mut frontier: Vec<usize> = (0..label_count).filter(|&l| dirty[l]).collect();
+    for &l in &frontier {
+        dist[l] = 0;
+    }
+    // Distances beyond k − 1 never unlock a descent, so the BFS can stop.
+    for d in 1..k.max(1) {
+        let mut next = Vec::new();
+        for m in 0..label_count {
+            if dist[m] == usize::MAX && frontier.iter().any(|&f| follows[m * label_count + f]) {
+                dist[m] = d;
+                next.push(m);
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    dist
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use super::*;
+
+    /// Builds a run from raw entries — lets sibling modules' tests forge
+    /// deltas (e.g. underflowing ones) that `compute_delta` never emits.
+    pub(crate) fn run_from_entries(
+        encoding: PathEncoding,
+        entries: Vec<(u64, i64)>,
+    ) -> SparseDeltaRun {
+        SparseDeltaRun { encoding, entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::SelectivityCatalog;
+    use crate::sparse::SparseCatalog;
+    use phe_graph::{GraphBuilder, VertexId};
+
+    fn l(x: u16) -> LabelId {
+        LabelId(x)
+    }
+    fn v(x: u32) -> VertexId {
+        VertexId(x)
+    }
+
+    /// Deterministic pseudo-random graph (LCG walk, no `rand`).
+    fn lcg_graph(n: u32, labels: u16, edges: usize, seed: u64) -> Graph {
+        let mut b = GraphBuilder::with_numeric_labels(n, labels);
+        let mut x = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
+        let mut step = || {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            (x >> 33) as u32
+        };
+        for _ in 0..edges {
+            let s = step() % n;
+            let t = step() % n;
+            let lab = (step() as u16) % labels;
+            b.add_edge(v(s), l(lab), v(t));
+        }
+        b.build()
+    }
+
+    /// Deterministic churn: removes every `stride`-th edge and inserts
+    /// `inserts` fresh edges that exist in neither the base graph nor the
+    /// delta so far.
+    fn lcg_delta(graph: &Graph, stride: usize, inserts: usize, seed: u64) -> GraphDelta {
+        let mut delta = GraphDelta::new();
+        let mut removed = std::collections::HashSet::new();
+        for (i, (s, lab, t)) in graph.iter_edges().enumerate() {
+            if i % stride == 0 {
+                delta.remove(s, lab, t);
+                removed.insert((s.0, lab.0, t.0));
+            }
+        }
+        let n = graph.vertex_count() as u32;
+        let labels = graph.label_count() as u16;
+        let mut x = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
+        let mut step = || {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            (x >> 33) as u32
+        };
+        let mut added = std::collections::HashSet::new();
+        let mut remaining = inserts;
+        while remaining > 0 {
+            let (s, t, lab) = (step() % n, step() % n, (step() as u16) % labels);
+            let key = (s, lab, t);
+            let present = graph.has_edge(v(s), l(lab), v(t)) && !removed.contains(&key);
+            if present || !added.insert(key) {
+                continue;
+            }
+            delta.insert(v(s), l(lab), v(t));
+            remaining -= 1;
+        }
+        delta
+    }
+
+    /// The brute-force oracle: dense catalogs of both graphs, diffed.
+    fn dense_diff(old: &Graph, new: &Graph, k: usize) -> Vec<(u64, i64)> {
+        let co = SelectivityCatalog::compute(old, k);
+        let cn = SelectivityCatalog::compute(new, k);
+        co.counts()
+            .iter()
+            .zip(cn.counts())
+            .enumerate()
+            .filter(|(_, (&o, &n))| o != n)
+            .map(|(i, (&o, &n))| (i as u64, n as i64 - o as i64))
+            .collect()
+    }
+
+    #[test]
+    fn delta_matches_dense_diff_on_random_churn() {
+        for seed in [3u64, 11, 42] {
+            let old = lcg_graph(40, 4, 220, seed);
+            let delta = lcg_delta(&old, 7, 12, seed + 1);
+            let new = old.apply_delta(&delta).unwrap();
+            for k in 1..=4 {
+                let run = compute_delta(&old, &new, &delta, k).unwrap();
+                assert_eq!(
+                    run.entries(),
+                    dense_diff(&old, &new, k).as_slice(),
+                    "seed {seed}, k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merged_catalog_equals_full_recount() {
+        let old = lcg_graph(50, 3, 280, 9);
+        let delta = lcg_delta(&old, 5, 20, 10);
+        let new = old.apply_delta(&delta).unwrap();
+        for k in 1..=4 {
+            let base = SparseCatalog::compute(&old, k).unwrap();
+            let run = compute_delta(&old, &new, &delta, k).unwrap();
+            let merged = base.merge_delta(&run).unwrap();
+            let fresh = SparseCatalog::compute(&new, k).unwrap();
+            assert_eq!(merged, fresh, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn empty_delta_is_an_empty_run() {
+        let g = lcg_graph(20, 2, 60, 5);
+        let run = compute_delta(&g, &g, &GraphDelta::new(), 3).unwrap();
+        assert!(run.is_empty());
+        assert_eq!(run.encoding().max_len(), 3);
+    }
+
+    #[test]
+    fn insertion_only_and_removal_only_deltas() {
+        let mut b = GraphBuilder::new();
+        b.add_edge_named(0, "a", 1);
+        b.add_edge_named(1, "b", 2);
+        let old = b.build();
+
+        // Insert 2 -a-> 3: creates paths a (+1), b/a (+1).
+        let mut ins = GraphDelta::new();
+        ins.insert(v(2), l(0), v(3));
+        let new = old.apply_delta(&ins).unwrap();
+        let run = compute_delta(&old, &new, &ins, 3).unwrap();
+        assert_eq!(run.entries(), dense_diff(&old, &new, 3).as_slice());
+        assert!(run.entries().iter().all(|&(_, d)| d > 0));
+
+        // Remove 0 -a-> 1: kills a (−1) and a/b (−1).
+        let mut rem = GraphDelta::new();
+        rem.remove(v(0), l(0), v(1));
+        let new = old.apply_delta(&rem).unwrap();
+        let run = compute_delta(&old, &new, &rem, 3).unwrap();
+        assert_eq!(run.entries(), dense_diff(&old, &new, 3).as_slice());
+        assert!(run.entries().iter().all(|&(_, d)| d < 0));
+    }
+
+    #[test]
+    fn remove_reinsert_cancels_to_empty() {
+        let old = lcg_graph(20, 2, 80, 7);
+        let (s, lab, t) = old.iter_edges().next().unwrap();
+        let mut delta = GraphDelta::new();
+        delta.remove(s, lab, t);
+        delta.insert(s, lab, t);
+        let new = old.apply_delta(&delta).unwrap();
+        let run = compute_delta(&old, &new, &delta, 3).unwrap();
+        assert!(run.is_empty(), "{:?}", run.entries());
+    }
+
+    #[test]
+    fn delta_touching_new_vertices() {
+        let mut b = GraphBuilder::new();
+        b.add_edge_named(0, "a", 1);
+        let old = b.build();
+        let mut delta = GraphDelta::new();
+        delta.insert(v(1), l(0), v(5)); // grows the vertex set
+        let new = old.apply_delta(&delta).unwrap();
+        let run = compute_delta(&old, &new, &delta, 2).unwrap();
+        assert_eq!(run.entries(), dense_diff(&old, &new, 2).as_slice());
+    }
+
+    #[test]
+    fn alphabet_change_is_refused() {
+        let old = lcg_graph(10, 2, 30, 1);
+        let new = lcg_graph(10, 3, 30, 1);
+        assert!(matches!(
+            compute_delta(&old, &new, &GraphDelta::new(), 2),
+            Err(CatalogError::AlphabetChanged { old: 2, new: 3 })
+        ));
+    }
+
+    #[test]
+    fn dirty_distance_prunes_far_labels() {
+        // A 6-label chain 0→1→…→5 with a change on label 0 only: labels
+        // beyond follow distance k−1 from the dirty label never reach it,
+        // so dist must be MAX for them (the prune the bench relies on).
+        let mut b = GraphBuilder::with_numeric_labels(7, 6);
+        for i in 0..6u16 {
+            b.add_edge(v(i as u32), l(i), v(i as u32 + 1));
+        }
+        let old = b.build();
+        let mut delta = GraphDelta::new();
+        delta.insert(v(0), l(0), v(2));
+        let new = old.apply_delta(&delta).unwrap();
+        let dirty: Vec<bool> = (0..6).map(|i| i == 0).collect();
+        let dist = dirty_distances(&follow_matrix(&old, &new), &dirty, 6);
+        assert_eq!(dist[0], 0);
+        // No label follows into label 0 (vertex 0 has no incoming edges),
+        // so everything else is unreachable-from.
+        assert!(dist[1..].iter().all(|&d| d == usize::MAX), "{dist:?}");
+        // And the run still matches the oracle.
+        let run = compute_delta(&old, &new, &delta, 4).unwrap();
+        assert_eq!(run.entries(), dense_diff(&old, &new, 4).as_slice());
+    }
+}

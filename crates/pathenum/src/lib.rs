@@ -26,7 +26,13 @@
 //!   representation that scales past the dense limit
 //!   ([`catalog::DENSE_DOMAIN_LIMIT`]); oversized `(|L|, k)` requests are
 //!   refused with a checked [`catalog::CatalogError`] rather than an
-//!   allocation panic.
+//!   allocation panic;
+//! * [`delta`] — incremental maintenance: [`delta::compute_delta`] counts
+//!   the signed selectivity difference of a graph change by visiting only
+//!   the paths the changed edges can have touched, and
+//!   [`sparse::SparseCatalog::merge_delta`] folds the resulting
+//!   [`delta::SparseDeltaRun`] into the previous catalog — bit-identical
+//!   to a full recount at a cost proportional to the change.
 //!
 //! ```
 //! use phe_graph::GraphBuilder;
@@ -45,6 +51,7 @@
 //! ```
 
 pub mod catalog;
+pub mod delta;
 pub mod encoding;
 pub mod naive;
 pub mod parallel;
@@ -53,6 +60,7 @@ pub mod sampling;
 pub mod sparse;
 
 pub use catalog::{CatalogError, SelectivityCatalog};
+pub use delta::{compute_delta, SparseDeltaRun};
 pub use encoding::PathEncoding;
 pub use relation::PathRelation;
 pub use sampling::{SamplingConfig, SamplingEstimator};

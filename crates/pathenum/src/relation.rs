@@ -8,7 +8,7 @@ use phe_graph::{FixedBitSet, Graph, LabelId};
 /// Invariants: `sources` is strictly ascending; every source has at least
 /// one target; each target list is strictly ascending (hence
 /// duplicate-free). `offsets.len() == sources.len() + 1`.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PathRelation {
     sources: Vec<u32>,
     offsets: Vec<u32>,

@@ -19,7 +19,36 @@
 //!   heap merge that sums counts of equal indexes;
 //! * [`SparseCatalog::from_dense`] / [`SparseCatalog::to_dense`] — lossless
 //!   conversions (the dense direction is guarded by the materialization
-//!   limit), which make the dense catalog the test oracle for this one.
+//!   limit), which make the dense catalog the test oracle for this one;
+//! * [`SparseCatalog::merge_delta`] — incremental maintenance: folds a
+//!   signed [`crate::delta::SparseDeltaRun`] (the outcome of
+//!   [`crate::delta::compute_delta`] over a graph change) into this
+//!   catalog, producing the catalog of the changed graph without a
+//!   recount.
+//!
+//! ## The run invariants
+//!
+//! Every operation above relies on — and preserves — the same contract
+//! over `entries`:
+//!
+//! 1. **Run ordering.** Entries are sorted by canonical index, *strictly*
+//!    increasing: one entry per realized path, no duplicates. Binary
+//!    search gives `O(log nnz)` lookups, and any two runs (or a run and a
+//!    delta) merge in one linear two-pointer pass.
+//! 2. **No explicit zeros.** Every stored count is `> 0`; an index absent
+//!    from the run *is* the zero. This is what makes the representation
+//!    size `O(realized paths)` and lets the histogram builders charge
+//!    O(1) per zero gap.
+//! 3. **Merge = index-wise sum.** Per-thread shards each count a disjoint
+//!    source range, so equal indexes across runs *add* (the k-way heap
+//!    merge does exactly that, yielding invariants 1–2 again).
+//! 4. **Cancellation on delta merge.** A delta entry is a signed
+//!    difference; summing it into the base count may produce 0, and the
+//!    merged run must *drop* that entry (invariant 2), not store a zero —
+//!    otherwise the merged catalog would not be bit-identical to a fresh
+//!    recount of the changed graph. A sum below zero means the delta was
+//!    computed against a different base and is refused
+//!    ([`CatalogError::DeltaUnderflow`]).
 //!
 //! Entries are length-partitioned for free: the canonical encoding is
 //! length-major, so a sort by index groups paths by length first.
@@ -183,6 +212,61 @@ impl SparseCatalog {
             counts[index as usize] = count;
         }
         SelectivityCatalog::try_from_counts(self.encoding, counts)
+    }
+
+    /// Folds a signed delta run into this catalog, yielding the catalog of
+    /// the changed graph: a linear two-pointer merge that sums matching
+    /// indexes, admits new ones, and **cancels** entries whose count
+    /// reaches zero (module invariant 4). Bit-identical to recounting the
+    /// changed graph from scratch — the property `tests/sparse_equivalence.rs`
+    /// exercises end-to-end.
+    ///
+    /// # Errors
+    /// [`CatalogError::DeltaEncodingMismatch`] when the run's encoding
+    /// differs from this catalog's, and [`CatalogError::DeltaUnderflow`]
+    /// when a merged count would go negative (the run was computed against
+    /// a different base graph).
+    pub fn merge_delta(
+        &self,
+        delta: &crate::delta::SparseDeltaRun,
+    ) -> Result<SparseCatalog, CatalogError> {
+        if *delta.encoding() != self.encoding {
+            return Err(CatalogError::DeltaEncodingMismatch {
+                catalog: (self.encoding.label_count(), self.encoding.max_len()),
+                delta: (delta.encoding().label_count(), delta.encoding().max_len()),
+            });
+        }
+        let changes = delta.entries();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.entries.len() + changes.len());
+        let mut base = self.entries.iter().copied().peekable();
+        let apply = |index: u64, count: u64, diff: i64| -> Result<u64, CatalogError> {
+            let summed = count as i128 + diff as i128;
+            u64::try_from(summed).map_err(|_| CatalogError::DeltaUnderflow {
+                canonical_index: index,
+                count,
+                delta: diff,
+            })
+        };
+        for &(index, diff) in changes {
+            // Copy base entries below the change point unchanged.
+            while let Some(&entry) = base.peek().filter(|&&(i, _)| i < index) {
+                merged.push(entry);
+                base.next();
+            }
+            let count = match base.peek() {
+                Some(&(i, count)) if i == index => {
+                    base.next();
+                    count
+                }
+                _ => 0,
+            };
+            let summed = apply(index, count, diff)?;
+            if summed > 0 {
+                merged.push((index, summed));
+            }
+        }
+        merged.extend(base);
+        Ok(Self::from_sorted_entries(self.encoding, merged))
     }
 
     /// Wraps pre-sorted entries, asserting the sparse invariants in debug
@@ -445,6 +529,59 @@ mod tests {
         assert_eq!(c.len(), 3); // one pseudo-label alphabet
         assert_eq!(c.nonzero_count(), 0);
         assert_eq!(c.total_mass(), 0);
+    }
+
+    #[test]
+    fn merge_delta_sums_cancels_and_admits() {
+        // A chain leaves most of the domain unrealized, so cancellation,
+        // admission, and untouched entries are all exercised.
+        let mut b = GraphBuilder::new();
+        b.add_edge_named(0, "a", 1);
+        b.add_edge_named(1, "b", 2);
+        b.add_edge_named(2, "a", 3);
+        let g = b.build();
+        let base = SparseCatalog::compute(&g, 3).unwrap();
+        let (i0, c0) = base.entries()[0];
+        let (i1, c1) = base.entries()[1];
+        let absent = (0..base.len() as u64)
+            .find(|&i| base.selectivity_at(i) == 0)
+            .expect("some path is unrealized");
+        let delta = crate::delta::tests_support::run_from_entries(
+            *base.encoding(),
+            vec![(i0, 5), (i1, -(c1 as i64)), (absent, 7)],
+        );
+        let merged = base.merge_delta(&delta).unwrap();
+        assert_eq!(merged.selectivity_at(i0), c0 + 5);
+        assert_eq!(merged.selectivity_at(i1), 0, "cancelled entry dropped");
+        assert_eq!(merged.selectivity_at(absent), 7, "new entry admitted");
+        assert_eq!(
+            merged.nonzero_count(),
+            base.nonzero_count(), // one dropped, one added
+        );
+        assert_eq!(
+            merged.total_mass() as i64,
+            base.total_mass() as i64 + 5 - c1 as i64 + 7
+        );
+
+        // Underflow: a run computed against some other graph is refused.
+        let bad = crate::delta::tests_support::run_from_entries(
+            *base.encoding(),
+            vec![(i0, -(c0 as i64) - 1)],
+        );
+        assert!(matches!(
+            base.merge_delta(&bad),
+            Err(CatalogError::DeltaUnderflow { .. })
+        ));
+
+        // Encoding mismatch is refused.
+        let other = crate::delta::tests_support::run_from_entries(
+            crate::encoding::PathEncoding::new(2, 2),
+            vec![],
+        );
+        assert!(matches!(
+            base.merge_delta(&other),
+            Err(CatalogError::DeltaEncodingMismatch { .. })
+        ));
     }
 
     #[test]

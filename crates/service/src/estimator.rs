@@ -195,6 +195,7 @@ mod tests {
                 histogram: HistogramKind::VOptimalGreedy,
                 threads: 1,
                 retain_catalog: false,
+                retain_sparse: false,
             },
         )
         .unwrap();
@@ -211,6 +212,7 @@ mod tests {
             histogram: HistogramKind::VOptimalGreedy,
             threads: 1,
             retain_catalog: false,
+            retain_sparse: false,
         };
         let est = PathSelectivityEstimator::build(&g, config).unwrap();
         let snapshot = est.snapshot().unwrap();

@@ -97,6 +97,12 @@ pub struct ServiceMetrics {
     rebuilds_failed: AtomicU64,
     /// Background rebuilds discarded because a newer publish landed first.
     rebuilds_superseded: AtomicU64,
+    /// Background incremental delta applications started.
+    deltas_started: AtomicU64,
+    /// Delta applications that failed (changes load / merge error).
+    deltas_failed: AtomicU64,
+    /// Delta applications discarded because a newer publish landed first.
+    deltas_superseded: AtomicU64,
     /// Per-request wall latency.
     latency: LatencyHistogram,
     /// Estimate-cache counters (shared with every cache generation).
@@ -115,6 +121,9 @@ impl ServiceMetrics {
             rebuilds_started: AtomicU64::new(0),
             rebuilds_failed: AtomicU64::new(0),
             rebuilds_superseded: AtomicU64::new(0),
+            deltas_started: AtomicU64::new(0),
+            deltas_failed: AtomicU64::new(0),
+            deltas_superseded: AtomicU64::new(0),
             latency: LatencyHistogram::default(),
             cache: Arc::new(CacheCounters::default()),
         }
@@ -157,6 +166,23 @@ impl ServiceMetrics {
         self.rebuilds_superseded.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a background delta application being kicked off.
+    pub fn record_delta_started(&self) {
+        self.deltas_started.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a delta application that did not publish (changes load,
+    /// contract, or merge failure).
+    pub fn record_delta_failed(&self) {
+        self.deltas_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a delta application discarded because the slot advanced
+    /// while it was merging.
+    pub fn record_delta_superseded(&self) {
+        self.deltas_superseded.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time report.
     pub fn report(&self) -> MetricsReport {
         let elapsed = self.started.elapsed();
@@ -170,6 +196,9 @@ impl ServiceMetrics {
             rebuilds_started: self.rebuilds_started.load(Ordering::Relaxed),
             rebuilds_failed: self.rebuilds_failed.load(Ordering::Relaxed),
             rebuilds_superseded: self.rebuilds_superseded.load(Ordering::Relaxed),
+            deltas_started: self.deltas_started.load(Ordering::Relaxed),
+            deltas_failed: self.deltas_failed.load(Ordering::Relaxed),
+            deltas_superseded: self.deltas_superseded.load(Ordering::Relaxed),
             qps: requests as f64 / elapsed.as_secs_f64().max(1e-9),
             p50: self.latency.quantile(0.50),
             p99: self.latency.quantile(0.99),
@@ -206,6 +235,12 @@ pub struct MetricsReport {
     pub rebuilds_failed: u64,
     /// Background rebuilds discarded in favour of a newer publish.
     pub rebuilds_superseded: u64,
+    /// Background incremental delta applications started.
+    pub deltas_started: u64,
+    /// Delta applications that failed.
+    pub deltas_failed: u64,
+    /// Delta applications discarded in favour of a newer publish.
+    pub deltas_superseded: u64,
     /// Requests per second over the whole uptime.
     pub qps: f64,
     /// Median request latency.
@@ -234,6 +269,11 @@ impl std::fmt::Display for MetricsReport {
             f,
             "rebuilds         {} started, {} failed, {} superseded",
             self.rebuilds_started, self.rebuilds_failed, self.rebuilds_superseded
+        )?;
+        writeln!(
+            f,
+            "deltas           {} started, {} failed, {} superseded",
+            self.deltas_started, self.deltas_failed, self.deltas_superseded
         )?;
         writeln!(f, "throughput       {:.1} req/s", self.qps)?;
         writeln!(
@@ -286,12 +326,15 @@ mod tests {
         m.record_swap();
         m.record_rebuild_started();
         m.record_rebuild_failed();
+        m.record_delta_started();
+        m.record_delta_superseded();
         let r = m.report();
         assert_eq!(r.requests, 2);
         assert_eq!(r.paths, 9);
         assert_eq!(r.errors, 1);
         assert_eq!(r.swaps, 1);
         assert_eq!((r.rebuilds_started, r.rebuilds_failed), (1, 1));
+        assert_eq!((r.deltas_started, r.deltas_superseded), (1, 1));
         assert!(r.qps > 0.0);
         let text = r.to_string();
         assert!(text.contains("requests"), "{text}");

@@ -5,25 +5,56 @@
 //! estimation is first-class: a single `estimate` request carries many
 //! paths and is answered by one pinned estimator generation.
 //!
+//! Every response carries `"ok": true` (plus op-specific fields) or
+//! `"ok": false` with an `"error"` string. Unknown ops, malformed JSON,
+//! and bad field types are per-line errors; the connection stays open.
+//!
+//! ## Op reference
+//!
+//! | op | fields | answer | notes |
+//! |----|--------|--------|-------|
+//! | `ping` | — | `{"ok":true}` | liveness probe |
+//! | `estimate` | `estimator` (default `"default"`), `paths` | `version`, `estimates` | one pinned generation answers the whole batch |
+//! | `list` | — | `estimators` rows: `name`, `version`, `k`, `labels`, `size_bytes`, `description` | each row read from a single generation |
+//! | `metrics` | — | `metrics` object | qps, p50/p99, cache hit rate, rebuild + delta counters |
+//! | `load` | `name`, `snapshot` | `version` | restores a snapshot file from the **server's** filesystem and hot-swaps the slot |
+//! | `rebuild` | `name`, `graph`, `k` (3), `beta` (64), `ordering` (`"sum-based"`), `histogram` (`"v-optimal-greedy"`), `threads` (1), `maintain` (false) | `{"status":"rebuilding"}` | asynchronous full build from a graph file |
+//! | `delta` | `name`, `changes` | `{"status":"applying-delta"}` | asynchronous incremental update from a changes file |
+//!
 //! ```text
 //! → {"op":"ping"}
 //! ← {"ok":true}
 //! → {"op":"estimate","estimator":"main","paths":[["knows","likes"],[0,1]]}
 //! ← {"ok":true,"version":1,"estimates":[123.0,7.5]}
-//! → {"op":"list"}
-//! ← {"ok":true,"estimators":[{"name":"main","version":1,"k":3,"labels":4,"description":"sum-based β=64"}]}
-//! → {"op":"load","name":"main","snapshot":"/path/stats.json"}
-//! ← {"ok":true,"version":2}
-//! → {"op":"rebuild","name":"main","graph":"/path/graph.tsv","k":3,"beta":64}
+//! → {"op":"rebuild","name":"main","graph":"/path/graph.tsv","k":3,"beta":64,"maintain":true}
 //! ← {"ok":true,"status":"rebuilding"}
-//! → {"op":"metrics"}
-//! ← {"ok":true,"metrics":{...}}
+//! → {"op":"delta","name":"main","changes":"/path/changes.tsv"}
+//! ← {"ok":true,"status":"applying-delta"}
 //! ```
 //!
-//! `rebuild` is asynchronous: the server answers immediately and a
-//! background thread builds fresh statistics from the graph file through
-//! the sparse pipeline, hot-swapping the slot when done (watch the slot's
-//! `version` via `list`).
+//! ## Background publishes: `rebuild` and `delta`
+//!
+//! Both ops answer immediately; a background thread does the work and
+//! publishes with a **compare-and-swap** on the slot version, so a result
+//! that raced with a newer `load`/`rebuild` is discarded (counted as
+//! *superseded* in `metrics`), never published over fresher statistics.
+//! Watch the slot's `version` via `list` to observe the swap. One
+//! background job per slot at a time; concurrent requests are refused
+//! with an error.
+//!
+//! `rebuild` reads a graph TSV and builds fresh statistics through the
+//! sparse pipeline. With `"maintain": true` it additionally keeps the
+//! graph + sparse catalog as the slot's *maintenance state*, which is
+//! what makes `delta` possible.
+//!
+//! `delta` reads a changes file (`+<TAB>src<TAB>label<TAB>dst` /
+//! `-<TAB>src<TAB>label<TAB>dst` lines) against the slot's maintenance
+//! state, counts only the touched paths, merges them into the retained
+//! sparse catalog, and hot-swaps statistics **bit-identical** to a full
+//! rebuild on the changed graph — at a cost proportional to the change.
+//! The maintenance state advances with each applied delta, so deltas
+//! chain. A slot without maintenance state (never rebuilt with
+//! `maintain`) refuses the op synchronously.
 //!
 //! Path steps may be label names (strings) or raw label ids (integers);
 //! a batch may mix both styles between paths.
@@ -85,6 +116,20 @@ pub enum Request {
         /// starving them; raise it explicitly when latency can spare the
         /// cores (0 ⇒ all cores).
         threads: usize,
+        /// Keep the graph + sparse catalog as the slot's maintenance
+        /// state, enabling subsequent `delta` ops. Defaults to `false`
+        /// (the state costs `O(|E| + realized paths)` memory).
+        maintain: bool,
+    },
+    /// Apply a changes file to a slot's maintained statistics in the
+    /// background: incremental counting over only the touched paths,
+    /// merged into the retained sparse catalog, hot-swapped on completion.
+    /// Requires an earlier `rebuild` with `"maintain": true`.
+    Delta {
+        /// Registry slot name to update.
+        name: String,
+        /// Path to the changes file on the server host.
+        changes: String,
     },
 }
 
@@ -202,6 +247,15 @@ impl Request {
                     .and_then(Value::as_str)
                     .unwrap_or("v-optimal-greedy")
                     .to_owned();
+                let maintain = match value.get("maintain") {
+                    None => false,
+                    Some(Value::Bool(b)) => *b,
+                    Some(other) => {
+                        return Err(err(format!(
+                            "field \"maintain\" must be a boolean, got {other:?}"
+                        )))
+                    }
+                };
                 Ok(Request::Rebuild {
                     name,
                     graph,
@@ -210,7 +264,21 @@ impl Request {
                     ordering,
                     histogram,
                     threads,
+                    maintain,
                 })
+            }
+            "delta" => {
+                let name = value
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .unwrap_or("default")
+                    .to_owned();
+                let changes = value
+                    .get("changes")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| err("delta needs a string field \"changes\""))?
+                    .to_owned();
+                Ok(Request::Delta { name, changes })
             }
             other => Err(err(format!("unknown op {other:?}"))),
         }
@@ -259,6 +327,7 @@ impl Request {
                 ordering,
                 histogram,
                 threads,
+                maintain,
             } => Value::Object(vec![
                 ("op".into(), Value::string("rebuild")),
                 ("name".into(), Value::string(name.clone())),
@@ -271,6 +340,12 @@ impl Request {
                     "threads".into(),
                     Value::Number(Number::PosInt(*threads as u64)),
                 ),
+                ("maintain".into(), Value::Bool(*maintain)),
+            ]),
+            Request::Delta { name, changes } => Value::Object(vec![
+                ("op".into(), Value::string("delta")),
+                ("name".into(), Value::string(name.clone())),
+                ("changes".into(), Value::string(changes.clone())),
             ]),
         };
         serde_json::to_string(&value).expect("request serialization is infallible")
@@ -321,6 +396,18 @@ pub fn metrics_to_value(report: &MetricsReport) -> Value {
         (
             "rebuilds_superseded".into(),
             Value::Number(Number::PosInt(report.rebuilds_superseded)),
+        ),
+        (
+            "deltas_started".into(),
+            Value::Number(Number::PosInt(report.deltas_started)),
+        ),
+        (
+            "deltas_failed".into(),
+            Value::Number(Number::PosInt(report.deltas_failed)),
+        ),
+        (
+            "deltas_superseded".into(),
+            Value::Number(Number::PosInt(report.deltas_superseded)),
         ),
         ("qps".into(), Value::Number(Number::Float(report.qps))),
         (
@@ -393,6 +480,11 @@ mod tests {
                 ordering: "sum-based".into(),
                 histogram: "equi-width".into(),
                 threads: 2,
+                maintain: true,
+            },
+            Request::Delta {
+                name: "x".into(),
+                changes: "/tmp/changes.tsv".into(),
             },
         ];
         for r in requests {
@@ -413,10 +505,26 @@ mod tests {
                 ordering: "sum-based".into(),
                 histogram: "v-optimal-greedy".into(),
                 threads: 1,
+                maintain: false,
             }
         );
         assert!(Request::parse(r#"{"op":"rebuild"}"#).is_err());
         assert!(Request::parse(r#"{"op":"rebuild","graph":"/g","k":"three"}"#).is_err());
+        assert!(Request::parse(r#"{"op":"rebuild","graph":"/g","maintain":3}"#).is_err());
+    }
+
+    #[test]
+    fn delta_parses_with_defaults_and_errors() {
+        let r = Request::parse(r#"{"op":"delta","changes":"/c.tsv"}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Delta {
+                name: "default".into(),
+                changes: "/c.tsv".into(),
+            }
+        );
+        assert!(Request::parse(r#"{"op":"delta"}"#).is_err());
+        assert!(Request::parse(r#"{"op":"delta","changes":7}"#).is_err());
     }
 
     #[test]

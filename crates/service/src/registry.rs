@@ -16,7 +16,8 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
-use phe_core::LabelPath;
+use phe_core::{LabelPath, PathSelectivityEstimator};
+use phe_graph::Graph;
 
 use crate::cache::{CacheCounters, ShardedLruCache};
 use crate::estimator::{EstimateError, ServableEstimator};
@@ -77,6 +78,21 @@ struct Slot {
     current: RwLock<Arc<ServingEstimator>>,
 }
 
+/// What a slot keeps between incremental updates: the graph the published
+/// statistics were counted over and the full estimator with its retained
+/// sparse catalog. A `rebuild` op with `"maintain": true` stores one;
+/// each successful `delta` op replaces it with the post-delta state, so
+/// deltas chain without ever recounting the graph.
+pub struct MaintenanceState {
+    /// The graph the estimator's counts describe — the base the next
+    /// delta's changes apply to.
+    pub graph: Graph,
+    /// The builder-side estimator (with [`phe_core::EstimatorConfig`]
+    /// `retain_sparse` state) that [`PathSelectivityEstimator::apply_delta`]
+    /// advances.
+    pub estimator: PathSelectivityEstimator,
+}
+
 /// One row of [`EstimatorRegistry::list`], captured from a single
 /// generation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,6 +121,9 @@ pub struct EstimatorRegistry {
     /// at a time, so repeated `rebuild` requests cannot stack full-graph
     /// builds or publish out of order.
     rebuilding: Mutex<HashSet<String>>,
+    /// Per-slot incremental-maintenance state (graph + sparse-retaining
+    /// estimator), present only for slots rebuilt with `maintain`.
+    maintenance: Mutex<HashMap<String, Arc<MaintenanceState>>>,
 }
 
 impl EstimatorRegistry {
@@ -118,7 +137,29 @@ impl EstimatorRegistry {
             counters,
             cache_capacity: cache_capacity.max(1),
             rebuilding: Mutex::new(HashSet::new()),
+            maintenance: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Stores (or replaces) a slot's incremental-maintenance state.
+    pub fn store_maintenance(&self, name: &str, state: MaintenanceState) {
+        self.maintenance
+            .lock()
+            .insert(name.to_owned(), Arc::new(state));
+    }
+
+    /// Drops a slot's maintenance state. Publishers that install
+    /// statistics *not* derived from the maintained lineage (a `load`, a
+    /// non-maintaining rebuild) must call this so a later `delta` cannot
+    /// silently merge changes into a stale base.
+    pub fn clear_maintenance(&self, name: &str) {
+        self.maintenance.lock().remove(name);
+    }
+
+    /// The slot's maintenance state, if a maintaining rebuild (or a
+    /// subsequent delta) stored one.
+    pub fn maintenance(&self, name: &str) -> Option<Arc<MaintenanceState>> {
+        self.maintenance.lock().get(name).cloned()
     }
 
     /// Marks `name` as having a background rebuild in flight. Returns
@@ -147,7 +188,19 @@ impl EstimatorRegistry {
     /// **hot swap**: the new generation (with a fresh cold cache) becomes
     /// visible atomically, while batches pinned to the old generation
     /// finish undisturbed. Returns the new generation's version.
+    ///
+    /// Any maintenance state the slot held is **invalidated**: the newly
+    /// published statistics were not derived from it, so a later `delta`
+    /// must not merge changes into the stale lineage (the slot needs a
+    /// fresh maintaining rebuild first).
     pub fn register(&self, name: &str, estimator: ServableEstimator) -> u64 {
+        // Hold the maintenance lock across the swap so this publish
+        // serializes with `register_if_version_maintained`: a background
+        // worker can never re-store maintenance state cleared here
+        // between its compare-and-swap and its store. Lock order is
+        // always maintenance → slots.
+        let mut maintenance = self.maintenance.lock();
+        maintenance.remove(name);
         // Fast path: swap an existing slot. The map read lock is held
         // across the inner write so a concurrent `remove` (which needs
         // the map write lock) cannot detach the slot between lookup and
@@ -224,6 +277,33 @@ impl EstimatorRegistry {
         Some(1)
     }
 
+    /// [`EstimatorRegistry::register_if_version`] plus an **atomic**
+    /// maintenance update: when the compare-and-swap succeeds, the slot's
+    /// maintenance state is stored (`Some`) or invalidated (`None`) under
+    /// the same maintenance lock a concurrent [`EstimatorRegistry::register`]
+    /// must take — so a `load` can never slip between a background
+    /// worker's publish and its state update and have cleared state
+    /// resurrected over it.
+    pub fn register_if_version_maintained(
+        &self,
+        name: &str,
+        estimator: ServableEstimator,
+        expected: u64,
+        state: Option<MaintenanceState>,
+    ) -> Option<u64> {
+        let mut maintenance = self.maintenance.lock();
+        let version = self.register_if_version(name, estimator, expected)?;
+        match state {
+            Some(state) => {
+                maintenance.insert(name.to_owned(), Arc::new(state));
+            }
+            None => {
+                maintenance.remove(name);
+            }
+        }
+        Some(version)
+    }
+
     fn generation(&self, estimator: ServableEstimator, version: u64) -> ServingEstimator {
         ServingEstimator {
             estimator,
@@ -241,8 +321,10 @@ impl EstimatorRegistry {
         Some(generation)
     }
 
-    /// Removes a slot. In-flight readers keep their pinned generations.
+    /// Removes a slot (and its maintenance state, if any). In-flight
+    /// readers keep their pinned generations.
     pub fn remove(&self, name: &str) -> bool {
+        self.maintenance.lock().remove(name);
         self.slots.write().remove(name).is_some()
     }
 
@@ -306,6 +388,7 @@ mod tests {
                     histogram: HistogramKind::VOptimalGreedy,
                     threads: 1,
                     retain_catalog: false,
+                    retain_sparse: false,
                 },
             )
             .unwrap(),
@@ -390,6 +473,36 @@ mod tests {
         assert_eq!(registry.register_if_version("other", servable(4), 3), None);
         // Expecting creation when the slot exists: refused.
         assert_eq!(registry.register_if_version("main", servable(4), 0), None);
+    }
+
+    #[test]
+    fn register_invalidates_maintenance_state() {
+        let g = erdos_renyi(30, 150, 3, LabelDistribution::Uniform, 5);
+        let est = PathSelectivityEstimator::build(
+            &g,
+            EstimatorConfig {
+                k: 2,
+                beta: 8,
+                retain_sparse: true,
+                threads: 1,
+                ..EstimatorConfig::default()
+            },
+        )
+        .unwrap();
+        let registry = EstimatorRegistry::with_default_counters();
+        registry.register("main", servable(8));
+        registry.store_maintenance(
+            "main",
+            MaintenanceState {
+                graph: g,
+                estimator: est,
+            },
+        );
+        assert!(registry.maintenance("main").is_some());
+        // An unconditional publish (a `load`) is not derived from the
+        // maintained lineage: the state must be invalidated with it.
+        registry.register("main", servable(16));
+        assert!(registry.maintenance("main").is_none());
     }
 
     #[test]

@@ -20,7 +20,7 @@ use serde_json::{Number, Value};
 use crate::estimator::ServableEstimator;
 use crate::metrics::ServiceMetrics;
 use crate::protocol::{error_response, metrics_to_value, ok_response, PathStep, Request};
-use crate::registry::EstimatorRegistry;
+use crate::registry::{EstimatorRegistry, MaintenanceState};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -308,6 +308,50 @@ fn handle_line(
                 Err(message) => (error_response(&message), path_count, false),
             }
         }
+        Request::Delta { name, changes } => {
+            // Delta reads the server's filesystem, like `load`/`rebuild`.
+            if !allow_load {
+                return (error_response("delta is disabled on this server"), 0, false);
+            }
+            if !registry.try_begin_rebuild(&name) {
+                return (
+                    error_response(&format!("rebuild of {name:?} already in flight")),
+                    0,
+                    false,
+                );
+            }
+            // Version first, maintenance second: a `load` landing between
+            // the two clears the maintenance state (op refused below); a
+            // `load` landing after both bumps the version and the
+            // background publish's compare-and-swap fails. Either way a
+            // concurrent publish wins — fetching the state first would
+            // open a window where a stale delta overwrites a fresh load.
+            let expected_version = registry.get(&name).map_or(0, |g| g.version());
+            let Some(state) = registry.maintenance(&name) else {
+                registry.finish_rebuild(&name);
+                return (
+                    error_response(&format!(
+                        "no maintained statistics for {name:?}; run a rebuild with \
+                         \"maintain\": true first"
+                    )),
+                    0,
+                    false,
+                );
+            };
+            spawn_delta(
+                Arc::clone(registry),
+                Arc::clone(metrics),
+                name,
+                changes,
+                state,
+                expected_version,
+            );
+            (
+                ok_response(vec![("status".into(), Value::string("applying-delta"))]),
+                0,
+                true,
+            )
+        }
         Request::Rebuild {
             name,
             graph,
@@ -316,6 +360,7 @@ fn handle_line(
             ordering,
             histogram,
             threads,
+            maintain,
         } => {
             // Rebuild reads the server's filesystem, like `load`.
             if !allow_load {
@@ -381,8 +426,11 @@ fn handle_line(
                     histogram,
                     threads,
                     retain_catalog: false,
+                    // The sparse catalog is what later deltas merge into.
+                    retain_sparse: maintain,
                 },
                 expected_version,
+                maintain,
             );
             (
                 ok_response(vec![("status".into(), Value::string("rebuilding"))]),
@@ -442,13 +490,16 @@ fn estimate(
 }
 
 /// Kicks off a detached background rebuild: load the graph, build fresh
-/// statistics through the sparse pipeline, hot-swap the slot. Failures —
-/// including panics from the build layer (e.g. a graph with no edge
-/// labels) — are counted in the metrics and logged to stderr; the
+/// statistics through the sparse pipeline, hot-swap the slot. With
+/// `maintain`, the graph and the sparse-retaining estimator are stored as
+/// the slot's maintenance state, enabling subsequent `delta` ops.
+/// Failures — including panics from the build layer (e.g. a graph with no
+/// edge labels) — are counted in the metrics and logged to stderr; the
 /// requesting connection got its acknowledgement long ago. The caller
 /// must already hold the slot's rebuild mark
 /// ([`EstimatorRegistry::try_begin_rebuild`]); it is released here on
 /// every outcome.
+#[allow(clippy::too_many_arguments)]
 fn spawn_rebuild(
     registry: Arc<EstimatorRegistry>,
     metrics: Arc<ServiceMetrics>,
@@ -456,36 +507,30 @@ fn spawn_rebuild(
     graph_path: String,
     config: phe_core::EstimatorConfig,
     expected_version: u64,
+    maintain: bool,
 ) {
     metrics.record_rebuild_started();
     std::thread::spawn(move || {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            phe_graph::io::read_tsv_path(&graph_path)
-                .map_err(|e| format!("reading {graph_path}: {e}"))
-                .and_then(|graph| {
-                    phe_core::PathSelectivityEstimator::build(&graph, config)
-                        .map_err(|e| format!("building statistics: {e}"))
-                })
+            let graph = phe_graph::io::read_tsv_path(&graph_path)
+                .map_err(|e| format!("reading {graph_path}: {e}"))?;
+            let estimator = phe_core::PathSelectivityEstimator::build(&graph, config)
+                .map_err(|e| format!("building statistics: {e}"))?;
+            Ok::<_, String>((graph, estimator))
         }));
         match result {
-            Ok(Ok(estimator)) => {
-                match registry.register_if_version(
+            Ok(Ok((graph, estimator))) => {
+                publish(
+                    &registry,
+                    &metrics,
                     &name,
-                    ServableEstimator::from_estimator(estimator),
                     expected_version,
-                ) {
-                    Some(version) => {
-                        if version > 1 {
-                            metrics.record_swap();
-                        }
-                    }
-                    None => {
-                        // A newer generation (load/register) landed while
-                        // building; the fresher statistics win.
-                        metrics.record_rebuild_superseded();
-                        eprintln!("rebuild of {name:?} superseded by a newer publish; discarded");
-                    }
-                }
+                    maintain.then_some(graph),
+                    estimator,
+                    "rebuild",
+                    || metrics.record_rebuild_superseded(),
+                    || metrics.record_rebuild_failed(),
+                );
             }
             Ok(Err(message)) => {
                 metrics.record_rebuild_failed();
@@ -493,16 +538,131 @@ fn spawn_rebuild(
             }
             Err(panic) => {
                 metrics.record_rebuild_failed();
-                let message = panic
-                    .downcast_ref::<String>()
-                    .map(String::as_str)
-                    .or_else(|| panic.downcast_ref::<&str>().copied())
-                    .unwrap_or("build panicked");
-                eprintln!("rebuild of {name:?} failed: {message}");
+                eprintln!(
+                    "rebuild of {name:?} failed: {}",
+                    panic_message(panic.as_ref())
+                );
             }
         }
         registry.finish_rebuild(&name);
     });
+}
+
+/// Kicks off a detached background delta application against the slot's
+/// maintenance state: parse the changes file, count only the touched
+/// paths, merge into the retained sparse catalog, and compare-and-swap
+/// publish. On success the maintenance state advances to the post-delta
+/// graph + estimator, so deltas chain. The caller must already hold the
+/// slot's rebuild mark; it is released here on every outcome.
+fn spawn_delta(
+    registry: Arc<EstimatorRegistry>,
+    metrics: Arc<ServiceMetrics>,
+    name: String,
+    changes_path: String,
+    state: Arc<MaintenanceState>,
+    expected_version: u64,
+) {
+    metrics.record_delta_started();
+    std::thread::spawn(move || {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let delta = phe_graph::delta::read_changes_path(&changes_path, &state.graph)
+                .map_err(|e| format!("reading {changes_path}: {e}"))?;
+            let (estimator, graph) = state
+                .estimator
+                .apply_delta(&state.graph, &delta)
+                .map_err(|e| format!("applying delta: {e}"))?;
+            Ok::<_, String>((graph, estimator))
+        }));
+        match result {
+            Ok(Ok((graph, estimator))) => {
+                publish(
+                    &registry,
+                    &metrics,
+                    &name,
+                    expected_version,
+                    Some(graph),
+                    estimator,
+                    "delta",
+                    || metrics.record_delta_superseded(),
+                    || metrics.record_delta_failed(),
+                );
+            }
+            Ok(Err(message)) => {
+                metrics.record_delta_failed();
+                eprintln!("delta for {name:?} failed: {message}");
+            }
+            Err(panic) => {
+                metrics.record_delta_failed();
+                eprintln!(
+                    "delta for {name:?} failed: {}",
+                    panic_message(panic.as_ref())
+                );
+            }
+        }
+        registry.finish_rebuild(&name);
+    });
+}
+
+/// Shared publish tail of the background workers: derive the servable
+/// estimator, compare-and-swap it into the slot, and (when `graph` is
+/// present) advance the slot's maintenance state. A failed CAS means a
+/// newer publish landed mid-build; the fresher statistics win and the
+/// result is discarded as superseded.
+#[allow(clippy::too_many_arguments)]
+fn publish(
+    registry: &EstimatorRegistry,
+    metrics: &ServiceMetrics,
+    name: &str,
+    expected_version: u64,
+    graph: Option<phe_graph::Graph>,
+    estimator: phe_core::PathSelectivityEstimator,
+    what: &str,
+    on_superseded: impl FnOnce(),
+    on_failed: impl FnOnce(),
+) {
+    let (servable, keep) = match graph {
+        Some(graph) => {
+            // The estimator must survive for maintenance, so the servable
+            // is derived through its snapshot instead of consuming it.
+            let derived = estimator
+                .snapshot()
+                .map_err(|e| e.to_string())
+                .and_then(|s| ServableEstimator::from_snapshot(&s).map_err(|e| e.to_string()));
+            match derived {
+                Ok(servable) => (servable, Some(MaintenanceState { graph, estimator })),
+                Err(message) => {
+                    on_failed();
+                    eprintln!("{what} for {name:?} failed to snapshot: {message}");
+                    return;
+                }
+            }
+        }
+        None => (ServableEstimator::from_estimator(estimator), None),
+    };
+    // The maintenance update rides the compare-and-swap atomically: on
+    // success a maintaining build stores its fresh state, and any other
+    // publish invalidates whatever lineage the slot held (a later `delta`
+    // is then refused instead of merging into a stale base).
+    match registry.register_if_version_maintained(name, servable, expected_version, keep) {
+        Some(version) => {
+            if version > 1 {
+                metrics.record_swap();
+            }
+        }
+        None => {
+            on_superseded();
+            eprintln!("{what} for {name:?} superseded by a newer publish; discarded");
+        }
+    }
+}
+
+/// Best-effort panic payload extraction for the background workers' logs.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    panic
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| panic.downcast_ref::<&str>().copied())
+        .unwrap_or("build panicked")
 }
 
 /// Reads and restores a snapshot file into a servable estimator.
@@ -561,6 +721,7 @@ mod tests {
                 histogram: HistogramKind::VOptimalGreedy,
                 threads: 1,
                 retain_catalog: false,
+                retain_sparse: false,
             },
         )
         .unwrap();
@@ -680,6 +841,136 @@ mod tests {
             true,
         );
         assert!(!ok && r.contains("unknown ordering"), "{r}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delta_applies_incrementally_against_maintained_state() {
+        let registry = test_registry();
+        let metrics = Arc::new(ServiceMetrics::new());
+
+        let g = erdos_renyi(30, 150, 3, LabelDistribution::Uniform, 7);
+        let dir = std::env::temp_dir().join(format!("phe-delta-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("graph.tsv");
+        phe_graph::io::write_tsv_path(&g, &graph_path).unwrap();
+
+        // Without maintained state, delta is refused synchronously.
+        let changes_path = dir.join("changes.tsv");
+        let delta_line = format!(
+            r#"{{"op":"delta","name":"default","changes":{:?}}}"#,
+            changes_path.to_str().unwrap()
+        );
+        let (r, _, ok) = handle_line(&delta_line, &registry, &metrics, true);
+        assert!(!ok && r.contains("maintain"), "{r}");
+        assert!(
+            registry.try_begin_rebuild("default"),
+            "mark released after the refusal"
+        );
+        registry.finish_rebuild("default");
+
+        // Rebuild with maintain: publishes and stores maintenance state.
+        let rebuild_line = format!(
+            r#"{{"op":"rebuild","name":"default","graph":{:?},"k":2,"beta":8,"maintain":true}}"#,
+            graph_path.to_str().unwrap()
+        );
+        let (r, _, ok) = handle_line(&rebuild_line, &registry, &metrics, true);
+        assert!(ok, "{r}");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while registry.get("default").unwrap().version() != 2 {
+            assert!(
+                Instant::now() < deadline,
+                "maintaining rebuild never landed"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let state = registry.maintenance("default").expect("state stored");
+        assert!(state.estimator.sparse_catalog().is_some());
+
+        // Write a changes file: drop one edge, add one fresh edge.
+        let (s, lab, t) = g.iter_edges().next().unwrap();
+        let name = g.labels().name(lab).unwrap();
+        let fresh = (0..g.vertex_count() as u32)
+            .flat_map(|a| (0..g.vertex_count() as u32).map(move |b| (a, b)))
+            .find(|&(a, b)| !g.has_edge(phe_graph::VertexId(a), lab, phe_graph::VertexId(b)))
+            .unwrap();
+        std::fs::write(
+            &changes_path,
+            format!(
+                "-\t{}\t{}\t{}\n+\t{}\t{}\t{}\n",
+                s.0, name, t.0, fresh.0, name, fresh.1
+            ),
+        )
+        .unwrap();
+
+        let (r, _, ok) = handle_line(&delta_line, &registry, &metrics, true);
+        assert!(ok && r.contains("applying-delta"), "{r}");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while registry.get("default").unwrap().version() != 3 {
+            assert!(Instant::now() < deadline, "delta never landed");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        // The published statistics are bit-identical to a full rebuild on
+        // the changed graph, and the maintenance state advanced.
+        let state = registry.maintenance("default").expect("state advanced");
+        assert_eq!(state.estimator.applied_deltas(), 1);
+        let fresh_build =
+            PathSelectivityEstimator::build(&state.graph, *state.estimator.config()).unwrap();
+        let generation = registry.get("default").unwrap();
+        for l1 in 0..3u16 {
+            for l2 in 0..3u16 {
+                let path = vec![phe_graph::LabelId(l1), phe_graph::LabelId(l2)];
+                let got = generation
+                    .estimate_id_batch(std::slice::from_ref(&path))
+                    .unwrap()[0];
+                assert_eq!(got.to_bits(), fresh_build.estimate(&path).to_bits());
+            }
+        }
+        let report = metrics.report();
+        assert_eq!((report.deltas_started, report.deltas_failed), (1, 0));
+
+        // A bad changes path is an asynchronous failure.
+        let bad_line = r#"{"op":"delta","name":"default","changes":"/nonexistent.tsv"}"#;
+        let (r, _, ok) = handle_line(bad_line, &registry, &metrics, true);
+        assert!(ok, "{r}");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while metrics.report().deltas_failed == 0 {
+            assert!(Instant::now() < deadline, "failure never recorded");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(
+            registry.try_begin_rebuild("default"),
+            "mark released after a failed delta"
+        );
+        registry.finish_rebuild("default");
+
+        // A non-maintaining rebuild publishes statistics not derived from
+        // the maintained lineage: the maintenance state is invalidated
+        // with the swap, so further deltas are refused until the operator
+        // runs a maintaining rebuild again.
+        let plain_rebuild = format!(
+            r#"{{"op":"rebuild","name":"default","graph":{:?},"k":2,"beta":8}}"#,
+            graph_path.to_str().unwrap()
+        );
+        let (r, _, ok) = handle_line(&plain_rebuild, &registry, &metrics, true);
+        assert!(ok, "{r}");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while registry.get("default").unwrap().version() != 4 {
+            assert!(Instant::now() < deadline, "plain rebuild never landed");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(
+            registry.maintenance("default").is_none(),
+            "maintenance state must not survive a non-maintaining publish"
+        );
+        let (r, _, ok) = handle_line(&delta_line, &registry, &metrics, true);
+        assert!(!ok && r.contains("maintain"), "{r}");
+
+        // Disabled alongside load.
+        let (r, _, ok) = handle_line(&delta_line, &registry, &metrics, false);
+        assert!(!ok && r.contains("disabled"), "{r}");
 
         std::fs::remove_dir_all(&dir).ok();
     }

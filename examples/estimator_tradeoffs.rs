@@ -77,6 +77,7 @@ fn main() {
                 histogram: HistogramKind::VOptimalGreedy,
                 threads: 0,
                 retain_catalog: false,
+                retain_sparse: false,
             },
             catalog_build,
         )

@@ -38,6 +38,7 @@ fn main() {
             histogram: HistogramKind::VOptimalGreedy,
             threads: 0,
             retain_catalog: false,
+            retain_sparse: false,
         },
         std::time::Duration::ZERO,
     )

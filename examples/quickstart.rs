@@ -45,6 +45,7 @@ fn main() {
             histogram: HistogramKind::VOptimalGreedy,
             threads: 1,
             retain_catalog: true,
+            retain_sparse: false,
         },
     )
     .expect("estimator");

@@ -75,6 +75,7 @@ fn main() {
             histogram: HistogramKind::VOptimalGreedy,
             threads: 0,
             retain_catalog: true,
+            retain_sparse: false,
         },
     )
     .expect("estimator");

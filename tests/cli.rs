@@ -156,16 +156,115 @@ fn build_stats_reports_sparse_memory() {
     assert!(text.contains("histogram + ordering state only"), "{text}");
     assert!(!text.contains("whole-domain mean"), "{text}");
 
-    // The written snapshot is v2 and still estimates.
+    // The written snapshot is v3 and still estimates.
     let json = std::fs::read_to_string(&stats).unwrap();
-    assert!(json.contains("\"version\": 2"), "{json}");
+    assert!(json.contains("\"version\": 3"), "{json}");
     assert!(json.contains("\"nonzero_paths\""), "{json}");
+    assert!(json.contains("\"base_build_id\""), "{json}");
     let out = phe()
         .args(["estimate", stats.to_str().unwrap(), "r0/r1"])
         .output()
         .unwrap();
     assert!(
         out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn delta_refreshes_statistics_incrementally() {
+    let dir = workdir("delta");
+    let graph = dir.join("g.tsv");
+    let changes = dir.join("changes.tsv");
+    let stats = dir.join("refreshed.json");
+
+    let out = phe()
+        .args([
+            "generate",
+            "chained",
+            "--scale",
+            "0.05",
+            "--seed",
+            "3",
+            "--out",
+            graph.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Remove the first edge of the file and add a fresh one.
+    let tsv = std::fs::read_to_string(&graph).unwrap();
+    let first_edge = tsv
+        .lines()
+        .find(|l| !l.starts_with('#') && !l.trim().is_empty())
+        .unwrap();
+    std::fs::write(&changes, format!("# churn\n-\t{first_edge}\n+\t1\tr2\t0\n")).unwrap();
+
+    let out = phe()
+        .args([
+            "delta",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--changes",
+            changes.to_str().unwrap(),
+            "--k",
+            "3",
+            "--beta",
+            "32",
+            "--compare",
+            "--out",
+            stats.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1 removals + 1 insertions"), "{text}");
+    assert!(text.contains("1 delta(s) applied"), "{text}");
+    assert!(
+        text.contains("bit-identical to full recount"),
+        "--compare must verify: {text}"
+    );
+
+    // The refreshed snapshot carries the lineage and still estimates.
+    let json = std::fs::read_to_string(&stats).unwrap();
+    assert!(json.contains("\"applied_deltas\": 1"), "{json}");
+    let out = phe()
+        .args(["estimate", stats.to_str().unwrap(), "r2/r3"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A changes file naming an unknown label is refused with the
+    // full-rebuild hint.
+    std::fs::write(&changes, "+\t0\tbrand-new-label\t1\n").unwrap();
+    let out = phe()
+        .args([
+            "delta",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--changes",
+            changes.to_str().unwrap(),
+            "--k",
+            "2",
+            "--beta",
+            "8",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("full rebuild"),
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );

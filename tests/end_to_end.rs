@@ -98,6 +98,7 @@ fn estimates_are_deterministic() {
                 histogram: HistogramKind::VOptimalGreedy,
                 threads: 2, // parallel catalog must not break determinism
                 retain_catalog: true,
+                retain_sparse: false,
             },
         )
         .unwrap()
@@ -128,6 +129,7 @@ fn full_budget_estimator_is_an_oracle() {
             histogram: HistogramKind::VOptimalGreedy,
             threads: 1,
             retain_catalog: true,
+            retain_sparse: false,
         },
     )
     .unwrap();

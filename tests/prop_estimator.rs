@@ -41,7 +41,7 @@ proptest! {
     fn estimates_are_finite_and_nonnegative(g in arb_graph(), (k, beta, ordering, histogram) in arb_config()) {
         let est = PathSelectivityEstimator::build(
             &g,
-            EstimatorConfig { k, beta, ordering, histogram, threads: 1, retain_catalog: true },
+            EstimatorConfig { k, beta, ordering, histogram, threads: 1, retain_catalog: true, retain_sparse: false },
         ).unwrap();
         // Walk the whole domain through the public API.
         for (path, truth) in est.catalog().expect("retained").iter() {
@@ -70,6 +70,7 @@ proptest! {
                 histogram: HistogramKind::VOptimalGreedy,
                 threads: 1,
                             retain_catalog: true,
+                            retain_sparse: false,
             },
         ).unwrap();
         let total_estimate: f64 = est
@@ -90,7 +91,7 @@ proptest! {
         prop_assume!(ordering != OrderingKind::Ideal);
         let est = PathSelectivityEstimator::build(
             &g,
-            EstimatorConfig { k, beta, ordering, histogram, threads: 1, retain_catalog: true },
+            EstimatorConfig { k, beta, ordering, histogram, threads: 1, retain_catalog: true, retain_sparse: false },
         ).unwrap();
         let restored = est.snapshot().unwrap().restore().unwrap();
         for (path, _) in est.catalog().expect("retained").iter() {

@@ -26,6 +26,7 @@ fn all_estimators_produce_correct_answers() {
             histogram: HistogramKind::VOptimalGreedy,
             threads: 1,
             retain_catalog: false,
+            retain_sparse: false,
         },
         std::time::Duration::ZERO,
     )
@@ -69,6 +70,7 @@ fn oracle_plans_lower_bound_other_estimators() {
             histogram: HistogramKind::VOptimalGreedy,
             threads: 1,
             retain_catalog: false,
+            retain_sparse: false,
         },
         std::time::Duration::ZERO,
     )

@@ -41,6 +41,7 @@ fn build_servable(beta: usize, ordering: OrderingKind) -> ServableEstimator {
                 histogram: HistogramKind::VOptimalGreedy,
                 threads: 1,
                 retain_catalog: false,
+                retain_sparse: false,
             },
         )
         .unwrap(),

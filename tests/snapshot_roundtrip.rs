@@ -21,6 +21,7 @@ fn build(
             histogram,
             threads: 1,
             retain_catalog: true,
+            retain_sparse: false,
         },
     )
     .unwrap()
@@ -64,6 +65,7 @@ fn snapshot_is_much_smaller_than_the_catalog() {
             histogram: HistogramKind::VOptimalGreedy,
             threads: 1,
             retain_catalog: true,
+            retain_sparse: false,
         },
     )
     .unwrap();
