@@ -69,6 +69,9 @@ fn main() {
         let domain = sparse.len() as u64;
         let nnz = sparse.nonzero_count() as u64;
         let sparse_bytes = sparse.size_bytes() as u64;
+        let plain_bytes = sparse.plain_bytes() as u64;
+        let bytes_per_entry = sparse_bytes as f64 / (nnz as f64).max(1.0);
+        let compression = plain_bytes as f64 / (sparse_bytes as f64).max(1.0);
         let dense_bytes = sparse.dense_bytes();
         let ratio = dense_bytes as f64 / (sparse_bytes as f64).max(1.0);
 
@@ -104,6 +107,8 @@ fn main() {
             domain.to_string(),
             nnz.to_string(),
             format!("{sparse_bytes}"),
+            format!("{bytes_per_entry:.2}"),
+            format!("{compression:.1}x"),
             format!("{dense_bytes}"),
             format!("{ratio:.1}x"),
             format!("{sparse_secs:.3}"),
@@ -124,6 +129,18 @@ fn main() {
             (
                 "sparse_bytes".into(),
                 Value::Number(Number::PosInt(sparse_bytes)),
+            ),
+            (
+                "sparse_plain_bytes".into(),
+                Value::Number(Number::PosInt(plain_bytes)),
+            ),
+            (
+                "bytes_per_entry".into(),
+                Value::Number(Number::Float(bytes_per_entry)),
+            ),
+            (
+                "plain_over_compressed".into(),
+                Value::Number(Number::Float(compression)),
             ),
             (
                 "dense_bytes".into(),
@@ -147,6 +164,18 @@ fn main() {
                 Value::Number(Number::Float(pipeline_secs)),
             ),
             (
+                "ordering_seconds".into(),
+                Value::Number(Number::Float(
+                    estimator.build_stats().ordering_time.as_secs_f64(),
+                )),
+            ),
+            (
+                "histogram_seconds".into(),
+                Value::Number(Number::Float(
+                    estimator.build_stats().histogram_time.as_secs_f64(),
+                )),
+            ),
+            (
                 "retained_bytes".into(),
                 Value::Number(Number::PosInt(estimator.size_bytes() as u64)),
             ),
@@ -162,6 +191,8 @@ fn main() {
             "domain",
             "nnz",
             "sparse B",
+            "B/entry",
+            "vs plain",
             "dense B",
             "ratio",
             "sparse s",

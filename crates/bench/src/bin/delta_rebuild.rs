@@ -219,12 +219,22 @@ fn main() {
             "incremental catalog diverged from the full recount"
         );
 
-        // Touched-path count, for the |delta|-proportionality story.
-        let touched = compute_delta(&old_graph, &new_graph, &delta, k)
-            .expect("delta counting")
-            .len();
+        // Touched-path count, for the |delta|-proportionality story, and
+        // the isolated block-merge step: folding the signed run into the
+        // compressed catalog (untouched blocks copy wholesale), timed
+        // apart from counting so the merge throughput is its own number.
+        let run = compute_delta(&old_graph, &new_graph, &delta, k).expect("delta counting");
+        let touched = run.len();
+        let base_catalog = base.sparse_catalog().expect("retain_sparse");
+        let (merged_alone, merge_secs) = timed(|| base_catalog.merge_delta(&run).expect("merge"));
+        assert_eq!(
+            &merged_alone, recounted,
+            "isolated block merge diverged from the full recount"
+        );
+        let merge_entries_per_sec = base_catalog.nonzero_count() as f64 / merge_secs.max(1e-9);
 
         let nnz = refreshed.footprint().nonzero_paths;
+        let bytes_per_entry = refreshed.footprint().bytes_per_entry();
         let speedup_1t = full_1t_secs / delta_secs.max(1e-9);
         let speedup_mt = full_mt_secs / delta_secs.max(1e-9);
         rows.push(vec![
@@ -261,8 +271,28 @@ fn main() {
             ),
             ("nonzero_paths".into(), Value::Number(Number::PosInt(nnz))),
             (
+                "bytes_per_entry".into(),
+                Value::Number(Number::Float(bytes_per_entry)),
+            ),
+            (
+                "catalog_bytes".into(),
+                Value::Number(Number::PosInt(refreshed.footprint().sparse_bytes)),
+            ),
+            (
+                "catalog_plain_bytes".into(),
+                Value::Number(Number::PosInt(refreshed.footprint().sparse_plain_bytes)),
+            ),
+            (
                 "touched_paths".into(),
                 Value::Number(Number::PosInt(touched as u64)),
+            ),
+            (
+                "block_merge_seconds".into(),
+                Value::Number(Number::Float(merge_secs)),
+            ),
+            (
+                "block_merge_entries_per_sec".into(),
+                Value::Number(Number::Float(merge_entries_per_sec)),
             ),
             (
                 "full_build_seconds".into(),

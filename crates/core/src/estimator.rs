@@ -4,7 +4,9 @@ use std::time::{Duration, Instant};
 
 use phe_graph::{Graph, GraphDelta, LabelId};
 use phe_histogram::{error_rate, AccuracyReport, HistogramError};
-use phe_pathenum::{compute_delta, CatalogError, SelectivityCatalog, SparseCatalog};
+use phe_pathenum::{
+    compute_delta, CatalogError, CompressedRuns, SelectivityCatalog, SparseCatalog,
+};
 
 pub use crate::label_histogram::HistogramKind;
 
@@ -68,8 +70,12 @@ pub struct CatalogFootprint {
     pub domain_size: u64,
     /// Realized (non-zero) paths.
     pub nonzero_paths: u64,
-    /// Bytes of the sparse `(index, count)` representation.
+    /// Resident bytes of the sparse representation — **block-compressed**
+    /// delta-varint runs plus their skip index, not the flat pair vector.
     pub sparse_bytes: u64,
+    /// Bytes the flat `Vec<(u64, u64)>` pair representation would need
+    /// (16 B/entry) — the baseline `sparse_bytes` is compressed against.
+    pub sparse_plain_bytes: u64,
     /// Bytes the dense count vector needs (or would need), in `u128` so
     /// dense-infeasible configurations report instead of wrapping.
     pub dense_bytes: u128,
@@ -81,6 +87,7 @@ impl CatalogFootprint {
             domain_size: catalog.len() as u64,
             nonzero_paths: catalog.nonzero_count() as u64,
             sparse_bytes: catalog.size_bytes() as u64,
+            sparse_plain_bytes: catalog.plain_bytes() as u64,
             dense_bytes: catalog.dense_bytes(),
         }
     }
@@ -91,8 +98,21 @@ impl CatalogFootprint {
             domain_size: catalog.len() as u64,
             nonzero_paths: nonzero,
             sparse_bytes: nonzero * 16,
+            sparse_plain_bytes: nonzero * 16,
             dense_bytes: catalog.len() as u128 * 8,
         }
+    }
+
+    /// Compressed bytes per realized path — the observable the
+    /// compression work is judged by.
+    pub fn bytes_per_entry(&self) -> f64 {
+        self.sparse_bytes as f64 / (self.nonzero_paths as f64).max(1.0)
+    }
+
+    /// `sparse_plain_bytes / sparse_bytes` — how much the block
+    /// compression buys over the flat pair vector.
+    pub fn compression_ratio(&self) -> f64 {
+        self.sparse_plain_bytes as f64 / (self.sparse_bytes as f64).max(1.0)
     }
 }
 
@@ -168,12 +188,13 @@ pub struct PathSelectivityEstimator {
     /// `apply_delta` merges graph changes into.
     sparse: Option<SparseCatalog>,
     /// The ordering-permuted `(ordered_index, count)` runs the histogram
-    /// was built from, kept only under `retain_sparse`. When a delta
-    /// leaves the ordering's permutation unchanged (the common case:
-    /// small churn rarely reorders label frequencies), `apply_delta`
-    /// remaps **only the delta entries** and merges them into these runs
-    /// instead of re-permuting all `nnz` entries.
-    ordered_runs: Option<Vec<(u64, u64)>>,
+    /// was built from — block-compressed like the catalog — kept only
+    /// under `retain_sparse`. When a delta leaves the ordering's
+    /// permutation unchanged (the common case: small churn rarely
+    /// reorders label frequencies), `apply_delta` remaps **only the delta
+    /// entries** and block-merges them into these runs instead of
+    /// re-permuting all `nnz` entries.
+    ordered_runs: Option<CompressedRuns>,
     footprint: CatalogFootprint,
     histogram: LabelPathHistogram,
     stats: BuildStats,
@@ -279,7 +300,7 @@ impl PathSelectivityEstimator {
         config: EstimatorConfig,
         provenance: Provenance,
         ordering: Box<dyn crate::ordering::DomainOrdering>,
-        runs: Vec<(u64, u64)>,
+        runs: CompressedRuns,
         catalog_time: Duration,
         ordering_time: Duration,
     ) -> Result<PathSelectivityEstimator, HistogramError> {
@@ -407,7 +428,14 @@ impl PathSelectivityEstimator {
                     .map(|&(index, diff)| (ordering.ordered_index(index), diff))
                     .collect();
                 ordered_delta.sort_unstable_by_key(|&(index, _)| index);
-                merge_signed_runs(old_runs, &ordered_delta)
+                // The ordered-space twin of `SparseCatalog::merge_delta`:
+                // blocks the delta misses transfer raw. Underflow is
+                // impossible here — the canonical-space merge already
+                // validated every count, and a permutation maps entries
+                // one-to-one.
+                old_runs
+                    .merge_signed(&ordered_delta)
+                    .expect("validated by the canonical merge")
             }
             None => sparse_ordered_frequencies(&merged, ordering.as_ref()),
         };
@@ -464,12 +492,13 @@ impl PathSelectivityEstimator {
             .retain_sparse
             .then(|| SparseCatalog::from_dense(&catalog));
         let ordered_runs = config.retain_sparse.then(|| {
-            ordered
-                .iter()
-                .enumerate()
-                .filter(|&(_, &count)| count > 0)
-                .map(|(index, &count)| (index as u64, count))
-                .collect()
+            CompressedRuns::from_sorted_iter(
+                ordered
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &count)| count > 0)
+                    .map(|(index, &count)| (index as u64, count)),
+            )
         });
         let (label_names, label_frequencies) = snapshot_state(graph);
         let footprint = CatalogFootprint::from_dense(&catalog);
@@ -528,6 +557,10 @@ impl PathSelectivityEstimator {
             label_names: self.label_names.clone(),
             label_frequencies: self.label_frequencies.clone(),
             pair_frequencies: self.pair_frequencies.clone(),
+            sparse_runs: self
+                .sparse
+                .as_ref()
+                .map(|s| crate::snapshot::CompressedRunsSnapshot::from_runs(s.runs())),
             histogram: self.histogram.histogram().clone(),
         })
     }
@@ -638,10 +671,7 @@ impl PathSelectivityEstimator {
             + self.pair_frequencies.as_ref().map_or(0, |p| p.len() * 8)
             + self.catalog.as_ref().map_or(0, |c| c.len() * 8)
             + self.sparse.as_ref().map_or(0, |s| s.size_bytes())
-            + self
-                .ordered_runs
-                .as_ref()
-                .map_or(0, |r| r.len() * std::mem::size_of::<(u64, u64)>())
+            + self.ordered_runs.as_ref().map_or(0, |r| r.size_bytes())
     }
 
     /// The label-path histogram (ordering + buckets).
@@ -669,37 +699,6 @@ impl PathSelectivityEstimator {
     pub fn into_serving_parts(self) -> (EstimatorConfig, Vec<String>, LabelPathHistogram) {
         (self.config, self.label_names, self.histogram)
     }
-}
-
-/// Folds sorted signed `(ordered_index, diff)` entries into sorted
-/// `(ordered_index, count)` runs: sums matching indexes, admits new ones,
-/// and drops entries whose count cancels to zero — the ordered-space twin
-/// of `SparseCatalog::merge_delta`. Underflow is impossible here: the
-/// canonical-space merge already validated every count, and a permutation
-/// maps entries one-to-one.
-fn merge_signed_runs(base: &[(u64, u64)], delta: &[(u64, i64)]) -> Vec<(u64, u64)> {
-    let mut merged: Vec<(u64, u64)> = Vec::with_capacity(base.len() + delta.len());
-    let mut base_iter = base.iter().copied().peekable();
-    for &(index, diff) in delta {
-        while let Some(&entry) = base_iter.peek().filter(|&&(i, _)| i < index) {
-            merged.push(entry);
-            base_iter.next();
-        }
-        let count = match base_iter.peek() {
-            Some(&(i, count)) if i == index => {
-                base_iter.next();
-                count
-            }
-            _ => 0,
-        };
-        let summed = count as i128 + diff as i128;
-        let summed = u64::try_from(summed).expect("validated by the canonical merge");
-        if summed > 0 {
-            merged.push((index, summed));
-        }
-    }
-    merged.extend(base_iter);
-    merged
 }
 
 /// The id a fresh full build stamps on its lineage: an FNV-1a hash of the

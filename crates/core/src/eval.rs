@@ -2,7 +2,7 @@
 //! plus the sparse permutation step of the streaming build pipeline.
 
 use phe_histogram::{AccuracyReport, HistogramError, PointEstimator};
-use phe_pathenum::{SelectivityCatalog, SparseCatalog};
+use phe_pathenum::{CompressedRuns, SelectivityCatalog, SparseCatalog};
 
 use crate::label_histogram::HistogramKind;
 use crate::ordering::DomainOrdering;
@@ -33,21 +33,25 @@ pub fn ordered_frequencies(
 
 /// Permutes a **sparse** catalog's non-zero frequencies into an
 /// ordering's index space: `(canonical_index, f)` → `(ordered_index, f)`,
-/// sorted by ordered index, zeros implicit.
+/// sorted by ordered index, zeros implicit — and re-compressed into
+/// block runs, the form the histogram builders stream from and the
+/// estimator retains.
 ///
 /// This replaces the dense [`ordered_frequencies`] permutation in the
 /// streaming pipeline: cost is `O(nnz · rank + nnz log nnz)` instead of
 /// `O(|Lk| · unrank)` — and, more importantly, no `|Lk|`-sized allocation.
+/// The catalog's compressed entries stream through the remap cursor; only
+/// the transient sort buffer holds plain pairs.
 pub fn sparse_ordered_frequencies(
     catalog: &SparseCatalog,
     ordering: &dyn DomainOrdering,
-) -> Vec<(u64, u64)> {
+) -> CompressedRuns {
     assert_eq!(
         ordering.domain_size() as usize,
         catalog.len(),
         "ordering domain and catalog disagree on |Lk|"
     );
-    ordering.ordered_entries(catalog.entries())
+    CompressedRuns::from_entries(&ordering.ordered_entries(&mut catalog.iter()))
 }
 
 /// Builds a histogram of `kind`/`beta` under `ordering` and evaluates the
@@ -99,7 +103,8 @@ mod tests {
         for kind in OrderingKind::ALL {
             let ordering = kind.build(&g, &dense, 3);
             let ordered = ordered_frequencies(&dense, ordering.as_ref());
-            let runs = sparse_ordered_frequencies(&sparse, ordering.as_ref());
+            let runs: Vec<(u64, u64)> =
+                sparse_ordered_frequencies(&sparse, ordering.as_ref()).to_vec();
             // Runs are sorted, non-zero, and agree with the dense permutation.
             assert!(runs.windows(2).all(|w| w[0].0 < w[1].0), "{}", kind.name());
             let mut reconstructed = vec![0u64; ordered.len()];

@@ -148,6 +148,22 @@ impl std::fmt::Display for HistogramKind {
     }
 }
 
+/// Bridges a block-compressed run into the histogram crate's streaming
+/// [`phe_histogram::RunSource`] contract — the glue that lets the
+/// builders decode blocks directly (this crate owns neither the trait
+/// nor the run type, so the adapter lives at the integration layer).
+struct CompressedSource<'a>(&'a phe_pathenum::CompressedRuns);
+
+impl phe_histogram::RunSource for CompressedSource<'_> {
+    fn nnz(&self) -> usize {
+        self.0.len()
+    }
+
+    fn cursor(&self) -> Box<dyn Iterator<Item = (u64, u64)> + '_> {
+        Box::new(self.0.iter())
+    }
+}
+
 /// A histogram over the label-path domain in a chosen ordering: the
 /// structure a query optimizer would actually retain (the catalog itself
 /// is construction-time only).
@@ -178,18 +194,21 @@ impl LabelPathHistogram {
         })
     }
 
-    /// Builds a histogram from **sparse** ordered `(index, frequency)`
-    /// runs (implicit zeros), already permuted into `ordering`'s index
-    /// space by [`crate::eval::sparse_ordered_frequencies`]. This is the
-    /// streaming pipeline's construction path: the dense ordered sequence
-    /// is never materialized.
+    /// Builds a histogram from **block-compressed** sparse ordered
+    /// `(index, frequency)` runs (implicit zeros), already permuted into
+    /// `ordering`'s index space by
+    /// [`crate::eval::sparse_ordered_frequencies`]. This is the streaming
+    /// pipeline's construction path: the builders decode the blocks
+    /// through a cursor, and neither the dense ordered sequence nor the
+    /// plain pair vector is ever materialized.
     pub fn from_sparse_frequencies(
         ordering: Box<dyn DomainOrdering>,
-        runs: &[(u64, u64)],
+        runs: &phe_pathenum::CompressedRuns,
         kind: HistogramKind,
         beta: usize,
     ) -> Result<LabelPathHistogram, HistogramError> {
-        let data = SparseFrequencies::new(runs, ordering.domain_size())?;
+        let source = CompressedSource(runs);
+        let data = SparseFrequencies::from_source(&source, ordering.domain_size())?;
         let histogram = kind.build_sparse(&data, beta)?;
         Ok(LabelPathHistogram {
             ordering,

@@ -74,19 +74,19 @@ impl IdealOrdering {
             "ideal ordering over {} paths exceeds the u32 index space",
             catalog.len()
         );
-        let entries = catalog.entries();
         let mut by_index: Vec<u32> = Vec::with_capacity(catalog.len());
-        // Zero plateau: every canonical index absent from the entries.
+        // Zero plateau: every canonical index absent from the entries
+        // (one streamed pass over the compressed run).
         by_index.extend(
             phe_histogram::sparse::absent_indexes(
-                entries.iter().map(|&(index, _)| index),
+                catalog.iter().map(|(index, _)| index),
                 catalog.len() as u64,
             )
             .map(|canonical| canonical as u32),
         );
-        // Realized paths by (count, canonical); entries are already
+        // Realized paths by (count, canonical); the cursor yields entries
         // canonical-sorted, so a stable sort by count suffices.
-        let mut realized: Vec<(u64, u64)> = entries.to_vec();
+        let mut realized: Vec<(u64, u64)> = catalog.iter().collect();
         realized.sort_by_key(|&(_, count)| count);
         by_index.extend(realized.iter().map(|&(index, _)| index as u32));
         let mut position = vec![0u32; catalog.len()];

@@ -60,14 +60,15 @@ pub trait DomainOrdering: Send + Sync {
         self.index_of(&self.domain().canonical_path(canonical_index))
     }
 
-    /// Bulk [`DomainOrdering::ordered_index`] over sparse
-    /// `(canonical_index, count)` entries, returning `(ordered_index,
-    /// count)` pairs **sorted by ordered index**. Counts ride along
-    /// untouched; the permutation property guarantees no duplicates.
-    fn ordered_entries(&self, canonical: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    /// Bulk [`DomainOrdering::ordered_index`] over a streamed pass of
+    /// sparse `(canonical_index, count)` entries, returning
+    /// `(ordered_index, count)` pairs **sorted by ordered index**. Counts
+    /// ride along untouched; the permutation property guarantees no
+    /// duplicates. Takes a cursor, not a slice — the catalog stores its
+    /// entries block-compressed and never materializes the pair vector.
+    fn ordered_entries(&self, canonical: &mut dyn Iterator<Item = (u64, u64)>) -> Vec<(u64, u64)> {
         let mut mapped: Vec<(u64, u64)> = canonical
-            .iter()
-            .map(|&(index, count)| (self.ordered_index(index), count))
+            .map(|(index, count)| (self.ordered_index(index), count))
             .collect();
         mapped.sort_unstable_by_key(|&(index, _)| index);
         mapped

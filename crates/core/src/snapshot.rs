@@ -63,9 +63,12 @@ const _: () = {
 /// pipeline) carry no `version` field and restore unchanged; v2 adds the
 /// optional sparse-build provenance (`domain_paths`, `nonzero_paths`);
 /// v3 adds the delta lineage (`base_build_id`, `applied_deltas`) written
-/// by the incremental-maintenance pipeline. Every older version restores;
-/// newer versions are refused.
-pub const SNAPSHOT_VERSION: u32 = 3;
+/// by the incremental-maintenance pipeline; v4 adds the optional
+/// block-compressed sparse catalog (`sparse_runs`) for estimators built
+/// with `retain_sparse`, so a restored estimator can resume incremental
+/// maintenance without a recount. Every older version restores; newer
+/// versions are refused.
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 /// The serializable retained state of a built estimator.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -101,14 +104,69 @@ pub struct EstimatorSnapshot {
     /// Pair frequencies `f(l1/l2)` keyed `l1·n + l2`; present only for
     /// the `sum-based-L2` ordering.
     pub pair_frequencies: Option<Vec<u64>>,
+    /// The retained sparse catalog as block-compressed runs (v4; present
+    /// only for estimators built with `retain_sparse`). Persisting the
+    /// *compressed* blocks — not 16 B/entry pairs — is what keeps
+    /// maintained snapshots a few bytes per realized path.
+    pub sparse_runs: Option<CompressedRunsSnapshot>,
     /// The built histogram.
     pub histogram: BuiltHistogram,
+}
+
+/// The serialized form of a [`phe_pathenum::CompressedRuns`]: the raw
+/// block bytes (base64, since the wire format is JSON) plus the per-block
+/// entry counts the skip index is re-derived from. Restoring re-validates
+/// every run invariant, so a corrupt file is refused, not trusted.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompressedRunsSnapshot {
+    /// Number of entries (restore cross-checks the decode against it).
+    pub nnz: u64,
+    /// Base64 of the delta-varint block byte stream.
+    pub blocks_base64: String,
+    /// Entries per block, in block order.
+    pub block_lens: Vec<u32>,
+}
+
+impl CompressedRunsSnapshot {
+    /// Captures a run for persistence.
+    pub fn from_runs(runs: &phe_pathenum::CompressedRuns) -> CompressedRunsSnapshot {
+        CompressedRunsSnapshot {
+            nnz: runs.len() as u64,
+            blocks_base64: base64_encode(runs.bytes()),
+            block_lens: runs.skip_index().iter().map(|meta| meta.len).collect(),
+        }
+    }
+
+    /// Decodes and re-validates the run.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Corrupt`] on bad base64, violated run invariants,
+    /// or an entry count that disagrees with the declared `nnz`.
+    pub fn restore(&self) -> Result<phe_pathenum::CompressedRuns, SnapshotError> {
+        let bytes = base64_decode(&self.blocks_base64)
+            .ok_or_else(|| SnapshotError::Corrupt("sparse runs are not valid base64".into()))?;
+        let runs = phe_pathenum::CompressedRuns::from_encoded(bytes, &self.block_lens)
+            .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+        if runs.len() as u64 != self.nnz {
+            return Err(SnapshotError::Corrupt(format!(
+                "sparse runs declare {} entries but decode to {}",
+                self.nnz,
+                runs.len()
+            )));
+        }
+        Ok(runs)
+    }
+
+    /// Serialized payload bytes (base64 blocks + block lengths).
+    pub fn payload_bytes(&self) -> usize {
+        self.blocks_base64.len() + self.block_lens.len() * std::mem::size_of::<u32>()
+    }
 }
 
 impl EstimatorSnapshot {
     /// Rebuilds the retained estimator (ordering + histogram) without any
     /// graph or catalog access. Accepts every format up to
-    /// [`SNAPSHOT_VERSION`] — v1 (no `version` field), v2, and v3;
+    /// [`SNAPSHOT_VERSION`] — v1 (no `version` field) through v4;
     /// newer versions are refused.
     pub fn restore(&self) -> Result<LabelPathHistogram, SnapshotError> {
         if let Some(version) = self.version.filter(|&v| v > SNAPSHOT_VERSION) {
@@ -190,6 +248,29 @@ impl EstimatorSnapshot {
         })
     }
 
+    /// Rebuilds the retained **sparse catalog** from a v4 snapshot's
+    /// compressed blocks — `None` when the snapshot carries none (older
+    /// formats, or an estimator built without `retain_sparse`). The
+    /// encoding is reconstructed from the snapshot's own dimensions
+    /// (`|L|` = label count, `k`), so no graph access is needed.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Corrupt`] when the blocks fail validation or an
+    /// entry falls outside the snapshot's domain.
+    pub fn restore_sparse_catalog(
+        &self,
+    ) -> Result<Option<phe_pathenum::SparseCatalog>, SnapshotError> {
+        let Some(snapshot_runs) = self.sparse_runs.as_ref() else {
+            return Ok(None);
+        };
+        let runs = snapshot_runs.restore()?;
+        let encoding = phe_pathenum::PathEncoding::try_new(self.label_names.len(), self.k)
+            .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+        let catalog = phe_pathenum::SparseCatalog::from_runs(encoding, runs)
+            .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+        Ok(Some(catalog))
+    }
+
     /// Approximate serialized size (bytes) — the artifact an optimizer
     /// ships; compare against `|Lk| · 8` for storing the raw table.
     pub fn retained_bytes(&self) -> usize {
@@ -198,8 +279,73 @@ impl EstimatorSnapshot {
         names
             + self.label_frequencies.len() * 8
             + self.pair_frequencies.as_ref().map_or(0, |p| p.len() * 8)
+            + self.sparse_runs.as_ref().map_or(0, |r| r.payload_bytes())
             + self.histogram.size_bytes()
     }
+}
+
+const BASE64_ALPHABET: &[u8; 64] =
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Standard (padded) base64 — snapshots are JSON, so the block bytes need
+/// a text-safe envelope; hand-rolled because the offline environment has
+/// no base64 crate.
+fn base64_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let b = [
+            chunk[0],
+            *chunk.get(1).unwrap_or(&0),
+            *chunk.get(2).unwrap_or(&0),
+        ];
+        let word = ((b[0] as u32) << 16) | ((b[1] as u32) << 8) | b[2] as u32;
+        for i in 0..4 {
+            if i <= chunk.len() {
+                out.push(BASE64_ALPHABET[((word >> (18 - 6 * i)) & 0x3f) as usize] as char);
+            } else {
+                out.push('=');
+            }
+        }
+    }
+    out
+}
+
+/// Inverse of [`base64_encode`]; `None` on any malformed input.
+fn base64_decode(text: &str) -> Option<Vec<u8>> {
+    let digits: Vec<u8> = text.bytes().take_while(|&b| b != b'=').collect();
+    let padding = text.len() - digits.len();
+    if !text.len().is_multiple_of(4)
+        || padding > 2
+        || !text.bytes().skip(digits.len()).all(|b| b == b'=')
+    {
+        return None;
+    }
+    let value_of = |b: u8| -> Option<u32> {
+        Some(match b {
+            b'A'..=b'Z' => (b - b'A') as u32,
+            b'a'..=b'z' => (b - b'a' + 26) as u32,
+            b'0'..=b'9' => (b - b'0' + 52) as u32,
+            b'+' => 62,
+            b'/' => 63,
+            _ => return None,
+        })
+    };
+    let mut out = Vec::with_capacity(digits.len() * 3 / 4);
+    for chunk in digits.chunks(4) {
+        if chunk.len() == 1 {
+            return None; // 6 bits cannot carry a byte
+        }
+        let mut word = 0u32;
+        for &digit in chunk {
+            word = (word << 6) | value_of(digit)?;
+        }
+        word <<= 6 * (4 - chunk.len()) as u32;
+        let produced = chunk.len() - 1;
+        for i in 0..produced {
+            out.push((word >> (16 - 8 * i)) as u8);
+        }
+    }
+    Some(out)
 }
 
 #[cfg(test)]
@@ -331,10 +477,10 @@ mod tests {
     }
 
     #[test]
-    fn v3_snapshots_carry_delta_lineage() {
+    fn current_snapshots_carry_delta_lineage() {
         let est = build(OrderingKind::SumBased);
         let snapshot = est.snapshot().unwrap();
-        assert_eq!(snapshot.version, Some(3));
+        assert_eq!(snapshot.version, Some(SNAPSHOT_VERSION));
         assert_eq!(snapshot.base_build_id, Some(est.build_id()));
         assert_eq!(snapshot.applied_deltas, Some(0));
         // Lineage round-trips through the wire format.
@@ -343,6 +489,90 @@ mod tests {
         assert_eq!(parsed.base_build_id, snapshot.base_build_id);
         assert_eq!(parsed.applied_deltas, Some(0));
         parsed.restore().unwrap();
+    }
+
+    #[test]
+    fn v3_snapshots_without_sparse_runs_restore() {
+        // A v3 file is today's serialization with version 3 and no
+        // compressed catalog — written before the block-compressed
+        // storage existed.
+        let est = build(OrderingKind::SumBased);
+        let mut v3 = est.snapshot().unwrap();
+        v3.version = Some(3);
+        v3.sparse_runs = None;
+        let json = serde_json::to_string(&v3).unwrap();
+        let parsed: EstimatorSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.version, Some(3));
+        assert!(parsed.sparse_runs.is_none());
+        assert_eq!(parsed.restore_sparse_catalog().unwrap(), None);
+        let restored = parsed.restore().unwrap();
+        for l in 0..4u16 {
+            let path = [LabelId(l)];
+            assert_eq!(est.estimate(&path), restored.estimate_labels(&path));
+        }
+    }
+
+    #[test]
+    fn v4_snapshots_persist_the_compressed_catalog() {
+        // A maintained estimator ships its sparse catalog as compressed
+        // blocks; the restored catalog is bit-identical, and the payload
+        // undercuts what 16 B/entry pairs would cost even after base64.
+        let est = PathSelectivityEstimator::build(
+            &graph(),
+            EstimatorConfig {
+                k: 3,
+                beta: 16,
+                ordering: OrderingKind::SumBased,
+                histogram: crate::label_histogram::HistogramKind::VOptimalGreedy,
+                threads: 1,
+                retain_catalog: false,
+                retain_sparse: true,
+            },
+        )
+        .unwrap();
+        let snapshot = est.snapshot().unwrap();
+        let runs = snapshot
+            .sparse_runs
+            .as_ref()
+            .expect("retain_sparse persists the catalog");
+        assert_eq!(runs.nnz, est.footprint().nonzero_paths);
+
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let parsed: EstimatorSnapshot = serde_json::from_str(&json).unwrap();
+        let catalog = parsed
+            .restore_sparse_catalog()
+            .unwrap()
+            .expect("v4 carries the catalog");
+        assert_eq!(&catalog, est.sparse_catalog().unwrap());
+
+        // Plain pairs through the same base64 envelope would cost
+        // ceil(16/3)·4 ≈ 21.3 B/entry; the compressed payload must come
+        // in well under the raw 16 B/entry.
+        let plain = est.sparse_catalog().unwrap().plain_bytes();
+        assert!(
+            parsed.sparse_runs.as_ref().unwrap().payload_bytes() < plain,
+            "{} base64 bytes vs {} plain bytes",
+            parsed.sparse_runs.as_ref().unwrap().payload_bytes(),
+            plain
+        );
+
+        // An unmaintained estimator persists no runs.
+        let lean = build(OrderingKind::SumBased).snapshot().unwrap();
+        assert!(lean.sparse_runs.is_none());
+
+        // Corrupt payloads are refused, not trusted.
+        let mut broken = snapshot.clone();
+        broken.sparse_runs.as_mut().unwrap().blocks_base64 = "not base64!".into();
+        assert!(matches!(
+            broken.restore_sparse_catalog(),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        let mut truncated = snapshot.clone();
+        truncated.sparse_runs.as_mut().unwrap().block_lens.pop();
+        assert!(matches!(
+            truncated.restore_sparse_catalog(),
+            Err(SnapshotError::Corrupt(_))
+        ));
     }
 
     #[test]

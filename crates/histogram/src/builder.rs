@@ -167,7 +167,7 @@ impl HistogramBuilder for EquiDepth {
         let mut acc = 0u64;
         let mut pos = 0u64;
         'scan: {
-            for &(index, frequency) in data.entries() {
+            for (index, frequency) in data.cursor() {
                 // Zero run [pos, index-1]: the accumulator is unchanged.
                 if pos < index && !equi_depth_region(pos, index - 1, acc, total, beta, n, &mut ends)
                 {

@@ -76,7 +76,7 @@ impl EndBiasedHistogram {
         }
         let n = data.domain_size();
         let singles = ((beta - 1) as u64).min(n);
-        let mut order: Vec<(u64, u64)> = data.entries().to_vec();
+        let mut order: Vec<(u64, u64)> = data.cursor().collect();
         order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         let from_entries = (order.len() as u64).min(singles);
         let mut exact: HashMap<usize, u64> = order[..from_entries as usize]
@@ -85,7 +85,7 @@ impl EndBiasedHistogram {
             .collect();
         // Remaining budget stores zeros at the smallest non-entry indexes.
         let zero_budget = (singles - from_entries) as usize;
-        let occupied = data.entries().iter().map(|&(index, _)| index);
+        let occupied = data.cursor().map(|(index, _)| index);
         for position in crate::sparse::absent_indexes(occupied, n).take(zero_budget) {
             exact.insert(position as usize, 0);
         }

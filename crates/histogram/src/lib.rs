@@ -55,7 +55,7 @@ pub use error::HistogramError;
 pub use histogram::Histogram;
 pub use metrics::{error_rate, mean_abs_error_rate, q_error, AccuracyReport};
 pub use prefix::PrefixSums;
-pub use sparse::{SparseFrequencies, SparsePrefix};
+pub use sparse::{EntryCursor, RunSource, SparseFrequencies, SparsePrefix};
 
 /// Anything that can answer a point-frequency estimate for a domain index.
 ///

@@ -11,6 +11,16 @@
 //! exactly representable in `f64`, i.e. `Σ f² < 2⁵³` — the same regime in
 //! which the dense V-optimal cost model itself is exact).
 //!
+//! ## Streaming access
+//!
+//! [`SparseFrequencies`] does not hold a pair vector: it wraps either a
+//! borrowed slice (tests, dense views) or any [`RunSource`] — a streaming
+//! provider of sorted entries, e.g. a block-compressed run whose decoder
+//! hands out entries without ever materializing `nnz × 16` bytes. Every
+//! builder reads through [`SparseFrequencies::cursor`] in sequential
+//! passes; random access happens only on the O(nnz) prefix arrays of
+//! [`SparsePrefix`], which the builders need anyway.
+//!
 //! [`SparsePrefix`] is the sparse analogue of [`crate::prefix::PrefixSums`]:
 //! it accumulates the *same* `f64` square-sum sequence the dense prefix
 //! would (zeros add exactly `0.0`), so range sums, square sums, and SSE
@@ -24,17 +34,72 @@ use crate::error::HistogramError;
 /// 512 MiB dense vector — beyond that, materializing defeats the point.
 pub const DENSE_MATERIALIZE_LIMIT: u64 = 1 << 26;
 
+/// A streaming provider of sorted, strictly increasing, non-zero
+/// `(index, frequency)` entries — the contract between compressed run
+/// storage (which lives upstream of this crate) and the histogram
+/// builders. A fresh [`RunSource::cursor`] starts a new pass; builders
+/// take as many passes as their algorithm needs (each is O(nnz)).
+pub trait RunSource {
+    /// Number of entries a cursor will yield.
+    fn nnz(&self) -> usize;
+
+    /// A fresh pass over the entries in index order.
+    fn cursor(&self) -> Box<dyn Iterator<Item = (u64, u64)> + '_>;
+}
+
+/// The borrowed input behind a [`SparseFrequencies`].
+#[derive(Clone, Copy)]
+enum Source<'a> {
+    Slice(&'a [(u64, u64)]),
+    Stream(&'a dyn RunSource),
+}
+
+/// One sequential pass over a [`SparseFrequencies`]'s entries. Slice
+/// inputs iterate allocation-free; streamed inputs carry their source's
+/// boxed decoder (one allocation per pass, not per entry).
+pub enum EntryCursor<'a> {
+    /// Borrowed-slice pass.
+    Slice(std::iter::Copied<std::slice::Iter<'a, (u64, u64)>>),
+    /// Streamed pass from a [`RunSource`].
+    Stream(Box<dyn Iterator<Item = (u64, u64)> + 'a>),
+}
+
+impl Iterator for EntryCursor<'_> {
+    type Item = (u64, u64);
+
+    #[inline]
+    fn next(&mut self) -> Option<(u64, u64)> {
+        match self {
+            EntryCursor::Slice(iter) => iter.next(),
+            EntryCursor::Stream(iter) => iter.next(),
+        }
+    }
+}
+
 /// A sparse frequency sequence over the domain `[0, domain_size)`:
 /// strictly increasing indexes with non-zero frequencies; every index not
-/// listed has frequency 0.
-#[derive(Debug, Clone, Copy)]
+/// listed has frequency 0. Entries are read through
+/// [`SparseFrequencies::cursor`] — there is no pair vector to borrow.
+#[derive(Clone, Copy)]
 pub struct SparseFrequencies<'a> {
-    entries: &'a [(u64, u64)],
+    source: Source<'a>,
     domain_size: u64,
+    nnz: usize,
+    total: u64,
+}
+
+impl std::fmt::Debug for SparseFrequencies<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SparseFrequencies")
+            .field("domain_size", &self.domain_size)
+            .field("nnz", &self.nnz)
+            .field("total", &self.total)
+            .finish()
+    }
 }
 
 impl<'a> SparseFrequencies<'a> {
-    /// Wraps validated runs.
+    /// Wraps validated runs borrowed as a plain slice.
     ///
     /// # Errors
     /// [`HistogramError::InvalidSparseRuns`] when indexes are unsorted,
@@ -44,32 +109,69 @@ impl<'a> SparseFrequencies<'a> {
         entries: &'a [(u64, u64)],
         domain_size: u64,
     ) -> Result<SparseFrequencies<'a>, HistogramError> {
-        if let Some(w) = entries.windows(2).find(|w| w[0].0 >= w[1].0) {
-            return Err(HistogramError::InvalidSparseRuns(format!(
-                "indexes not strictly increasing at {} .. {}",
-                w[0].0, w[1].0
-            )));
-        }
-        if let Some(&(index, _)) = entries.last().filter(|&&(index, _)| index >= domain_size) {
-            return Err(HistogramError::InvalidSparseRuns(format!(
-                "index {index} outside domain of {domain_size}"
-            )));
-        }
-        if let Some(&(index, _)) = entries.iter().find(|&&(_, frequency)| frequency == 0) {
-            return Err(HistogramError::InvalidSparseRuns(format!(
-                "explicit zero frequency at index {index}"
-            )));
-        }
-        Ok(SparseFrequencies {
-            entries,
-            domain_size,
-        })
+        Self::validate(Source::Slice(entries), domain_size)
     }
 
-    /// The non-zero `(index, frequency)` entries, sorted by index.
-    #[inline]
-    pub fn entries(&self) -> &'a [(u64, u64)] {
-        self.entries
+    /// Wraps a validated streaming source (e.g. a block-compressed run).
+    /// Validation costs one full pass — the same O(nnz) the slice
+    /// constructor pays.
+    ///
+    /// # Errors
+    /// As for [`SparseFrequencies::new`].
+    pub fn from_source(
+        source: &'a dyn RunSource,
+        domain_size: u64,
+    ) -> Result<SparseFrequencies<'a>, HistogramError> {
+        Self::validate(Source::Stream(source), domain_size)
+    }
+
+    fn validate(
+        source: Source<'a>,
+        domain_size: u64,
+    ) -> Result<SparseFrequencies<'a>, HistogramError> {
+        let mut result = SparseFrequencies {
+            source,
+            domain_size,
+            nnz: 0,
+            total: 0,
+        };
+        let mut previous: Option<u64> = None;
+        let mut nnz = 0usize;
+        let mut total = 0u64;
+        for (index, frequency) in result.cursor() {
+            if previous.is_some_and(|p| p >= index) {
+                return Err(HistogramError::InvalidSparseRuns(format!(
+                    "indexes not strictly increasing at {} .. {}",
+                    previous.unwrap_or(0),
+                    index
+                )));
+            }
+            if index >= domain_size {
+                return Err(HistogramError::InvalidSparseRuns(format!(
+                    "index {index} outside domain of {domain_size}"
+                )));
+            }
+            if frequency == 0 {
+                return Err(HistogramError::InvalidSparseRuns(format!(
+                    "explicit zero frequency at index {index}"
+                )));
+            }
+            previous = Some(index);
+            nnz += 1;
+            total = total.wrapping_add(frequency);
+        }
+        result.nnz = nnz;
+        result.total = total;
+        Ok(result)
+    }
+
+    /// A fresh pass over the non-zero `(index, frequency)` entries,
+    /// sorted by index.
+    pub fn cursor(&self) -> EntryCursor<'a> {
+        match self.source {
+            Source::Slice(entries) => EntryCursor::Slice(entries.iter().copied()),
+            Source::Stream(source) => EntryCursor::Stream(source.cursor()),
+        }
     }
 
     /// The logical domain size (zeros included).
@@ -81,12 +183,13 @@ impl<'a> SparseFrequencies<'a> {
     /// Number of non-zero entries.
     #[inline]
     pub fn nnz(&self) -> usize {
-        self.entries.len()
+        self.nnz
     }
 
     /// Total frequency mass.
+    #[inline]
     pub fn total(&self) -> u64 {
-        self.entries.iter().map(|&(_, frequency)| frequency).sum()
+        self.total
     }
 
     /// Materializes the dense sequence.
@@ -101,7 +204,7 @@ impl<'a> SparseFrequencies<'a> {
             });
         }
         let mut dense = vec![0u64; self.domain_size as usize];
-        for &(index, frequency) in self.entries {
+        for (index, frequency) in self.cursor() {
             dense[index as usize] = frequency;
         }
         Ok(dense)
@@ -122,9 +225,9 @@ impl<'a> SparseFrequencies<'a> {
     /// runs; adjacent entries with equal frequencies fuse. This is the
     /// starting segmentation for the sparse greedy V-optimal builder.
     pub fn equal_value_runs(&self) -> Vec<(u64, u64)> {
-        let mut runs: Vec<(u64, u64, u64)> = Vec::with_capacity(2 * self.entries.len() + 1);
+        let mut runs: Vec<(u64, u64, u64)> = Vec::with_capacity(2 * self.nnz + 1);
         let mut pos = 0u64;
-        for &(index, frequency) in self.entries {
+        for (index, frequency) in self.cursor() {
             if pos < index {
                 runs.push((pos, index - 1, 0));
             }
@@ -167,6 +270,10 @@ where
 /// square-sum accumulation order as [`crate::prefix::PrefixSums`], so SSE
 /// values match the dense computation bit for bit (zeros contribute an
 /// exact `+0.0`).
+///
+/// This is the one place a builder gets random access: the prefix arrays
+/// are O(nnz) and addressed by *entry rank*, so per-entry frequencies are
+/// recovered as adjacent-sum differences — no entry slice needed.
 #[derive(Debug)]
 pub struct SparsePrefix {
     /// Entry indexes, for rank queries.
@@ -181,15 +288,14 @@ pub struct SparsePrefix {
 impl SparsePrefix {
     /// Builds the prefix structure in one pass over the entries.
     pub fn new(data: &SparseFrequencies<'_>) -> SparsePrefix {
-        let entries = data.entries();
-        let mut indexes = Vec::with_capacity(entries.len());
-        let mut sum = Vec::with_capacity(entries.len() + 1);
-        let mut sq = Vec::with_capacity(entries.len() + 1);
+        let mut indexes = Vec::with_capacity(data.nnz());
+        let mut sum = Vec::with_capacity(data.nnz() + 1);
+        let mut sq = Vec::with_capacity(data.nnz() + 1);
         sum.push(0);
         sq.push(0.0);
         let mut s = 0u64;
         let mut q = 0.0f64;
-        for &(index, frequency) in entries {
+        for (index, frequency) in data.cursor() {
             indexes.push(index);
             s = s
                 .checked_add(frequency)
@@ -205,6 +311,13 @@ impl SparsePrefix {
     #[inline]
     pub fn rank(&self, position: u64) -> usize {
         self.indexes.partition_point(|&index| index < position)
+    }
+
+    /// The frequency of the entry at `rank` (adjacent prefix difference —
+    /// exact, the prefix sums are plain `u64`).
+    #[inline]
+    pub fn frequency_at_rank(&self, rank: usize) -> u64 {
+        self.sum[rank + 1] - self.sum[rank]
     }
 
     /// Sum of frequencies over the inclusive index range `[lo, hi]`.
@@ -256,28 +369,25 @@ impl SparsePrefix {
     }
 
     /// Builds the [`Bucket`] covering `[lo, hi]`, with min/max accounting
-    /// for implicit zeros.
-    pub fn bucket(&self, entries: &[(u64, u64)], lo: u64, hi: u64) -> Bucket {
+    /// for implicit zeros. Per-entry frequencies come from the prefix
+    /// array itself ([`SparsePrefix::frequency_at_rank`]), so no entry
+    /// slice is involved.
+    pub fn bucket(&self, lo: u64, hi: u64) -> Bucket {
         let first = self.rank(lo);
         let last = self.rank(hi + 1);
-        let inside = &entries[first..last];
         let count = hi - lo + 1;
         let sum = self.sum[last] - self.sum[first];
-        let has_zero = (inside.len() as u64) < count;
-        let min = if has_zero {
-            0
-        } else {
-            inside
-                .iter()
-                .map(|&(_, frequency)| frequency)
-                .min()
-                .unwrap_or(0)
-        };
-        let max = inside
-            .iter()
-            .map(|&(_, frequency)| frequency)
-            .max()
-            .unwrap_or(0);
+        let has_zero = ((last - first) as u64) < count;
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for rank in first..last {
+            let frequency = self.frequency_at_rank(rank);
+            min = min.min(frequency);
+            max = max.max(frequency);
+        }
+        if has_zero || first == last {
+            min = 0;
+        }
         Bucket {
             lo: lo as usize,
             hi: hi as usize,
@@ -302,7 +412,7 @@ pub(crate) fn buckets_from_ends_sparse(
     let mut buckets = Vec::with_capacity(ends.len());
     let mut lo = 0u64;
     for &hi in ends {
-        buckets.push(prefix.bucket(data.entries(), lo, hi));
+        buckets.push(prefix.bucket(lo, hi));
         lo = hi + 1;
     }
     buckets
@@ -343,6 +453,20 @@ mod tests {
         SparseFrequencies::collect_from_dense(dense)
     }
 
+    /// A minimal streamed source over a plain vector, standing in for the
+    /// block-compressed decoder that lives upstream of this crate.
+    struct VecSource(Vec<(u64, u64)>);
+
+    impl RunSource for VecSource {
+        fn nnz(&self) -> usize {
+            self.0.len()
+        }
+
+        fn cursor(&self) -> Box<dyn Iterator<Item = (u64, u64)> + '_> {
+            Box::new(self.0.iter().copied())
+        }
+    }
+
     #[test]
     fn validation_rejects_bad_runs() {
         assert!(SparseFrequencies::new(&[(3, 1), (2, 1)], 10).is_err());
@@ -350,6 +474,30 @@ mod tests {
         assert!(SparseFrequencies::new(&[(12, 1)], 10).is_err());
         assert!(SparseFrequencies::new(&[(1, 0)], 10).is_err());
         assert!(SparseFrequencies::new(&[(1, 5), (9, 1)], 10).is_ok());
+    }
+
+    #[test]
+    fn streamed_source_matches_slice() {
+        let entries = vec![(1u64, 5u64), (4, 2), (9, 1)];
+        let source = VecSource(entries.clone());
+        let streamed = SparseFrequencies::from_source(&source, 10).unwrap();
+        let sliced = SparseFrequencies::new(&entries, 10).unwrap();
+        assert_eq!(streamed.nnz(), sliced.nnz());
+        assert_eq!(streamed.total(), sliced.total());
+        assert_eq!(
+            streamed.cursor().collect::<Vec<_>>(),
+            sliced.cursor().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            streamed.materialize().unwrap(),
+            sliced.materialize().unwrap()
+        );
+        assert_eq!(streamed.equal_value_runs(), sliced.equal_value_runs());
+        // Streamed sources are validated just like slices.
+        let bad = VecSource(vec![(4, 2), (1, 5)]);
+        assert!(SparseFrequencies::from_source(&bad, 10).is_err());
+        let zero = VecSource(vec![(4, 0)]);
+        assert!(SparseFrequencies::from_source(&zero, 10).is_err());
     }
 
     #[test]
@@ -405,11 +553,11 @@ mod tests {
         let entries = sparse_of(&dense);
         let s = SparseFrequencies::new(&entries, 6).unwrap();
         let prefix = SparsePrefix::new(&s);
-        let b = prefix.bucket(s.entries(), 0, 2);
+        let b = prefix.bucket(0, 2);
         assert_eq!((b.sum, b.min, b.max), (5, 0, 5));
-        let b = prefix.bucket(s.entries(), 4, 5);
+        let b = prefix.bucket(4, 5);
         assert_eq!((b.sum, b.min, b.max), (8, 1, 7));
-        let b = prefix.bucket(s.entries(), 2, 3);
+        let b = prefix.bucket(2, 3);
         assert_eq!((b.sum, b.min, b.max), (0, 0, 0));
     }
 

@@ -287,10 +287,10 @@ fn greedy_merge_ends_sparse(data: &SparseFrequencies<'_>, beta: usize) -> Vec<u6
     }
     let mut segs: Vec<Seg> = Vec::with_capacity(runs.len());
     let mut rank = 0usize;
-    let entries = data.entries();
+    let mut entry_walk = data.cursor().peekable();
     for &(lo, hi) in &runs {
         let rank_lo = rank;
-        while rank < entries.len() && entries[rank].0 <= hi {
+        while entry_walk.next_if(|&(index, _)| index <= hi).is_some() {
             rank += 1;
         }
         segs.push(Seg {
@@ -410,33 +410,34 @@ fn maxdiff_ends_sparse(data: &SparseFrequencies<'_>, beta: usize) -> Vec<u64> {
     if beta as u64 >= n {
         return (0..n).collect();
     }
-    let entries = data.entries();
-    let value_at = |position: u64| -> u64 {
-        match entries.binary_search_by_key(&position, |&(index, _)| index) {
-            Ok(found) => entries[found].1,
-            Err(_) => 0,
-        }
-    };
     // Candidate boundary positions: only p with v[p] ≠ v[p+1], which
-    // requires p or p+1 to be an entry index.
-    let mut positions: Vec<u64> = Vec::with_capacity(2 * entries.len());
-    for &(index, _) in entries {
-        if index > 0 {
-            positions.push(index - 1);
+    // requires p or p+1 to be an entry index — one windowed cursor pass
+    // (previous entry + lookahead) covers every such pair:
+    //   * p = index − 1 when the previous entry is not adjacent (the left
+    //     neighbour is an implicit zero);
+    //   * p = index against the right neighbour (the next entry when
+    //     adjacent, zero otherwise).
+    // Adjacent entry pairs appear once (the left entry's p = index rule);
+    // positions emerge strictly increasing, so no sort/dedup is needed.
+    let mut diffs: Vec<(u64, u64)> = Vec::with_capacity(2 * data.nnz());
+    let mut walk = data.cursor().peekable();
+    let mut previous: Option<u64> = None;
+    while let Some((index, value)) = walk.next() {
+        if index > 0 && previous != Some(index - 1) && value > 0 {
+            diffs.push((value, index - 1));
         }
         if index + 1 < n {
-            positions.push(index);
+            let right = match walk.peek() {
+                Some(&(next, next_value)) if next == index + 1 => next_value,
+                _ => 0,
+            };
+            let d = value.abs_diff(right);
+            if d > 0 {
+                diffs.push((d, index));
+            }
         }
+        previous = Some(index);
     }
-    positions.sort_unstable();
-    positions.dedup();
-    let mut diffs: Vec<(u64, u64)> = positions
-        .into_iter()
-        .filter_map(|p| {
-            let d = value_at(p).abs_diff(value_at(p + 1));
-            (d > 0).then_some((d, p))
-        })
-        .collect();
     diffs.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
 
     let want = beta - 1;

@@ -56,6 +56,7 @@ pub mod encoding;
 pub mod naive;
 pub mod parallel;
 pub mod relation;
+pub mod runs;
 pub mod sampling;
 pub mod sparse;
 
@@ -63,5 +64,6 @@ pub use catalog::{CatalogError, SelectivityCatalog};
 pub use delta::{compute_delta, SparseDeltaRun};
 pub use encoding::PathEncoding;
 pub use relation::PathRelation;
+pub use runs::{CompressedRuns, RunsBuilder, RunsCursor};
 pub use sampling::{SamplingConfig, SamplingEstimator};
 pub use sparse::SparseCatalog;

@@ -1,0 +1,929 @@
+//! Block-compressed sparse runs: the catalog's storage representation.
+//!
+//! A sorted `(index, count)` run with strictly increasing `u64` indexes
+//! and non-zero counts compresses extremely well: canonical path indexes
+//! cluster by shared label prefixes, so consecutive gaps are small, and
+//! realized-path counts are graph-local quantities — both fit in one or
+//! two LEB128 bytes most of the time, against the flat 16 B a
+//! `(u64, u64)` pair costs. [`CompressedRuns`] stores the run as
+//! fixed-capacity **blocks** (≤ [`BLOCK_ENTRIES`] entries) of
+//! delta-varint pairs behind a per-block skip index:
+//!
+//! ```text
+//! bytes:  [ block 0 ........ | block 1 ........ | ... ]
+//! block:  varint(first_index) varint(count)            ← absolute head
+//!         varint(index − prev) varint(count) …         ← delta tail
+//! skip:   (first_index, last_index, byte_offset, len, mass) per block
+//! ```
+//!
+//! Each block is **self-contained** (its head entry stores the absolute
+//! index), which is what makes block-granular operations possible:
+//!
+//! * [`CompressedRuns::get`] binary-searches the skip index and decodes
+//!   at most one block — `O(log #blocks + B)`;
+//! * [`CompressedRuns::merge_signed`] copies blocks untouched by the
+//!   change **wholesale** (raw bytes + skip row, no re-encode) and
+//!   re-encodes only blocks overlapping a changed index;
+//! * [`CompressedRuns::merge_many`] (the sharded build's k-way merge)
+//!   raw-copies any block whose index range precedes every other run's
+//!   next entry, falling back to entry-at-a-time decode only where runs
+//!   interleave.
+//!
+//! The only access path for consumers is the zero-alloc [`RunsCursor`]
+//! iterator: histogram builders, ordering remaps, and snapshot writers
+//! all stream entries; nothing materializes the pair vector.
+//!
+//! Blocks may hold *fewer* than [`BLOCK_ENTRIES`] entries: wholesale
+//! copies preserve the source block boundaries, and a re-encoded region
+//! flushes its partial tail before an adjacent raw copy. Every operation
+//! preserves the run invariants (strictly increasing indexes, counts
+//! non-zero), and [`PartialEq`] compares the *decoded streams*, so two
+//! runs with different block boundaries but equal content are equal.
+
+/// Maximum entries per block. 128 keeps point lookups at ≤ 128 varint
+/// decodes while amortizing the 40-byte skip row to ~0.3 B/entry.
+pub const BLOCK_ENTRIES: usize = 128;
+
+/// Worst-case LEB128 length of a `u64` (⌈64 / 7⌉ bytes).
+const MAX_VARINT: usize = 10;
+
+/// Per-block skip row: everything a consumer needs to route around (or
+/// wholesale-copy) the block without decoding it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// Index of the block's first entry (stored absolute in the bytes).
+    pub first_index: u64,
+    /// Index of the block's last entry.
+    pub last_index: u64,
+    /// Offset of the block's first byte in the run's byte stream.
+    pub byte_offset: usize,
+    /// Number of entries in the block (`1..=BLOCK_ENTRIES`).
+    pub len: u32,
+    /// Sum of the block's counts.
+    pub mass: u64,
+}
+
+/// A decode/validation failure of an externally supplied byte stream
+/// (snapshot restore).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunsCorrupt(pub String);
+
+impl std::fmt::Display for RunsCorrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corrupt compressed runs: {}", self.0)
+    }
+}
+
+impl std::error::Error for RunsCorrupt {}
+
+/// A signed merge drove a count below zero: the changes were computed
+/// against a different base run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignedMergeUnderflow {
+    /// The offending index.
+    pub index: u64,
+    /// The base count at that index (0 when absent).
+    pub count: u64,
+    /// The signed difference that was applied.
+    pub delta: i64,
+}
+
+/// Block-compressed sorted `(index, count)` runs. See the module docs
+/// for the layout and the operation complexity table.
+#[derive(Debug, Clone, Default)]
+pub struct CompressedRuns {
+    bytes: Vec<u8>,
+    skip: Vec<BlockMeta>,
+    len: usize,
+    total_mass: u64,
+}
+
+/// Content equality: two runs are equal iff they decode to the same
+/// entry stream — block boundaries are a storage artifact (a merge that
+/// wholesale-copied blocks must compare equal to a fresh re-encode).
+impl PartialEq for CompressedRuns {
+    fn eq(&self, other: &CompressedRuns) -> bool {
+        self.len == other.len && self.total_mass == other.total_mass && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for CompressedRuns {}
+
+impl CompressedRuns {
+    /// An empty run.
+    pub fn new() -> CompressedRuns {
+        CompressedRuns::default()
+    }
+
+    /// Compresses pre-sorted entries (strictly increasing indexes,
+    /// non-zero counts — debug-asserted, as for every construction path).
+    pub fn from_entries(entries: &[(u64, u64)]) -> CompressedRuns {
+        Self::from_sorted_iter(entries.iter().copied())
+    }
+
+    /// Compresses a pre-sorted entry stream.
+    pub fn from_sorted_iter(entries: impl IntoIterator<Item = (u64, u64)>) -> CompressedRuns {
+        let mut builder = RunsBuilder::new();
+        for (index, count) in entries {
+            builder.push(index, count);
+        }
+        builder.finish()
+    }
+
+    /// Rebuilds a run from its serialized form: the raw byte stream plus
+    /// the per-block entry counts (the skip index is re-derived by one
+    /// decoding pass). This is the snapshot-restore entry point, so it
+    /// **validates** everything a foreign file could get wrong.
+    ///
+    /// # Errors
+    /// [`RunsCorrupt`] when the bytes truncate mid-varint, an index fails
+    /// to increase strictly, a count is zero, a block is empty or
+    /// over-full, or trailing bytes remain after the declared blocks.
+    pub fn from_encoded(bytes: Vec<u8>, block_lens: &[u32]) -> Result<CompressedRuns, RunsCorrupt> {
+        let mut skip = Vec::with_capacity(block_lens.len());
+        let mut pos = 0usize;
+        let mut len = 0usize;
+        let mut total_mass = 0u64;
+        let mut prev: Option<u64> = None;
+        for (block_id, &block_len) in block_lens.iter().enumerate() {
+            if block_len == 0 || block_len as usize > BLOCK_ENTRIES {
+                return Err(RunsCorrupt(format!(
+                    "block {block_id} declares {block_len} entries (1..={BLOCK_ENTRIES})"
+                )));
+            }
+            let byte_offset = pos;
+            let mut first_index = 0u64;
+            let mut last_index = 0u64;
+            let mut mass = 0u64;
+            for entry in 0..block_len {
+                let raw = decode_varint(&bytes, &mut pos)
+                    .ok_or_else(|| RunsCorrupt(format!("block {block_id} truncated")))?;
+                let index = if entry == 0 {
+                    first_index = raw;
+                    raw
+                } else {
+                    last_index.checked_add(raw).ok_or_else(|| {
+                        RunsCorrupt(format!("block {block_id} index overflows u64"))
+                    })?
+                };
+                if prev.is_some_and(|p| index <= p) {
+                    return Err(RunsCorrupt(format!(
+                        "index {index} does not increase strictly (block {block_id})"
+                    )));
+                }
+                if entry > 0 && raw == 0 {
+                    return Err(RunsCorrupt(format!("zero index delta in block {block_id}")));
+                }
+                let count = decode_varint(&bytes, &mut pos)
+                    .ok_or_else(|| RunsCorrupt(format!("block {block_id} truncated")))?;
+                if count == 0 {
+                    return Err(RunsCorrupt(format!("explicit zero count at index {index}")));
+                }
+                prev = Some(index);
+                last_index = index;
+                mass = mass.wrapping_add(count);
+            }
+            total_mass = total_mass.wrapping_add(mass);
+            len += block_len as usize;
+            skip.push(BlockMeta {
+                first_index,
+                last_index,
+                byte_offset,
+                len: block_len,
+                mass,
+            });
+        }
+        if pos != bytes.len() {
+            return Err(RunsCorrupt(format!(
+                "{} trailing bytes after the declared blocks",
+                bytes.len() - pos
+            )));
+        }
+        Ok(CompressedRuns {
+            bytes,
+            skip,
+            len,
+            total_mass,
+        })
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the run holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sum of all counts (wrapping, as the plain representation's sum
+    /// would be).
+    #[inline]
+    pub fn total_mass(&self) -> u64 {
+        self.total_mass
+    }
+
+    /// The encoded byte stream (blocks back to back).
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The skip index, one row per block.
+    #[inline]
+    pub fn skip_index(&self) -> &[BlockMeta] {
+        &self.skip
+    }
+
+    /// Resident bytes of this representation: encoded stream plus skip
+    /// index plus struct overhead. The plain equivalent is
+    /// [`CompressedRuns::plain_bytes`].
+    pub fn size_bytes(&self) -> usize {
+        self.bytes.capacity()
+            + self.skip.capacity() * std::mem::size_of::<BlockMeta>()
+            + std::mem::size_of::<CompressedRuns>()
+    }
+
+    /// Bytes the flat `Vec<(u64, u64)>` representation would need.
+    pub fn plain_bytes(&self) -> usize {
+        self.len * std::mem::size_of::<(u64, u64)>()
+    }
+
+    /// The count at `index`, or `None` when absent: binary search over
+    /// the skip index, then decode of at most one block.
+    pub fn get(&self, index: u64) -> Option<u64> {
+        let block = self.skip.partition_point(|meta| meta.last_index < index);
+        let meta = self.skip.get(block)?;
+        if index < meta.first_index {
+            return None;
+        }
+        let mut pos = meta.byte_offset;
+        let mut current = 0u64;
+        for entry in 0..meta.len {
+            let raw = decode_varint(&self.bytes, &mut pos).expect("skip index covers the bytes");
+            current = if entry == 0 { raw } else { current + raw };
+            let count = decode_varint(&self.bytes, &mut pos).expect("entry has a count");
+            if current == index {
+                return Some(count);
+            }
+            if current > index {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// A zero-alloc streaming pass over the entries, in index order —
+    /// the single access path every consumer shares.
+    pub fn iter(&self) -> RunsCursor<'_> {
+        RunsCursor {
+            runs: self,
+            block: 0,
+            in_block: 0,
+            pos: 0,
+            prev: 0,
+        }
+    }
+
+    /// Decodes into the plain pair vector (tests, small runs).
+    pub fn to_vec(&self) -> Vec<(u64, u64)> {
+        self.iter().collect()
+    }
+
+    /// Folds sorted signed `(index, diff)` changes into this run: sums
+    /// matching indexes, admits new ones, and drops entries whose count
+    /// cancels to zero. Blocks whose index range meets no change are
+    /// copied **wholesale** (bytes + skip row); only overlapping blocks
+    /// are decoded and re-encoded, so the cost is
+    /// `O(|changes| + touched blocks + copied skip rows)`.
+    ///
+    /// # Errors
+    /// [`SignedMergeUnderflow`] when a merged count would go negative —
+    /// the changes were not computed against this base.
+    pub fn merge_signed(
+        &self,
+        changes: &[(u64, i64)],
+    ) -> Result<CompressedRuns, SignedMergeUnderflow> {
+        debug_assert!(changes.windows(2).all(|w| w[0].0 < w[1].0));
+        let mut builder = RunsBuilder::new();
+        let mut change = 0usize;
+        let apply = |index: u64, count: u64, diff: i64| -> Result<u64, SignedMergeUnderflow> {
+            u64::try_from(count as i128 + diff as i128).map_err(|_| SignedMergeUnderflow {
+                index,
+                count,
+                delta: diff,
+            })
+        };
+        for meta in &self.skip {
+            // Changes strictly below this block are insertions into the
+            // gap before it.
+            while let Some(&(index, diff)) =
+                changes.get(change).filter(|&&(i, _)| i < meta.first_index)
+            {
+                let merged = apply(index, 0, diff)?;
+                if merged > 0 {
+                    builder.push(index, merged);
+                }
+                change += 1;
+            }
+            let overlaps = changes
+                .get(change)
+                .is_some_and(|&(i, _)| i <= meta.last_index);
+            if !overlaps {
+                // Untouched block: raw copy, no re-encode.
+                builder.push_block_raw(meta, self.block_bytes(meta));
+                continue;
+            }
+            // Overlapping block: decode and two-pointer merge.
+            let mut pos = meta.byte_offset;
+            let mut current = 0u64;
+            for entry in 0..meta.len {
+                let raw =
+                    decode_varint(&self.bytes, &mut pos).expect("skip index covers the bytes");
+                current = if entry == 0 { raw } else { current + raw };
+                let count = decode_varint(&self.bytes, &mut pos).expect("entry has a count");
+                while let Some(&(index, diff)) = changes.get(change).filter(|&&(i, _)| i < current)
+                {
+                    let merged = apply(index, 0, diff)?;
+                    if merged > 0 {
+                        builder.push(index, merged);
+                    }
+                    change += 1;
+                }
+                match changes.get(change) {
+                    Some(&(index, diff)) if index == current => {
+                        let merged = apply(index, count, diff)?;
+                        if merged > 0 {
+                            builder.push(index, merged);
+                        }
+                        change += 1;
+                    }
+                    _ => builder.push(current, count),
+                }
+            }
+        }
+        // Changes past the last block are trailing insertions.
+        for &(index, diff) in &changes[change..] {
+            let merged = apply(index, 0, diff)?;
+            if merged > 0 {
+                builder.push(index, merged);
+            }
+        }
+        Ok(builder.finish())
+    }
+
+    /// K-way merges sorted runs, **summing** counts of equal indexes —
+    /// the sharded build's combine step. A block whose whole index range
+    /// precedes every other run's next entry is copied wholesale; the
+    /// per-entry heap path runs only where the runs interleave.
+    pub fn merge_many(runs: &[CompressedRuns]) -> CompressedRuns {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        /// One run's read head: the pre-decoded next entry, plus — when
+        /// that entry opened a fresh block — the block's skip row, which
+        /// is the wholesale-copy opportunity.
+        struct Head<'a> {
+            cursor: RunsCursor<'a>,
+            next: Option<(u64, u64)>,
+            head_block: Option<BlockMeta>,
+        }
+
+        impl Head<'_> {
+            fn advance(&mut self) {
+                self.head_block = self.cursor.block_at_head();
+                self.next = self.cursor.next();
+            }
+        }
+
+        let mut heads: Vec<Head<'_>> = runs
+            .iter()
+            .map(|r| {
+                let mut head = Head {
+                    cursor: r.iter(),
+                    next: None,
+                    head_block: None,
+                };
+                head.advance();
+                head
+            })
+            .collect();
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = heads
+            .iter()
+            .enumerate()
+            .filter_map(|(run, head)| head.next.map(|(index, _)| Reverse((index, run))))
+            .collect();
+
+        let mut builder = RunsBuilder::new();
+        // The entry merged most recently but not yet pushed: equal
+        // indexes from other runs still need summing into it.
+        let mut acc: Option<(u64, u64)> = None;
+        while let Some(Reverse((index, run))) = heap.pop() {
+            let head = &mut heads[run];
+            let (_, count) = head.next.expect("heap entries are pending");
+            match acc {
+                Some((i, ref mut c)) if i == index => *c += count,
+                _ => {
+                    if let Some(entry) = acc.take() {
+                        builder.push(entry.0, entry.1);
+                    }
+                    // Wholesale fast path: the pending entry heads a fresh
+                    // block whose entire range precedes every other run's
+                    // next index — transfer the block raw (head entry
+                    // included) and skip its decode.
+                    let other_min = heap.peek().map_or(u64::MAX, |&Reverse((i, _))| i);
+                    match head.head_block {
+                        Some(meta) if meta.last_index < other_min => {
+                            builder.push_block_raw(&meta, runs[run].block_bytes(&meta));
+                            head.cursor.skip_rest_of_block(&meta);
+                        }
+                        _ => acc = Some((index, count)),
+                    }
+                }
+            }
+            head.advance();
+            if let Some((next, _)) = head.next {
+                heap.push(Reverse((next, run)));
+            }
+        }
+        if let Some((index, count)) = acc {
+            builder.push(index, count);
+        }
+        builder.finish()
+    }
+
+    /// The raw bytes of one block. Skip rows are sorted by byte offset,
+    /// so the block's end is its successor's offset (binary-searched —
+    /// merges call this once per wholesale-copied block).
+    fn block_bytes(&self, meta: &BlockMeta) -> &[u8] {
+        let block = self
+            .skip
+            .partition_point(|m| m.byte_offset <= meta.byte_offset);
+        let end = self
+            .skip
+            .get(block)
+            .map_or(self.bytes.len(), |m| m.byte_offset);
+        &self.bytes[meta.byte_offset..end]
+    }
+}
+
+impl<'a> IntoIterator for &'a CompressedRuns {
+    type Item = (u64, u64);
+    type IntoIter = RunsCursor<'a>;
+
+    fn into_iter(self) -> RunsCursor<'a> {
+        self.iter()
+    }
+}
+
+/// The zero-alloc streaming decoder over a [`CompressedRuns`]: a plain
+/// `Iterator<Item = (u64, u64)>` holding only a byte position and the
+/// running index.
+#[derive(Debug, Clone)]
+pub struct RunsCursor<'a> {
+    runs: &'a CompressedRuns,
+    /// Current block id.
+    block: usize,
+    /// Entries already decoded from the current block.
+    in_block: u32,
+    /// Byte position of the next varint.
+    pos: usize,
+    /// Last decoded index (delta base within a block).
+    prev: u64,
+}
+
+impl RunsCursor<'_> {
+    /// When the cursor sits exactly at the head of an undecoded block,
+    /// that block's skip row — the wholesale-copy precondition.
+    fn block_at_head(&self) -> Option<BlockMeta> {
+        (self.in_block == 0).then(|| self.runs.skip.get(self.block).copied())?
+    }
+
+    /// Jumps past the remaining entries of `meta`, whose head the cursor
+    /// already decoded (the caller transferred the block raw instead of
+    /// decoding the tail). No-op for single-entry blocks — the head
+    /// decode already advanced past them.
+    fn skip_rest_of_block(&mut self, meta: &BlockMeta) {
+        if self.in_block == 0 {
+            debug_assert_eq!(meta.len, 1, "only a spent block leaves the head at 0");
+            return;
+        }
+        debug_assert_eq!(self.in_block, 1, "only the head entry was decoded");
+        self.pos = self
+            .runs
+            .skip
+            .get(self.block + 1)
+            .map_or(self.runs.bytes.len(), |next| next.byte_offset);
+        self.prev = meta.last_index;
+        self.block += 1;
+        self.in_block = 0;
+    }
+}
+
+impl Iterator for RunsCursor<'_> {
+    type Item = (u64, u64);
+
+    fn next(&mut self) -> Option<(u64, u64)> {
+        let meta = self.runs.skip.get(self.block)?;
+        let raw = decode_varint(&self.runs.bytes, &mut self.pos)?;
+        let index = if self.in_block == 0 {
+            raw
+        } else {
+            self.prev + raw
+        };
+        let count = decode_varint(&self.runs.bytes, &mut self.pos)?;
+        self.prev = index;
+        self.in_block += 1;
+        if self.in_block == meta.len {
+            self.block += 1;
+            self.in_block = 0;
+        }
+        Some((index, count))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let consumed: usize = self.runs.skip[..self.block]
+            .iter()
+            .map(|m| m.len as usize)
+            .sum::<usize>()
+            + self.in_block as usize;
+        let left = self.runs.len - consumed;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for RunsCursor<'_> {}
+
+/// Incremental writer of a [`CompressedRuns`]: entries stream in via
+/// [`RunsBuilder::push`] (strictly increasing, non-zero counts), whole
+/// untouched blocks via [`RunsBuilder::push_block_raw`].
+#[derive(Debug, Default)]
+pub struct RunsBuilder {
+    bytes: Vec<u8>,
+    skip: Vec<BlockMeta>,
+    len: usize,
+    total_mass: u64,
+    /// The block being filled (absent between blocks).
+    open: Option<BlockMeta>,
+    last_index: Option<u64>,
+}
+
+impl RunsBuilder {
+    /// An empty builder.
+    pub fn new() -> RunsBuilder {
+        RunsBuilder::default()
+    }
+
+    /// Appends one entry. Indexes must arrive strictly increasing and
+    /// counts non-zero (debug-asserted — every producer in this crate
+    /// upholds the run invariants by construction).
+    pub fn push(&mut self, index: u64, count: u64) {
+        debug_assert!(count > 0, "explicit zero count at {index}");
+        debug_assert!(
+            self.last_index.is_none_or(|last| last < index),
+            "index {index} does not increase strictly"
+        );
+        match &mut self.open {
+            Some(meta) => {
+                encode_varint(&mut self.bytes, index - meta.last_index);
+                encode_varint(&mut self.bytes, count);
+                meta.last_index = index;
+                meta.len += 1;
+                meta.mass = meta.mass.wrapping_add(count);
+                if meta.len as usize == BLOCK_ENTRIES {
+                    self.flush();
+                }
+            }
+            None => {
+                let byte_offset = self.bytes.len();
+                encode_varint(&mut self.bytes, index);
+                encode_varint(&mut self.bytes, count);
+                self.open = Some(BlockMeta {
+                    first_index: index,
+                    last_index: index,
+                    byte_offset,
+                    len: 1,
+                    mass: count,
+                });
+            }
+        }
+        self.last_index = Some(index);
+        self.len += 1;
+        self.total_mass = self.total_mass.wrapping_add(count);
+    }
+
+    /// Appends a whole block verbatim: `bytes` are the block's encoded
+    /// stream exactly as described by `meta`. Any partially filled block
+    /// is flushed first (blocks are self-contained, so boundaries need
+    /// not align). The block's indexes must all exceed the last pushed
+    /// index.
+    pub fn push_block_raw(&mut self, meta: &BlockMeta, bytes: &[u8]) {
+        debug_assert!(
+            self.last_index.is_none_or(|last| last < meta.first_index),
+            "raw block starts at {} behind cursor {:?}",
+            meta.first_index,
+            self.last_index
+        );
+        self.flush();
+        let byte_offset = self.bytes.len();
+        self.bytes.extend_from_slice(bytes);
+        self.skip.push(BlockMeta {
+            byte_offset,
+            ..*meta
+        });
+        self.last_index = Some(meta.last_index);
+        self.len += meta.len as usize;
+        self.total_mass = self.total_mass.wrapping_add(meta.mass);
+    }
+
+    /// Closes the open block, if any.
+    fn flush(&mut self) {
+        if let Some(meta) = self.open.take() {
+            self.skip.push(meta);
+        }
+    }
+
+    /// Finishes the run. The vectors are shrunk to fit: the run is
+    /// long-lived (retained catalogs, maintenance state), so push-growth
+    /// slack would be permanent resident memory — and would inflate
+    /// [`CompressedRuns::size_bytes`], which reports capacity.
+    pub fn finish(mut self) -> CompressedRuns {
+        self.flush();
+        self.bytes.shrink_to_fit();
+        self.skip.shrink_to_fit();
+        CompressedRuns {
+            bytes: self.bytes,
+            skip: self.skip,
+            len: self.len,
+            total_mass: self.total_mass,
+        }
+    }
+}
+
+/// LEB128 append.
+fn encode_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// LEB128 read at `*pos`, advancing it. `None` on truncation or a varint
+/// longer than [`MAX_VARINT`] bytes.
+fn decode_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut value = 0u64;
+    for i in 0..MAX_VARINT {
+        let byte = *bytes.get(*pos + i)?;
+        value |= ((byte & 0x7f) as u64) << (7 * i);
+        if byte & 0x80 == 0 {
+            *pos += i + 1;
+            return Some(value);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runs_of(entries: &[(u64, u64)]) -> CompressedRuns {
+        CompressedRuns::from_entries(entries)
+    }
+
+    #[test]
+    fn round_trips_and_looks_up() {
+        let entries: Vec<(u64, u64)> = (0..1000u64).map(|i| (i * i + 7, i + 1)).collect();
+        let runs = runs_of(&entries);
+        assert_eq!(runs.to_vec(), entries);
+        assert_eq!(runs.len(), entries.len());
+        assert_eq!(
+            runs.total_mass(),
+            entries.iter().map(|&(_, c)| c).sum::<u64>()
+        );
+        for &(index, count) in &entries {
+            assert_eq!(runs.get(index), Some(count), "index {index}");
+        }
+        assert_eq!(runs.get(0), None);
+        assert_eq!(runs.get(8), Some(2));
+        assert_eq!(runs.get(9), None);
+        assert_eq!(runs.get(u64::MAX), None);
+        // Blocks hold at most BLOCK_ENTRIES entries each.
+        assert!(runs
+            .skip_index()
+            .iter()
+            .all(|m| m.len as usize <= BLOCK_ENTRIES));
+        assert_eq!(
+            runs.skip_index()
+                .iter()
+                .map(|m| m.len as usize)
+                .sum::<usize>(),
+            entries.len()
+        );
+    }
+
+    #[test]
+    fn extreme_indexes_and_counts_round_trip() {
+        let entries = vec![
+            (0u64, 1u64),
+            (1, u64::MAX),
+            (1 << 35, 1 << 50),
+            (u64::MAX - 1, 3),
+            (u64::MAX, 9),
+        ];
+        let runs = runs_of(&entries);
+        assert_eq!(runs.to_vec(), entries);
+        assert_eq!(runs.get(u64::MAX), Some(9));
+        assert_eq!(runs.get(u64::MAX - 1), Some(3));
+        assert_eq!(runs.get(1), Some(u64::MAX));
+    }
+
+    #[test]
+    fn compresses_clustered_indexes() {
+        // Small gaps, small counts: the representative catalog shape.
+        let entries: Vec<(u64, u64)> = (0..100_000u64).map(|i| (i * 3, 1 + i % 7)).collect();
+        let runs = runs_of(&entries);
+        assert!(
+            runs.size_bytes() * 3 < runs.plain_bytes(),
+            "{} vs {} plain",
+            runs.size_bytes(),
+            runs.plain_bytes()
+        );
+    }
+
+    #[test]
+    fn content_equality_ignores_block_boundaries() {
+        let entries: Vec<(u64, u64)> = (0..500u64).map(|i| (i * 5 + 1, i + 1)).collect();
+        let uniform = runs_of(&entries);
+        // Same content, different boundaries: build in two raw chunks.
+        let a = runs_of(&entries[..100]);
+        let b = runs_of(&entries[100..]);
+        let mut builder = RunsBuilder::new();
+        for meta in a.skip_index() {
+            builder.push_block_raw(meta, a.block_bytes(meta));
+        }
+        for meta in b.skip_index() {
+            builder.push_block_raw(meta, b.block_bytes(meta));
+        }
+        let stitched = builder.finish();
+        assert_ne!(stitched.skip_index().len(), uniform.skip_index().len());
+        assert_eq!(stitched, uniform);
+    }
+
+    #[test]
+    fn merge_signed_sums_admits_cancels_and_copies() {
+        let entries: Vec<(u64, u64)> = (0..1000u64).map(|i| (i * 2, 10)).collect();
+        let runs = runs_of(&entries);
+        // One change in the middle block; everything else raw-copies.
+        let merged = runs.merge_signed(&[(500 * 2, 5)]).unwrap();
+        let mut expected = entries.clone();
+        expected[500].1 = 15;
+        assert_eq!(merged.to_vec(), expected);
+
+        // Admission (gap + trailing), cancellation, and summation at once.
+        let merged = runs
+            .merge_signed(&[(0, -10), (1, 4), (998 * 2, 1), (5000, 7)])
+            .unwrap();
+        let mut expected: Vec<(u64, u64)> = entries.clone();
+        expected[998].1 = 11;
+        expected.remove(0);
+        expected.insert(0, (1, 4));
+        expected.push((5000, 7));
+        assert_eq!(merged.to_vec(), expected);
+
+        // Underflow refused with the offending coordinates.
+        let err = runs.merge_signed(&[(4, -11)]).unwrap_err();
+        assert_eq!(
+            err,
+            SignedMergeUnderflow {
+                index: 4,
+                count: 10,
+                delta: -11
+            }
+        );
+        // A negative diff on an absent index underflows from 0.
+        assert!(runs.merge_signed(&[(3, -1)]).is_err());
+    }
+
+    #[test]
+    fn merge_signed_on_empty_base() {
+        let empty = CompressedRuns::new();
+        let merged = empty.merge_signed(&[(3, 5), (9, 2)]).unwrap();
+        assert_eq!(merged.to_vec(), vec![(3, 5), (9, 2)]);
+        assert!(empty.merge_signed(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn merge_many_sums_duplicates() {
+        let merged = CompressedRuns::merge_many(&[
+            runs_of(&[(0, 1), (5, 2), (9, 1)]),
+            runs_of(&[(5, 3), (7, 1)]),
+            runs_of(&[]),
+            runs_of(&[(0, 4)]),
+        ]);
+        assert_eq!(merged.to_vec(), vec![(0, 5), (5, 5), (7, 1), (9, 1)]);
+    }
+
+    #[test]
+    fn merge_many_wholesale_path_matches_interleaved() {
+        // Disjoint index ranges: every block takes the raw-copy path.
+        let a: Vec<(u64, u64)> = (0..400u64).map(|i| (i, i + 1)).collect();
+        let b: Vec<(u64, u64)> = (0..400u64).map(|i| (1000 + i, i + 1)).collect();
+        let merged = CompressedRuns::merge_many(&[runs_of(&a), runs_of(&b)]);
+        let expected: Vec<(u64, u64)> = a.iter().chain(b.iter()).copied().collect();
+        assert_eq!(merged.to_vec(), expected);
+
+        // Heavily interleaved ranges: the per-entry path, same contract.
+        let a: Vec<(u64, u64)> = (0..400u64).map(|i| (i * 2, 1)).collect();
+        let b: Vec<(u64, u64)> = (0..400u64).map(|i| (i * 2 + 1, 2)).collect();
+        let c: Vec<(u64, u64)> = (0..400u64).map(|i| (i * 2, 3)).collect();
+        let merged = CompressedRuns::merge_many(&[runs_of(&a), runs_of(&b), runs_of(&c)]);
+        let mut expected: Vec<(u64, u64)> = (0..400u64).map(|i| (i * 2, 4)).collect();
+        expected.extend((0..400u64).map(|i| (i * 2 + 1, 2)));
+        expected.sort_unstable_by_key(|&(i, _)| i);
+        assert_eq!(merged.to_vec(), expected);
+    }
+
+    #[test]
+    fn from_encoded_validates() {
+        let entries: Vec<(u64, u64)> = (0..300u64).map(|i| (i * 7, i + 1)).collect();
+        let runs = runs_of(&entries);
+        let lens: Vec<u32> = runs.skip_index().iter().map(|m| m.len).collect();
+        let restored = CompressedRuns::from_encoded(runs.bytes().to_vec(), &lens).unwrap();
+        assert_eq!(restored, runs);
+        assert_eq!(restored.skip_index(), runs.skip_index());
+
+        // Truncated bytes.
+        let mut short = runs.bytes().to_vec();
+        short.pop();
+        assert!(CompressedRuns::from_encoded(short, &lens).is_err());
+        // Trailing garbage.
+        let mut long = runs.bytes().to_vec();
+        long.push(0);
+        assert!(CompressedRuns::from_encoded(long, &lens).is_err());
+        // Wrong block lens.
+        assert!(CompressedRuns::from_encoded(runs.bytes().to_vec(), &lens[1..]).is_err());
+        // Zero count.
+        let mut bytes = Vec::new();
+        encode_varint(&mut bytes, 5);
+        encode_varint(&mut bytes, 0);
+        assert!(CompressedRuns::from_encoded(bytes, &[1]).is_err());
+        // Zero delta (duplicate index).
+        let mut bytes = Vec::new();
+        encode_varint(&mut bytes, 5);
+        encode_varint(&mut bytes, 1);
+        encode_varint(&mut bytes, 0);
+        encode_varint(&mut bytes, 1);
+        assert!(CompressedRuns::from_encoded(bytes, &[2]).is_err());
+        // Oversized block declaration.
+        assert!(CompressedRuns::from_encoded(Vec::new(), &[0]).is_err());
+        assert!(CompressedRuns::from_encoded(Vec::new(), &[BLOCK_ENTRIES as u32 + 1]).is_err());
+    }
+
+    #[test]
+    fn varints_cover_all_widths() {
+        // 1-byte through 10-byte varints round-trip through the stream.
+        let mut out = Vec::new();
+        let values: Vec<u64> = (0..10)
+            .map(|i| 1u64.checked_shl(7 * i).unwrap_or(u64::MAX))
+            .collect();
+        for &v in &values {
+            encode_varint(&mut out, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(decode_varint(&out, &mut pos), Some(v));
+        }
+        assert_eq!(pos, out.len());
+        assert_eq!(decode_varint(&out, &mut pos), None, "exhausted");
+    }
+
+    #[test]
+    fn empty_run() {
+        let runs = CompressedRuns::new();
+        assert!(runs.is_empty());
+        assert_eq!(runs.iter().count(), 0);
+        assert_eq!(runs.get(0), None);
+        assert_eq!(runs.to_vec(), vec![]);
+        assert_eq!(runs, CompressedRuns::from_entries(&[]));
+    }
+
+    #[test]
+    fn cursor_is_exact_size() {
+        let entries: Vec<(u64, u64)> = (0..333u64).map(|i| (i, 1)).collect();
+        let runs = runs_of(&entries);
+        let mut cursor = runs.iter();
+        assert_eq!(cursor.len(), 333);
+        cursor.next();
+        assert_eq!(cursor.len(), 332);
+        assert_eq!(cursor.count(), 332);
+    }
+}

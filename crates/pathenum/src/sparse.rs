@@ -9,39 +9,54 @@
 //! build pipeline reach `(|L|, k)` configurations whose dense vector would
 //! not even allocate (see [`crate::catalog::DENSE_DOMAIN_LIMIT`]).
 //!
+//! ## Storage: block-compressed runs
+//!
+//! The entries live in a [`CompressedRuns`]: ≤ 128-entry blocks of
+//! delta-varint `(index_gap, count)` pairs behind a per-block skip index
+//! (see [`crate::runs`] for the format). Canonical indexes cluster by
+//! shared label prefixes, so gaps are small and the flat 16 B/entry of a
+//! `Vec<(u64, u64)>` compresses to a few bytes/entry. Consumers never see
+//! the pair vector: [`SparseCatalog::iter`] hands out the zero-alloc
+//! block cursor, [`SparseCatalog::selectivity_at`] binary-searches the
+//! skip index and decodes one block, and the merges below operate at
+//! block granularity (untouched blocks copy wholesale, without a
+//! re-encode).
+//!
 //! Construction mirrors the dense builders:
 //!
 //! * [`SparseCatalog::compute`] — the shared-prefix trie DFS, emitting one
 //!   entry per non-empty relation;
 //! * [`SparseCatalog::compute_parallel`] — sharded per-thread counting
-//!   over `(label, source-range)` tasks; each worker sorts and coalesces
-//!   its local entries into a run, and the runs are combined by a k-way
-//!   heap merge that sums counts of equal indexes;
+//!   over `(label, source-range)` tasks; each worker sorts, coalesces,
+//!   and **compresses** its local entries into a run, and the runs are
+//!   combined by [`CompressedRuns::merge_many`] (k-way heap merge with
+//!   block-wise wholesale copies) that sums counts of equal indexes;
 //! * [`SparseCatalog::from_dense`] / [`SparseCatalog::to_dense`] — lossless
 //!   conversions (the dense direction is guarded by the materialization
 //!   limit), which make the dense catalog the test oracle for this one;
 //! * [`SparseCatalog::merge_delta`] — incremental maintenance: folds a
 //!   signed [`crate::delta::SparseDeltaRun`] (the outcome of
 //!   [`crate::delta::compute_delta`] over a graph change) into this
-//!   catalog, producing the catalog of the changed graph without a
-//!   recount.
+//!   catalog via [`CompressedRuns::merge_signed`] — blocks the delta does
+//!   not touch transfer raw — producing the catalog of the changed graph
+//!   without a recount.
 //!
 //! ## The run invariants
 //!
 //! Every operation above relies on — and preserves — the same contract
-//! over `entries`:
+//! over the compressed entry stream:
 //!
 //! 1. **Run ordering.** Entries are sorted by canonical index, *strictly*
-//!    increasing: one entry per realized path, no duplicates. Binary
-//!    search gives `O(log nnz)` lookups, and any two runs (or a run and a
-//!    delta) merge in one linear two-pointer pass.
+//!    increasing: one entry per realized path, no duplicates. The skip
+//!    index gives `O(log #blocks + B)` lookups, and any two runs (or a
+//!    run and a delta) merge in one linear block-wise pass.
 //! 2. **No explicit zeros.** Every stored count is `> 0`; an index absent
 //!    from the run *is* the zero. This is what makes the representation
 //!    size `O(realized paths)` and lets the histogram builders charge
 //!    O(1) per zero gap.
 //! 3. **Merge = index-wise sum.** Per-thread shards each count a disjoint
-//!    source range, so equal indexes across runs *add* (the k-way heap
-//!    merge does exactly that, yielding invariants 1–2 again).
+//!    source range, so equal indexes across runs *add* (the k-way merge
+//!    does exactly that, yielding invariants 1–2 again).
 //! 4. **Cancellation on delta merge.** A delta entry is a signed
 //!    difference; summing it into the base count may produce 0, and the
 //!    merged run must *drop* that entry (invariant 2), not store a zero —
@@ -49,12 +64,15 @@
 //!    recount of the changed graph. A sum below zero means the delta was
 //!    computed against a different base and is refused
 //!    ([`CatalogError::DeltaUnderflow`]).
+//! 5. **Block boundaries are a storage artifact.** Wholesale copies keep
+//!    the source's boundaries, re-encodes re-chunk at the block capacity;
+//!    equality ([`PartialEq`]) and every consumer observe the *decoded
+//!    stream* only, so differently-blocked runs with equal content are
+//!    the same catalog.
 //!
 //! Entries are length-partitioned for free: the canonical encoding is
 //! length-major, so a sort by index groups paths by length first.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -64,16 +82,16 @@ use crate::catalog::{check_dense_domain, CatalogError, SelectivityCatalog};
 use crate::encoding::PathEncoding;
 use crate::parallel::build_tasks;
 use crate::relation::PathRelation;
+use crate::runs::{CompressedRuns, RunsCursor};
 
-/// The sparse table of path selectivities: sorted, duplicate-free
-/// `(canonical_index, count)` entries with `count > 0`; every index absent
-/// from the entries has selectivity 0.
+/// The sparse table of path selectivities: block-compressed, sorted,
+/// duplicate-free `(canonical_index, count)` entries with `count > 0`;
+/// every index absent from the entries has selectivity 0.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SparseCatalog {
     encoding: PathEncoding,
     /// Sorted by canonical index, strictly increasing, counts non-zero.
-    entries: Vec<(u64, u64)>,
-    total_mass: u64,
+    runs: CompressedRuns,
 }
 
 impl SparseCatalog {
@@ -105,14 +123,17 @@ impl SparseCatalog {
             }
         }
         entries.sort_unstable_by_key(|&(index, _)| index);
-        Ok(Self::from_sorted_entries(encoding, entries))
+        Ok(SparseCatalog {
+            encoding,
+            runs: CompressedRuns::from_entries(&entries),
+        })
     }
 
     /// Computes the sparse catalog with `threads` workers (0 ⇒ one per
     /// core): the label × source-range task grid is counted into
-    /// per-thread shards, each shard is sorted and coalesced into a run,
-    /// and the runs are k-way merged. Produces entries identical to
-    /// [`SparseCatalog::compute`].
+    /// per-thread shards, each shard is sorted, coalesced, and compressed
+    /// into a run, and the runs are k-way merged at block granularity.
+    /// Produces entries identical to [`SparseCatalog::compute`].
     ///
     /// # Errors
     /// [`CatalogError::DomainTooLarge`] as for [`SparseCatalog::compute`].
@@ -135,7 +156,7 @@ impl SparseCatalog {
 
         let tasks = build_tasks(graph, threads);
         let next_task = AtomicUsize::new(0);
-        let runs: Mutex<Vec<Vec<(u64, u64)>>> = Mutex::new(Vec::with_capacity(threads));
+        let runs: Mutex<Vec<CompressedRuns>> = Mutex::new(Vec::with_capacity(threads));
 
         std::thread::scope(|scope| {
             for _ in 0..threads {
@@ -165,27 +186,58 @@ impl SparseCatalog {
                     }
                     // Shard-local sort + coalesce: the same path appears
                     // once per source-range task it was counted under.
+                    // Compressing here bounds the peak memory of the
+                    // combine step to the compressed shards.
                     coalesce_sorted(&mut local);
-                    runs.lock().expect("run mutex poisoned").push(local);
+                    let shard = CompressedRuns::from_entries(&local);
+                    runs.lock().expect("run mutex poisoned").push(shard);
                 });
             }
         });
 
         let runs = runs.into_inner().expect("run mutex poisoned");
-        Ok(Self::from_sorted_entries(encoding, merge_runs(runs)))
+        Ok(SparseCatalog {
+            encoding,
+            runs: CompressedRuns::merge_many(&runs),
+        })
     }
 
     /// Converts a dense catalog by dropping its zero entries. Lossless:
     /// [`SparseCatalog::to_dense`] restores the original exactly.
     pub fn from_dense(catalog: &SelectivityCatalog) -> SparseCatalog {
-        let entries: Vec<(u64, u64)> = catalog
-            .counts()
-            .iter()
-            .enumerate()
-            .filter(|(_, &count)| count > 0)
-            .map(|(index, &count)| (index as u64, count))
-            .collect();
-        Self::from_sorted_entries(*catalog.encoding(), entries)
+        let runs = CompressedRuns::from_sorted_iter(
+            catalog
+                .counts()
+                .iter()
+                .enumerate()
+                .filter(|(_, &count)| count > 0)
+                .map(|(index, &count)| (index as u64, count)),
+        );
+        SparseCatalog {
+            encoding: *catalog.encoding(),
+            runs,
+        }
+    }
+
+    /// Wraps an already-validated compressed run (snapshot restore). The
+    /// entries must uphold the module invariants and stay inside the
+    /// encoding's domain.
+    ///
+    /// # Errors
+    /// [`CatalogError::CountsLengthMismatch`] when an entry index falls
+    /// outside `Σ |L|^i` — the run was encoded for a different domain.
+    pub fn from_runs(
+        encoding: PathEncoding,
+        runs: CompressedRuns,
+    ) -> Result<SparseCatalog, CatalogError> {
+        let domain = encoding.domain_size() as u64;
+        if let Some(meta) = runs.skip_index().last().filter(|m| m.last_index >= domain) {
+            return Err(CatalogError::CountsLengthMismatch {
+                expected: encoding.domain_size(),
+                found: meta.last_index as usize,
+            });
+        }
+        Ok(SparseCatalog { encoding, runs })
     }
 
     /// Whether [`SparseCatalog::to_dense`] would succeed — a
@@ -208,18 +260,18 @@ impl SparseCatalog {
     pub fn to_dense(&self) -> Result<SelectivityCatalog, CatalogError> {
         check_dense_domain(&self.encoding)?;
         let mut counts = vec![0u64; self.encoding.domain_size()];
-        for &(index, count) in &self.entries {
+        for (index, count) in self.runs.iter() {
             counts[index as usize] = count;
         }
         SelectivityCatalog::try_from_counts(self.encoding, counts)
     }
 
     /// Folds a signed delta run into this catalog, yielding the catalog of
-    /// the changed graph: a linear two-pointer merge that sums matching
-    /// indexes, admits new ones, and **cancels** entries whose count
-    /// reaches zero (module invariant 4). Bit-identical to recounting the
-    /// changed graph from scratch — the property `tests/sparse_equivalence.rs`
-    /// exercises end-to-end.
+    /// the changed graph: a block-wise merge that copies untouched blocks
+    /// wholesale, sums matching indexes, admits new ones, and **cancels**
+    /// entries whose count reaches zero (module invariant 4).
+    /// Bit-identical to recounting the changed graph from scratch — the
+    /// property `tests/sparse_equivalence.rs` exercises end-to-end.
     ///
     /// # Errors
     /// [`CatalogError::DeltaEncodingMismatch`] when the run's encoding
@@ -236,53 +288,18 @@ impl SparseCatalog {
                 delta: (delta.encoding().label_count(), delta.encoding().max_len()),
             });
         }
-        let changes = delta.entries();
-        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.entries.len() + changes.len());
-        let mut base = self.entries.iter().copied().peekable();
-        let apply = |index: u64, count: u64, diff: i64| -> Result<u64, CatalogError> {
-            let summed = count as i128 + diff as i128;
-            u64::try_from(summed).map_err(|_| CatalogError::DeltaUnderflow {
-                canonical_index: index,
-                count,
-                delta: diff,
-            })
-        };
-        for &(index, diff) in changes {
-            // Copy base entries below the change point unchanged.
-            while let Some(&entry) = base.peek().filter(|&&(i, _)| i < index) {
-                merged.push(entry);
-                base.next();
-            }
-            let count = match base.peek() {
-                Some(&(i, count)) if i == index => {
-                    base.next();
-                    count
-                }
-                _ => 0,
-            };
-            let summed = apply(index, count, diff)?;
-            if summed > 0 {
-                merged.push((index, summed));
-            }
-        }
-        merged.extend(base);
-        Ok(Self::from_sorted_entries(self.encoding, merged))
-    }
-
-    /// Wraps pre-sorted entries, asserting the sparse invariants in debug
-    /// builds.
-    fn from_sorted_entries(encoding: PathEncoding, entries: Vec<(u64, u64)>) -> SparseCatalog {
-        debug_assert!(
-            entries.windows(2).all(|w| w[0].0 < w[1].0),
-            "entries must be strictly increasing"
-        );
-        debug_assert!(entries.iter().all(|&(_, count)| count > 0));
-        let total_mass = entries.iter().map(|&(_, count)| count).sum();
-        SparseCatalog {
-            encoding,
-            entries,
-            total_mass,
-        }
+        let runs =
+            self.runs
+                .merge_signed(delta.entries())
+                .map_err(|e| CatalogError::DeltaUnderflow {
+                    canonical_index: e.index,
+                    count: e.count,
+                    delta: e.delta,
+                })?;
+        Ok(SparseCatalog {
+            encoding: self.encoding,
+            runs,
+        })
     }
 
     /// The selectivity `f(ℓ)` of `path` (0 when unrealized).
@@ -294,15 +311,10 @@ impl SparseCatalog {
         self.selectivity_at(self.encoding.encode(path) as u64)
     }
 
-    /// The selectivity at a canonical index (binary search, O(log nnz)).
+    /// The selectivity at a canonical index: binary search over the skip
+    /// index, then one block decode — `O(log #blocks + B)`.
     pub fn selectivity_at(&self, canonical_index: u64) -> u64 {
-        match self
-            .entries
-            .binary_search_by_key(&canonical_index, |&(index, _)| index)
-        {
-            Ok(pos) => self.entries[pos].1,
-            Err(_) => 0,
-        }
+        self.runs.get(canonical_index).unwrap_or(0)
     }
 
     /// The canonical encoding (for permuting into domain orderings).
@@ -311,16 +323,25 @@ impl SparseCatalog {
         &self.encoding
     }
 
-    /// The sorted non-zero `(canonical_index, count)` entries.
+    /// A zero-alloc streaming pass over the non-zero
+    /// `(canonical_index, count)` entries, sorted by index — the single
+    /// access path (there is no pair vector to borrow).
     #[inline]
-    pub fn entries(&self) -> &[(u64, u64)] {
-        &self.entries
+    pub fn iter(&self) -> RunsCursor<'_> {
+        self.runs.iter()
+    }
+
+    /// The underlying block-compressed run (block-granular consumers:
+    /// snapshots, mergers, footprint reports).
+    #[inline]
+    pub fn runs(&self) -> &CompressedRuns {
+        &self.runs
     }
 
     /// Number of realized (non-zero) paths.
     #[inline]
     pub fn nonzero_count(&self) -> usize {
-        self.entries.len()
+        self.runs.len()
     }
 
     /// Domain size `Σ |L|^i` — the *logical* length, zeros included.
@@ -342,20 +363,28 @@ impl SparseCatalog {
 
     /// Sum of all selectivities.
     pub fn total_mass(&self) -> u64 {
-        self.total_mass
+        self.runs.total_mass()
     }
 
     /// Iterates `(path, f(path))` over the realized paths in canonical
     /// order.
     pub fn iter_nonzero(&self) -> impl Iterator<Item = (Vec<LabelId>, u64)> + '_ {
-        self.entries
+        self.runs
             .iter()
-            .map(move |&(index, count)| (self.encoding.decode(index as usize), count))
+            .map(move |(index, count)| (self.encoding.decode(index as usize), count))
     }
 
-    /// Retained bytes of this representation (entries only).
+    /// Resident bytes of this representation: compressed entry stream +
+    /// skip index + struct overhead — the honest footprint, not just the
+    /// payload.
     pub fn size_bytes(&self) -> usize {
-        self.entries.len() * std::mem::size_of::<(u64, u64)>()
+        self.runs.size_bytes() + std::mem::size_of::<PathEncoding>()
+    }
+
+    /// Bytes the flat `Vec<(u64, u64)>` pair representation would need —
+    /// the baseline the compression ratio is reported against.
+    pub fn plain_bytes(&self) -> usize {
+        self.runs.plain_bytes()
     }
 
     /// Bytes the equivalent dense count vector would need, computed in
@@ -408,32 +437,6 @@ fn coalesce_sorted(entries: &mut Vec<(u64, u64)>) {
         }
     }
     entries.truncate(write);
-}
-
-/// K-way merges sorted runs, summing counts of equal indexes.
-fn merge_runs(runs: Vec<Vec<(u64, u64)>>) -> Vec<(u64, u64)> {
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-    let mut cursors = vec![0usize; runs.len()];
-    for (run_id, run) in runs.iter().enumerate() {
-        if let Some(&(index, _)) = run.first() {
-            heap.push(Reverse((index, run_id)));
-        }
-    }
-    let mut merged: Vec<(u64, u64)> =
-        Vec::with_capacity(runs.iter().map(Vec::len).max().unwrap_or(0));
-    while let Some(Reverse((index, run_id))) = heap.pop() {
-        let cursor = cursors[run_id];
-        let count = runs[run_id][cursor].1;
-        match merged.last_mut() {
-            Some(last) if last.0 == index => last.1 += count,
-            _ => merged.push((index, count)),
-        }
-        cursors[run_id] = cursor + 1;
-        if let Some(&(next_index, _)) = runs[run_id].get(cursor + 1) {
-            heap.push(Reverse((next_index, run_id)));
-        }
-    }
-    merged
 }
 
 #[cfg(test)]
@@ -498,13 +501,32 @@ mod tests {
     }
 
     #[test]
-    fn iter_nonzero_is_sorted_and_positive() {
+    fn iter_is_sorted_and_positive() {
         let g = dense_graph(30, 2, 3);
         let sparse = SparseCatalog::compute(&g, 3).unwrap();
-        let entries = sparse.entries();
+        let entries: Vec<(u64, u64)> = sparse.iter().collect();
         assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
         assert!(entries.iter().all(|&(_, c)| c > 0));
         assert_eq!(sparse.iter_nonzero().count(), sparse.nonzero_count());
+    }
+
+    #[test]
+    fn compressed_footprint_beats_plain_pairs() {
+        let g = dense_graph(60, 4, 21);
+        let sparse = SparseCatalog::compute(&g, 4).unwrap();
+        assert!(sparse.nonzero_count() > 100, "{}", sparse.nonzero_count());
+        assert!(
+            sparse.size_bytes() < sparse.plain_bytes(),
+            "compressed {} must undercut plain {}",
+            sparse.size_bytes(),
+            sparse.plain_bytes()
+        );
+        // The skip index and struct overhead are part of the report.
+        assert!(
+            sparse.size_bytes()
+                > sparse.runs().bytes().len() + std::mem::size_of_val(sparse.runs().skip_index())
+                    - 1
+        );
     }
 
     #[test]
@@ -532,6 +554,19 @@ mod tests {
     }
 
     #[test]
+    fn from_runs_validates_the_domain() {
+        let encoding = PathEncoding::new(2, 2); // domain = 2 + 4 = 6
+        let ok = CompressedRuns::from_entries(&[(0, 3), (5, 1)]);
+        let catalog = SparseCatalog::from_runs(encoding, ok).unwrap();
+        assert_eq!(catalog.selectivity_at(5), 1);
+        let outside = CompressedRuns::from_entries(&[(0, 3), (6, 1)]);
+        assert!(matches!(
+            SparseCatalog::from_runs(encoding, outside),
+            Err(CatalogError::CountsLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
     fn merge_delta_sums_cancels_and_admits() {
         // A chain leaves most of the domain unrealized, so cancellation,
         // admission, and untouched entries are all exercised.
@@ -541,8 +576,8 @@ mod tests {
         b.add_edge_named(2, "a", 3);
         let g = b.build();
         let base = SparseCatalog::compute(&g, 3).unwrap();
-        let (i0, c0) = base.entries()[0];
-        let (i1, c1) = base.entries()[1];
+        let (i0, c0) = base.iter().next().unwrap();
+        let (i1, c1) = base.iter().nth(1).unwrap();
         let absent = (0..base.len() as u64)
             .find(|&i| base.selectivity_at(i) == 0)
             .expect("some path is unrealized");
@@ -582,16 +617,5 @@ mod tests {
             base.merge_delta(&other),
             Err(CatalogError::DeltaEncodingMismatch { .. })
         ));
-    }
-
-    #[test]
-    fn merge_runs_sums_duplicates() {
-        let merged = merge_runs(vec![
-            vec![(0, 1), (5, 2), (9, 1)],
-            vec![(5, 3), (7, 1)],
-            vec![],
-            vec![(0, 4)],
-        ]);
-        assert_eq!(merged, vec![(0, 5), (5, 5), (7, 1), (9, 1)]);
     }
 }

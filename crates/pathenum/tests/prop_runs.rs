@@ -1,0 +1,173 @@
+//! Property tests for the block-compressed run representation: the
+//! compressed form is a lossless codec for arbitrary sorted runs —
+//! including index gaps spanning every LEB128 width (1–10 bytes) and
+//! indexes adjacent to `u64::MAX` — and the block-wise signed merge is
+//! bit-identical to the plain two-pointer pair merge under random churn.
+
+use phe_pathenum::runs::CompressedRuns;
+use proptest::prelude::*;
+
+/// Builds a strictly increasing entry run whose consecutive gaps exercise
+/// the chosen varint widths: `width` selects the byte-length band of the
+/// gap (`[2^(7w), 2^(7(w+1)))`, clamped for the widest band), so a single
+/// generated run mixes 1-byte through 10-byte deltas.
+fn entries_from_parts(parts: &[(u32, u64, u64)]) -> Vec<(u64, u64)> {
+    let mut entries: Vec<(u64, u64)> = Vec::with_capacity(parts.len());
+    let mut index: Option<u64> = None;
+    for &(width, raw_gap, raw_count) in parts {
+        let width = width % 10;
+        let base = if width == 0 {
+            1u64
+        } else {
+            1u64 << (7 * width)
+        };
+        let span = base.saturating_mul(127);
+        let gap = base.saturating_add(raw_gap % span);
+        let next = match index {
+            None => raw_gap % gap.max(1),
+            Some(prev) => match prev.checked_add(gap) {
+                Some(next) => next,
+                None => break, // ran off the index space; keep what we have
+            },
+        };
+        index = Some(next);
+        // Counts spread over every varint width, capped at 2⁶² so any
+        // count difference fits the i64 a signed delta carries (the
+        // real delta pipeline has the same signed-difference domain).
+        let count = (raw_count % (1u64 << 62)).max(1);
+        entries.push((next, count));
+    }
+    entries
+}
+
+/// The plain-pair reference for [`CompressedRuns::merge_signed`]: the
+/// two-pointer merge the catalog used before block compression.
+fn plain_signed_merge(base: &[(u64, u64)], changes: &[(u64, i64)]) -> Vec<(u64, u64)> {
+    let mut merged: Vec<(u64, u64)> = Vec::with_capacity(base.len() + changes.len());
+    let mut base_iter = base.iter().copied().peekable();
+    for &(index, diff) in changes {
+        while let Some(&entry) = base_iter.peek().filter(|&&(i, _)| i < index) {
+            merged.push(entry);
+            base_iter.next();
+        }
+        let count = match base_iter.peek() {
+            Some(&(i, count)) if i == index => {
+                base_iter.next();
+                count
+            }
+            _ => 0,
+        };
+        let summed = u64::try_from(count as i128 + diff as i128).expect("valid by construction");
+        if summed > 0 {
+            merged.push((index, summed));
+        }
+    }
+    merged.extend(base_iter);
+    merged
+}
+
+/// The signed difference that turns `base` into `target` — always a valid
+/// change set (no underflow), and it exercises summation, admission, and
+/// cancellation in one merge.
+fn diff_of(base: &[(u64, u64)], target: &[(u64, u64)]) -> Vec<(u64, i64)> {
+    let mut changes = Vec::new();
+    let (mut b, mut t) = (0usize, 0usize);
+    while b < base.len() || t < target.len() {
+        match (base.get(b), target.get(t)) {
+            (Some(&(bi, bc)), Some(&(ti, tc))) if bi == ti => {
+                if bc != tc {
+                    changes.push((bi, tc as i64 - bc as i64));
+                }
+                b += 1;
+                t += 1;
+            }
+            (Some(&(bi, bc)), Some(&(ti, _))) if bi < ti => {
+                changes.push((bi, -(bc as i64)));
+                b += 1;
+            }
+            (Some(_), Some(&(ti, tc))) => {
+                changes.push((ti, tc as i64));
+                t += 1;
+            }
+            (Some(&(bi, bc)), None) => {
+                changes.push((bi, -(bc as i64)));
+                b += 1;
+            }
+            (None, Some(&(ti, tc))) => {
+                changes.push((ti, tc as i64));
+                t += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    changes
+}
+
+fn arb_parts() -> impl Strategy<Value = Vec<(u32, u64, u64)>> {
+    prop::collection::vec((0u32..10, 0u64..u64::MAX, 1u64..u64::MAX), 0..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Compression is a lossless codec across every varint width, with
+    // point lookups agreeing with the decoded stream, and the serialized
+    // (bytes + block lens) form restoring exactly.
+    #[test]
+    fn round_trips_across_varint_widths(parts in arb_parts(), tail_count in 1u64..u64::MAX) {
+        let mut entries = entries_from_parts(&parts);
+        // Pin the top of the index space: u64::MAX-adjacent entries.
+        if entries.last().is_none_or(|&(i, _)| i < u64::MAX - 2) {
+            entries.push((u64::MAX - 1, tail_count));
+            entries.push((u64::MAX, u64::MAX));
+        }
+        let runs = CompressedRuns::from_entries(&entries);
+        prop_assert_eq!(runs.to_vec(), entries.clone());
+        prop_assert_eq!(runs.len(), entries.len());
+        prop_assert_eq!(
+            runs.total_mass(),
+            entries.iter().fold(0u64, |acc, &(_, c)| acc.wrapping_add(c))
+        );
+        prop_assert_eq!(runs.get(u64::MAX), Some(u64::MAX));
+        // Point lookups: every stored index hits, a probe between two
+        // entries misses.
+        for &(index, count) in entries.iter().take(64) {
+            prop_assert_eq!(runs.get(index), Some(count));
+        }
+        for w in entries.windows(2).take(64) {
+            if w[1].0 - w[0].0 > 1 {
+                prop_assert_eq!(runs.get(w[0].0 + 1), None);
+            }
+        }
+        // Serialized round trip (the snapshot path).
+        let lens: Vec<u32> = runs.skip_index().iter().map(|m| m.len).collect();
+        let restored = CompressedRuns::from_encoded(runs.bytes().to_vec(), &lens).unwrap();
+        prop_assert_eq!(&restored, &runs);
+        prop_assert_eq!(restored.skip_index(), runs.skip_index());
+    }
+
+    // The block-wise signed merge (wholesale copies + re-encoded blocks)
+    // is bit-identical to the plain two-pointer pair merge, and turning
+    // base into target via their diff lands exactly on target.
+    #[test]
+    fn merge_signed_matches_plain_pair_merge(
+        base_parts in arb_parts(),
+        target_parts in arb_parts(),
+    ) {
+        let base = entries_from_parts(&base_parts);
+        let target = entries_from_parts(&target_parts);
+        let changes = diff_of(&base, &target);
+
+        let compressed = CompressedRuns::from_entries(&base);
+        let merged = compressed.merge_signed(&changes).unwrap();
+        let reference = plain_signed_merge(&base, &changes);
+
+        prop_assert_eq!(merged.to_vec(), reference.clone());
+        prop_assert_eq!(reference, target.clone());
+        prop_assert_eq!(&merged, &CompressedRuns::from_entries(&target));
+        prop_assert_eq!(
+            merged.total_mass(),
+            target.iter().fold(0u64, |acc, &(_, c)| acc.wrapping_add(c))
+        );
+    }
+}

@@ -58,6 +58,12 @@ pub struct ServableEstimator {
     histogram: LabelPathHistogram,
     /// Human-readable provenance, e.g. `"sum-based/v-optimal-greedy β=64"`.
     description: String,
+    /// Delta lineage of the statistics being served: the originating full
+    /// build's id and how many incremental deltas were folded in since.
+    /// `None` for pre-v3 snapshots, which carry no lineage. Operators
+    /// watch `applied_deltas` to spot slots drifting far from their last
+    /// full build (candidates for a compacting rebuild).
+    lineage: Option<(u64, u64)>,
 }
 
 impl ServableEstimator {
@@ -67,6 +73,7 @@ impl ServableEstimator {
     /// Propagates [`SnapshotError`] for corrupt or unsupported snapshots.
     pub fn from_snapshot(snapshot: &EstimatorSnapshot) -> Result<ServableEstimator, SnapshotError> {
         let histogram = snapshot.restore()?;
+        let lineage = snapshot.base_build_id.zip(snapshot.applied_deltas);
         Ok(Self::from_parts(
             snapshot.label_names.clone(),
             snapshot.k,
@@ -76,18 +83,21 @@ impl ServableEstimator {
                 snapshot.ordering.name(),
                 snapshot.beta
             ),
+            lineage,
         ))
     }
 
     /// Converts a freshly built estimator, dropping its catalog (the
     /// serving tier retains only the histogram-sized state).
     pub fn from_estimator(estimator: PathSelectivityEstimator) -> ServableEstimator {
+        let lineage = Some((estimator.build_id(), estimator.applied_deltas()));
         let (config, label_names, histogram) = estimator.into_serving_parts();
         Self::from_parts(
             label_names,
             config.k,
             histogram,
             format!("{} β={}", config.ordering.name(), config.beta),
+            lineage,
         )
     }
 
@@ -96,6 +106,7 @@ impl ServableEstimator {
         k: usize,
         histogram: LabelPathHistogram,
         description: String,
+        lineage: Option<(u64, u64)>,
     ) -> ServableEstimator {
         let by_name = label_names
             .iter()
@@ -108,7 +119,15 @@ impl ServableEstimator {
             k,
             histogram,
             description,
+            lineage,
         }
+    }
+
+    /// The served statistics' delta lineage: `(base_build_id,
+    /// applied_deltas)`, or `None` when the source snapshot predates
+    /// lineage tracking.
+    pub fn lineage(&self) -> Option<(u64, u64)> {
+        self.lineage
     }
 
     /// Maximum supported path length.

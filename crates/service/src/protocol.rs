@@ -15,7 +15,7 @@
 //! |----|--------|--------|-------|
 //! | `ping` | — | `{"ok":true}` | liveness probe |
 //! | `estimate` | `estimator` (default `"default"`), `paths` | `version`, `estimates` | one pinned generation answers the whole batch |
-//! | `list` | — | `estimators` rows: `name`, `version`, `k`, `labels`, `size_bytes`, `description` | each row read from a single generation |
+//! | `list` | — | `estimators` rows: `name`, `version`, `k`, `labels`, `size_bytes`, `description`, `base_build_id`, `applied_deltas` (lineage; `null` for pre-lineage snapshots), plus `maintained_catalog_bytes` / `maintained_plain_bytes` / `maintained_bytes_per_entry` for slots with maintenance state | each row read from a single generation; a climbing `applied_deltas` flags a slot due for a compacting rebuild |
 //! | `metrics` | — | `metrics` object | qps, p50/p99, cache hit rate, rebuild + delta counters |
 //! | `load` | `name`, `snapshot` | `version` | restores a snapshot file from the **server's** filesystem and hot-swaps the slot |
 //! | `rebuild` | `name`, `graph`, `k` (3), `beta` (64), `ordering` (`"sum-based"`), `histogram` (`"v-optimal-greedy"`), `threads` (1), `maintain` (false) | `{"status":"rebuilding"}` | asynchronous full build from a graph file |

@@ -93,6 +93,21 @@ pub struct MaintenanceState {
     pub estimator: PathSelectivityEstimator,
 }
 
+/// The memory footprint of a slot's *maintained* sparse catalog (present
+/// only for slots rebuilt with `maintain`): the state `delta` ops merge
+/// into, reported so the compression ratio is observable wherever memory
+/// already is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaintainedFootprint {
+    /// Realized (non-zero) paths in the maintained catalog.
+    pub nonzero_paths: u64,
+    /// Resident bytes of the block-compressed runs (payload + skip index
+    /// + struct overhead).
+    pub catalog_bytes: u64,
+    /// Bytes the flat 16 B/entry pair vector would need.
+    pub plain_bytes: u64,
+}
+
 /// One row of [`EstimatorRegistry::list`], captured from a single
 /// generation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,6 +125,14 @@ pub struct EstimatorInfo {
     pub size_bytes: usize,
     /// Provenance string.
     pub description: String,
+    /// Delta lineage of the served statistics: `(base_build_id,
+    /// applied_deltas)`. A slot whose `applied_deltas` keeps climbing is
+    /// drifting from its last full build — the operator signal for a
+    /// compacting rebuild. `None` for pre-lineage snapshots.
+    pub lineage: Option<(u64, u64)>,
+    /// The maintained sparse catalog's footprint, when the slot holds
+    /// maintenance state.
+    pub maintained: Option<MaintainedFootprint>,
 }
 
 /// Named, concurrently readable, hot-swappable estimators.
@@ -330,7 +353,33 @@ impl EstimatorRegistry {
 
     /// Sorted listing, each row read from a single generation (so a
     /// concurrent hot-swap never produces a row mixing two generations).
+    /// Maintained slots additionally report their catalog's compressed
+    /// vs plain footprint.
     pub fn list(&self) -> Vec<EstimatorInfo> {
+        // Maintenance footprints are captured *before* the slots lock:
+        // publishers take maintenance → slots (see `register`), so
+        // touching the maintenance mutex while holding a slots guard
+        // would invert the lock order and deadlock against a concurrent
+        // publish.
+        let maintained: HashMap<String, MaintainedFootprint> = self
+            .maintenance
+            .lock()
+            .iter()
+            .map(|(name, state)| {
+                let catalog = state
+                    .estimator
+                    .sparse_catalog()
+                    .expect("maintenance state retains the sparse catalog");
+                (
+                    name.clone(),
+                    MaintainedFootprint {
+                        nonzero_paths: catalog.nonzero_count() as u64,
+                        catalog_bytes: catalog.size_bytes() as u64,
+                        plain_bytes: catalog.plain_bytes() as u64,
+                    },
+                )
+            })
+            .collect();
         let mut entries: Vec<EstimatorInfo> = self
             .slots
             .read()
@@ -344,6 +393,8 @@ impl EstimatorRegistry {
                     label_count: generation.estimator().label_count(),
                     size_bytes: generation.estimator().size_bytes(),
                     description: generation.estimator().description().to_owned(),
+                    lineage: generation.estimator().lineage(),
+                    maintained: maintained.get(name).copied(),
                 }
             })
             .collect();
@@ -533,6 +584,48 @@ mod tests {
         );
         let pinned = registry.get("small").unwrap();
         assert_eq!(small.size_bytes, pinned.estimator().size_bytes());
+    }
+
+    #[test]
+    fn list_reports_lineage_and_maintained_footprint() {
+        // Enough realized paths that the block compression clears its
+        // fixed overhead (skip row + struct) — as any real catalog does.
+        let g = erdos_renyi(60, 600, 4, LabelDistribution::Zipf { exponent: 1.0 }, 5);
+        let config = EstimatorConfig {
+            k: 3,
+            beta: 8,
+            retain_sparse: true,
+            threads: 1,
+            ..EstimatorConfig::default()
+        };
+        let est = PathSelectivityEstimator::build(&g, config).unwrap();
+        let build_id = est.build_id();
+        let serving = PathSelectivityEstimator::build(&g, config).unwrap();
+
+        let registry = EstimatorRegistry::with_default_counters();
+        registry.register("main", ServableEstimator::from_estimator(serving));
+        // No maintenance state yet: lineage present, footprint absent.
+        let row = &registry.list()[0];
+        assert_eq!(row.lineage, Some((build_id, 0)));
+        assert!(row.maintained.is_none());
+
+        registry.store_maintenance(
+            "main",
+            MaintenanceState {
+                graph: g,
+                estimator: est,
+            },
+        );
+        let row = &registry.list()[0];
+        let m = row.maintained.expect("maintained slot reports its catalog");
+        assert!(m.nonzero_paths > 0);
+        assert_eq!(m.plain_bytes, m.nonzero_paths * 16);
+        assert!(
+            m.catalog_bytes < m.plain_bytes,
+            "compressed {} must undercut plain {}",
+            m.catalog_bytes,
+            m.plain_bytes
+        );
     }
 
     #[test]

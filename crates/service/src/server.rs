@@ -253,7 +253,7 @@ fn handle_line(
                 .list()
                 .into_iter()
                 .map(|info| {
-                    Value::Object(vec![
+                    let mut row = vec![
                         ("name".into(), Value::string(info.name)),
                         (
                             "version".into(),
@@ -269,7 +269,35 @@ fn handle_line(
                             Value::Number(Number::PosInt(info.size_bytes as u64)),
                         ),
                         ("description".into(), Value::string(info.description)),
-                    ])
+                        (
+                            "base_build_id".into(),
+                            info.lineage
+                                .map_or(Value::Null, |(id, _)| Value::string(format!("{id:016x}"))),
+                        ),
+                        (
+                            "applied_deltas".into(),
+                            info.lineage.map_or(Value::Null, |(_, deltas)| {
+                                Value::Number(Number::PosInt(deltas))
+                            }),
+                        ),
+                    ];
+                    if let Some(m) = info.maintained {
+                        row.push((
+                            "maintained_catalog_bytes".into(),
+                            Value::Number(Number::PosInt(m.catalog_bytes)),
+                        ));
+                        row.push((
+                            "maintained_plain_bytes".into(),
+                            Value::Number(Number::PosInt(m.plain_bytes)),
+                        ));
+                        row.push((
+                            "maintained_bytes_per_entry".into(),
+                            Value::Number(Number::Float(
+                                m.catalog_bytes as f64 / (m.nonzero_paths as f64).max(1.0),
+                            )),
+                        ));
+                    }
+                    Value::Object(row)
                 })
                 .collect();
             (

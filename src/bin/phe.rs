@@ -298,8 +298,12 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
             fp.domain_size, fp.nonzero_paths
         );
         println!(
-            "sparse catalog   {} bytes; dense equivalent {} bytes ({:.1}x)",
+            "sparse catalog   {} bytes compressed ({:.2} bytes/entry); plain pairs {} bytes \
+             ({:.1}x compression); dense equivalent {} bytes ({:.1}x)",
             fp.sparse_bytes,
+            fp.bytes_per_entry(),
+            fp.sparse_plain_bytes,
+            fp.compression_ratio(),
             fp.dense_bytes,
             fp.dense_bytes as f64 / (fp.sparse_bytes as f64).max(1.0)
         );
@@ -365,7 +369,7 @@ fn cmd_delta(args: &[String]) -> Result<(), String> {
         base_secs / delta_secs.max(1e-9)
     );
     println!(
-        "lineage          build id {:016x}, {} delta(s) applied (snapshot v3)",
+        "lineage          build id {:016x}, {} delta(s) applied (snapshot v4)",
         refreshed.build_id(),
         refreshed.applied_deltas()
     );
@@ -382,7 +386,7 @@ fn cmd_delta(args: &[String]) -> Result<(), String> {
         }
         // Catalogs identical ⇒ identical ordering inputs and histogram —
         // spot-check the estimates anyway.
-        for &(index, _) in merged.entries().iter().take(512) {
+        for (index, _) in merged.iter().take(512) {
             let path = merged.encoding().decode(index as usize);
             let (a, b) = (refreshed.estimate(&path), fresh.estimate(&path));
             if a.to_bits() != b.to_bits() {
@@ -555,10 +559,24 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     server.shutdown();
     println!("{}", metrics.report());
     for info in registry.list() {
+        let lineage = info.lineage.map_or_else(
+            || "lineage unknown (pre-v3 snapshot)".to_owned(),
+            |(id, deltas)| format!("build {id:016x} + {deltas} delta(s)"),
+        );
         println!(
-            "estimator        {:?} v{}: {} bytes retained ({})",
+            "estimator        {:?} v{}: {} bytes retained, {lineage} ({})",
             info.name, info.version, info.size_bytes, info.description
         );
+        if let Some(m) = info.maintained {
+            println!(
+                "                 maintained catalog: {} bytes compressed vs {} plain \
+                 ({:.2} bytes/entry over {} paths)",
+                m.catalog_bytes,
+                m.plain_bytes,
+                m.catalog_bytes as f64 / (m.nonzero_paths as f64).max(1.0),
+                m.nonzero_paths
+            );
+        }
     }
     Ok(())
 }

@@ -153,12 +153,14 @@ fn build_stats_reports_sparse_memory() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("sparse catalog"), "{text}");
     assert!(text.contains("realized"), "{text}");
+    assert!(text.contains("bytes/entry"), "{text}");
+    assert!(text.contains("compression"), "{text}");
     assert!(text.contains("histogram + ordering state only"), "{text}");
     assert!(!text.contains("whole-domain mean"), "{text}");
 
-    // The written snapshot is v3 and still estimates.
+    // The written snapshot is v4 and still estimates.
     let json = std::fs::read_to_string(&stats).unwrap();
-    assert!(json.contains("\"version\": 3"), "{json}");
+    assert!(json.contains("\"version\": 4"), "{json}");
     assert!(json.contains("\"nonzero_paths\""), "{json}");
     assert!(json.contains("\"base_build_id\""), "{json}");
     let out = phe()
