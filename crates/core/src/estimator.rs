@@ -579,6 +579,12 @@ impl PathSelectivityEstimator {
         self.histogram.estimate(path)
     }
 
+    /// Number of labels in the statistics' alphabet — the range a query
+    /// layer's wildcard step expands over.
+    pub fn label_count(&self) -> usize {
+        self.label_names.len()
+    }
+
     /// Exact selectivity `f(ℓ)` from the retained catalog.
     ///
     /// # Panics

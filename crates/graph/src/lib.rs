@@ -42,6 +42,7 @@ pub mod builder;
 pub mod csr;
 pub mod delta;
 pub mod error;
+pub mod follow;
 pub mod graph;
 pub mod ids;
 pub mod interner;
@@ -53,6 +54,7 @@ pub use builder::GraphBuilder;
 pub use csr::Csr;
 pub use delta::GraphDelta;
 pub use error::GraphError;
+pub use follow::FollowMatrix;
 pub use graph::Graph;
 pub use ids::{LabelId, VertexId};
 pub use interner::LabelInterner;

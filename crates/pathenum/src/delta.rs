@@ -52,7 +52,7 @@
 //!   the label sequence is realizable).
 
 use phe_graph::delta::GraphDelta;
-use phe_graph::{FixedBitSet, Graph, LabelId};
+use phe_graph::{FixedBitSet, FollowMatrix, Graph, LabelId};
 
 use crate::catalog::CatalogError;
 use crate::encoding::PathEncoding;
@@ -126,7 +126,7 @@ pub fn compute_delta(
         });
     }
 
-    let follows = follow_matrix(old, new);
+    let follows = FollowMatrix::from_graph_union(old, new);
     let dist = dirty_distances(&follows, &dirty, k);
     let vertex_count = old.vertex_count().max(new.vertex_count());
     let masks = ReachMasks::build(old, new, &changed_sources, k);
@@ -192,10 +192,9 @@ struct DeltaCtx<'a> {
     /// Follow-graph distance from each label to the nearest dirty label
     /// (0 for dirty labels themselves; `usize::MAX` when unreachable).
     dist: &'a [usize],
-    /// `follows[a · |L| + b]`: some `a`-edge target has an outgoing
-    /// `b`-edge (old ∪ new). `false` proves `… a/b …` relations empty on
-    /// both sides.
-    follows: &'a [bool],
+    /// The label-follow matrix over old ∪ new: `!follows(a, b)` proves
+    /// `… a/b …` relations empty on both sides.
+    follows: &'a FollowMatrix,
     /// Vertex-level reachability masks (see [`ReachMasks`]).
     masks: &'a ReachMasks,
     k: usize,
@@ -406,7 +405,6 @@ impl DeltaCtx<'_> {
             return;
         }
         let (old_g, new_g) = (self.old, self.new);
-        let label_count = self.old.label_count();
         let prev = self
             .path
             .last()
@@ -417,7 +415,7 @@ impl DeltaCtx<'_> {
             // the child relation is empty on both sides and nothing below
             // it can differ — in particular, the dirty-label fallback's
             // full evaluations are skipped wholesale.
-            if !self.follows[prev.index() * label_count + label.index()] {
+            if !self.follows.follows(prev, label) {
                 continue;
             }
             if self.dirty[label.index()] {
@@ -594,44 +592,10 @@ fn vertex_distances(old: &Graph, new: &Graph, changed_sources: &[Vec<u32>], k: u
     dist
 }
 
-/// The label-follow matrix over the union of both graphs' edges:
-/// `follows[a · |L| + b]` holds when some `a`-edge target has an outgoing
-/// `b`-edge — an over-approximation of "a realized path can continue `a`
-/// with `b`" (any composition's targets are a subset of its last label's
-/// edge targets), which is what makes pruning on its complement sound.
-fn follow_matrix(old: &Graph, new: &Graph) -> Vec<bool> {
-    let label_count = old.label_count();
-    let vertex_count = old.vertex_count().max(new.vertex_count());
-    let words = vertex_count.div_ceil(64).max(1);
-
-    // target_mask[l]: vertices that are a target of an l-edge (old ∪ new).
-    // out_mask[l]: vertices with at least one outgoing l-edge (old ∪ new).
-    let mut target_mask = vec![vec![0u64; words]; label_count];
-    let mut out_mask = vec![vec![0u64; words]; label_count];
-    for graph in [old, new] {
-        for l in graph.label_ids() {
-            let csr = graph.forward_csr(l);
-            for v in csr.non_empty_rows() {
-                out_mask[l.index()][v as usize / 64] |= 1 << (v % 64);
-                for &t in csr.neighbors(v) {
-                    target_mask[l.index()][t as usize / 64] |= 1 << (t % 64);
-                }
-            }
-        }
-    }
-    let mut follows = vec![false; label_count * label_count];
-    for a in 0..label_count {
-        for b in 0..label_count {
-            follows[a * label_count + b] = masks_intersect(&target_mask[a], &out_mask[b]);
-        }
-    }
-    follows
-}
-
-/// Multi-source BFS over the **reversed label-follow graph**: for each
-/// label, the minimum number of follow steps to reach a dirty label
-/// (`usize::MAX` when unreachable).
-fn dirty_distances(follows: &[bool], dirty: &[bool], k: usize) -> Vec<usize> {
+/// Multi-source BFS over the **reversed label-follow graph** (see
+/// [`FollowMatrix`]): for each label, the minimum number of follow steps
+/// to reach a dirty label (`usize::MAX` when unreachable).
+fn dirty_distances(follows: &FollowMatrix, dirty: &[bool], k: usize) -> Vec<usize> {
     let label_count = dirty.len();
     let mut dist = vec![usize::MAX; label_count];
     let mut frontier: Vec<usize> = (0..label_count).filter(|&l| dirty[l]).collect();
@@ -641,9 +605,13 @@ fn dirty_distances(follows: &[bool], dirty: &[bool], k: usize) -> Vec<usize> {
     // Distances beyond k − 1 never unlock a descent, so the BFS can stop.
     for d in 1..k.max(1) {
         let mut next = Vec::new();
-        for m in 0..label_count {
-            if dist[m] == usize::MAX && frontier.iter().any(|&f| follows[m * label_count + f]) {
-                dist[m] = d;
+        for (m, slot) in dist.iter_mut().enumerate() {
+            if *slot == usize::MAX
+                && frontier
+                    .iter()
+                    .any(|&f| follows.follows(LabelId(m as u16), LabelId(f as u16)))
+            {
+                *slot = d;
                 next.push(m);
             }
         }
@@ -862,7 +830,7 @@ mod tests {
         delta.insert(v(0), l(0), v(2));
         let new = old.apply_delta(&delta).unwrap();
         let dirty: Vec<bool> = (0..6).map(|i| i == 0).collect();
-        let dist = dirty_distances(&follow_matrix(&old, &new), &dirty, 6);
+        let dist = dirty_distances(&FollowMatrix::from_graph_union(&old, &new), &dirty, 6);
         assert_eq!(dist[0], 0);
         // No label follows into label 0 (vertex 0 has no incoming edges),
         // so everything else is unreachable-from.

@@ -46,6 +46,11 @@ impl<'g> SamplingEstimator<'g> {
         SamplingEstimator { graph, config }
     }
 
+    /// The graph being sampled.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
     /// Estimates `f(path)` by uniform source sampling.
     ///
     /// If the sample covers every vertex (`sample_size ≥ |V|`), the result

@@ -1,0 +1,794 @@
+//! The regular-path-query IR: one expression type for every estimation
+//! consumer.
+//!
+//! A [`PathExpr`] describes a *set* of concrete label paths: concatenation
+//! (`a/b`), alternation (`a|b`), optional steps (`a?`), bounded repetition
+//! (`a{m,n}`), and the single-step wildcard (`.`). The histogram machinery
+//! estimates fixed label sequences; this module closes the gap by
+//! **expanding** an expression into its set of concrete paths up to the
+//! estimator's maximum length `k` — optionally pruned by the graph's
+//! [`FollowMatrix`], so branches that cannot occur in the graph are
+//! discarded before anything is estimated.
+//!
+//! Two properties make expansion the right compilation target:
+//!
+//! * **Disjointness.** Distinct concrete label sequences describe disjoint
+//!   path populations, so an expression's total is the exact sum of its
+//!   branches' per-path statistics — no inclusion–exclusion, no
+//!   correlation assumptions. (The quantity summed is the *per-path pair
+//!   count*, the same quantity an optimizer materializes when executing
+//!   the branches of a union plan.)
+//! * **Determinism.** [`Expansion::paths`] is sorted length-major, then
+//!   lexicographically by label id — the same order a brute-force
+//!   enumeration of the domain visits — and estimate totals are summed in
+//!   that order, so independent computations of the same expression agree
+//!   bit for bit.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use phe_core::{LabelPath, MAX_K};
+use phe_graph::{FollowMatrix, LabelId, LabelInterner};
+
+/// A regular path expression over edge labels.
+///
+/// Construct via [`crate::parse_expr`] or the constructors here; compare
+/// normalized forms (see [`PathExpr::normalize`]) when syntactic variants
+/// like `(a|b)` vs `(b|a)` should be treated as equal.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PathExpr {
+    /// One step with a fixed label.
+    Label(LabelId),
+    /// One step with any label (`.`).
+    Wildcard,
+    /// Sub-expressions in sequence (`a/b`, also written `(a|b)c`).
+    Concat(Vec<PathExpr>),
+    /// Any one of the branches (`a|b`).
+    Alt(Vec<PathExpr>),
+    /// `min..=max` copies of the inner expression in sequence: `a{m,n}`;
+    /// `a?` is `a{0,1}`.
+    Repeat {
+        /// The repeated sub-expression.
+        inner: Box<PathExpr>,
+        /// Minimum repetitions (0 makes the whole group optional).
+        min: u8,
+        /// Maximum repetitions (bounded by [`MAX_K`]).
+        max: u8,
+    },
+}
+
+impl PathExpr {
+    /// The trivial expression of one concrete path.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn path(labels: &[LabelId]) -> PathExpr {
+        assert!(!labels.is_empty(), "a path expression needs steps");
+        if labels.len() == 1 {
+            PathExpr::Label(labels[0])
+        } else {
+            PathExpr::Concat(labels.iter().copied().map(PathExpr::Label).collect())
+        }
+    }
+
+    /// The single concrete label path this expression denotes, if it is a
+    /// plain chain (no alternation, wildcard, or repetition) — the shape
+    /// the pre-expression API accepted.
+    pub fn as_concrete(&self) -> Option<Vec<LabelId>> {
+        match self {
+            PathExpr::Label(l) => Some(vec![*l]),
+            PathExpr::Concat(parts) => {
+                let mut out = Vec::with_capacity(parts.len());
+                for part in parts {
+                    out.extend(part.as_concrete()?);
+                }
+                (!out.is_empty()).then_some(out)
+            }
+            PathExpr::Repeat { inner, min, max } if min == max => {
+                let once = inner.as_concrete()?;
+                let mut out = Vec::with_capacity(once.len() * *min as usize);
+                for _ in 0..*min {
+                    out.extend(once.iter().copied());
+                }
+                (!out.is_empty()).then_some(out)
+            }
+            _ => None,
+        }
+    }
+
+    /// Structural normalization: flattens nested concatenations and
+    /// alternations, unwraps single-element groups, rewrites `e{1,1}` to
+    /// `e` and `e{0,0}` to the empty sequence, and **sorts + dedupes**
+    /// alternation branches — so `(a|b)/c` and `(b|a)/c` normalize to the
+    /// same value. Idempotent (property-tested); [`PathExpr::cache_key`]
+    /// is derived from this form.
+    pub fn normalize(&self) -> PathExpr {
+        match self {
+            PathExpr::Label(_) | PathExpr::Wildcard => self.clone(),
+            PathExpr::Concat(parts) => {
+                let mut flat = Vec::with_capacity(parts.len());
+                for part in parts {
+                    match part.normalize() {
+                        PathExpr::Concat(inner) => flat.extend(inner),
+                        other => flat.push(other),
+                    }
+                }
+                if flat.len() == 1 {
+                    flat.pop().expect("len checked")
+                } else {
+                    PathExpr::Concat(flat)
+                }
+            }
+            PathExpr::Alt(branches) => {
+                let mut flat = Vec::with_capacity(branches.len());
+                for branch in branches {
+                    match branch.normalize() {
+                        PathExpr::Alt(inner) => flat.extend(inner),
+                        other => flat.push(other),
+                    }
+                }
+                flat.sort();
+                flat.dedup();
+                if flat.len() == 1 {
+                    flat.pop().expect("len checked")
+                } else {
+                    PathExpr::Alt(flat)
+                }
+            }
+            PathExpr::Repeat { inner, min, max } => {
+                let inner = inner.normalize();
+                match (*min, *max) {
+                    (0, 0) => PathExpr::Concat(Vec::new()),
+                    (1, 1) => inner,
+                    (min, max) => PathExpr::Repeat {
+                        inner: Box::new(inner),
+                        min,
+                        max,
+                    },
+                }
+            }
+        }
+    }
+
+    /// The canonical key of this expression: the normalized form rendered
+    /// over label *ids*. Two expressions with the same denotation under
+    /// commutation of alternation get the same key — what the service's
+    /// expression cache is keyed by.
+    pub fn cache_key(&self) -> String {
+        self.normalize().to_string()
+    }
+
+    /// Whether `seq` is one of the concrete label sequences this
+    /// expression denotes. Independent of [`PathExpr::expand`] (simple
+    /// backtracking over split points) — the property tests pit the two
+    /// against each other.
+    pub fn matches(&self, seq: &[LabelId]) -> bool {
+        match self {
+            PathExpr::Label(l) => seq == [*l],
+            PathExpr::Wildcard => seq.len() == 1,
+            PathExpr::Concat(parts) => Self::matches_seq(parts, seq),
+            PathExpr::Alt(branches) => branches.iter().any(|b| b.matches(seq)),
+            PathExpr::Repeat { inner, min, max } => {
+                (*min..=*max).any(|r| Self::matches_repeat(inner, r as usize, seq))
+            }
+        }
+    }
+
+    fn matches_seq(parts: &[PathExpr], seq: &[LabelId]) -> bool {
+        match parts {
+            [] => seq.is_empty(),
+            [first, rest @ ..] => (0..=seq.len())
+                .any(|i| first.matches(&seq[..i]) && Self::matches_seq(rest, &seq[i..])),
+        }
+    }
+
+    fn matches_repeat(inner: &PathExpr, reps: usize, seq: &[LabelId]) -> bool {
+        if reps == 0 {
+            return seq.is_empty();
+        }
+        (0..=seq.len())
+            .any(|i| inner.matches(&seq[..i]) && Self::matches_repeat(inner, reps - 1, &seq[i..]))
+    }
+
+    /// Expands this expression into its set of concrete label paths of
+    /// length `1..=opts.max_len`, pruned by the follow matrix when one is
+    /// provided. See the module docs for the ordering and disjointness
+    /// guarantees.
+    ///
+    /// # Errors
+    /// [`ExpandError::TooManyPaths`] when any intermediate set exceeds
+    /// `opts.max_paths` — the guard that keeps `.{1,8}`-style expressions
+    /// from enumerating the whole domain.
+    pub fn expand(&self, opts: &ExpandOptions<'_>) -> Result<Expansion, ExpandError> {
+        let mut stats = ExpandStats::default();
+        let set = self.expand_set(opts, &mut stats)?;
+        let matches_empty = set.contains(&Vec::new());
+        let mut seqs: Vec<Vec<u16>> = set.into_iter().filter(|s| !s.is_empty()).collect();
+        // Length-major, then lexicographic: the canonical order every
+        // consumer sums in.
+        seqs.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+        let paths = seqs
+            .into_iter()
+            .map(|s| {
+                let ids: Vec<LabelId> = s.into_iter().map(LabelId).collect();
+                LabelPath::new(&ids)
+            })
+            .collect();
+        Ok(Expansion {
+            paths,
+            pruned: stats.pruned,
+            truncated: stats.truncated,
+            matches_empty,
+        })
+    }
+
+    /// Expansion width: the number of concrete paths, without building
+    /// them into [`LabelPath`]s. Convenience for workload stratification.
+    pub fn width(&self, opts: &ExpandOptions<'_>) -> Result<usize, ExpandError> {
+        Ok(self.expand(opts)?.paths.len())
+    }
+
+    fn expand_set(
+        &self,
+        opts: &ExpandOptions<'_>,
+        stats: &mut ExpandStats,
+    ) -> Result<BTreeSet<Vec<u16>>, ExpandError> {
+        let mut out = BTreeSet::new();
+        match self {
+            PathExpr::Label(l) => {
+                out.insert(vec![l.0]);
+            }
+            PathExpr::Wildcard => {
+                for l in 0..opts.label_count {
+                    out.insert(vec![l as u16]);
+                }
+            }
+            PathExpr::Alt(branches) => {
+                for branch in branches {
+                    for seq in branch.expand_set(opts, stats)? {
+                        out.insert(seq);
+                    }
+                    Self::check_cap(out.len(), opts)?;
+                }
+            }
+            PathExpr::Concat(parts) => {
+                out.insert(Vec::new());
+                for part in parts {
+                    let step = part.expand_set(opts, stats)?;
+                    out = Self::join(&out, &step, opts, stats)?;
+                }
+            }
+            PathExpr::Repeat { inner, min, max } => {
+                let step = inner.expand_set(opts, stats)?;
+                let mut power: BTreeSet<Vec<u16>> = BTreeSet::new();
+                power.insert(Vec::new());
+                for r in 0..=*max {
+                    if r >= *min {
+                        for seq in &power {
+                            out.insert(seq.clone());
+                        }
+                        Self::check_cap(out.len(), opts)?;
+                    }
+                    if r < *max {
+                        power = Self::join(&power, &step, opts, stats)?;
+                        if power.is_empty() {
+                            break; // further powers only grow longer
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The pruned cross-product of two expansion sets: each left sequence
+    /// extended by each right sequence, discarding combinations that
+    /// exceed the length budget (`truncated`) or whose boundary label
+    /// pair the follow matrix refutes (`pruned`). Members of both inputs
+    /// are internally follow-consistent by induction, so the boundary
+    /// check is the only one needed.
+    fn join(
+        left: &BTreeSet<Vec<u16>>,
+        right: &BTreeSet<Vec<u16>>,
+        opts: &ExpandOptions<'_>,
+        stats: &mut ExpandStats,
+    ) -> Result<BTreeSet<Vec<u16>>, ExpandError> {
+        let mut out = BTreeSet::new();
+        for a in left {
+            for b in right {
+                if a.len() + b.len() > opts.max_len {
+                    stats.truncated += 1;
+                    continue;
+                }
+                if let (Some(follow), Some(&last), Some(&first)) =
+                    (opts.follow, a.last(), b.first())
+                {
+                    if !follow.follows(LabelId(last), LabelId(first)) {
+                        stats.pruned += 1;
+                        continue;
+                    }
+                }
+                let mut seq = Vec::with_capacity(a.len() + b.len());
+                seq.extend_from_slice(a);
+                seq.extend_from_slice(b);
+                out.insert(seq);
+                Self::check_cap(out.len(), opts)?;
+            }
+        }
+        Ok(out)
+    }
+
+    fn check_cap(len: usize, opts: &ExpandOptions<'_>) -> Result<(), ExpandError> {
+        if len > opts.max_paths {
+            Err(ExpandError::TooManyPaths {
+                limit: opts.max_paths,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Renders with label names from an interner, e.g. `(knows|likes)/x?`.
+    pub fn display_with<'a>(&'a self, labels: &'a LabelInterner) -> impl fmt::Display + 'a {
+        NamedExpr { expr: self, labels }
+    }
+
+    /// Renders an indented expansion/structure tree (the `--explain`
+    /// view), with label names resolved through `name` (unknown ids fall
+    /// back to `?id`, as in [`render_path`]).
+    pub fn tree(&self, name: &dyn Fn(LabelId) -> Option<String>) -> String {
+        let mut out = String::new();
+        self.tree_into(&mut out, name, 0);
+        out
+    }
+
+    fn tree_into(&self, out: &mut String, name: &dyn Fn(LabelId) -> Option<String>, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            PathExpr::Label(l) => {
+                out.push_str(&format!("{pad}label {}\n", name_or_fallback(name, *l)));
+            }
+            PathExpr::Wildcard => out.push_str(&format!("{pad}wildcard .\n")),
+            PathExpr::Concat(parts) => {
+                out.push_str(&format!("{pad}concat\n"));
+                for part in parts {
+                    part.tree_into(out, name, depth + 1);
+                }
+            }
+            PathExpr::Alt(branches) => {
+                out.push_str(&format!("{pad}alt\n"));
+                for branch in branches {
+                    branch.tree_into(out, name, depth + 1);
+                }
+            }
+            PathExpr::Repeat { inner, min, max } => {
+                if (*min, *max) == (0, 1) {
+                    out.push_str(&format!("{pad}optional ?\n"));
+                } else {
+                    out.push_str(&format!("{pad}repeat {{{min},{max}}}\n"));
+                }
+                inner.tree_into(out, name, depth + 1);
+            }
+        }
+    }
+
+    /// Operator precedence for unambiguous rendering: alternation binds
+    /// loosest, then concatenation, then postfix repetition.
+    fn precedence(&self) -> u8 {
+        match self {
+            PathExpr::Alt(_) => 0,
+            PathExpr::Concat(_) => 1,
+            PathExpr::Repeat { .. } => 2,
+            PathExpr::Label(_) | PathExpr::Wildcard => 3,
+        }
+    }
+
+    fn fmt_with(
+        &self,
+        f: &mut fmt::Formatter<'_>,
+        atom: &dyn Fn(&mut fmt::Formatter<'_>, LabelId) -> fmt::Result,
+    ) -> fmt::Result {
+        let child = |f: &mut fmt::Formatter<'_>, e: &PathExpr, min_prec: u8| -> fmt::Result {
+            if e.precedence() < min_prec {
+                write!(f, "(")?;
+                e.fmt_with(f, atom)?;
+                write!(f, ")")
+            } else {
+                e.fmt_with(f, atom)
+            }
+        };
+        match self {
+            PathExpr::Label(l) => atom(f, *l),
+            PathExpr::Wildcard => write!(f, "."),
+            PathExpr::Concat(parts) => {
+                if parts.is_empty() {
+                    return write!(f, "()");
+                }
+                for (i, part) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "/")?;
+                    }
+                    child(f, part, 2)?;
+                }
+                Ok(())
+            }
+            PathExpr::Alt(branches) => {
+                if branches.is_empty() {
+                    return write!(f, "(|)");
+                }
+                for (i, branch) in branches.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    child(f, branch, 1)?;
+                }
+                Ok(())
+            }
+            PathExpr::Repeat { inner, min, max } => {
+                child(f, inner, 3)?;
+                if (*min, *max) == (0, 1) {
+                    write!(f, "?")
+                } else if min == max {
+                    write!(f, "{{{min}}}")
+                } else {
+                    write!(f, "{{{min},{max}}}")
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for PathExpr {
+    /// Renders over label *ids* (e.g. `(0|1)/2?`) — deterministic and
+    /// name-independent, which is what [`PathExpr::cache_key`] needs.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_with(f, &|f, l| write!(f, "{}", l.0))
+    }
+}
+
+struct NamedExpr<'a> {
+    expr: &'a PathExpr,
+    labels: &'a LabelInterner,
+}
+
+impl fmt::Display for NamedExpr<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.expr.fmt_with(f, &|f, l| match self.labels.name(l) {
+            Some(name) => write!(f, "{name}"),
+            None => write!(f, "?{}", l.0),
+        })
+    }
+}
+
+/// Everything expansion needs to know about its target estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpandOptions<'a> {
+    /// Alphabet size — what the wildcard ranges over.
+    pub label_count: usize,
+    /// Maximum concrete path length (the estimator's `k`; capped at
+    /// [`MAX_K`]).
+    pub max_len: usize,
+    /// Follow matrix for pruning impossible branches; `None` expands
+    /// purely syntactically (sound — just no pruning).
+    pub follow: Option<&'a FollowMatrix>,
+    /// Upper bound on the expansion set size.
+    pub max_paths: usize,
+}
+
+/// Default expansion-set bound.
+pub const DEFAULT_MAX_PATHS: usize = 65_536;
+
+impl<'a> ExpandOptions<'a> {
+    /// Options for an estimator with `label_count` labels and maximum
+    /// path length `max_len`, no pruning, default path cap.
+    pub fn new(label_count: usize, max_len: usize) -> ExpandOptions<'a> {
+        ExpandOptions {
+            label_count,
+            max_len: max_len.min(MAX_K),
+            follow: None,
+            max_paths: DEFAULT_MAX_PATHS,
+        }
+    }
+
+    /// Attaches a follow matrix for pruning.
+    pub fn with_follow(mut self, follow: &'a FollowMatrix) -> ExpandOptions<'a> {
+        self.follow = Some(follow);
+        self
+    }
+}
+
+#[derive(Default)]
+struct ExpandStats {
+    pruned: u64,
+    truncated: u64,
+}
+
+/// The concrete-path compilation of an expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expansion {
+    /// Distinct concrete paths, sorted length-major then lexicographically
+    /// by label id.
+    pub paths: Vec<LabelPath>,
+    /// Join candidates discarded because the follow matrix refuted their
+    /// boundary label pair — work the estimator never sees.
+    pub pruned: u64,
+    /// Join candidates discarded for exceeding the length budget.
+    pub truncated: u64,
+    /// Whether the expression also denotes the empty sequence (e.g. `a?`
+    /// alone) — not estimable, reported so callers can surface it.
+    pub matches_empty: bool,
+}
+
+/// Why an expression could not be expanded (or planned).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExpandError {
+    /// The expansion set exceeded the configured bound.
+    TooManyPaths {
+        /// The configured bound.
+        limit: usize,
+    },
+    /// The expression denotes no estimable concrete path at all — every
+    /// branch was over-length or follow-pruned (or the expression only
+    /// matches the empty path).
+    EmptyExpansion,
+}
+
+impl fmt::Display for ExpandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExpandError::TooManyPaths { limit } => write!(
+                f,
+                "expression expands to more than {limit} concrete paths; \
+                 tighten the expression or raise the expansion limit"
+            ),
+            ExpandError::EmptyExpansion => write!(
+                f,
+                "expression expands to no estimable concrete path (every \
+                 branch was over-length or pruned)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExpandError {}
+
+fn name_or_fallback(name: &dyn Fn(LabelId) -> Option<String>, l: LabelId) -> String {
+    name(l).unwrap_or_else(|| format!("?{}", l.0))
+}
+
+/// Renders a concrete path as slash-joined label names, falling back to
+/// `?id` for ids the resolver does not know — the one rendering rule the
+/// CLI's explain output and the service's branch rows share.
+pub fn render_path(path: &LabelPath, name: &dyn Fn(LabelId) -> Option<String>) -> String {
+    let mut out = String::new();
+    for (i, l) in path.iter().enumerate() {
+        if i > 0 {
+            out.push('/');
+        }
+        out.push_str(&name_or_fallback(name, l));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(x: u16) -> LabelId {
+        LabelId(x)
+    }
+
+    fn opts<'a>() -> ExpandOptions<'a> {
+        ExpandOptions::new(3, 4)
+    }
+
+    fn seqs(expansion: &Expansion) -> Vec<Vec<u16>> {
+        expansion
+            .paths
+            .iter()
+            .map(|p| p.as_slice().to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn expands_alternation_and_concat() {
+        // (0|1)/2
+        let e = PathExpr::Concat(vec![
+            PathExpr::Alt(vec![PathExpr::Label(l(0)), PathExpr::Label(l(1))]),
+            PathExpr::Label(l(2)),
+        ]);
+        let x = e.expand(&opts()).unwrap();
+        assert_eq!(seqs(&x), vec![vec![0, 2], vec![1, 2]]);
+        assert!(!x.matches_empty);
+    }
+
+    #[test]
+    fn expands_optional_and_repeat() {
+        // 0?/1 -> {1, 01}
+        let e = PathExpr::Concat(vec![
+            PathExpr::Repeat {
+                inner: Box::new(PathExpr::Label(l(0))),
+                min: 0,
+                max: 1,
+            },
+            PathExpr::Label(l(1)),
+        ]);
+        let x = e.expand(&opts()).unwrap();
+        assert_eq!(seqs(&x), vec![vec![1], vec![0, 1]]);
+
+        // 0{1,3}
+        let e = PathExpr::Repeat {
+            inner: Box::new(PathExpr::Label(l(0))),
+            min: 1,
+            max: 3,
+        };
+        let x = e.expand(&opts()).unwrap();
+        assert_eq!(seqs(&x), vec![vec![0], vec![0, 0], vec![0, 0, 0]]);
+    }
+
+    #[test]
+    fn wildcard_ranges_over_alphabet_and_empty_is_flagged() {
+        let x = PathExpr::Wildcard.expand(&opts()).unwrap();
+        assert_eq!(seqs(&x), vec![vec![0], vec![1], vec![2]]);
+
+        let e = PathExpr::Repeat {
+            inner: Box::new(PathExpr::Label(l(0))),
+            min: 0,
+            max: 1,
+        };
+        let x = e.expand(&opts()).unwrap();
+        assert!(x.matches_empty);
+        assert_eq!(seqs(&x), vec![vec![0]]);
+    }
+
+    #[test]
+    fn expansion_is_length_major_sorted_and_distinct() {
+        // (0/1|0)|(0|1/0) with duplicates across branches.
+        let e = PathExpr::Alt(vec![
+            PathExpr::path(&[l(0), l(1)]),
+            PathExpr::Label(l(0)),
+            PathExpr::Label(l(0)),
+            PathExpr::path(&[l(1), l(0)]),
+        ]);
+        let x = e.expand(&opts()).unwrap();
+        assert_eq!(seqs(&x), vec![vec![0], vec![0, 1], vec![1, 0]]);
+    }
+
+    #[test]
+    fn length_budget_truncates() {
+        // 0{3} with max_len 2: everything is too long.
+        let e = PathExpr::Repeat {
+            inner: Box::new(PathExpr::Label(l(0))),
+            min: 3,
+            max: 3,
+        };
+        let x = e
+            .expand(&ExpandOptions {
+                max_len: 2,
+                ..opts()
+            })
+            .unwrap();
+        assert!(x.paths.is_empty());
+        assert!(x.truncated > 0, "{x:?}");
+    }
+
+    #[test]
+    fn follow_matrix_prunes_impossible_branches() {
+        // follows: only 0 -> 1 is possible (row 0, column 1).
+        let mut bits = vec![false; 9];
+        bits[1] = true;
+        let follow = FollowMatrix::from_bits(3, bits);
+        let e = PathExpr::Concat(vec![PathExpr::Wildcard, PathExpr::Wildcard]);
+        let x = e.expand(&opts().with_follow(&follow)).unwrap();
+        assert_eq!(seqs(&x), vec![vec![0, 1]]);
+        assert_eq!(x.pruned, 8);
+    }
+
+    #[test]
+    fn expansion_cap_is_enforced() {
+        let e = PathExpr::Concat(vec![PathExpr::Wildcard, PathExpr::Wildcard]);
+        let err = e
+            .expand(&ExpandOptions {
+                max_paths: 4,
+                ..opts()
+            })
+            .unwrap_err();
+        assert!(matches!(err, ExpandError::TooManyPaths { limit: 4 }));
+        assert!(err.to_string().contains("4"));
+    }
+
+    #[test]
+    fn normalize_flattens_sorts_and_dedupes() {
+        let e = PathExpr::Alt(vec![
+            PathExpr::Label(l(1)),
+            PathExpr::Alt(vec![PathExpr::Label(l(0)), PathExpr::Label(l(1))]),
+        ]);
+        let n = e.normalize();
+        assert_eq!(
+            n,
+            PathExpr::Alt(vec![PathExpr::Label(l(0)), PathExpr::Label(l(1))])
+        );
+        assert_eq!(n.normalize(), n, "idempotent");
+
+        let e = PathExpr::Concat(vec![PathExpr::Concat(vec![PathExpr::Label(l(2))])]);
+        assert_eq!(e.normalize(), PathExpr::Label(l(2)));
+
+        let e = PathExpr::Repeat {
+            inner: Box::new(PathExpr::Label(l(0))),
+            min: 1,
+            max: 1,
+        };
+        assert_eq!(e.normalize(), PathExpr::Label(l(0)));
+    }
+
+    #[test]
+    fn cache_keys_agree_for_commuted_alternations() {
+        let ab = PathExpr::Concat(vec![
+            PathExpr::Alt(vec![PathExpr::Label(l(0)), PathExpr::Label(l(1))]),
+            PathExpr::Label(l(2)),
+        ]);
+        let ba = PathExpr::Concat(vec![
+            PathExpr::Alt(vec![PathExpr::Label(l(1)), PathExpr::Label(l(0))]),
+            PathExpr::Label(l(2)),
+        ]);
+        assert_eq!(ab.cache_key(), ba.cache_key());
+        assert_eq!(ab.cache_key(), "(0|1)/2");
+    }
+
+    #[test]
+    fn matches_agrees_with_structure() {
+        let e = PathExpr::Concat(vec![
+            PathExpr::Alt(vec![PathExpr::Label(l(0)), PathExpr::Label(l(1))]),
+            PathExpr::Repeat {
+                inner: Box::new(PathExpr::Label(l(2))),
+                min: 0,
+                max: 2,
+            },
+        ]);
+        assert!(e.matches(&[l(0)]));
+        assert!(e.matches(&[l(1), l(2)]));
+        assert!(e.matches(&[l(0), l(2), l(2)]));
+        assert!(!e.matches(&[l(2)]));
+        assert!(!e.matches(&[]));
+    }
+
+    #[test]
+    fn as_concrete_recovers_plain_chains() {
+        let e = PathExpr::path(&[l(0), l(1), l(0)]);
+        assert_eq!(e.as_concrete(), Some(vec![l(0), l(1), l(0)]));
+        let alt = PathExpr::Alt(vec![PathExpr::Label(l(0)), PathExpr::Label(l(1))]);
+        assert_eq!(alt.as_concrete(), None);
+        let rep = PathExpr::Repeat {
+            inner: Box::new(PathExpr::Label(l(1))),
+            min: 2,
+            max: 2,
+        };
+        assert_eq!(rep.as_concrete(), Some(vec![l(1), l(1)]));
+    }
+
+    #[test]
+    fn display_round_structure() {
+        let e = PathExpr::Concat(vec![
+            PathExpr::Alt(vec![PathExpr::Label(l(0)), PathExpr::Label(l(1))]),
+            PathExpr::Repeat {
+                inner: Box::new(PathExpr::Label(l(2))),
+                min: 0,
+                max: 1,
+            },
+        ]);
+        assert_eq!(e.to_string(), "(0|1)/2?");
+        let mut interner = LabelInterner::new();
+        interner.intern("a").unwrap();
+        interner.intern("b").unwrap();
+        interner.intern("c").unwrap();
+        assert_eq!(e.display_with(&interner).to_string(), "(a|b)/c?");
+        let tree = e.tree(&|id| Some(format!("l{}", id.0)));
+        assert!(tree.contains("concat"), "{tree}");
+        assert!(tree.contains("optional ?"), "{tree}");
+        assert!(tree.contains("label l2"), "{tree}");
+
+        let path = LabelPath::new(&[l(0), l(9)]);
+        let rendered = render_path(&path, &|id| (id.0 < 3).then(|| format!("n{}", id.0)));
+        assert_eq!(rendered, "n0/?9");
+    }
+}

@@ -10,7 +10,8 @@
 use phe_graph::LabelId;
 
 use crate::estimate::CardinalityEstimator;
-use crate::plan::Plan;
+use crate::expr::{ExpandError, PathExpr};
+use crate::plan::{ExprPlan, Plan};
 
 /// Builds the minimum-estimated-cost join tree for `query`.
 ///
@@ -73,6 +74,40 @@ fn build_plan(
         right: Box::new(build_plan(query, est, split, s, j)),
         estimated: est[i][j],
     }
+}
+
+/// Plans a regular path expression by pushing alternation through
+/// join-order enumeration: the expression expands to its concrete
+/// branches (follow-matrix pruned when the estimator carries one), each
+/// branch — a plain chain — runs through the matrix-chain DP
+/// independently, and the branch plans are unioned. Branch populations
+/// are disjoint by construction, so the union's estimate is the sum of
+/// branch estimates.
+///
+/// # Errors
+/// [`ExpandError::TooManyPaths`] when the expression expands past its
+/// path bound, and [`ExpandError::EmptyExpansion`] when it denotes no
+/// estimable path at all (every branch pruned or over-length) — a
+/// data-dependent condition the caller cannot always predict.
+pub fn optimize_expr(
+    expr: &PathExpr,
+    estimator: &dyn CardinalityEstimator,
+) -> Result<ExprPlan, ExpandError> {
+    let estimate = estimator.estimate_expr(expr)?;
+    if estimate.branches.is_empty() {
+        return Err(ExpandError::EmptyExpansion);
+    }
+    let branches = estimate
+        .branches
+        .iter()
+        .map(|(path, _)| optimize(path.as_label_ids(), estimator))
+        .collect();
+    Ok(ExprPlan {
+        branches,
+        estimated: estimate.total,
+        pruned: estimate.pruned,
+        truncated: estimate.truncated,
+    })
 }
 
 /// Enumerates every binary join tree over the query (Catalan-many) with
@@ -179,6 +214,40 @@ mod tests {
         let query = crate::parse::parse_path(&g, "c/b/a").unwrap();
         let plan = optimize(&query, &oracle);
         assert_eq!(plan.labels(), query);
+    }
+
+    #[test]
+    fn optimize_expr_unions_per_branch_plans() {
+        let g = skewed_graph();
+        let catalog = SelectivityCatalog::compute(&g, 3);
+        let oracle = ExactOracle::new(&catalog);
+        let expr = crate::parse::parse_expr(&g, "(a|b)/c | a/b/c").unwrap();
+        let plan = optimize_expr(&expr, &oracle).unwrap();
+        // Branches: a/c, b/c, a/b/c — each a chain plan in canonical order.
+        assert_eq!(plan.width(), 3);
+        assert_eq!(plan.branches[0].labels().len(), 2);
+        assert_eq!(plan.branches[2].labels().len(), 3);
+        // The three-step branch is join-ordered exactly as optimize() would.
+        let chain = crate::parse::parse_path(&g, "a/b/c").unwrap();
+        assert_eq!(plan.branches[2], optimize(&chain, &oracle));
+        // Union totals are branch sums.
+        let direct = oracle.estimate_expr(&expr).unwrap();
+        assert_eq!(plan.estimated.to_bits(), direct.total.to_bits());
+        let explain = plan.explain();
+        assert!(explain.contains("union of 3 branch(es)"), "{explain}");
+    }
+
+    #[test]
+    fn optimize_expr_reports_empty_expansions_as_errors() {
+        let g = skewed_graph();
+        let catalog = SelectivityCatalog::compute(&g, 3);
+        let oracle = ExactOracle::new(&catalog);
+        // Every branch exceeds the oracle's max_len of 3.
+        let expr = crate::parse::parse_expr(&g, "a/b/c/a").unwrap();
+        assert_eq!(
+            optimize_expr(&expr, &oracle),
+            Err(crate::expr::ExpandError::EmptyExpansion)
+        );
     }
 
     #[test]

@@ -113,6 +113,75 @@ impl fmt::Display for Plan {
     }
 }
 
+/// A plan for a regular path expression: one independently join-ordered
+/// [`Plan`] per concrete expansion branch, unioned at the top.
+///
+/// Expansion pushes alternation *through* join-order enumeration — each
+/// branch is a plain chain, so the matrix-chain DP applies per branch and
+/// the union's cost is the sum of its branches' costs plus their
+/// materialized outputs (branch populations are disjoint by
+/// construction, so no dedup work is charged).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExprPlan {
+    /// Per-branch join plans, in the expansion's canonical order.
+    pub branches: Vec<Plan>,
+    /// Estimated total output cardinality (sum of branch estimates in
+    /// canonical order).
+    pub estimated: f64,
+    /// Expansion branches discarded by follow-matrix pruning.
+    pub pruned: u64,
+    /// Expansion branches discarded for exceeding the length budget.
+    pub truncated: u64,
+}
+
+impl ExprPlan {
+    /// Total estimated cost: every branch's internal cost plus its
+    /// materialized output (each branch's result feeds the union).
+    pub fn estimated_cost(&self) -> f64 {
+        self.branches
+            .iter()
+            .map(|b| b.estimated_cost() + b.estimated())
+            .sum()
+    }
+
+    /// Number of union branches.
+    pub fn width(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Renders an EXPLAIN-style tree: the union header, then each
+    /// branch's join tree.
+    pub fn explain(&self) -> String {
+        let mut out = format!(
+            "union of {} branch(es) (est {:.1}, pruned {}, truncated {})\n",
+            self.width(),
+            self.estimated,
+            self.pruned,
+            self.truncated
+        );
+        for branch in &self.branches {
+            for line in branch.explain().lines() {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for ExprPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, branch) in self.branches.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∪ ")?;
+            }
+            write!(f, "{branch}")?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,4 +1,5 @@
-//! A sharded LRU cache for repeated path estimates.
+//! LRU caches for repeated estimates: sharded per-path, plus the
+//! normalized-expression cache.
 //!
 //! Path-selectivity workloads are heavily skewed (optimizers re-ask the
 //! same hot join paths), so a small cache in front of the histogram's
@@ -7,8 +8,16 @@
 //! counters are shared with [`crate::metrics::ServiceMetrics`] so the
 //! cumulative hit rate survives snapshot hot-swaps (each swap installs a
 //! fresh, cold cache — the *counters* must not reset with it).
+//!
+//! The [`ExprCache`] serves the `estimate_expr` op. It is keyed by the
+//! **normalized** expression (see `phe_query::PathExpr::cache_key`), so
+//! syntactic variants like `(a|b)/c` and `(b|a)/c` share one entry —
+//! the hit counters therefore measure normalized-key hits against raw
+//! misses. Its counters are *per registry slot* and survive generation
+//! swaps within the slot.
 
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -47,24 +56,26 @@ impl CacheCounters {
 
 const NIL: usize = usize::MAX;
 
-struct Node {
-    key: LabelPath,
-    value: f64,
+struct Node<K, V> {
+    key: K,
+    value: V,
     prev: usize,
     next: usize,
 }
 
-/// One shard: a classic HashMap + intrusive-list LRU.
-struct Shard {
-    map: HashMap<LabelPath, usize>,
-    nodes: Vec<Node>,
+/// One shard: a classic HashMap + intrusive-list LRU, generic over the
+/// key (label paths here, normalized expression strings in
+/// [`ExprCache`]).
+struct Shard<K, V> {
+    map: HashMap<K, usize>,
+    nodes: Vec<Node<K, V>>,
     head: usize,
     tail: usize,
     capacity: usize,
 }
 
-impl Shard {
-    fn new(capacity: usize) -> Shard {
+impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
+    fn new(capacity: usize) -> Shard<K, V> {
         Shard {
             map: HashMap::with_capacity(capacity.min(1024)),
             nodes: Vec::with_capacity(capacity.min(1024)),
@@ -100,9 +111,12 @@ impl Shard {
         }
     }
 
-    fn get(&mut self, key: &LabelPath) -> Option<f64> {
+    fn get<Q: Hash + Eq + ?Sized>(&mut self, key: &Q) -> Option<V>
+    where
+        K: std::borrow::Borrow<Q>,
+    {
         let &i = self.map.get(key)?;
-        let value = self.nodes[i].value;
+        let value = self.nodes[i].value.clone();
         if self.head != i {
             self.detach(i);
             self.push_front(i);
@@ -110,7 +124,7 @@ impl Shard {
         Some(value)
     }
 
-    fn insert(&mut self, key: LabelPath, value: f64) {
+    fn insert(&mut self, key: K, value: V) {
         if let Some(&i) = self.map.get(&key) {
             self.nodes[i].value = value;
             if self.head != i {
@@ -121,7 +135,7 @@ impl Shard {
         }
         let i = if self.nodes.len() < self.capacity {
             self.nodes.push(Node {
-                key,
+                key: key.clone(),
                 value,
                 prev: NIL,
                 next: NIL,
@@ -134,7 +148,7 @@ impl Shard {
             self.detach(victim);
             self.map.remove(&self.nodes[victim].key);
             self.nodes[victim] = Node {
-                key,
+                key: key.clone(),
                 value,
                 prev: NIL,
                 next: NIL,
@@ -148,7 +162,7 @@ impl Shard {
 
 /// The sharded LRU estimate cache.
 pub struct ShardedLruCache {
-    shards: Vec<Mutex<Shard>>,
+    shards: Vec<Mutex<Shard<LabelPath, f64>>>,
     counters: Arc<CacheCounters>,
 }
 
@@ -168,7 +182,7 @@ impl ShardedLruCache {
         }
     }
 
-    fn shard_for(&self, path: &LabelPath) -> &Mutex<Shard> {
+    fn shard_for(&self, path: &LabelPath) -> &Mutex<Shard<LabelPath, f64>> {
         // FNV-1a over the packed labels: cheap and well-mixed for the
         // short u16 sequences paths are.
         let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -199,6 +213,67 @@ impl ShardedLruCache {
     /// Current number of cached entries (approximate under concurrency).
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A cached expression outcome: everything `estimate_expr` answers apart
+/// from the per-branch breakdown (explain requests recompute).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachedExpr {
+    /// Total estimate across the expansion, canonical-order sum.
+    pub total: f64,
+    /// Number of concrete branches estimated.
+    pub width: u64,
+    /// Branches discarded by follow pruning.
+    pub pruned: u64,
+    /// Branches discarded for exceeding the length budget.
+    pub truncated: u64,
+    /// Whether the expression also denotes the empty path.
+    pub matches_empty: bool,
+}
+
+/// The expression cache: one LRU keyed by the **normalized** expression
+/// rendering, so commuted alternations share entries. Expression traffic
+/// is far lighter than per-path traffic (each expression fans out into
+/// many per-path lookups below it), so a single mutex suffices.
+pub struct ExprCache {
+    shard: Mutex<Shard<String, CachedExpr>>,
+    counters: Arc<CacheCounters>,
+}
+
+impl ExprCache {
+    /// A cache holding up to `capacity` expressions, reporting into the
+    /// per-slot `counters`.
+    pub fn new(capacity: usize, counters: Arc<CacheCounters>) -> ExprCache {
+        ExprCache {
+            shard: Mutex::new(Shard::new(capacity.max(1))),
+            counters,
+        }
+    }
+
+    /// Looks up a normalized key, counting the hit or miss.
+    pub fn get(&self, key: &str) -> Option<CachedExpr> {
+        let result = self.shard.lock().get(key);
+        match result {
+            Some(_) => self.counters.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.counters.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        result
+    }
+
+    /// Inserts an outcome under its normalized key.
+    pub fn insert(&self, key: String, value: CachedExpr) {
+        self.shard.lock().insert(key, value);
+    }
+
+    /// Current number of cached expressions.
+    pub fn len(&self) -> usize {
+        self.shard.lock().map.len()
     }
 
     /// Whether the cache is empty.
@@ -279,6 +354,30 @@ mod tests {
         assert_eq!(cache.get(&trio[0]), Some(1.0));
         assert_eq!(cache.get(&trio[1]), None);
         assert_eq!(cache.get(&trio[2]), Some(3.0));
+    }
+
+    #[test]
+    fn expr_cache_hits_normalized_keys_and_evicts() {
+        let counters = Arc::new(CacheCounters::default());
+        let cache = ExprCache::new(2, counters.clone());
+        let entry = CachedExpr {
+            total: 7.5,
+            width: 2,
+            pruned: 1,
+            truncated: 0,
+            matches_empty: false,
+        };
+        assert_eq!(cache.get("(0|1)/2"), None);
+        cache.insert("(0|1)/2".to_owned(), entry);
+        // A commuted alternation normalizes to the same key string by the
+        // time it reaches the cache.
+        assert_eq!(cache.get("(0|1)/2"), Some(entry));
+        assert_eq!((counters.hits(), counters.misses()), (1, 1));
+
+        cache.insert("0".to_owned(), entry);
+        cache.insert("1".to_owned(), entry);
+        assert_eq!(cache.get("(0|1)/2"), None, "LRU evicted at capacity 2");
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

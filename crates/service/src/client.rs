@@ -47,6 +47,34 @@ pub struct BatchEstimates {
     pub estimates: Vec<f64>,
 }
 
+/// One expression's answer within a [`BatchExprEstimates`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExprResult {
+    /// Total estimate across the expression's concrete branches.
+    pub estimate: f64,
+    /// Number of concrete branches (expansion width).
+    pub paths: u64,
+    /// Branches discarded by follow pruning.
+    pub pruned: u64,
+    /// Branches discarded for exceeding the statistics' `k`.
+    pub truncated: u64,
+    /// Whether the expression also denotes the empty path.
+    pub matches_empty: bool,
+    /// Whether the server answered from its expression cache.
+    pub cached: bool,
+    /// Per-branch `(path, estimate)` rows (explain requests only).
+    pub branches: Option<Vec<(String, f64)>>,
+}
+
+/// A batched expression-estimate answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchExprEstimates {
+    /// The generation that served the whole batch.
+    pub version: u64,
+    /// One result per requested expression, in order.
+    pub results: Vec<ExprResult>,
+}
+
 /// One connection to a serving process.
 pub struct ServiceClient {
     reader: BufReader<TcpStream>,
@@ -127,6 +155,77 @@ impl ServiceClient {
             })
             .collect::<Result<Vec<f64>, _>>()?;
         Ok(BatchEstimates { version, estimates })
+    }
+
+    /// Batched regular-path-expression estimation (`estimate_expr` op).
+    pub fn estimate_expr(
+        &mut self,
+        estimator: &str,
+        exprs: &[String],
+        explain: bool,
+    ) -> Result<BatchExprEstimates, ClientError> {
+        let response = self.roundtrip(&Request::EstimateExpr {
+            estimator: estimator.to_owned(),
+            exprs: exprs.to_vec(),
+            explain,
+        })?;
+        let version = response
+            .get("version")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ClientError::Malformed("missing version".into()))?;
+        let results = response
+            .get("results")
+            .and_then(Value::as_array)
+            .ok_or_else(|| ClientError::Malformed("missing results".into()))?
+            .iter()
+            .map(|row| {
+                let number = |field: &str| {
+                    row.get(field)
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| ClientError::Malformed(format!("missing {field}")))
+                };
+                let branches = match row.get("branches") {
+                    None => None,
+                    Some(Value::Array(rows)) => Some(
+                        rows.iter()
+                            .map(|pair| {
+                                let items =
+                                    pair.as_array().filter(|a| a.len() == 2).ok_or_else(|| {
+                                        ClientError::Malformed("bad branch row".into())
+                                    })?;
+                                Ok((
+                                    items[0]
+                                        .as_str()
+                                        .ok_or_else(|| {
+                                            ClientError::Malformed("bad branch path".into())
+                                        })?
+                                        .to_owned(),
+                                    items[1].as_f64().ok_or_else(|| {
+                                        ClientError::Malformed("bad branch estimate".into())
+                                    })?,
+                                ))
+                            })
+                            .collect::<Result<Vec<(String, f64)>, ClientError>>()?,
+                    ),
+                    Some(other) => {
+                        return Err(ClientError::Malformed(format!("bad branches: {other:?}")))
+                    }
+                };
+                Ok(ExprResult {
+                    estimate: row
+                        .get("estimate")
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| ClientError::Malformed("missing estimate".into()))?,
+                    paths: number("paths")?,
+                    pruned: number("pruned")?,
+                    truncated: number("truncated")?,
+                    matches_empty: matches!(row.get("matches_empty"), Some(Value::Bool(true))),
+                    cached: matches!(row.get("cached"), Some(Value::Bool(true))),
+                    branches,
+                })
+            })
+            .collect::<Result<Vec<ExprResult>, ClientError>>()?;
+        Ok(BatchExprEstimates { version, results })
     }
 
     /// Asks the server to load/hot-swap a snapshot file; returns the new

@@ -195,6 +195,19 @@ impl ServableEstimator {
     pub fn estimate_labels(&self, labels: &[LabelId]) -> Result<f64, EstimateError> {
         Ok(self.estimate(&self.validate(labels)?))
     }
+
+    /// Renders a path as slash-joined label names (for explain output).
+    pub fn render_path(&self, path: &LabelPath) -> String {
+        phe_query::render_path(path, &|l| self.label_names.get(l.index()).cloned())
+    }
+}
+
+/// The serving tier parses regular path expressions against the
+/// statistics' own label table — no graph required.
+impl phe_query::LabelResolver for ServableEstimator {
+    fn resolve_label(&self, name: &str) -> Option<LabelId> {
+        self.by_name.get(name).copied()
+    }
 }
 
 #[cfg(test)]

@@ -60,9 +60,9 @@ pub mod protocol;
 pub mod registry;
 pub mod server;
 
-pub use cache::{CacheCounters, ShardedLruCache};
-pub use client::{BatchEstimates, ClientError, ServiceClient};
+pub use cache::{CacheCounters, CachedExpr, ExprCache, ShardedLruCache};
+pub use client::{BatchEstimates, BatchExprEstimates, ClientError, ExprResult, ServiceClient};
 pub use estimator::{EstimateError, ServableEstimator};
 pub use metrics::{MetricsReport, ServiceMetrics};
-pub use registry::{EstimatorRegistry, ServingEstimator};
+pub use registry::{EstimatorRegistry, ExprOutcome, ServingEstimator};
 pub use server::{install_sigint_flag, load_snapshot, Server, ServerConfig};

@@ -15,6 +15,7 @@
 //! |----|--------|--------|-------|
 //! | `ping` | — | `{"ok":true}` | liveness probe |
 //! | `estimate` | `estimator` (default `"default"`), `paths` | `version`, `estimates` | one pinned generation answers the whole batch |
+//! | `estimate_expr` | `estimator` (default `"default"`), `exprs` (expression strings), `explain` (false) | `version`, `results` rows: `estimate`, `paths`, `pruned`, `truncated`, `matches_empty`, `cached`, plus `branches` (`[path, estimate]` pairs) when `explain` | regular path expressions — alternation `(a\|b)`, optional `a?`, repetition `a{m,n}`, wildcard `.`; cached by *normalized* expression, so `(a\|b)c` and `(b\|a)c` share an entry; one pinned generation answers the whole batch |
 //! | `list` | — | `estimators` rows: `name`, `version`, `k`, `labels`, `size_bytes`, `description`, `base_build_id`, `applied_deltas` (lineage; `null` for pre-lineage snapshots), plus `maintained_catalog_bytes` / `maintained_plain_bytes` / `maintained_bytes_per_entry` for slots with maintenance state | each row read from a single generation; a climbing `applied_deltas` flags a slot due for a compacting rebuild |
 //! | `metrics` | — | `metrics` object | qps, p50/p99, cache hit rate, rebuild + delta counters |
 //! | `load` | `name`, `snapshot` | `version` | restores a snapshot file from the **server's** filesystem and hot-swaps the slot |
@@ -26,6 +27,8 @@
 //! ← {"ok":true}
 //! → {"op":"estimate","estimator":"main","paths":[["knows","likes"],[0,1]]}
 //! ← {"ok":true,"version":1,"estimates":[123.0,7.5]}
+//! → {"op":"estimate_expr","estimator":"main","exprs":["(knows|likes)/knows?"]}
+//! ← {"ok":true,"version":1,"results":[{"estimate":130.5,"paths":4,"pruned":0,"truncated":0,"matches_empty":false,"cached":false}]}
 //! → {"op":"rebuild","name":"main","graph":"/path/graph.tsv","k":3,"beta":64,"maintain":true}
 //! ← {"ok":true,"status":"rebuilding"}
 //! → {"op":"delta","name":"main","changes":"/path/changes.tsv"}
@@ -83,6 +86,19 @@ pub enum Request {
         estimator: String,
         /// The batch of paths.
         paths: Vec<Vec<PathStep>>,
+    },
+    /// Batched regular-path-expression estimation against a named
+    /// estimator. Expression strings use the `phe-query` grammar
+    /// (`(a|b)/c?`, `a{1,3}`, `.`); answers are cached per slot under the
+    /// normalized expression.
+    EstimateExpr {
+        /// Registry slot name.
+        estimator: String,
+        /// The batch of expression strings.
+        exprs: Vec<String>,
+        /// Include per-branch `(path, estimate)` rows in each result
+        /// (bypasses the expression cache).
+        explain: bool,
     },
     /// List registered estimators.
     List,
@@ -199,6 +215,42 @@ impl Request {
                 }
                 Ok(Request::Estimate { estimator, paths })
             }
+            "estimate_expr" => {
+                let estimator = value
+                    .get("estimator")
+                    .and_then(Value::as_str)
+                    .unwrap_or("default")
+                    .to_owned();
+                let exprs_value = value
+                    .get("exprs")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| err("estimate_expr needs an array field \"exprs\""))?;
+                let mut exprs = Vec::with_capacity(exprs_value.len());
+                for e in exprs_value {
+                    match e {
+                        Value::String(s) => exprs.push(s.clone()),
+                        other => {
+                            return Err(err(format!(
+                                "each expression must be a string, got {other:?}"
+                            )))
+                        }
+                    }
+                }
+                let explain = match value.get("explain") {
+                    None => false,
+                    Some(Value::Bool(b)) => *b,
+                    Some(other) => {
+                        return Err(err(format!(
+                            "field \"explain\" must be a boolean, got {other:?}"
+                        )))
+                    }
+                };
+                Ok(Request::EstimateExpr {
+                    estimator,
+                    exprs,
+                    explain,
+                })
+            }
             "load" => {
                 let name = value
                     .get("name")
@@ -314,6 +366,19 @@ impl Request {
                     ("paths".into(), paths_value),
                 ])
             }
+            Request::EstimateExpr {
+                estimator,
+                exprs,
+                explain,
+            } => Value::Object(vec![
+                ("op".into(), Value::string("estimate_expr")),
+                ("estimator".into(), Value::string(estimator.clone())),
+                (
+                    "exprs".into(),
+                    Value::Array(exprs.iter().map(|e| Value::string(e.clone())).collect()),
+                ),
+                ("explain".into(), Value::Bool(*explain)),
+            ]),
             Request::Load { name, snapshot } => Value::Object(vec![
                 ("op".into(), Value::string("load")),
                 ("name".into(), Value::string(name.clone())),
@@ -468,6 +533,11 @@ mod tests {
                 estimator: "default".into(),
                 paths: vec![vec![PathStep::Name("a".into()), PathStep::Id(3)]],
             },
+            Request::EstimateExpr {
+                estimator: "main".into(),
+                exprs: vec!["(a|b)/c?".into(), "a{1,3}".into()],
+                explain: true,
+            },
             Request::Load {
                 name: "x".into(),
                 snapshot: "/tmp/s.json".into(),
@@ -531,6 +601,22 @@ mod tests {
     fn estimator_defaults_to_default() {
         let r = Request::parse(r#"{"op":"estimate","paths":[[1]]}"#).unwrap();
         assert!(matches!(r, Request::Estimate { estimator, .. } if estimator == "default"));
+    }
+
+    #[test]
+    fn estimate_expr_parses_defaults_and_errors() {
+        let r = Request::parse(r#"{"op":"estimate_expr","exprs":["(a|b)/c"]}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::EstimateExpr {
+                estimator: "default".into(),
+                exprs: vec!["(a|b)/c".into()],
+                explain: false,
+            }
+        );
+        assert!(Request::parse(r#"{"op":"estimate_expr"}"#).is_err());
+        assert!(Request::parse(r#"{"op":"estimate_expr","exprs":[7]}"#).is_err());
+        assert!(Request::parse(r#"{"op":"estimate_expr","exprs":["a"],"explain":3}"#).is_err());
     }
 
     #[test]

@@ -18,15 +18,40 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 use phe_core::{LabelPath, PathSelectivityEstimator};
 use phe_graph::Graph;
+use phe_query::expr::ExpandOptions;
+use phe_query::parse_expr;
 
-use crate::cache::{CacheCounters, ShardedLruCache};
+use crate::cache::{CacheCounters, CachedExpr, ExprCache, ShardedLruCache};
 use crate::estimator::{EstimateError, ServableEstimator};
 
-/// One published generation: an immutable estimator plus its cache.
+/// One published generation: an immutable estimator plus its caches (the
+/// sharded per-path LRU and the normalized-expression LRU).
 pub struct ServingEstimator {
     estimator: ServableEstimator,
     cache: ShardedLruCache,
+    expr_cache: ExprCache,
     version: u64,
+}
+
+/// One expression answered by [`ServingEstimator::estimate_expr`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExprOutcome {
+    /// Total estimate (canonical-order sum over the expansion).
+    pub total: f64,
+    /// Number of concrete branches.
+    pub width: u64,
+    /// Branches discarded by follow pruning (always 0 at serve time — the
+    /// serving tier holds statistics, not the graph).
+    pub pruned: u64,
+    /// Branches discarded for exceeding the statistics' `k`.
+    pub truncated: u64,
+    /// Whether the expression also denotes the empty path.
+    pub matches_empty: bool,
+    /// Whether the answer came from the expression cache.
+    pub cached: bool,
+    /// Per-branch `(path, estimate)` rows, present only for explain
+    /// requests (which bypass the cache to produce them).
+    pub branches: Option<Vec<(String, f64)>>,
 }
 
 impl ServingEstimator {
@@ -72,10 +97,81 @@ impl ServingEstimator {
             .collect::<Result<_, _>>()?;
         Ok(self.estimate_batch(&validated))
     }
+
+    /// Parses, normalizes, and estimates one regular path expression
+    /// against this generation's statistics.
+    ///
+    /// The expression cache is keyed by the **normalized** rendering, so
+    /// `(a|b)/c` and `(b|a)/c` share an entry; per-branch estimates on a
+    /// miss flow through the per-path LRU, so hot branches amortize
+    /// across different expressions. `explain` requests bypass the cache
+    /// (they need the branch breakdown, which is not cached) and leave
+    /// the hit/miss counters untouched.
+    ///
+    /// # Errors
+    /// A rendered message for parse failures (with byte positions) and
+    /// over-wide expansions.
+    pub fn estimate_expr(&self, source: &str, explain: bool) -> Result<ExprOutcome, String> {
+        let expr = parse_expr(self.estimator(), source).map_err(|e| {
+            format!(
+                "{e} (bytes {}..{} of the expression)",
+                e.span.start, e.span.end
+            )
+        })?;
+        let normalized = expr.normalize();
+        let key = normalized.to_string();
+        if !explain {
+            if let Some(hit) = self.expr_cache.get(&key) {
+                return Ok(ExprOutcome {
+                    total: hit.total,
+                    width: hit.width,
+                    pruned: hit.pruned,
+                    truncated: hit.truncated,
+                    matches_empty: hit.matches_empty,
+                    cached: true,
+                    branches: None,
+                });
+            }
+        }
+        let opts = ExpandOptions::new(self.estimator.label_count(), self.estimator.k());
+        let expansion = normalized.expand(&opts).map_err(|e| e.to_string())?;
+        let mut total = 0.0f64;
+        let mut branches = explain.then(|| Vec::with_capacity(expansion.paths.len()));
+        for path in &expansion.paths {
+            let estimate = self.estimate(path);
+            total += estimate;
+            if let Some(rows) = branches.as_mut() {
+                rows.push((self.estimator.render_path(path), estimate));
+            }
+        }
+        let cached_entry = CachedExpr {
+            total,
+            width: expansion.paths.len() as u64,
+            pruned: expansion.pruned,
+            truncated: expansion.truncated,
+            matches_empty: expansion.matches_empty,
+        };
+        if !explain {
+            self.expr_cache.insert(key, cached_entry);
+        }
+        Ok(ExprOutcome {
+            total,
+            width: cached_entry.width,
+            pruned: cached_entry.pruned,
+            truncated: cached_entry.truncated,
+            matches_empty: cached_entry.matches_empty,
+            cached: false,
+            branches,
+        })
+    }
 }
 
 struct Slot {
     current: RwLock<Arc<ServingEstimator>>,
+    /// Expression-cache hit/miss counters for this slot — shared across
+    /// its generations, so the `list` op reports a per-slot rate that
+    /// survives hot-swaps.
+    expr_counters: Arc<CacheCounters>,
 }
 
 /// What a slot keeps between incremental updates: the graph the published
@@ -130,6 +226,9 @@ pub struct EstimatorInfo {
     /// drifting from its last full build — the operator signal for a
     /// compacting rebuild. `None` for pre-lineage snapshots.
     pub lineage: Option<(u64, u64)>,
+    /// Per-slot expression-cache counters `(normalized-key hits, raw
+    /// misses)`, cumulative across the slot's generations.
+    pub expr_cache: (u64, u64),
     /// The maintained sparse catalog's footprint, when the slot holds
     /// maintenance state.
     pub maintained: Option<MaintainedFootprint>,
@@ -152,6 +251,11 @@ pub struct EstimatorRegistry {
 impl EstimatorRegistry {
     /// Default per-estimator cache capacity (entries).
     pub const DEFAULT_CACHE_CAPACITY: usize = 16 * 1024;
+
+    /// Per-slot expression-cache capacity (normalized expressions). Each
+    /// entry is one answered expression; the fan-out into per-path
+    /// estimates is cached separately by the per-path LRU.
+    pub const EXPR_CACHE_CAPACITY: usize = 1024;
 
     /// An empty registry whose caches report into `counters`.
     pub fn new(counters: Arc<CacheCounters>, cache_capacity: usize) -> EstimatorRegistry {
@@ -240,21 +344,31 @@ impl EstimatorRegistry {
         if let Some(slot) = slots.get(name) {
             return self.swap_in(slot, estimator);
         }
-        slots.insert(
-            name.to_owned(),
-            Arc::new(Slot {
-                current: RwLock::new(Arc::new(self.generation(estimator, 1))),
-            }),
-        );
+        slots.insert(name.to_owned(), self.new_slot(estimator));
         1
     }
 
+    /// A fresh slot at version 1, with its own expression-cache counters.
+    fn new_slot(&self, estimator: ServableEstimator) -> Arc<Slot> {
+        let expr_counters = Arc::new(CacheCounters::default());
+        Arc::new(Slot {
+            current: RwLock::new(Arc::new(self.generation(
+                estimator,
+                1,
+                Arc::clone(&expr_counters),
+            ))),
+            expr_counters,
+        })
+    }
+
     /// Installs a new generation into an existing slot; the caller holds a
-    /// map lock, so the slot cannot be detached concurrently.
+    /// map lock, so the slot cannot be detached concurrently. The slot's
+    /// expression-cache counters carry over (the cache itself starts
+    /// cold, like the per-path cache).
     fn swap_in(&self, slot: &Slot, estimator: ServableEstimator) -> u64 {
         let mut current = slot.current.write();
         let version = current.version() + 1;
-        *current = Arc::new(self.generation(estimator, version));
+        *current = Arc::new(self.generation(estimator, version, Arc::clone(&slot.expr_counters)));
         version
     }
 
@@ -280,7 +394,8 @@ impl EstimatorRegistry {
                     return None;
                 }
                 let version = expected + 1;
-                *current = Arc::new(self.generation(estimator, version));
+                *current =
+                    Arc::new(self.generation(estimator, version, Arc::clone(&slot.expr_counters)));
                 return Some(version);
             }
         }
@@ -291,12 +406,7 @@ impl EstimatorRegistry {
         if slots.contains_key(name) {
             return None; // created concurrently: that publish is newer
         }
-        slots.insert(
-            name.to_owned(),
-            Arc::new(Slot {
-                current: RwLock::new(Arc::new(self.generation(estimator, 1))),
-            }),
-        );
+        slots.insert(name.to_owned(), self.new_slot(estimator));
         Some(1)
     }
 
@@ -327,10 +437,16 @@ impl EstimatorRegistry {
         Some(version)
     }
 
-    fn generation(&self, estimator: ServableEstimator, version: u64) -> ServingEstimator {
+    fn generation(
+        &self,
+        estimator: ServableEstimator,
+        version: u64,
+        expr_counters: Arc<CacheCounters>,
+    ) -> ServingEstimator {
         ServingEstimator {
             estimator,
             cache: ShardedLruCache::new(self.cache_capacity, Arc::clone(&self.counters)),
+            expr_cache: ExprCache::new(Self::EXPR_CACHE_CAPACITY, expr_counters),
             version,
         }
     }
@@ -394,6 +510,7 @@ impl EstimatorRegistry {
                     size_bytes: generation.estimator().size_bytes(),
                     description: generation.estimator().description().to_owned(),
                     lineage: generation.estimator().lineage(),
+                    expr_cache: (slot.expr_counters.hits(), slot.expr_counters.misses()),
                     maintained: maintained.get(name).copied(),
                 }
             })
@@ -502,6 +619,54 @@ mod tests {
             generation.estimate_id_batch(&paths),
             Err(EstimateError::UnknownLabelId(99))
         ));
+    }
+
+    #[test]
+    fn estimate_expr_caches_under_normalized_keys_per_slot() {
+        let registry = EstimatorRegistry::with_default_counters();
+        registry.register("main", servable(16));
+        let generation = registry.get("main").unwrap();
+        let labels = generation.estimator().label_count();
+        assert_eq!(labels, 3);
+
+        // Miss, then a commuted alternation hits the same normalized key.
+        let first = generation.estimate_expr("0|1", false).unwrap();
+        assert!(!first.cached);
+        assert_eq!(first.width, 2);
+        let second = generation.estimate_expr("1|0", false).unwrap();
+        assert!(second.cached, "commuted alternation must hit");
+        assert_eq!(second.total.to_bits(), first.total.to_bits());
+
+        // The total is the canonical-order sum of the branch estimates.
+        let direct = generation
+            .estimate_id_batch(&[vec![LabelId(0)], vec![LabelId(1)]])
+            .unwrap();
+        assert_eq!(first.total.to_bits(), (direct[0] + direct[1]).to_bits());
+
+        // Explain bypasses the cache and carries branch rows.
+        let explained = generation.estimate_expr("0|1", true).unwrap();
+        assert!(!explained.cached);
+        let branches = explained.branches.expect("explain carries branches");
+        assert_eq!(branches.len(), 2);
+        assert_eq!(branches[0].0, "0");
+
+        // Per-slot counters: 1 hit, 1 miss so far (explain not counted),
+        // reported by list() and surviving a hot swap.
+        let row = &registry.list()[0];
+        assert_eq!(row.expr_cache, (1, 1));
+        registry.register("main", servable(8));
+        let row = &registry.list()[0];
+        assert_eq!(row.expr_cache, (1, 1), "counters survive the swap");
+        let fresh = registry.get("main").unwrap();
+        let after_swap = fresh.estimate_expr("1|0", false).unwrap();
+        assert!(!after_swap.cached, "new generation starts cold");
+        assert_eq!(registry.list()[0].expr_cache, (1, 2));
+
+        // Parse errors surface with byte positions; wildcards expand.
+        let err = generation.estimate_expr("0/nope", false).unwrap_err();
+        assert!(err.contains("nope") && err.contains("bytes 2..6"), "{err}");
+        let wild = generation.estimate_expr(".", false).unwrap();
+        assert_eq!(wild.width, labels as u64);
     }
 
     #[test]

@@ -280,6 +280,14 @@ fn handle_line(
                                 Value::Number(Number::PosInt(deltas))
                             }),
                         ),
+                        (
+                            "expr_cache_hits".into(),
+                            Value::Number(Number::PosInt(info.expr_cache.0)),
+                        ),
+                        (
+                            "expr_cache_misses".into(),
+                            Value::Number(Number::PosInt(info.expr_cache.1)),
+                        ),
                     ];
                     if let Some(m) = info.maintained {
                         row.push((
@@ -334,6 +342,24 @@ fn handle_line(
                     true,
                 ),
                 Err(message) => (error_response(&message), path_count, false),
+            }
+        }
+        Request::EstimateExpr {
+            estimator,
+            exprs,
+            explain,
+        } => {
+            let expr_count = exprs.len();
+            match estimate_exprs(registry, &estimator, &exprs, explain) {
+                Ok((version, results)) => (
+                    ok_response(vec![
+                        ("version".into(), Value::Number(Number::PosInt(version))),
+                        ("results".into(), results),
+                    ]),
+                    expr_count,
+                    true,
+                ),
+                Err(message) => (error_response(&message), expr_count, false),
             }
         }
         Request::Delta { name, changes } => {
@@ -515,6 +541,61 @@ fn estimate(
         .estimate_id_batch(&id_paths)
         .map_err(|e| e.to_string())?;
     Ok((generation.version(), estimates))
+}
+
+/// Answers a batch of expression strings against one pinned generation.
+/// The first failure (parse error, over-wide expansion) aborts the whole
+/// batch — matching `estimate`'s all-or-nothing contract.
+fn estimate_exprs(
+    registry: &EstimatorRegistry,
+    name: &str,
+    exprs: &[String],
+    explain: bool,
+) -> Result<(u64, Value), String> {
+    let generation = registry
+        .get(name)
+        .ok_or_else(|| format!("no estimator {name:?} (try \"list\")"))?;
+    let mut rows = Vec::with_capacity(exprs.len());
+    for source in exprs {
+        let outcome = generation
+            .estimate_expr(source, explain)
+            .map_err(|e| format!("{source:?}: {e}"))?;
+        let mut row = vec![
+            (
+                "estimate".into(),
+                Value::Number(Number::Float(outcome.total)),
+            ),
+            ("paths".into(), Value::Number(Number::PosInt(outcome.width))),
+            (
+                "pruned".into(),
+                Value::Number(Number::PosInt(outcome.pruned)),
+            ),
+            (
+                "truncated".into(),
+                Value::Number(Number::PosInt(outcome.truncated)),
+            ),
+            ("matches_empty".into(), Value::Bool(outcome.matches_empty)),
+            ("cached".into(), Value::Bool(outcome.cached)),
+        ];
+        if let Some(branches) = outcome.branches {
+            row.push((
+                "branches".into(),
+                Value::Array(
+                    branches
+                        .into_iter()
+                        .map(|(path, estimate)| {
+                            Value::Array(vec![
+                                Value::string(path),
+                                Value::Number(Number::Float(estimate)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        rows.push(Value::Object(row));
+    }
+    Ok((generation.version(), Value::Array(rows)))
 }
 
 /// Kicks off a detached background rebuild: load the graph, build fresh
@@ -782,6 +863,63 @@ mod tests {
 
         let (r, _, ok) = handle_line(r#"{"op":"metrics"}"#, &registry, &metrics, true);
         assert!(ok && r.contains("cache_hit_rate"), "{r}");
+    }
+
+    #[test]
+    fn handle_line_answers_estimate_expr() {
+        let registry = test_registry();
+        let metrics = Arc::new(ServiceMetrics::new());
+
+        let (r, exprs, ok) = handle_line(
+            r#"{"op":"estimate_expr","exprs":["0|1","0/1?"]}"#,
+            &registry,
+            &metrics,
+            true,
+        );
+        assert!(ok, "{r}");
+        assert_eq!(exprs, 2);
+        assert!(r.contains(r#""results""#), "{r}");
+        assert!(r.contains(r#""paths":2"#), "{r}");
+        assert!(r.contains(r#""cached":false"#), "{r}");
+
+        // Same expression commuted: cache hit.
+        let (r, _, ok) = handle_line(
+            r#"{"op":"estimate_expr","exprs":["1|0"]}"#,
+            &registry,
+            &metrics,
+            true,
+        );
+        assert!(ok && r.contains(r#""cached":true"#), "{r}");
+
+        // Explain carries per-branch rows.
+        let (r, _, ok) = handle_line(
+            r#"{"op":"estimate_expr","exprs":["0|1"],"explain":true}"#,
+            &registry,
+            &metrics,
+            true,
+        );
+        assert!(ok && r.contains(r#""branches":[["0","#), "{r}");
+
+        // The list op reports the slot's expression-cache counters.
+        let (r, _, ok) = handle_line(r#"{"op":"list"}"#, &registry, &metrics, true);
+        assert!(ok && r.contains(r#""expr_cache_hits":1"#), "{r}");
+        assert!(r.contains(r#""expr_cache_misses""#), "{r}");
+
+        // Errors: bad expression aborts the batch; unknown estimator.
+        let (r, _, ok) = handle_line(
+            r#"{"op":"estimate_expr","exprs":["0|"]}"#,
+            &registry,
+            &metrics,
+            true,
+        );
+        assert!(!ok && r.contains("unexpected end"), "{r}");
+        let (r, _, ok) = handle_line(
+            r#"{"op":"estimate_expr","estimator":"missing","exprs":["0"]}"#,
+            &registry,
+            &metrics,
+            true,
+        );
+        assert!(!ok && r.contains("missing"), "{r}");
     }
 
     #[test]

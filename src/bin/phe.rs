@@ -24,8 +24,7 @@ use std::process::ExitCode;
 
 use phe::core::snapshot::EstimatorSnapshot;
 use phe::core::{EstimatorConfig, HistogramKind, OrderingKind, PathSelectivityEstimator};
-use phe::graph::{Graph, GraphStats, LabelId};
-use phe::service::protocol::PathStep;
+use phe::graph::{Graph, GraphStats};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -79,13 +78,24 @@ USAGE:
       instead of recounting; --compare verifies against (and times) a
       full rebuild
   phe estimate <stats.json> <path-expr>...
-      path-expr: slash-separated label names, e.g. knows/likes
+      path-expr: a regular path expression over label names —
+      concatenation knows/likes, alternation (a|b), optional a?,
+      bounded repetition a{m,n}, single-step wildcard .
+      (labels whose names contain ( ) | ? { } , . / or whitespace
+      cannot be referenced — those characters belong to the grammar)
   phe accuracy <graph.tsv> --k K --beta B
   phe serve --snapshot [name=]stats.json [--snapshot ...] [--addr 127.0.0.1:7878]
             [--workers N] [--cache ENTRIES] [--no-load]
       serves batched estimates over newline-delimited JSON TCP; ctrl-C
-      prints the metrics report (qps, p50/p99, cache hit rate) and exits
-  phe query --remote 127.0.0.1:7878 [--estimator NAME] <path-expr>...
+      prints the metrics report (qps, p50/p99, cache + expression-cache
+      hit rates) and exits
+  phe query (--remote 127.0.0.1:7878 | --snapshot stats.json) [--estimator NAME]
+            [--graph graph.tsv] [--explain] <path-expr>...
+      estimates regular path expressions — locally against a snapshot, or
+      remotely via the estimate_expr op (one batched request, answered by
+      a single estimator generation). --graph enables follow-matrix
+      pruning of impossible branches (local mode). --explain prints the
+      expansion tree, per-branch estimates, and prune counts
 ";
 
 /// Tiny flag parser: positional args plus `--flag value` pairs.
@@ -412,6 +422,75 @@ fn cmd_delta(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Renders a spanned parse error with its caret-underlined snippet, the
+/// way the CLI reports it under `error:`.
+fn render_query_error(source: &str, err: &phe::query::QueryError) -> String {
+    let mut out = err.to_string();
+    for line in err.snippet(source).lines() {
+        out.push_str("\n  ");
+        out.push_str(line);
+    }
+    out
+}
+
+/// One locally estimated expression: the parsed form, its expansion, and
+/// per-branch estimates (canonical order).
+struct LocalExprEstimate {
+    expr: phe::query::PathExpr,
+    expansion: phe::query::Expansion,
+    branches: Vec<(String, f64)>,
+    total: f64,
+}
+
+/// Parses, expands, and estimates one expression against a restored
+/// snapshot — the local counterpart of the service's `estimate_expr` op,
+/// plus optional follow-matrix pruning when the build graph is at hand.
+fn local_expr_estimate(
+    snapshot: &EstimatorSnapshot,
+    restored: &phe::core::LabelPathHistogram,
+    source: &str,
+    follow: Option<&phe::graph::FollowMatrix>,
+) -> Result<LocalExprEstimate, String> {
+    let expr = phe::query::parse_expr(snapshot.label_names.as_slice(), source)
+        .map_err(|e| render_query_error(source, &e))?;
+    // Concrete over-length chains keep the pre-expression error text;
+    // branchy expressions handle the budget per concrete path.
+    if let Some(chain) = expr.as_concrete() {
+        if chain.len() > snapshot.k {
+            return Err(format!(
+                "{source:?} has {} steps but the statistics cover k ≤ {}",
+                chain.len(),
+                snapshot.k
+            ));
+        }
+    }
+    let mut opts = phe::query::ExpandOptions::new(snapshot.label_names.len(), snapshot.k);
+    if let Some(follow) = follow {
+        opts = opts.with_follow(follow);
+    }
+    let expansion = expr.normalize().expand(&opts).map_err(|e| e.to_string())?;
+    let mut total = 0.0f64;
+    let mut branches = Vec::with_capacity(expansion.paths.len());
+    for path in &expansion.paths {
+        let estimate = restored.estimate(path);
+        total += estimate;
+        let name = phe::query::render_path(path, &|l| snapshot.label_names.get(l.index()).cloned());
+        branches.push((name, estimate));
+    }
+    Ok(LocalExprEstimate {
+        expr,
+        expansion,
+        branches,
+        total,
+    })
+}
+
+fn read_snapshot(snapshot_path: &str) -> Result<EstimatorSnapshot, String> {
+    let json = std::fs::read_to_string(snapshot_path)
+        .map_err(|e| format!("reading {snapshot_path}: {e}"))?;
+    serde_json::from_str(&json).map_err(|e| format!("parsing {snapshot_path}: {e}"))
+}
+
 fn cmd_estimate(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     let (snapshot_path, exprs) = flags
@@ -421,40 +500,11 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
     if exprs.is_empty() {
         return Err("estimate needs at least one path expression".into());
     }
-    let json = std::fs::read_to_string(snapshot_path)
-        .map_err(|e| format!("reading {snapshot_path}: {e}"))?;
-    let snapshot: EstimatorSnapshot =
-        serde_json::from_str(&json).map_err(|e| format!("parsing {snapshot_path}: {e}"))?;
+    let snapshot = read_snapshot(snapshot_path)?;
     let restored = snapshot.restore().map_err(|e| e.to_string())?;
-
-    // Resolve label names through the snapshot (no graph needed).
-    let resolve = |name: &str| -> Result<LabelId, String> {
-        snapshot
-            .label_names
-            .iter()
-            .position(|n| n == name)
-            .map(|i| LabelId(i as u16))
-            .ok_or_else(|| format!("unknown label {name:?}"))
-    };
     for expr in exprs {
-        let labels: Result<Vec<LabelId>, String> = expr
-            .split('/')
-            .map(str::trim)
-            .filter(|s| !s.is_empty())
-            .map(resolve)
-            .collect();
-        let labels = labels?;
-        if labels.is_empty() {
-            return Err(format!("empty path expression {expr:?}"));
-        }
-        if labels.len() > snapshot.k {
-            return Err(format!(
-                "{expr:?} has {} steps but the statistics cover k ≤ {}",
-                labels.len(),
-                snapshot.k
-            ));
-        }
-        println!("{expr}\t{:.2}", restored.estimate_labels(&labels));
+        let estimate = local_expr_estimate(&snapshot, &restored, expr, None)?;
+        println!("{expr}\t{:.2}", estimate.total);
     }
     Ok(())
 }
@@ -567,6 +617,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "estimator        {:?} v{}: {} bytes retained, {lineage} ({})",
             info.name, info.version, info.size_bytes, info.description
         );
+        println!(
+            "                 expression cache: {} normalized-key hit(s) / {} raw miss(es)",
+            info.expr_cache.0, info.expr_cache.1
+        );
         if let Some(m) = info.maintained {
             println!(
                 "                 maintained catalog: {} bytes compressed vs {} plain \
@@ -582,54 +636,130 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args)?;
-    let remote = flags
-        .get("remote")
-        .ok_or("query needs --remote host:port (local estimation is `phe estimate`)")?;
-    let estimator = flags.get("estimator").unwrap_or("default");
+    let flags = Flags::parse_with_booleans(args, &["explain"])?;
+    let explain = flags.get("explain").is_some();
     if flags.positional.is_empty() {
         return Err("query needs at least one path expression".into());
     }
-    // One batched request for all expressions: the batch is answered by a
-    // single estimator generation, so the printed results are consistent
-    // even if the server hot-swaps mid-call.
-    let paths: Vec<Vec<PathStep>> = flags
-        .positional
-        .iter()
-        .map(|expr| {
-            let steps: Vec<PathStep> = expr
-                .split('/')
-                .map(str::trim)
-                .filter(|s| !s.is_empty())
-                .map(|s| PathStep::Name(s.to_owned()))
-                .collect();
-            if steps.is_empty() {
-                Err(format!("empty path expression {expr:?}"))
-            } else {
-                Ok(steps)
-            }
-        })
-        .collect::<Result<_, _>>()?;
+    match (flags.get("remote"), flags.get("snapshot")) {
+        (Some(_), Some(_)) => Err("--remote and --snapshot are mutually exclusive".into()),
+        (Some(remote), None) => query_remote(
+            remote,
+            flags.get("estimator").unwrap_or("default"),
+            &flags.positional,
+            explain,
+        ),
+        (None, Some(snapshot)) => {
+            query_local(snapshot, flags.get("graph"), &flags.positional, explain)
+        }
+        (None, None) => Err("query needs --remote host:port or --snapshot stats.json".into()),
+    }
+}
+
+/// One batched `estimate_expr` request for all expressions: the batch is
+/// answered by a single estimator generation, so the printed results are
+/// consistent even if the server hot-swaps mid-call.
+fn query_remote(
+    remote: &str,
+    estimator: &str,
+    exprs: &[String],
+    explain: bool,
+) -> Result<(), String> {
     let mut client = phe::service::ServiceClient::connect(remote)
         .map_err(|e| format!("connecting {remote}: {e}"))?;
     let batch = client
-        .estimate(estimator, paths)
+        .estimate_expr(estimator, exprs, explain)
         .map_err(|e| e.to_string())?;
-    if batch.estimates.len() != flags.positional.len() {
+    if batch.results.len() != exprs.len() {
         return Err(format!(
-            "server answered {} estimates for {} paths",
-            batch.estimates.len(),
-            flags.positional.len()
+            "server answered {} results for {} expressions",
+            batch.results.len(),
+            exprs.len()
         ));
     }
-    for (expr, estimate) in flags.positional.iter().zip(&batch.estimates) {
-        println!("{expr}\t{estimate:.2}");
+    for (expr, result) in exprs.iter().zip(&batch.results) {
+        println!("{expr}\t{:.2}", result.estimate);
+        if explain {
+            println!(
+                "  {} concrete path(s), {} pruned, {} truncated{}{}",
+                result.paths,
+                result.pruned,
+                result.truncated,
+                if result.cached { ", cached" } else { "" },
+                if result.matches_empty {
+                    ", also matches the empty path"
+                } else {
+                    ""
+                }
+            );
+            for (path, estimate) in result.branches.iter().flatten() {
+                println!("    {path}\t{estimate:.2}");
+            }
+        }
     }
     eprintln!(
-        "(estimator {estimator:?} v{} answered {} paths)",
+        "(estimator {estimator:?} v{} answered {} expression(s))",
         batch.version,
-        batch.estimates.len()
+        batch.results.len()
     );
+    Ok(())
+}
+
+/// Local expression estimation against a snapshot — `phe estimate` with
+/// the full expression surface, plus follow-matrix pruning when the
+/// build graph is supplied.
+fn query_local(
+    snapshot_path: &str,
+    graph_path: Option<&str>,
+    exprs: &[String],
+    explain: bool,
+) -> Result<(), String> {
+    let snapshot = read_snapshot(snapshot_path)?;
+    let restored = snapshot.restore().map_err(|e| e.to_string())?;
+    let follow = match graph_path {
+        None => None,
+        Some(path) => {
+            let graph = load_graph(path)?;
+            let graph_names: Vec<&str> = graph
+                .label_ids()
+                .map(|l| graph.labels().name(l).unwrap_or("?"))
+                .collect();
+            if graph_names != snapshot.label_names {
+                return Err(format!(
+                    "{path} does not match the statistics: its labels differ from the \
+                     snapshot's (follow-matrix pruning needs the build graph)"
+                ));
+            }
+            Some(phe::graph::FollowMatrix::from_graph(&graph))
+        }
+    };
+    for expr in exprs {
+        let estimate = local_expr_estimate(&snapshot, &restored, expr, follow.as_ref())?;
+        println!("{expr}\t{:.2}", estimate.total);
+        if explain {
+            println!(
+                "  {} concrete path(s), {} pruned, {} truncated{}",
+                estimate.branches.len(),
+                estimate.expansion.pruned,
+                estimate.expansion.truncated,
+                if estimate.expansion.matches_empty {
+                    ", also matches the empty path"
+                } else {
+                    ""
+                }
+            );
+            for line in estimate
+                .expr
+                .tree(&|l| snapshot.label_names.get(l.index()).cloned())
+                .lines()
+            {
+                println!("  {line}");
+            }
+            for (path, value) in &estimate.branches {
+                println!("    {path}\t{value:.2}");
+            }
+        }
+    }
     Ok(())
 }
 

@@ -273,6 +273,101 @@ fn delta_refreshes_statistics_incrementally() {
 }
 
 #[test]
+fn query_estimates_expressions_locally_with_explain_and_pruning() {
+    let dir = workdir("query_expr");
+    let graph = dir.join("g.tsv");
+    let stats = dir.join("stats.json");
+    // a feeds b; c is disconnected from both.
+    std::fs::write(&graph, "0\ta\t1\n1\tb\t2\n1\tb\t3\n7\tc\t8\n").unwrap();
+    let out = phe()
+        .args([
+            "build",
+            graph.to_str().unwrap(),
+            "--k",
+            "2",
+            "--beta",
+            "8",
+            "--out",
+            stats.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // estimate handles full expressions now.
+    let out = phe()
+        .args(["estimate", stats.to_str().unwrap(), "(a|c)/b?"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("(a|c)/b?\t"), "{text}");
+
+    // query --snapshot --explain prints the tree, branches, and counts.
+    let out = phe()
+        .args([
+            "query",
+            "--snapshot",
+            stats.to_str().unwrap(),
+            "--explain",
+            "(a|c)/b?",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("concrete path(s)"), "{text}");
+    assert!(text.contains("alt"), "{text}");
+    assert!(text.contains("a/b\t"), "{text}");
+    assert!(text.contains("0 pruned"), "{text}");
+
+    // With the build graph, impossible branches (c/b) are pruned.
+    let out = phe()
+        .args([
+            "query",
+            "--snapshot",
+            stats.to_str().unwrap(),
+            "--graph",
+            graph.to_str().unwrap(),
+            "--explain",
+            "(a|c)/b?",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1 pruned"), "{text}");
+    assert!(!text.contains("c/b\t"), "{text}");
+
+    // Parse errors point at the offending bytes with a caret snippet.
+    let out = phe()
+        .args(["query", "--snapshot", stats.to_str().unwrap(), "a/zzz"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown edge label \"zzz\""), "{err}");
+    assert!(err.contains("a/zzz"), "{err}");
+    assert!(err.contains("  ^^^"), "caret underline expected: {err}");
+}
+
+#[test]
 fn errors_are_reported_not_panicked() {
     // Unknown subcommand.
     let out = phe().args(["frobnicate"]).output().unwrap();

@@ -1,0 +1,274 @@
+//! The expression layer's contract, property-tested:
+//!
+//! 1. **Expansion ≡ brute force.** `PathExpr::expand` produces exactly
+//!    the concrete label sequences a brute-force enumeration of the
+//!    domain accepts via the independent `PathExpr::matches`
+//!    implementation — with and without follow-matrix pruning.
+//! 2. **Normalization** is idempotent, semantics-preserving, and gives
+//!    commuted alternations identical cache keys.
+//! 3. **Exactness of the sum.** `estimate_expr` is bit-identical to
+//!    summing per-path `estimate` calls over the brute-force enumeration
+//!    (length-major, lexicographic), across **all 7 orderings × 6
+//!    histogram kinds** — and the exact-oracle path agrees with actual
+//!    graph counts.
+
+use phe::core::{EstimatorConfig, HistogramKind, OrderingKind, PathSelectivityEstimator};
+use phe::graph::{FollowMatrix, Graph, GraphBuilder, LabelId, VertexId};
+use phe::pathenum::{PathRelation, SelectivityCatalog};
+use phe::query::{CardinalityEstimator, ExactOracle, ExpandOptions, HistogramEstimator, PathExpr};
+use proptest::prelude::*;
+
+const LABELS: u16 = 3;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    prop::collection::vec((0u32..12, 0u16..LABELS, 0u32..12), 0..60).prop_map(|edges| {
+        let mut b = GraphBuilder::with_numeric_labels(12, LABELS);
+        for (s, l, t) in edges {
+            b.add_edge(VertexId(s), LabelId(l), VertexId(t));
+        }
+        b.build()
+    })
+}
+
+/// A recursive random expression over the fixed alphabet; depth and
+/// fan-out are bounded so expansions stay enumerable.
+struct ArbExpr {
+    depth: u8,
+}
+
+impl Strategy for ArbExpr {
+    type Value = PathExpr;
+    fn generate(&self, rng: &mut proptest::TestRng) -> PathExpr {
+        gen_expr(rng, self.depth)
+    }
+}
+
+fn gen_expr(rng: &mut proptest::TestRng, depth: u8) -> PathExpr {
+    if depth == 0 || rng.below(3) == 0 {
+        return if rng.below(5) == 0 {
+            PathExpr::Wildcard
+        } else {
+            PathExpr::Label(LabelId(rng.below(LABELS as u64) as u16))
+        };
+    }
+    match rng.below(3) {
+        0 => PathExpr::Concat(
+            (0..2 + rng.below(2))
+                .map(|_| gen_expr(rng, depth - 1))
+                .collect(),
+        ),
+        1 => PathExpr::Alt(
+            (0..2 + rng.below(2))
+                .map(|_| gen_expr(rng, depth - 1))
+                .collect(),
+        ),
+        _ => {
+            let min = rng.below(3) as u8;
+            let max = (min + 1 + rng.below(2) as u8).min(3).max(min.max(1));
+            PathExpr::Repeat {
+                inner: Box::new(gen_expr(rng, depth - 1)),
+                min,
+                max,
+            }
+        }
+    }
+}
+
+/// Every concrete sequence of length `1..=max_len`, in the canonical
+/// length-major, lexicographic order, that the expression matches and
+/// the (optional) follow matrix allows — the reference the expansion
+/// must reproduce exactly.
+fn brute_force_matches(
+    expr: &PathExpr,
+    max_len: usize,
+    follow: Option<&FollowMatrix>,
+) -> Vec<Vec<LabelId>> {
+    let mut out = Vec::new();
+    for len in 1..=max_len {
+        let total = (LABELS as u64).pow(len as u32);
+        for i in 0..total {
+            let mut seq = Vec::with_capacity(len);
+            for j in 0..len {
+                let div = (LABELS as u64).pow((len - 1 - j) as u32);
+                seq.push(LabelId(((i / div) % LABELS as u64) as u16));
+            }
+            if !expr.matches(&seq) {
+                continue;
+            }
+            if let Some(follow) = follow {
+                if !follow.allows(&seq) {
+                    continue;
+                }
+            }
+            out.push(seq);
+        }
+    }
+    out
+}
+
+fn opts(max_len: usize) -> ExpandOptions<'static> {
+    ExpandOptions::new(LABELS as usize, max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Expansion produces exactly the brute-force match set, in canonical
+    // order, with and without follow pruning.
+    #[test]
+    fn expansion_equals_brute_force_enumeration(
+        expr in ArbExpr { depth: 3 },
+        g in arb_graph(),
+        max_len in 1usize..4,
+    ) {
+        let follow = FollowMatrix::from_graph(&g);
+        for follow in [None, Some(&follow)] {
+            let mut o = opts(max_len);
+            if let Some(f) = follow {
+                o = o.with_follow(f);
+            }
+            let expansion = expr.expand(&o).unwrap();
+            let got: Vec<Vec<LabelId>> =
+                expansion.paths.iter().map(|p| p.label_ids()).collect();
+            let expected = brute_force_matches(&expr, max_len, follow);
+            prop_assert_eq!(
+                &got,
+                &expected,
+                "expr {} (follow: {})",
+                expr,
+                follow.is_some()
+            );
+            prop_assert_eq!(expansion.matches_empty, expr.matches(&[]));
+        }
+    }
+
+    // Normalization: idempotent, key-stable, and semantics-preserving.
+    #[test]
+    fn normalization_is_idempotent_and_semantics_preserving(
+        expr in ArbExpr { depth: 3 },
+    ) {
+        let normalized = expr.normalize();
+        prop_assert_eq!(normalized.normalize(), normalized.clone(), "idempotence");
+        prop_assert_eq!(expr.cache_key(), normalized.cache_key());
+        let a = expr.expand(&opts(3)).unwrap();
+        let b = normalized.expand(&opts(3)).unwrap();
+        prop_assert_eq!(a.paths, b.paths, "{} vs {}", expr, normalized);
+        prop_assert_eq!(a.matches_empty, b.matches_empty);
+    }
+
+    // Commuting (and duplicating) alternation branches never changes the
+    // cache key.
+    #[test]
+    fn commuted_alternations_share_cache_keys(
+        a in ArbExpr { depth: 2 },
+        b in ArbExpr { depth: 2 },
+        c in ArbExpr { depth: 2 },
+    ) {
+        let forward = PathExpr::Concat(vec![
+            PathExpr::Alt(vec![a.clone(), b.clone(), c.clone()]),
+            a.clone(),
+        ]);
+        let rotated = PathExpr::Concat(vec![
+            PathExpr::Alt(vec![c.clone(), a.clone(), b.clone(), c]),
+            a,
+        ]);
+        prop_assert_eq!(forward.cache_key(), rotated.cache_key());
+        prop_assert_eq!(
+            PathExpr::Alt(vec![b.clone()]).cache_key(),
+            b.cache_key(),
+            "singleton alternation unwraps"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // The acceptance property: `estimate_expr` is bit-identical to the
+    // sum of per-concrete-path `estimate` calls over the brute-force
+    // enumeration, across all 7 orderings × 6 histogram kinds.
+    #[test]
+    fn estimate_expr_is_bit_identical_to_brute_force_sum(
+        expr in ArbExpr { depth: 3 },
+        g in arb_graph(),
+        k in 1usize..4,
+        beta in 1usize..16,
+    ) {
+        let follow = FollowMatrix::from_graph(&g);
+        for ordering in OrderingKind::ALL.into_iter().chain([OrderingKind::Ideal]) {
+            for histogram in HistogramKind::ALL {
+                let config = EstimatorConfig {
+                    k,
+                    beta,
+                    ordering,
+                    histogram,
+                    threads: 1,
+                    retain_catalog: false,
+                    retain_sparse: false,
+                };
+                let built = PathSelectivityEstimator::build(&g, config).unwrap();
+                let estimator =
+                    HistogramEstimator::new(&built).with_follow(follow.clone());
+                let got = estimator.estimate_expr(&expr).unwrap();
+
+                let reference = brute_force_matches(&expr, k, Some(&follow));
+                let mut expected = 0.0f64;
+                for seq in &reference {
+                    expected += estimator.estimate(seq).max(0.0);
+                }
+                prop_assert_eq!(
+                    got.total.to_bits(),
+                    expected.to_bits(),
+                    "{}/{}: expr {} got {} expected {}",
+                    ordering.name(),
+                    histogram.name(),
+                    expr,
+                    got.total,
+                    expected
+                );
+                prop_assert_eq!(got.width(), reference.len());
+                // The branch breakdown is the enumeration itself.
+                for ((path, _), seq) in got.branches.iter().zip(&reference) {
+                    prop_assert_eq!(&path.label_ids(), seq);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // The oracle path: expression totals equal actual graph counts —
+    // summed per concrete path over the brute-force enumeration, where
+    // each path's count comes from evaluating the graph directly.
+    #[test]
+    fn oracle_expr_totals_agree_with_actual_graph_counts(
+        expr in ArbExpr { depth: 3 },
+        g in arb_graph(),
+        k in 1usize..4,
+    ) {
+        let catalog = SelectivityCatalog::compute(&g, k);
+        let follow = FollowMatrix::from_graph(&g);
+        let oracle = ExactOracle::new(&catalog).with_follow(follow.clone());
+        let got = oracle.estimate_expr(&expr).unwrap();
+
+        let mut actual = 0u64;
+        for seq in brute_force_matches(&expr, k, Some(&follow)) {
+            actual += PathRelation::evaluate(&g, &seq).pair_count();
+        }
+        prop_assert_eq!(
+            got.total,
+            actual as f64,
+            "expr {}: oracle {} vs actual {}",
+            expr,
+            got.total,
+            actual
+        );
+        // Pruning is sound for truth: branches the follow matrix removed
+        // contribute zero, so the unpruned total is identical.
+        let unpruned = ExactOracle::new(&catalog).estimate_expr(&expr).unwrap();
+        prop_assert_eq!(unpruned.total, got.total);
+        prop_assert!(unpruned.width() >= got.width());
+    }
+}
