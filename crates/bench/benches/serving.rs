@@ -125,6 +125,20 @@ fn serve_line(registry: &EstimatorRegistry, line: &str) -> usize {
     response.len()
 }
 
+/// [`serve_line`] plus exactly the per-request metrics the real server
+/// records: the op counter lookup and the request/latency observation.
+fn serve_line_instrumented(
+    registry: &EstimatorRegistry,
+    metrics: &ServiceMetrics,
+    line: &str,
+) -> usize {
+    let t0 = std::time::Instant::now();
+    metrics.record_op("estimate");
+    let len = serve_line(registry, line);
+    metrics.record_request(BATCH, t0.elapsed(), true);
+    len
+}
+
 fn request_line(paths: &[LabelPath]) -> String {
     Request::Estimate {
         estimator: "main".to_owned(),
@@ -234,11 +248,66 @@ fn bench_cache(c: &mut Criterion) {
     group.finish();
 }
 
+/// Acceptance gate, not a measurement: the metrics instrumentation on
+/// the batch-256 serving path must cost ≤ 2% over an uninstrumented
+/// twin. The instrumented path records what the real server records per
+/// request (op counter, request/path counters, latency histogram) — a
+/// registry lookup plus a handful of relaxed atomic adds against a
+/// batch worth hundreds of microseconds. Interleaved min-of-N keeps the
+/// comparison robust to scheduler noise: the minimum of many short runs
+/// converges on the true cost of each variant.
+fn assert_instrumentation_overhead(_c: &mut Criterion) {
+    use std::hint::black_box;
+    use std::time::{Duration, Instant};
+
+    let registry = registry_with_cache(64 * 1024);
+    let metrics = ServiceMetrics::new();
+    let paths = query_paths();
+    registry.get("main").unwrap().estimate_batch(&paths);
+    let line = request_line(&paths);
+
+    for _ in 0..5 {
+        black_box(serve_line(&registry, &line));
+        black_box(serve_line_instrumented(&registry, &metrics, &line));
+    }
+
+    const ROUNDS: usize = 60;
+    const ITERS: usize = 8;
+    let mut best_plain = Duration::MAX;
+    let mut best_instrumented = Duration::MAX;
+    for _ in 0..ROUNDS {
+        let t0 = Instant::now();
+        for _ in 0..ITERS {
+            black_box(serve_line(&registry, &line));
+        }
+        best_plain = best_plain.min(t0.elapsed());
+        let t0 = Instant::now();
+        for _ in 0..ITERS {
+            black_box(serve_line_instrumented(&registry, &metrics, &line));
+        }
+        best_instrumented = best_instrumented.min(t0.elapsed());
+    }
+
+    let overhead = best_instrumented.as_secs_f64() / best_plain.as_secs_f64().max(1e-12) - 1.0;
+    println!(
+        "instrumentation overhead on batch-256: {:+.3}% \
+         (plain {:.1} us, instrumented {:.1} us per {ITERS}-iter round)",
+        overhead * 100.0,
+        best_plain.as_secs_f64() * 1e6,
+        best_instrumented.as_secs_f64() * 1e6,
+    );
+    assert!(
+        overhead <= 0.02,
+        "instrumentation costs {:.2}% on the batch-256 serving path (budget 2%)",
+        overhead * 100.0
+    );
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_millis(1000));
-    targets = bench_batching, bench_tcp, bench_cache
+    targets = bench_batching, bench_tcp, bench_cache, assert_instrumentation_overhead
 }
 criterion_main!(benches);

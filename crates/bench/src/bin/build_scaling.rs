@@ -11,12 +11,15 @@
 //!   `"infeasible"` where it is not — the configurations only the sparse
 //!   pipeline can reach.
 //!
-//! Output: an aligned table plus one JSON line per point (`"bench":
+//! Output: an aligned table, one per-stage timing line per observed
+//! build span (`"bench": "build_stages"`, collected into the
+//! `BENCH_obs.json` artifact), and one JSON line per point (`"bench":
 //! "build_scaling"`), machine-readable for the benchmark trajectory.
 
 use phe_bench::{emit, timed, RunConfig, Scale};
 use phe_core::{EstimatorConfig, PathSelectivityEstimator};
 use phe_datasets::schema::{narrow_chained_schema, schema_graph};
+use phe_obs::span::{capture, TraceNode};
 use phe_pathenum::catalog::DENSE_DOMAIN_LIMIT;
 use phe_pathenum::{SelectivityCatalog, SparseCatalog};
 use serde_json::{Number, Value};
@@ -58,14 +61,16 @@ fn main() {
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut json_lines: Vec<String> = Vec::new();
+    let mut obs_lines: Vec<String> = Vec::new();
     for point in &points {
         let schema =
             narrow_chained_schema(point.labels, point.labels as u64 * edges_per_label, 0.08);
         let graph = schema_graph(vertices, &schema, config.seed);
         let k = point.k;
 
-        let (sparse, sparse_secs) =
-            timed(|| SparseCatalog::compute_parallel(&graph, k, 0).expect("domain fits u48"));
+        let ((sparse, sparse_secs), sparse_spans) = capture(|| {
+            timed(|| SparseCatalog::compute_parallel(&graph, k, 0).expect("domain fits u48"))
+        });
         let domain = sparse.len() as u64;
         let nnz = sparse.nonzero_count() as u64;
         let sparse_bytes = sparse.size_bytes() as u64;
@@ -83,23 +88,49 @@ fn main() {
             None
         };
 
-        // End-to-end sparse estimator build (catalog → remap → histogram).
-        let (estimator, pipeline_secs) = timed(|| {
-            PathSelectivityEstimator::from_sparse_catalog(
-                &graph,
-                sparse.clone(),
-                EstimatorConfig {
-                    k,
-                    beta: 256,
-                    threads: 1,
-                    retain_catalog: false,
-                    retain_sparse: false,
-                    ..EstimatorConfig::default()
-                },
-                std::time::Duration::ZERO,
-            )
-            .expect("sparse build")
+        // End-to-end sparse estimator build (catalog → remap → histogram),
+        // with its stage spans collected for the per-stage JSON lines.
+        let ((estimator, pipeline_secs), pipeline_spans) = capture(|| {
+            timed(|| {
+                PathSelectivityEstimator::from_sparse_catalog(
+                    &graph,
+                    sparse.clone(),
+                    EstimatorConfig {
+                        k,
+                        beta: 256,
+                        threads: 1,
+                        retain_catalog: false,
+                        retain_sparse: false,
+                        ..EstimatorConfig::default()
+                    },
+                    std::time::Duration::ZERO,
+                )
+                .expect("sparse build")
+            })
         });
+
+        // One JSON line per observed stage span (`"bench": "build_stages"`),
+        // collected by CI into the BENCH_obs.json artifact.
+        let roots: Vec<&TraceNode> = sparse_spans.iter().chain(pipeline_spans.iter()).collect();
+        for root in roots {
+            for (depth, stage, duration) in root.flatten() {
+                let obj = Value::Object(vec![
+                    ("bench".into(), Value::string("build_stages")),
+                    (
+                        "labels".into(),
+                        Value::Number(Number::PosInt(point.labels as u64)),
+                    ),
+                    ("k".into(), Value::Number(Number::PosInt(k as u64))),
+                    ("stage".into(), Value::string(stage)),
+                    ("depth".into(), Value::Number(Number::PosInt(depth as u64))),
+                    (
+                        "seconds".into(),
+                        Value::Number(Number::Float(duration.as_secs_f64())),
+                    ),
+                ]);
+                obs_lines.push(serde_json::to_string(&obj).expect("flat object"));
+            }
+        }
 
         rows.push(vec![
             format!("{}{}", point.labels, if point.headline { "*" } else { "" }),
@@ -202,6 +233,12 @@ fn main() {
         &rows,
         config.csv,
     );
+    // Per-stage timings first, in their own section, so the trajectory
+    // collectors can split the two streams with a line-oriented filter.
+    println!("\n--- OBS JSON ---");
+    for line in &obs_lines {
+        println!("{line}");
+    }
     println!("\n--- JSON ---");
     for line in &json_lines {
         println!("{line}");

@@ -128,6 +128,59 @@ pub struct BuildStats {
     pub histogram_time: Duration,
 }
 
+/// Post-delta accuracy drift: after a delta merge, the paths the change
+/// touched are sampled and the refreshed histogram's estimates are
+/// compared against the exact counts the merged sparse catalog holds
+/// for them. This is the sensor the ROADMAP's drift-triggered rebuild
+/// direction needs — the touched paths are exactly where an ordering or
+/// bucketing grown stale by churn shows up first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftReport {
+    /// Paths the delta touched (signed-difference entries).
+    pub touched: usize,
+    /// Touched paths actually sampled (deterministic stride, ≤ 256).
+    pub sampled: usize,
+    /// Mean `|err(ℓ)|` over the sample, with the paper's error rate
+    /// ([`phe_histogram::metrics::error_rate`]) — bounded in `[0, 1]`.
+    pub mean_abs_error_rate: f64,
+    /// Worst multiplicative error over the sample (≥ 1).
+    pub max_q_error: f64,
+}
+
+/// Sample cap per drift report: enough touched paths for a stable mean
+/// without making delta application scale with the churn size.
+const DRIFT_SAMPLE_CAP: usize = 256;
+
+impl DriftReport {
+    /// Measures estimate-vs-exact drift over a deterministic stride
+    /// sample of the delta's touched canonical indexes.
+    fn sample(estimator: &PathSelectivityEstimator, touched: &[(u64, i64)]) -> DriftReport {
+        let sparse = estimator
+            .sparse
+            .as_ref()
+            .expect("drift is sampled on delta results, which retain the sparse catalog");
+        let stride = touched.len().div_ceil(DRIFT_SAMPLE_CAP).max(1);
+        let mut labels = Vec::with_capacity(estimator.config.k);
+        let mut sampled = 0usize;
+        let mut abs_sum = 0.0f64;
+        let mut max_q = 1.0f64;
+        for &(index, _) in touched.iter().step_by(stride) {
+            sparse.encoding().decode_into(index as usize, &mut labels);
+            let estimate = estimator.histogram.estimate_labels(&labels);
+            let exact = sparse.selectivity_at(index);
+            abs_sum += phe_histogram::metrics::error_rate(estimate, exact).abs();
+            max_q = max_q.max(phe_histogram::metrics::q_error(estimate, exact));
+            sampled += 1;
+        }
+        DriftReport {
+            touched: touched.len(),
+            sampled,
+            mean_abs_error_rate: abs_sum / sampled.max(1) as f64,
+            max_q_error: max_q,
+        }
+    }
+}
+
 /// Why a delta could not be applied to an estimator.
 #[derive(Debug)]
 pub enum DeltaError {
@@ -209,6 +262,10 @@ pub struct PathSelectivityEstimator {
     label_names: Vec<String>,
     label_frequencies: Vec<u64>,
     pair_frequencies: Option<Vec<u64>>,
+    /// Estimate-vs-exact drift over the last delta's touched paths;
+    /// `None` for fresh builds. Runtime-only (not persisted): a restored
+    /// snapshot starts with a clean sensor.
+    drift: Option<DriftReport>,
 }
 
 impl PathSelectivityEstimator {
@@ -240,6 +297,7 @@ impl PathSelectivityEstimator {
         );
         assert!(graph.label_count() > 0, "graph has no edge labels");
 
+        let _build = phe_obs::span::stage("build");
         let t0 = Instant::now();
         let sparse = SparseCatalog::compute_parallel(graph, config.k, config.threads)
             .map_err(catalog_to_histogram_error)?;
@@ -275,8 +333,10 @@ impl PathSelectivityEstimator {
         provenance: Provenance,
     ) -> Result<PathSelectivityEstimator, HistogramError> {
         let t1 = Instant::now();
+        let order_span = phe_obs::span::stage("build.order");
         let ordering = config.ordering.build_sparse(graph, &sparse, config.k);
         let runs = sparse_ordered_frequencies(&sparse, ordering.as_ref());
+        drop(order_span);
         let ordering_time = t1.elapsed();
         Self::assemble(
             graph,
@@ -315,12 +375,14 @@ impl PathSelectivityEstimator {
 
         let t2 = Instant::now();
         let ordered_runs = config.retain_sparse.then(|| runs.clone());
+        let histogram_span = phe_obs::span::stage("build.histogram");
         let histogram = LabelPathHistogram::from_sparse_frequencies(
             ordering,
             &runs,
             config.histogram,
             config.beta,
         )?;
+        drop(histogram_span);
         let histogram_time = t2.elapsed();
 
         let pair_frequencies = pair_frequencies_for(config, graph.label_count(), |l1, l2| {
@@ -351,6 +413,7 @@ impl PathSelectivityEstimator {
             label_names,
             label_frequencies,
             pair_frequencies,
+            drift: None,
         })
     }
 
@@ -394,13 +457,21 @@ impl PathSelectivityEstimator {
                 "edge-set fingerprint differs from the build graph".into(),
             ));
         }
+        let _delta = phe_obs::span::stage("delta");
         let t0 = Instant::now();
+        let apply_span = phe_obs::span::stage("delta.apply");
         let new_graph = old_graph.apply_delta(delta).map_err(DeltaError::Graph)?;
+        drop(apply_span);
+        let count_span = phe_obs::span::stage("delta.count");
         let run = compute_delta(old_graph, &new_graph, delta, self.config.k)
             .map_err(DeltaError::Catalog)?;
+        drop(count_span);
+        let merge_span = phe_obs::span::stage("delta.merge");
         let merged = sparse.merge_delta(&run).map_err(DeltaError::Catalog)?;
+        drop(merge_span);
         let catalog_time = t0.elapsed();
 
+        let rederive_span = phe_obs::span::stage("delta.rederive");
         let t1 = Instant::now();
         let ordering = self
             .config
@@ -441,7 +512,7 @@ impl PathSelectivityEstimator {
         };
         let ordering_time = t1.elapsed();
 
-        let estimator = Self::assemble(
+        let mut estimator = Self::assemble(
             &new_graph,
             merged,
             self.config,
@@ -455,6 +526,8 @@ impl PathSelectivityEstimator {
             ordering_time,
         )
         .map_err(DeltaError::Histogram)?;
+        drop(rederive_span);
+        estimator.drift = Some(DriftReport::sample(&estimator, run.entries()));
         Ok((estimator, new_graph))
     }
 
@@ -529,6 +602,7 @@ impl PathSelectivityEstimator {
             label_names,
             label_frequencies,
             pair_frequencies,
+            drift: None,
         })
     }
 
@@ -625,6 +699,12 @@ impl PathSelectivityEstimator {
     /// Construction timing breakdown.
     pub fn build_stats(&self) -> &BuildStats {
         &self.stats
+    }
+
+    /// Accuracy drift measured over the last applied delta's touched
+    /// paths; `None` for fresh builds and snapshot restores.
+    pub fn drift(&self) -> Option<&DriftReport> {
+        self.drift.as_ref()
     }
 
     /// The retained ground-truth catalog, if the build kept one

@@ -112,7 +112,9 @@ pub mod ranking;
 pub mod snapshot;
 
 pub use domain::PathDomain;
-pub use estimator::{DeltaError, EstimatorConfig, HistogramKind, PathSelectivityEstimator};
+pub use estimator::{
+    DeltaError, DriftReport, EstimatorConfig, HistogramKind, PathSelectivityEstimator,
+};
 pub use eval::{evaluate_configuration, ordered_frequencies};
 pub use label_histogram::LabelPathHistogram;
 pub use ordering::{

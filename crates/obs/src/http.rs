@@ -1,0 +1,167 @@
+//! A minimal plain-HTTP scrape endpoint: just enough HTTP/1.1 to answer
+//! `GET /metrics` from a Prometheus scraper, on a std `TcpListener`.
+//!
+//! One background thread accepts connections (non-blocking accept with a
+//! short sleep so shutdown is prompt), answers each request with the
+//! supplied render closure's output, and closes the connection. No
+//! keep-alive, no chunking, no TLS — scrape traffic only.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The render closure: produces the exposition body for one scrape.
+pub type RenderFn = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// A running scrape endpoint; shuts down when dropped.
+#[derive(Debug)]
+pub struct MetricsServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (useful when binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Signals the accept loop to stop and joins it.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` and serves `GET /metrics` (and `GET /`) with the body
+/// `render` produces; any other path gets 404.
+///
+/// # Errors
+/// The bind error, if the address is unavailable.
+pub fn serve_metrics(addr: &str, render: RenderFn) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local_addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stop = Arc::clone(&shutdown);
+    let handle = std::thread::Builder::new()
+        .name("phe-metrics-http".to_owned())
+        .spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => answer(stream, &render),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                }
+            }
+        })
+        .expect("spawn metrics http thread");
+    Ok(MetricsServer {
+        local_addr,
+        shutdown,
+        handle: Some(handle),
+    })
+}
+
+/// Reads the request head and writes one response.
+fn answer(mut stream: TcpStream, render: &RenderFn) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_nodelay(true);
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    // Read until the end of the request head or a modest cap; scrape
+    // requests have no body.
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 8192 {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    let request_line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or(&[]);
+    let request_line = String::from_utf8_lossy(request_line);
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            String::from("method not allowed\n"),
+        )
+    } else if path == "/metrics" || path == "/" {
+        ("200 OK", render())
+    } else {
+        ("404 Not Found", String::from("not found\n"))
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    fn scrape(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect scrape");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut reader = std::io::BufReader::new(stream);
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        let mut body = String::new();
+        let mut line = String::new();
+        // Skip headers.
+        loop {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            if line == "\r\n" || line.is_empty() {
+                break;
+            }
+        }
+        reader.read_to_string(&mut body).unwrap();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_rendered_metrics_and_404s_elsewhere() {
+        let render: RenderFn = Arc::new(|| "# TYPE t counter\nt 1\n".to_owned());
+        let server = serve_metrics("127.0.0.1:0", render).expect("bind");
+        let (status, body) = scrape(server.local_addr(), "/metrics");
+        assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+        assert!(body.contains("t 1"), "{body}");
+        crate::parse_exposition(&body).expect("scrape output must parse");
+        let (status, _) = scrape(server.local_addr(), "/nope");
+        assert!(status.starts_with("HTTP/1.1 404"), "{status}");
+    }
+
+    #[test]
+    fn shutdown_is_prompt() {
+        let render: RenderFn = Arc::new(String::new);
+        let mut server = serve_metrics("127.0.0.1:0", render).expect("bind");
+        let t0 = std::time::Instant::now();
+        server.shutdown();
+        assert!(t0.elapsed() < Duration::from_secs(2));
+    }
+}

@@ -1,0 +1,53 @@
+//! Observability substrate for the phe pipeline: a lock-free metrics
+//! registry with Prometheus-text exposition, structured spans that feed
+//! per-stage latency histograms, and a minimal plain-HTTP scrape
+//! endpoint.
+//!
+//! Std-only by design (consistent with `crates/compat/`): no crates.io
+//! dependencies, so every workspace crate — down to the path-enumeration
+//! kernels — can depend on it without widening the build.
+//!
+//! ## The three pieces
+//!
+//! * [`MetricsRegistry`] — named counters, gauges, and log-linear
+//!   histograms, identified by `(name, sorted labels)`. Registration
+//!   takes a lock once; the returned [`Counter`] / [`Gauge`] /
+//!   [`LogHistogram`] handles are plain atomics, so the hot path is a
+//!   single relaxed `fetch_add` with no lock in sight.
+//!   [`MetricsRegistry::render`] emits the Prometheus text format and
+//!   [`parse_exposition`] validates it (used by tests and CI).
+//! * [`span`] — a cheap RAII stage timer. Every [`span::stage`] guard
+//!   records its elapsed time into the *global* registry's
+//!   `phe_stage_duration_seconds{stage=…}` histogram on drop; when a
+//!   [`span::capture`] is active on the thread, the guards additionally
+//!   assemble a nested [`span::TraceNode`] tree for `--trace` output
+//!   and `explain` stage breakdowns.
+//! * [`http`] — [`http::serve_metrics`] binds a std `TcpListener` and
+//!   answers `GET /metrics` with whatever the supplied render closure
+//!   produces; enough HTTP for a Prometheus scraper, and nothing more.
+//!
+//! The process-wide [`global`] registry is where spans and any
+//! instrumentation without an explicit registry handle report; the
+//! serving binary hands that same registry to its `ServiceMetrics` so
+//! the scrape endpoint, the `metrics` protocol op, and the shutdown
+//! dump all read one surface.
+
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{
+    parse_exposition, Counter, Gauge, LogHistogram, MetricsRegistry, Sample, STAGE_HISTOGRAM,
+};
+
+use std::sync::{Arc, OnceLock};
+
+static GLOBAL: OnceLock<Arc<MetricsRegistry>> = OnceLock::new();
+
+/// The process-wide registry: the sink for [`span`] stage histograms and
+/// the default surface a binary should expose for scraping.
+pub fn global() -> &'static Arc<MetricsRegistry> {
+    GLOBAL.get_or_init(|| Arc::new(MetricsRegistry::new()))
+}

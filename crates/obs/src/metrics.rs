@@ -1,0 +1,702 @@
+//! The metrics registry: named counters, gauges, and log-linear
+//! histograms with Prometheus-text exposition.
+//!
+//! A metric is identified by `(family name, sorted label pairs)`.
+//! Looking a handle up takes the registry's `RwLock` (write-locked only
+//! on first registration); *recording* through a handle is one relaxed
+//! atomic add — the registry is never touched on the hot path, which is
+//! what "lock-free" means here.
+//!
+//! ## Histogram resolution
+//!
+//! [`LogHistogram`] generalizes the serving tier's original power-of-two
+//! latency histogram to log-linear buckets: values below 4 get exact
+//! unit buckets, and every power of two above is split into 4 equal
+//! sub-buckets, so a bucket's width is at most 1/4 of its lower bound
+//! and the midpoint a quantile reads is within **1.25×** of any value in
+//! the bucket (the pure power-of-two layout was only within 2×).
+//! Recording stays a single atomic add into the bucket array (plus the
+//! count/sum atomics every Prometheus histogram needs anyway).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// The stage-timing histogram family every [`crate::span::Span`] reports
+/// into (label: `stage`).
+pub const STAGE_HISTOGRAM: &str = "phe_stage_duration_seconds";
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A detached counter (not registered anywhere).
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a settable `f64` (stored as bits in one atomic).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A detached gauge (not registered anywhere), reading 0.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Bucket count of the log-linear layout: 4 unit buckets for values
+/// `0..4`, then 4 sub-buckets per power of two up to `2^64`.
+const BUCKETS: usize = 252;
+
+/// Lock-free log-linear histogram over `u64` values.
+///
+/// Durations are recorded in nanoseconds ([`LogHistogram::record_duration`]);
+/// exposition scales the bounds by the family's unit (seconds for
+/// duration families). Quantiles return the arithmetic midpoint of the
+/// crossing bucket, which the log-linear layout keeps within 1.25× of
+/// the true value.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket a value lands in: exact for `v < 4`, otherwise power
+/// `p = ⌊log₂ v⌋` refined by the next two mantissa bits.
+fn bucket_index(v: u64) -> usize {
+    if v < 4 {
+        return v as usize;
+    }
+    let p = 63 - v.leading_zeros() as usize;
+    let sub = ((v >> (p - 2)) & 3) as usize;
+    4 * p + sub - 4
+}
+
+/// Inclusive lower bound of bucket `i`.
+fn bucket_lo(i: usize) -> u64 {
+    if i < 4 {
+        i as u64
+    } else {
+        let p = i / 4 + 1;
+        let sub = (i % 4) as u64;
+        (1u64 << p) + sub * (1u64 << (p - 2))
+    }
+}
+
+/// Exclusive upper bound of bucket `i` (saturating at the top).
+fn bucket_hi(i: usize) -> u64 {
+    if i + 1 < BUCKETS {
+        bucket_lo(i + 1)
+    } else {
+        u64::MAX
+    }
+}
+
+impl LogHistogram {
+    /// A detached histogram (not registered anywhere).
+    pub fn new() -> LogHistogram {
+        LogHistogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`): the midpoint of the
+    /// bucket where the cumulative count crosses `q`, within 1.25× of
+    /// any value the bucket holds.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                let lo = bucket_lo(i);
+                return lo + (bucket_hi(i) - lo) / 2;
+            }
+        }
+        u64::MAX
+    }
+
+    /// [`LogHistogram::quantile`] as a [`Duration`] (nanosecond values).
+    pub fn quantile_duration(&self, q: f64) -> Duration {
+        Duration::from_nanos(self.quantile(q))
+    }
+
+    /// Mean observation.
+    pub fn mean(&self) -> u64 {
+        self.sum().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// [`LogHistogram::mean`] as a [`Duration`] (nanosecond values).
+    pub fn mean_duration(&self) -> Duration {
+        Duration::from_nanos(self.mean())
+    }
+
+    /// Non-empty buckets as `(exclusive upper bound, cumulative count)`.
+    fn cumulative(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n > 0 {
+                cum += n;
+                out.push((bucket_hi(i), cum));
+            }
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Handle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<LogHistogram>),
+}
+
+#[derive(Debug)]
+struct Family {
+    help: String,
+    kind: Kind,
+    /// Multiplier applied to histogram bounds/sums on exposition
+    /// (`1e-9` turns recorded nanoseconds into exported seconds).
+    scale: f64,
+    /// Keyed by the rendered label string (`{k="v",…}`, sorted), which
+    /// doubles as the exposition suffix.
+    instances: BTreeMap<String, Handle>,
+}
+
+/// The registry: a map from `(name, labels)` to live metric handles.
+///
+/// Handles are `Arc`s; re-registering the same identity returns the
+/// same handle, so any number of components can share a metric without
+/// coordination.
+///
+/// # Panics
+/// Registering a name that already exists with a *different* metric
+/// kind panics — that is a programming error, not a runtime condition.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    families: RwLock<BTreeMap<String, Family>>,
+}
+
+/// Renders sorted labels as the exposition suffix, `""` when empty.
+fn label_key(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut sorted: Vec<_> = labels.to_vec();
+    sorted.sort_unstable();
+    let mut out = String::from("{");
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for ch in v.chars() {
+            match ch {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                other => out.push(other),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn register(&self, name: &str, help: &str, kind: Kind, scale: f64, key: String) -> Handle {
+        if let Some(family) = self.families.read().expect("registry poisoned").get(name) {
+            assert_eq!(
+                family.kind,
+                kind,
+                "metric `{name}` registered as {} and {}",
+                family.kind.as_str(),
+                kind.as_str()
+            );
+            if let Some(handle) = family.instances.get(&key) {
+                return handle.clone();
+            }
+        }
+        let mut families = self.families.write().expect("registry poisoned");
+        let family = families.entry(name.to_owned()).or_insert_with(|| Family {
+            help: help.to_owned(),
+            kind,
+            scale,
+            instances: BTreeMap::new(),
+        });
+        assert_eq!(
+            family.kind,
+            kind,
+            "metric `{name}` registered as {} and {}",
+            family.kind.as_str(),
+            kind.as_str()
+        );
+        family
+            .instances
+            .entry(key)
+            .or_insert_with(|| match kind {
+                Kind::Counter => Handle::Counter(Arc::new(Counter::new())),
+                Kind::Gauge => Handle::Gauge(Arc::new(Gauge::new())),
+                Kind::Histogram => Handle::Histogram(Arc::new(LogHistogram::new())),
+            })
+            .clone()
+    }
+
+    /// A counter with no labels.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// A counter with labels.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.register(name, help, Kind::Counter, 1.0, label_key(labels)) {
+            Handle::Counter(c) => c,
+            _ => unreachable!("kind checked by register"),
+        }
+    }
+
+    /// A gauge with no labels.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// A gauge with labels.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.register(name, help, Kind::Gauge, 1.0, label_key(labels)) {
+            Handle::Gauge(g) => g,
+            _ => unreachable!("kind checked by register"),
+        }
+    }
+
+    /// A histogram over raw `u64` values with no unit scaling.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<LogHistogram> {
+        match self.register(name, help, Kind::Histogram, 1.0, String::new()) {
+            Handle::Histogram(h) => h,
+            _ => unreachable!("kind checked by register"),
+        }
+    }
+
+    /// A duration histogram: recorded in nanoseconds, exposed in
+    /// seconds. Name it `*_seconds` by convention.
+    pub fn duration_histogram(&self, name: &str, help: &str) -> Arc<LogHistogram> {
+        self.duration_histogram_with(name, help, &[])
+    }
+
+    /// A labelled duration histogram (nanoseconds in, seconds out).
+    pub fn duration_histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<LogHistogram> {
+        match self.register(name, help, Kind::Histogram, 1e-9, label_key(labels)) {
+            Handle::Histogram(h) => h,
+            _ => unreachable!("kind checked by register"),
+        }
+    }
+
+    /// Renders the whole registry in the Prometheus text exposition
+    /// format (version 0.0.4), families and instances in sorted order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let families = self.families.read().expect("registry poisoned");
+        for (name, family) in families.iter() {
+            if !family.help.is_empty() {
+                out.push_str(&format!(
+                    "# HELP {name} {}\n",
+                    family.help.replace('\n', " ")
+                ));
+            }
+            out.push_str(&format!("# TYPE {name} {}\n", family.kind.as_str()));
+            for (key, handle) in &family.instances {
+                match handle {
+                    Handle::Counter(c) => {
+                        out.push_str(&format!("{name}{key} {}\n", c.get()));
+                    }
+                    Handle::Gauge(g) => {
+                        out.push_str(&format!("{name}{key} {}\n", fmt_value(g.get())));
+                    }
+                    Handle::Histogram(h) => {
+                        let count = h.count();
+                        for (hi, cum) in h.cumulative() {
+                            let le = fmt_value(hi as f64 * family.scale);
+                            out.push_str(&format!("{name}_bucket{} {cum}\n", merge_le(key, &le)));
+                        }
+                        out.push_str(&format!("{name}_bucket{} {count}\n", merge_le(key, "+Inf")));
+                        out.push_str(&format!(
+                            "{name}_sum{key} {}\n",
+                            fmt_value(h.sum() as f64 * family.scale)
+                        ));
+                        out.push_str(&format!("{name}_count{key} {count}\n"));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Appends the `le` label to an existing (possibly empty) label suffix.
+fn merge_le(key: &str, le: &str) -> String {
+    if key.is_empty() {
+        format!("{{le=\"{le}\"}}")
+    } else {
+        format!("{},le=\"{le}\"}}", &key[..key.len() - 1])
+    }
+}
+
+/// Formats an exposition float: integral values without a fraction,
+/// everything else via shortest-roundtrip `f64` display.
+fn fmt_value(v: f64) -> String {
+    if v.is_infinite() {
+        return if v > 0.0 { "+Inf" } else { "-Inf" }.to_owned();
+    }
+    if v.is_nan() {
+        return "NaN".to_owned();
+    }
+    format!("{v}")
+}
+
+/// One parsed exposition sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Sample name as written (histogram samples keep their
+    /// `_bucket`/`_sum`/`_count` suffix).
+    pub name: String,
+    /// Label pairs in written order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+/// Parses and validates Prometheus text exposition, returning every
+/// sample.
+///
+/// Checks the properties a scraper relies on: well-formed `# HELP` /
+/// `# TYPE` comments with known metric kinds, legal metric and label
+/// names, parseable float values, and — the cross-line contract — that
+/// every sample belongs to a family declared by a preceding `# TYPE`
+/// line.
+///
+/// # Errors
+/// A description of the first malformed line.
+pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    let mut typed: BTreeMap<String, String> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.splitn(2, ' ');
+            let name = it.next().unwrap_or("");
+            let kind = it
+                .next()
+                .ok_or(format!("line {lineno}: TYPE without kind"))?;
+            if !valid_name(name) {
+                return Err(format!("line {lineno}: invalid metric name `{name}`"));
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {lineno}: unknown metric kind `{kind}`"));
+            }
+            typed.insert(name.to_owned(), kind.to_owned());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            if !valid_name(rest.split(' ').next().unwrap_or("")) {
+                return Err(format!("line {lineno}: HELP for invalid metric name"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+        let sample = parse_sample(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let family = sample
+            .name
+            .strip_suffix("_bucket")
+            .or_else(|| sample.name.strip_suffix("_sum"))
+            .or_else(|| sample.name.strip_suffix("_count"))
+            .filter(|base| typed.get(*base).map(String::as_str) == Some("histogram"))
+            .unwrap_or(&sample.name);
+        if !typed.contains_key(family) {
+            return Err(format!(
+                "line {lineno}: sample `{}` has no preceding # TYPE",
+                sample.name
+            ));
+        }
+        samples.push(sample);
+    }
+    Ok(samples)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_labels, value) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| "sample without value".to_owned())?;
+    let value = match value {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        other => other
+            .parse::<f64>()
+            .map_err(|_| format!("unparseable value `{other}`"))?,
+    };
+    let (name, labels) = match name_labels.split_once('{') {
+        None => (name_labels.to_owned(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest
+                .strip_suffix('}')
+                .ok_or_else(|| "unterminated label set".to_owned())?;
+            (name.to_owned(), parse_labels(body)?)
+        }
+    };
+    if !valid_name(&name) {
+        return Err(format!("invalid metric name `{name}`"));
+    }
+    Ok(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        let mut key = String::new();
+        while let Some(&c) = chars.peek() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+            chars.next();
+        }
+        if chars.next() != Some('=') || chars.next() != Some('"') {
+            return Err(format!("malformed label near `{key}`"));
+        }
+        if !valid_name(&key) {
+            return Err(format!("invalid label name `{key}`"));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    _ => return Err("bad escape in label value".to_owned()),
+                },
+                Some('"') => break,
+                Some(c) => value.push(c),
+                None => return Err("unterminated label value".to_owned()),
+            }
+        }
+        labels.push((key, value));
+        match chars.next() {
+            Some(',') => continue,
+            None => return Ok(labels),
+            Some(c) => return Err(format!("unexpected `{c}` after label value")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_contiguous_and_ordered() {
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(bucket_hi(i), bucket_lo(i + 1), "bucket {i}");
+            assert!(bucket_lo(i) < bucket_hi(i), "bucket {i}");
+        }
+        for v in [0u64, 1, 3, 4, 5, 7, 8, 1023, 1024, u64::MAX / 2, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(bucket_lo(i) <= v, "v={v} i={i}");
+            assert!(v < bucket_hi(i) || bucket_hi(i) == u64::MAX, "v={v} i={i}");
+        }
+    }
+
+    #[test]
+    fn quantile_error_within_25_percent() {
+        // A log-sweep of values: every quantile midpoint must be within
+        // 1.25× (either direction) of the exact recorded value.
+        for &v in &[100u64, 999, 5_000, 123_456, 9_999_999, 3_000_000_000] {
+            let h = LogHistogram::new();
+            for _ in 0..100 {
+                h.record(v);
+            }
+            let q = h.quantile(0.99) as f64;
+            let ratio = (q / v as f64).max(v as f64 / q);
+            assert!(ratio <= 1.25, "v={v} q={q} ratio={ratio}");
+        }
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 7);
+        }
+        assert!(h.quantile(0.1) <= h.quantile(0.5));
+        assert!(h.quantile(0.5) <= h.quantile(0.99));
+        assert_eq!(LogHistogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn registry_handles_are_shared_and_rendered() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("phe_test_total", "a test counter");
+        let b = reg.counter("phe_test_total", "a test counter");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        let g = reg.gauge_with("phe_test_gauge", "a gauge", &[("slot", "default")]);
+        g.set(0.5);
+        let h = reg.duration_histogram("phe_test_seconds", "a histogram");
+        h.record_duration(Duration::from_micros(128));
+        let text = reg.render();
+        assert!(text.contains("# TYPE phe_test_total counter"), "{text}");
+        assert!(text.contains("phe_test_total 3"), "{text}");
+        assert!(
+            text.contains("phe_test_gauge{slot=\"default\"} 0.5"),
+            "{text}"
+        );
+        assert!(text.contains("phe_test_seconds_count 1"), "{text}");
+        let samples = parse_exposition(&text).expect("own exposition must parse");
+        assert!(samples.iter().any(|s| s.name == "phe_test_seconds_bucket"
+            && s.labels.iter().any(|(k, v)| k == "le" && v == "+Inf")));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_conflict_panics() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter("phe_conflict", "");
+        let _ = reg.gauge("phe_conflict", "");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_text() {
+        assert!(parse_exposition("no_type_decl 1\n").is_err());
+        assert!(parse_exposition("# TYPE m counter\nm notanumber\n").is_err());
+        assert!(parse_exposition("# TYPE m counter\nm{l=\"open 1\n").is_err());
+        assert!(parse_exposition("# TYPE 9bad counter\n").is_err());
+        assert!(parse_exposition("# TYPE m widget\n").is_err());
+    }
+
+    #[test]
+    fn histogram_cumulative_is_monotone_and_complete() {
+        let h = LogHistogram::new();
+        for v in [1u64, 10, 100, 1000, 10_000] {
+            h.record(v);
+        }
+        let cum = h.cumulative();
+        assert!(cum.windows(2).all(|w| w[0].1 < w[1].1 && w[0].0 < w[1].0));
+        assert_eq!(cum.last().unwrap().1, 5);
+    }
+}

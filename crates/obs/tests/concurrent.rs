@@ -1,0 +1,108 @@
+//! Concurrency contract of the metrics registry, property-tested: any
+//! interleaving of recording threads and a concurrently rendering
+//! reader must lose no updates and never observe a torn value — the
+//! final counter/gauge/histogram state equals the sum of what the
+//! threads wrote, and every intermediate render parses as valid
+//! exposition text.
+
+use std::sync::Arc;
+
+use phe_obs::{parse_exposition, MetricsRegistry};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // N threads hammer one counter and one histogram through
+    // independently-registered handles while the main thread renders;
+    // totals must be exact.
+    #[test]
+    fn concurrent_record_and_read(
+        threads in 1usize..5,
+        per_thread in 1u64..300,
+    ) {
+        let reg = Arc::new(MetricsRegistry::new());
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let reg = Arc::clone(&reg);
+                scope.spawn(move || {
+                    // Each thread registers its own handles: identity is
+                    // (name, labels), so they all share the same atomics.
+                    let c = reg.counter("phe_prop_total", "prop counter");
+                    let h = reg.histogram("phe_prop_values", "prop histogram");
+                    let g = reg.gauge_with("phe_prop_gauge", "prop gauge",
+                        &[("thread", &t.to_string())]);
+                    for i in 0..per_thread {
+                        c.inc();
+                        h.record(i * 17 + t as u64);
+                        g.set(i as f64);
+                    }
+                });
+            }
+            // Concurrent reads: every render must stay parseable and
+            // monotone in the counter.
+            let mut last = 0u64;
+            for _ in 0..20 {
+                let text = reg.render();
+                let samples = parse_exposition(&text).expect("render must parse");
+                if let Some(s) = samples.iter().find(|s| s.name == "phe_prop_total") {
+                    let seen = s.value as u64;
+                    prop_assert!(seen >= last, "counter went backwards: {seen} < {last}");
+                    last = seen;
+                }
+            }
+            Ok(())
+        })?;
+
+        let expect = threads as u64 * per_thread;
+        let c = reg.counter("phe_prop_total", "prop counter");
+        prop_assert_eq!(c.get(), expect);
+        let h = reg.histogram("phe_prop_values", "prop histogram");
+        prop_assert_eq!(h.count(), expect);
+        let samples = parse_exposition(&reg.render()).expect("final render must parse");
+        let total = samples.iter().find(|s| s.name == "phe_prop_total").unwrap();
+        prop_assert_eq!(total.value as u64, expect);
+        let hist_count = samples
+            .iter()
+            .find(|s| s.name == "phe_prop_values_count")
+            .unwrap();
+        prop_assert_eq!(hist_count.value as u64, expect);
+        // The +Inf bucket agrees with _count.
+        let inf = samples
+            .iter()
+            .find(|s| {
+                s.name == "phe_prop_values_bucket"
+                    && s.labels.iter().any(|(k, v)| k == "le" && v == "+Inf")
+            })
+            .unwrap();
+        prop_assert_eq!(inf.value as u64, expect);
+    }
+
+    // Quantiles bracket the recorded range under concurrent writes.
+    #[test]
+    fn concurrent_quantiles_stay_in_range(
+        threads in 1usize..4,
+        lo in 1u64..1000,
+        span in 1u64..100_000,
+    ) {
+        let reg = Arc::new(MetricsRegistry::new());
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let reg = Arc::clone(&reg);
+                scope.spawn(move || {
+                    let h = reg.histogram("phe_prop_q", "quantile histogram");
+                    for v in lo..lo + span.min(500) {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        let h = reg.histogram("phe_prop_q", "quantile histogram");
+        let hi = lo + span.min(500) - 1;
+        let p50 = h.quantile(0.5);
+        // Midpoint reads stay within the 1.25× bucket guarantee of the
+        // recorded range.
+        prop_assert!(p50 as f64 >= lo as f64 / 1.25, "p50={p50} lo={lo}");
+        prop_assert!(p50 as f64 <= hi as f64 * 1.25, "p50={p50} hi={hi}");
+    }
+}

@@ -105,23 +105,27 @@ impl SparseCatalog {
     pub fn compute(graph: &Graph, k: usize) -> Result<SparseCatalog, CatalogError> {
         let encoding = PathEncoding::try_new(graph.label_count().max(1), k)?;
         let mut entries = Vec::new();
-        if graph.label_count() > 0 {
-            let mut scratch = FixedBitSet::new(graph.vertex_count());
-            let mut path = Vec::with_capacity(k);
-            for label in graph.label_ids() {
-                let rel = PathRelation::from_label(graph, label);
-                collect_subtree(
-                    graph,
-                    &encoding,
-                    &mut entries,
-                    &rel,
-                    label,
-                    &mut path,
-                    &mut scratch,
-                    k,
-                );
+        {
+            let _count = phe_obs::span::stage("build.count");
+            if graph.label_count() > 0 {
+                let mut scratch = FixedBitSet::new(graph.vertex_count());
+                let mut path = Vec::with_capacity(k);
+                for label in graph.label_ids() {
+                    let rel = PathRelation::from_label(graph, label);
+                    collect_subtree(
+                        graph,
+                        &encoding,
+                        &mut entries,
+                        &rel,
+                        label,
+                        &mut path,
+                        &mut scratch,
+                        k,
+                    );
+                }
             }
         }
+        let _merge = phe_obs::span::stage("build.merge");
         entries.sort_unstable_by_key(|&(index, _)| index);
         Ok(SparseCatalog {
             encoding,
@@ -158,6 +162,7 @@ impl SparseCatalog {
         let next_task = AtomicUsize::new(0);
         let runs: Mutex<Vec<CompressedRuns>> = Mutex::new(Vec::with_capacity(threads));
 
+        let count_span = phe_obs::span::stage("build.count");
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| {
@@ -195,7 +200,10 @@ impl SparseCatalog {
             }
         });
 
+        drop(count_span);
+
         let runs = runs.into_inner().expect("run mutex poisoned");
+        let _merge = phe_obs::span::stage("build.merge");
         Ok(SparseCatalog {
             encoding,
             runs: CompressedRuns::merge_many(&runs),

@@ -200,6 +200,7 @@ impl PathExpr {
     /// `opts.max_paths` — the guard that keeps `.{1,8}`-style expressions
     /// from enumerating the whole domain.
     pub fn expand(&self, opts: &ExpandOptions<'_>) -> Result<Expansion, ExpandError> {
+        let _expand = phe_obs::span::stage("query.expand");
         let mut stats = ExpandStats::default();
         let set = self.expand_set(opts, &mut stats)?;
         let matches_empty = set.contains(&Vec::new());
@@ -293,6 +294,12 @@ impl PathExpr {
         opts: &ExpandOptions<'_>,
         stats: &mut ExpandStats,
     ) -> Result<BTreeSet<Vec<u16>>, ExpandError> {
+        // Prune time is the follow-checked join: only metered when a
+        // follow matrix is actually consulted.
+        let _prune = opts
+            .follow
+            .is_some()
+            .then(|| phe_obs::span::stage("query.prune"));
         let mut out = BTreeSet::new();
         for a in left {
             for b in right {

@@ -18,28 +18,60 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use phe_core::LabelPath;
+use phe_obs::{Counter, MetricsRegistry};
 
 /// Cumulative hit/miss counters, shared between cache generations.
-#[derive(Debug, Default)]
+///
+/// Backed by a pair of [`phe_obs::Counter`] handles. Detached by
+/// default; [`CacheCounters::registered`] binds the same counters into a
+/// metrics registry as `phe_cache_requests_total{…,outcome=…}`, so the
+/// hit rate the `list` op and the scrape endpoint report is read from
+/// the **same atomics** the cache increments — the surfaces cannot
+/// disagree.
+#[derive(Debug)]
 pub struct CacheCounters {
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+}
+
+impl Default for CacheCounters {
+    fn default() -> Self {
+        CacheCounters {
+            hits: Arc::new(Counter::new()),
+            misses: Arc::new(Counter::new()),
+        }
+    }
 }
 
 impl CacheCounters {
+    /// Counters registered in `registry` under
+    /// `phe_cache_requests_total` with the given identifying labels plus
+    /// `outcome="hit"` / `outcome="miss"`.
+    pub fn registered(registry: &MetricsRegistry, labels: &[(&str, &str)]) -> CacheCounters {
+        const NAME: &str = "phe_cache_requests_total";
+        const HELP: &str = "Cache lookups by cache, slot, and outcome.";
+        let mut hit_labels = labels.to_vec();
+        hit_labels.push(("outcome", "hit"));
+        let mut miss_labels = labels.to_vec();
+        miss_labels.push(("outcome", "miss"));
+        CacheCounters {
+            hits: registry.counter_with(NAME, HELP, &hit_labels),
+            misses: registry.counter_with(NAME, HELP, &miss_labels),
+        }
+    }
+
     /// Total hits so far.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Total misses so far.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 
     /// Hits / (hits + misses), or 0 when nothing was looked up.
@@ -199,8 +231,8 @@ impl ShardedLruCache {
     pub fn get(&self, path: &LabelPath) -> Option<f64> {
         let result = self.shard_for(path).lock().get(path);
         match result {
-            Some(_) => self.counters.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.counters.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => self.counters.hits.inc(),
+            None => self.counters.misses.inc(),
         };
         result
     }
@@ -260,8 +292,8 @@ impl ExprCache {
     pub fn get(&self, key: &str) -> Option<CachedExpr> {
         let result = self.shard.lock().get(key);
         match result {
-            Some(_) => self.counters.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.counters.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => self.counters.hits.inc(),
+            None => self.counters.misses.inc(),
         };
         result
     }

@@ -64,6 +64,9 @@ pub struct ExprResult {
     pub cached: bool,
     /// Per-branch `(path, estimate)` rows (explain requests only).
     pub branches: Option<Vec<(String, f64)>>,
+    /// Per-stage timing breakdown `(depth, stage, seconds)` of the
+    /// answer's span tree (explain requests only).
+    pub stages: Option<Vec<(usize, String, f64)>>,
 }
 
 /// A batched expression-estimate answer.
@@ -211,6 +214,33 @@ impl ServiceClient {
                         return Err(ClientError::Malformed(format!("bad branches: {other:?}")))
                     }
                 };
+                let stages = match row.get("stages") {
+                    None => None,
+                    Some(Value::Array(rows)) => Some(
+                        rows.iter()
+                            .map(|stage| {
+                                Ok((
+                                    stage.get("depth").and_then(Value::as_u64).ok_or_else(|| {
+                                        ClientError::Malformed("bad stage depth".into())
+                                    })? as usize,
+                                    stage
+                                        .get("stage")
+                                        .and_then(Value::as_str)
+                                        .ok_or_else(|| {
+                                            ClientError::Malformed("bad stage name".into())
+                                        })?
+                                        .to_owned(),
+                                    stage.get("seconds").and_then(Value::as_f64).ok_or_else(
+                                        || ClientError::Malformed("bad stage seconds".into()),
+                                    )?,
+                                ))
+                            })
+                            .collect::<Result<Vec<(usize, String, f64)>, ClientError>>()?,
+                    ),
+                    Some(other) => {
+                        return Err(ClientError::Malformed(format!("bad stages: {other:?}")))
+                    }
+                };
                 Ok(ExprResult {
                     estimate: row
                         .get("estimate")
@@ -222,6 +252,7 @@ impl ServiceClient {
                     matches_empty: matches!(row.get("matches_empty"), Some(Value::Bool(true))),
                     cached: matches!(row.get("cached"), Some(Value::Bool(true))),
                     branches,
+                    stages,
                 })
             })
             .collect::<Result<Vec<ExprResult>, ClientError>>()?;
@@ -269,10 +300,20 @@ impl ServiceClient {
 
     /// Fetches the server's metrics object.
     pub fn metrics(&mut self) -> Result<Value, ClientError> {
-        let response = self.roundtrip(&Request::Metrics)?;
+        let response = self.roundtrip(&Request::Metrics { prometheus: false })?;
         response
             .get("metrics")
             .cloned()
             .ok_or_else(|| ClientError::Malformed("missing metrics".into()))
+    }
+
+    /// Fetches the server's metrics in Prometheus text exposition format
+    /// — the same surface the `--metrics-addr` scrape endpoint serves.
+    pub fn metrics_prometheus(&mut self) -> Result<String, ClientError> {
+        let response = self.roundtrip(&Request::Metrics { prometheus: true })?;
+        match response.get("exposition") {
+            Some(Value::String(text)) => Ok(text.clone()),
+            _ => Err(ClientError::Malformed("missing exposition".into())),
+        }
     }
 }

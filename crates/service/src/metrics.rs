@@ -1,132 +1,129 @@
 //! Service-level metrics: request counts, throughput, latency quantiles,
-//! and cache hit rate.
+//! cache hit rates, and per-slot accuracy drift — all backed by one
+//! [`phe_obs::MetricsRegistry`].
 //!
-//! Latency is tracked in a fixed array of power-of-two nanosecond buckets
-//! — lock-free to record (one atomic add), and accurate to within its
-//! bucket width (≤ 2×) for quantile reads, which is plenty for a p50/p99
-//! operator report.
+//! Every counter here is a registry handle, so the operator report
+//! ([`MetricsReport`] / the SIGINT dump), the `metrics` protocol op, and
+//! the Prometheus scrape endpoint read the **same atomics** — the three
+//! surfaces cannot disagree. Recording stays lock-free: each handle is a
+//! plain relaxed atomic, and latency lands in a log-linear
+//! [`LatencyHistogram`] (4 sub-buckets per power of two, quantiles
+//! accurate to ≤ 1.25×).
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use phe_core::DriftReport;
+use phe_obs::{Counter, Gauge, MetricsRegistry};
+
 use crate::cache::CacheCounters;
 
-const BUCKETS: usize = 64;
+/// Lock-free log-linear latency histogram (moved into `phe-obs`; the
+/// service records nanoseconds and reads second-scaled quantiles).
+pub use phe_obs::LogHistogram as LatencyHistogram;
 
-/// Lock-free histogram over `[2^i, 2^(i+1))` nanosecond buckets.
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    total_ns: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            total_ns: AtomicU64::new(0),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// Records one observation.
-    pub fn record(&self, latency: Duration) {
-        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
-        let bucket = (64 - ns.leading_zeros() as usize)
-            .saturating_sub(1)
-            .min(BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_ns.fetch_add(ns, Ordering::Relaxed);
-    }
-
-    /// Number of observations.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Approximate quantile (`q` in `[0, 1]`), as the geometric midpoint
-    /// of the bucket where the cumulative count crosses `q`.
-    pub fn quantile(&self, q: f64) -> Duration {
-        let total = self.count();
-        if total == 0 {
-            return Duration::ZERO;
-        }
-        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= target {
-                let lo = if i == 0 { 0u64 } else { 1u64 << i };
-                let hi = 1u64.checked_shl(i as u32 + 1).unwrap_or(u64::MAX);
-                return Duration::from_nanos(lo / 2 + hi / 2);
-            }
-        }
-        Duration::from_nanos(u64::MAX)
-    }
-
-    /// Mean observation.
-    pub fn mean(&self) -> Duration {
-        let total = self.total_ns.load(Ordering::Relaxed);
-        match total.checked_div(self.count()) {
-            Some(mean) => Duration::from_nanos(mean),
-            None => Duration::ZERO,
-        }
-    }
-}
+const REBUILD_HELP: &str = "Background rebuilds by outcome event.";
+const DELTA_HELP: &str = "Background delta applications by outcome event.";
 
 /// Shared counters for one serving process.
+///
+/// [`ServiceMetrics::new`] owns a private registry (handy for tests and
+/// embedded use); [`ServiceMetrics::with_registry`] reports into a shared
+/// one — `phe serve` passes [`phe_obs::global()`] so span stage
+/// histograms, cache counters, and drift gauges all land on the single
+/// scrapeable surface.
 #[derive(Debug)]
 pub struct ServiceMetrics {
     started: Instant,
+    registry: Arc<MetricsRegistry>,
+    /// Process uptime, refreshed on every render/report.
+    uptime: Arc<Gauge>,
     /// Protocol requests answered (a batch is one request).
-    requests: AtomicU64,
+    requests: Arc<Counter>,
     /// Individual paths estimated across all batches.
-    paths: AtomicU64,
+    paths: Arc<Counter>,
     /// Requests rejected with an error.
-    errors: AtomicU64,
+    errors: Arc<Counter>,
     /// Snapshot hot-swaps performed.
-    swaps: AtomicU64,
+    swaps: Arc<Counter>,
     /// Background rebuilds started.
-    rebuilds_started: AtomicU64,
+    rebuilds_started: Arc<Counter>,
     /// Background rebuilds that failed (load/build error).
-    rebuilds_failed: AtomicU64,
+    rebuilds_failed: Arc<Counter>,
     /// Background rebuilds discarded because a newer publish landed first.
-    rebuilds_superseded: AtomicU64,
+    rebuilds_superseded: Arc<Counter>,
     /// Background incremental delta applications started.
-    deltas_started: AtomicU64,
+    deltas_started: Arc<Counter>,
     /// Delta applications that failed (changes load / merge error).
-    deltas_failed: AtomicU64,
+    deltas_failed: Arc<Counter>,
     /// Delta applications discarded because a newer publish landed first.
-    deltas_superseded: AtomicU64,
+    deltas_superseded: Arc<Counter>,
     /// Per-request wall latency.
-    latency: LatencyHistogram,
+    latency: Arc<LatencyHistogram>,
     /// Estimate-cache counters (shared with every cache generation).
     cache: Arc<CacheCounters>,
 }
 
 impl ServiceMetrics {
-    /// Fresh metrics, clock started now.
+    /// Fresh metrics reporting into a private registry, clock started now.
     pub fn new() -> ServiceMetrics {
+        ServiceMetrics::with_registry(Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Metrics reporting into `registry`, clock started now.
+    pub fn with_registry(registry: Arc<MetricsRegistry>) -> ServiceMetrics {
+        let r = &registry;
         ServiceMetrics {
             started: Instant::now(),
-            requests: AtomicU64::new(0),
-            paths: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            swaps: AtomicU64::new(0),
-            rebuilds_started: AtomicU64::new(0),
-            rebuilds_failed: AtomicU64::new(0),
-            rebuilds_superseded: AtomicU64::new(0),
-            deltas_started: AtomicU64::new(0),
-            deltas_failed: AtomicU64::new(0),
-            deltas_superseded: AtomicU64::new(0),
-            latency: LatencyHistogram::default(),
-            cache: Arc::new(CacheCounters::default()),
+            uptime: r.gauge(
+                "phe_uptime_seconds",
+                "Time since the serving process started.",
+            ),
+            requests: r.counter(
+                "phe_requests_total",
+                "Protocol requests answered (a batch is one request).",
+            ),
+            paths: r.counter(
+                "phe_paths_total",
+                "Individual paths estimated across all batches.",
+            ),
+            errors: r.counter("phe_errors_total", "Requests rejected with an error."),
+            swaps: r.counter("phe_swaps_total", "Snapshot hot-swaps performed."),
+            rebuilds_started: r.counter_with(
+                "phe_rebuilds_total",
+                REBUILD_HELP,
+                &[("event", "started")],
+            ),
+            rebuilds_failed: r.counter_with(
+                "phe_rebuilds_total",
+                REBUILD_HELP,
+                &[("event", "failed")],
+            ),
+            rebuilds_superseded: r.counter_with(
+                "phe_rebuilds_total",
+                REBUILD_HELP,
+                &[("event", "superseded")],
+            ),
+            deltas_started: r.counter_with("phe_deltas_total", DELTA_HELP, &[("event", "started")]),
+            deltas_failed: r.counter_with("phe_deltas_total", DELTA_HELP, &[("event", "failed")]),
+            deltas_superseded: r.counter_with(
+                "phe_deltas_total",
+                DELTA_HELP,
+                &[("event", "superseded")],
+            ),
+            latency: r
+                .duration_histogram("phe_request_duration_seconds", "Per-request wall latency."),
+            cache: Arc::new(CacheCounters::registered(
+                r.as_ref(),
+                &[("cache", "estimate")],
+            )),
+            registry,
         }
+    }
+
+    /// The registry every handle reports into.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// The cache counters new cache generations should report into.
@@ -136,73 +133,122 @@ impl ServiceMetrics {
 
     /// Records one answered request.
     pub fn record_request(&self, paths: usize, latency: Duration, ok: bool) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.paths.fetch_add(paths as u64, Ordering::Relaxed);
+        self.requests.inc();
+        self.paths.add(paths as u64);
         if !ok {
-            self.errors.fetch_add(1, Ordering::Relaxed);
+            self.errors.inc();
         }
-        self.latency.record(latency);
+        self.latency.record_duration(latency);
+    }
+
+    /// Records one request of the named protocol op
+    /// (`phe_ops_total{op=…}`).
+    pub fn record_op(&self, op: &str) {
+        self.registry
+            .counter_with(
+                "phe_ops_total",
+                "Protocol requests by operation.",
+                &[("op", op)],
+            )
+            .inc();
     }
 
     /// Records a snapshot hot-swap.
     pub fn record_swap(&self) {
-        self.swaps.fetch_add(1, Ordering::Relaxed);
+        self.swaps.inc();
     }
 
     /// Records a background rebuild being kicked off.
     pub fn record_rebuild_started(&self) {
-        self.rebuilds_started.fetch_add(1, Ordering::Relaxed);
+        self.rebuilds_started.inc();
     }
 
     /// Records a background rebuild that did not publish (graph load or
     /// build failure).
     pub fn record_rebuild_failed(&self) {
-        self.rebuilds_failed.fetch_add(1, Ordering::Relaxed);
+        self.rebuilds_failed.inc();
     }
 
     /// Records a background rebuild discarded because the slot advanced
     /// (e.g. a `load`) while it was building.
     pub fn record_rebuild_superseded(&self) {
-        self.rebuilds_superseded.fetch_add(1, Ordering::Relaxed);
+        self.rebuilds_superseded.inc();
     }
 
     /// Records a background delta application being kicked off.
     pub fn record_delta_started(&self) {
-        self.deltas_started.fetch_add(1, Ordering::Relaxed);
+        self.deltas_started.inc();
     }
 
     /// Records a delta application that did not publish (changes load,
     /// contract, or merge failure).
     pub fn record_delta_failed(&self) {
-        self.deltas_failed.fetch_add(1, Ordering::Relaxed);
+        self.deltas_failed.inc();
     }
 
     /// Records a delta application discarded because the slot advanced
     /// while it was merging.
     pub fn record_delta_superseded(&self) {
-        self.deltas_superseded.fetch_add(1, Ordering::Relaxed);
+        self.deltas_superseded.inc();
+    }
+
+    /// Publishes the per-slot accuracy-drift gauges sampled after a delta
+    /// (`phe_drift_*{slot=…}`).
+    pub fn record_drift(&self, slot: &str, drift: &DriftReport) {
+        let labels = [("slot", slot)];
+        self.registry
+            .gauge_with(
+                "phe_drift_mean_abs_error",
+                "Mean absolute error rate (paper's bounded error, [0,1]) of \
+                 histogram estimates vs exact counts over paths sampled after \
+                 the latest delta.",
+                &labels,
+            )
+            .set(drift.mean_abs_error_rate);
+        self.registry
+            .gauge_with(
+                "phe_drift_max_q_error",
+                "Worst q-error among the drift-sampled paths after the latest delta.",
+                &labels,
+            )
+            .set(drift.max_q_error);
+        self.registry
+            .gauge_with(
+                "phe_drift_sampled_paths",
+                "Paths sampled for the latest drift measurement.",
+                &labels,
+            )
+            .set(drift.sampled as f64);
+    }
+
+    /// Renders the registry in Prometheus text exposition format
+    /// (refreshing the uptime gauge first).
+    pub fn render_prometheus(&self) -> String {
+        self.uptime.set(self.started.elapsed().as_secs_f64());
+        self.registry.render()
     }
 
     /// A point-in-time report.
     pub fn report(&self) -> MetricsReport {
         let elapsed = self.started.elapsed();
-        let requests = self.requests.load(Ordering::Relaxed);
+        self.uptime.set(elapsed.as_secs_f64());
+        let requests = self.requests.get();
         MetricsReport {
             uptime: elapsed,
             requests,
-            paths: self.paths.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            swaps: self.swaps.load(Ordering::Relaxed),
-            rebuilds_started: self.rebuilds_started.load(Ordering::Relaxed),
-            rebuilds_failed: self.rebuilds_failed.load(Ordering::Relaxed),
-            rebuilds_superseded: self.rebuilds_superseded.load(Ordering::Relaxed),
-            deltas_started: self.deltas_started.load(Ordering::Relaxed),
-            deltas_failed: self.deltas_failed.load(Ordering::Relaxed),
-            deltas_superseded: self.deltas_superseded.load(Ordering::Relaxed),
+            paths: self.paths.get(),
+            errors: self.errors.get(),
+            swaps: self.swaps.get(),
+            rebuilds_started: self.rebuilds_started.get(),
+            rebuilds_failed: self.rebuilds_failed.get(),
+            rebuilds_superseded: self.rebuilds_superseded.get(),
+            deltas_started: self.deltas_started.get(),
+            deltas_failed: self.deltas_failed.get(),
+            deltas_superseded: self.deltas_superseded.get(),
             qps: requests as f64 / elapsed.as_secs_f64().max(1e-9),
-            p50: self.latency.quantile(0.50),
-            p99: self.latency.quantile(0.99),
-            mean: self.latency.mean(),
+            p50: self.latency.quantile_duration(0.50),
+            p99: self.latency.quantile_duration(0.99),
+            mean: self.latency.mean_duration(),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
             cache_hit_rate: self.cache.hit_rate(),
@@ -297,25 +343,27 @@ mod tests {
 
     #[test]
     fn quantiles_bracket_observations() {
-        let h = LatencyHistogram::default();
+        let h = LatencyHistogram::new();
         for _ in 0..90 {
-            h.record(Duration::from_micros(10)); // ~10_000 ns, bucket 13
+            h.record_duration(Duration::from_micros(10)); // 10_000 ns
         }
         for _ in 0..10 {
-            h.record(Duration::from_millis(10)); // ~10^7 ns, bucket 23
+            h.record_duration(Duration::from_millis(10)); // 10^7 ns
         }
-        let p50 = h.quantile(0.5).as_nanos() as u64;
-        assert!((8_192..16_384 * 2).contains(&p50), "p50 = {p50} ns");
-        let p99 = h.quantile(0.99).as_nanos() as u64;
-        assert!((8_388_608..16_777_216 * 2).contains(&p99), "p99 = {p99} ns");
-        assert!(h.quantile(0.0) <= h.quantile(1.0));
+        // Log-linear buckets: the quantile midpoint is within 1.25× of
+        // the recorded value.
+        let p50 = h.quantile_duration(0.5).as_nanos() as u64;
+        assert!((8_000..=12_500).contains(&p50), "p50 = {p50} ns");
+        let p99 = h.quantile_duration(0.99).as_nanos() as u64;
+        assert!((8_000_000..=12_500_000).contains(&p99), "p99 = {p99} ns");
+        assert!(h.quantile_duration(0.0) <= h.quantile_duration(1.0));
     }
 
     #[test]
     fn empty_histogram_reports_zero() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.quantile(0.5), Duration::ZERO);
-        assert_eq!(h.mean(), Duration::ZERO);
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_duration(0.5), Duration::ZERO);
+        assert_eq!(h.mean_duration(), Duration::ZERO);
     }
 
     #[test]
@@ -339,5 +387,49 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("requests"), "{text}");
         assert!(text.contains("estimate cache"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_render_parses_and_matches_report() {
+        let m = ServiceMetrics::new();
+        m.record_request(3, Duration::from_micros(5), true);
+        m.record_op("estimate");
+        m.record_op("estimate");
+        m.record_op("list");
+        m.record_drift(
+            "main",
+            &phe_core::DriftReport {
+                touched: 100,
+                sampled: 50,
+                mean_abs_error_rate: 0.125,
+                max_q_error: 2.0,
+            },
+        );
+        let text = m.render_prometheus();
+        let samples = phe_obs::parse_exposition(&text).expect("exposition must parse");
+        let value = |name: &str, label: Option<(&str, &str)>| -> f64 {
+            samples
+                .iter()
+                .find(|s| {
+                    s.name == name
+                        && label
+                            .is_none_or(|(k, v)| s.labels.iter().any(|(lk, lv)| lk == k && lv == v))
+                })
+                .unwrap_or_else(|| panic!("missing sample {name} {label:?} in:\n{text}"))
+                .value
+        };
+        assert_eq!(value("phe_requests_total", None), 1.0);
+        assert_eq!(value("phe_paths_total", None), 3.0);
+        assert_eq!(value("phe_ops_total", Some(("op", "estimate"))), 2.0);
+        assert_eq!(value("phe_ops_total", Some(("op", "list"))), 1.0);
+        assert_eq!(
+            value("phe_drift_mean_abs_error", Some(("slot", "main"))),
+            0.125
+        );
+        assert_eq!(
+            value("phe_drift_sampled_paths", Some(("slot", "main"))),
+            50.0
+        );
+        assert_eq!(value("phe_request_duration_seconds_count", None), 1.0);
     }
 }

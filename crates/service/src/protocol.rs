@@ -16,8 +16,8 @@
 //! | `ping` | — | `{"ok":true}` | liveness probe |
 //! | `estimate` | `estimator` (default `"default"`), `paths` | `version`, `estimates` | one pinned generation answers the whole batch |
 //! | `estimate_expr` | `estimator` (default `"default"`), `exprs` (expression strings), `explain` (false) | `version`, `results` rows: `estimate`, `paths`, `pruned`, `truncated`, `matches_empty`, `cached`, plus `branches` (`[path, estimate]` pairs) when `explain` | regular path expressions — alternation `(a\|b)`, optional `a?`, repetition `a{m,n}`, wildcard `.`; cached by *normalized* expression, so `(a\|b)c` and `(b\|a)c` share an entry; one pinned generation answers the whole batch |
-//! | `list` | — | `estimators` rows: `name`, `version`, `k`, `labels`, `size_bytes`, `description`, `base_build_id`, `applied_deltas` (lineage; `null` for pre-lineage snapshots), plus `maintained_catalog_bytes` / `maintained_plain_bytes` / `maintained_bytes_per_entry` for slots with maintenance state | each row read from a single generation; a climbing `applied_deltas` flags a slot due for a compacting rebuild |
-//! | `metrics` | — | `metrics` object | qps, p50/p99, cache hit rate, rebuild + delta counters |
+//! | `list` | — | `estimators` rows: `name`, `version`, `k`, `labels`, `size_bytes`, `description`, `base_build_id`, `applied_deltas` (lineage; `null` for pre-lineage snapshots), plus `maintained_catalog_bytes` / `maintained_plain_bytes` / `maintained_bytes_per_entry` for slots with maintenance state and `drift_mean_abs_error` / `drift_max_q_error` / `drift_sampled_paths` once a delta has been applied | each row read from a single generation; a climbing `applied_deltas` flags a slot due for a compacting rebuild |
+//! | `metrics` | `format` (`"report"`) | `metrics` object, or `exposition` text when `format` is `"prometheus"` | qps, p50/p99, cache hit rate, rebuild + delta counters; the Prometheus form is the same text the `--metrics-addr` scrape endpoint serves |
 //! | `load` | `name`, `snapshot` | `version` | restores a snapshot file from the **server's** filesystem and hot-swaps the slot |
 //! | `rebuild` | `name`, `graph`, `k` (3), `beta` (64), `ordering` (`"sum-based"`), `histogram` (`"v-optimal-greedy"`), `threads` (1), `maintain` (false) | `{"status":"rebuilding"}` | asynchronous full build from a graph file |
 //! | `delta` | `name`, `changes` | `{"status":"applying-delta"}` | asynchronous incremental update from a changes file |
@@ -103,7 +103,11 @@ pub enum Request {
     /// List registered estimators.
     List,
     /// Service metrics snapshot.
-    Metrics,
+    Metrics {
+        /// Answer with the Prometheus text exposition (the same surface
+        /// the scrape endpoint serves) instead of the JSON report.
+        prometheus: bool,
+    },
     /// Load (or hot-swap) a snapshot file from the server's filesystem.
     Load {
         /// Registry slot name to publish under.
@@ -177,7 +181,18 @@ impl Request {
         match op {
             "ping" => Ok(Request::Ping),
             "list" => Ok(Request::List),
-            "metrics" => Ok(Request::Metrics),
+            "metrics" => match value.get("format") {
+                None => Ok(Request::Metrics { prometheus: false }),
+                Some(Value::String(f)) if f == "report" => {
+                    Ok(Request::Metrics { prometheus: false })
+                }
+                Some(Value::String(f)) if f == "prometheus" => {
+                    Ok(Request::Metrics { prometheus: true })
+                }
+                Some(other) => Err(err(format!(
+                    "field \"format\" must be \"report\" or \"prometheus\", got {other:?}"
+                ))),
+            },
             "estimate" => {
                 let estimator = value
                     .get("estimator")
@@ -341,7 +356,13 @@ impl Request {
         let value = match self {
             Request::Ping => Value::Object(vec![("op".into(), Value::string("ping"))]),
             Request::List => Value::Object(vec![("op".into(), Value::string("list"))]),
-            Request::Metrics => Value::Object(vec![("op".into(), Value::string("metrics"))]),
+            Request::Metrics { prometheus } => Value::Object(vec![
+                ("op".into(), Value::string("metrics")),
+                (
+                    "format".into(),
+                    Value::string(if *prometheus { "prometheus" } else { "report" }),
+                ),
+            ]),
             Request::Estimate { estimator, paths } => {
                 let paths_value = Value::Array(
                     paths
@@ -528,7 +549,8 @@ mod tests {
         let requests = vec![
             Request::Ping,
             Request::List,
-            Request::Metrics,
+            Request::Metrics { prometheus: false },
+            Request::Metrics { prometheus: true },
             Request::Estimate {
                 estimator: "default".into(),
                 paths: vec![vec![PathStep::Name("a".into()), PathStep::Id(3)]],

@@ -16,8 +16,9 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
-use phe_core::{LabelPath, PathSelectivityEstimator};
+use phe_core::{DriftReport, LabelPath, PathSelectivityEstimator};
 use phe_graph::Graph;
+use phe_obs::MetricsRegistry;
 use phe_query::expr::ExpandOptions;
 use phe_query::parse_expr;
 
@@ -112,6 +113,7 @@ impl ServingEstimator {
     /// A rendered message for parse failures (with byte positions) and
     /// over-wide expansions.
     pub fn estimate_expr(&self, source: &str, explain: bool) -> Result<ExprOutcome, String> {
+        let parse_span = phe_obs::span::stage("query.parse");
         let expr = parse_expr(self.estimator(), source).map_err(|e| {
             format!(
                 "{e} (bytes {}..{} of the expression)",
@@ -120,6 +122,7 @@ impl ServingEstimator {
         })?;
         let normalized = expr.normalize();
         let key = normalized.to_string();
+        drop(parse_span);
         if !explain {
             if let Some(hit) = self.expr_cache.get(&key) {
                 return Ok(ExprOutcome {
@@ -135,6 +138,7 @@ impl ServingEstimator {
         }
         let opts = ExpandOptions::new(self.estimator.label_count(), self.estimator.k());
         let expansion = normalized.expand(&opts).map_err(|e| e.to_string())?;
+        let estimate_span = phe_obs::span::stage("query.estimate");
         let mut total = 0.0f64;
         let mut branches = explain.then(|| Vec::with_capacity(expansion.paths.len()));
         for path in &expansion.paths {
@@ -144,6 +148,7 @@ impl ServingEstimator {
                 rows.push((self.estimator.render_path(path), estimate));
             }
         }
+        drop(estimate_span);
         let cached_entry = CachedExpr {
             total,
             width: expansion.paths.len() as u64,
@@ -206,7 +211,7 @@ pub struct MaintainedFootprint {
 
 /// One row of [`EstimatorRegistry::list`], captured from a single
 /// generation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EstimatorInfo {
     /// Registry slot name.
     pub name: String,
@@ -232,6 +237,10 @@ pub struct EstimatorInfo {
     /// The maintained sparse catalog's footprint, when the slot holds
     /// maintenance state.
     pub maintained: Option<MaintainedFootprint>,
+    /// Accuracy drift sampled after the slot's most recent `delta`:
+    /// estimates vs exact counts over the touched paths. `None` until a
+    /// delta has been applied to the maintained lineage.
+    pub drift: Option<DriftReport>,
 }
 
 /// Named, concurrently readable, hot-swappable estimators.
@@ -239,6 +248,10 @@ pub struct EstimatorRegistry {
     slots: RwLock<HashMap<String, Arc<Slot>>>,
     counters: Arc<CacheCounters>,
     cache_capacity: usize,
+    /// Metrics registry per-slot expression-cache counters are
+    /// registered in (`phe_cache_requests_total{cache="expr",slot=…}`),
+    /// when the serving tier wires one up.
+    obs: Option<Arc<MetricsRegistry>>,
     /// Slots with a background rebuild in flight — one rebuild per slot
     /// at a time, so repeated `rebuild` requests cannot stack full-graph
     /// builds or publish out of order.
@@ -263,9 +276,19 @@ impl EstimatorRegistry {
             slots: RwLock::new(HashMap::new()),
             counters,
             cache_capacity: cache_capacity.max(1),
+            obs: None,
             rebuilding: Mutex::new(HashSet::new()),
             maintenance: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Registers per-slot cache counters in `registry` (builder style) —
+    /// each slot's expression-cache hits and misses become
+    /// `phe_cache_requests_total{cache="expr",slot=…}` alongside the
+    /// rates `list` reports, read from the same atomics.
+    pub fn with_observability(mut self, registry: Arc<MetricsRegistry>) -> EstimatorRegistry {
+        self.obs = Some(registry);
+        self
     }
 
     /// Stores (or replaces) a slot's incremental-maintenance state.
@@ -344,13 +367,16 @@ impl EstimatorRegistry {
         if let Some(slot) = slots.get(name) {
             return self.swap_in(slot, estimator);
         }
-        slots.insert(name.to_owned(), self.new_slot(estimator));
+        slots.insert(name.to_owned(), self.new_slot(name, estimator));
         1
     }
 
     /// A fresh slot at version 1, with its own expression-cache counters.
-    fn new_slot(&self, estimator: ServableEstimator) -> Arc<Slot> {
-        let expr_counters = Arc::new(CacheCounters::default());
+    fn new_slot(&self, name: &str, estimator: ServableEstimator) -> Arc<Slot> {
+        let expr_counters = Arc::new(match &self.obs {
+            Some(obs) => CacheCounters::registered(obs, &[("cache", "expr"), ("slot", name)]),
+            None => CacheCounters::default(),
+        });
         Arc::new(Slot {
             current: RwLock::new(Arc::new(self.generation(
                 estimator,
@@ -406,7 +432,7 @@ impl EstimatorRegistry {
         if slots.contains_key(name) {
             return None; // created concurrently: that publish is newer
         }
-        slots.insert(name.to_owned(), self.new_slot(estimator));
+        slots.insert(name.to_owned(), self.new_slot(name, estimator));
         Some(1)
     }
 
@@ -477,7 +503,7 @@ impl EstimatorRegistry {
         // touching the maintenance mutex while holding a slots guard
         // would invert the lock order and deadlock against a concurrent
         // publish.
-        let maintained: HashMap<String, MaintainedFootprint> = self
+        let maintained: HashMap<String, (MaintainedFootprint, Option<DriftReport>)> = self
             .maintenance
             .lock()
             .iter()
@@ -488,11 +514,14 @@ impl EstimatorRegistry {
                     .expect("maintenance state retains the sparse catalog");
                 (
                     name.clone(),
-                    MaintainedFootprint {
-                        nonzero_paths: catalog.nonzero_count() as u64,
-                        catalog_bytes: catalog.size_bytes() as u64,
-                        plain_bytes: catalog.plain_bytes() as u64,
-                    },
+                    (
+                        MaintainedFootprint {
+                            nonzero_paths: catalog.nonzero_count() as u64,
+                            catalog_bytes: catalog.size_bytes() as u64,
+                            plain_bytes: catalog.plain_bytes() as u64,
+                        },
+                        state.estimator.drift().copied(),
+                    ),
                 )
             })
             .collect();
@@ -511,7 +540,8 @@ impl EstimatorRegistry {
                     description: generation.estimator().description().to_owned(),
                     lineage: generation.estimator().lineage(),
                     expr_cache: (slot.expr_counters.hits(), slot.expr_counters.misses()),
-                    maintained: maintained.get(name).copied(),
+                    maintained: maintained.get(name).map(|(footprint, _)| *footprint),
+                    drift: maintained.get(name).and_then(|(_, drift)| *drift),
                 }
             })
             .collect();

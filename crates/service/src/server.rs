@@ -246,6 +246,16 @@ fn handle_line(
         Ok(r) => r,
         Err(e) => return (error_response(&e.to_string()), 0, false),
     };
+    metrics.record_op(match &request {
+        Request::Ping => "ping",
+        Request::List => "list",
+        Request::Metrics { .. } => "metrics",
+        Request::Estimate { .. } => "estimate",
+        Request::EstimateExpr { .. } => "estimate_expr",
+        Request::Delta { .. } => "delta",
+        Request::Rebuild { .. } => "rebuild",
+        Request::Load { .. } => "load",
+    });
     match request {
         Request::Ping => (ok_response(vec![]), 0, true),
         Request::List => {
@@ -305,6 +315,20 @@ fn handle_line(
                             )),
                         ));
                     }
+                    if let Some(d) = info.drift {
+                        row.push((
+                            "drift_mean_abs_error".into(),
+                            Value::Number(Number::Float(d.mean_abs_error_rate)),
+                        ));
+                        row.push((
+                            "drift_max_q_error".into(),
+                            Value::Number(Number::Float(d.max_q_error)),
+                        ));
+                        row.push((
+                            "drift_sampled_paths".into(),
+                            Value::Number(Number::PosInt(d.sampled as u64)),
+                        ));
+                    }
                     Value::Object(row)
                 })
                 .collect();
@@ -314,7 +338,17 @@ fn handle_line(
                 true,
             )
         }
-        Request::Metrics => {
+        Request::Metrics { prometheus } => {
+            if prometheus {
+                return (
+                    ok_response(vec![(
+                        "exposition".into(),
+                        Value::string(metrics.render_prometheus()),
+                    )]),
+                    0,
+                    true,
+                );
+            }
             let report = metrics.report();
             (
                 ok_response(vec![("metrics".into(), metrics_to_value(&report))]),
@@ -557,9 +591,17 @@ fn estimate_exprs(
         .ok_or_else(|| format!("no estimator {name:?} (try \"list\")"))?;
     let mut rows = Vec::with_capacity(exprs.len());
     for source in exprs {
-        let outcome = generation
-            .estimate_expr(source, explain)
-            .map_err(|e| format!("{source:?}: {e}"))?;
+        // Explain requests additionally capture the span tree of the
+        // answer (parse -> expand -> prune -> estimate) so operators see
+        // where an expression's time went.
+        let (outcome, stages) = if explain {
+            let (outcome, roots) =
+                phe_obs::span::capture(|| generation.estimate_expr(source, true));
+            (outcome, Some(roots))
+        } else {
+            (generation.estimate_expr(source, false), None)
+        };
+        let outcome = outcome.map_err(|e| format!("{source:?}: {e}"))?;
         let mut row = vec![
             (
                 "estimate".into(),
@@ -592,6 +634,23 @@ fn estimate_exprs(
                         .collect(),
                 ),
             ));
+        }
+        if let Some(roots) = stages {
+            let flat: Vec<Value> = roots
+                .iter()
+                .flat_map(|root| root.flatten())
+                .map(|(depth, stage, duration)| {
+                    Value::Object(vec![
+                        ("stage".into(), Value::string(stage)),
+                        ("depth".into(), Value::Number(Number::PosInt(depth as u64))),
+                        (
+                            "seconds".into(),
+                            Value::Number(Number::Float(duration.as_secs_f64())),
+                        ),
+                    ])
+                })
+                .collect();
+            row.push(("stages".into(), Value::Array(flat)));
         }
         rows.push(Value::Object(row));
     }
@@ -729,6 +788,9 @@ fn publish(
     on_superseded: impl FnOnce(),
     on_failed: impl FnOnce(),
 ) {
+    // Drift is sampled by `apply_delta` (rebuilds carry `None`), published
+    // as per-slot gauges only once the CAS confirms these statistics won.
+    let drift = estimator.drift().copied();
     let (servable, keep) = match graph {
         Some(graph) => {
             // The estimator must survive for maintenance, so the servable
@@ -756,6 +818,9 @@ fn publish(
         Some(version) => {
             if version > 1 {
                 metrics.record_swap();
+            }
+            if let Some(drift) = drift {
+                metrics.record_drift(name, &drift);
             }
         }
         None => {
@@ -1096,6 +1161,34 @@ mod tests {
         }
         let report = metrics.report();
         assert_eq!((report.deltas_started, report.deltas_failed), (1, 0));
+
+        // Drift was sampled over the touched paths and published on every
+        // surface: the registry row, the `list` op, and the Prometheus
+        // exposition — all reading the same measurement.
+        let row = &registry.list()[0];
+        let drift = row.drift.expect("delta publishes a drift report");
+        assert!(drift.sampled > 0 && drift.sampled <= drift.touched);
+        assert!(
+            (0.0..=1.0).contains(&drift.mean_abs_error_rate),
+            "{drift:?}"
+        );
+        assert!(drift.max_q_error >= 1.0, "{drift:?}");
+        let (r, _, ok) = handle_line(r#"{"op":"list"}"#, &registry, &metrics, true);
+        assert!(ok && r.contains(r#""drift_mean_abs_error""#), "{r}");
+        assert!(r.contains(r#""drift_sampled_paths""#), "{r}");
+        let exposition = metrics.render_prometheus();
+        phe_obs::parse_exposition(&exposition).expect("exposition must parse");
+        assert!(
+            exposition.contains(r#"phe_drift_mean_abs_error{slot="default"}"#),
+            "{exposition}"
+        );
+        let (r, _, ok) = handle_line(
+            r#"{"op":"metrics","format":"prometheus"}"#,
+            &registry,
+            &metrics,
+            true,
+        );
+        assert!(ok && r.contains("phe_drift_sampled_paths"), "{r}");
 
         // A bad changes path is an asynchronous failure.
         let bad_line = r#"{"op":"delta","name":"default","changes":"/nonexistent.tsv"}"#;

@@ -61,7 +61,7 @@ USAGE:
       dataset: moreno | dbpedia | snap-er | snap-ff | chained
   phe stats <graph.tsv>
   phe build <graph.tsv> --k K --beta B [--ordering O] [--histogram H] [--stats]
-            [--no-accuracy] --out <stats.json>
+            [--no-accuracy] [--trace] --out <stats.json>
       ordering:  num-alph | num-card | lex-alph | lex-card | sum-based | sum-based-L2
       histogram: equi-width | equi-depth | v-optimal-greedy | v-optimal-exact |
                  v-optimal-maxdiff | end-biased
@@ -71,6 +71,8 @@ USAGE:
       --no-accuracy  skip the whole-domain accuracy report; keeps the
                      build sparse end-to-end (REQUIRED past the dense
                      domain limit)
+      --trace        print the nested stage-time tree of the build
+                     (count/merge/order/histogram)
   phe delta --graph <graph.tsv> --changes <changes.tsv> --k K --beta B
             [--ordering O] [--histogram H] [--out <stats.json>] [--compare]
       incrementally refreshes statistics: builds from the graph, then
@@ -86,16 +88,21 @@ USAGE:
   phe accuracy <graph.tsv> --k K --beta B
   phe serve --snapshot [name=]stats.json [--snapshot ...] [--addr 127.0.0.1:7878]
             [--workers N] [--cache ENTRIES] [--no-load]
+            [--metrics-addr 127.0.0.1:9464]
       serves batched estimates over newline-delimited JSON TCP; ctrl-C
       prints the metrics report (qps, p50/p99, cache + expression-cache
-      hit rates) and exits
+      hit rates, per-slot accuracy drift) and exits; --metrics-addr
+      additionally serves the same metrics as a Prometheus text scrape
+      endpoint (GET /metrics)
   phe query (--remote 127.0.0.1:7878 | --snapshot stats.json) [--estimator NAME]
-            [--graph graph.tsv] [--explain] <path-expr>...
+            [--graph graph.tsv] [--explain] [--trace] <path-expr>...
       estimates regular path expressions — locally against a snapshot, or
       remotely via the estimate_expr op (one batched request, answered by
       a single estimator generation). --graph enables follow-matrix
       pruning of impossible branches (local mode). --explain prints the
-      expansion tree, per-branch estimates, and prune counts
+      expansion tree, per-branch estimates, prune counts, and (remote)
+      the server-side stage timings. --trace prints the local
+      stage-time tree (parse/expand/prune/estimate)
 ";
 
 /// Tiny flag parser: positional args plus `--flag value` pairs.
@@ -246,7 +253,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_build(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse_with_booleans(args, &["stats", "no-accuracy"])?;
+    let flags = Flags::parse_with_booleans(args, &["stats", "no-accuracy", "trace"])?;
     let [path] = flags.positional.as_slice() else {
         return Err("build needs exactly one graph file".into());
     };
@@ -265,7 +272,10 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         retain_sparse: false,
     };
     let out: String = flags.require("out")?;
-    let estimator = PathSelectivityEstimator::build(&graph, config).map_err(|e| {
+    let trace = flags.get("trace").is_some();
+    let (result, spans) =
+        phe::obs::span::capture(|| PathSelectivityEstimator::build(&graph, config));
+    let estimator = result.map_err(|e| {
         if with_accuracy && matches!(e, phe::histogram::HistogramError::DomainTooLarge { .. }) {
             format!(
                 "{e}\nhint: this domain is past the dense materialization limit, where \
@@ -277,6 +287,9 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
             e.to_string()
         }
     })?;
+    if trace {
+        print!("{}", phe::obs::span::render_tree(&spans));
+    }
     let snapshot = estimator.snapshot().map_err(|e| e.to_string())?;
     let json = serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?;
     std::fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
@@ -383,6 +396,13 @@ fn cmd_delta(args: &[String]) -> Result<(), String> {
         refreshed.build_id(),
         refreshed.applied_deltas()
     );
+    if let Some(drift) = refreshed.drift() {
+        println!(
+            "drift            mean |err| = {:.4}, max q-error = {:.3} over {} of {} touched \
+             path(s) sampled",
+            drift.mean_abs_error_rate, drift.max_q_error, drift.sampled, drift.touched
+        );
+    }
 
     if flags.get("compare").is_some() {
         let t2 = std::time::Instant::now();
@@ -451,8 +471,10 @@ fn local_expr_estimate(
     source: &str,
     follow: Option<&phe::graph::FollowMatrix>,
 ) -> Result<LocalExprEstimate, String> {
+    let parse_span = phe::obs::span::stage("query.parse");
     let expr = phe::query::parse_expr(snapshot.label_names.as_slice(), source)
         .map_err(|e| render_query_error(source, &e))?;
+    drop(parse_span);
     // Concrete over-length chains keep the pre-expression error text;
     // branchy expressions handle the budget per concrete path.
     if let Some(chain) = expr.as_concrete() {
@@ -469,6 +491,7 @@ fn local_expr_estimate(
         opts = opts.with_follow(follow);
     }
     let expansion = expr.normalize().expand(&opts).map_err(|e| e.to_string())?;
+    let estimate_span = phe::obs::span::stage("query.estimate");
     let mut total = 0.0f64;
     let mut branches = Vec::with_capacity(expansion.paths.len());
     for path in &expansion.paths {
@@ -477,6 +500,7 @@ fn local_expr_estimate(
         let name = phe::query::render_path(path, &|l| snapshot.label_names.get(l.index()).cloned());
         branches.push((name, estimate));
     }
+    drop(estimate_span);
     Ok(LocalExprEstimate {
         expr,
         expansion,
@@ -548,14 +572,21 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         return Err("serve needs at least one --snapshot [name=]stats.json".into());
     }
 
-    let metrics = std::sync::Arc::new(phe::service::ServiceMetrics::new());
+    // One registry for everything: span stage histograms, service
+    // counters, cache counters, and drift gauges all land in the global
+    // registry, so the scrape endpoint, the `metrics` protocol op, and
+    // the shutdown dump can never disagree.
+    let obs = std::sync::Arc::clone(phe::obs::global());
+    let metrics = std::sync::Arc::new(phe::service::ServiceMetrics::with_registry(
+        std::sync::Arc::clone(&obs),
+    ));
     let cache_capacity: usize = flags
         .get_parsed("cache")?
         .unwrap_or(phe::service::EstimatorRegistry::DEFAULT_CACHE_CAPACITY);
-    let registry = std::sync::Arc::new(phe::service::EstimatorRegistry::new(
-        metrics.cache_counters(),
-        cache_capacity,
-    ));
+    let registry = std::sync::Arc::new(
+        phe::service::EstimatorRegistry::new(metrics.cache_counters(), cache_capacity)
+            .with_observability(obs),
+    );
     for spec in snapshots {
         // "--snapshot name=path" names the slot; bare paths serve as
         // "default" (first) or their file stem (subsequent).
@@ -593,6 +624,22 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(workers) = flags.get_parsed("workers")? {
         config.workers = workers;
     }
+    let metrics_server = match flags.get("metrics-addr") {
+        None => None,
+        Some(addr) => {
+            let render_metrics = std::sync::Arc::clone(&metrics);
+            let endpoint = phe::obs::http::serve_metrics(
+                addr,
+                std::sync::Arc::new(move || render_metrics.render_prometheus()),
+            )
+            .map_err(|e| format!("starting metrics endpoint on {addr}: {e}"))?;
+            println!(
+                "metrics scrape endpoint on http://{}/metrics",
+                endpoint.local_addr()
+            );
+            Some(endpoint)
+        }
+    };
     let sigint = phe::service::install_sigint_flag();
     let server =
         phe::service::Server::start(std::sync::Arc::clone(&registry), metrics.clone(), config)
@@ -607,6 +654,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     println!("\nshutting down...");
     server.shutdown();
+    if let Some(mut endpoint) = metrics_server {
+        endpoint.shutdown();
+    }
     println!("{}", metrics.report());
     for info in registry.list() {
         let lineage = info.lineage.map_or_else(
@@ -631,27 +681,48 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 m.nonzero_paths
             );
         }
+        if let Some(d) = info.drift {
+            println!(
+                "                 drift after last delta: mean |err| = {:.4}, \
+                 max q-error = {:.3} ({} path(s) sampled)",
+                d.mean_abs_error_rate, d.max_q_error, d.sampled
+            );
+        }
     }
     Ok(())
 }
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse_with_booleans(args, &["explain"])?;
+    let flags = Flags::parse_with_booleans(args, &["explain", "trace"])?;
     let explain = flags.get("explain").is_some();
+    let trace = flags.get("trace").is_some();
     if flags.positional.is_empty() {
         return Err("query needs at least one path expression".into());
     }
     match (flags.get("remote"), flags.get("snapshot")) {
         (Some(_), Some(_)) => Err("--remote and --snapshot are mutually exclusive".into()),
-        (Some(remote), None) => query_remote(
-            remote,
-            flags.get("estimator").unwrap_or("default"),
+        (Some(remote), None) => {
+            if trace {
+                return Err(
+                    "--trace times the local pipeline; for server-side timings use \
+                     --remote with --explain (the response carries the stage breakdown)"
+                        .into(),
+                );
+            }
+            query_remote(
+                remote,
+                flags.get("estimator").unwrap_or("default"),
+                &flags.positional,
+                explain,
+            )
+        }
+        (None, Some(snapshot)) => query_local(
+            snapshot,
+            flags.get("graph"),
             &flags.positional,
             explain,
+            trace,
         ),
-        (None, Some(snapshot)) => {
-            query_local(snapshot, flags.get("graph"), &flags.positional, explain)
-        }
         (None, None) => Err("query needs --remote host:port or --snapshot stats.json".into()),
     }
 }
@@ -695,6 +766,14 @@ fn query_remote(
             for (path, estimate) in result.branches.iter().flatten() {
                 println!("    {path}\t{estimate:.2}");
             }
+            for (depth, stage, seconds) in result.stages.iter().flatten() {
+                println!(
+                    "    {:indent$}{stage} {:.3} ms",
+                    "",
+                    seconds * 1e3,
+                    indent = depth * 2
+                );
+            }
         }
     }
     eprintln!(
@@ -713,6 +792,7 @@ fn query_local(
     graph_path: Option<&str>,
     exprs: &[String],
     explain: bool,
+    trace: bool,
 ) -> Result<(), String> {
     let snapshot = read_snapshot(snapshot_path)?;
     let restored = snapshot.restore().map_err(|e| e.to_string())?;
@@ -734,8 +814,16 @@ fn query_local(
         }
     };
     for expr in exprs {
-        let estimate = local_expr_estimate(&snapshot, &restored, expr, follow.as_ref())?;
+        let (estimate, spans) = phe::obs::span::capture(|| {
+            local_expr_estimate(&snapshot, &restored, expr, follow.as_ref())
+        });
+        let estimate = estimate?;
         println!("{expr}\t{:.2}", estimate.total);
+        if trace {
+            for line in phe::obs::span::render_tree(&spans).lines() {
+                println!("  {line}");
+            }
+        }
         if explain {
             println!(
                 "  {} concrete path(s), {} pruned, {} truncated{}",

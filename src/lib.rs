@@ -12,6 +12,8 @@
 //! * [`core`] — the paper's contribution: ranking rules, domain orderings
 //!   (numerical, lexicographical, sum-based), and the estimator,
 //! * [`query`] — a path-query optimizer driven by the estimator,
+//! * [`obs`] — observability substrate: metrics registry, Prometheus
+//!   exposition, structured stage spans, HTTP scrape endpoint,
 //! * [`service`] — long-lived concurrent serving: estimator registry with
 //!   snapshot hot-swap, batched estimation, LRU caching, TCP server.
 
@@ -19,6 +21,7 @@ pub use phe_core as core;
 pub use phe_datasets as datasets;
 pub use phe_graph as graph;
 pub use phe_histogram as histogram;
+pub use phe_obs as obs;
 pub use phe_pathenum as pathenum;
 pub use phe_query as query;
 pub use phe_service as service;

@@ -67,6 +67,32 @@ fn expected_estimates(est: &ServableEstimator) -> Vec<f64> {
         .collect()
 }
 
+/// One plain-HTTP scrape of the metrics endpoint; panics unless the
+/// endpoint answers 200 with a body.
+fn scrape_metrics(addr: std::net::SocketAddr) -> String {
+    use std::io::{BufRead, Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect metrics endpoint");
+    write!(
+        stream,
+        "GET /metrics HTTP/1.1\r\nHost: phe\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send scrape request");
+    let mut reader = std::io::BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("status line");
+    assert!(line.starts_with("HTTP/1.1 200"), "scrape failed: {line}");
+    loop {
+        line.clear();
+        reader.read_line(&mut line).expect("header line");
+        if line == "\r\n" || line.is_empty() {
+            break;
+        }
+    }
+    let mut body = String::new();
+    reader.read_to_string(&mut body).expect("scrape body");
+    body
+}
+
 #[test]
 fn concurrent_batches_survive_hot_swap() {
     // Two deliberately different estimator generations: different β and
@@ -203,6 +229,44 @@ fn concurrent_batches_survive_hot_swap() {
         report.cache_hits > 0,
         "repeated identical batches should hit the cache"
     );
+
+    // The scrape endpoint reads the same registry atomics as the report:
+    // spin it up, scrape it over HTTP, and fail on any exposition the
+    // Prometheus text parser rejects or that disagrees with the report.
+    let render = Arc::clone(&metrics);
+    let mut endpoint =
+        phe::obs::http::serve_metrics("127.0.0.1:0", Arc::new(move || render.render_prometheus()))
+            .expect("metrics endpoint starts");
+    let body = scrape_metrics(endpoint.local_addr());
+    let samples = phe::obs::parse_exposition(&body).expect("scrape output must parse");
+    let value = |name: &str, labels: &[(&str, &str)]| {
+        samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && labels
+                        .iter()
+                        .all(|(k, v)| s.labels.iter().any(|(lk, lv)| lk == k && lv == v))
+            })
+            .map(|s| s.value)
+    };
+    assert_eq!(
+        value("phe_requests_total", &[]),
+        Some(report.requests as f64)
+    );
+    assert_eq!(value("phe_swaps_total", &[]), Some(1.0));
+    assert_eq!(
+        value("phe_request_duration_seconds_count", &[]),
+        Some(report.requests as f64)
+    );
+    assert_eq!(
+        value(
+            "phe_cache_requests_total",
+            &[("cache", "estimate"), ("outcome", "hit")]
+        ),
+        Some(report.cache_hits as f64)
+    );
+    endpoint.shutdown();
 
     server.shutdown();
 }
