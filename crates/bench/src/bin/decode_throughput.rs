@@ -1,0 +1,364 @@
+//! `decode_throughput` — the block codec's decode speed and the spill
+//! build's memory envelope, asserted in-bin.
+//!
+//! Two measurements, each with a hard acceptance gate:
+//!
+//! 1. **Codec throughput**: the same entry stream compressed twice — by
+//!    the per-block chooser (frame-of-reference bit-packed lanes where
+//!    they win) and by the forced per-entry LEB128 varint baseline —
+//!    then decoded end to end repeatedly. Gate: the chooser stream
+//!    decodes at **≥ 2× entries/s** of the varint baseline at **≤ 110%**
+//!    of its bytes/entry.
+//! 2. **Spill build envelope**: the same catalog built fully in memory
+//!    and with a spill budget, under a live-bytes-tracking allocator.
+//!    Gate: the spilling build's **peak heap stays below the catalog's
+//!    plain (16 B/entry) size** — the bound the in-RAM pipeline cannot
+//!    make once the realized-path count outgrows memory.
+//!
+//! Output: an aligned table plus one JSON line per measurement
+//! (`"bench": "decode_throughput"` / `"spill_build"`), collected by CI
+//! into the `BENCH_decode.json` artifact.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use phe_bench::{emit, RunConfig, Scale};
+use phe_datasets::schema::{narrow_chained_schema, schema_graph};
+use phe_pathenum::{CompressedRuns, RunsBuilder, SparseCatalog};
+use serde_json::{Number, Value};
+
+// ------------------------------------------------------- peak-heap meter
+
+/// Live-bytes high-water allocator: every measurement below reads the
+/// peak between two [`reset_peak`] calls. Alignment padding is ignored —
+/// close enough for an envelope that must hold by a wide margin.
+struct TrackingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, p: *mut u8, layout: Layout) {
+        System.dealloc(p, layout);
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+}
+
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
+
+fn reset_peak() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+// ------------------------------------------------------------ measurement
+
+/// Synthetic run shaped like a real catalog: clustered indexes (small,
+/// varied gaps) and **locally correlated** counts — lexicographically
+/// adjacent path ids share prefixes, so their cardinalities drift rather
+/// than jump. Frame-of-reference packing thrives on that (a block's
+/// residuals span ~11 bits) while the varint baseline must spell every
+/// absolute count out at 3 bytes — the honest cost it pays on real data.
+fn catalog_shaped_entries(n: usize, seed: u64) -> Vec<(u64, u64)> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        // xorshift64* — deterministic, dependency-free.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    let mut entries = Vec::with_capacity(n);
+    let mut index = 0u64;
+    let mut base = 200_000i64;
+    for _ in 0..n {
+        let r = next();
+        // Mostly dense clusters (gap 1..16), occasional longer skips.
+        index += 1
+            + (r & 0xf)
+            + if r & 0xff00 == 0 {
+                (r >> 16) & 0xffff
+            } else {
+                0
+            };
+        // Counts random-walk around a prefix-local level, small noise on
+        // top; clamped so the walk can never reach zero.
+        base = (base + (((r >> 32) & 0xff) as i64 - 127)).max(1_000);
+        let count = base as u64 + ((r >> 40) & 0xff);
+        entries.push((index, count));
+    }
+    entries
+}
+
+/// Decodes the whole stream `rounds` times through the cursor's
+/// block-wise `fold` — the bulk path histogram builds and merges drive —
+/// returning (entries/s, checksum). The checksum defeats dead-code
+/// elimination and doubles as a cross-codec equality check.
+fn decode_rate(runs: &CompressedRuns, rounds: usize) -> (f64, u64) {
+    let t0 = Instant::now();
+    let mut checksum = 0u64;
+    for _ in 0..rounds {
+        checksum = runs.iter().fold(checksum, |acc, (index, count)| {
+            acc.wrapping_add(index ^ count.rotate_left(17))
+        });
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    ((runs.len() * rounds) as f64 / secs.max(1e-9), checksum)
+}
+
+fn main() {
+    let config = RunConfig::from_args();
+    // Codec race size/rounds, then the spill workload: a follow window
+    // wide enough that the realized path set dwarfs the graph — the
+    // beyond-RAM regime the spill gate is about (11 MB of plain entries
+    // from a < 1 MB graph at CI scale).
+    let (entries_n, rounds, labels, vertices, edges_per_label, window) = match config.scale {
+        Scale::Ci => (400_000usize, 24usize, 48u16, 800u32, 220u64, 0.35),
+        Scale::Paper => (4_000_000, 24, 64, 800, 250, 0.40),
+    };
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut json_lines: Vec<String> = Vec::new();
+
+    // ---- 1. codec decode race -----------------------------------------
+    let entries = catalog_shaped_entries(entries_n, config.seed);
+    let packed = CompressedRuns::from_entries(&entries);
+    let baseline = {
+        let mut b = RunsBuilder::new().varint_only();
+        for &(index, count) in &entries {
+            b.push(index, count);
+        }
+        b.finish()
+    };
+    let (varint_blocks, packed_blocks) = packed.block_codec_counts();
+
+    let (packed_rate, packed_sum) = decode_rate(&packed, rounds);
+    let (varint_rate, varint_sum) = decode_rate(&baseline, rounds);
+    assert_eq!(
+        packed_sum, varint_sum,
+        "codecs must decode identical streams"
+    );
+    let speedup = packed_rate / varint_rate;
+    let packed_bpe = packed.payload_bytes() as f64 / entries_n as f64;
+    let varint_bpe = baseline.payload_bytes() as f64 / entries_n as f64;
+    let size_ratio = packed_bpe / varint_bpe;
+
+    // The tentpole's acceptance gate, enforced where the numbers are made.
+    assert!(
+        speedup >= 2.0,
+        "packed codec must decode ≥ 2x the varint baseline, got {speedup:.2}x \
+         ({packed_rate:.0} vs {varint_rate:.0} entries/s)"
+    );
+    assert!(
+        size_ratio <= 1.10,
+        "packed codec must cost ≤ 110% of varint bytes/entry, got {:.1}% \
+         ({packed_bpe:.3} vs {varint_bpe:.3})",
+        size_ratio * 100.0
+    );
+
+    for (codec, rate, bpe, blocks) in [
+        ("packed", packed_rate, packed_bpe, packed_blocks),
+        (
+            "varint",
+            varint_rate,
+            varint_bpe,
+            baseline.block_codec_counts().0,
+        ),
+    ] {
+        rows.push(vec![
+            codec.into(),
+            entries_n.to_string(),
+            format!("{:.1}", rate / 1e6),
+            format!("{bpe:.3}"),
+            blocks.to_string(),
+        ]);
+    }
+    json_lines.push(
+        serde_json::to_string(&Value::Object(vec![
+            ("bench".into(), Value::string("decode_throughput")),
+            (
+                "entries".into(),
+                Value::Number(Number::PosInt(entries_n as u64)),
+            ),
+            (
+                "packed_entries_per_sec".into(),
+                Value::Number(Number::Float(packed_rate)),
+            ),
+            (
+                "varint_entries_per_sec".into(),
+                Value::Number(Number::Float(varint_rate)),
+            ),
+            ("speedup".into(), Value::Number(Number::Float(speedup))),
+            (
+                "packed_bytes_per_entry".into(),
+                Value::Number(Number::Float(packed_bpe)),
+            ),
+            (
+                "varint_bytes_per_entry".into(),
+                Value::Number(Number::Float(varint_bpe)),
+            ),
+            (
+                "size_ratio".into(),
+                Value::Number(Number::Float(size_ratio)),
+            ),
+            (
+                "packed_blocks".into(),
+                Value::Number(Number::PosInt(packed_blocks as u64)),
+            ),
+            (
+                "varint_blocks".into(),
+                Value::Number(Number::PosInt(varint_blocks as u64)),
+            ),
+        ]))
+        .expect("flat object"),
+    );
+
+    // Part 1's buffers must not be alive while part 2 meters the heap.
+    drop(entries);
+    drop(packed);
+    drop(baseline);
+
+    // ---- 2. spill build envelope --------------------------------------
+    let k = 4usize;
+    let schema = narrow_chained_schema(labels, labels as u64 * edges_per_label, window);
+    let graph = schema_graph(vertices, &schema, config.seed);
+
+    // Fingerprint of a catalog's full entry stream — order-dependent, so
+    // equal fingerprints + counts mean the builds produced the same
+    // entries without keeping both catalogs alive to compare.
+    let fingerprint = |catalog: &SparseCatalog| {
+        catalog.iter().fold(0u64, |acc, (index, count)| {
+            acc.wrapping_mul(0x100_0000_01b3)
+                .wrapping_add(index ^ count.rotate_left(17))
+        })
+    };
+
+    reset_peak();
+    let t0 = Instant::now();
+    let in_memory = SparseCatalog::compute_parallel(&graph, k, 0).expect("domain fits u48");
+    let in_memory_secs = t0.elapsed().as_secs_f64();
+    let in_memory_peak = peak_bytes();
+
+    let plain_bytes = in_memory.plain_bytes() as u64;
+    let nonzero_paths = in_memory.nonzero_count() as u64;
+    let total_mass = in_memory.total_mass();
+    let in_memory_sum = fingerprint(&in_memory);
+    // Dropped so the spill run's peak meters only its own working set —
+    // the point of the gate is what the budgeted build needs, alone.
+    drop(in_memory);
+
+    // A budget well under the plain size forces real shard IO.
+    let budget = (plain_bytes / 8).max(4096) as usize;
+    reset_peak();
+    let t0 = Instant::now();
+    let (spilled, stats) =
+        SparseCatalog::compute_parallel_spilling(&graph, k, 0, Some(budget)).expect("spill build");
+    let spill_secs = t0.elapsed().as_secs_f64();
+    let spill_peak = peak_bytes();
+    assert_eq!(spilled.nonzero_count() as u64, nonzero_paths);
+    assert_eq!(spilled.total_mass(), total_mass);
+    assert_eq!(
+        fingerprint(&spilled),
+        in_memory_sum,
+        "spill build must produce the in-memory build's exact entries"
+    );
+    assert!(stats.shards > 0, "budget {budget} B never spilled");
+
+    // The beyond-RAM gate: counting under a budget must keep peak heap
+    // below what the *uncompressed* catalog alone would occupy. (The
+    // graph itself is resident and counts against the peak, so a pass
+    // here holds with room to spare.)
+    assert!(
+        (spill_peak as u64) < plain_bytes,
+        "spilling build peaked at {spill_peak} B — not below the catalog's \
+         plain {plain_bytes} B"
+    );
+
+    rows.push(vec![
+        "build:in-memory".into(),
+        nonzero_paths.to_string(),
+        format!("{in_memory_secs:.3}s"),
+        format!("{} peak B", in_memory_peak),
+        "0 shards".into(),
+    ]);
+    rows.push(vec![
+        "build:spill".into(),
+        spilled.nonzero_count().to_string(),
+        format!("{spill_secs:.3}s"),
+        format!("{} peak B", spill_peak),
+        format!("{} shards ({} B)", stats.shards, stats.bytes),
+    ]);
+    json_lines.push(
+        serde_json::to_string(&Value::Object(vec![
+            ("bench".into(), Value::string("spill_build")),
+            (
+                "nonzero_paths".into(),
+                Value::Number(Number::PosInt(nonzero_paths)),
+            ),
+            (
+                "plain_bytes".into(),
+                Value::Number(Number::PosInt(plain_bytes)),
+            ),
+            (
+                "budget_bytes".into(),
+                Value::Number(Number::PosInt(budget as u64)),
+            ),
+            (
+                "in_memory_seconds".into(),
+                Value::Number(Number::Float(in_memory_secs)),
+            ),
+            (
+                "spill_seconds".into(),
+                Value::Number(Number::Float(spill_secs)),
+            ),
+            (
+                "in_memory_peak_bytes".into(),
+                Value::Number(Number::PosInt(in_memory_peak as u64)),
+            ),
+            (
+                "spill_peak_bytes".into(),
+                Value::Number(Number::PosInt(spill_peak as u64)),
+            ),
+            (
+                "spill_shards".into(),
+                Value::Number(Number::PosInt(stats.shards as u64)),
+            ),
+            (
+                "spill_shard_bytes".into(),
+                Value::Number(Number::PosInt(stats.bytes)),
+            ),
+        ]))
+        .expect("flat object"),
+    );
+
+    emit(
+        "Block codec decode throughput + spill build envelope",
+        &[
+            "what",
+            "entries",
+            "M entries/s | time",
+            "B/entry | peak",
+            "blocks | shards",
+        ],
+        &rows,
+        config.csv,
+    );
+    println!("\n--- JSON ---");
+    for line in &json_lines {
+        println!("{line}");
+    }
+}

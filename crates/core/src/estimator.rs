@@ -2,7 +2,7 @@
 
 use std::time::{Duration, Instant};
 
-use phe_graph::{Graph, GraphDelta, LabelId};
+use phe_graph::{FollowMatrix, Graph, GraphDelta, LabelId};
 use phe_histogram::{error_rate, AccuracyReport, HistogramError};
 use phe_pathenum::{
     compute_delta, CatalogError, CompressedRuns, SelectivityCatalog, SparseCatalog,
@@ -262,6 +262,10 @@ pub struct PathSelectivityEstimator {
     label_names: Vec<String>,
     label_frequencies: Vec<u64>,
     pair_frequencies: Option<Vec<u64>>,
+    /// The build graph's label-follow matrix (`|L|²` bits) — captured so
+    /// snapshots can ship it to serving tiers, which use it to prune
+    /// impossible expansion branches without graph access.
+    follow: FollowMatrix,
     /// Estimate-vs-exact drift over the last delta's touched paths;
     /// `None` for fresh builds. Runtime-only (not persisted): a restored
     /// snapshot starts with a clean sensor.
@@ -413,6 +417,7 @@ impl PathSelectivityEstimator {
             label_names,
             label_frequencies,
             pair_frequencies,
+            follow: FollowMatrix::from_graph(graph),
             drift: None,
         })
     }
@@ -602,6 +607,7 @@ impl PathSelectivityEstimator {
             label_names,
             label_frequencies,
             pair_frequencies,
+            follow: FollowMatrix::from_graph(graph),
             drift: None,
         })
     }
@@ -635,6 +641,8 @@ impl PathSelectivityEstimator {
                 .sparse
                 .as_ref()
                 .map(|s| crate::snapshot::CompressedRunsSnapshot::from_runs(s.runs())),
+            follow_bits_base64: Some(crate::snapshot::encode_follow_bits(&self.follow)),
+            catalog_file: None,
             histogram: self.histogram.histogram().clone(),
         })
     }
@@ -719,6 +727,13 @@ impl PathSelectivityEstimator {
     /// [`PathSelectivityEstimator::apply_delta`] maintains.
     pub fn sparse_catalog(&self) -> Option<&SparseCatalog> {
         self.sparse.as_ref()
+    }
+
+    /// The build graph's label-follow matrix — what the query layer's
+    /// expression expansion prunes impossible branches with, and what
+    /// snapshot v5 ships to serving tiers.
+    pub fn follow_matrix(&self) -> &FollowMatrix {
+        &self.follow
     }
 
     /// Stable id of the full build this estimator descends from

@@ -17,6 +17,7 @@
 //!   very cost the paper rules it out by. Asking for it is an error, not
 //!   a silently huge file.
 
+use phe_encoding::{base64_decode, base64_encode};
 use serde::{Deserialize, Serialize};
 
 use crate::base_set::SumBasedL2Ordering;
@@ -66,9 +67,14 @@ const _: () = {
 /// by the incremental-maintenance pipeline; v4 adds the optional
 /// block-compressed sparse catalog (`sparse_runs`) for estimators built
 /// with `retain_sparse`, so a restored estimator can resume incremental
-/// maintenance without a recount. Every older version restores; newer
-/// versions are refused.
-pub const SNAPSHOT_VERSION: u32 = 4;
+/// maintenance without a recount; v5 adds the tagged block codec marker
+/// on [`CompressedRunsSnapshot`] (untagged streams keep restoring), the
+/// label-follow matrix (`follow_bits_base64`, so serving tiers can prune
+/// impossible expansion branches without the graph), and the optional
+/// external catalog file reference (`catalog_file`, pointing at a `.phc`
+/// sidecar the serving tier memory-maps instead of inlining the blocks
+/// in JSON). Every older version restores; newer versions are refused.
+pub const SNAPSHOT_VERSION: u32 = 5;
 
 /// The serializable retained state of a built estimator.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -109,6 +115,17 @@ pub struct EstimatorSnapshot {
     /// *compressed* blocks — not 16 B/entry pairs — is what keeps
     /// maintained snapshots a few bytes per realized path.
     pub sparse_runs: Option<CompressedRunsSnapshot>,
+    /// The label-follow matrix as base64 of LSB-first packed `|L|²` bits
+    /// in `a · |L| + b` layout (v5). Lets a serving tier prune regular
+    /// path expression branches with impossible adjacent label pairs —
+    /// without the graph the matrix was computed from.
+    pub follow_bits_base64: Option<String>,
+    /// Relative path of an external `.phc` catalog file holding the
+    /// sparse catalog (v5; written by disk-resident builds). Resolved
+    /// against the snapshot file's own directory and memory-mapped by
+    /// the loader, so the catalog payload never transits JSON and never
+    /// has to be heap-resident. When set, `sparse_runs` is absent.
+    pub catalog_file: Option<String>,
     /// The built histogram.
     pub histogram: BuiltHistogram,
 }
@@ -121,32 +138,55 @@ pub struct EstimatorSnapshot {
 pub struct CompressedRunsSnapshot {
     /// Number of entries (restore cross-checks the decode against it).
     pub nnz: u64,
-    /// Base64 of the delta-varint block byte stream.
+    /// Block stream codec: `None` for the legacy (≤ v4) untagged
+    /// delta-varint stream, [`RUNS_CODEC_TAGGED`] for the tagged
+    /// per-block codec (varint or FOR/bit-packed, chosen block by
+    /// block). Unknown values are refused at restore.
+    pub codec: Option<String>,
+    /// Base64 of the block byte stream (layout per `codec`).
     pub blocks_base64: String,
     /// Entries per block, in block order.
     pub block_lens: Vec<u32>,
 }
+
+/// [`CompressedRunsSnapshot::codec`] marker for the tagged block stream
+/// (v5 writers).
+pub const RUNS_CODEC_TAGGED: &str = "tagged";
 
 impl CompressedRunsSnapshot {
     /// Captures a run for persistence.
     pub fn from_runs(runs: &phe_pathenum::CompressedRuns) -> CompressedRunsSnapshot {
         CompressedRunsSnapshot {
             nnz: runs.len() as u64,
+            codec: Some(RUNS_CODEC_TAGGED.to_owned()),
             blocks_base64: base64_encode(runs.bytes()),
             block_lens: runs.skip_index().iter().map(|meta| meta.len).collect(),
         }
     }
 
-    /// Decodes and re-validates the run.
+    /// Decodes and re-validates the run, dispatching on the codec
+    /// marker: legacy untagged streams are re-encoded into the tagged
+    /// form, tagged streams restore byte-exact.
     ///
     /// # Errors
-    /// [`SnapshotError::Corrupt`] on bad base64, violated run invariants,
-    /// or an entry count that disagrees with the declared `nnz`.
+    /// [`SnapshotError::Corrupt`] on bad base64, an unknown codec,
+    /// violated run invariants, or an entry count that disagrees with
+    /// the declared `nnz`.
     pub fn restore(&self) -> Result<phe_pathenum::CompressedRuns, SnapshotError> {
         let bytes = base64_decode(&self.blocks_base64)
             .ok_or_else(|| SnapshotError::Corrupt("sparse runs are not valid base64".into()))?;
-        let runs = phe_pathenum::CompressedRuns::from_encoded(bytes, &self.block_lens)
-            .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+        let runs = match self.codec.as_deref() {
+            None => phe_pathenum::CompressedRuns::from_encoded(bytes, &self.block_lens),
+            Some(RUNS_CODEC_TAGGED) => {
+                phe_pathenum::CompressedRuns::from_tagged_encoded(bytes, &self.block_lens)
+            }
+            Some(other) => {
+                return Err(SnapshotError::Corrupt(format!(
+                    "unknown sparse run codec {other:?}"
+                )))
+            }
+        }
+        .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
         if runs.len() as u64 != self.nnz {
             return Err(SnapshotError::Corrupt(format!(
                 "sparse runs declare {} entries but decode to {}",
@@ -166,7 +206,7 @@ impl CompressedRunsSnapshot {
 impl EstimatorSnapshot {
     /// Rebuilds the retained estimator (ordering + histogram) without any
     /// graph or catalog access. Accepts every format up to
-    /// [`SNAPSHOT_VERSION`] — v1 (no `version` field) through v4;
+    /// [`SNAPSHOT_VERSION`] — v1 (no `version` field) through v5;
     /// newer versions are refused.
     pub fn restore(&self) -> Result<LabelPathHistogram, SnapshotError> {
         if let Some(version) = self.version.filter(|&v| v > SNAPSHOT_VERSION) {
@@ -271,6 +311,32 @@ impl EstimatorSnapshot {
         Ok(Some(catalog))
     }
 
+    /// Rebuilds the label-follow matrix from a v5 snapshot — `None` for
+    /// older formats. The serving tier uses it to prune regular path
+    /// expression branches whose adjacent label pairs cannot occur.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Corrupt`] on bad base64 or a bit count that does
+    /// not cover `|L|²`.
+    pub fn restore_follow_matrix(&self) -> Result<Option<phe_graph::FollowMatrix>, SnapshotError> {
+        let Some(text) = self.follow_bits_base64.as_ref() else {
+            return Ok(None);
+        };
+        let packed = base64_decode(text)
+            .ok_or_else(|| SnapshotError::Corrupt("follow bits are not valid base64".into()))?;
+        let n = self.label_names.len();
+        if packed.len() != (n * n).div_ceil(8) {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} packed follow bytes cannot hold {n}² bits",
+                packed.len()
+            )));
+        }
+        let bits: Vec<bool> = (0..n * n)
+            .map(|i| packed[i / 8] & (1 << (i % 8)) != 0)
+            .collect();
+        Ok(Some(phe_graph::FollowMatrix::from_bits(n, bits)))
+    }
+
     /// Approximate serialized size (bytes) — the artifact an optimizer
     /// ships; compare against `|Lk| · 8` for storing the raw table.
     pub fn retained_bytes(&self) -> usize {
@@ -284,68 +350,18 @@ impl EstimatorSnapshot {
     }
 }
 
-const BASE64_ALPHABET: &[u8; 64] =
-    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
-
-/// Standard (padded) base64 — snapshots are JSON, so the block bytes need
-/// a text-safe envelope; hand-rolled because the offline environment has
-/// no base64 crate.
-fn base64_encode(bytes: &[u8]) -> String {
-    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
-    for chunk in bytes.chunks(3) {
-        let b = [
-            chunk[0],
-            *chunk.get(1).unwrap_or(&0),
-            *chunk.get(2).unwrap_or(&0),
-        ];
-        let word = ((b[0] as u32) << 16) | ((b[1] as u32) << 8) | b[2] as u32;
-        for i in 0..4 {
-            if i <= chunk.len() {
-                out.push(BASE64_ALPHABET[((word >> (18 - 6 * i)) & 0x3f) as usize] as char);
-            } else {
-                out.push('=');
-            }
+/// Serializes a follow matrix for the v5 snapshot: `|L|²` bits in
+/// `a · |L| + b` layout, packed LSB-first into bytes, base64-wrapped for
+/// the JSON wire format.
+pub fn encode_follow_bits(follow: &phe_graph::FollowMatrix) -> String {
+    let bits = follow.as_bits();
+    let mut packed = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &bit) in bits.iter().enumerate() {
+        if bit {
+            packed[i / 8] |= 1 << (i % 8);
         }
     }
-    out
-}
-
-/// Inverse of [`base64_encode`]; `None` on any malformed input.
-fn base64_decode(text: &str) -> Option<Vec<u8>> {
-    let digits: Vec<u8> = text.bytes().take_while(|&b| b != b'=').collect();
-    let padding = text.len() - digits.len();
-    if !text.len().is_multiple_of(4)
-        || padding > 2
-        || !text.bytes().skip(digits.len()).all(|b| b == b'=')
-    {
-        return None;
-    }
-    let value_of = |b: u8| -> Option<u32> {
-        Some(match b {
-            b'A'..=b'Z' => (b - b'A') as u32,
-            b'a'..=b'z' => (b - b'a' + 26) as u32,
-            b'0'..=b'9' => (b - b'0' + 52) as u32,
-            b'+' => 62,
-            b'/' => 63,
-            _ => return None,
-        })
-    };
-    let mut out = Vec::with_capacity(digits.len() * 3 / 4);
-    for chunk in digits.chunks(4) {
-        if chunk.len() == 1 {
-            return None; // 6 bits cannot carry a byte
-        }
-        let mut word = 0u32;
-        for &digit in chunk {
-            word = (word << 6) | value_of(digit)?;
-        }
-        word <<= 6 * (4 - chunk.len()) as u32;
-        let produced = chunk.len() - 1;
-        for i in 0..produced {
-            out.push((word >> (16 - 8 * i)) as u8);
-        }
-    }
-    Some(out)
+    base64_encode(&packed)
 }
 
 #[cfg(test)]
@@ -573,6 +589,112 @@ mod tests {
             truncated.restore_sparse_catalog(),
             Err(SnapshotError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn v4_untagged_runs_still_restore() {
+        // A v4 writer stored the raw per-entry delta-varint stream with
+        // no codec marker. Build that wire form by hand and check the
+        // restore path re-encodes it into today's tagged representation
+        // with identical content.
+        let entries: Vec<(u64, u64)> = (0..500u64).map(|i| (i * 7 + 2, i % 9 + 1)).collect();
+        let mut bytes = Vec::new();
+        let mut lens = Vec::new();
+        for block in entries.chunks(128) {
+            let mut prev = 0u64;
+            for (n, &(index, count)) in block.iter().enumerate() {
+                let mut write = |mut v: u64| loop {
+                    if v < 0x80 {
+                        bytes.push(v as u8);
+                        break;
+                    }
+                    bytes.push((v as u8 & 0x7f) | 0x80);
+                    v >>= 7;
+                };
+                write(if n == 0 { index } else { index - prev });
+                write(count);
+                prev = index;
+            }
+            lens.push(block.len() as u32);
+        }
+        let legacy = CompressedRunsSnapshot {
+            nnz: entries.len() as u64,
+            codec: None,
+            blocks_base64: base64_encode(&bytes),
+            block_lens: lens,
+        };
+        let restored = legacy.restore().unwrap();
+        assert_eq!(restored.to_vec(), entries);
+
+        // The same payload under today's marker is refused — tagged
+        // streams start with a tag byte, not a raw delta.
+        let mistagged = CompressedRunsSnapshot {
+            codec: Some(RUNS_CODEC_TAGGED.to_owned()),
+            ..legacy.clone()
+        };
+        assert!(mistagged.restore().is_err());
+
+        // Unknown codecs are refused outright.
+        let unknown = CompressedRunsSnapshot {
+            codec: Some("zstd".to_owned()),
+            ..legacy
+        };
+        assert!(matches!(
+            unknown.restore(),
+            Err(SnapshotError::Corrupt(msg)) if msg.contains("unknown")
+        ));
+    }
+
+    #[test]
+    fn v5_snapshots_carry_the_follow_matrix() {
+        let g = graph();
+        let est = PathSelectivityEstimator::build(
+            &g,
+            EstimatorConfig {
+                k: 3,
+                beta: 16,
+                ordering: OrderingKind::SumBased,
+                histogram: HistogramKind::VOptimalGreedy,
+                threads: 1,
+                retain_catalog: false,
+                retain_sparse: false,
+            },
+        )
+        .unwrap();
+        let snapshot = est.snapshot().unwrap();
+        assert_eq!(snapshot.version, Some(SNAPSHOT_VERSION));
+        assert!(snapshot.follow_bits_base64.is_some());
+
+        // Round trip through the wire format lands on the graph's matrix.
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let parsed: EstimatorSnapshot = serde_json::from_str(&json).unwrap();
+        let follow = parsed
+            .restore_follow_matrix()
+            .unwrap()
+            .expect("v5 ships the matrix");
+        assert_eq!(follow, phe_graph::FollowMatrix::from_graph(&g));
+
+        // Older snapshots (no field) restore to None, not an error.
+        let mut v4 = snapshot.clone();
+        v4.version = Some(4);
+        v4.follow_bits_base64 = None;
+        assert_eq!(v4.restore_follow_matrix().unwrap(), None);
+        v4.restore().unwrap();
+
+        // A bit count that cannot cover |L|² is refused.
+        let mut short = snapshot.clone();
+        short.follow_bits_base64 = Some(base64_encode(&[0u8]));
+        assert!(matches!(
+            short.restore_follow_matrix(),
+            Err(SnapshotError::Corrupt(_))
+        ));
+
+        // The external catalog reference round-trips.
+        let mut external = snapshot;
+        external.catalog_file = Some("my-catalog.phc".into());
+        let json = serde_json::to_string(&external).unwrap();
+        let parsed: EstimatorSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.catalog_file.as_deref(), Some("my-catalog.phc"));
     }
 
     #[test]

@@ -1,0 +1,217 @@
+#![warn(missing_docs)]
+
+//! # phe-encoding — shared byte-level encodings
+//!
+//! Small, dependency-free codecs used by more than one crate in the
+//! workspace (the offline build environment has no `base64` or checksum
+//! crates):
+//!
+//! * [`base64_encode`] / [`base64_decode`] — the standard padded base64
+//!   alphabet, the text-safe envelope binary payloads need to travel
+//!   inside JSON snapshots;
+//! * [`fnv1a64`] / [`Fnv64`] — the 64-bit FNV-1a hash, used as the
+//!   integrity checksum of on-disk catalog files (and streamable, so a
+//!   writer can checksum while emitting);
+//! * [`read_u64_le`] / [`write_u64_le`] — fixed-width little-endian
+//!   fields for binary file headers.
+//!
+//! Everything here is a pure function of its input: no IO, no state.
+
+const BASE64_ALPHABET: &[u8; 64] =
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Standard (padded) base64 of `bytes`.
+pub fn base64_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let b = [
+            chunk[0],
+            *chunk.get(1).unwrap_or(&0),
+            *chunk.get(2).unwrap_or(&0),
+        ];
+        let word = ((b[0] as u32) << 16) | ((b[1] as u32) << 8) | b[2] as u32;
+        for i in 0..4 {
+            if i <= chunk.len() {
+                out.push(BASE64_ALPHABET[((word >> (18 - 6 * i)) & 0x3f) as usize] as char);
+            } else {
+                out.push('=');
+            }
+        }
+    }
+    out
+}
+
+/// Inverse of [`base64_encode`]; `None` on any malformed input (bad
+/// length, stray characters, padding in the wrong place).
+pub fn base64_decode(text: &str) -> Option<Vec<u8>> {
+    let digits: Vec<u8> = text.bytes().take_while(|&b| b != b'=').collect();
+    let padding = text.len() - digits.len();
+    if !text.len().is_multiple_of(4)
+        || padding > 2
+        || !text.bytes().skip(digits.len()).all(|b| b == b'=')
+    {
+        return None;
+    }
+    let value_of = |b: u8| -> Option<u32> {
+        Some(match b {
+            b'A'..=b'Z' => (b - b'A') as u32,
+            b'a'..=b'z' => (b - b'a' + 26) as u32,
+            b'0'..=b'9' => (b - b'0' + 52) as u32,
+            b'+' => 62,
+            b'/' => 63,
+            _ => return None,
+        })
+    };
+    let mut out = Vec::with_capacity(digits.len() * 3 / 4);
+    for chunk in digits.chunks(4) {
+        if chunk.len() == 1 {
+            return None; // 6 bits cannot carry a byte
+        }
+        let mut word = 0u32;
+        for &digit in chunk {
+            word = (word << 6) | value_of(digit)?;
+        }
+        word <<= 6 * (4 - chunk.len()) as u32;
+        let produced = chunk.len() - 1;
+        for i in 0..produced {
+            out.push((word >> (16 - 8 * i)) as u8);
+        }
+    }
+    Some(out)
+}
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming 64-bit FNV-1a hasher — the checksum of on-disk catalog
+/// files. Not cryptographic; it detects corruption, not tampering.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Fnv64 {
+        Fnv64(FNV_OFFSET)
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64::default()
+    }
+
+    /// Folds `bytes` into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot 64-bit FNV-1a of `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hasher = Fnv64::new();
+    hasher.update(bytes);
+    hasher.finish()
+}
+
+/// Reads the little-endian `u64` at `offset`, or `None` past the end.
+pub fn read_u64_le(bytes: &[u8], offset: usize) -> Option<u64> {
+    let field = bytes.get(offset..offset.checked_add(8)?)?;
+    Some(u64::from_le_bytes(field.try_into().expect("8-byte slice")))
+}
+
+/// Appends `value` little-endian.
+pub fn write_u64_le(out: &mut Vec<u8>, value: u64) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base64_round_trips_every_length_remainder() {
+        for len in 0..64usize {
+            let bytes: Vec<u8> = (0..len as u8)
+                .map(|b| b.wrapping_mul(37).wrapping_add(5))
+                .collect();
+            let text = base64_encode(&bytes);
+            assert!(text.len().is_multiple_of(4));
+            assert_eq!(base64_decode(&text), Some(bytes), "length {len}");
+        }
+    }
+
+    #[test]
+    fn base64_matches_known_vectors() {
+        // RFC 4648 test vectors.
+        assert_eq!(base64_encode(b""), "");
+        assert_eq!(base64_encode(b"f"), "Zg==");
+        assert_eq!(base64_encode(b"fo"), "Zm8=");
+        assert_eq!(base64_encode(b"foo"), "Zm9v");
+        assert_eq!(base64_encode(b"foob"), "Zm9vYg==");
+        assert_eq!(base64_encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(base64_encode(b"foobar"), "Zm9vYmFy");
+        assert_eq!(base64_decode("Zm9vYmFy"), Some(b"foobar".to_vec()));
+    }
+
+    #[test]
+    fn base64_rejects_corruption() {
+        assert_eq!(base64_decode("not base64!"), None, "stray characters");
+        assert_eq!(base64_decode("Zm9"), None, "bad length");
+        assert_eq!(base64_decode("Zg=="), Some(b"f".to_vec()));
+        assert_eq!(base64_decode("Z==="), None, "over-padded");
+        assert_eq!(base64_decode("Zg=a"), None, "digit after padding");
+        assert_eq!(base64_decode("Zm9vYmFy====="), None, "trailing padding");
+        // A flipped digit decodes to *different* bytes, never the same.
+        let text = base64_encode(b"payload bytes");
+        let mut corrupt = text.clone().into_bytes();
+        corrupt[3] = if corrupt[3] == b'A' { b'B' } else { b'A' };
+        let corrupt = String::from_utf8(corrupt).unwrap();
+        if let Some(decoded) = base64_decode(&corrupt) {
+            assert_ne!(decoded, b"payload bytes".to_vec());
+        }
+    }
+
+    #[test]
+    fn fnv_matches_reference_values() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fnv_streams_identically_to_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let mut streamed = Fnv64::new();
+        for chunk in data.chunks(17) {
+            streamed.update(chunk);
+        }
+        assert_eq!(streamed.finish(), fnv1a64(&data));
+        // Any single flipped byte changes the checksum.
+        let mut flipped = data.clone();
+        flipped[5000] ^= 0x10;
+        assert_ne!(fnv1a64(&flipped), fnv1a64(&data));
+    }
+
+    #[test]
+    fn u64_le_fields_round_trip() {
+        let mut out = Vec::new();
+        write_u64_le(&mut out, 0);
+        write_u64_le(&mut out, u64::MAX);
+        write_u64_le(&mut out, 0x0102_0304_0506_0708);
+        assert_eq!(read_u64_le(&out, 0), Some(0));
+        assert_eq!(read_u64_le(&out, 8), Some(u64::MAX));
+        assert_eq!(read_u64_le(&out, 16), Some(0x0102_0304_0506_0708));
+        assert_eq!(read_u64_le(&out, 17), None, "truncated field");
+        assert_eq!(read_u64_le(&out, usize::MAX), None, "offset overflow");
+    }
+}

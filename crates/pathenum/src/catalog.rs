@@ -74,6 +74,11 @@ pub enum CatalogError {
         /// The signed difference that was applied.
         delta: i64,
     },
+    /// A spill-to-disk build could not write or re-read a shard file.
+    SpillIo {
+        /// The underlying filesystem error, rendered.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for CatalogError {
@@ -123,6 +128,9 @@ impl std::fmt::Display for CatalogError {
                  catalog count {count}; the run was not computed against this \
                  catalog's graph"
             ),
+            CatalogError::SpillIo { message } => {
+                write!(f, "spill-to-disk build failed: {message}")
+            }
         }
     }
 }

@@ -53,6 +53,8 @@
 pub mod catalog;
 pub mod delta;
 pub mod encoding;
+pub mod file;
+pub mod mmap;
 pub mod naive;
 pub mod parallel;
 pub mod relation;

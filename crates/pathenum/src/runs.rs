@@ -3,18 +3,33 @@
 //! A sorted `(index, count)` run with strictly increasing `u64` indexes
 //! and non-zero counts compresses extremely well: canonical path indexes
 //! cluster by shared label prefixes, so consecutive gaps are small, and
-//! realized-path counts are graph-local quantities — both fit in one or
-//! two LEB128 bytes most of the time, against the flat 16 B a
-//! `(u64, u64)` pair costs. [`CompressedRuns`] stores the run as
-//! fixed-capacity **blocks** (≤ [`BLOCK_ENTRIES`] entries) of
-//! delta-varint pairs behind a per-block skip index:
+//! realized-path counts are graph-local quantities. [`CompressedRuns`]
+//! stores the run as fixed-capacity **blocks** (≤ [`BLOCK_ENTRIES`]
+//! entries) behind a per-block skip index, each block carrying a one-byte
+//! **codec tag** so the encoder can pick the cheaper of two layouts per
+//! block:
 //!
 //! ```text
-//! bytes:  [ block 0 ........ | block 1 ........ | ... ]
-//! block:  varint(first_index) varint(count)            ← absolute head
-//!         varint(index − prev) varint(count) …         ← delta tail
-//! skip:   (first_index, last_index, byte_offset, len, mass) per block
+//! bytes:   [ block 0 ........ | block 1 ........ | ... ]
+//! block:   tag (1 byte)
+//!          varint(first_index) varint(first_count)      ← absolute head
+//!   tag 0  varint(gap) varint(count) …                  ← LEB128 tail
+//!   tag 1  gap_width count_width (1 byte each)
+//!          varint(gap_min) varint(count_min)
+//!          gap lane | count lane                        ← bit-packed tail
+//! skip:    (first_index, last_index, byte_offset, len, mass) per block
 //! ```
+//!
+//! Tag 1 is a frame-of-reference + bit-packed layout: the tail's index
+//! gaps and counts are stored as fixed-width residuals above a per-block
+//! minimum, in LSB-first little-endian lanes padded to whole `u64`
+//! words. A lane decodes with a branch-free shift/mask loop over 128
+//! entries at a time — no per-byte continuation tests — which is where
+//! the ≥2× decode throughput over the varint layout comes from. The
+//! encoder sizes both layouts analytically and keeps the smaller, so a
+//! pathological block (one huge outlier gap widening the whole lane)
+//! falls back to tag 0 and the stream never exceeds the pure-varint
+//! encoding by more than the tag byte per block.
 //!
 //! Each block is **self-contained** (its head entry stores the absolute
 //! index), which is what makes block-granular operations possible:
@@ -27,11 +42,19 @@
 //! * [`CompressedRuns::merge_many`] (the sharded build's k-way merge)
 //!   raw-copies any block whose index range precedes every other run's
 //!   next entry, falling back to entry-at-a-time decode only where runs
-//!   interleave.
+//!   interleave. The same merge loop also drains disk-resident shards
+//!   (spill-to-disk builds) through the crate-private stream trait.
 //!
 //! The only access path for consumers is the zero-alloc [`RunsCursor`]
 //! iterator: histogram builders, ordering remaps, and snapshot writers
-//! all stream entries; nothing materializes the pair vector.
+//! all stream entries; nothing materializes the pair vector. The cursor
+//! decodes lazily — entering a block decodes only its head entry (all a
+//! wholesale merge copy ever needs), and the tail is decoded into a
+//! stack buffer the first time the second entry is demanded.
+//!
+//! The byte stream itself may live on the heap **or** borrow from a
+//! memory-mapped catalog file ([`CompressedRuns::is_mapped`]); every
+//! operation reads through the same slice either way.
 //!
 //! Blocks may hold *fewer* than [`BLOCK_ENTRIES`] entries: wholesale
 //! copies preserve the source block boundaries, and a re-encoded region
@@ -40,12 +63,20 @@
 //! non-zero), and [`PartialEq`] compares the *decoded streams*, so two
 //! runs with different block boundaries but equal content are equal.
 
-/// Maximum entries per block. 128 keeps point lookups at ≤ 128 varint
-/// decodes while amortizing the 40-byte skip row to ~0.3 B/entry.
+use crate::mmap::MappedRegion;
+use std::sync::Arc;
+
+/// Maximum entries per block. 128 keeps point lookups at ≤ one block
+/// decode while amortizing the 40-byte skip row to ~0.3 B/entry.
 pub const BLOCK_ENTRIES: usize = 128;
 
 /// Worst-case LEB128 length of a `u64` (⌈64 / 7⌉ bytes).
 const MAX_VARINT: usize = 10;
+
+/// Codec tag: LEB128 delta-varint tail (the v4 layout, plus the tag).
+pub(crate) const TAG_VARINT: u8 = 0;
+/// Codec tag: frame-of-reference bit-packed tail.
+pub(crate) const TAG_PACKED: u8 = 1;
 
 /// Per-block skip row: everything a consumer needs to route around (or
 /// wholesale-copy) the block without decoding it.
@@ -64,7 +95,7 @@ pub struct BlockMeta {
 }
 
 /// A decode/validation failure of an externally supplied byte stream
-/// (snapshot restore).
+/// (snapshot restore, catalog files).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunsCorrupt(pub String);
 
@@ -88,19 +119,73 @@ pub struct SignedMergeUnderflow {
     pub delta: i64,
 }
 
+/// Where a run's encoded bytes live: owned on the heap, or borrowed
+/// from a shared memory-mapped catalog file.
+#[derive(Clone)]
+enum RunBytes {
+    Owned(Vec<u8>),
+    Mapped {
+        region: Arc<MappedRegion>,
+        offset: usize,
+        len: usize,
+    },
+}
+
+impl RunBytes {
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            RunBytes::Owned(bytes) => bytes,
+            RunBytes::Mapped {
+                region,
+                offset,
+                len,
+            } => &region.as_slice()[*offset..offset + len],
+        }
+    }
+
+    /// Heap bytes held by this payload (0 when disk-resident).
+    fn heap_bytes(&self) -> usize {
+        match self {
+            RunBytes::Owned(bytes) => bytes.capacity(),
+            RunBytes::Mapped { .. } => 0,
+        }
+    }
+}
+
+impl Default for RunBytes {
+    fn default() -> RunBytes {
+        RunBytes::Owned(Vec::new())
+    }
+}
+
+impl std::fmt::Debug for RunBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunBytes::Owned(bytes) => f.debug_tuple("Owned").field(&bytes.len()).finish(),
+            RunBytes::Mapped { offset, len, .. } => f
+                .debug_struct("Mapped")
+                .field("offset", offset)
+                .field("len", len)
+                .finish(),
+        }
+    }
+}
+
 /// Block-compressed sorted `(index, count)` runs. See the module docs
 /// for the layout and the operation complexity table.
 #[derive(Debug, Clone, Default)]
 pub struct CompressedRuns {
-    bytes: Vec<u8>,
+    bytes: RunBytes,
     skip: Vec<BlockMeta>,
     len: usize,
     total_mass: u64,
 }
 
 /// Content equality: two runs are equal iff they decode to the same
-/// entry stream — block boundaries are a storage artifact (a merge that
-/// wholesale-copied blocks must compare equal to a fresh re-encode).
+/// entry stream — block boundaries and codec choices are a storage
+/// artifact (a merge that wholesale-copied blocks must compare equal to
+/// a fresh re-encode).
 impl PartialEq for CompressedRuns {
     fn eq(&self, other: &CompressedRuns) -> bool {
         self.len == other.len && self.total_mass == other.total_mass && self.iter().eq(other.iter())
@@ -130,20 +215,20 @@ impl CompressedRuns {
         builder.finish()
     }
 
-    /// Rebuilds a run from its serialized form: the raw byte stream plus
-    /// the per-block entry counts (the skip index is re-derived by one
-    /// decoding pass). This is the snapshot-restore entry point, so it
-    /// **validates** everything a foreign file could get wrong.
+    /// Rebuilds a run from the **legacy (pre-v5) untagged** serialized
+    /// form: per-entry delta varints with no codec tag byte. The stream
+    /// is validated entry by entry and re-encoded through the current
+    /// tagged codec, so content round-trips but block boundaries and
+    /// bytes do not. Current-format payloads restore through
+    /// [`CompressedRuns::from_tagged_encoded`] instead.
     ///
     /// # Errors
     /// [`RunsCorrupt`] when the bytes truncate mid-varint, an index fails
     /// to increase strictly, a count is zero, a block is empty or
     /// over-full, or trailing bytes remain after the declared blocks.
     pub fn from_encoded(bytes: Vec<u8>, block_lens: &[u32]) -> Result<CompressedRuns, RunsCorrupt> {
-        let mut skip = Vec::with_capacity(block_lens.len());
+        let mut builder = RunsBuilder::new();
         let mut pos = 0usize;
-        let mut len = 0usize;
-        let mut total_mass = 0u64;
         let mut prev: Option<u64> = None;
         for (block_id, &block_len) in block_lens.iter().enumerate() {
             if block_len == 0 || block_len as usize > BLOCK_ENTRIES {
@@ -151,15 +236,11 @@ impl CompressedRuns {
                     "block {block_id} declares {block_len} entries (1..={BLOCK_ENTRIES})"
                 )));
             }
-            let byte_offset = pos;
-            let mut first_index = 0u64;
             let mut last_index = 0u64;
-            let mut mass = 0u64;
             for entry in 0..block_len {
                 let raw = decode_varint(&bytes, &mut pos)
                     .ok_or_else(|| RunsCorrupt(format!("block {block_id} truncated")))?;
                 let index = if entry == 0 {
-                    first_index = raw;
                     raw
                 } else {
                     last_index.checked_add(raw).ok_or_else(|| {
@@ -181,17 +262,8 @@ impl CompressedRuns {
                 }
                 prev = Some(index);
                 last_index = index;
-                mass = mass.wrapping_add(count);
+                builder.push(index, count);
             }
-            total_mass = total_mass.wrapping_add(mass);
-            len += block_len as usize;
-            skip.push(BlockMeta {
-                first_index,
-                last_index,
-                byte_offset,
-                len: block_len,
-                mass,
-            });
         }
         if pos != bytes.len() {
             return Err(RunsCorrupt(format!(
@@ -199,12 +271,53 @@ impl CompressedRuns {
                 bytes.len() - pos
             )));
         }
+        Ok(builder.finish())
+    }
+
+    /// Rebuilds a run from its current (tagged) serialized form: the raw
+    /// byte stream plus the per-block entry counts; the skip index is
+    /// re-derived by one validating pass and the bytes are kept
+    /// verbatim, so the stream (and every skip row) round-trips exactly.
+    ///
+    /// # Errors
+    /// [`RunsCorrupt`] under the same conditions as
+    /// [`CompressedRuns::from_encoded`], plus an unknown codec tag, a
+    /// lane width above 64 bits, or a truncated bit lane.
+    pub fn from_tagged_encoded(
+        bytes: Vec<u8>,
+        block_lens: &[u32],
+    ) -> Result<CompressedRuns, RunsCorrupt> {
+        let (skip, len, total_mass) = validate_tagged(&bytes, block_lens)?;
         Ok(CompressedRuns {
-            bytes,
+            bytes: RunBytes::Owned(bytes),
             skip,
             len,
             total_mass,
         })
+    }
+
+    /// Assembles a run whose payload borrows `region[offset..offset+len_bytes]`.
+    /// The caller has already validated the stream (via
+    /// [`validate_tagged`]) — this only wires the pieces together.
+    pub(crate) fn from_mapped_parts(
+        region: Arc<MappedRegion>,
+        offset: usize,
+        len_bytes: usize,
+        skip: Vec<BlockMeta>,
+        len: usize,
+        total_mass: u64,
+    ) -> CompressedRuns {
+        debug_assert!(offset + len_bytes <= region.len());
+        CompressedRuns {
+            bytes: RunBytes::Mapped {
+                region,
+                offset,
+                len: len_bytes,
+            },
+            skip,
+            len,
+            total_mass,
+        }
     }
 
     /// Number of entries.
@@ -226,10 +339,10 @@ impl CompressedRuns {
         self.total_mass
     }
 
-    /// The encoded byte stream (blocks back to back).
+    /// The encoded byte stream (tagged blocks back to back).
     #[inline]
     pub fn bytes(&self) -> &[u8] {
-        &self.bytes
+        self.bytes.as_slice()
     }
 
     /// The skip index, one row per block.
@@ -238,11 +351,24 @@ impl CompressedRuns {
         &self.skip
     }
 
-    /// Resident bytes of this representation: encoded stream plus skip
-    /// index plus struct overhead. The plain equivalent is
-    /// [`CompressedRuns::plain_bytes`].
+    /// Whether the payload borrows from a memory-mapped file instead of
+    /// owning heap bytes.
+    #[inline]
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.bytes, RunBytes::Mapped { .. })
+    }
+
+    /// Length of the encoded payload in bytes, wherever it lives.
+    #[inline]
+    pub fn payload_bytes(&self) -> usize {
+        self.bytes.as_slice().len()
+    }
+
+    /// **Heap-resident** bytes of this representation: encoded stream
+    /// (0 when it borrows a mapped file) plus skip index plus struct
+    /// overhead. The plain equivalent is [`CompressedRuns::plain_bytes`].
     pub fn size_bytes(&self) -> usize {
-        self.bytes.capacity()
+        self.bytes.heap_bytes()
             + self.skip.capacity() * std::mem::size_of::<BlockMeta>()
             + std::mem::size_of::<CompressedRuns>()
     }
@@ -250,6 +376,22 @@ impl CompressedRuns {
     /// Bytes the flat `Vec<(u64, u64)>` representation would need.
     pub fn plain_bytes(&self) -> usize {
         self.len * std::mem::size_of::<(u64, u64)>()
+    }
+
+    /// Blocks per codec, `(varint, packed)` — observability for benches
+    /// and the `list` op's residency rows.
+    pub fn block_codec_counts(&self) -> (usize, usize) {
+        let bytes = self.bytes();
+        let mut varint = 0usize;
+        let mut packed = 0usize;
+        for meta in &self.skip {
+            if bytes[meta.byte_offset] == TAG_PACKED {
+                packed += 1;
+            } else {
+                varint += 1;
+            }
+        }
+        (varint, packed)
     }
 
     /// The count at `index`, or `None` when absent: binary search over
@@ -260,20 +402,27 @@ impl CompressedRuns {
         if index < meta.first_index {
             return None;
         }
-        let mut pos = meta.byte_offset;
-        let mut current = 0u64;
-        for entry in 0..meta.len {
-            let raw = decode_varint(&self.bytes, &mut pos).expect("skip index covers the bytes");
-            current = if entry == 0 { raw } else { current + raw };
-            let count = decode_varint(&self.bytes, &mut pos).expect("entry has a count");
-            if current == index {
-                return Some(count);
-            }
-            if current > index {
-                return None;
-            }
+        let bytes = self.bytes();
+        let end = self
+            .skip
+            .get(block + 1)
+            .map_or(bytes.len(), |m| m.byte_offset);
+        let blk = &bytes[meta.byte_offset..end];
+        let (first_index, first_count) = decode_block_head(blk);
+        if index == first_index {
+            return Some(first_count);
         }
-        None
+        let n = meta.len as usize;
+        if n == 1 {
+            return None;
+        }
+        let mut idx = [0u64; BLOCK_ENTRIES];
+        let mut cnt = [0u64; BLOCK_ENTRIES];
+        decode_block_tail(blk, n, first_index, &mut idx, &mut cnt);
+        match idx[..n - 1].binary_search(&index) {
+            Ok(i) => Some(cnt[i]),
+            Err(_) => None,
+        }
     }
 
     /// A zero-alloc streaming pass over the entries, in index order —
@@ -283,8 +432,7 @@ impl CompressedRuns {
             runs: self,
             block: 0,
             in_block: 0,
-            pos: 0,
-            prev: 0,
+            tail: TailBuf::new(),
         }
     }
 
@@ -317,6 +465,8 @@ impl CompressedRuns {
                 delta: diff,
             })
         };
+        let mut idx = [0u64; BLOCK_ENTRIES];
+        let mut cnt = [0u64; BLOCK_ENTRIES];
         for meta in &self.skip {
             // Changes strictly below this block are insertions into the
             // gap before it.
@@ -338,13 +488,19 @@ impl CompressedRuns {
                 continue;
             }
             // Overlapping block: decode and two-pointer merge.
-            let mut pos = meta.byte_offset;
-            let mut current = 0u64;
-            for entry in 0..meta.len {
-                let raw =
-                    decode_varint(&self.bytes, &mut pos).expect("skip index covers the bytes");
-                current = if entry == 0 { raw } else { current + raw };
-                let count = decode_varint(&self.bytes, &mut pos).expect("entry has a count");
+            let blk = self.block_bytes(meta);
+            let (first_index, first_count) = decode_block_head(blk);
+            let n = meta.len as usize;
+            if n > 1 {
+                decode_block_tail(blk, n, first_index, &mut idx, &mut cnt);
+            }
+            let entries = std::iter::once((first_index, first_count)).chain(
+                idx[..n - 1]
+                    .iter()
+                    .copied()
+                    .zip(cnt[..n - 1].iter().copied()),
+            );
+            for (current, count) in entries {
                 while let Some(&(index, diff)) = changes.get(change).filter(|&&(i, _)| i < current)
                 {
                     let merged = apply(index, 0, diff)?;
@@ -380,93 +536,19 @@ impl CompressedRuns {
     /// precedes every other run's next entry is copied wholesale; the
     /// per-entry heap path runs only where the runs interleave.
     pub fn merge_many(runs: &[CompressedRuns]) -> CompressedRuns {
-        use std::cmp::Reverse;
-        use std::collections::BinaryHeap;
-
-        /// One run's read head: the pre-decoded next entry, plus — when
-        /// that entry opened a fresh block — the block's skip row, which
-        /// is the wholesale-copy opportunity.
-        struct Head<'a> {
-            cursor: RunsCursor<'a>,
-            next: Option<(u64, u64)>,
-            head_block: Option<BlockMeta>,
-        }
-
-        impl Head<'_> {
-            fn advance(&mut self) {
-                self.head_block = self.cursor.block_at_head();
-                self.next = self.cursor.next();
-            }
-        }
-
-        let mut heads: Vec<Head<'_>> = runs
-            .iter()
-            .map(|r| {
-                let mut head = Head {
-                    cursor: r.iter(),
-                    next: None,
-                    head_block: None,
-                };
-                head.advance();
-                head
-            })
-            .collect();
-        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = heads
-            .iter()
-            .enumerate()
-            .filter_map(|(run, head)| head.next.map(|(index, _)| Reverse((index, run))))
-            .collect();
-
-        let mut builder = RunsBuilder::new();
-        // The entry merged most recently but not yet pushed: equal
-        // indexes from other runs still need summing into it.
-        let mut acc: Option<(u64, u64)> = None;
-        while let Some(Reverse((index, run))) = heap.pop() {
-            let head = &mut heads[run];
-            let (_, count) = head.next.expect("heap entries are pending");
-            match acc {
-                Some((i, ref mut c)) if i == index => *c += count,
-                _ => {
-                    if let Some(entry) = acc.take() {
-                        builder.push(entry.0, entry.1);
-                    }
-                    // Wholesale fast path: the pending entry heads a fresh
-                    // block whose entire range precedes every other run's
-                    // next index — transfer the block raw (head entry
-                    // included) and skip its decode.
-                    let other_min = heap.peek().map_or(u64::MAX, |&Reverse((i, _))| i);
-                    match head.head_block {
-                        Some(meta) if meta.last_index < other_min => {
-                            builder.push_block_raw(&meta, runs[run].block_bytes(&meta));
-                            head.cursor.skip_rest_of_block(&meta);
-                        }
-                        _ => acc = Some((index, count)),
-                    }
-                }
-            }
-            head.advance();
-            if let Some((next, _)) = head.next {
-                heap.push(Reverse((next, run)));
-            }
-        }
-        if let Some((index, count)) = acc {
-            builder.push(index, count);
-        }
-        builder.finish()
+        merge_streams(runs.iter().map(MemStream::new).collect())
     }
 
     /// The raw bytes of one block. Skip rows are sorted by byte offset,
     /// so the block's end is its successor's offset (binary-searched —
     /// merges call this once per wholesale-copied block).
     fn block_bytes(&self, meta: &BlockMeta) -> &[u8] {
+        let bytes = self.bytes();
         let block = self
             .skip
             .partition_point(|m| m.byte_offset <= meta.byte_offset);
-        let end = self
-            .skip
-            .get(block)
-            .map_or(self.bytes.len(), |m| m.byte_offset);
-        &self.bytes[meta.byte_offset..end]
+        let end = self.skip.get(block).map_or(bytes.len(), |m| m.byte_offset);
+        &bytes[meta.byte_offset..end]
     }
 }
 
@@ -479,23 +561,194 @@ impl<'a> IntoIterator for &'a CompressedRuns {
     }
 }
 
+/// A sorted entry source the k-way merge can drain: either an in-memory
+/// run ([`MemStream`]) or a disk-resident spill shard. The contract
+/// mirrors [`RunsCursor`]'s lazy head decode so the wholesale-copy fast
+/// path never decodes a block tail.
+pub(crate) trait RunStream {
+    /// Skip row of the block at the read head, when the stream sits
+    /// exactly at an undecoded block boundary (the wholesale-copy
+    /// precondition).
+    fn head_block(&self) -> Option<BlockMeta>;
+
+    /// Next `(index, count)` entry, in index order.
+    fn next_entry(&mut self) -> Option<(u64, u64)>;
+
+    /// Called right after [`RunStream::next_entry`] returned the head
+    /// entry of `meta`: yields the block's raw bytes for a wholesale
+    /// copy and advances the stream past the block's remaining entries.
+    fn take_block(&mut self, meta: &BlockMeta) -> &[u8];
+}
+
+/// [`RunStream`] over an in-memory [`CompressedRuns`].
+pub(crate) struct MemStream<'a> {
+    runs: &'a CompressedRuns,
+    cursor: RunsCursor<'a>,
+}
+
+impl<'a> MemStream<'a> {
+    pub(crate) fn new(runs: &'a CompressedRuns) -> MemStream<'a> {
+        MemStream {
+            runs,
+            cursor: runs.iter(),
+        }
+    }
+}
+
+impl RunStream for MemStream<'_> {
+    fn head_block(&self) -> Option<BlockMeta> {
+        self.cursor.block_at_head()
+    }
+
+    fn next_entry(&mut self) -> Option<(u64, u64)> {
+        self.cursor.next()
+    }
+
+    fn take_block(&mut self, meta: &BlockMeta) -> &[u8] {
+        self.cursor.skip_rest_of_block(meta);
+        self.runs.block_bytes(meta)
+    }
+}
+
+/// The k-way merge shared by [`CompressedRuns::merge_many`] and the
+/// spill-to-disk build: sums counts of equal indexes and wholesale-copies
+/// any block whose range precedes every other stream's next entry.
+/// Because disk shards drain through the same loop as in-memory runs,
+/// a spilled build is bit-identical to the in-memory one.
+pub(crate) fn merge_streams<S: RunStream>(sources: Vec<S>) -> CompressedRuns {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    /// One stream's read head: the pre-decoded next entry, plus — when
+    /// that entry opened a fresh block — the block's skip row, which is
+    /// the wholesale-copy opportunity.
+    struct Head<S> {
+        source: S,
+        next: Option<(u64, u64)>,
+        head_block: Option<BlockMeta>,
+    }
+
+    impl<S: RunStream> Head<S> {
+        fn advance(&mut self) {
+            self.head_block = self.source.head_block();
+            self.next = self.source.next_entry();
+        }
+    }
+
+    let mut heads: Vec<Head<S>> = sources
+        .into_iter()
+        .map(|source| {
+            let mut head = Head {
+                source,
+                next: None,
+                head_block: None,
+            };
+            head.advance();
+            head
+        })
+        .collect();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = heads
+        .iter()
+        .enumerate()
+        .filter_map(|(run, head)| head.next.map(|(index, _)| Reverse((index, run))))
+        .collect();
+
+    let mut builder = RunsBuilder::new();
+    // The entry merged most recently but not yet pushed: equal
+    // indexes from other streams still need summing into it.
+    let mut acc: Option<(u64, u64)> = None;
+    while let Some(Reverse((index, run))) = heap.pop() {
+        let head = &mut heads[run];
+        let (_, count) = head.next.expect("heap entries are pending");
+        match acc {
+            Some((i, ref mut c)) if i == index => *c += count,
+            _ => {
+                if let Some(entry) = acc.take() {
+                    builder.push(entry.0, entry.1);
+                }
+                // Wholesale fast path: the pending entry heads a fresh
+                // block whose entire range precedes every other stream's
+                // next index — transfer the block raw (head entry
+                // included) and skip its decode.
+                let other_min = heap.peek().map_or(u64::MAX, |&Reverse((i, _))| i);
+                match head.head_block {
+                    Some(meta) if meta.last_index < other_min => {
+                        let bytes = head.source.take_block(&meta);
+                        builder.push_block_raw(&meta, bytes);
+                    }
+                    _ => acc = Some((index, count)),
+                }
+            }
+        }
+        head.advance();
+        if let Some((next, _)) = head.next {
+            heap.push(Reverse((next, run)));
+        }
+    }
+    if let Some((index, count)) = acc {
+        builder.push(index, count);
+    }
+    builder.finish()
+}
+
+/// The decoded tail of one block (entries after the head), staged in
+/// fixed stack buffers so iteration serves from plain arrays.
+#[derive(Clone)]
+struct TailBuf {
+    idx: [u64; BLOCK_ENTRIES],
+    cnt: [u64; BLOCK_ENTRIES],
+}
+
+impl TailBuf {
+    fn new() -> TailBuf {
+        TailBuf {
+            idx: [0; BLOCK_ENTRIES],
+            cnt: [0; BLOCK_ENTRIES],
+        }
+    }
+}
+
 /// The zero-alloc streaming decoder over a [`CompressedRuns`]: a plain
-/// `Iterator<Item = (u64, u64)>` holding only a byte position and the
-/// running index.
-#[derive(Debug, Clone)]
+/// `Iterator<Item = (u64, u64)>` that decodes one block at a time into
+/// a stack buffer. Entering a block decodes only its head entry; the
+/// tail is decoded lazily when (and only when) the second entry is
+/// demanded — so a consumer that skips whole blocks (the merge's
+/// wholesale path) never pays for tails.
+#[derive(Clone)]
 pub struct RunsCursor<'a> {
     runs: &'a CompressedRuns,
     /// Current block id.
     block: usize,
-    /// Entries already decoded from the current block.
+    /// Entries already yielded from the current block (0 = at a block
+    /// boundary; ≥1 = head yielded, tail decoded from 2nd entry on).
     in_block: u32,
-    /// Byte position of the next varint.
-    pos: usize,
-    /// Last decoded index (delta base within a block).
-    prev: u64,
+    /// Decoded tail of the current block (valid once `in_block ≥ 2`,
+    /// or at `in_block == 1` after the lazy decode).
+    tail: TailBuf,
 }
 
-impl RunsCursor<'_> {
+impl std::fmt::Debug for RunsCursor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunsCursor")
+            .field("block", &self.block)
+            .field("in_block", &self.in_block)
+            .finish()
+    }
+}
+
+impl<'a> RunsCursor<'a> {
+    /// The bytes of block `block` — O(1): a block ends where its
+    /// successor begins.
+    fn block_slice(&self, block: usize, meta: &BlockMeta) -> &'a [u8] {
+        let bytes = self.runs.bytes();
+        let end = self
+            .runs
+            .skip
+            .get(block + 1)
+            .map_or(bytes.len(), |m| m.byte_offset);
+        &bytes[meta.byte_offset..end]
+    }
+
     /// When the cursor sits exactly at the head of an undecoded block,
     /// that block's skip row — the wholesale-copy precondition.
     fn block_at_head(&self) -> Option<BlockMeta> {
@@ -503,7 +756,7 @@ impl RunsCursor<'_> {
     }
 
     /// Jumps past the remaining entries of `meta`, whose head the cursor
-    /// already decoded (the caller transferred the block raw instead of
+    /// already yielded (the caller transferred the block raw instead of
     /// decoding the tail). No-op for single-entry blocks — the head
     /// decode already advanced past them.
     fn skip_rest_of_block(&mut self, meta: &BlockMeta) {
@@ -512,12 +765,7 @@ impl RunsCursor<'_> {
             return;
         }
         debug_assert_eq!(self.in_block, 1, "only the head entry was decoded");
-        self.pos = self
-            .runs
-            .skip
-            .get(self.block + 1)
-            .map_or(self.runs.bytes.len(), |next| next.byte_offset);
-        self.prev = meta.last_index;
+        debug_assert!(meta.len > 1);
         self.block += 1;
         self.in_block = 0;
     }
@@ -527,21 +775,35 @@ impl Iterator for RunsCursor<'_> {
     type Item = (u64, u64);
 
     fn next(&mut self) -> Option<(u64, u64)> {
-        let meta = self.runs.skip.get(self.block)?;
-        let raw = decode_varint(&self.runs.bytes, &mut self.pos)?;
-        let index = if self.in_block == 0 {
-            raw
-        } else {
-            self.prev + raw
-        };
-        let count = decode_varint(&self.runs.bytes, &mut self.pos)?;
-        self.prev = index;
+        let meta = *self.runs.skip.get(self.block)?;
+        if self.in_block == 0 {
+            // Lazy head decode: the tag plus two varints, nothing more.
+            let head = decode_block_head(self.block_slice(self.block, &meta));
+            if meta.len == 1 {
+                self.block += 1;
+            } else {
+                self.in_block = 1;
+            }
+            return Some(head);
+        }
+        if self.in_block == 1 {
+            // Second entry demanded: decode the whole tail in one pass.
+            decode_block_tail(
+                self.block_slice(self.block, &meta),
+                meta.len as usize,
+                meta.first_index,
+                &mut self.tail.idx,
+                &mut self.tail.cnt,
+            );
+        }
+        let at = (self.in_block - 1) as usize;
+        let entry = (self.tail.idx[at], self.tail.cnt[at]);
         self.in_block += 1;
         if self.in_block == meta.len {
             self.block += 1;
             self.in_block = 0;
         }
-        Some((index, count))
+        Some(entry)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -553,28 +815,105 @@ impl Iterator for RunsCursor<'_> {
         let left = self.runs.len - consumed;
         (left, Some(left))
     }
+
+    /// Block-wise fold: full blocks are decoded once into the stack
+    /// buffer and folded straight out of it, skipping the per-entry
+    /// state machine — the bulk-decode path histogram builds and
+    /// benchmarks hit.
+    fn fold<B, F>(mut self, init: B, mut f: F) -> B
+    where
+        F: FnMut(B, (u64, u64)) -> B,
+    {
+        let mut acc = init;
+        // Finish a partially consumed block entry-at-a-time first.
+        while self.in_block != 0 {
+            match self.next() {
+                Some(entry) => acc = f(acc, entry),
+                None => return acc,
+            }
+        }
+        while let Some(&meta) = self.runs.skip.get(self.block) {
+            let blk = self.block_slice(self.block, &meta);
+            acc = f(acc, decode_block_head(blk));
+            let n = meta.len as usize;
+            if n > 1 {
+                decode_block_tail(
+                    blk,
+                    n,
+                    meta.first_index,
+                    &mut self.tail.idx,
+                    &mut self.tail.cnt,
+                );
+                for at in 0..n - 1 {
+                    acc = f(acc, (self.tail.idx[at], self.tail.cnt[at]));
+                }
+            }
+            self.block += 1;
+        }
+        acc
+    }
 }
 
 impl ExactSizeIterator for RunsCursor<'_> {}
 
 /// Incremental writer of a [`CompressedRuns`]: entries stream in via
 /// [`RunsBuilder::push`] (strictly increasing, non-zero counts), whole
-/// untouched blocks via [`RunsBuilder::push_block_raw`].
-#[derive(Debug, Default)]
+/// untouched blocks via [`RunsBuilder::push_block_raw`]. Entries are
+/// staged in a block-sized buffer; each full (or final partial) block is
+/// encoded with whichever codec is smaller for its contents.
 pub struct RunsBuilder {
     bytes: Vec<u8>,
     skip: Vec<BlockMeta>,
     len: usize,
     total_mass: u64,
-    /// The block being filled (absent between blocks).
-    open: Option<BlockMeta>,
+    /// Entries staged for the open block.
+    pending: usize,
+    pending_mass: u64,
+    pend_idx: [u64; BLOCK_ENTRIES],
+    pend_cnt: [u64; BLOCK_ENTRIES],
     last_index: Option<u64>,
+    varint_only: bool,
+}
+
+impl std::fmt::Debug for RunsBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunsBuilder")
+            .field("len", &self.len)
+            .field("pending", &self.pending)
+            .field("blocks", &self.skip.len())
+            .finish()
+    }
+}
+
+impl Default for RunsBuilder {
+    fn default() -> RunsBuilder {
+        RunsBuilder::new()
+    }
 }
 
 impl RunsBuilder {
     /// An empty builder.
     pub fn new() -> RunsBuilder {
-        RunsBuilder::default()
+        RunsBuilder {
+            bytes: Vec::new(),
+            skip: Vec::new(),
+            len: 0,
+            total_mass: 0,
+            pending: 0,
+            pending_mass: 0,
+            pend_idx: [0; BLOCK_ENTRIES],
+            pend_cnt: [0; BLOCK_ENTRIES],
+            last_index: None,
+            varint_only: false,
+        }
+    }
+
+    /// Forces every block onto the varint codec — the decode-throughput
+    /// benchmark's baseline. Production builders always let the encoder
+    /// choose per block.
+    pub fn varint_only(mut self) -> RunsBuilder {
+        self.varint_only = true;
+        self
     }
 
     /// Appends one entry. Indexes must arrive strictly increasing and
@@ -586,40 +925,23 @@ impl RunsBuilder {
             self.last_index.is_none_or(|last| last < index),
             "index {index} does not increase strictly"
         );
-        match &mut self.open {
-            Some(meta) => {
-                encode_varint(&mut self.bytes, index - meta.last_index);
-                encode_varint(&mut self.bytes, count);
-                meta.last_index = index;
-                meta.len += 1;
-                meta.mass = meta.mass.wrapping_add(count);
-                if meta.len as usize == BLOCK_ENTRIES {
-                    self.flush();
-                }
-            }
-            None => {
-                let byte_offset = self.bytes.len();
-                encode_varint(&mut self.bytes, index);
-                encode_varint(&mut self.bytes, count);
-                self.open = Some(BlockMeta {
-                    first_index: index,
-                    last_index: index,
-                    byte_offset,
-                    len: 1,
-                    mass: count,
-                });
-            }
-        }
+        self.pend_idx[self.pending] = index;
+        self.pend_cnt[self.pending] = count;
+        self.pending += 1;
+        self.pending_mass = self.pending_mass.wrapping_add(count);
         self.last_index = Some(index);
         self.len += 1;
         self.total_mass = self.total_mass.wrapping_add(count);
+        if self.pending == BLOCK_ENTRIES {
+            self.flush();
+        }
     }
 
     /// Appends a whole block verbatim: `bytes` are the block's encoded
-    /// stream exactly as described by `meta`. Any partially filled block
-    /// is flushed first (blocks are self-contained, so boundaries need
-    /// not align). The block's indexes must all exceed the last pushed
-    /// index.
+    /// (tagged) stream exactly as described by `meta`. Any partially
+    /// filled block is flushed first (blocks are self-contained, so
+    /// boundaries need not align). The block's indexes must all exceed
+    /// the last pushed index.
     pub fn push_block_raw(&mut self, meta: &BlockMeta, bytes: &[u8]) {
         debug_assert!(
             self.last_index.is_none_or(|last| last < meta.first_index),
@@ -639,11 +961,28 @@ impl RunsBuilder {
         self.total_mass = self.total_mass.wrapping_add(meta.mass);
     }
 
-    /// Closes the open block, if any.
+    /// Encodes and closes the staged block, if any.
     fn flush(&mut self) {
-        if let Some(meta) = self.open.take() {
-            self.skip.push(meta);
+        if self.pending == 0 {
+            return;
         }
+        let n = self.pending;
+        let byte_offset = self.bytes.len();
+        encode_block(
+            &mut self.bytes,
+            &self.pend_idx[..n],
+            &self.pend_cnt[..n],
+            self.varint_only,
+        );
+        self.skip.push(BlockMeta {
+            first_index: self.pend_idx[0],
+            last_index: self.pend_idx[n - 1],
+            byte_offset,
+            len: n as u32,
+            mass: self.pending_mass,
+        });
+        self.pending = 0;
+        self.pending_mass = 0;
     }
 
     /// Finishes the run. The vectors are shrunk to fit: the run is
@@ -655,12 +994,426 @@ impl RunsBuilder {
         self.bytes.shrink_to_fit();
         self.skip.shrink_to_fit();
         CompressedRuns {
-            bytes: self.bytes,
+            bytes: RunBytes::Owned(self.bytes),
             skip: self.skip,
             len: self.len,
             total_mass: self.total_mass,
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Block codec kernels.
+// ---------------------------------------------------------------------
+
+/// Encodes one block, choosing the cheaper codec (packed on ties) —
+/// both layouts are sized analytically before a byte is written.
+fn encode_block(out: &mut Vec<u8>, idx: &[u64], cnt: &[u64], varint_only: bool) {
+    let n = idx.len();
+    debug_assert!((1..=BLOCK_ENTRIES).contains(&n));
+    if n == 1 || varint_only {
+        encode_varint_block(out, idx, cnt);
+        return;
+    }
+    // Tail statistics: index gaps and counts of entries 1..n.
+    let mut gaps = [0u64; BLOCK_ENTRIES];
+    let (mut gap_min, mut gap_max) = (u64::MAX, 0u64);
+    let (mut cnt_min, mut cnt_max) = (u64::MAX, 0u64);
+    let mut varint_tail = 0usize;
+    for (slot, (pair, &count)) in gaps[..n - 1].iter_mut().zip(idx.windows(2).zip(&cnt[1..])) {
+        let gap = pair[1] - pair[0];
+        *slot = gap;
+        gap_min = gap_min.min(gap);
+        gap_max = gap_max.max(gap);
+        cnt_min = cnt_min.min(count);
+        cnt_max = cnt_max.max(count);
+        varint_tail += varint_len(gap) + varint_len(count);
+    }
+    let gap_width = width_for(gap_max - gap_min);
+    let cnt_width = width_for(cnt_max - cnt_min);
+    let packed_tail = 2
+        + varint_len(gap_min)
+        + varint_len(cnt_min)
+        + lane_bytes(n - 1, gap_width)
+        + lane_bytes(n - 1, cnt_width);
+    if packed_tail > varint_tail {
+        // Pathological block (e.g. one outlier gap widening the whole
+        // lane): keep the varint layout.
+        encode_varint_block(out, idx, cnt);
+        return;
+    }
+    out.push(TAG_PACKED);
+    encode_varint(out, idx[0]);
+    encode_varint(out, cnt[0]);
+    out.push(gap_width);
+    out.push(cnt_width);
+    encode_varint(out, gap_min);
+    encode_varint(out, cnt_min);
+    pack_lane(out, &gaps[..n - 1], gap_min, gap_width);
+    pack_lane(out, &cnt[1..], cnt_min, cnt_width);
+}
+
+/// The tag-0 layout: absolute head, then per-entry delta varints.
+fn encode_varint_block(out: &mut Vec<u8>, idx: &[u64], cnt: &[u64]) {
+    out.push(TAG_VARINT);
+    encode_varint(out, idx[0]);
+    encode_varint(out, cnt[0]);
+    for (pair, &count) in idx.windows(2).zip(&cnt[1..]) {
+        encode_varint(out, pair[1] - pair[0]);
+        encode_varint(out, count);
+    }
+}
+
+/// Decodes a block's head entry — the tag byte plus two varints; the
+/// tail stays untouched (wholesale merges never need it).
+pub(crate) fn decode_block_head(block: &[u8]) -> (u64, u64) {
+    let mut pos = 1; // past the codec tag
+    let index = decode_varint(block, &mut pos).expect("validated block head");
+    let count = decode_varint(block, &mut pos).expect("validated block head");
+    (index, count)
+}
+
+/// Decodes a block's tail (entries after the head) into `idx`/`cnt`
+/// `[0..len-1]` as absolute indexes and counts. `block` is the block's
+/// own byte slice (tag first); the stream was validated at construction,
+/// so malformed bytes are a programming error (panic), not a result.
+pub(crate) fn decode_block_tail(
+    block: &[u8],
+    len: usize,
+    first_index: u64,
+    idx: &mut [u64; BLOCK_ENTRIES],
+    cnt: &mut [u64; BLOCK_ENTRIES],
+) {
+    debug_assert!(len > 1);
+    let tag = block[0];
+    let mut pos = 1;
+    decode_varint(block, &mut pos).expect("validated head index");
+    decode_varint(block, &mut pos).expect("validated head count");
+    let n = len - 1;
+    match tag {
+        TAG_VARINT => {
+            let mut prev = first_index;
+            for (i_slot, c_slot) in idx[..n].iter_mut().zip(cnt[..n].iter_mut()) {
+                let gap = decode_varint(block, &mut pos).expect("validated gap");
+                prev += gap;
+                *i_slot = prev;
+                *c_slot = decode_varint(block, &mut pos).expect("validated count");
+            }
+        }
+        TAG_PACKED => {
+            let gap_width = block[pos];
+            let cnt_width = block[pos + 1];
+            pos += 2;
+            let gap_min = decode_varint(block, &mut pos).expect("validated gap min");
+            let cnt_min = decode_varint(block, &mut pos).expect("validated count min");
+            let gap_lane = lane_bytes(n, gap_width);
+            unpack_lane(&block[pos..pos + gap_lane], n, gap_min, gap_width, idx);
+            pos += gap_lane;
+            let cnt_lane = lane_bytes(n, cnt_width);
+            unpack_lane(&block[pos..pos + cnt_lane], n, cnt_min, cnt_width, cnt);
+            // Prefix-sum the gaps into absolute indexes.
+            let mut prev = first_index;
+            for slot in idx[..n].iter_mut() {
+                prev = prev.wrapping_add(*slot);
+                *slot = prev;
+            }
+        }
+        other => unreachable!("validated codec tag, got {other}"),
+    }
+}
+
+/// Bytes a lane of `n` values at `width` bits occupies: whole `u64`
+/// words, LSB-first.
+fn lane_bytes(n: usize, width: u8) -> usize {
+    (n * width as usize).div_ceil(64) * 8
+}
+
+/// Minimal bit width holding `max_residual` (0..=64).
+fn width_for(max_residual: u64) -> u8 {
+    (64 - max_residual.leading_zeros()) as u8
+}
+
+/// LEB128 length of `value` in bytes.
+fn varint_len(value: u64) -> usize {
+    ((64 - value.leading_zeros()).max(1) as usize).div_ceil(7)
+}
+
+/// Packs `values - min` at `width` bits each into LSB-first `u64` words
+/// (little-endian bytes), padded to a whole word.
+fn pack_lane(out: &mut Vec<u8>, values: &[u64], min: u64, width: u8) {
+    if width == 0 {
+        return;
+    }
+    let mut acc: u128 = 0;
+    let mut acc_bits: u32 = 0;
+    for &value in values {
+        acc |= ((value - min) as u128) << acc_bits;
+        acc_bits += width as u32;
+        while acc_bits >= 64 {
+            out.extend_from_slice(&(acc as u64).to_le_bytes());
+            acc >>= 64;
+            acc_bits -= 64;
+        }
+    }
+    if acc_bits > 0 {
+        out.extend_from_slice(&(acc as u64).to_le_bytes());
+    }
+}
+
+/// Unpacks `n` fixed-width residuals from `lane` into `out[..n]`, adding
+/// `min` back. Branch-free per entry: each residual straddles at most
+/// two `u64` words, read as one `u128` shift/mask.
+fn unpack_lane(lane: &[u8], n: usize, min: u64, width: u8, out: &mut [u64; BLOCK_ENTRIES]) {
+    if width == 0 {
+        out[..n].fill(min);
+        return;
+    }
+    debug_assert_eq!(lane.len(), lane_bytes(n, width));
+    let mask = u64::MAX >> (64 - width as u32);
+    let width = width as usize;
+    if width > 57 {
+        // A residual this wide can straddle a byte-aligned 8-byte window;
+        // take the two-word u128 path. Rare: counts would need ≥ 2^57
+        // spread within one block.
+        let mut words = [0u64; BLOCK_ENTRIES + 1];
+        for (word, chunk) in words.iter_mut().zip(lane.chunks_exact(8)) {
+            *word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        for (i, slot) in out[..n].iter_mut().enumerate() {
+            let bit = i * width;
+            let word = bit >> 6;
+            let lo = words[word] as u128 | ((words[word + 1] as u128) << 64);
+            *slot = min.wrapping_add(((lo >> (bit & 63)) as u64) & mask);
+        }
+        return;
+    }
+    // Fast path (width ≤ 57): every residual fits the 57+ bits an
+    // unaligned 8-byte load reaches past its bit offset, so each entry
+    // is one load + shift + mask straight off the lane — no staging
+    // copy. Only entries whose window would read past the lane's end
+    // (the last handful) are served from a small zero-padded copy of
+    // the final bytes.
+    let direct = (((lane.len() - 8) * 8 + 7) / width + 1).min(n);
+    let mut start = 0;
+    #[cfg(target_arch = "x86_64")]
+    if width <= 14 && simd::avx2_available() {
+        // Four residuals at width ≤ 14 span ≤ 56 bits plus a ≤ 7-bit
+        // start shift, so each group of four decodes from one 8-byte
+        // window with per-lane variable shifts.
+        let groups = direct & !3;
+        // SAFETY: AVX2 was detected; every entry `i < groups ≤ direct`
+        // keeps its window inside the lane by `direct`'s construction.
+        unsafe { simd::unpack_lane_x4(lane, groups, min, width, out) };
+        start = groups;
+    }
+    let ptr = lane.as_ptr();
+    for (i, slot) in out[start..direct].iter_mut().enumerate() {
+        let bit = (start + i) * width;
+        // SAFETY: the entry is below `direct`, which guarantees
+        // `(bit >> 3) + 8 ≤ lane.len()` by construction, so the 8-byte
+        // window is in bounds.
+        let window = u64::from_le(unsafe { ptr.add(bit >> 3).cast::<u64>().read_unaligned() });
+        *slot = min.wrapping_add((window >> (bit & 7)) & mask);
+    }
+    if direct < n {
+        let copy = lane.len().min(16);
+        let mut tail = [0u8; 24];
+        tail[..copy].copy_from_slice(&lane[lane.len() - copy..]);
+        let base_bit = (lane.len() - copy) * 8;
+        for (i, slot) in out[direct..n].iter_mut().enumerate() {
+            let bit = (direct + i) * width - base_bit;
+            let byte = bit >> 3;
+            let window =
+                u64::from_le_bytes(tail[byte..byte + 8].try_into().expect("8-byte window"));
+            *slot = min.wrapping_add((window >> (bit & 7)) & mask);
+        }
+    }
+}
+
+/// AVX2 specialization of the hot unpack loop — used when the CPU has
+/// it, with [`unpack_lane`]'s scalar windows as the universal fallback.
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    use super::BLOCK_ENTRIES;
+    use std::arch::x86_64::{
+        __m256i, _mm256_add_epi64, _mm256_and_si256, _mm256_set1_epi64x, _mm256_set_epi64x,
+        _mm256_srlv_epi64, _mm256_storeu_si256,
+    };
+    use std::sync::OnceLock;
+
+    /// Whether the running CPU has AVX2 (detected once, cached).
+    pub(super) fn avx2_available() -> bool {
+        static AVX2: OnceLock<bool> = OnceLock::new();
+        *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+    }
+
+    /// Unpacks the first `groups` entries (a multiple of 4) of `width`
+    /// ≤ 14 bits from `lane` into `out`, adding `min` — four residuals
+    /// per iteration: one 8-byte window broadcast to four lanes, shifted
+    /// by `base + {0, w, 2w, 3w}`, masked, and rebased in one store.
+    ///
+    /// # Safety
+    /// Caller guarantees AVX2 is available, `1 ≤ width ≤ 14`,
+    /// `groups % 4 == 0`, `groups ≤ BLOCK_ENTRIES`, and that every entry
+    /// `i < groups` keeps `((i * width) >> 3) + 8 ≤ lane.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn unpack_lane_x4(
+        lane: &[u8],
+        groups: usize,
+        min: u64,
+        width: usize,
+        out: &mut [u64; BLOCK_ENTRIES],
+    ) {
+        let mask = _mm256_set1_epi64x((u64::MAX >> (64 - width as u32)) as i64);
+        let rebase = _mm256_set1_epi64x(min as i64);
+        let offsets = _mm256_set_epi64x(3 * width as i64, 2 * width as i64, width as i64, 0);
+        let ptr = lane.as_ptr();
+        let mut i = 0;
+        while i < groups {
+            let bit = i * width;
+            // SAFETY: the caller's bound keeps the window inside `lane`.
+            let window = unsafe { ptr.add(bit >> 3).cast::<i64>().read_unaligned() };
+            let lanes = _mm256_set1_epi64x(i64::from_le(window));
+            let shifts = _mm256_add_epi64(_mm256_set1_epi64x((bit & 7) as i64), offsets);
+            let values = _mm256_add_epi64(
+                _mm256_and_si256(_mm256_srlv_epi64(lanes, shifts), mask),
+                rebase,
+            );
+            // SAFETY: `i + 4 ≤ groups ≤ BLOCK_ENTRIES`, so the 4-wide
+            // store stays inside `out`.
+            unsafe { _mm256_storeu_si256(out.as_mut_ptr().add(i).cast::<__m256i>(), values) };
+            i += 4;
+        }
+    }
+}
+
+/// Validates a tagged byte stream against its declared per-block entry
+/// counts and derives the skip index — shared by
+/// [`CompressedRuns::from_tagged_encoded`] and the catalog file reader
+/// (which borrows the bytes from a mapped region instead of owning
+/// them). Returns `(skip, len, total_mass)`.
+pub(crate) fn validate_tagged(
+    bytes: &[u8],
+    block_lens: &[u32],
+) -> Result<(Vec<BlockMeta>, usize, u64), RunsCorrupt> {
+    let mut skip = Vec::with_capacity(block_lens.len());
+    let mut pos = 0usize;
+    let mut len = 0usize;
+    let mut total_mass = 0u64;
+    let mut prev: Option<u64> = None;
+    for (block_id, &block_len) in block_lens.iter().enumerate() {
+        let n = block_len as usize;
+        if n == 0 || n > BLOCK_ENTRIES {
+            return Err(RunsCorrupt(format!(
+                "block {block_id} declares {block_len} entries (1..={BLOCK_ENTRIES})"
+            )));
+        }
+        let err = |what: &str| RunsCorrupt(format!("block {block_id}: {what}"));
+        let byte_offset = pos;
+        let tag = *bytes.get(pos).ok_or_else(|| err("missing codec tag"))?;
+        pos += 1;
+        let first_index =
+            decode_varint(bytes, &mut pos).ok_or_else(|| err("truncated head index"))?;
+        let first_count =
+            decode_varint(bytes, &mut pos).ok_or_else(|| err("truncated head count"))?;
+        if first_count == 0 {
+            return Err(err("explicit zero count"));
+        }
+        if prev.is_some_and(|p| first_index <= p) {
+            return Err(err("index does not increase strictly"));
+        }
+        let mut last_index = first_index;
+        let mut mass = first_count;
+        match tag {
+            TAG_VARINT => {
+                for _ in 1..n {
+                    let gap = decode_varint(bytes, &mut pos).ok_or_else(|| err("truncated gap"))?;
+                    if gap == 0 {
+                        return Err(err("zero index delta"));
+                    }
+                    last_index = last_index
+                        .checked_add(gap)
+                        .ok_or_else(|| err("index overflows u64"))?;
+                    let count =
+                        decode_varint(bytes, &mut pos).ok_or_else(|| err("truncated count"))?;
+                    if count == 0 {
+                        return Err(err("explicit zero count"));
+                    }
+                    mass = mass.wrapping_add(count);
+                }
+            }
+            TAG_PACKED => {
+                if n == 1 {
+                    return Err(err("packed codec on a single-entry block"));
+                }
+                let widths = bytes
+                    .get(pos..pos + 2)
+                    .ok_or_else(|| err("truncated lane widths"))?;
+                let (gap_width, cnt_width) = (widths[0], widths[1]);
+                pos += 2;
+                if gap_width > 64 || cnt_width > 64 {
+                    return Err(err("lane width exceeds 64 bits"));
+                }
+                let gap_min =
+                    decode_varint(bytes, &mut pos).ok_or_else(|| err("truncated gap min"))?;
+                let cnt_min =
+                    decode_varint(bytes, &mut pos).ok_or_else(|| err("truncated count min"))?;
+                let tail = n - 1;
+                let gap_lane = lane_bytes(tail, gap_width);
+                let gap_bytes = bytes
+                    .get(pos..pos + gap_lane)
+                    .ok_or_else(|| err("truncated gap lane"))?;
+                pos += gap_lane;
+                let cnt_lane = lane_bytes(tail, cnt_width);
+                let cnt_bytes = bytes
+                    .get(pos..pos + cnt_lane)
+                    .ok_or_else(|| err("truncated count lane"))?;
+                pos += cnt_lane;
+                // Unpack raw residuals (min = 0) so the min-add can be
+                // overflow-checked against adversarial streams.
+                let mut gaps = [0u64; BLOCK_ENTRIES];
+                let mut counts = [0u64; BLOCK_ENTRIES];
+                unpack_lane(gap_bytes, tail, 0, gap_width, &mut gaps);
+                unpack_lane(cnt_bytes, tail, 0, cnt_width, &mut counts);
+                for (&gap_resid, &cnt_resid) in gaps[..tail].iter().zip(&counts[..tail]) {
+                    let gap = gap_min
+                        .checked_add(gap_resid)
+                        .ok_or_else(|| err("gap overflows u64"))?;
+                    if gap == 0 {
+                        return Err(err("zero index delta"));
+                    }
+                    last_index = last_index
+                        .checked_add(gap)
+                        .ok_or_else(|| err("index overflows u64"))?;
+                    let count = cnt_min
+                        .checked_add(cnt_resid)
+                        .ok_or_else(|| err("count overflows u64"))?;
+                    if count == 0 {
+                        return Err(err("explicit zero count"));
+                    }
+                    mass = mass.wrapping_add(count);
+                }
+            }
+            _ => return Err(err("unknown codec tag")),
+        }
+        prev = Some(last_index);
+        total_mass = total_mass.wrapping_add(mass);
+        len += n;
+        skip.push(BlockMeta {
+            first_index,
+            last_index,
+            byte_offset,
+            len: block_len,
+            mass,
+        });
+    }
+    if pos != bytes.len() {
+        return Err(RunsCorrupt(format!(
+            "{} trailing bytes after the declared blocks",
+            bytes.len() - pos
+        )));
+    }
+    Ok((skip, len, total_mass))
 }
 
 /// LEB128 append.
@@ -697,6 +1450,24 @@ mod tests {
 
     fn runs_of(entries: &[(u64, u64)]) -> CompressedRuns {
         CompressedRuns::from_entries(entries)
+    }
+
+    /// Encodes entries in the legacy (pre-v5) untagged delta-varint
+    /// stream — the fixture format for `from_encoded` tests.
+    fn legacy_encode(entries: &[(u64, u64)]) -> (Vec<u8>, Vec<u32>) {
+        let mut bytes = Vec::new();
+        let mut lens = Vec::new();
+        for block in entries.chunks(BLOCK_ENTRIES) {
+            let mut prev = 0u64;
+            for (entry, &(index, count)) in block.iter().enumerate() {
+                let raw = if entry == 0 { index } else { index - prev };
+                encode_varint(&mut bytes, raw);
+                encode_varint(&mut bytes, count);
+                prev = index;
+            }
+            lens.push(block.len() as u32);
+        }
+        (bytes, lens)
     }
 
     #[test]
@@ -744,6 +1515,66 @@ mod tests {
         assert_eq!(runs.get(u64::MAX), Some(9));
         assert_eq!(runs.get(u64::MAX - 1), Some(3));
         assert_eq!(runs.get(1), Some(u64::MAX));
+    }
+
+    #[test]
+    fn boundary_lane_widths_round_trip() {
+        // Width 0: constant gap, constant count — the whole tail packs
+        // into zero lane bytes.
+        let constant: Vec<(u64, u64)> = (0..300u64).map(|i| (i * 4, 7)).collect();
+        let runs = runs_of(&constant);
+        assert_eq!(runs.to_vec(), constant);
+        let (_, packed) = runs.block_codec_counts();
+        assert!(packed > 0, "constant blocks should pack");
+
+        // Width 1: gaps alternate between two adjacent values.
+        let mut index = 0u64;
+        let skewed: Vec<(u64, u64)> = (0..300u64)
+            .map(|i| {
+                index += 3 + (i & 1);
+                (index, 10 + (i & 1))
+            })
+            .collect();
+        let runs = runs_of(&skewed);
+        assert_eq!(runs.to_vec(), skewed);
+
+        // Width 64 in both lanes: residuals spanning the full u64 range.
+        let extremes = vec![(0u64, 1u64), (1, u64::MAX), (u64::MAX, 2)];
+        let runs = runs_of(&extremes);
+        assert_eq!(runs.to_vec(), extremes);
+        assert_eq!(runs.get(u64::MAX), Some(2));
+    }
+
+    #[test]
+    fn packed_matches_varint_baseline() {
+        // Representative catalog shape: mixed small gaps and counts.
+        let entries: Vec<(u64, u64)> = (0..5000u64)
+            .map(|i| (i * 13 + (i % 11), 1 + (i * i) % 900))
+            .collect();
+        let chosen = runs_of(&entries);
+        let mut baseline = RunsBuilder::new().varint_only();
+        for &(index, count) in &entries {
+            baseline.push(index, count);
+        }
+        let baseline = baseline.finish();
+        // Identical decoded content, identical lookups.
+        assert_eq!(chosen, baseline);
+        assert_eq!(chosen.to_vec(), baseline.to_vec());
+        // The chooser never exceeds the varint encoding.
+        assert!(
+            chosen.payload_bytes() <= baseline.payload_bytes(),
+            "{} packed vs {} varint",
+            chosen.payload_bytes(),
+            baseline.payload_bytes()
+        );
+        let (varint_blocks, packed_blocks) = chosen.block_codec_counts();
+        assert!(
+            packed_blocks > 0,
+            "clustered data should pick the packed codec"
+        );
+        let (baseline_varint, baseline_packed) = baseline.block_codec_counts();
+        assert_eq!(baseline_packed, 0, "baseline must stay varint");
+        assert_eq!(baseline_varint, varint_blocks + packed_blocks);
     }
 
     #[test]
@@ -853,39 +1684,126 @@ mod tests {
     }
 
     #[test]
-    fn from_encoded_validates() {
+    fn from_encoded_validates_legacy_streams() {
         let entries: Vec<(u64, u64)> = (0..300u64).map(|i| (i * 7, i + 1)).collect();
-        let runs = runs_of(&entries);
-        let lens: Vec<u32> = runs.skip_index().iter().map(|m| m.len).collect();
-        let restored = CompressedRuns::from_encoded(runs.bytes().to_vec(), &lens).unwrap();
-        assert_eq!(restored, runs);
-        assert_eq!(restored.skip_index(), runs.skip_index());
+        let (bytes, lens) = legacy_encode(&entries);
+        let restored = CompressedRuns::from_encoded(bytes.clone(), &lens).unwrap();
+        // Content round-trips; the bytes are re-encoded into the tagged
+        // format, so only the decoded stream is compared.
+        assert_eq!(restored, runs_of(&entries));
+        assert_eq!(restored.to_vec(), entries);
 
         // Truncated bytes.
-        let mut short = runs.bytes().to_vec();
+        let mut short = bytes.clone();
         short.pop();
         assert!(CompressedRuns::from_encoded(short, &lens).is_err());
         // Trailing garbage.
-        let mut long = runs.bytes().to_vec();
+        let mut long = bytes.clone();
         long.push(0);
         assert!(CompressedRuns::from_encoded(long, &lens).is_err());
         // Wrong block lens.
-        assert!(CompressedRuns::from_encoded(runs.bytes().to_vec(), &lens[1..]).is_err());
+        assert!(CompressedRuns::from_encoded(bytes.clone(), &lens[1..]).is_err());
         // Zero count.
-        let mut bytes = Vec::new();
-        encode_varint(&mut bytes, 5);
-        encode_varint(&mut bytes, 0);
-        assert!(CompressedRuns::from_encoded(bytes, &[1]).is_err());
+        let mut raw = Vec::new();
+        encode_varint(&mut raw, 5);
+        encode_varint(&mut raw, 0);
+        assert!(CompressedRuns::from_encoded(raw, &[1]).is_err());
         // Zero delta (duplicate index).
-        let mut bytes = Vec::new();
-        encode_varint(&mut bytes, 5);
-        encode_varint(&mut bytes, 1);
-        encode_varint(&mut bytes, 0);
-        encode_varint(&mut bytes, 1);
-        assert!(CompressedRuns::from_encoded(bytes, &[2]).is_err());
+        let mut raw = Vec::new();
+        encode_varint(&mut raw, 5);
+        encode_varint(&mut raw, 1);
+        encode_varint(&mut raw, 0);
+        encode_varint(&mut raw, 1);
+        assert!(CompressedRuns::from_encoded(raw, &[2]).is_err());
         // Oversized block declaration.
         assert!(CompressedRuns::from_encoded(Vec::new(), &[0]).is_err());
         assert!(CompressedRuns::from_encoded(Vec::new(), &[BLOCK_ENTRIES as u32 + 1]).is_err());
+    }
+
+    #[test]
+    fn from_tagged_encoded_round_trips_exactly() {
+        let entries: Vec<(u64, u64)> = (0..700u64).map(|i| (i * 7 + (i % 5), 1 + i % 97)).collect();
+        let runs = runs_of(&entries);
+        let lens: Vec<u32> = runs.skip_index().iter().map(|m| m.len).collect();
+        let restored = CompressedRuns::from_tagged_encoded(runs.bytes().to_vec(), &lens).unwrap();
+        assert_eq!(restored, runs);
+        // The tagged restore keeps the bytes verbatim: the skip index
+        // (and therefore every block boundary and codec choice) matches.
+        assert_eq!(restored.skip_index(), runs.skip_index());
+        assert_eq!(restored.bytes(), runs.bytes());
+        assert_eq!(restored.total_mass(), runs.total_mass());
+    }
+
+    #[test]
+    fn from_tagged_encoded_rejects_corruption() {
+        let entries: Vec<(u64, u64)> = (0..300u64).map(|i| (i * 3, 1 + i % 9)).collect();
+        let runs = runs_of(&entries);
+        let lens: Vec<u32> = runs.skip_index().iter().map(|m| m.len).collect();
+        let bytes = runs.bytes().to_vec();
+
+        // Truncation and trailing garbage.
+        let mut short = bytes.clone();
+        short.pop();
+        assert!(CompressedRuns::from_tagged_encoded(short, &lens).is_err());
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(CompressedRuns::from_tagged_encoded(long, &lens).is_err());
+        // Wrong block lens.
+        assert!(CompressedRuns::from_tagged_encoded(bytes.clone(), &lens[1..]).is_err());
+        // Unknown codec tag on the first block.
+        let mut bad_tag = bytes.clone();
+        bad_tag[0] = 9;
+        assert!(CompressedRuns::from_tagged_encoded(bad_tag, &lens).is_err());
+
+        // Hand-built packed block with an oversized lane width.
+        let mut raw = vec![TAG_PACKED];
+        encode_varint(&mut raw, 5); // first index
+        encode_varint(&mut raw, 1); // first count
+        raw.push(65); // gap width > 64
+        raw.push(0);
+        encode_varint(&mut raw, 1); // gap min
+        encode_varint(&mut raw, 1); // count min
+        assert!(CompressedRuns::from_tagged_encoded(raw, &[2]).is_err());
+
+        // Packed tag on a single-entry block.
+        let mut raw = vec![TAG_PACKED];
+        encode_varint(&mut raw, 5);
+        encode_varint(&mut raw, 1);
+        assert!(CompressedRuns::from_tagged_encoded(raw, &[1]).is_err());
+
+        // Zero gap smuggled through a packed lane (gap_min = 0, width 0).
+        let mut raw = vec![TAG_PACKED];
+        encode_varint(&mut raw, 5);
+        encode_varint(&mut raw, 1);
+        raw.push(0); // gap width
+        raw.push(0); // count width
+        encode_varint(&mut raw, 0); // gap min = 0 → zero delta
+        encode_varint(&mut raw, 1); // count min
+        assert!(CompressedRuns::from_tagged_encoded(raw, &[2]).is_err());
+    }
+
+    #[test]
+    fn cursor_fold_matches_streaming_next() {
+        let entries: Vec<(u64, u64)> = (0..1000u64).map(|i| (i * 3 + 1, 1 + i % 13)).collect();
+        let runs = runs_of(&entries);
+        // Whole-run fold (the block-wise override).
+        let folded = runs.iter().fold(Vec::new(), |mut acc, entry| {
+            acc.push(entry);
+            acc
+        });
+        assert_eq!(folded, entries);
+        // Fold from a partially consumed cursor mid-block.
+        let mut cursor = runs.iter();
+        for _ in 0..5 {
+            cursor.next();
+        }
+        let rest = cursor.fold(Vec::new(), |mut acc, entry| {
+            acc.push(entry);
+            acc
+        });
+        assert_eq!(rest, entries[5..]);
+        // `count` routes through fold.
+        assert_eq!(runs.iter().count(), entries.len());
     }
 
     #[test]
@@ -900,10 +1818,21 @@ mod tests {
         }
         let mut pos = 0;
         for &v in &values {
+            let before = pos;
             assert_eq!(decode_varint(&out, &mut pos), Some(v));
+            assert_eq!(varint_len(v), pos - before, "value {v}");
         }
         assert_eq!(pos, out.len());
         assert_eq!(decode_varint(&out, &mut pos), None, "exhausted");
+    }
+
+    #[test]
+    fn varint_len_matches_encoding() {
+        for &v in &[0u64, 1, 127, 128, 16_383, 16_384, u64::MAX - 1, u64::MAX] {
+            let mut out = Vec::new();
+            encode_varint(&mut out, v);
+            assert_eq!(varint_len(v), out.len(), "value {v}");
+        }
     }
 
     #[test]
@@ -914,6 +1843,7 @@ mod tests {
         assert_eq!(runs.get(0), None);
         assert_eq!(runs.to_vec(), vec![]);
         assert_eq!(runs, CompressedRuns::from_entries(&[]));
+        assert!(!runs.is_mapped());
     }
 
     #[test]

@@ -12,9 +12,11 @@
 //! ## Storage: block-compressed runs
 //!
 //! The entries live in a [`CompressedRuns`]: ≤ 128-entry blocks of
-//! delta-varint `(index_gap, count)` pairs behind a per-block skip index
-//! (see [`crate::runs`] for the format). Canonical indexes cluster by
-//! shared label prefixes, so gaps are small and the flat 16 B/entry of a
+//! `(index_gap, count)` pairs behind a per-block skip index, each block
+//! encoded by whichever of the two codecs (per-entry varints, or
+//! frame-of-reference bit-packed lanes) is smaller — see [`crate::runs`]
+//! for the tagged format. Canonical indexes cluster by shared label
+//! prefixes, so gaps are small and the flat 16 B/entry of a
 //! `Vec<(u64, u64)>` compresses to a few bytes/entry. Consumers never see
 //! the pair vector: [`SparseCatalog::iter`] hands out the zero-alloc
 //! block cursor, [`SparseCatalog::selectivity_at`] binary-searches the
@@ -31,6 +33,12 @@
 //!   and **compresses** its local entries into a run, and the runs are
 //!   combined by [`CompressedRuns::merge_many`] (k-way heap merge with
 //!   block-wise wholesale copies) that sums counts of equal indexes;
+//! * [`SparseCatalog::compute_parallel_spilling`] — the same build under
+//!   a memory budget: a worker whose local entry buffer exceeds its
+//!   budget share compresses it and **spills it to a shard file**
+//!   ([`crate::file`]); the final k-way merge streams the spilled shards
+//!   back one block at a time, so peak memory tracks the budget plus one
+//!   block per shard instead of the whole entry set;
 //! * [`SparseCatalog::from_dense`] / [`SparseCatalog::to_dense`] — lossless
 //!   conversions (the dense direction is guarded by the materialization
 //!   limit), which make the dense catalog the test oracle for this one;
@@ -73,16 +81,71 @@
 //! Entries are length-partitioned for free: the canonical encoding is
 //! length-major, so a sort by index groups paths by length first.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use phe_graph::{FixedBitSet, Graph, LabelId};
 
 use crate::catalog::{check_dense_domain, CatalogError, SelectivityCatalog};
 use crate::encoding::PathEncoding;
+use crate::file::{open_shard, write_runs_file, ShardReader};
 use crate::parallel::build_tasks;
 use crate::relation::PathRelation;
-use crate::runs::{CompressedRuns, RunsCursor};
+use crate::runs::{merge_streams, BlockMeta, CompressedRuns, MemStream, RunStream, RunsCursor};
+
+/// Bytes one uncompressed `(u64, u64)` entry occupies in a worker's
+/// local buffer — the unit the spill budget is accounted in.
+const ENTRY_BYTES: usize = std::mem::size_of::<(u64, u64)>();
+
+/// Distinguishes concurrent spilling builds sharing one temp dir.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Accounting from a budgeted build
+/// ([`SparseCatalog::compute_parallel_spilling`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Shard files written to disk during counting.
+    pub shards: usize,
+    /// Total size of the spilled shard files in bytes.
+    pub bytes: u64,
+}
+
+/// A merge source for the budgeted build: a worker's in-memory
+/// remainder, or a spilled shard streamed back from disk.
+enum BuildStream<'a> {
+    Mem(MemStream<'a>),
+    Disk(ShardReader),
+}
+
+impl RunStream for BuildStream<'_> {
+    fn head_block(&self) -> Option<BlockMeta> {
+        match self {
+            BuildStream::Mem(s) => s.head_block(),
+            BuildStream::Disk(s) => s.head_block(),
+        }
+    }
+
+    fn next_entry(&mut self) -> Option<(u64, u64)> {
+        match self {
+            BuildStream::Mem(s) => s.next_entry(),
+            BuildStream::Disk(s) => s.next_entry(),
+        }
+    }
+
+    fn take_block(&mut self, meta: &BlockMeta) -> &[u8] {
+        match self {
+            BuildStream::Mem(s) => s.take_block(meta),
+            BuildStream::Disk(s) => s.take_block(meta),
+        }
+    }
+}
+
+fn spill_err(e: impl std::fmt::Display) -> CatalogError {
+    CatalogError::SpillIo {
+        message: e.to_string(),
+    }
+}
 
 /// The sparse table of path selectivities: block-compressed, sorted,
 /// duplicate-free `(canonical_index, count)` entries with `count > 0`;
@@ -146,6 +209,28 @@ impl SparseCatalog {
         k: usize,
         threads: usize,
     ) -> Result<SparseCatalog, CatalogError> {
+        Self::compute_parallel_spilling(graph, k, threads, None).map(|(catalog, _)| catalog)
+    }
+
+    /// [`SparseCatalog::compute_parallel`] under a memory budget: a
+    /// worker whose uncompressed local entry buffer crosses its share of
+    /// `memory_budget` bytes compresses it and spills it to a shard file
+    /// in the system temp dir; the final k-way merge streams the spilled
+    /// shards back one block at a time. Entries are identical to the
+    /// unbudgeted build; the returned [`SpillStats`] say how much hit
+    /// disk. `None` (or a budget nothing exceeds) never touches the
+    /// filesystem.
+    ///
+    /// # Errors
+    /// [`CatalogError::DomainTooLarge`] as for [`SparseCatalog::compute`];
+    /// [`CatalogError::SpillIo`] when a shard file cannot be written or
+    /// re-read (shards are cleaned up either way).
+    pub fn compute_parallel_spilling(
+        graph: &Graph,
+        k: usize,
+        threads: usize,
+        memory_budget: Option<usize>,
+    ) -> Result<(SparseCatalog, SpillStats), CatalogError> {
         let threads = if threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -153,14 +238,35 @@ impl SparseCatalog {
         } else {
             threads
         };
-        if threads <= 1 || graph.label_count() == 0 || graph.vertex_count() == 0 {
-            return Self::compute(graph, k);
+        if graph.label_count() == 0
+            || graph.vertex_count() == 0
+            || (threads <= 1 && memory_budget.is_none())
+        {
+            return Self::compute(graph, k).map(|c| (c, SpillStats::default()));
         }
         let encoding = PathEncoding::try_new(graph.label_count().max(1), k)?;
+
+        // Each worker gets an equal share of the budget, measured
+        // against its *uncompressed* local buffer (16 B/entry).
+        let per_thread_budget = memory_budget.map(|b| (b / threads).max(ENTRY_BYTES));
+        let spill_dir = match memory_budget {
+            Some(_) => {
+                let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+                let dir =
+                    std::env::temp_dir().join(format!("phe-spill-{}-{seq}", std::process::id()));
+                std::fs::create_dir_all(&dir).map_err(spill_err)?;
+                Some(dir)
+            }
+            None => None,
+        };
 
         let tasks = build_tasks(graph, threads);
         let next_task = AtomicUsize::new(0);
         let runs: Mutex<Vec<CompressedRuns>> = Mutex::new(Vec::with_capacity(threads));
+        let shard_paths: Mutex<Vec<PathBuf>> = Mutex::new(Vec::new());
+        let shard_seq = AtomicUsize::new(0);
+        let spilled_bytes = AtomicU64::new(0);
+        let spill_failure: Mutex<Option<String>> = Mutex::new(None);
 
         let count_span = phe_obs::span::stage("build.count");
         std::thread::scope(|scope| {
@@ -175,19 +281,48 @@ impl SparseCatalog {
                             break;
                         };
                         let rel = PathRelation::from_label_source_range(graph, label, lo, hi);
-                        if rel.is_empty() {
+                        if !rel.is_empty() {
+                            collect_subtree(
+                                graph,
+                                &encoding,
+                                &mut local,
+                                &rel,
+                                label,
+                                &mut path,
+                                &mut scratch,
+                                k,
+                            );
+                        }
+                        // Past the budget: compress what we have and
+                        // push it out to a shard file, freeing the
+                        // buffer. Coalescing first can shrink the
+                        // buffer back under budget without IO.
+                        let Some(limit) = per_thread_budget else {
+                            continue;
+                        };
+                        if local.len() * ENTRY_BYTES < limit {
                             continue;
                         }
-                        collect_subtree(
-                            graph,
-                            &encoding,
-                            &mut local,
-                            &rel,
-                            label,
-                            &mut path,
-                            &mut scratch,
-                            k,
-                        );
+                        coalesce_sorted(&mut local);
+                        if local.len() * ENTRY_BYTES < limit {
+                            continue;
+                        }
+                        let shard = CompressedRuns::from_entries(&local);
+                        local = Vec::new();
+                        let dir = spill_dir.as_ref().expect("budget implies a spill dir");
+                        let n = shard_seq.fetch_add(1, Ordering::Relaxed);
+                        let path = dir.join(format!("shard-{n}.phc"));
+                        match write_runs_file(&path, &encoding, &shard) {
+                            Ok(written) => {
+                                spilled_bytes.fetch_add(written, Ordering::Relaxed);
+                                shard_paths.lock().expect("shard mutex poisoned").push(path);
+                            }
+                            Err(e) => {
+                                *spill_failure.lock().expect("failure mutex poisoned") =
+                                    Some(e.to_string());
+                                break;
+                            }
+                        }
                     }
                     // Shard-local sort + coalesce: the same path appears
                     // once per source-range task it was counted under.
@@ -202,12 +337,43 @@ impl SparseCatalog {
 
         drop(count_span);
 
-        let runs = runs.into_inner().expect("run mutex poisoned");
-        let _merge = phe_obs::span::stage("build.merge");
-        Ok(SparseCatalog {
-            encoding,
-            runs: CompressedRuns::merge_many(&runs),
-        })
+        let mem_runs = runs.into_inner().expect("run mutex poisoned");
+        let shard_paths = shard_paths.into_inner().expect("shard mutex poisoned");
+        let failure = spill_failure.into_inner().expect("failure mutex poisoned");
+        let merged = (|| -> Result<CompressedRuns, CatalogError> {
+            if let Some(message) = failure {
+                return Err(CatalogError::SpillIo { message });
+            }
+            let _merge = phe_obs::span::stage("build.merge");
+            if shard_paths.is_empty() {
+                return Ok(CompressedRuns::merge_many(&mem_runs));
+            }
+            let mut streams: Vec<BuildStream<'_>> =
+                Vec::with_capacity(mem_runs.len() + shard_paths.len());
+            streams.extend(
+                mem_runs
+                    .iter()
+                    .map(|run| BuildStream::Mem(MemStream::new(run))),
+            );
+            for path in &shard_paths {
+                streams.push(BuildStream::Disk(open_shard(path).map_err(spill_err)?));
+            }
+            Ok(merge_streams(streams))
+        })();
+        if let Some(dir) = &spill_dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+        let stats = SpillStats {
+            shards: shard_paths.len(),
+            bytes: spilled_bytes.load(Ordering::Relaxed),
+        };
+        Ok((
+            SparseCatalog {
+                encoding,
+                runs: merged?,
+            },
+            stats,
+        ))
     }
 
     /// Converts a dense catalog by dropping its zero entries. Lossless:
@@ -488,6 +654,36 @@ mod tests {
             let par = SparseCatalog::compute_parallel(&g, 4, threads).unwrap();
             assert_eq!(seq, par, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn spilling_build_matches_in_memory() {
+        let g = dense_graph(60, 3, 42);
+        let (baseline, none) = SparseCatalog::compute_parallel_spilling(&g, 4, 3, None).unwrap();
+        assert_eq!(none, SpillStats::default(), "no budget ⇒ no spill");
+
+        // A budget far under the entry set (the k=4 domain here is 120
+        // paths ≈ 2 KB uncompressed) forces repeated spills; the merged
+        // catalog must be entry-identical to the in-memory build.
+        let (spilled, stats) =
+            SparseCatalog::compute_parallel_spilling(&g, 4, 3, Some(768)).unwrap();
+        assert!(stats.shards > 0, "a 768 B budget must spill");
+        assert!(stats.bytes > 0);
+        assert_eq!(spilled, baseline, "spilled build ≡ in-memory build");
+        assert_eq!(spilled.total_mass(), baseline.total_mass());
+        assert_eq!(spilled.nonzero_count(), baseline.nonzero_count());
+
+        // A generous budget never touches the filesystem.
+        let (unspilled, stats) =
+            SparseCatalog::compute_parallel_spilling(&g, 4, 3, Some(1 << 30)).unwrap();
+        assert_eq!(stats, SpillStats::default());
+        assert_eq!(unspilled, baseline);
+
+        // Single-threaded budgeted builds spill too.
+        let (single, stats) =
+            SparseCatalog::compute_parallel_spilling(&g, 4, 1, Some(768)).unwrap();
+        assert!(stats.shards > 0);
+        assert_eq!(single, baseline);
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Property tests for the block-compressed run representation: the
 //! compressed form is a lossless codec for arbitrary sorted runs —
 //! including index gaps spanning every LEB128 width (1–10 bytes) and
-//! indexes adjacent to `u64::MAX` — and the block-wise signed merge is
-//! bit-identical to the plain two-pointer pair merge under random churn.
+//! indexes adjacent to `u64::MAX` — the per-block codec chooser
+//! (FOR/bit-packed vs varint) never changes decoded content and never
+//! grows the stream, and the block-wise signed merge is bit-identical
+//! to the plain two-pointer pair merge under random churn.
 
-use phe_pathenum::runs::CompressedRuns;
+use phe_pathenum::runs::{CompressedRuns, RunsBuilder};
 use proptest::prelude::*;
 
 /// Builds a strictly increasing entry run whose consecutive gaps exercise
@@ -139,11 +141,51 @@ proptest! {
                 prop_assert_eq!(runs.get(w[0].0 + 1), None);
             }
         }
-        // Serialized round trip (the snapshot path).
+        // Serialized round trip (the snapshot path): tagged bytes +
+        // block lens restore the exact stream, skip index included.
         let lens: Vec<u32> = runs.skip_index().iter().map(|m| m.len).collect();
-        let restored = CompressedRuns::from_encoded(runs.bytes().to_vec(), &lens).unwrap();
+        let restored = CompressedRuns::from_tagged_encoded(runs.bytes().to_vec(), &lens).unwrap();
         prop_assert_eq!(&restored, &runs);
         prop_assert_eq!(restored.skip_index(), runs.skip_index());
+        prop_assert_eq!(restored.bytes(), runs.bytes());
+    }
+
+    // The codec chooser is invisible to consumers: a stream built with
+    // the per-block FOR/bit-packed chooser decodes to exactly what a
+    // varint-only stream of the same entries decodes to — same content,
+    // same lookups, same cursor stream — and never takes more payload
+    // bytes than the varint baseline.
+    #[test]
+    fn packed_codec_equals_varint_codec(parts in arb_parts(), tail_count in 1u64..u64::MAX) {
+        let mut entries = entries_from_parts(&parts);
+        // Boundary widths: a constant-gap stretch (0-bit lanes) and
+        // u64::MAX-adjacent indexes (64-bit residual candidates).
+        if entries.last().is_none_or(|&(i, _)| i < u64::MAX - 600) {
+            let base = entries.last().map_or(0, |&(i, _)| i + 1);
+            entries.extend((0..256u64).map(|j| (base + j * 8, 5)));
+            entries.push((u64::MAX - 1, tail_count));
+            entries.push((u64::MAX, u64::MAX));
+        }
+        let chosen = CompressedRuns::from_entries(&entries);
+        let mut baseline = RunsBuilder::new().varint_only();
+        for &(index, count) in &entries {
+            baseline.push(index, count);
+        }
+        let baseline = baseline.finish();
+        prop_assert_eq!(&chosen, &baseline);
+        prop_assert_eq!(chosen.to_vec(), baseline.to_vec());
+        prop_assert!(
+            chosen.payload_bytes() <= baseline.payload_bytes(),
+            "chooser produced {} bytes, varint baseline {}",
+            chosen.payload_bytes(),
+            baseline.payload_bytes()
+        );
+        let (_, baseline_packed) = baseline.block_codec_counts();
+        prop_assert_eq!(baseline_packed, 0);
+        for &(index, count) in entries.iter().take(64) {
+            prop_assert_eq!(chosen.get(index), Some(count));
+            prop_assert_eq!(baseline.get(index), Some(count));
+        }
     }
 
     // The block-wise signed merge (wholesale copies + re-encoded blocks)

@@ -6,7 +6,8 @@ use std::collections::HashMap;
 
 use phe_core::snapshot::{EstimatorSnapshot, SnapshotError};
 use phe_core::{LabelPath, LabelPathHistogram, PathSelectivityEstimator};
-use phe_graph::LabelId;
+use phe_graph::{FollowMatrix, LabelId};
+use phe_pathenum::SparseCatalog;
 
 /// Why an estimate request was rejected. The core estimator panics on
 /// contract violations (it trusts the optimizer driving it); a service
@@ -43,6 +44,24 @@ impl std::fmt::Display for EstimateError {
 
 impl std::error::Error for EstimateError {}
 
+/// Where a slot's attached sparse catalog lives, reported by the `list`
+/// op so operators can see which estimators serve with their catalog
+/// payload disk-resident (mmap) versus heap-resident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatalogResidency {
+    /// Whether the block payload borrows a memory-mapped file instead of
+    /// owning heap bytes.
+    pub mapped: bool,
+    /// **Heap** bytes the catalog pins (skip index + struct overhead;
+    /// excludes the payload when it is mapped).
+    pub heap_bytes: u64,
+    /// Encoded payload bytes, wherever they live (disk for mapped
+    /// catalogs, heap otherwise).
+    pub payload_bytes: u64,
+    /// Realized (non-zero) paths in the catalog.
+    pub nonzero_paths: u64,
+}
+
 /// An immutable, thread-safe estimator ready to answer path-selectivity
 /// queries: the retained histogram, plus label-name resolution.
 ///
@@ -64,6 +83,18 @@ pub struct ServableEstimator {
     /// watch `applied_deltas` to spot slots drifting far from their last
     /// full build (candidates for a compacting rebuild).
     lineage: Option<(u64, u64)>,
+    /// The label-follow matrix, when the source carried one (a live
+    /// build, or a v5 snapshot): what [`ServingEstimator`] expansion
+    /// pruning uses, so remote `estimate_expr` discards impossible
+    /// branches instead of estimating them at zero.
+    ///
+    /// [`ServingEstimator`]: crate::registry::ServingEstimator
+    follow: Option<FollowMatrix>,
+    /// The sparse catalog backing these statistics, attached by
+    /// [`crate::server::load_snapshot`] when the snapshot references an
+    /// external `.phc` sidecar. For mmap-opened catalogs the block
+    /// payload stays disk-resident; only the skip index is heap memory.
+    catalog: Option<SparseCatalog>,
 }
 
 impl ServableEstimator {
@@ -74,6 +105,7 @@ impl ServableEstimator {
     pub fn from_snapshot(snapshot: &EstimatorSnapshot) -> Result<ServableEstimator, SnapshotError> {
         let histogram = snapshot.restore()?;
         let lineage = snapshot.base_build_id.zip(snapshot.applied_deltas);
+        let follow = snapshot.restore_follow_matrix()?;
         Ok(Self::from_parts(
             snapshot.label_names.clone(),
             snapshot.k,
@@ -84,13 +116,16 @@ impl ServableEstimator {
                 snapshot.beta
             ),
             lineage,
+            follow,
         ))
     }
 
     /// Converts a freshly built estimator, dropping its catalog (the
-    /// serving tier retains only the histogram-sized state).
+    /// serving tier retains only the histogram-sized state) but keeping
+    /// its follow matrix for expansion pruning.
     pub fn from_estimator(estimator: PathSelectivityEstimator) -> ServableEstimator {
         let lineage = Some((estimator.build_id(), estimator.applied_deltas()));
+        let follow = Some(estimator.follow_matrix().clone());
         let (config, label_names, histogram) = estimator.into_serving_parts();
         Self::from_parts(
             label_names,
@@ -98,6 +133,7 @@ impl ServableEstimator {
             histogram,
             format!("{} β={}", config.ordering.name(), config.beta),
             lineage,
+            follow,
         )
     }
 
@@ -107,6 +143,7 @@ impl ServableEstimator {
         histogram: LabelPathHistogram,
         description: String,
         lineage: Option<(u64, u64)>,
+        follow: Option<FollowMatrix>,
     ) -> ServableEstimator {
         let by_name = label_names
             .iter()
@@ -120,7 +157,41 @@ impl ServableEstimator {
             histogram,
             description,
             lineage,
+            follow,
+            catalog: None,
         }
+    }
+
+    /// Attaches a sparse catalog (builder style) — the loader calls this
+    /// after memory-mapping a snapshot's external `.phc` sidecar, so the
+    /// slot can report its residency. The estimates themselves come from
+    /// the histogram either way; the attached catalog only pins the
+    /// mapping alive and feeds the `list` op's residency columns.
+    pub fn with_catalog(mut self, catalog: SparseCatalog) -> ServableEstimator {
+        self.description.push_str(if catalog.runs().is_mapped() {
+            ", catalog mmap-resident"
+        } else {
+            ", catalog heap-resident"
+        });
+        self.catalog = Some(catalog);
+        self
+    }
+
+    /// The label-follow matrix these statistics shipped with, when the
+    /// source carried one (`None` for pre-v5 snapshots).
+    pub fn follow(&self) -> Option<&FollowMatrix> {
+        self.follow.as_ref()
+    }
+
+    /// Residency of the attached sparse catalog, or `None` when the slot
+    /// serves histogram-only (the common case).
+    pub fn catalog_residency(&self) -> Option<CatalogResidency> {
+        self.catalog.as_ref().map(|catalog| CatalogResidency {
+            mapped: catalog.runs().is_mapped(),
+            heap_bytes: catalog.runs().size_bytes() as u64,
+            payload_bytes: catalog.runs().payload_bytes() as u64,
+            nonzero_paths: catalog.nonzero_count() as u64,
+        })
     }
 
     /// The served statistics' delta lineage: `(base_build_id,
@@ -145,10 +216,12 @@ impl ServableEstimator {
         &self.description
     }
 
-    /// Approximate retained memory of this estimator: histogram buckets +
-    /// label-name resolution state. A sparse-pipeline estimator retains no
-    /// catalog, so this *is* the serve-time footprint — the number the
-    /// `list` op and the shutdown metrics dump report.
+    /// Approximate retained **heap** memory of this estimator: histogram
+    /// buckets + label-name resolution state + follow bits + whatever of
+    /// an attached catalog is heap-resident (for an mmap-opened catalog
+    /// that is just the skip index — the payload stays on disk). This is
+    /// the serve-time footprint the `list` op and the shutdown metrics
+    /// dump report.
     pub fn size_bytes(&self) -> usize {
         let names: usize = self.label_names.iter().map(String::len).sum();
         // Both name tables hold each label name once (by_name clones the
@@ -157,6 +230,8 @@ impl ServableEstimator {
             + 2 * names
             + self.by_name.len() * std::mem::size_of::<LabelId>()
             + self.description.len()
+            + self.follow.as_ref().map_or(0, |f| f.as_bits().len())
+            + self.catalog.as_ref().map_or(0, |c| c.runs().size_bytes())
     }
 
     /// Resolves a label name.
@@ -286,5 +361,65 @@ mod tests {
             let name = s.label_names[i].clone();
             assert_eq!(s.resolve(&name).unwrap(), LabelId(i as u16));
         }
+    }
+
+    #[test]
+    fn follow_matrix_survives_both_construction_paths() {
+        let g = erdos_renyi(50, 300, 3, LabelDistribution::Zipf { exponent: 1.0 }, 5);
+        let expected = phe_graph::FollowMatrix::from_graph(&g);
+        let est = PathSelectivityEstimator::build(
+            &g,
+            phe_core::EstimatorConfig {
+                k: 3,
+                beta: 16,
+                threads: 1,
+                ..phe_core::EstimatorConfig::default()
+            },
+        )
+        .unwrap();
+        let snapshot = est.snapshot().unwrap();
+        let from_snapshot = ServableEstimator::from_snapshot(&snapshot).unwrap();
+        let from_est = ServableEstimator::from_estimator(est);
+        assert_eq!(from_est.follow(), Some(&expected));
+        assert_eq!(from_snapshot.follow(), Some(&expected));
+
+        // A pre-v5 snapshot carries no follow bits: no pruning, no error.
+        let mut v4 = snapshot;
+        v4.follow_bits_base64 = None;
+        let legacy = ServableEstimator::from_snapshot(&v4).unwrap();
+        assert!(legacy.follow().is_none());
+    }
+
+    #[test]
+    fn attached_catalog_reports_residency() {
+        let g = erdos_renyi(50, 300, 3, LabelDistribution::Zipf { exponent: 1.0 }, 5);
+        let catalog = phe_pathenum::SparseCatalog::compute(&g, 3).unwrap();
+        let dir = std::env::temp_dir().join(format!("phe-residency-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("catalog.phc");
+        phe_pathenum::file::write_catalog_file(&path, &catalog).unwrap();
+        let mapped = phe_pathenum::file::open_catalog_file(&path).unwrap();
+
+        let plain = servable();
+        assert!(plain.catalog_residency().is_none());
+        let base_bytes = plain.size_bytes();
+        let attached = plain.with_catalog(mapped);
+        let residency = attached.catalog_residency().expect("catalog attached");
+        assert_eq!(residency.nonzero_paths, catalog.nonzero_count() as u64);
+        assert_eq!(
+            residency.payload_bytes,
+            catalog.runs().payload_bytes() as u64
+        );
+        if residency.mapped {
+            // The payload stays disk-resident: the heap delta is just the
+            // skip index + struct overhead, strictly below the payload
+            // for any real catalog.
+            assert!(attached.description().ends_with("catalog mmap-resident"));
+            assert_eq!(
+                attached.size_bytes() - base_bytes,
+                residency.heap_bytes as usize + ", catalog mmap-resident".len()
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -62,7 +62,7 @@ pub mod server;
 
 pub use cache::{CacheCounters, CachedExpr, ExprCache, ShardedLruCache};
 pub use client::{BatchEstimates, BatchExprEstimates, ClientError, ExprResult, ServiceClient};
-pub use estimator::{EstimateError, ServableEstimator};
+pub use estimator::{CatalogResidency, EstimateError, ServableEstimator};
 pub use metrics::{MetricsReport, ServiceMetrics};
 pub use registry::{EstimatorRegistry, ExprOutcome, ServingEstimator};
 pub use server::{install_sigint_flag, load_snapshot, Server, ServerConfig};

@@ -23,7 +23,7 @@ use phe_query::expr::ExpandOptions;
 use phe_query::parse_expr;
 
 use crate::cache::{CacheCounters, CachedExpr, ExprCache, ShardedLruCache};
-use crate::estimator::{EstimateError, ServableEstimator};
+use crate::estimator::{CatalogResidency, EstimateError, ServableEstimator};
 
 /// One published generation: an immutable estimator plus its caches (the
 /// sharded per-path LRU and the normalized-expression LRU).
@@ -41,8 +41,10 @@ pub struct ExprOutcome {
     pub total: f64,
     /// Number of concrete branches.
     pub width: u64,
-    /// Branches discarded by follow pruning (always 0 at serve time — the
-    /// serving tier holds statistics, not the graph).
+    /// Branches discarded by follow pruning. Non-zero when the served
+    /// statistics shipped their follow matrix (v5 snapshots, live
+    /// builds); 0 for older snapshots, which expand purely
+    /// syntactically.
     pub pruned: u64,
     /// Branches discarded for exceeding the statistics' `k`.
     pub truncated: u64,
@@ -136,7 +138,13 @@ impl ServingEstimator {
                 });
             }
         }
-        let opts = ExpandOptions::new(self.estimator.label_count(), self.estimator.k());
+        // Statistics that shipped their follow matrix prune impossible
+        // branches here — fewer histogram probes, and the estimate stops
+        // summing terms that are provably zero in the graph.
+        let mut opts = ExpandOptions::new(self.estimator.label_count(), self.estimator.k());
+        if let Some(follow) = self.estimator.follow() {
+            opts = opts.with_follow(follow);
+        }
         let expansion = normalized.expand(&opts).map_err(|e| e.to_string())?;
         let estimate_span = phe_obs::span::stage("query.estimate");
         let mut total = 0.0f64;
@@ -241,6 +249,12 @@ pub struct EstimatorInfo {
     /// estimates vs exact counts over the touched paths. `None` until a
     /// delta has been applied to the maintained lineage.
     pub drift: Option<DriftReport>,
+    /// Whether the served statistics carry a follow matrix (and so prune
+    /// impossible expansion branches remotely).
+    pub follow_pruning: bool,
+    /// Residency of an attached disk-resident catalog (`.phc` sidecar),
+    /// when the slot was loaded from a v5 external-catalog snapshot.
+    pub catalog: Option<CatalogResidency>,
 }
 
 /// Named, concurrently readable, hot-swappable estimators.
@@ -542,6 +556,8 @@ impl EstimatorRegistry {
                     expr_cache: (slot.expr_counters.hits(), slot.expr_counters.misses()),
                     maintained: maintained.get(name).map(|(footprint, _)| *footprint),
                     drift: maintained.get(name).and_then(|(_, drift)| *drift),
+                    follow_pruning: generation.estimator().follow().is_some(),
+                    catalog: generation.estimator().catalog_residency(),
                 }
             })
             .collect();
@@ -697,6 +713,67 @@ mod tests {
         assert!(err.contains("nope") && err.contains("bytes 2..6"), "{err}");
         let wild = generation.estimate_expr(".", false).unwrap();
         assert_eq!(wild.width, labels as u64);
+    }
+
+    #[test]
+    fn follow_matrix_prunes_remote_expansions() {
+        // A two-label chain graph: "a" edges feed "b" edges, nothing
+        // else composes. Of the four length-2 wildcard branches only
+        // a/b can occur, so remote expansion must prune the other three
+        // — the serving tier now ships the follow matrix instead of
+        // expanding purely syntactically.
+        let mut b = phe_graph::GraphBuilder::new();
+        b.add_edge_named(0, "a", 1);
+        b.add_edge_named(3, "a", 4);
+        b.add_edge_named(1, "b", 2);
+        b.add_edge_named(4, "b", 5);
+        let g = b.build();
+        let est = PathSelectivityEstimator::build(
+            &g,
+            EstimatorConfig {
+                k: 2,
+                beta: 4,
+                threads: 1,
+                ..EstimatorConfig::default()
+            },
+        )
+        .unwrap();
+        let snapshot = est.snapshot().unwrap();
+
+        let registry = EstimatorRegistry::with_default_counters();
+        registry.register("live", ServableEstimator::from_estimator(est));
+        registry.register(
+            "restored",
+            ServableEstimator::from_snapshot(&snapshot).unwrap(),
+        );
+        for name in ["live", "restored"] {
+            let generation = registry.get(name).unwrap();
+            let out = generation.estimate_expr("./.", true).unwrap();
+            assert_eq!((out.width, out.pruned), (1, 3), "{name}");
+            let branches = out.branches.unwrap();
+            assert_eq!(branches.len(), 1);
+            assert_eq!(branches[0].0, "a/b", "{name}");
+        }
+        // Both rows advertise the capability.
+        for row in registry.list() {
+            assert!(row.follow_pruning, "{}", row.name);
+            assert!(row.catalog.is_none(), "{}", row.name);
+        }
+
+        // A pre-v5 snapshot (no follow bits) expands syntactically:
+        // same total branch space, nothing pruned.
+        let mut v4 = snapshot;
+        v4.follow_bits_base64 = None;
+        registry.register("legacy", ServableEstimator::from_snapshot(&v4).unwrap());
+        let generation = registry.get("legacy").unwrap();
+        let out = generation.estimate_expr("./.", false).unwrap();
+        assert_eq!((out.width, out.pruned), (4, 0));
+        let row = registry
+            .list()
+            .into_iter()
+            .find(|r| r.name == "legacy")
+            .unwrap();
+        assert!(!row.follow_pruning);
     }
 
     #[test]

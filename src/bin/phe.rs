@@ -61,10 +61,15 @@ USAGE:
       dataset: moreno | dbpedia | snap-er | snap-ff | chained
   phe stats <graph.tsv>
   phe build <graph.tsv> --k K --beta B [--ordering O] [--histogram H] [--stats]
-            [--no-accuracy] [--trace] --out <stats.json>
+            [--no-accuracy] [--trace] [--catalog-file NAME.phc] --out <stats.json>
       ordering:  num-alph | num-card | lex-alph | lex-card | sum-based | sum-based-L2
       histogram: equi-width | equi-depth | v-optimal-greedy | v-optimal-exact |
                  v-optimal-maxdiff | end-biased
+      --catalog-file write the sparse catalog to a checksummed .phc
+                     sidecar next to --out (recorded by relative name in
+                     the snapshot) instead of inlining it in the JSON;
+                     `phe serve` memory-maps the sidecar so the catalog
+                     payload stays disk-resident
       --stats        report sparse vs dense catalog memory; past the dense
                      domain limit (2^28 paths) this needs --no-accuracy,
                      since only the sparse pipeline can run there
@@ -262,6 +267,18 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     // it (--no-accuracy) keeps the build sparse end-to-end, which is the
     // only way through domains past the dense limit.
     let with_accuracy = flags.get("no-accuracy").is_none();
+    // --catalog-file NAME writes the sparse catalog to a `.phc` sidecar
+    // next to --out instead of inlining it in the snapshot JSON;
+    // `phe serve` then memory-maps it, keeping the payload disk-resident.
+    let catalog_file = flags.get("catalog-file").map(str::to_owned);
+    if let Some(sidecar) = catalog_file.as_deref() {
+        if std::path::Path::new(sidecar).is_absolute() {
+            return Err(format!(
+                "--catalog-file {sidecar:?} must be a relative name — the snapshot \
+                 records it relative to its own directory so the pair stays movable"
+            ));
+        }
+    }
     let config = EstimatorConfig {
         k: flags.require("k")?,
         beta: flags.require("beta")?,
@@ -269,7 +286,8 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         histogram: parse_histogram(flags.get("histogram").unwrap_or("v-optimal-greedy"))?,
         threads: 0,
         retain_catalog: with_accuracy,
-        retain_sparse: false,
+        // The sidecar is written from the retained sparse catalog.
+        retain_sparse: catalog_file.is_some(),
     };
     let out: String = flags.require("out")?;
     let trace = flags.get("trace").is_some();
@@ -290,7 +308,24 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     if trace {
         print!("{}", phe::obs::span::render_tree(&spans));
     }
-    let snapshot = estimator.snapshot().map_err(|e| e.to_string())?;
+    let mut snapshot = estimator.snapshot().map_err(|e| e.to_string())?;
+    if let Some(sidecar) = &catalog_file {
+        let catalog = estimator
+            .sparse_catalog()
+            .expect("retain_sparse is set when --catalog-file is given");
+        let phc_path = std::path::Path::new(&out).parent().map_or_else(
+            || std::path::PathBuf::from(sidecar),
+            |dir| dir.join(sidecar),
+        );
+        let bytes = phe::pathenum::file::write_catalog_file(&phc_path, catalog)
+            .map_err(|e| format!("writing {}: {e}", phc_path.display()))?;
+        snapshot.sparse_runs = None;
+        snapshot.catalog_file = Some(sidecar.clone());
+        println!(
+            "wrote {} ({bytes} bytes; `phe serve` memory-maps it disk-resident)",
+            phc_path.display()
+        );
+    }
     let json = serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?;
     std::fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
     println!(
@@ -392,7 +427,7 @@ fn cmd_delta(args: &[String]) -> Result<(), String> {
         base_secs / delta_secs.max(1e-9)
     );
     println!(
-        "lineage          build id {:016x}, {} delta(s) applied (snapshot v4)",
+        "lineage          build id {:016x}, {} delta(s) applied (snapshot v5)",
         refreshed.build_id(),
         refreshed.applied_deltas()
     );
@@ -610,8 +645,21 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             ));
         }
         let servable = phe::service::load_snapshot(path)?;
+        let residency = servable.catalog_residency();
         registry.register(&name, servable);
-        println!("loaded {name:?} from {path}");
+        match residency {
+            Some(c) if c.mapped => println!(
+                "loaded {name:?} from {path} (catalog mmap-resident: {} payload bytes \
+                 on disk, {} heap bytes for the skip index)",
+                c.payload_bytes, c.heap_bytes
+            ),
+            Some(c) => println!(
+                "loaded {name:?} from {path} (catalog heap-resident: {} bytes — \
+                 mmap unavailable on this target)",
+                c.payload_bytes
+            ),
+            None => println!("loaded {name:?} from {path}"),
+        }
     }
 
     let mut config = phe::service::ServerConfig {
@@ -686,6 +734,20 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 "                 drift after last delta: mean |err| = {:.4}, \
                  max q-error = {:.3} ({} path(s) sampled)",
                 d.mean_abs_error_rate, d.max_q_error, d.sampled
+            );
+        }
+        if let Some(c) = info.catalog {
+            println!(
+                "                 catalog {}: {} payload bytes, {} heap bytes, \
+                 {} realized paths",
+                if c.mapped {
+                    "mmap-resident"
+                } else {
+                    "heap-resident"
+                },
+                c.payload_bytes,
+                c.heap_bytes,
+                c.nonzero_paths
             );
         }
     }

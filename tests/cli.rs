@@ -158,9 +158,9 @@ fn build_stats_reports_sparse_memory() {
     assert!(text.contains("histogram + ordering state only"), "{text}");
     assert!(!text.contains("whole-domain mean"), "{text}");
 
-    // The written snapshot is v4 and still estimates.
+    // The written snapshot is v5 and still estimates.
     let json = std::fs::read_to_string(&stats).unwrap();
-    assert!(json.contains("\"version\": 4"), "{json}");
+    assert!(json.contains("\"version\": 5"), "{json}");
     assert!(json.contains("\"nonzero_paths\""), "{json}");
     assert!(json.contains("\"base_build_id\""), "{json}");
     let out = phe()
@@ -169,6 +169,92 @@ fn build_stats_reports_sparse_memory() {
         .unwrap();
     assert!(
         out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn build_catalog_file_writes_a_servable_sidecar() {
+    let dir = workdir("catalog_file");
+    let graph = dir.join("g.tsv");
+    let stats = dir.join("stats.json");
+    let out = phe()
+        .args([
+            "generate",
+            "chained",
+            "--scale",
+            "0.05",
+            "--seed",
+            "13",
+            "--out",
+            graph.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // --catalog-file writes the .phc sidecar next to --out and records
+    // it by relative name; the JSON carries no inline runs.
+    let out = phe()
+        .args([
+            "build",
+            graph.to_str().unwrap(),
+            "--k",
+            "3",
+            "--beta",
+            "32",
+            "--no-accuracy",
+            "--catalog-file",
+            "cat.phc",
+            "--out",
+            stats.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("cat.phc"), "{text}");
+    assert!(dir.join("cat.phc").exists());
+    let json = std::fs::read_to_string(&stats).unwrap();
+    assert!(json.contains("\"catalog_file\": \"cat.phc\""), "{json}");
+    assert!(json.contains("\"sparse_runs\": null"), "{json}");
+
+    // Estimation needs only the histogram — the sidecar is for serving.
+    let out = phe()
+        .args(["estimate", stats.to_str().unwrap(), "r0/r1"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // An absolute sidecar path is refused: the pair must stay movable.
+    let out = phe()
+        .args([
+            "build",
+            graph.to_str().unwrap(),
+            "--k",
+            "2",
+            "--beta",
+            "8",
+            "--no-accuracy",
+            "--catalog-file",
+            "/tmp/abs.phc",
+            "--out",
+            stats.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("relative"),
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );
