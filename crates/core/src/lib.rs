@@ -106,6 +106,7 @@ pub mod domain;
 pub mod estimator;
 pub mod eval;
 pub mod label_histogram;
+pub mod maintenance;
 pub mod ordering;
 pub mod path;
 pub mod ranking;
@@ -117,6 +118,7 @@ pub use estimator::{
 };
 pub use eval::{evaluate_configuration, ordered_frequencies};
 pub use label_histogram::LabelPathHistogram;
+pub use maintenance::{DriftThreshold, RebuildPolicy, RebuildTrigger};
 pub use ordering::{
     DomainOrdering, IdealOrdering, LexicographicalOrdering, NumericalOrdering, OrderingKind,
     SumBasedOrdering,

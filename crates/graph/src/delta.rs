@@ -27,7 +27,8 @@
 //! `-<TAB>src<TAB>label<TAB>dst` for removals ([`read_changes`] /
 //! [`write_changes`]).
 
-use std::collections::HashSet;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -122,6 +123,64 @@ impl GraphDelta {
             .chain(&self.removals)
             .flat_map(|&(s, _, t)| [s.0, t.0])
             .max()
+    }
+
+    /// Folds a sequence of deltas into the single delta with the same net
+    /// effect: applying the result to the base graph produces the same
+    /// graph as applying the `batches` one after another (each valid
+    /// against the graph the previous one produced).
+    ///
+    /// This is what turns N queued maintenance batches into **one**
+    /// counting pass. Per edge, only the first and last operation in the
+    /// combined sequence matter — the contract guarantees operations on
+    /// one edge alternate (remove is only legal on a present edge, insert
+    /// only on an absent one), so the first op pins the edge's state in
+    /// the base graph and the last op pins its final state:
+    ///
+    /// * first `-`, last `-` → present → absent: net **removal**;
+    /// * first `+`, last `+` → absent → present: net **insertion**;
+    /// * first `-`, last `+` → present → present: cancels (remove then
+    ///   re-insert restores the base edge);
+    /// * first `+`, last `-` → absent → absent: cancels (the
+    ///   insert-then-remove pair never existed as far as the base graph
+    ///   is concerned).
+    ///
+    /// Edges are emitted in first-touch order, so composition is
+    /// deterministic. Composing a sequence that was not sequentially
+    /// valid is not detected here — the composed delta simply fails
+    /// [`Graph::apply_delta`]'s contract checks the same way the original
+    /// sequence would have.
+    pub fn compose(batches: &[GraphDelta]) -> GraphDelta {
+        // first-touch order of edge keys → (first op, last op).
+        let mut order: Vec<(u32, u16, u32)> = Vec::new();
+        let mut net: HashMap<(u32, u16, u32), (bool, bool)> = HashMap::new();
+        let mut visit = |key: (u32, u16, u32), is_insert: bool| match net.entry(key) {
+            Entry::Vacant(slot) => {
+                slot.insert((is_insert, is_insert));
+                order.push(key);
+            }
+            Entry::Occupied(mut slot) => slot.get_mut().1 = is_insert,
+        };
+        for batch in batches {
+            // Mirror apply order: removals land before insertions, so a
+            // remove-then-reinsert pair within one batch reads `-` first.
+            for &(s, l, t) in &batch.removals {
+                visit((s.0, l.0, t.0), false);
+            }
+            for &(s, l, t) in &batch.insertions {
+                visit((s.0, l.0, t.0), true);
+            }
+        }
+        let mut composed = GraphDelta::new();
+        for key in order {
+            let (s, l, t) = (VertexId(key.0), LabelId(key.1), VertexId(key.2));
+            match net[&key] {
+                (false, false) => composed.remove(s, l, t),
+                (true, true) => composed.insert(s, l, t),
+                _ => {} // insert-then-remove / remove-then-reinsert cancel
+            }
+        }
+        composed
     }
 }
 
@@ -445,6 +504,70 @@ mod tests {
         assert!(sources[2].is_empty());
         assert_eq!(delta.edge_count(), 3);
         assert_eq!(delta.max_vertex(), Some(4));
+    }
+
+    #[test]
+    fn compose_cancels_insert_then_remove() {
+        let g = base();
+        // Batch 1 inserts a new edge; batch 2 removes it again and also
+        // removes a base edge. Net: only the base-edge removal survives.
+        let mut b1 = GraphDelta::new();
+        b1.insert(v(2), l(1), v(0));
+        let mut b2 = GraphDelta::new();
+        b2.remove(v(2), l(1), v(0));
+        b2.remove(v(1), l(1), v(2));
+        let composed = GraphDelta::compose(&[b1.clone(), b2.clone()]);
+        let mut expected = GraphDelta::new();
+        expected.remove(v(1), l(1), v(2));
+        assert_eq!(composed, expected);
+        let sequential = g.apply_delta(&b1).unwrap().apply_delta(&b2).unwrap();
+        let compacted = g.apply_delta(&composed).unwrap();
+        assert_eq!(
+            sequential
+                .forward_csr(l(1))
+                .iter_edges()
+                .collect::<Vec<_>>(),
+            compacted.forward_csr(l(1)).iter_edges().collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn compose_cancels_remove_then_reinsert_across_batches() {
+        let g = base();
+        let mut b1 = GraphDelta::new();
+        b1.remove(v(0), l(0), v(1));
+        let mut b2 = GraphDelta::new();
+        b2.insert(v(0), l(0), v(1));
+        let composed = GraphDelta::compose(&[b1, b2]);
+        assert!(composed.is_empty(), "restoring a base edge nets to nothing");
+        assert_eq!(g.apply_delta(&composed).unwrap().edge_count(), 3);
+    }
+
+    #[test]
+    fn compose_keeps_first_and_last_state() {
+        // -, +, - over three batches: present → absent. Net removal.
+        let mut b1 = GraphDelta::new();
+        b1.remove(v(0), l(0), v(1));
+        let mut b2 = GraphDelta::new();
+        b2.insert(v(0), l(0), v(1));
+        let mut b3 = GraphDelta::new();
+        b3.remove(v(0), l(0), v(1));
+        let composed = GraphDelta::compose(&[b1, b2, b3]);
+        let mut expected = GraphDelta::new();
+        expected.remove(v(0), l(0), v(1));
+        assert_eq!(composed, expected);
+        // +, -, + : absent → present. Net insertion.
+        let mut c1 = GraphDelta::new();
+        c1.insert(v(5), l(1), v(6));
+        let mut c2 = GraphDelta::new();
+        c2.remove(v(5), l(1), v(6));
+        let mut c3 = GraphDelta::new();
+        c3.insert(v(5), l(1), v(6));
+        let composed = GraphDelta::compose(&[c1, c2, c3]);
+        let mut expected = GraphDelta::new();
+        expected.insert(v(5), l(1), v(6));
+        assert_eq!(composed, expected);
+        assert_eq!(GraphDelta::compose(&[]), GraphDelta::new());
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Property tests for the graph substrate: CSR invariants, builder
-//! determinism, bitset behaviour against a reference set, TSV round-trips.
+//! determinism, bitset behaviour against a reference set, TSV round-trips,
+//! and delta-composition equivalence.
 
 use std::collections::{BTreeSet, HashSet};
 
-use phe_graph::{Csr, FixedBitSet, GraphBuilder, LabelId, VertexId};
+use phe_graph::{Csr, FixedBitSet, GraphBuilder, GraphDelta, LabelId, VertexId};
 use proptest::prelude::*;
 
 /// Strategy: an arbitrary edge list over small id spaces.
@@ -113,5 +114,82 @@ proptest! {
                 prop_assert!(false, "label {} lost in round trip", name);
             }
         }
+    }
+}
+
+// Compacting a queue of sequentially-valid batches into one delta
+// (`GraphDelta::compose`) must reach exactly the graph the batches reach
+// one at a time — across random churn, cross-batch insert-then-remove
+// cancellation, and growth onto new vertices.
+proptest! {
+    #[test]
+    fn composed_delta_equals_sequential_application(
+        edges in edges_strategy(),
+        proposals in prop::collection::vec(
+            // Vertex ids run past the base graph's 40 so batches grow |V|.
+            prop::collection::vec((0u32..48, 0u16..5, 0u32..48), 0..40),
+            1..8,
+        ),
+    ) {
+        let mut b = GraphBuilder::new();
+        for l in 0..5u16 {
+            b.intern_label(&format!("L{l}"));
+        }
+        for &(s, l, t) in &edges {
+            b.add_edge(VertexId(s), LabelId(l), VertexId(t));
+        }
+        b.ensure_vertices(40);
+        let base = b.build();
+
+        // Turn raw proposals into sequentially-valid batches: an edge
+        // present in the evolving graph becomes a removal, an absent one
+        // an insertion. Triples recur across batches, so compositions
+        // routinely contain insert-then-remove and remove-then-reinsert
+        // pairs that must cancel.
+        let mut current: HashSet<(u32, u16, u32)> = base
+            .iter_edges()
+            .map(|(s, l, t)| (s.0, l.0, t.0))
+            .collect();
+        let mut batches: Vec<GraphDelta> = Vec::new();
+        for batch_proposals in &proposals {
+            let mut batch = GraphDelta::new();
+            let mut touched: HashSet<(u32, u16, u32)> = HashSet::new();
+            for &(s, l, t) in batch_proposals {
+                if !touched.insert((s, l, t)) {
+                    continue;
+                }
+                if current.remove(&(s, l, t)) {
+                    batch.remove(VertexId(s), LabelId(l), VertexId(t));
+                } else {
+                    batch.insert(VertexId(s), LabelId(l), VertexId(t));
+                    current.insert((s, l, t));
+                }
+            }
+            batches.push(batch);
+        }
+
+        let mut sequential = base.clone();
+        for batch in &batches {
+            sequential = sequential.apply_delta(batch).unwrap();
+        }
+        let composed = GraphDelta::compose(&batches);
+        let compacted = base.apply_delta(&composed).unwrap();
+
+        let seq_edges: BTreeSet<(u32, u16, u32)> = sequential
+            .iter_edges()
+            .map(|(s, l, t)| (s.0, l.0, t.0))
+            .collect();
+        let comp_edges: BTreeSet<(u32, u16, u32)> = compacted
+            .iter_edges()
+            .map(|(s, l, t)| (s.0, l.0, t.0))
+            .collect();
+        prop_assert_eq!(&seq_edges, &comp_edges);
+        prop_assert_eq!(seq_edges, current.into_iter().collect::<BTreeSet<_>>());
+        // Cancellation can only shrink the composed batch, never grow it.
+        let total_ops: usize = batches.iter().map(GraphDelta::edge_count).sum();
+        prop_assert!(composed.edge_count() <= total_ops);
+        // Cancelled growth means the compacted graph may allocate fewer
+        // vertex rows, never more.
+        prop_assert!(compacted.vertex_count() <= sequential.vertex_count());
     }
 }

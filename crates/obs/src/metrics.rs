@@ -386,6 +386,28 @@ impl MetricsRegistry {
         }
     }
 
+    /// Removes one `(name, labels)` instance from the registry so it no
+    /// longer appears in the exposition; drops the family when its last
+    /// instance goes. Existing handles keep working but become detached.
+    /// Returns whether an instance was actually removed.
+    ///
+    /// This is for metrics whose *identity* can become stale — e.g. a
+    /// per-slot gauge after the slot's state is invalidated. A gauge can
+    /// only be set, never deleted, so without unregistration a scrape
+    /// would keep reporting the last value forever.
+    pub fn unregister_with(&self, name: &str, labels: &[(&str, &str)]) -> bool {
+        let key = label_key(labels);
+        let mut families = self.families.write().expect("registry poisoned");
+        let Some(family) = families.get_mut(name) else {
+            return false;
+        };
+        let removed = family.instances.remove(&key).is_some();
+        if family.instances.is_empty() {
+            families.remove(name);
+        }
+        removed
+    }
+
     /// Renders the whole registry in the Prometheus text exposition
     /// format (version 0.0.4), families and instances in sorted order.
     pub fn render(&self) -> String {
@@ -670,6 +692,31 @@ mod tests {
         let samples = parse_exposition(&text).expect("own exposition must parse");
         assert!(samples.iter().any(|s| s.name == "phe_test_seconds_bucket"
             && s.labels.iter().any(|(k, v)| k == "le" && v == "+Inf")));
+    }
+
+    #[test]
+    fn unregister_removes_instance_and_empty_family() {
+        let reg = MetricsRegistry::new();
+        let a = reg.gauge_with("phe_unreg_gauge", "g", &[("slot", "a")]);
+        let b = reg.gauge_with("phe_unreg_gauge", "g", &[("slot", "b")]);
+        a.set(1.0);
+        b.set(2.0);
+        assert!(reg.unregister_with("phe_unreg_gauge", &[("slot", "a")]));
+        let text = reg.render();
+        assert!(!text.contains("slot=\"a\""), "{text}");
+        assert!(text.contains("phe_unreg_gauge{slot=\"b\"} 2"), "{text}");
+        // Detached handle stays usable but invisible.
+        a.set(9.0);
+        assert!(!reg.render().contains("slot=\"a\""));
+        // Removing the last instance drops the family entirely.
+        assert!(reg.unregister_with("phe_unreg_gauge", &[("slot", "b")]));
+        assert!(!reg.render().contains("phe_unreg_gauge"));
+        // Unknown identities are a no-op.
+        assert!(!reg.unregister_with("phe_unreg_gauge", &[("slot", "b")]));
+        assert!(!reg.unregister_with("phe_never_registered", &[]));
+        // Re-registering after removal starts a fresh instance.
+        let c = reg.gauge_with("phe_unreg_gauge", "g", &[("slot", "a")]);
+        assert_eq!(c.get(), 0.0);
     }
 
     #[test]

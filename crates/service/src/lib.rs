@@ -55,6 +55,7 @@
 pub mod cache;
 pub mod client;
 pub mod estimator;
+pub mod maintenance;
 pub mod metrics;
 pub mod protocol;
 pub mod registry;
@@ -63,6 +64,10 @@ pub mod server;
 pub use cache::{CacheCounters, CachedExpr, ExprCache, ShardedLruCache};
 pub use client::{BatchEstimates, BatchExprEstimates, ClientError, ExprResult, ServiceClient};
 pub use estimator::{CatalogResidency, EstimateError, ServableEstimator};
+pub use maintenance::{
+    FailAction, FailPoint, FailurePlan, Gate, MaintenanceConfig, MaintenanceCoordinator,
+    RunOutcome, SlotStatus,
+};
 pub use metrics::{MetricsReport, ServiceMetrics};
 pub use registry::{EstimatorRegistry, ExprOutcome, ServingEstimator};
 pub use server::{install_sigint_flag, load_snapshot, Server, ServerConfig};

@@ -1,0 +1,749 @@
+//! The maintenance loop: self-managing freshness for maintained slots.
+//!
+//! PR 3's `delta` op applies one change batch per request — correct, but
+//! the counting pass dominates cost, so N small batches pay N passes.
+//! The [`MaintenanceCoordinator`] makes maintained slots self-managing
+//! instead:
+//!
+//! * **Delta queue + compactor** — `delta` ops *enqueue* parsed change
+//!   batches. On each publish interval (or a forced `maintenance`
+//!   `compact`), the worker folds every queued batch into **one**
+//!   composed delta ([`phe_graph::GraphDelta::compose`], which cancels
+//!   insert-then-remove churn) and runs a single counting pass + merge +
+//!   compare-and-swap publish. Queued batches are *peeked*, not popped:
+//!   they leave the queue only after the CAS confirms their statistics
+//!   won, so a crashed or failed pass retries the same batches and a
+//!   superseded pass cannot double-apply them.
+//! * **Rebuild triggers** — after each pass the slot's lineage is held
+//!   against a [`RebuildPolicy`]: too many applied deltas, or a sampled
+//!   [`phe_core::DriftReport`] crossing the Baraud–Birgé-derived
+//!   threshold (see `phe_core::maintenance`), trigger one full
+//!   maintaining rebuild from the slot's own maintained graph — no
+//!   filesystem involved — which resets both lineage and drift.
+//!
+//! Every publish goes through the same
+//! [`EstimatorRegistry::register_if_version_maintained`] compare-and-swap
+//! as the PR 3 workers, so a compacted publish can never overwrite a
+//! fresher `load`: the CAS fails, the result is discarded, and the queue
+//! is purged because the lineage its batches were written against is
+//! gone.
+//!
+//! ## Fault injection
+//!
+//! The loop is built against a deterministic harness: a [`FailurePlan`]
+//! names the points a real deployment fails at ([`FailPoint`]) and scripts
+//! what happens there — an error return, a panic, or a [`Gate`] hold that
+//! parks the worker while the test races a concurrent publish against it.
+//! `tests/maintenance_faults.rs` drives every scenario the design claims
+//! to survive.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use phe_core::{PathSelectivityEstimator, RebuildPolicy, RebuildTrigger};
+use phe_graph::GraphDelta;
+
+use crate::estimator::ServableEstimator;
+use crate::metrics::ServiceMetrics;
+use crate::registry::{EstimatorRegistry, MaintenanceState};
+use crate::server::panic_message;
+
+/// A named point in the maintenance worker where a [`FailurePlan`] can
+/// interpose. Each corresponds to a real-world failure the loop must
+/// survive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailPoint {
+    /// Before the compacted counting pass — a counting crash or OOM.
+    BeforeCount,
+    /// After counting, before the servable snapshot is derived — a lost
+    /// publish: work done, nothing installed.
+    BeforePublish,
+    /// Immediately before the compare-and-swap — the window where a
+    /// concurrent `load` races the worker and must win.
+    BeforeCas,
+    /// Before a policy-triggered full rebuild's build pass.
+    BeforeRebuild,
+}
+
+/// A two-phase rendezvous for deterministic interleavings: the worker
+/// [`Gate::pass`]es (announces arrival, then parks); the test
+/// [`Gate::wait_arrived`]s, performs its concurrent action, and
+/// [`Gate::release`]s the worker.
+#[derive(Debug, Default)]
+pub struct Gate {
+    state: StdMutex<GateState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    arrived: bool,
+    released: bool,
+}
+
+impl Gate {
+    /// A fresh, unreleased gate.
+    pub fn new() -> Arc<Gate> {
+        Arc::new(Gate::default())
+    }
+
+    /// Worker side: announce arrival and park until released.
+    pub fn pass(&self) {
+        let mut s = self.state.lock().expect("gate poisoned");
+        s.arrived = true;
+        self.cv.notify_all();
+        while !s.released {
+            s = self.cv.wait(s).expect("gate poisoned");
+        }
+    }
+
+    /// Test side: block until the worker has arrived at the gate.
+    pub fn wait_arrived(&self) {
+        let mut s = self.state.lock().expect("gate poisoned");
+        while !s.arrived {
+            s = self.cv.wait(s).expect("gate poisoned");
+        }
+    }
+
+    /// Test side: let the worker proceed (idempotent; also unblocks a
+    /// worker that arrives later).
+    pub fn release(&self) {
+        let mut s = self.state.lock().expect("gate poisoned");
+        s.released = true;
+        self.cv.notify_all();
+    }
+}
+
+/// What happens when the worker reaches an armed [`FailPoint`].
+#[derive(Debug, Clone)]
+pub enum FailAction {
+    /// The pass aborts with this error; queued batches are retained.
+    Fail(String),
+    /// The worker panics with this message (recovered by the runner, as
+    /// a real worker-thread crash would be by the next tick).
+    Panic(String),
+    /// The worker parks at the [`Gate`] until the test releases it.
+    Hold(Arc<Gate>),
+}
+
+/// A deterministic fault-injection script for the maintenance worker.
+///
+/// Actions are armed per point and consumed FIFO: each time the worker
+/// reaches the point, the next armed action fires; with the queue
+/// drained the point passes through. Hit counts are recorded whether or
+/// not an action fired.
+#[derive(Debug, Default)]
+pub struct FailurePlan {
+    armed: Mutex<HashMap<FailPoint, Vec<FailAction>>>,
+    hits: Mutex<HashMap<FailPoint, u64>>,
+}
+
+impl FailurePlan {
+    /// Arms `action` to fire on the next un-consumed hit of `point`.
+    pub fn inject(&self, point: FailPoint, action: FailAction) {
+        self.armed.lock().entry(point).or_default().push(action);
+    }
+
+    /// How many times the worker has reached `point`.
+    pub fn hits(&self, point: FailPoint) -> u64 {
+        self.hits.lock().get(&point).copied().unwrap_or(0)
+    }
+
+    /// Worker side: pass through `point`, firing the next armed action.
+    fn hit(&self, point: FailPoint) -> Result<(), String> {
+        *self.hits.lock().entry(point).or_insert(0) += 1;
+        let action = self.armed.lock().get_mut(&point).and_then(|queue| {
+            if queue.is_empty() {
+                None
+            } else {
+                Some(queue.remove(0))
+            }
+        });
+        match action {
+            None => Ok(()),
+            Some(FailAction::Fail(message)) => Err(format!("injected failure: {message}")),
+            Some(FailAction::Panic(message)) => panic!("injected panic: {message}"),
+            Some(FailAction::Hold(gate)) => {
+                gate.pass();
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Tuning for the maintenance loop.
+#[derive(Debug, Clone, Copy)]
+pub struct MaintenanceConfig {
+    /// How often the ticker compacts queued batches and evaluates
+    /// rebuild triggers.
+    pub publish_interval: Duration,
+    /// When a maintained slot should stop merging and fully rebuild.
+    pub policy: RebuildPolicy,
+}
+
+impl Default for MaintenanceConfig {
+    /// Two-second publish cadence under the default [`RebuildPolicy`].
+    fn default() -> MaintenanceConfig {
+        MaintenanceConfig {
+            publish_interval: Duration::from_secs(2),
+            policy: RebuildPolicy::default(),
+        }
+    }
+}
+
+/// A point-in-time view of one slot's maintenance loop, for the
+/// `maintenance` protocol op and the `list` row join.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SlotStatus {
+    /// Batches currently queued for the next compacted publish.
+    pub queued: usize,
+    /// Batches ever enqueued.
+    pub enqueued: u64,
+    /// Batches folded into a published compacted pass.
+    pub compacted: u64,
+    /// Batches discarded because their target lineage disappeared.
+    pub purged: u64,
+    /// Human-readable description of the last rebuild trigger that
+    /// fired, if any.
+    pub last_trigger: Option<String>,
+    /// Outcome of the slot's most recent maintenance pass.
+    pub last_outcome: Option<String>,
+}
+
+/// What one maintenance pass over a slot did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome {
+    /// Another rebuild or compaction holds the slot's single-flight
+    /// mark; nothing was done.
+    Busy,
+    /// Nothing queued and no rebuild trigger armed.
+    Idle,
+    /// The slot has no maintained lineage; any queued batches were
+    /// purged (they can never apply).
+    NoLineage {
+        /// Batches dropped from the queue.
+        purged: usize,
+    },
+    /// A publish landed: `batches` queued batches were folded into one
+    /// pass (0 when only a trigger-driven rebuild published), and
+    /// `rebuilt` names the trigger kind if a full rebuild followed.
+    Published {
+        /// The slot version the publish installed.
+        version: u64,
+        /// Queued batches consumed by the compacted pass.
+        batches: usize,
+        /// `Some(trigger kind)` when a policy-triggered full rebuild
+        /// also published.
+        rebuilt: Option<String>,
+    },
+    /// The compare-and-swap lost to a concurrent publish; the queue,
+    /// which targeted the now-dead lineage, was purged.
+    Superseded {
+        /// Batches dropped from the queue.
+        purged: usize,
+    },
+    /// The pass stopped before publishing; `retained` batches stay
+    /// queued for the next tick.
+    Failed {
+        /// What went wrong.
+        message: String,
+        /// Batches left in the queue to retry.
+        retained: usize,
+    },
+}
+
+impl std::fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunOutcome::Busy => write!(f, "busy"),
+            RunOutcome::Idle => write!(f, "idle"),
+            RunOutcome::NoLineage { purged } => {
+                write!(f, "no maintained lineage ({purged} purged)")
+            }
+            RunOutcome::Published {
+                version,
+                batches,
+                rebuilt,
+            } => match rebuilt {
+                Some(kind) => write!(
+                    f,
+                    "published v{version} ({batches} batches; {kind} rebuild)"
+                ),
+                None => write!(f, "published v{version} ({batches} batches)"),
+            },
+            RunOutcome::Superseded { purged } => write!(f, "superseded ({purged} purged)"),
+            RunOutcome::Failed { message, retained } => {
+                write!(f, "failed: {message} ({retained} retained)")
+            }
+        }
+    }
+}
+
+/// Per-slot queue and loop bookkeeping.
+#[derive(Debug, Default)]
+struct SlotQueue {
+    batches: Vec<GraphDelta>,
+    enqueued: u64,
+    compacted: u64,
+    purged: u64,
+    last_trigger: Option<String>,
+    last_outcome: Option<String>,
+}
+
+/// The per-process maintenance loop: one delta queue per maintained
+/// slot, a compactor, and policy-triggered rebuilds. See the module doc
+/// for the design; `phe serve` owns one and runs
+/// [`MaintenanceCoordinator::start_ticker`].
+pub struct MaintenanceCoordinator {
+    registry: Arc<EstimatorRegistry>,
+    metrics: Arc<ServiceMetrics>,
+    config: Mutex<MaintenanceConfig>,
+    slots: Mutex<HashMap<String, SlotQueue>>,
+    plan: FailurePlan,
+    shutdown: StdMutex<bool>,
+    shutdown_cv: Condvar,
+}
+
+impl MaintenanceCoordinator {
+    /// A coordinator over `registry`, reporting into `metrics`.
+    pub fn new(
+        registry: Arc<EstimatorRegistry>,
+        metrics: Arc<ServiceMetrics>,
+        config: MaintenanceConfig,
+    ) -> Arc<MaintenanceCoordinator> {
+        Arc::new(MaintenanceCoordinator {
+            registry,
+            metrics,
+            config: Mutex::new(config),
+            slots: Mutex::new(HashMap::new()),
+            plan: FailurePlan::default(),
+            shutdown: StdMutex::new(false),
+            shutdown_cv: Condvar::new(),
+        })
+    }
+
+    /// The fault-injection script (inert unless actions are armed).
+    pub fn failure_plan(&self) -> &FailurePlan {
+        &self.plan
+    }
+
+    /// The current loop configuration.
+    pub fn config(&self) -> MaintenanceConfig {
+        *self.config.lock()
+    }
+
+    /// Replaces the rebuild policy (the `maintenance` op's `set-policy`).
+    pub fn set_policy(&self, policy: RebuildPolicy) {
+        self.config.lock().policy = policy;
+    }
+
+    /// Queues one parsed change batch for `name`'s next compacted
+    /// publish. Returns the queue depth after the push.
+    ///
+    /// # Errors
+    /// When the slot has no maintained lineage to apply batches to.
+    pub fn enqueue(&self, name: &str, delta: GraphDelta) -> Result<usize, String> {
+        if self.registry.maintenance(name).is_none() {
+            return Err(format!(
+                "no maintained statistics for {name:?}; run a rebuild with \
+                 \"maintain\": true first"
+            ));
+        }
+        let mut slots = self.slots.lock();
+        let queue = slots.entry(name.to_owned()).or_default();
+        queue.batches.push(delta);
+        queue.enqueued += 1;
+        let depth = queue.batches.len();
+        drop(slots);
+        self.metrics.record_maintenance_batches("enqueued", 1);
+        self.metrics.record_maintenance_queue_depth(name, depth);
+        Ok(depth)
+    }
+
+    /// The slot's loop status (all-zero defaults for unseen slots).
+    pub fn status(&self, name: &str) -> SlotStatus {
+        self.slots
+            .lock()
+            .get(name)
+            .map(|q| SlotStatus {
+                queued: q.batches.len(),
+                enqueued: q.enqueued,
+                compacted: q.compacted,
+                purged: q.purged,
+                last_trigger: q.last_trigger.clone(),
+                last_outcome: q.last_outcome.clone(),
+            })
+            .unwrap_or_default()
+    }
+
+    /// Status of every slot the loop has touched, sorted by name.
+    pub fn status_all(&self) -> Vec<(String, SlotStatus)> {
+        let names: BTreeSet<String> = self.slots.lock().keys().cloned().collect();
+        names
+            .into_iter()
+            .map(|name| {
+                let status = self.status(&name);
+                (name, status)
+            })
+            .collect()
+    }
+
+    /// One maintenance pass over every slot that has queued batches or a
+    /// maintained lineage; returns what each pass did.
+    pub fn tick(&self) -> Vec<(String, RunOutcome)> {
+        let mut names: BTreeSet<String> = self
+            .slots
+            .lock()
+            .iter()
+            .filter(|(_, q)| !q.batches.is_empty())
+            .map(|(name, _)| name.clone())
+            .collect();
+        for info in self.registry.list() {
+            if info.maintained.is_some() {
+                names.insert(info.name);
+            }
+        }
+        names
+            .into_iter()
+            .map(|name| {
+                let outcome = self.run_slot(&name);
+                (name, outcome)
+            })
+            .collect()
+    }
+
+    /// One maintenance pass over `name`: compact queued batches into a
+    /// single counting pass + CAS publish, then evaluate rebuild
+    /// triggers. Serialized against protocol-level rebuilds and deltas
+    /// through the slot's single-flight mark; panics (real or injected)
+    /// are recovered and reported as [`RunOutcome::Failed`] with the
+    /// queue intact.
+    pub fn run_slot(&self, name: &str) -> RunOutcome {
+        if !self.registry.try_begin_rebuild(name) {
+            return RunOutcome::Busy;
+        }
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_locked(name)))
+                .unwrap_or_else(|panic| RunOutcome::Failed {
+                    message: panic_message(panic.as_ref()).to_owned(),
+                    retained: self.queue_len(name),
+                });
+        self.registry.finish_rebuild(name);
+        self.record_outcome(name, &outcome);
+        outcome
+    }
+
+    /// The pass body; the single-flight mark is held by the caller.
+    fn run_locked(&self, name: &str) -> RunOutcome {
+        // Version first, maintenance second — same order as the protocol
+        // delta handler, so a `load` racing us either clears the state
+        // (pass refused) or bumps the version (CAS below fails).
+        let expected = self.registry.get(name).map_or(0, |g| g.version());
+        let Some(state) = self.registry.maintenance(name) else {
+            return RunOutcome::NoLineage {
+                purged: self.purge(name),
+            };
+        };
+        // Peek — not pop — the batches queued so far. Later arrivals ride
+        // the next pass; these leave the queue only after a winning CAS.
+        let pending: Vec<GraphDelta> = self
+            .slots
+            .lock()
+            .get(name)
+            .map_or_else(Vec::new, |q| q.batches.clone());
+        let batches = pending.len();
+        let mut published = None;
+        if batches > 0 {
+            if let Err(message) = self.plan.hit(FailPoint::BeforeCount) {
+                return RunOutcome::Failed {
+                    message,
+                    retained: batches,
+                };
+            }
+            let composed = GraphDelta::compose(&pending);
+            if composed.is_empty() {
+                // The batches cancel to nothing: folding them in is a
+                // no-op, so they are consumed without a publish.
+                self.pop(name, batches, true);
+            } else {
+                let (estimator, graph) = match state.estimator.apply_delta(&state.graph, &composed)
+                {
+                    Ok(pair) => pair,
+                    Err(e) => {
+                        // A contract violation can never succeed on retry;
+                        // dropping the batches is the only way forward.
+                        self.pop(name, batches, false);
+                        self.metrics.record_delta_failed();
+                        return RunOutcome::Failed {
+                            message: format!("compacted delta rejected: {e}"),
+                            retained: 0,
+                        };
+                    }
+                };
+                if let Err(message) = self.plan.hit(FailPoint::BeforePublish) {
+                    return RunOutcome::Failed {
+                        message,
+                        retained: batches,
+                    };
+                }
+                // Drift is published only once the CAS confirms these
+                // statistics won.
+                let drift = estimator.drift().copied();
+                let servable = match estimator
+                    .snapshot()
+                    .map_err(|e| e.to_string())
+                    .and_then(|s| ServableEstimator::from_snapshot(&s).map_err(|e| e.to_string()))
+                {
+                    Ok(servable) => servable,
+                    Err(message) => {
+                        self.metrics.record_delta_failed();
+                        return RunOutcome::Failed {
+                            message: format!("deriving servable: {message}"),
+                            retained: batches,
+                        };
+                    }
+                };
+                if let Err(message) = self.plan.hit(FailPoint::BeforeCas) {
+                    return RunOutcome::Failed {
+                        message,
+                        retained: batches,
+                    };
+                }
+                match self.registry.register_if_version_maintained(
+                    name,
+                    servable,
+                    expected,
+                    Some(MaintenanceState { graph, estimator }),
+                ) {
+                    Some(version) => {
+                        self.pop(name, batches, true);
+                        if version > 1 {
+                            self.metrics.record_swap();
+                        }
+                        if let Some(drift) = drift {
+                            self.metrics.record_drift(name, &drift);
+                        }
+                        published = Some(version);
+                    }
+                    None => {
+                        // A fresher publish (a `load`) won the race; the
+                        // queued batches target a lineage that no longer
+                        // exists and must not be replayed against the new
+                        // statistics.
+                        self.metrics.record_delta_superseded();
+                        return RunOutcome::Superseded {
+                            purged: self.purge(name),
+                        };
+                    }
+                }
+            }
+        }
+        // Hold the (possibly just-advanced) lineage against the policy.
+        let Some(state) = self.registry.maintenance(name) else {
+            return match published {
+                Some(version) => RunOutcome::Published {
+                    version,
+                    batches,
+                    rebuilt: None,
+                },
+                None => RunOutcome::NoLineage {
+                    purged: self.purge(name),
+                },
+            };
+        };
+        let policy = self.config.lock().policy;
+        let estimator = &state.estimator;
+        let trigger = policy.trigger(
+            estimator.applied_deltas(),
+            estimator.drift(),
+            estimator.config().beta,
+            estimator.footprint().nonzero_paths,
+        );
+        match trigger {
+            Some(trigger) => self.rebuild_locked(name, &state, trigger, batches),
+            None => match published {
+                Some(version) => RunOutcome::Published {
+                    version,
+                    batches,
+                    rebuilt: None,
+                },
+                None => RunOutcome::Idle,
+            },
+        }
+    }
+
+    /// A policy-triggered full maintaining rebuild from the slot's own
+    /// maintained graph; resets lineage and drift on success.
+    fn rebuild_locked(
+        &self,
+        name: &str,
+        state: &MaintenanceState,
+        trigger: RebuildTrigger,
+        batches: usize,
+    ) -> RunOutcome {
+        self.slots
+            .lock()
+            .entry(name.to_owned())
+            .or_default()
+            .last_trigger = Some(trigger.to_string());
+        if let Err(message) = self.plan.hit(FailPoint::BeforeRebuild) {
+            return RunOutcome::Failed {
+                message,
+                retained: self.queue_len(name),
+            };
+        }
+        let expected = self.registry.get(name).map_or(0, |g| g.version());
+        self.metrics.record_rebuild_started();
+        // `retain_sparse` is already set in a maintained config, so the
+        // fresh build starts a new maintainable lineage.
+        let fresh = match PathSelectivityEstimator::build(&state.graph, *state.estimator.config()) {
+            Ok(estimator) => estimator,
+            Err(e) => {
+                self.metrics.record_rebuild_failed();
+                return RunOutcome::Failed {
+                    message: format!("policy rebuild: {e}"),
+                    retained: self.queue_len(name),
+                };
+            }
+        };
+        let servable = match fresh
+            .snapshot()
+            .map_err(|e| e.to_string())
+            .and_then(|s| ServableEstimator::from_snapshot(&s).map_err(|e| e.to_string()))
+        {
+            Ok(servable) => servable,
+            Err(message) => {
+                self.metrics.record_rebuild_failed();
+                return RunOutcome::Failed {
+                    message: format!("policy rebuild snapshot: {message}"),
+                    retained: self.queue_len(name),
+                };
+            }
+        };
+        match self.registry.register_if_version_maintained(
+            name,
+            servable,
+            expected,
+            Some(MaintenanceState {
+                graph: state.graph.clone(),
+                estimator: fresh,
+            }),
+        ) {
+            Some(version) => {
+                self.metrics.record_maintenance_rebuild(trigger.kind());
+                if version > 1 {
+                    self.metrics.record_swap();
+                }
+                // The fresh lineage has no sampled drift; the stale
+                // gauges must not outlive the lineage they measured.
+                self.metrics.clear_drift(name);
+                RunOutcome::Published {
+                    version,
+                    batches,
+                    rebuilt: Some(trigger.kind().to_owned()),
+                }
+            }
+            None => {
+                self.metrics.record_rebuild_superseded();
+                RunOutcome::Superseded {
+                    purged: self.purge(name),
+                }
+            }
+        }
+    }
+
+    /// Spawns the publish-interval ticker. Stop it with
+    /// [`MaintenanceCoordinator::request_shutdown`] and join the handle.
+    pub fn start_ticker(self: &Arc<Self>) -> JoinHandle<()> {
+        let this = Arc::clone(self);
+        std::thread::spawn(move || loop {
+            let interval = this.config.lock().publish_interval;
+            let stop = this.shutdown.lock().expect("shutdown flag poisoned");
+            let (stop, _) = this
+                .shutdown_cv
+                .wait_timeout_while(stop, interval, |stopped| !*stopped)
+                .expect("shutdown flag poisoned");
+            if *stop {
+                return;
+            }
+            drop(stop);
+            this.tick();
+        })
+    }
+
+    /// Asks the ticker to exit at its next wakeup (immediate).
+    pub fn request_shutdown(&self) {
+        *self.shutdown.lock().expect("shutdown flag poisoned") = true;
+        self.shutdown_cv.notify_all();
+    }
+
+    fn queue_len(&self, name: &str) -> usize {
+        self.slots.lock().get(name).map_or(0, |q| q.batches.len())
+    }
+
+    /// Removes the first `n` batches — the ones the finished pass peeked;
+    /// `applied` says whether they published (vs. were rejected).
+    fn pop(&self, name: &str, n: usize, applied: bool) {
+        let depth = {
+            let mut slots = self.slots.lock();
+            let queue = slots.entry(name.to_owned()).or_default();
+            let n = n.min(queue.batches.len());
+            queue.batches.drain(..n);
+            if applied {
+                queue.compacted += n as u64;
+            } else {
+                queue.purged += n as u64;
+            }
+            queue.batches.len()
+        };
+        self.metrics
+            .record_maintenance_batches(if applied { "compacted" } else { "purged" }, n as u64);
+        self.metrics.record_maintenance_queue_depth(name, depth);
+    }
+
+    /// Drops the whole queue (the lineage its batches target is gone).
+    fn purge(&self, name: &str) -> usize {
+        let purged = {
+            let mut slots = self.slots.lock();
+            let queue = slots.entry(name.to_owned()).or_default();
+            let purged = queue.batches.len();
+            queue.batches.clear();
+            queue.purged += purged as u64;
+            purged
+        };
+        if purged > 0 {
+            self.metrics
+                .record_maintenance_batches("purged", purged as u64);
+        }
+        self.metrics.record_maintenance_queue_depth(name, 0);
+        purged
+    }
+
+    fn record_outcome(&self, name: &str, outcome: &RunOutcome) {
+        if matches!(outcome, RunOutcome::Idle | RunOutcome::Busy) {
+            // Don't overwrite an interesting outcome with steady-state
+            // idle ticks.
+            return;
+        }
+        if let RunOutcome::Failed { message, .. } = outcome {
+            eprintln!("maintenance pass for {name:?} failed: {message}");
+        }
+        self.slots
+            .lock()
+            .entry(name.to_owned())
+            .or_default()
+            .last_outcome = Some(outcome.to_string());
+    }
+}
+
+impl std::fmt::Debug for MaintenanceCoordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MaintenanceCoordinator")
+            .field("config", &*self.config.lock())
+            .field("slots", &self.slots.lock().len())
+            .finish_non_exhaustive()
+    }
+}

@@ -221,6 +221,61 @@ impl ServiceMetrics {
             .set(drift.sampled as f64);
     }
 
+    /// Drops the per-slot drift gauges from the exposition. Called when
+    /// a slot's maintenance state is invalidated (a `load`, a plain
+    /// rebuild) — the last sampled drift describes a lineage that no
+    /// longer serves, and a gauge that cannot be unpublished would keep
+    /// reporting it forever.
+    pub fn clear_drift(&self, slot: &str) {
+        let labels = [("slot", slot)];
+        for name in [
+            "phe_drift_mean_abs_error",
+            "phe_drift_max_q_error",
+            "phe_drift_sampled_paths",
+        ] {
+            self.registry.unregister_with(name, &labels);
+        }
+    }
+
+    /// Publishes the per-slot maintenance queue depth
+    /// (`phe_maintenance_queue_depth{slot=…}`).
+    pub fn record_maintenance_queue_depth(&self, slot: &str, depth: usize) {
+        self.registry
+            .gauge_with(
+                "phe_maintenance_queue_depth",
+                "Delta batches queued for the slot's next compacted publish.",
+                &[("slot", slot)],
+            )
+            .set(depth as f64);
+    }
+
+    /// Counts a maintenance queue event
+    /// (`phe_maintenance_batches_total{event=…}`): `enqueued`,
+    /// `compacted` (folded into a published merge), or `purged`
+    /// (discarded because the lineage they targeted is gone).
+    pub fn record_maintenance_batches(&self, event: &str, n: u64) {
+        self.registry
+            .counter_with(
+                "phe_maintenance_batches_total",
+                "Maintenance delta batches by queue event.",
+                &[("event", event)],
+            )
+            .add(n);
+    }
+
+    /// Counts a policy-triggered full rebuild of a maintained slot
+    /// (`phe_maintenance_rebuilds_total{trigger=…}`): `applied-deltas`,
+    /// `drift`, or `forced`.
+    pub fn record_maintenance_rebuild(&self, trigger: &str) {
+        self.registry
+            .counter_with(
+                "phe_maintenance_rebuilds_total",
+                "Policy-triggered full rebuilds of maintained slots by trigger.",
+                &[("trigger", trigger)],
+            )
+            .inc();
+    }
+
     /// Renders the registry in Prometheus text exposition format
     /// (refreshing the uptime gauge first).
     pub fn render_prometheus(&self) -> String {
@@ -431,5 +486,45 @@ mod tests {
             50.0
         );
         assert_eq!(value("phe_request_duration_seconds_count", None), 1.0);
+    }
+
+    #[test]
+    fn clear_drift_removes_only_that_slots_gauges() {
+        let m = ServiceMetrics::new();
+        let report = phe_core::DriftReport {
+            touched: 10,
+            sampled: 10,
+            mean_abs_error_rate: 0.5,
+            max_q_error: 4.0,
+        };
+        m.record_drift("a", &report);
+        m.record_drift("b", &report);
+        m.record_maintenance_queue_depth("a", 3);
+        m.record_maintenance_batches("enqueued", 3);
+        m.record_maintenance_rebuild("drift");
+        m.clear_drift("a");
+        let text = m.render_prometheus();
+        assert!(
+            !text.contains("phe_drift_mean_abs_error{slot=\"a\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("phe_drift_mean_abs_error{slot=\"b\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("phe_maintenance_queue_depth{slot=\"a\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("phe_maintenance_batches_total{event=\"enqueued\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("phe_maintenance_rebuilds_total{trigger=\"drift\"} 1"),
+            "{text}"
+        );
+        // Clearing a slot that never reported drift is a no-op.
+        m.clear_drift("never");
     }
 }

@@ -20,7 +20,8 @@
 //! | `metrics` | `format` (`"report"`) | `metrics` object, or `exposition` text when `format` is `"prometheus"` | qps, p50/p99, cache hit rate, rebuild + delta counters; the Prometheus form is the same text the `--metrics-addr` scrape endpoint serves |
 //! | `load` | `name`, `snapshot` | `version` | restores a snapshot file from the **server's** filesystem and hot-swaps the slot |
 //! | `rebuild` | `name`, `graph`, `k` (3), `beta` (64), `ordering` (`"sum-based"`), `histogram` (`"v-optimal-greedy"`), `threads` (1), `maintain` (false) | `{"status":"rebuilding"}` | asynchronous full build from a graph file |
-//! | `delta` | `name`, `changes` | `{"status":"applying-delta"}` | asynchronous incremental update from a changes file |
+//! | `delta` | `name`, `changes` | `{"status":"applying-delta"}` (immediate mode) or `{"status":"queued","queued":n}` (maintenance loop) | incremental update from a changes file; with a maintenance loop the batch is queued for the next compacted publish |
+//! | `maintenance` | `action` (`"status"`), `name` (for `compact`), `max_applied_deltas` / `drift_scale` / `drift_mean_threshold`+`drift_q_threshold` (for `set-policy`) | `status`/`set-policy`: `policy`, `publish_interval_ms`, `slots` rows (`queued`, `enqueued`, `compacted`, `purged`, `last_trigger`, `last_outcome`); `compact`: `outcome` | inspect or steer the maintenance loop; refused when the server runs without one |
 //!
 //! ```text
 //! → {"op":"ping"}
@@ -150,6 +151,43 @@ pub enum Request {
         name: String,
         /// Path to the changes file on the server host.
         changes: String,
+    },
+    /// Inspect or steer the maintenance loop: queue depths and last
+    /// trigger per slot, the rebuild policy, or a forced compaction.
+    /// Refused when the server runs without a maintenance loop.
+    Maintenance {
+        /// Registry slot name (`compact` acts on it; `status` and
+        /// `set-policy` are loop-wide).
+        name: String,
+        /// What to do.
+        action: MaintenanceAction,
+    },
+}
+
+/// The `maintenance` op's sub-command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MaintenanceAction {
+    /// Report the loop's policy, publish interval, and per-slot queue
+    /// depth + counters + last trigger/outcome.
+    Status,
+    /// Compact the named slot's queue now — one counting pass over the
+    /// composed batches, publish, and rebuild-trigger evaluation —
+    /// instead of waiting for the next publish interval.
+    Compact,
+    /// Merge the provided fields into the rebuild policy; absent fields
+    /// keep their current values.
+    SetPolicy {
+        /// Full rebuild once this many deltas are in the lineage
+        /// (0 disables the arm).
+        max_applied_deltas: Option<u64>,
+        /// Multiplier on the Baraud–Birgé drift bound (≤ 0 disables
+        /// drift-triggered rebuilds).
+        drift_scale: Option<f64>,
+        /// Pin the drift threshold explicitly: mean |error| rate arm.
+        /// Must be given together with `drift_q_threshold`.
+        drift_mean_threshold: Option<f64>,
+        /// Pin the drift threshold explicitly: worst q-error arm.
+        drift_q_threshold: Option<f64>,
     },
 }
 
@@ -347,6 +385,60 @@ impl Request {
                     .to_owned();
                 Ok(Request::Delta { name, changes })
             }
+            "maintenance" => {
+                let name = value
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .unwrap_or("default")
+                    .to_owned();
+                let action = match value.get("action").and_then(Value::as_str) {
+                    None | Some("status") => MaintenanceAction::Status,
+                    Some("compact") => MaintenanceAction::Compact,
+                    Some("set-policy") => {
+                        let uint = |field: &str| -> Result<Option<u64>, ProtocolError> {
+                            match value.get(field) {
+                                None => Ok(None),
+                                Some(Value::Number(n)) => n.as_u64().map(Some).ok_or_else(|| {
+                                    err(format!("field {field:?} must be a non-negative integer"))
+                                }),
+                                Some(other) => Err(err(format!(
+                                    "field {field:?} must be a number, got {other:?}"
+                                ))),
+                            }
+                        };
+                        let float = |field: &str| -> Result<Option<f64>, ProtocolError> {
+                            match value.get(field) {
+                                None => Ok(None),
+                                Some(Value::Number(n)) => Ok(Some(n.as_f64())),
+                                Some(other) => Err(err(format!(
+                                    "field {field:?} must be a number, got {other:?}"
+                                ))),
+                            }
+                        };
+                        let drift_mean_threshold = float("drift_mean_threshold")?;
+                        let drift_q_threshold = float("drift_q_threshold")?;
+                        if drift_mean_threshold.is_some() != drift_q_threshold.is_some() {
+                            return Err(err(
+                                "\"drift_mean_threshold\" and \"drift_q_threshold\" must be \
+                                 given together",
+                            ));
+                        }
+                        MaintenanceAction::SetPolicy {
+                            max_applied_deltas: uint("max_applied_deltas")?,
+                            drift_scale: float("drift_scale")?,
+                            drift_mean_threshold,
+                            drift_q_threshold,
+                        }
+                    }
+                    Some(other) => {
+                        return Err(err(format!(
+                            "field \"action\" must be \"status\", \"compact\", or \
+                             \"set-policy\", got {other:?}"
+                        )))
+                    }
+                };
+                Ok(Request::Maintenance { name, action })
+            }
             other => Err(err(format!("unknown op {other:?}"))),
         }
     }
@@ -433,6 +525,44 @@ impl Request {
                 ("name".into(), Value::string(name.clone())),
                 ("changes".into(), Value::string(changes.clone())),
             ]),
+            Request::Maintenance { name, action } => {
+                let mut fields = vec![
+                    ("op".into(), Value::string("maintenance")),
+                    ("name".into(), Value::string(name.clone())),
+                ];
+                match action {
+                    MaintenanceAction::Status => {
+                        fields.push(("action".into(), Value::string("status")));
+                    }
+                    MaintenanceAction::Compact => {
+                        fields.push(("action".into(), Value::string("compact")));
+                    }
+                    MaintenanceAction::SetPolicy {
+                        max_applied_deltas,
+                        drift_scale,
+                        drift_mean_threshold,
+                        drift_q_threshold,
+                    } => {
+                        fields.push(("action".into(), Value::string("set-policy")));
+                        if let Some(n) = max_applied_deltas {
+                            fields.push((
+                                "max_applied_deltas".into(),
+                                Value::Number(Number::PosInt(*n)),
+                            ));
+                        }
+                        for (key, v) in [
+                            ("drift_scale", drift_scale),
+                            ("drift_mean_threshold", drift_mean_threshold),
+                            ("drift_q_threshold", drift_q_threshold),
+                        ] {
+                            if let Some(v) = v {
+                                fields.push((key.into(), Value::Number(Number::Float(*v))));
+                            }
+                        }
+                    }
+                }
+                Value::Object(fields)
+            }
         };
         serde_json::to_string(&value).expect("request serialization is infallible")
     }
@@ -578,10 +708,58 @@ mod tests {
                 name: "x".into(),
                 changes: "/tmp/changes.tsv".into(),
             },
+            Request::Maintenance {
+                name: "default".into(),
+                action: MaintenanceAction::Status,
+            },
+            Request::Maintenance {
+                name: "x".into(),
+                action: MaintenanceAction::Compact,
+            },
+            Request::Maintenance {
+                name: "default".into(),
+                action: MaintenanceAction::SetPolicy {
+                    max_applied_deltas: Some(8),
+                    drift_scale: Some(2.5),
+                    drift_mean_threshold: Some(0.25),
+                    drift_q_threshold: Some(3.5),
+                },
+            },
+            Request::Maintenance {
+                name: "default".into(),
+                action: MaintenanceAction::SetPolicy {
+                    max_applied_deltas: None,
+                    drift_scale: Some(0.0),
+                    drift_mean_threshold: None,
+                    drift_q_threshold: None,
+                },
+            },
         ];
         for r in requests {
             assert_eq!(Request::parse(&r.to_line()).unwrap(), r);
         }
+    }
+
+    #[test]
+    fn maintenance_parses_with_defaults_and_errors() {
+        let r = Request::parse(r#"{"op":"maintenance"}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Maintenance {
+                name: "default".into(),
+                action: MaintenanceAction::Status,
+            }
+        );
+        assert!(Request::parse(r#"{"op":"maintenance","action":"explode"}"#).is_err());
+        assert!(Request::parse(
+            r#"{"op":"maintenance","action":"set-policy","max_applied_deltas":-1}"#
+        )
+        .is_err());
+        // A pinned drift threshold needs both arms.
+        assert!(Request::parse(
+            r#"{"op":"maintenance","action":"set-policy","drift_mean_threshold":0.2}"#
+        )
+        .is_err());
     }
 
     #[test]

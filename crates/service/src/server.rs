@@ -18,8 +18,11 @@ use parking_lot::Mutex;
 use serde_json::{Number, Value};
 
 use crate::estimator::ServableEstimator;
+use crate::maintenance::MaintenanceCoordinator;
 use crate::metrics::ServiceMetrics;
-use crate::protocol::{error_response, metrics_to_value, ok_response, PathStep, Request};
+use crate::protocol::{
+    error_response, metrics_to_value, ok_response, MaintenanceAction, PathStep, Request,
+};
 use crate::registry::{EstimatorRegistry, MaintenanceState};
 
 /// Server configuration.
@@ -57,9 +60,25 @@ pub struct Server {
 impl Server {
     /// Binds and starts accepting. Returns once the listener is live, so
     /// `local_addr` is immediately connectable (ephemeral ports included).
+    ///
+    /// `delta` ops apply immediately in a background thread (no
+    /// maintenance loop); see [`Server::start_with`] to serve with one.
     pub fn start(
         registry: Arc<EstimatorRegistry>,
         metrics: Arc<ServiceMetrics>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        Server::start_with(registry, metrics, None, config)
+    }
+
+    /// [`Server::start`] with an optional [`MaintenanceCoordinator`].
+    /// When present, `delta` ops enqueue batches on it (compacted and
+    /// published by its ticker) and the `maintenance` op is served;
+    /// when absent, `delta` keeps the immediate-apply behaviour.
+    pub fn start_with(
+        registry: Arc<EstimatorRegistry>,
+        metrics: Arc<ServiceMetrics>,
+        maintenance: Option<Arc<MaintenanceCoordinator>>,
         config: ServerConfig,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
@@ -80,6 +99,7 @@ impl Server {
             let rx = Arc::clone(&rx);
             let registry = Arc::clone(&registry);
             let metrics = Arc::clone(&metrics);
+            let maintenance = maintenance.clone();
             let stop = Arc::clone(&stop);
             let allow_load = config.allow_load;
             workers.push(std::thread::spawn(move || loop {
@@ -89,7 +109,14 @@ impl Server {
                     guard.recv_timeout(Duration::from_millis(100))
                 };
                 match conn {
-                    Ok(stream) => serve_connection(stream, &registry, &metrics, &stop, allow_load),
+                    Ok(stream) => serve_connection(
+                        stream,
+                        &registry,
+                        &metrics,
+                        maintenance.as_ref(),
+                        &stop,
+                        allow_load,
+                    ),
                     Err(mpsc::RecvTimeoutError::Timeout) => {
                         if stop.load(Ordering::Acquire) {
                             return;
@@ -162,6 +189,7 @@ fn serve_connection(
     stream: TcpStream,
     registry: &Arc<EstimatorRegistry>,
     metrics: &Arc<ServiceMetrics>,
+    maintenance: Option<&Arc<MaintenanceCoordinator>>,
     stop: &AtomicBool,
     allow_load: bool,
 ) {
@@ -207,7 +235,8 @@ fn serve_connection(
                 let trimmed = text.trim();
                 if !trimmed.is_empty() {
                     let t0 = Instant::now();
-                    let (response, paths, ok) = handle_line(trimmed, registry, metrics, allow_load);
+                    let (response, paths, ok) =
+                        handle_line(trimmed, registry, metrics, maintenance, allow_load);
                     metrics.record_request(paths, t0.elapsed(), ok);
                     if writer
                         .write_all(response.as_bytes())
@@ -240,6 +269,7 @@ fn handle_line(
     line: &str,
     registry: &Arc<EstimatorRegistry>,
     metrics: &Arc<ServiceMetrics>,
+    maintenance: Option<&Arc<MaintenanceCoordinator>>,
     allow_load: bool,
 ) -> (String, usize, bool) {
     let request = match Request::parse(line) {
@@ -255,6 +285,7 @@ fn handle_line(
         Request::Delta { .. } => "delta",
         Request::Rebuild { .. } => "rebuild",
         Request::Load { .. } => "load",
+        Request::Maintenance { .. } => "maintenance",
     });
     match request {
         Request::Ping => (ok_response(vec![]), 0, true),
@@ -263,6 +294,7 @@ fn handle_line(
                 .list()
                 .into_iter()
                 .map(|info| {
+                    let slot_name = info.name.clone();
                     let mut row = vec![
                         ("name".into(), Value::string(info.name)),
                         (
@@ -345,6 +377,27 @@ fn handle_line(
                             Value::Number(Number::PosInt(d.sampled as u64)),
                         ));
                     }
+                    if let Some(coordinator) = maintenance {
+                        let status = coordinator.status(&slot_name);
+                        if status != crate::maintenance::SlotStatus::default() {
+                            row.push((
+                                "maintenance_queued".into(),
+                                Value::Number(Number::PosInt(status.queued as u64)),
+                            ));
+                            row.push((
+                                "maintenance_compacted".into(),
+                                Value::Number(Number::PosInt(status.compacted)),
+                            ));
+                            row.push((
+                                "maintenance_last_trigger".into(),
+                                status.last_trigger.map_or(Value::Null, Value::string),
+                            ));
+                            row.push((
+                                "maintenance_last_outcome".into(),
+                                status.last_outcome.map_or(Value::Null, Value::string),
+                            ));
+                        }
+                    }
                     Value::Object(row)
                 })
                 .collect();
@@ -416,6 +469,42 @@ fn handle_line(
             // Delta reads the server's filesystem, like `load`/`rebuild`.
             if !allow_load {
                 return (error_response("delta is disabled on this server"), 0, false);
+            }
+            if let Some(coordinator) = maintenance {
+                // Maintenance loop: parse now (labels resolve against the
+                // maintained base — a delta can't introduce labels, so the
+                // alphabet is stable across queued batches), queue the
+                // batch, and let the next compacted publish fold it in.
+                let Some(state) = registry.maintenance(&name) else {
+                    return (
+                        error_response(&format!(
+                            "no maintained statistics for {name:?}; run a rebuild with \
+                             \"maintain\": true first"
+                        )),
+                        0,
+                        false,
+                    );
+                };
+                let delta = match phe_graph::delta::read_changes_path(&changes, &state.graph) {
+                    Ok(delta) => delta,
+                    Err(e) => {
+                        return (error_response(&format!("reading {changes}: {e}")), 0, false)
+                    }
+                };
+                return match coordinator.enqueue(&name, delta) {
+                    Ok(queued) => (
+                        ok_response(vec![
+                            ("status".into(), Value::string("queued")),
+                            (
+                                "queued".into(),
+                                Value::Number(Number::PosInt(queued as u64)),
+                            ),
+                        ]),
+                        0,
+                        true,
+                    ),
+                    Err(message) => (error_response(&message), 0, false),
+                };
             }
             if !registry.try_begin_rebuild(&name) {
                 return (
@@ -552,6 +641,10 @@ fn handle_line(
                     if version > 1 {
                         metrics.record_swap();
                     }
+                    // `register` invalidated any maintained lineage; the
+                    // drift gauges measured that lineage and must not
+                    // outlive it in the exposition.
+                    metrics.clear_drift(&name);
                     (
                         ok_response(vec![(
                             "version".into(),
@@ -564,7 +657,141 @@ fn handle_line(
                 Err(message) => (error_response(&message), 0, false),
             }
         }
+        Request::Maintenance { name, action } => {
+            let Some(coordinator) = maintenance else {
+                return (
+                    error_response("no maintenance loop on this server"),
+                    0,
+                    false,
+                );
+            };
+            match action {
+                MaintenanceAction::Status => (maintenance_status(coordinator), 0, true),
+                MaintenanceAction::Compact => {
+                    if !allow_load {
+                        // A forced compaction can trigger a full rebuild —
+                        // gate it with the other mutating ops.
+                        return (
+                            error_response("maintenance compact is disabled on this server"),
+                            0,
+                            false,
+                        );
+                    }
+                    let outcome = coordinator.run_slot(&name);
+                    let ok = !matches!(
+                        outcome,
+                        crate::maintenance::RunOutcome::Failed { .. }
+                            | crate::maintenance::RunOutcome::NoLineage { .. }
+                    );
+                    let response = ok_response(vec![
+                        ("name".into(), Value::string(name)),
+                        ("outcome".into(), Value::string(outcome.to_string())),
+                    ]);
+                    if ok {
+                        (response, 0, true)
+                    } else {
+                        (error_response(&outcome.to_string()), 0, false)
+                    }
+                }
+                MaintenanceAction::SetPolicy {
+                    max_applied_deltas,
+                    drift_scale,
+                    drift_mean_threshold,
+                    drift_q_threshold,
+                } => {
+                    if !allow_load {
+                        return (
+                            error_response("maintenance set-policy is disabled on this server"),
+                            0,
+                            false,
+                        );
+                    }
+                    let mut policy = coordinator.config().policy;
+                    if let Some(n) = max_applied_deltas {
+                        policy.max_applied_deltas = n;
+                    }
+                    if let Some(scale) = drift_scale {
+                        policy.drift_scale = scale;
+                    }
+                    if let (Some(mean), Some(q)) = (drift_mean_threshold, drift_q_threshold) {
+                        policy.drift_override = Some(phe_core::DriftThreshold {
+                            mean_abs_error_rate: mean,
+                            max_q_error: q,
+                        });
+                    }
+                    coordinator.set_policy(policy);
+                    (maintenance_status(coordinator), 0, true)
+                }
+            }
+        }
     }
+}
+
+/// Renders the maintenance loop's policy, interval, and per-slot status
+/// as the `maintenance` op's `status`/`set-policy` response.
+fn maintenance_status(coordinator: &MaintenanceCoordinator) -> String {
+    let config = coordinator.config();
+    let mut policy = vec![
+        (
+            "max_applied_deltas".into(),
+            Value::Number(Number::PosInt(config.policy.max_applied_deltas)),
+        ),
+        (
+            "drift_scale".into(),
+            Value::Number(Number::Float(config.policy.drift_scale)),
+        ),
+    ];
+    if let Some(pinned) = config.policy.drift_override {
+        policy.push((
+            "drift_mean_threshold".into(),
+            Value::Number(Number::Float(pinned.mean_abs_error_rate)),
+        ));
+        policy.push((
+            "drift_q_threshold".into(),
+            Value::Number(Number::Float(pinned.max_q_error)),
+        ));
+    }
+    let slots = coordinator
+        .status_all()
+        .into_iter()
+        .map(|(name, status)| {
+            Value::Object(vec![
+                ("name".into(), Value::string(name)),
+                (
+                    "queued".into(),
+                    Value::Number(Number::PosInt(status.queued as u64)),
+                ),
+                (
+                    "enqueued".into(),
+                    Value::Number(Number::PosInt(status.enqueued)),
+                ),
+                (
+                    "compacted".into(),
+                    Value::Number(Number::PosInt(status.compacted)),
+                ),
+                (
+                    "purged".into(),
+                    Value::Number(Number::PosInt(status.purged)),
+                ),
+                (
+                    "last_trigger".into(),
+                    status.last_trigger.map_or(Value::Null, Value::string),
+                ),
+                (
+                    "last_outcome".into(),
+                    status.last_outcome.map_or(Value::Null, Value::string),
+                ),
+            ])
+        })
+        .collect();
+    ok_response(vec![
+        (
+            "publish_interval_ms".into(),
+            Value::Number(Number::PosInt(config.publish_interval.as_millis() as u64)),
+        ),
+        ("policy".into(), Value::Object(policy)),
+        ("slots".into(), Value::Array(slots)),
+    ])
 }
 
 fn estimate(
@@ -835,8 +1062,12 @@ fn publish(
             if version > 1 {
                 metrics.record_swap();
             }
-            if let Some(drift) = drift {
-                metrics.record_drift(name, &drift);
+            match drift {
+                Some(drift) => metrics.record_drift(name, &drift),
+                // No sampled drift means this publish started a fresh
+                // lineage (full rebuild) or dropped maintenance entirely;
+                // either way the old gauges describe dead statistics.
+                None => metrics.clear_drift(name),
             }
         }
         None => {
@@ -847,7 +1078,7 @@ fn publish(
 }
 
 /// Best-effort panic payload extraction for the background workers' logs.
-fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+pub(crate) fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
     panic
         .downcast_ref::<String>()
         .map(String::as_str)
@@ -954,13 +1185,14 @@ mod tests {
         let registry = test_registry();
         let metrics = Arc::new(ServiceMetrics::new());
 
-        let (r, _, ok) = handle_line(r#"{"op":"ping"}"#, &registry, &metrics, true);
+        let (r, _, ok) = handle_line(r#"{"op":"ping"}"#, &registry, &metrics, None, true);
         assert!(ok && r.contains(r#""ok":true"#), "{r}");
 
         let (r, paths, ok) = handle_line(
             r#"{"op":"estimate","paths":[[0,1],[2]]}"#,
             &registry,
             &metrics,
+            None,
             true,
         );
         assert!(ok, "{r}");
@@ -968,10 +1200,10 @@ mod tests {
         assert!(r.contains("estimates"), "{r}");
         assert!(r.contains(r#""version":1"#), "{r}");
 
-        let (r, _, ok) = handle_line(r#"{"op":"list"}"#, &registry, &metrics, true);
+        let (r, _, ok) = handle_line(r#"{"op":"list"}"#, &registry, &metrics, None, true);
         assert!(ok && r.contains("default"), "{r}");
 
-        let (r, _, ok) = handle_line(r#"{"op":"metrics"}"#, &registry, &metrics, true);
+        let (r, _, ok) = handle_line(r#"{"op":"metrics"}"#, &registry, &metrics, None, true);
         assert!(ok && r.contains("cache_hit_rate"), "{r}");
     }
 
@@ -984,6 +1216,7 @@ mod tests {
             r#"{"op":"estimate_expr","exprs":["0|1","0/1?"]}"#,
             &registry,
             &metrics,
+            None,
             true,
         );
         assert!(ok, "{r}");
@@ -997,6 +1230,7 @@ mod tests {
             r#"{"op":"estimate_expr","exprs":["1|0"]}"#,
             &registry,
             &metrics,
+            None,
             true,
         );
         assert!(ok && r.contains(r#""cached":true"#), "{r}");
@@ -1006,12 +1240,13 @@ mod tests {
             r#"{"op":"estimate_expr","exprs":["0|1"],"explain":true}"#,
             &registry,
             &metrics,
+            None,
             true,
         );
         assert!(ok && r.contains(r#""branches":[["0","#), "{r}");
 
         // The list op reports the slot's expression-cache counters.
-        let (r, _, ok) = handle_line(r#"{"op":"list"}"#, &registry, &metrics, true);
+        let (r, _, ok) = handle_line(r#"{"op":"list"}"#, &registry, &metrics, None, true);
         assert!(ok && r.contains(r#""expr_cache_hits":1"#), "{r}");
         assert!(r.contains(r#""expr_cache_misses""#), "{r}");
 
@@ -1020,6 +1255,7 @@ mod tests {
             r#"{"op":"estimate_expr","exprs":["0|"]}"#,
             &registry,
             &metrics,
+            None,
             true,
         );
         assert!(!ok && r.contains("unexpected end"), "{r}");
@@ -1027,6 +1263,7 @@ mod tests {
             r#"{"op":"estimate_expr","estimator":"missing","exprs":["0"]}"#,
             &registry,
             &metrics,
+            None,
             true,
         );
         assert!(!ok && r.contains("missing"), "{r}");
@@ -1048,7 +1285,7 @@ mod tests {
             r#"{{"op":"rebuild","name":"default","graph":{:?},"k":2,"beta":8}}"#,
             path.to_str().unwrap()
         );
-        let (r, _, ok) = handle_line(&line, &registry, &metrics, true);
+        let (r, _, ok) = handle_line(&line, &registry, &metrics, None, true);
         assert!(ok && r.contains("rebuilding"), "{r}");
 
         // The swap lands asynchronously; poll the slot version.
@@ -1072,6 +1309,7 @@ mod tests {
             r#"{"op":"rebuild","name":"default","graph":"/nonexistent.tsv"}"#,
             &registry,
             &metrics,
+            None,
             true,
         );
         assert!(ok, "{r}");
@@ -1091,7 +1329,7 @@ mod tests {
             empty.to_str().unwrap()
         );
         let failed_before = metrics.report().rebuilds_failed;
-        let (r, _, ok) = handle_line(&empty_line, &registry, &metrics, true);
+        let (r, _, ok) = handle_line(&empty_line, &registry, &metrics, None, true);
         assert!(ok, "{r}");
         let deadline = Instant::now() + Duration::from_secs(30);
         while metrics.report().rebuilds_failed == failed_before {
@@ -1103,17 +1341,18 @@ mod tests {
             "mark must be released after a panicked rebuild"
         );
         // While a slot is marked, further rebuilds are refused.
-        let (r, _, ok) = handle_line(&line, &registry, &metrics, true);
+        let (r, _, ok) = handle_line(&line, &registry, &metrics, None, true);
         assert!(!ok && r.contains("in flight"), "{r}");
         registry.finish_rebuild("default");
 
         // Disabled alongside load; bad parameters are synchronous errors.
-        let (r, _, ok) = handle_line(&line, &registry, &metrics, false);
+        let (r, _, ok) = handle_line(&line, &registry, &metrics, None, false);
         assert!(!ok && r.contains("disabled"), "{r}");
         let (r, _, ok) = handle_line(
             r#"{"op":"rebuild","graph":"/g.tsv","ordering":"nope"}"#,
             &registry,
             &metrics,
+            None,
             true,
         );
         assert!(!ok && r.contains("unknown ordering"), "{r}");
@@ -1138,7 +1377,7 @@ mod tests {
             r#"{{"op":"delta","name":"default","changes":{:?}}}"#,
             changes_path.to_str().unwrap()
         );
-        let (r, _, ok) = handle_line(&delta_line, &registry, &metrics, true);
+        let (r, _, ok) = handle_line(&delta_line, &registry, &metrics, None, true);
         assert!(!ok && r.contains("maintain"), "{r}");
         assert!(
             registry.try_begin_rebuild("default"),
@@ -1151,7 +1390,7 @@ mod tests {
             r#"{{"op":"rebuild","name":"default","graph":{:?},"k":2,"beta":8,"maintain":true}}"#,
             graph_path.to_str().unwrap()
         );
-        let (r, _, ok) = handle_line(&rebuild_line, &registry, &metrics, true);
+        let (r, _, ok) = handle_line(&rebuild_line, &registry, &metrics, None, true);
         assert!(ok, "{r}");
         let deadline = Instant::now() + Duration::from_secs(30);
         while registry.get("default").unwrap().version() != 2 {
@@ -1180,7 +1419,7 @@ mod tests {
         )
         .unwrap();
 
-        let (r, _, ok) = handle_line(&delta_line, &registry, &metrics, true);
+        let (r, _, ok) = handle_line(&delta_line, &registry, &metrics, None, true);
         assert!(ok && r.contains("applying-delta"), "{r}");
         let deadline = Instant::now() + Duration::from_secs(30);
         while registry.get("default").unwrap().version() != 3 {
@@ -1218,7 +1457,7 @@ mod tests {
             "{drift:?}"
         );
         assert!(drift.max_q_error >= 1.0, "{drift:?}");
-        let (r, _, ok) = handle_line(r#"{"op":"list"}"#, &registry, &metrics, true);
+        let (r, _, ok) = handle_line(r#"{"op":"list"}"#, &registry, &metrics, None, true);
         assert!(ok && r.contains(r#""drift_mean_abs_error""#), "{r}");
         assert!(r.contains(r#""drift_sampled_paths""#), "{r}");
         let exposition = metrics.render_prometheus();
@@ -1231,13 +1470,14 @@ mod tests {
             r#"{"op":"metrics","format":"prometheus"}"#,
             &registry,
             &metrics,
+            None,
             true,
         );
         assert!(ok && r.contains("phe_drift_sampled_paths"), "{r}");
 
         // A bad changes path is an asynchronous failure.
         let bad_line = r#"{"op":"delta","name":"default","changes":"/nonexistent.tsv"}"#;
-        let (r, _, ok) = handle_line(bad_line, &registry, &metrics, true);
+        let (r, _, ok) = handle_line(bad_line, &registry, &metrics, None, true);
         assert!(ok, "{r}");
         let deadline = Instant::now() + Duration::from_secs(30);
         while metrics.report().deltas_failed == 0 {
@@ -1258,7 +1498,7 @@ mod tests {
             r#"{{"op":"rebuild","name":"default","graph":{:?},"k":2,"beta":8}}"#,
             graph_path.to_str().unwrap()
         );
-        let (r, _, ok) = handle_line(&plain_rebuild, &registry, &metrics, true);
+        let (r, _, ok) = handle_line(&plain_rebuild, &registry, &metrics, None, true);
         assert!(ok, "{r}");
         let deadline = Instant::now() + Duration::from_secs(30);
         while registry.get("default").unwrap().version() != 4 {
@@ -1269,11 +1509,11 @@ mod tests {
             registry.maintenance("default").is_none(),
             "maintenance state must not survive a non-maintaining publish"
         );
-        let (r, _, ok) = handle_line(&delta_line, &registry, &metrics, true);
+        let (r, _, ok) = handle_line(&delta_line, &registry, &metrics, None, true);
         assert!(!ok && r.contains("maintain"), "{r}");
 
         // Disabled alongside load.
-        let (r, _, ok) = handle_line(&delta_line, &registry, &metrics, false);
+        let (r, _, ok) = handle_line(&delta_line, &registry, &metrics, None, false);
         assert!(!ok && r.contains("disabled"), "{r}");
 
         std::fs::remove_dir_all(&dir).ok();
@@ -1341,9 +1581,9 @@ mod tests {
             r#"{{"op":"load","name":"disk","snapshot":{:?}}}"#,
             snapshot_path.to_str().unwrap()
         );
-        let (r, _, ok) = handle_line(&line, &registry, &metrics, true);
+        let (r, _, ok) = handle_line(&line, &registry, &metrics, None, true);
         assert!(ok, "{r}");
-        let (r, _, ok) = handle_line(r#"{"op":"list"}"#, &registry, &metrics, true);
+        let (r, _, ok) = handle_line(r#"{"op":"list"}"#, &registry, &metrics, None, true);
         assert!(ok && r.contains(r#""catalog_mapped""#), "{r}");
         assert!(r.contains(r#""follow_pruning":true"#), "{r}");
         assert!(r.contains(r#""catalog_payload_bytes""#), "{r}");
@@ -1376,7 +1616,7 @@ mod tests {
             r#"{"op":"estimate","paths":[["nope"]]}"#,
             r#"{"op":"load","name":"x","snapshot":"/nonexistent.json"}"#,
         ] {
-            let (r, _, ok) = handle_line(bad, &registry, &metrics, true);
+            let (r, _, ok) = handle_line(bad, &registry, &metrics, None, true);
             assert!(!ok, "{bad} should fail");
             assert!(r.contains(r#""ok":false"#), "{r}");
         }
@@ -1385,6 +1625,7 @@ mod tests {
             r#"{"op":"load","name":"x","snapshot":"/y.json"}"#,
             &registry,
             &metrics,
+            None,
             false,
         );
         assert!(!ok && r.contains("disabled"), "{r}");

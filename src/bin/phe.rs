@@ -93,12 +93,19 @@ USAGE:
   phe accuracy <graph.tsv> --k K --beta B
   phe serve --snapshot [name=]stats.json [--snapshot ...] [--addr 127.0.0.1:7878]
             [--workers N] [--cache ENTRIES] [--no-load]
-            [--metrics-addr 127.0.0.1:9464]
+            [--metrics-addr 127.0.0.1:9464] [--publish-interval-ms MS]
+            [--compact-after N] [--drift-scale S]
       serves batched estimates over newline-delimited JSON TCP; ctrl-C
       prints the metrics report (qps, p50/p99, cache + expression-cache
       hit rates, per-slot accuracy drift) and exits; --metrics-addr
       additionally serves the same metrics as a Prometheus text scrape
-      endpoint (GET /metrics)
+      endpoint (GET /metrics). Maintained slots run an autonomous
+      freshness loop: delta ops enqueue; every --publish-interval-ms
+      (default 2000; 0 disables the loop and applies deltas inline) the
+      queue is compacted into one counting pass and published; a full
+      rebuild triggers after --compact-after applied deltas (default 64;
+      0 disables) or when accuracy drift exceeds the Baraud-Birge
+      threshold scaled by --drift-scale (default 1.0; 0 disables)
   phe query (--remote 127.0.0.1:7878 | --snapshot stats.json) [--estimator NAME]
             [--graph graph.tsv] [--explain] [--trace] <path-expr>...
       estimates regular path expressions — locally against a snapshot, or
@@ -688,19 +695,56 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             Some(endpoint)
         }
     };
+    // The maintenance loop is on by default; --publish-interval-ms 0
+    // reverts `delta` to the legacy apply-inline path (no queue, no
+    // compaction, no policy rebuilds).
+    let publish_interval_ms: u64 = flags.get_parsed("publish-interval-ms")?.unwrap_or(2000);
+    let mut policy = phe::core::RebuildPolicy::default();
+    if let Some(compact_after) = flags.get_parsed("compact-after")? {
+        policy.max_applied_deltas = compact_after;
+    }
+    if let Some(drift_scale) = flags.get_parsed("drift-scale")? {
+        policy.drift_scale = drift_scale;
+    }
+    let coordinator = (publish_interval_ms > 0).then(|| {
+        phe::service::MaintenanceCoordinator::new(
+            std::sync::Arc::clone(&registry),
+            metrics.clone(),
+            phe::service::MaintenanceConfig {
+                publish_interval: std::time::Duration::from_millis(publish_interval_ms),
+                policy,
+            },
+        )
+    });
+    let ticker = coordinator.as_ref().map(|c| c.start_ticker());
+
     let sigint = phe::service::install_sigint_flag();
-    let server =
-        phe::service::Server::start(std::sync::Arc::clone(&registry), metrics.clone(), config)
-            .map_err(|e| format!("starting server: {e}"))?;
+    let server = phe::service::Server::start_with(
+        std::sync::Arc::clone(&registry),
+        metrics.clone(),
+        coordinator.clone(),
+        config,
+    )
+    .map_err(|e| format!("starting server: {e}"))?;
     println!(
         "serving {} estimator(s) on {} — ctrl-C for metrics + shutdown",
         registry.len(),
         server.local_addr()
     );
+    match publish_interval_ms {
+        0 => println!("maintenance loop disabled (deltas apply inline)"),
+        ms => println!("maintenance loop: compacted publish every {ms}ms"),
+    }
     while !sigint() {
         std::thread::sleep(std::time::Duration::from_millis(100));
     }
     println!("\nshutting down...");
+    if let Some(coordinator) = &coordinator {
+        coordinator.request_shutdown();
+    }
+    if let Some(handle) = ticker {
+        let _ = handle.join();
+    }
     server.shutdown();
     if let Some(mut endpoint) = metrics_server {
         endpoint.shutdown();

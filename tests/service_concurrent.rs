@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use phe::core::{EstimatorConfig, HistogramKind, OrderingKind, PathSelectivityEstimator};
 use phe::datasets::{erdos_renyi, LabelDistribution};
-use phe::graph::LabelId;
+use phe::graph::{GraphDelta, LabelId};
 use phe::service::protocol::PathStep;
 use phe::service::{
     EstimatorRegistry, ServableEstimator, Server, ServerConfig, ServiceClient, ServiceMetrics,
@@ -269,6 +269,357 @@ fn concurrent_batches_survive_hot_swap() {
     endpoint.shutdown();
 
     server.shutdown();
+}
+
+/// A small valid churn batch against `graph`: existing edges removed,
+/// fresh same-label endpoint recombinations inserted. Each batch drawn
+/// from the same base composes validly with the others in any order (a
+/// removal names an edge present in the base, an insertion an absent
+/// one, so no cross-batch insert/remove pair can collide).
+fn churn(graph: &phe::graph::Graph, seed: u64, removals: usize, insertions: usize) -> GraphDelta {
+    use phe::graph::VertexId;
+    let mut x = seed | 1;
+    let mut step = |m: usize| {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        (x % m as u64) as usize
+    };
+    let mut edges: Vec<(u32, u16, u32)> = Vec::new();
+    for label in 0..graph.label_count() as u16 {
+        for (s, t) in graph.forward_csr(LabelId(label)).iter_edges() {
+            edges.push((s.0, label, t.0));
+        }
+    }
+    let mut delta = GraphDelta::new();
+    let mut removed = std::collections::HashSet::new();
+    let mut attempts = 0;
+    while removed.len() < removals && attempts < removals * 200 {
+        attempts += 1;
+        let (s, l, t) = edges[step(edges.len())];
+        if removed.insert((s, l, t)) {
+            delta.remove(VertexId(s), LabelId(l), VertexId(t));
+        }
+    }
+    let mut added = std::collections::HashSet::new();
+    let mut attempts = 0;
+    while added.len() < insertions && attempts < insertions * 200 {
+        attempts += 1;
+        let (s, l, _) = edges[step(edges.len())];
+        let (_, l2, t) = edges[step(edges.len())];
+        if l != l2
+            || graph.has_edge(VertexId(s), LabelId(l), VertexId(t))
+            || removed.contains(&(s, l, t))
+        {
+            continue;
+        }
+        if added.insert((s, l, t)) {
+            delta.insert(VertexId(s), LabelId(l), VertexId(t));
+        }
+    }
+    assert!(!delta.is_empty(), "churn produced an empty batch");
+    delta
+}
+
+/// Concurrent `delta` ops racing an **in-flight drift-triggered
+/// rebuild**: the maintenance worker is parked inside the rebuild (fault
+/// gate), wire clients enqueue fresh batches and hammer
+/// `estimate_id_batch` across the rebuild's publish, and every response
+/// must stay single-generation-consistent (a batch with each path asked
+/// twice must answer both copies identically, and equal versions must
+/// answer identically across the whole run).
+#[test]
+fn concurrent_deltas_during_inflight_drift_rebuild() {
+    use phe::core::{DriftThreshold, RebuildPolicy};
+    use phe::graph::delta::write_changes_path;
+    use phe::service::protocol::Request;
+    use phe::service::registry::MaintenanceState;
+    use phe::service::{FailAction, FailPoint, Gate, MaintenanceConfig, MaintenanceCoordinator};
+    use serde_json::Value;
+
+    let dir = std::env::temp_dir()
+        .join("phe_service_concurrent")
+        .join("drift_rebuild");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let g0 = erdos_renyi(
+        80,
+        640,
+        LABELS,
+        LabelDistribution::Zipf { exponent: 1.0 },
+        41,
+    );
+    let maintained_config = EstimatorConfig {
+        k: K,
+        beta: 8,
+        ordering: OrderingKind::SumBased,
+        histogram: HistogramKind::VOptimalGreedy,
+        threads: 1,
+        retain_catalog: false,
+        retain_sparse: true,
+    };
+    let estimator = PathSelectivityEstimator::build(&g0, maintained_config).expect("base build");
+    let servable = ServableEstimator::from_snapshot(&estimator.snapshot().expect("snapshot"))
+        .expect("servable");
+    let metrics = Arc::new(ServiceMetrics::new());
+    let registry = Arc::new(EstimatorRegistry::new(metrics.cache_counters(), 4096));
+    assert_eq!(
+        registry.register_if_version_maintained(
+            "main",
+            servable,
+            0,
+            Some(MaintenanceState {
+                graph: g0.clone(),
+                estimator,
+            }),
+        ),
+        Some(1)
+    );
+    let coordinator = MaintenanceCoordinator::new(
+        Arc::clone(&registry),
+        Arc::clone(&metrics),
+        MaintenanceConfig {
+            publish_interval: std::time::Duration::from_secs(3600), // ticked by hand
+            // A threshold any nonzero drift crosses: the first compacted
+            // publish flows straight into a drift-triggered rebuild.
+            policy: RebuildPolicy {
+                max_applied_deltas: 0,
+                drift_scale: 1.0,
+                drift_override: Some(DriftThreshold {
+                    mean_abs_error_rate: 1e-9,
+                    max_q_error: 1.0 + 1e-9,
+                }),
+            },
+        },
+    );
+    let server = Server::start_with(
+        Arc::clone(&registry),
+        Arc::clone(&metrics),
+        Some(Arc::clone(&coordinator)),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 8,
+            allow_load: true,
+        },
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    let send_delta = |path: &std::path::Path| {
+        let mut client = ServiceClient::connect(addr).expect("delta client connects");
+        let response = client
+            .roundtrip(&Request::Delta {
+                name: "main".to_owned(),
+                changes: path.display().to_string(),
+            })
+            .expect("delta op");
+        assert_eq!(
+            response.get("status").and_then(Value::as_str),
+            Some("queued"),
+            "maintained delta ops must queue: {response:?}"
+        );
+    };
+
+    // Batch 1 drives the drift crossing; its compacted publish is v2 and
+    // the triggered rebuild parks at the gate with v3 still unpublished.
+    let driver = churn(&g0, 1009, 6, 6);
+    let driver_path = dir.join("driver.tsv");
+    write_changes_path(&driver, &g0, &driver_path).expect("write driver");
+    send_delta(&driver_path);
+    let g1 = g0.apply_delta(&driver).expect("driver applies");
+
+    let gate = Gate::new();
+    coordinator.failure_plan().inject(
+        FailPoint::BeforeRebuild,
+        FailAction::Hold(Arc::clone(&gate)),
+    );
+    let worker = {
+        let coordinator = Arc::clone(&coordinator);
+        std::thread::spawn(move || coordinator.run_slot("main"))
+    };
+    gate.wait_arrived();
+    assert_eq!(
+        registry.get("main").unwrap().version(),
+        2,
+        "the compacted publish lands before the rebuild parks"
+    );
+
+    // Wire batches valid against g1 (the parked rebuild holds the
+    // single-flight mark, so nothing can compact them out from under
+    // their base until it finishes).
+    const WIRE_BATCHES: usize = 6;
+    let batch_files: Vec<std::path::PathBuf> = (0..WIRE_BATCHES)
+        .map(|i| {
+            let delta = churn(&g1, 2003 + i as u64 * 7919, 4, 4);
+            let path = dir.join(format!("batch{i}.tsv"));
+            write_changes_path(&delta, &g1, &path).expect("write batch");
+            path
+        })
+        .collect();
+
+    let wire_paths: Vec<Vec<PathStep>> = batch_paths()
+        .iter()
+        .map(|p| p.iter().map(|l| PathStep::Id(l.0)).collect())
+        .collect();
+    // Each path asked twice in one request: a torn response shows up as
+    // the two copies disagreeing.
+    let half = wire_paths.len();
+    let doubled: Vec<Vec<PathStep>> = wire_paths
+        .iter()
+        .chain(wire_paths.iter())
+        .cloned()
+        .collect();
+    let by_version: Arc<std::sync::Mutex<std::collections::HashMap<u64, Vec<f64>>>> =
+        Arc::new(std::sync::Mutex::new(std::collections::HashMap::new()));
+    let released = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        // Estimate hammer: runs across the parked window, the release,
+        // the rebuild's publish, and the drain below.
+        let mut estimate_handles = Vec::new();
+        for client_id in 0..3 {
+            let doubled = doubled.clone();
+            let by_version = Arc::clone(&by_version);
+            let released = Arc::clone(&released);
+            estimate_handles.push(scope.spawn(move || {
+                let mut client = ServiceClient::connect(addr).expect("estimate client");
+                let mut last_version = 0u64;
+                let mut request = 0usize;
+                // Keep hammering until well after the gate released.
+                while !released.load(Ordering::Relaxed) || !request.is_multiple_of(16) {
+                    request += 1;
+                    let batch = client
+                        .estimate("main", doubled.clone())
+                        .unwrap_or_else(|e| {
+                            panic!("client {client_id} request {request} failed: {e}")
+                        });
+                    assert!(
+                        batch.version >= last_version,
+                        "client {client_id}: version went {last_version} -> {}",
+                        batch.version
+                    );
+                    last_version = batch.version;
+                    let (first, second) = batch.estimates.split_at(half);
+                    assert_eq!(
+                        first, second,
+                        "client {client_id} request {request}: torn batch at v{}",
+                        batch.version
+                    );
+                    let mut seen = by_version.lock().unwrap();
+                    match seen.get(&batch.version) {
+                        Some(expected) => assert_eq!(
+                            expected, &batch.estimates,
+                            "v{} answered two different ways",
+                            batch.version
+                        ),
+                        None => {
+                            seen.insert(batch.version, batch.estimates.clone());
+                        }
+                    }
+                }
+            }));
+        }
+
+        // Concurrent delta ops, all guaranteed to land while the
+        // drift-triggered rebuild is in flight: the gate is released only
+        // after every enqueue returned.
+        let mut delta_handles = Vec::new();
+        for chunk in batch_files.chunks(2) {
+            delta_handles.push(scope.spawn(move || {
+                for path in chunk {
+                    send_delta(path);
+                }
+            }));
+        }
+        for handle in delta_handles {
+            handle.join().expect("delta thread");
+        }
+        assert_eq!(coordinator.status("main").queued, WIRE_BATCHES);
+        assert_eq!(
+            registry.get("main").unwrap().version(),
+            2,
+            "nothing may publish while the rebuild holds the slot"
+        );
+
+        gate.release();
+        let outcome = worker.join().expect("worker joins");
+        assert_eq!(
+            outcome,
+            phe::service::RunOutcome::Published {
+                version: 3,
+                batches: 1,
+                rebuilt: Some("drift".to_owned()),
+            }
+        );
+        // Drain the batches queued during the rebuild in one compacted
+        // pass (drift arm off now — this pass is about the queue).
+        coordinator.set_policy(RebuildPolicy {
+            max_applied_deltas: 0,
+            drift_scale: 0.0,
+            drift_override: None,
+        });
+        let outcome = coordinator.run_slot("main");
+        assert_eq!(
+            outcome,
+            phe::service::RunOutcome::Published {
+                version: 4,
+                batches: WIRE_BATCHES,
+                rebuilt: None,
+            }
+        );
+        released.store(true, Ordering::Relaxed);
+        for handle in estimate_handles {
+            handle.join().expect("estimate thread");
+        }
+    });
+
+    // Exactly-once accounting: every batch enqueued over the wire was
+    // compacted into a publish, none lost, none replayed.
+    let status = coordinator.status("main");
+    assert_eq!(
+        (
+            status.queued,
+            status.enqueued,
+            status.compacted,
+            status.purged
+        ),
+        (0, 1 + WIRE_BATCHES as u64, 1 + WIRE_BATCHES as u64, 0)
+    );
+
+    // Lineage consistency: the maintained catalog equals a recount of
+    // the final graph (driver + every wire batch, in any order — the
+    // batches are pairwise compose-safe by construction).
+    let wire_deltas: Vec<GraphDelta> = batch_files
+        .iter()
+        .map(|path| phe::graph::delta::read_changes_path(path, &g1).expect("reread batch"))
+        .collect();
+    let final_graph = g1
+        .apply_delta(&GraphDelta::compose(&wire_deltas))
+        .expect("composed wire batches apply");
+    let state = registry.maintenance("main").expect("still maintained");
+    let reference =
+        PathSelectivityEstimator::build(&final_graph, maintained_config).expect("recount");
+    assert_eq!(
+        state
+            .estimator
+            .sparse_catalog()
+            .expect("maintained catalog"),
+        reference.sparse_catalog().expect("reference catalog"),
+        "maintained catalog diverged from a recount of the final graph"
+    );
+
+    // A fresh request sees the drained generation.
+    let mut client = ServiceClient::connect(addr).expect("final client");
+    assert_eq!(client.estimate("main", wire_paths).unwrap().version, 4);
+    assert_eq!(
+        metrics.report().errors,
+        0,
+        "no request may fail mid-rebuild"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
