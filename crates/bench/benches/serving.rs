@@ -19,6 +19,12 @@
 //!   real loopback connection — the configuration `phe serve` actually
 //!   runs, where each request additionally pays two syscall round trips.
 //!   This is where batching's amortization dominates.
+//!
+//! Connection-*scale* serving (1 → 512 concurrent connections, the
+//! event loop vs thread-pool race, and the in-bin throughput/latency
+//! acceptance gates) lives in the `serving_scale` binary
+//! (`src/bin/serving_scale.rs`), which CI runs and collects into the
+//! `BENCH_serving_scale.json` artifact.
 
 use std::sync::Arc;
 
@@ -193,6 +199,7 @@ fn bench_tcp(c: &mut Criterion) {
             addr: "127.0.0.1:0".to_owned(),
             workers: 2,
             allow_load: false,
+            ..ServerConfig::default()
         },
     )
     .expect("bench server starts");

@@ -248,6 +248,7 @@ fn main() {
             addr: "127.0.0.1:0".into(),
             workers: 2,
             allow_load: false,
+            ..ServerConfig::default()
         },
     )
     .expect("server");

@@ -18,6 +18,14 @@ pub enum ClientError {
     Malformed(String),
     /// The server answered `ok: false`.
     Server(String),
+    /// The server refused the request under admission control or load
+    /// shedding (`"overloaded": true` in the response); the payload is
+    /// the structured reason (`capacity`, `quota`, or `shed`). Retry
+    /// after backing off.
+    Overloaded(String),
+    /// The server refused to queue work at a backpressure cap
+    /// (`"backpressure": true`); retry after the queue drains.
+    Backpressure(String),
 }
 
 impl std::fmt::Display for ClientError {
@@ -26,6 +34,8 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "transport: {e}"),
             ClientError::Malformed(m) => write!(f, "malformed response: {m}"),
             ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Overloaded(reason) => write!(f, "server overloaded ({reason})"),
+            ClientError::Backpressure(m) => write!(f, "server backpressure: {m}"),
         }
     }
 }
@@ -115,13 +125,33 @@ impl ServiceClient {
             .map_err(|e| ClientError::Malformed(e.to_string()))?;
         match value.get("ok") {
             Some(Value::Bool(true)) => Ok(value),
-            Some(Value::Bool(false)) => Err(ClientError::Server(
-                value
-                    .get("error")
-                    .and_then(Value::as_str)
-                    .unwrap_or("unknown error")
-                    .to_owned(),
-            )),
+            Some(Value::Bool(false)) => {
+                if matches!(value.get("overloaded"), Some(Value::Bool(true))) {
+                    return Err(ClientError::Overloaded(
+                        value
+                            .get("reason")
+                            .and_then(Value::as_str)
+                            .unwrap_or("unknown")
+                            .to_owned(),
+                    ));
+                }
+                if matches!(value.get("backpressure"), Some(Value::Bool(true))) {
+                    return Err(ClientError::Backpressure(
+                        value
+                            .get("error")
+                            .and_then(Value::as_str)
+                            .unwrap_or("unknown error")
+                            .to_owned(),
+                    ));
+                }
+                Err(ClientError::Server(
+                    value
+                        .get("error")
+                        .and_then(Value::as_str)
+                        .unwrap_or("unknown error")
+                        .to_owned(),
+                ))
+            }
             _ => Err(ClientError::Malformed(format!(
                 "response without ok field: {value:?}"
             ))),

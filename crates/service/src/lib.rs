@@ -16,9 +16,12 @@
 //!   many paths, fronted by a sharded LRU [`cache::ShardedLruCache`] with
 //!   hit/miss counters (optimizer workloads re-ask hot join paths
 //!   constantly).
-//! * [`server::Server`] — a std-only TCP serving loop (acceptor + worker
-//!   pool, newline-delimited JSON, see [`protocol`]) exposed through the
-//!   `phe serve` and `phe query --remote` CLI subcommands.
+//! * [`server::Server`] — a std-only TCP serving loop (on unix a
+//!   readiness-driven event loop over a `poll(2)` [`reactor`], with
+//!   admission control and load shedding; elsewhere the
+//!   [`threadpool`] fallback), speaking newline-delimited JSON (see
+//!   [`protocol`]) through the `phe serve` and `phe query --remote`
+//!   CLI subcommands.
 //! * [`metrics::ServiceMetrics`] — qps, p50/p99 latency, cache hit rate;
 //!   the serve loop prints the report on SIGINT/shutdown.
 //!
@@ -55,19 +58,24 @@
 pub mod cache;
 pub mod client;
 pub mod estimator;
+#[cfg(unix)]
+pub mod eventloop;
 pub mod maintenance;
 pub mod metrics;
 pub mod protocol;
+pub mod reactor;
 pub mod registry;
 pub mod server;
+pub mod threadpool;
 
 pub use cache::{CacheCounters, CachedExpr, ExprCache, ShardedLruCache};
 pub use client::{BatchEstimates, BatchExprEstimates, ClientError, ExprResult, ServiceClient};
 pub use estimator::{CatalogResidency, EstimateError, ServableEstimator};
 pub use maintenance::{
-    FailAction, FailPoint, FailurePlan, Gate, MaintenanceConfig, MaintenanceCoordinator,
-    RunOutcome, SlotStatus,
+    EnqueueError, FailAction, FailPoint, FailurePlan, Gate, MaintenanceConfig,
+    MaintenanceCoordinator, RunOutcome, SlotStatus,
 };
 pub use metrics::{MetricsReport, ServiceMetrics};
 pub use registry::{EstimatorRegistry, ExprOutcome, ServingEstimator};
 pub use server::{install_sigint_flag, load_snapshot, Server, ServerConfig};
+pub use threadpool::ThreadPoolServer;

@@ -182,17 +182,60 @@ pub struct MaintenanceConfig {
     pub publish_interval: Duration,
     /// When a maintained slot should stop merging and fully rebuild.
     pub policy: RebuildPolicy,
+    /// Per-slot delta queue cap: an [`MaintenanceCoordinator::enqueue`]
+    /// past this depth is refused with [`EnqueueError::QueueFull`]
+    /// (structured backpressure) instead of growing the queue — and the
+    /// parsed-but-unapplied batches it holds — without bound.
+    pub max_queue_depth: usize,
 }
 
 impl Default for MaintenanceConfig {
-    /// Two-second publish cadence under the default [`RebuildPolicy`].
+    /// Two-second publish cadence under the default [`RebuildPolicy`],
+    /// queues capped at 1024 batches per slot.
     fn default() -> MaintenanceConfig {
         MaintenanceConfig {
             publish_interval: Duration::from_secs(2),
             policy: RebuildPolicy::default(),
+            max_queue_depth: 1024,
         }
     }
 }
+
+/// Why [`MaintenanceCoordinator::enqueue`] refused a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnqueueError {
+    /// The slot has no maintained lineage for batches to apply to.
+    NoLineage {
+        /// The slot that was addressed.
+        slot: String,
+    },
+    /// The slot's queue is at [`MaintenanceConfig::max_queue_depth`];
+    /// the batch was **not** queued. The caller should surface
+    /// backpressure and retry after the next compacted publish.
+    QueueFull {
+        /// The configured cap the queue sits at.
+        cap: usize,
+    },
+}
+
+impl std::fmt::Display for EnqueueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnqueueError::NoLineage { slot } => write!(
+                f,
+                "no maintained statistics for {slot:?}; run a rebuild with \
+                 \"maintain\": true first"
+            ),
+            EnqueueError::QueueFull { cap } => write!(
+                f,
+                "maintenance delta queue at its cap of {cap} batches; \
+                 retry after the next compacted publish"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EnqueueError {}
 
 /// A point-in-time view of one slot's maintenance loop, for the
 /// `maintenance` protocol op and the `list` row join.
@@ -202,6 +245,8 @@ pub struct SlotStatus {
     pub queued: usize,
     /// Batches ever enqueued.
     pub enqueued: u64,
+    /// Batches refused at the queue cap (structured backpressure).
+    pub rejected: u64,
     /// Batches folded into a published compacted pass.
     pub compacted: u64,
     /// Batches discarded because their target lineage disappeared.
@@ -287,6 +332,7 @@ impl std::fmt::Display for RunOutcome {
 struct SlotQueue {
     batches: Vec<GraphDelta>,
     enqueued: u64,
+    rejected: u64,
     compacted: u64,
     purged: u64,
     last_trigger: Option<String>,
@@ -344,16 +390,26 @@ impl MaintenanceCoordinator {
     /// publish. Returns the queue depth after the push.
     ///
     /// # Errors
-    /// When the slot has no maintained lineage to apply batches to.
-    pub fn enqueue(&self, name: &str, delta: GraphDelta) -> Result<usize, String> {
+    /// [`EnqueueError::NoLineage`] when the slot has no maintained
+    /// lineage to apply batches to; [`EnqueueError::QueueFull`] when the
+    /// queue sits at [`MaintenanceConfig::max_queue_depth`] (counted as
+    /// `phe_maintenance_batches_total{event="rejected"}`; the batch is
+    /// dropped and the caller must surface backpressure).
+    pub fn enqueue(&self, name: &str, delta: GraphDelta) -> Result<usize, EnqueueError> {
         if self.registry.maintenance(name).is_none() {
-            return Err(format!(
-                "no maintained statistics for {name:?}; run a rebuild with \
-                 \"maintain\": true first"
-            ));
+            return Err(EnqueueError::NoLineage {
+                slot: name.to_owned(),
+            });
         }
+        let cap = self.config.lock().max_queue_depth;
         let mut slots = self.slots.lock();
         let queue = slots.entry(name.to_owned()).or_default();
+        if queue.batches.len() >= cap {
+            queue.rejected += 1;
+            drop(slots);
+            self.metrics.record_maintenance_batches("rejected", 1);
+            return Err(EnqueueError::QueueFull { cap });
+        }
         queue.batches.push(delta);
         queue.enqueued += 1;
         let depth = queue.batches.len();
@@ -371,6 +427,7 @@ impl MaintenanceCoordinator {
             .map(|q| SlotStatus {
                 queued: q.batches.len(),
                 enqueued: q.enqueued,
+                rejected: q.rejected,
                 compacted: q.compacted,
                 purged: q.purged,
                 last_trigger: q.last_trigger.clone(),

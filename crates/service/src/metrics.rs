@@ -10,6 +10,7 @@
 //! [`LatencyHistogram`] (4 sub-buckets per power of two, quantiles
 //! accurate to ≤ 1.25×).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -24,6 +25,8 @@ pub use phe_obs::LogHistogram as LatencyHistogram;
 
 const REBUILD_HELP: &str = "Background rebuilds by outcome event.";
 const DELTA_HELP: &str = "Background delta applications by outcome event.";
+const ADMISSION_HELP: &str =
+    "Admission-control decisions: admitted, refused (cap/quota), or shed (overload).";
 
 /// Shared counters for one serving process.
 ///
@@ -62,6 +65,20 @@ pub struct ServiceMetrics {
     latency: Arc<LatencyHistogram>,
     /// Estimate-cache counters (shared with every cache generation).
     cache: Arc<CacheCounters>,
+    /// Currently open protocol connections (event-loop server).
+    connections_open: Arc<Gauge>,
+    /// Backing count for the open-connections gauge.
+    open_count: AtomicU64,
+    /// Requests admitted past admission control.
+    admission_admitted: Arc<Counter>,
+    /// Requests/connections refused (connection cap, per-client quota).
+    admission_refused: Arc<Counter>,
+    /// Requests shed under overload (queue depth / p99 threshold).
+    admission_shed: Arc<Counter>,
+    /// CPU-heavy requests queued for the dispatch workers right now.
+    dispatch_queue_depth: Arc<Gauge>,
+    /// Backing count for the dispatch-queue gauge.
+    dispatch_count: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -117,6 +134,31 @@ impl ServiceMetrics {
                 r.as_ref(),
                 &[("cache", "estimate")],
             )),
+            connections_open: r.gauge(
+                "phe_connections_open",
+                "Protocol connections currently open.",
+            ),
+            open_count: AtomicU64::new(0),
+            admission_admitted: r.counter_with(
+                "phe_admission_total",
+                ADMISSION_HELP,
+                &[("outcome", "admitted")],
+            ),
+            admission_refused: r.counter_with(
+                "phe_admission_total",
+                ADMISSION_HELP,
+                &[("outcome", "refused")],
+            ),
+            admission_shed: r.counter_with(
+                "phe_admission_total",
+                ADMISSION_HELP,
+                &[("outcome", "shed")],
+            ),
+            dispatch_queue_depth: r.gauge(
+                "phe_dispatch_queue_depth",
+                "CPU-heavy requests waiting for a dispatch worker.",
+            ),
+            dispatch_count: AtomicU64::new(0),
             registry,
         }
     }
@@ -156,6 +198,77 @@ impl ServiceMetrics {
     /// Records a snapshot hot-swap.
     pub fn record_swap(&self) {
         self.swaps.inc();
+    }
+
+    /// Records a connection opening; returns the new open count
+    /// (`phe_connections_open`).
+    pub fn connection_opened(&self) -> u64 {
+        let now = self.open_count.fetch_add(1, Ordering::AcqRel) + 1;
+        self.connections_open.set(now as f64);
+        now
+    }
+
+    /// Records a connection closing.
+    pub fn connection_closed(&self) {
+        let mut now = self.open_count.load(Ordering::Acquire);
+        // Saturating decrement: a miscounted close must not wrap the gauge.
+        while now > 0 {
+            match self.open_count.compare_exchange_weak(
+                now,
+                now - 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    now -= 1;
+                    break;
+                }
+                Err(seen) => now = seen,
+            }
+        }
+        self.connections_open.set(now as f64);
+    }
+
+    /// Currently open connections.
+    pub fn open_connections(&self) -> u64 {
+        self.open_count.load(Ordering::Acquire)
+    }
+
+    /// Counts an admission-control decision
+    /// (`phe_admission_total{outcome=admitted}`).
+    pub fn record_admitted(&self) {
+        self.admission_admitted.inc();
+    }
+
+    /// Counts a refusal — connection cap or per-client quota
+    /// (`phe_admission_total{outcome=refused}`).
+    pub fn record_refused(&self) {
+        self.admission_refused.inc();
+    }
+
+    /// Counts a load-shed request
+    /// (`phe_admission_total{outcome=shed}`).
+    pub fn record_shed(&self) {
+        self.admission_shed.inc();
+    }
+
+    /// Records a CPU-heavy request entering the dispatch queue; returns
+    /// the new depth (`phe_dispatch_queue_depth`).
+    pub fn dispatch_enqueued(&self) -> u64 {
+        let now = self.dispatch_count.fetch_add(1, Ordering::AcqRel) + 1;
+        self.dispatch_queue_depth.set(now as f64);
+        now
+    }
+
+    /// Records a dispatch worker picking a queued request up.
+    pub fn dispatch_dequeued(&self) {
+        let now = self.dispatch_count.fetch_sub(1, Ordering::AcqRel) - 1;
+        self.dispatch_queue_depth.set(now as f64);
+    }
+
+    /// CPU-heavy requests currently waiting for a dispatch worker.
+    pub fn dispatch_depth(&self) -> u64 {
+        self.dispatch_count.load(Ordering::Acquire)
     }
 
     /// Records a background rebuild being kicked off.
@@ -526,5 +639,41 @@ mod tests {
         );
         // Clearing a slot that never reported drift is a no-op.
         m.clear_drift("never");
+    }
+
+    #[test]
+    fn admission_metrics_reach_the_exposition() {
+        let m = ServiceMetrics::new();
+        assert_eq!(m.connection_opened(), 1);
+        assert_eq!(m.connection_opened(), 2);
+        m.connection_closed();
+        assert_eq!(m.open_connections(), 1);
+        m.connection_closed();
+        m.connection_closed(); // saturates instead of wrapping
+        assert_eq!(m.open_connections(), 0);
+        m.record_admitted();
+        m.record_refused();
+        m.record_shed();
+        m.record_shed();
+        assert_eq!(m.dispatch_enqueued(), 1);
+        assert_eq!(m.dispatch_enqueued(), 2);
+        m.dispatch_dequeued();
+        assert_eq!(m.dispatch_depth(), 1);
+        let text = m.render_prometheus();
+        assert!(text.contains("phe_connections_open 0"), "{text}");
+        assert!(
+            text.contains("phe_admission_total{outcome=\"admitted\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("phe_admission_total{outcome=\"refused\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("phe_admission_total{outcome=\"shed\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("phe_dispatch_queue_depth 1"), "{text}");
+        phe_obs::parse_exposition(&text).expect("exposition must parse");
     }
 }

@@ -9,6 +9,16 @@
 //! `"ok": false` with an `"error"` string. Unknown ops, malformed JSON,
 //! and bad field types are per-line errors; the connection stays open.
 //!
+//! Two structured refusal shapes extend the plain error line:
+//!
+//! * `{"ok":false,"error":…,"overloaded":true,"reason":…}` — admission
+//!   control refused the request (`reason` is `"capacity"` for the
+//!   max-connections cap, `"quota"` for the per-client in-flight quota,
+//!   `"shed"` for load shedding); back off and retry.
+//! * `{"ok":false,"error":…,"backpressure":true}` — the maintenance
+//!   delta queue is at its cap; the batch was not enqueued. Retry after
+//!   the next compacted publish.
+//!
 //! ## Op reference
 //!
 //! | op | fields | answer | notes |
@@ -584,6 +594,33 @@ pub fn error_response(message: &str) -> String {
     .expect("response serialization is infallible")
 }
 
+/// Builds the structured admission-control refusal: an error line
+/// additionally carrying `"overloaded": true` and a machine-readable
+/// `"reason"` (`"capacity"`, `"quota"`, or `"shed"`), so clients can
+/// distinguish back-off-and-retry from a request that is simply wrong.
+pub fn overloaded_response(reason: &str, message: &str) -> String {
+    serde_json::to_string(&Value::Object(vec![
+        ("ok".to_string(), Value::Bool(false)),
+        ("error".to_string(), Value::string(message)),
+        ("overloaded".to_string(), Value::Bool(true)),
+        ("reason".to_string(), Value::string(reason)),
+    ]))
+    .expect("response serialization is infallible")
+}
+
+/// Builds the structured maintenance backpressure refusal: the delta
+/// queue is at its configured cap, so the batch was **not** enqueued.
+/// Carries `"backpressure": true`; the client should retry after the
+/// next compacted publish drains the queue.
+pub fn backpressure_response(message: &str) -> String {
+    serde_json::to_string(&Value::Object(vec![
+        ("ok".to_string(), Value::Bool(false)),
+        ("error".to_string(), Value::string(message)),
+        ("backpressure".to_string(), Value::Bool(true)),
+    ]))
+    .expect("response serialization is infallible")
+}
+
 /// Renders a metrics report as a JSON object.
 pub fn metrics_to_value(report: &MetricsReport) -> Value {
     Value::Object(vec![
@@ -842,5 +879,19 @@ mod tests {
         );
         let e = error_response("boom");
         assert!(e.contains(r#""ok":false"#) && e.contains("boom"));
+    }
+
+    #[test]
+    fn structured_refusals_carry_their_markers() {
+        let o = overloaded_response("quota", "client over in-flight quota");
+        assert!(o.contains(r#""ok":false"#) && !o.contains('\n'), "{o}");
+        assert!(o.contains(r#""overloaded":true"#), "{o}");
+        assert!(o.contains(r#""reason":"quota""#), "{o}");
+        let b = backpressure_response("delta queue full");
+        assert!(b.contains(r#""ok":false"#), "{b}");
+        assert!(
+            b.contains(r#""backpressure":true"#) && b.contains("full"),
+            "{b}"
+        );
     }
 }

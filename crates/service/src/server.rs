@@ -1,27 +1,27 @@
-//! The TCP serving loop: an acceptor thread feeding a fixed worker pool
-//! over a channel, std-only.
+//! Request handling and the public [`Server`] facade.
 //!
-//! Each worker owns one connection at a time and answers newline-delimited
-//! JSON requests against the shared [`EstimatorRegistry`]. Reads use a
-//! short timeout so workers notice shutdown promptly even with idle
-//! connections open. Per-request latency, path counts, and errors land in
-//! [`ServiceMetrics`]; the CLI prints the report on SIGINT/shutdown.
+//! The protocol logic — parse one NDJSON request line, dispatch the op
+//! against the shared [`EstimatorRegistry`], render one response line —
+//! lives here as [`handle_line`]/`handle_request`, shared by both serving
+//! backends: the readiness-driven event loop (`crate::eventloop`, unix)
+//! and the thread-per-connection pool ([`crate::threadpool`], non-unix
+//! fallback and bench baseline). Per-request latency, path counts, and
+//! errors land in [`ServiceMetrics`]; the CLI prints the report on
+//! SIGINT/shutdown.
 
-use std::io::{BufRead, BufReader, ErrorKind, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{mpsc, Arc};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
-use parking_lot::Mutex;
 use serde_json::{Number, Value};
 
 use crate::estimator::ServableEstimator;
-use crate::maintenance::MaintenanceCoordinator;
+use crate::maintenance::{EnqueueError, MaintenanceCoordinator};
 use crate::metrics::ServiceMetrics;
 use crate::protocol::{
-    error_response, metrics_to_value, ok_response, MaintenanceAction, PathStep, Request,
+    backpressure_response, error_response, metrics_to_value, ok_response, MaintenanceAction,
+    PathStep, Request,
 };
 use crate::registry::{EstimatorRegistry, MaintenanceState};
 
@@ -30,10 +30,29 @@ use crate::registry::{EstimatorRegistry, MaintenanceState};
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:7878` (port 0 ⇒ ephemeral).
     pub addr: String,
-    /// Worker threads (each serves one connection at a time).
+    /// Dispatch worker threads for CPU-heavy ops (`rebuild`, large
+    /// `estimate` / `estimate_expr` batches). On the thread-pool backend
+    /// this is the pool size (each thread serves one connection).
     pub workers: usize,
     /// Whether `load` requests may read snapshot files from this host.
     pub allow_load: bool,
+    /// Event-loop shards multiplexing connections (0 ⇒ pick from core
+    /// count). Ignored by the thread-pool backend.
+    pub shards: usize,
+    /// Admission: connections past this cap are refused at accept with a
+    /// structured `overloaded` line (`reason = "capacity"`), then closed.
+    pub max_connections: usize,
+    /// Admission: per-peer-address in-flight request quota. A request
+    /// arriving while the peer already has this many in flight is refused
+    /// with `reason = "quota"`.
+    pub max_inflight_per_client: usize,
+    /// Load shedding: expensive ops are refused with `reason = "shed"`
+    /// while more than this many dispatched requests are queued.
+    pub shed_queue_depth: usize,
+    /// Load shedding: expensive ops are refused with `reason = "shed"`
+    /// while the recent p99 request latency exceeds this threshold
+    /// (`None` disables the latency trigger).
+    pub shed_p99: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -44,17 +63,43 @@ impl Default for ServerConfig {
                 .map(|n| n.get() * 2)
                 .unwrap_or(8),
             allow_load: true,
+            shards: 0,
+            max_connections: 1024,
+            max_inflight_per_client: 64,
+            shed_queue_depth: 128,
+            shed_p99: None,
         }
     }
 }
 
+impl ServerConfig {
+    /// The shard count to run with: the configured value, or (when 0) one
+    /// shard per two cores, clamped to [1, 4] — connection multiplexing is
+    /// readiness-bound, not CPU-bound, so a few shards go a long way.
+    pub(crate) fn effective_shards(&self) -> usize {
+        if self.shards > 0 {
+            return self.shards;
+        }
+        std::thread::available_parallelism()
+            .map(|n| (n.get() / 2).clamp(1, 4))
+            .unwrap_or(1)
+    }
+}
+
+#[cfg(unix)]
+type Inner = crate::eventloop::EventLoopServer;
+#[cfg(not(unix))]
+type Inner = crate::threadpool::ThreadPoolServer;
+
 /// A running server; dropping it does **not** stop the threads — call
 /// [`Server::shutdown`].
+///
+/// On unix this is the readiness-driven event-loop backend (connection
+/// state machines over a `poll(2)` reactor, with admission control and
+/// load shedding); elsewhere it falls back to the thread-per-connection
+/// pool in [`crate::threadpool`].
 pub struct Server {
-    local_addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    acceptor: Option<std::thread::JoinHandle<()>>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    inner: Inner,
 }
 
 impl Server {
@@ -81,191 +126,30 @@ impl Server {
         maintenance: Option<Arc<MaintenanceCoordinator>>,
         config: ServerConfig,
     ) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(&config.addr)?;
-        let local_addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
-        let stop = Arc::new(AtomicBool::new(false));
-
-        let worker_count = config.workers.max(1);
-        // Bounded queue: each worker owns one connection at a time, so
-        // connections beyond workers + backlog are refused with an error
-        // line instead of queueing (and hanging) unboundedly.
-        let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
-            mpsc::sync_channel(worker_count * 4);
-        let rx = Arc::new(Mutex::new(rx));
-
-        let mut workers = Vec::with_capacity(worker_count);
-        for _ in 0..worker_count {
-            let rx = Arc::clone(&rx);
-            let registry = Arc::clone(&registry);
-            let metrics = Arc::clone(&metrics);
-            let maintenance = maintenance.clone();
-            let stop = Arc::clone(&stop);
-            let allow_load = config.allow_load;
-            workers.push(std::thread::spawn(move || loop {
-                // Hold the receiver lock only to pull one connection.
-                let conn = {
-                    let guard = rx.lock();
-                    guard.recv_timeout(Duration::from_millis(100))
-                };
-                match conn {
-                    Ok(stream) => serve_connection(
-                        stream,
-                        &registry,
-                        &metrics,
-                        maintenance.as_ref(),
-                        &stop,
-                        allow_load,
-                    ),
-                    Err(mpsc::RecvTimeoutError::Timeout) => {
-                        if stop.load(Ordering::Acquire) {
-                            return;
-                        }
-                    }
-                    Err(mpsc::RecvTimeoutError::Disconnected) => return,
-                }
-            }));
-        }
-
-        let acceptor = {
-            let stop = Arc::clone(&stop);
-            std::thread::spawn(move || loop {
-                match listener.accept() {
-                    Ok((stream, _peer)) => match tx.try_send(stream) {
-                        Ok(()) => {}
-                        Err(mpsc::TrySendError::Full(mut stream)) => {
-                            let _ = stream
-                                .write_all(
-                                    error_response("server at connection capacity").as_bytes(),
-                                )
-                                .and_then(|()| stream.write_all(b"\n"));
-                            // Dropped: the peer sees the error, then EOF.
-                        }
-                        Err(mpsc::TrySendError::Disconnected(_)) => return,
-                    },
-                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                        if stop.load(Ordering::Acquire) {
-                            return;
-                        }
-                        std::thread::sleep(Duration::from_millis(10));
-                    }
-                    Err(_) => {
-                        if stop.load(Ordering::Acquire) {
-                            return;
-                        }
-                        std::thread::sleep(Duration::from_millis(10));
-                    }
-                }
-            })
-        };
-
         Ok(Server {
-            local_addr,
-            stop,
-            acceptor: Some(acceptor),
-            workers,
+            inner: Inner::start_with(registry, metrics, maintenance, config)?,
         })
     }
 
     /// The bound address (resolves port 0 to the actual ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
-        self.local_addr
+        self.inner.local_addr()
     }
 
-    /// Signals shutdown and joins every thread. Idle connections are
-    /// noticed within the worker read timeout (~250 ms).
-    pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::Release);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
-    }
-}
-
-fn serve_connection(
-    stream: TcpStream,
-    registry: &Arc<EstimatorRegistry>,
-    metrics: &Arc<ServiceMetrics>,
-    maintenance: Option<&Arc<MaintenanceCoordinator>>,
-    stop: &AtomicBool,
-    allow_load: bool,
-) {
-    // A short read timeout lets the worker poll the stop flag while the
-    // peer is idle; the write timeout drops a peer that sends requests but
-    // never drains responses (otherwise a full send buffer would block
-    // the worker forever and wedge shutdown); TCP_NODELAY keeps one-line
-    // responses from waiting on Nagle.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
-    let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    // Raw bytes, not a String: `read_until` keeps whatever it consumed
-    // before a timeout, so a request fragmented across timeouts
-    // reassembles — including fragments split mid multi-byte UTF-8
-    // character, which `read_line`'s validity guard would discard. The
-    // `take` bounds a single line: a peer streaming an endless
-    // unterminated line hits the cap instead of growing the buffer
-    // without limit.
-    let mut line: Vec<u8> = Vec::new();
-    loop {
-        if stop.load(Ordering::Acquire) {
-            return;
-        }
-        let budget = (MAX_REQUEST_BYTES + 1).saturating_sub(line.len()) as u64;
-        match std::io::Read::take(&mut reader, budget).read_until(b'\n', &mut line) {
-            Ok(0) if line.is_empty() => return, // peer closed
-            Ok(_) if line.len() > MAX_REQUEST_BYTES => {
-                metrics.record_request(0, Duration::ZERO, false);
-                let _ = writer
-                    .write_all(error_response("request line too large").as_bytes())
-                    .and_then(|()| writer.write_all(b"\n"));
-                return;
-            }
-            // Ok(0) with buffered bytes: the peer closed mid-line after a
-            // timeout left a fragment — answer the fragment, then drop.
-            Ok(n) => {
-                let text = String::from_utf8_lossy(&line);
-                let trimmed = text.trim();
-                if !trimmed.is_empty() {
-                    let t0 = Instant::now();
-                    let (response, paths, ok) =
-                        handle_line(trimmed, registry, metrics, maintenance, allow_load);
-                    metrics.record_request(paths, t0.elapsed(), ok);
-                    if writer
-                        .write_all(response.as_bytes())
-                        .and_then(|()| writer.write_all(b"\n"))
-                        .is_err()
-                    {
-                        return;
-                    }
-                }
-                if n == 0 {
-                    return; // peer closed
-                }
-                line.clear();
-            }
-            Err(e)
-                if e.kind() == ErrorKind::WouldBlock
-                    || e.kind() == ErrorKind::TimedOut
-                    || e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => return,
-        }
+    /// Signals shutdown and joins every thread. The event loop wakes on
+    /// its shutdown pipes immediately, so idle connections do not delay
+    /// the join.
+    pub fn shutdown(self) {
+        self.inner.shutdown();
     }
 }
 
 /// A request line still unterminated past this size closes the connection
 /// (an unbounded line would otherwise grow the buffer without limit).
-const MAX_REQUEST_BYTES: usize = 16 * 1024 * 1024;
+pub(crate) const MAX_REQUEST_BYTES: usize = 16 * 1024 * 1024;
 
 /// Answers one request line; returns `(response, paths_estimated, ok)`.
-fn handle_line(
+pub(crate) fn handle_line(
     line: &str,
     registry: &Arc<EstimatorRegistry>,
     metrics: &Arc<ServiceMetrics>,
@@ -276,6 +160,19 @@ fn handle_line(
         Ok(r) => r,
         Err(e) => return (error_response(&e.to_string()), 0, false),
     };
+    handle_request(request, registry, metrics, maintenance, allow_load)
+}
+
+/// Answers one parsed request; returns `(response, paths_estimated, ok)`.
+/// Split from [`handle_line`] so the event loop can parse on the loop
+/// thread, classify, and run the heavy ops on dispatch workers.
+pub(crate) fn handle_request(
+    request: Request,
+    registry: &Arc<EstimatorRegistry>,
+    metrics: &Arc<ServiceMetrics>,
+    maintenance: Option<&Arc<MaintenanceCoordinator>>,
+    allow_load: bool,
+) -> (String, usize, bool) {
     metrics.record_op(match &request {
         Request::Ping => "ping",
         Request::List => "list",
@@ -503,7 +400,13 @@ fn handle_line(
                         0,
                         true,
                     ),
-                    Err(message) => (error_response(&message), 0, false),
+                    // A full queue is backpressure, not a hard error: the
+                    // structured marker tells the client to retry after
+                    // the next compacted publish drains it.
+                    Err(e @ EnqueueError::QueueFull { .. }) => {
+                        (backpressure_response(&e.to_string()), 0, false)
+                    }
+                    Err(e) => (error_response(&e.to_string()), 0, false),
                 };
             }
             if !registry.try_begin_rebuild(&name) {
@@ -764,6 +667,10 @@ fn maintenance_status(coordinator: &MaintenanceCoordinator) -> String {
                 (
                     "enqueued".into(),
                     Value::Number(Number::PosInt(status.enqueued)),
+                ),
+                (
+                    "rejected".into(),
+                    Value::Number(Number::PosInt(status.rejected)),
                 ),
                 (
                     "compacted".into(),
@@ -1159,6 +1066,7 @@ mod tests {
     use super::*;
     use phe_core::{EstimatorConfig, HistogramKind, OrderingKind, PathSelectivityEstimator};
     use phe_datasets::{erdos_renyi, LabelDistribution};
+    use std::time::Instant;
 
     fn test_registry() -> Arc<EstimatorRegistry> {
         let g = erdos_renyi(40, 240, 3, LabelDistribution::Zipf { exponent: 1.0 }, 11);

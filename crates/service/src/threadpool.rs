@@ -1,0 +1,238 @@
+//! The original thread-per-connection serving backend: an acceptor thread
+//! feeding a fixed worker pool over a bounded channel, std-only.
+//!
+//! Each worker owns one connection at a time, so concurrency is capped at
+//! the pool size and connections past `workers × 4` backlog are refused.
+//! The readiness-driven event loop (`crate::eventloop`) replaced this as
+//! the default backend on unix; the pool survives as the non-unix
+//! fallback and as the baseline the connection-scale bench measures the
+//! event loop against.
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::maintenance::MaintenanceCoordinator;
+use crate::metrics::ServiceMetrics;
+use crate::protocol::error_response;
+use crate::registry::EstimatorRegistry;
+use crate::server::{handle_line, ServerConfig, MAX_REQUEST_BYTES};
+
+/// A running thread-pool server; dropping it does **not** stop the
+/// threads — call [`ThreadPoolServer::shutdown`].
+pub struct ThreadPoolServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPoolServer {
+    /// Binds and starts accepting on a `config.workers`-thread pool.
+    /// Returns once the listener is live, so `local_addr` is immediately
+    /// connectable (ephemeral ports included).
+    ///
+    /// Of the admission fields only the implicit `workers × 4` backlog
+    /// applies: this backend predates per-client quotas and shedding and
+    /// is kept as the bench baseline, so it refuses with the legacy
+    /// "connection capacity" error line instead.
+    pub fn start_with(
+        registry: Arc<EstimatorRegistry>,
+        metrics: Arc<ServiceMetrics>,
+        maintenance: Option<Arc<MaintenanceCoordinator>>,
+        config: ServerConfig,
+    ) -> std::io::Result<ThreadPoolServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let worker_count = config.workers.max(1);
+        // Bounded queue: each worker owns one connection at a time, so
+        // connections beyond workers + backlog are refused with an error
+        // line instead of queueing (and hanging) unboundedly.
+        let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+            mpsc::sync_channel(worker_count * 4);
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut workers = Vec::with_capacity(worker_count);
+        for _ in 0..worker_count {
+            let rx = Arc::clone(&rx);
+            let registry = Arc::clone(&registry);
+            let metrics = Arc::clone(&metrics);
+            let maintenance = maintenance.clone();
+            let stop = Arc::clone(&stop);
+            let allow_load = config.allow_load;
+            workers.push(std::thread::spawn(move || loop {
+                // Hold the receiver lock only to pull one connection.
+                let conn = {
+                    let guard = rx.lock();
+                    guard.recv_timeout(Duration::from_millis(100))
+                };
+                match conn {
+                    Ok(stream) => serve_connection(
+                        stream,
+                        &registry,
+                        &metrics,
+                        maintenance.as_ref(),
+                        &stop,
+                        allow_load,
+                    ),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        if stop.load(Ordering::Acquire) {
+                            return;
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => return,
+                }
+            }));
+        }
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                // Bounded exponential backoff on accept errors: transient
+                // failures (EMFILE, ECONNABORTED storms) back off up to
+                // ~250 ms instead of hot-looping at a fixed 10 ms.
+                let mut backoff = Duration::from_millis(1);
+                loop {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            backoff = Duration::from_millis(1);
+                            match tx.try_send(stream) {
+                                Ok(()) => {}
+                                Err(mpsc::TrySendError::Full(mut stream)) => {
+                                    let _ = stream
+                                        .write_all(
+                                            error_response("server at connection capacity")
+                                                .as_bytes(),
+                                        )
+                                        .and_then(|()| stream.write_all(b"\n"));
+                                    // Dropped: the peer sees the error, then EOF.
+                                }
+                                Err(mpsc::TrySendError::Disconnected(_)) => return,
+                            }
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            if stop.load(Ordering::Acquire) {
+                                return;
+                            }
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => {
+                            if stop.load(Ordering::Acquire) {
+                                return;
+                            }
+                            std::thread::sleep(backoff);
+                            backoff = (backoff * 2).min(Duration::from_millis(250));
+                        }
+                    }
+                }
+            })
+        };
+
+        Ok(ThreadPoolServer {
+            local_addr,
+            stop,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Signals shutdown and joins every thread. Idle connections are
+    /// noticed within the worker read timeout (~250 ms).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    registry: &Arc<EstimatorRegistry>,
+    metrics: &Arc<ServiceMetrics>,
+    maintenance: Option<&Arc<MaintenanceCoordinator>>,
+    stop: &AtomicBool,
+    allow_load: bool,
+) {
+    // A short read timeout lets the worker poll the stop flag while the
+    // peer is idle; the write timeout drops a peer that sends requests but
+    // never drains responses (otherwise a full send buffer would block
+    // the worker forever and wedge shutdown); TCP_NODELAY keeps one-line
+    // responses from waiting on Nagle.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    // Raw bytes, not a String: `read_until` keeps whatever it consumed
+    // before a timeout, so a request fragmented across timeouts
+    // reassembles — including fragments split mid multi-byte UTF-8
+    // character, which `read_line`'s validity guard would discard. The
+    // `take` bounds a single line: a peer streaming an endless
+    // unterminated line hits the cap instead of growing the buffer
+    // without limit.
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let budget = (MAX_REQUEST_BYTES + 1).saturating_sub(line.len()) as u64;
+        match std::io::Read::take(&mut reader, budget).read_until(b'\n', &mut line) {
+            Ok(0) if line.is_empty() => return, // peer closed
+            Ok(_) if line.len() > MAX_REQUEST_BYTES => {
+                metrics.record_request(0, Duration::ZERO, false);
+                let _ = writer
+                    .write_all(error_response("request line too large").as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"));
+                return;
+            }
+            // Ok(0) with buffered bytes: the peer closed mid-line after a
+            // timeout left a fragment — answer the fragment, then drop.
+            Ok(n) => {
+                let text = String::from_utf8_lossy(&line);
+                let trimmed = text.trim();
+                if !trimmed.is_empty() {
+                    let t0 = Instant::now();
+                    let (response, paths, ok) =
+                        handle_line(trimmed, registry, metrics, maintenance, allow_load);
+                    metrics.record_request(paths, t0.elapsed(), ok);
+                    if writer
+                        .write_all(response.as_bytes())
+                        .and_then(|()| writer.write_all(b"\n"))
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                if n == 0 {
+                    return; // peer closed
+                }
+                line.clear();
+            }
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock
+                    || e.kind() == ErrorKind::TimedOut
+                    || e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}

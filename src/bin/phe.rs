@@ -92,20 +92,32 @@ USAGE:
       cannot be referenced — those characters belong to the grammar)
   phe accuracy <graph.tsv> --k K --beta B
   phe serve --snapshot [name=]stats.json [--snapshot ...] [--addr 127.0.0.1:7878]
-            [--workers N] [--cache ENTRIES] [--no-load]
+            [--workers N] [--shards N] [--cache ENTRIES] [--no-load]
+            [--max-connections N] [--max-inflight-per-client N]
+            [--shed-p99-ms MS] [--shed-queue-depth N] [--max-queue-depth N]
             [--metrics-addr 127.0.0.1:9464] [--publish-interval-ms MS]
             [--compact-after N] [--drift-scale S]
-      serves batched estimates over newline-delimited JSON TCP; ctrl-C
+      serves batched estimates over newline-delimited JSON TCP via a
+      readiness-driven event loop: --shards event-loop threads multiplex
+      connections (0 = auto) and --workers dispatch threads run the
+      CPU-heavy ops. Admission control refuses connections past
+      --max-connections (default 1024) and requests past a per-peer
+      --max-inflight-per-client quota (default 64) with structured
+      overloaded lines; load shedding refuses expensive ops while more
+      than --shed-queue-depth requests are queued (default 128) or the
+      recent p99 latency exceeds --shed-p99-ms (default off). ctrl-C
       prints the metrics report (qps, p50/p99, cache + expression-cache
       hit rates, per-slot accuracy drift) and exits; --metrics-addr
       additionally serves the same metrics as a Prometheus text scrape
       endpoint (GET /metrics). Maintained slots run an autonomous
-      freshness loop: delta ops enqueue; every --publish-interval-ms
-      (default 2000; 0 disables the loop and applies deltas inline) the
-      queue is compacted into one counting pass and published; a full
-      rebuild triggers after --compact-after applied deltas (default 64;
-      0 disables) or when accuracy drift exceeds the Baraud-Birge
-      threshold scaled by --drift-scale (default 1.0; 0 disables)
+      freshness loop: delta ops enqueue (past --max-queue-depth batches
+      per slot they are refused with a backpressure line, default 1024);
+      every --publish-interval-ms (default 2000; 0 disables the loop and
+      applies deltas inline) the queue is compacted into one counting
+      pass and published; a full rebuild triggers after --compact-after
+      applied deltas (default 64; 0 disables) or when accuracy drift
+      exceeds the Baraud-Birge threshold scaled by --drift-scale
+      (default 1.0; 0 disables)
   phe query (--remote 127.0.0.1:7878 | --snapshot stats.json) [--estimator NAME]
             [--graph graph.tsv] [--explain] [--trace] <path-expr>...
       estimates regular path expressions — locally against a snapshot, or
@@ -679,6 +691,21 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(workers) = flags.get_parsed("workers")? {
         config.workers = workers;
     }
+    if let Some(shards) = flags.get_parsed("shards")? {
+        config.shards = shards;
+    }
+    if let Some(max_connections) = flags.get_parsed("max-connections")? {
+        config.max_connections = max_connections;
+    }
+    if let Some(quota) = flags.get_parsed("max-inflight-per-client")? {
+        config.max_inflight_per_client = quota;
+    }
+    if let Some(depth) = flags.get_parsed("shed-queue-depth")? {
+        config.shed_queue_depth = depth;
+    }
+    if let Some(p99_ms) = flags.get_parsed::<u64>("shed-p99-ms")? {
+        config.shed_p99 = (p99_ms > 0).then(|| std::time::Duration::from_millis(p99_ms));
+    }
     let metrics_server = match flags.get("metrics-addr") {
         None => None,
         Some(addr) => {
@@ -699,6 +726,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     // reverts `delta` to the legacy apply-inline path (no queue, no
     // compaction, no policy rebuilds).
     let publish_interval_ms: u64 = flags.get_parsed("publish-interval-ms")?.unwrap_or(2000);
+    let max_queue_depth: Option<usize> = flags.get_parsed("max-queue-depth")?;
     let mut policy = phe::core::RebuildPolicy::default();
     if let Some(compact_after) = flags.get_parsed("compact-after")? {
         policy.max_applied_deltas = compact_after;
@@ -713,6 +741,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             phe::service::MaintenanceConfig {
                 publish_interval: std::time::Duration::from_millis(publish_interval_ms),
                 policy,
+                max_queue_depth: max_queue_depth
+                    .unwrap_or(phe::service::MaintenanceConfig::default().max_queue_depth),
             },
         )
     });

@@ -19,8 +19,8 @@ use phe::datasets::{erdos_renyi, LabelDistribution};
 use phe::graph::{Graph, GraphDelta, LabelId, VertexId};
 use phe::service::registry::MaintenanceState;
 use phe::service::{
-    EstimatorRegistry, FailAction, FailPoint, Gate, MaintenanceConfig, MaintenanceCoordinator,
-    RunOutcome, ServableEstimator, ServiceMetrics,
+    EnqueueError, EstimatorRegistry, FailAction, FailPoint, Gate, MaintenanceConfig,
+    MaintenanceCoordinator, RunOutcome, ServableEstimator, ServiceMetrics,
 };
 
 const K: usize = 3;
@@ -83,6 +83,7 @@ fn maintained_slot(
         MaintenanceConfig {
             publish_interval: std::time::Duration::from_secs(3600), // ticked by hand
             policy,
+            ..MaintenanceConfig::default()
         },
     );
     (registry, metrics, coordinator)
@@ -548,4 +549,96 @@ fn failure_before_rebuild_retains_queue_and_next_tick_completes_it() {
         0
     );
     assert_converged(&registry, "main", &final_graph);
+}
+
+/// Satellite: the delta queue is bounded. Past `max_queue_depth` the
+/// coordinator refuses with a structured [`EnqueueError::QueueFull`]
+/// (counted as `phe_maintenance_batches_total{event="rejected"}`), the
+/// refusal holds even while a publish pass is parked mid-flight over the
+/// full queue, and the cap reopens once the pass drains it — with the
+/// retried batch converging the lineage as if nothing was ever refused.
+#[test]
+fn enqueue_past_cap_is_structured_backpressure_and_recovers() {
+    let graph = base_graph(23);
+    let policy = RebuildPolicy {
+        max_applied_deltas: 0,
+        drift_scale: 0.0,
+        drift_override: None,
+    };
+    let (registry, metrics, _wide) = maintained_slot("main", &graph, policy);
+    // A second coordinator over the same slot, with a 2-batch cap.
+    let coordinator = MaintenanceCoordinator::new(
+        Arc::clone(&registry),
+        Arc::clone(&metrics),
+        MaintenanceConfig {
+            publish_interval: std::time::Duration::from_secs(3600),
+            policy,
+            max_queue_depth: 2,
+        },
+    );
+    let (batches, final_graph) = sequential_batches(&graph, 3, 501);
+
+    assert_eq!(coordinator.enqueue("main", batches[0].clone()), Ok(1));
+    assert_eq!(coordinator.enqueue("main", batches[1].clone()), Ok(2));
+    let refused = coordinator
+        .enqueue("main", batches[2].clone())
+        .expect_err("third batch must hit the cap");
+    assert_eq!(refused, EnqueueError::QueueFull { cap: 2 });
+    assert!(refused.to_string().contains("cap of 2"), "{refused}");
+    assert_eq!(
+        prometheus_value(
+            &metrics,
+            "phe_maintenance_batches_total",
+            &[("event", "rejected")],
+        ),
+        Some(1.0)
+    );
+    let status = coordinator.status("main");
+    assert_eq!((status.queued, status.rejected), (2, 1));
+
+    // Park a publish pass mid-flight: the queued batches are still
+    // owned by the pass (peeked, not popped), so the cap still refuses.
+    let gate = Gate::new();
+    coordinator
+        .failure_plan()
+        .inject(FailPoint::BeforeCas, FailAction::Hold(Arc::clone(&gate)));
+    let worker = {
+        let coordinator = Arc::clone(&coordinator);
+        std::thread::spawn(move || coordinator.run_slot("main"))
+    };
+    gate.wait_arrived();
+    assert_eq!(
+        coordinator.enqueue("main", batches[2].clone()),
+        Err(EnqueueError::QueueFull { cap: 2 })
+    );
+    gate.release();
+    assert_eq!(
+        worker.join().expect("publish pass"),
+        RunOutcome::Published {
+            version: 2,
+            batches: 2,
+            rebuilt: None,
+        }
+    );
+
+    // The publish drained the queue; the refused batch retries cleanly
+    // and the lineage converges as if the cap never fired.
+    assert_eq!(coordinator.enqueue("main", batches[2].clone()), Ok(1));
+    assert_eq!(
+        coordinator.run_slot("main"),
+        RunOutcome::Published {
+            version: 3,
+            batches: 1,
+            rebuilt: None,
+        }
+    );
+    assert_converged(&registry, "main", &final_graph);
+    assert_eq!(
+        prometheus_value(
+            &metrics,
+            "phe_maintenance_batches_total",
+            &[("event", "rejected")],
+        ),
+        Some(2.0)
+    );
 }

@@ -117,6 +117,7 @@ fn concurrent_batches_survive_hot_swap() {
             addr: "127.0.0.1:0".to_owned(), // ephemeral port
             workers: 8,
             allow_load: false,
+            ..ServerConfig::default()
         },
     )
     .expect("server starts");
@@ -391,6 +392,7 @@ fn concurrent_deltas_during_inflight_drift_rebuild() {
                     max_q_error: 1.0 + 1e-9,
                 }),
             },
+            ..MaintenanceConfig::default()
         },
     );
     let server = Server::start_with(
@@ -401,6 +403,7 @@ fn concurrent_deltas_during_inflight_drift_rebuild() {
             addr: "127.0.0.1:0".to_owned(),
             workers: 8,
             allow_load: true,
+            ..ServerConfig::default()
         },
     )
     .expect("server starts");
@@ -633,16 +636,20 @@ fn server_shutdown_with_open_idle_connection() {
             addr: "127.0.0.1:0".to_owned(),
             workers: 2,
             allow_load: false,
+            ..ServerConfig::default()
         },
     )
     .expect("server starts");
-    // An idle connection must not wedge shutdown (workers poll the stop
-    // flag on read timeout).
+    // An idle connection must not wedge — or even delay — shutdown: the
+    // event loop wakes on its shutdown pipes immediately, well under the
+    // old thread pool's ~250 ms read-timeout poll.
     let idle = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    // Let the acceptor hand the connection to a shard first.
+    std::thread::sleep(std::time::Duration::from_millis(50));
     let t0 = std::time::Instant::now();
     server.shutdown();
     assert!(
-        t0.elapsed() < std::time::Duration::from_secs(5),
+        t0.elapsed() < std::time::Duration::from_millis(250),
         "shutdown took {:?}",
         t0.elapsed()
     );
