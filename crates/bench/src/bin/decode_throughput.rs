@@ -38,18 +38,31 @@ struct TrackingAlloc;
 static LIVE: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: pure pass-through to `System` — every contract (layout
+// validity, pointer provenance) is delegated unchanged; the atomic
+// bookkeeping allocates nothing and cannot re-enter the allocator.
 unsafe impl GlobalAlloc for TrackingAlloc {
+    // SAFETY: same contract as `System.alloc`, which receives `layout`
+    // untouched.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = System.alloc(layout);
         if !p.is_null() {
+            // ORDERING: the meter only needs each thread's own adds to
+            // count; `fetch_add`/`fetch_max` are atomic RMWs, and the
+            // single-threaded measurement loop reads the peak on the
+            // same thread that allocated.
             let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            // ORDERING: see above — same-thread meter, atomic RMW.
             PEAK.fetch_max(live, Ordering::Relaxed);
         }
         p
     }
 
+    // SAFETY: same contract as `System.dealloc`; `p`/`layout` are
+    // forwarded exactly as received.
     unsafe fn dealloc(&self, p: *mut u8, layout: Layout) {
         System.dealloc(p, layout);
+        // ORDERING: atomic RMW on a counter nothing synchronizes with.
         LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
     }
 }
@@ -58,10 +71,13 @@ unsafe impl GlobalAlloc for TrackingAlloc {
 static ALLOC: TrackingAlloc = TrackingAlloc;
 
 fn reset_peak() {
+    // ORDERING: called between measurement phases on the only measuring
+    // thread; no cross-thread ordering is involved.
     PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
 }
 
 fn peak_bytes() -> usize {
+    // ORDERING: read on the measuring thread after its own allocations.
     PEAK.load(Ordering::Relaxed)
 }
 

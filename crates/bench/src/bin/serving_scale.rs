@@ -242,6 +242,8 @@ fn open_loop(
                     match roundtrip(&mut reader, &mut writer, &line) {
                         Ok(Outcome::Served) => {
                             if Instant::now() < start + window {
+                                // ORDERING: statistics counter read only
+                                // after scope join (which synchronizes).
                                 completed.fetch_add(1, Ordering::Relaxed);
                             }
                         }
@@ -256,6 +258,7 @@ fn open_loop(
             });
         }
     });
+    // ORDERING: thread::scope joined every incrementing worker above.
     completed.load(Ordering::Relaxed)
 }
 

@@ -1,0 +1,11 @@
+//! Fixture metric catalog for the golden tests.
+
+/// Referenced by literal in `violations.rs` (a "duplicates the catalog"
+/// finding) and present in the doc table.
+pub const FIXTURE_TOTAL: &str = "phe_fixture_total";
+
+/// Documented but never referenced in code ("never referenced").
+pub const UNUSED_TOTAL: &str = "phe_unused_total";
+
+/// Never referenced AND absent from the doc table (two findings).
+pub const UNDOCUMENTED_TOTAL: &str = "phe_undocumented_total";

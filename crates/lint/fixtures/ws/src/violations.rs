@@ -1,0 +1,61 @@
+//! Deliberate violations for phe-lint's golden tests. Every finding the
+//! tool must produce — and every annotated site it must NOT flag — lives
+//! in this file; `tests/golden.rs` pins the exact JSON report.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static N: AtomicU64 = AtomicU64::new(0);
+
+pub fn bad_unsafe() -> u8 {
+    let bytes = [1u8, 2];
+    unsafe { *bytes.as_ptr() }
+}
+
+pub fn good_unsafe() -> u8 {
+    let bytes = [3u8];
+    // SAFETY: the pointer comes from a live local array.
+    unsafe { *bytes.as_ptr() }
+}
+
+pub fn bad_panics(input: Option<u32>) -> u32 {
+    let value = input.unwrap();
+    if value > 9000 {
+        panic!("too big");
+    }
+    value
+}
+
+pub fn allowed_panic(input: Option<u32>) -> u32 {
+    // LINT-ALLOW(panic): fixture demonstrating the in-source escape hatch.
+    input.expect("fixture")
+}
+
+pub fn bad_ordering() -> u64 {
+    N.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn good_ordering() -> u64 {
+    // ORDERING: fixture counter; nothing synchronizes with it.
+    N.load(Ordering::Relaxed)
+}
+
+pub fn allowed_ordering() -> u64 {
+    N.load(Ordering::Relaxed) // allowlisted by line in lint.toml
+}
+
+pub fn metric_names() -> (&'static str, &'static str) {
+    ("phe_fixture_total", "phe_rogue_total")
+}
+
+pub fn not_metrics() -> (&'static str, &'static str) {
+    // Neither is metric-shaped: wrong prefix / uppercase.
+    ("other_total", "phe_Upper")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt_from_panic_and_ordering() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

@@ -1,0 +1,291 @@
+//! `lint.toml`: a hand-parsed TOML subset configuring the passes.
+//!
+//! The workspace has no crates.io access, so the parser covers exactly
+//! the shapes the config uses — `[section]` / `[section.sub]` headers,
+//! `key = "string"`, `key = ["a", "b"]` (single- or multi-line), and
+//! `#` comments. Anything else is a hard error: a config the parser
+//! cannot read must not silently relax a gate.
+//!
+//! ```toml
+//! [workspace]
+//! exclude = ["crates/compat", "target"]
+//!
+//! [pass.panic-freedom]
+//! paths = ["crates/service/src", "crates/obs/src"]
+//!
+//! [pass.metric-catalog]
+//! catalog = "crates/obs/src/names.rs"
+//! doc = "docs/ARCHITECTURE.md"
+//!
+//! [allow]
+//! entries = [
+//!     # "<pass-name> <path>[:<line>]"
+//!     "panic-freedom crates/example/src/lib.rs:42",
+//! ]
+//! ```
+
+use std::collections::HashMap;
+
+/// A parsed value: the subset the config grammar needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// `"…"`.
+    Str(String),
+    /// `["…", …]`.
+    List(Vec<String>),
+}
+
+/// Parsed config: `section -> key -> value`.
+#[derive(Debug, Default)]
+pub struct Config {
+    sections: HashMap<String, HashMap<String, Value>>,
+}
+
+/// One externally-allowed finding location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Pass the exemption applies to.
+    pub pass: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// Specific line, or `None` for the whole file.
+    pub line: Option<usize>,
+}
+
+impl Config {
+    /// Parses the TOML subset; returns a line-numbered error on any
+    /// construct outside the grammar.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut config = Config::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_owned();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[') {
+                let Some(name) = header.strip_suffix(']') else {
+                    return Err(format!("line {}: unterminated section header", idx + 1));
+                };
+                section = name.trim().to_owned();
+                config.sections.entry(section.clone()).or_default();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = value`", idx + 1));
+            };
+            let key = key.trim().trim_matches('"').to_owned();
+            let mut value = value.trim().to_owned();
+            // Multi-line arrays: keep consuming until the bracket closes.
+            if value.starts_with('[') {
+                while !value.trim_end().ends_with(']') {
+                    let Some((_, next)) = lines.next() else {
+                        return Err(format!("line {}: unterminated array", idx + 1));
+                    };
+                    value.push(' ');
+                    value.push_str(strip_comment(next).trim());
+                }
+            }
+            let parsed = parse_value(value.trim()).map_err(|e| format!("line {}: {e}", idx + 1))?;
+            config
+                .sections
+                .entry(section.clone())
+                .or_default()
+                .insert(key, parsed);
+        }
+        Ok(config)
+    }
+
+    /// String value at `[section] key`, if present.
+    pub fn get_str(&self, section: &str, key: &str) -> Option<&str> {
+        match self.sections.get(section)?.get(key)? {
+            Value::Str(s) => Some(s),
+            Value::List(_) => None,
+        }
+    }
+
+    /// List value at `[section] key`, if present.
+    pub fn get_list(&self, section: &str, key: &str) -> Option<&[String]> {
+        match self.sections.get(section)?.get(key)? {
+            Value::List(items) => Some(items),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// The `[allow] entries` list parsed into structured exemptions.
+    pub fn allow_entries(&self) -> Result<Vec<AllowEntry>, String> {
+        let Some(entries) = self.get_list("allow", "entries") else {
+            return Ok(Vec::new());
+        };
+        entries
+            .iter()
+            .map(|entry| {
+                let Some((pass, location)) = entry.split_once(' ') else {
+                    return Err(format!(
+                        "allow entry `{entry}`: expected `<pass> <path>[:line]`"
+                    ));
+                };
+                let location = location.trim();
+                let (path, line) = match location.rsplit_once(':') {
+                    Some((path, line_text)) => match line_text.parse::<usize>() {
+                        Ok(line) => (path, Some(line)),
+                        Err(_) => (location, None),
+                    },
+                    None => (location, None),
+                };
+                Ok(AllowEntry {
+                    pass: pass.to_owned(),
+                    path: path.to_owned(),
+                    line,
+                })
+            })
+            .collect()
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` only starts a comment outside a string literal.
+    let mut in_string = false;
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_string => i += 1,
+            b'"' => in_string = !in_string,
+            b'#' if !in_string => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+fn parse_value(text: &str) -> Result<Value, String> {
+    if let Some(inner) = text.strip_prefix('[') {
+        let Some(inner) = inner.strip_suffix(']') else {
+            return Err("unterminated array".to_owned());
+        };
+        let mut items = Vec::new();
+        for piece in split_top_level(inner) {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue;
+            }
+            match parse_value(piece)? {
+                Value::Str(s) => items.push(s),
+                Value::List(_) => return Err("nested arrays are not supported".to_owned()),
+            }
+        }
+        return Ok(Value::List(items));
+    }
+    if let Some(inner) = text.strip_prefix('"') {
+        let Some(inner) = inner.strip_suffix('"') else {
+            return Err(format!("unterminated string `{text}`"));
+        };
+        return Ok(Value::Str(
+            inner.replace("\\\"", "\"").replace("\\\\", "\\"),
+        ));
+    }
+    Err(format!(
+        "unsupported value `{text}` (strings and string arrays only)"
+    ))
+}
+
+/// Splits an array body on commas outside string literals.
+fn split_top_level(text: &str) -> Vec<String> {
+    let mut items = Vec::new();
+    let mut current = String::new();
+    let mut in_string = false;
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' if in_string => {
+                current.push(c);
+                if let Some(next) = chars.next() {
+                    current.push(next);
+                }
+            }
+            '"' => {
+                in_string = !in_string;
+                current.push(c);
+            }
+            ',' if !in_string => {
+                items.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        items.push(current);
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_strings_and_arrays() {
+        let config = Config::parse(concat!(
+            "# top comment\n",
+            "[workspace]\n",
+            "exclude = [\"crates/compat\", \"target\"] # trailing\n",
+            "\n",
+            "[pass.metric-catalog]\n",
+            "catalog = \"crates/obs/src/names.rs\"\n",
+        ))
+        .unwrap();
+        assert_eq!(
+            config.get_list("workspace", "exclude").unwrap(),
+            &["crates/compat".to_owned(), "target".to_owned()][..]
+        );
+        assert_eq!(
+            config.get_str("pass.metric-catalog", "catalog"),
+            Some("crates/obs/src/names.rs")
+        );
+    }
+
+    #[test]
+    fn multiline_arrays_and_allow_entries() {
+        let config = Config::parse(concat!(
+            "[allow]\n",
+            "entries = [\n",
+            "    # reasons welcome\n",
+            "    \"panic-freedom crates/x/src/lib.rs:42\",\n",
+            "    \"unsafe-audit crates/y/src/lib.rs\",\n",
+            "]\n",
+        ))
+        .unwrap();
+        let entries = config.allow_entries().unwrap();
+        assert_eq!(
+            entries,
+            vec![
+                AllowEntry {
+                    pass: "panic-freedom".into(),
+                    path: "crates/x/src/lib.rs".into(),
+                    line: Some(42),
+                },
+                AllowEntry {
+                    pass: "unsafe-audit".into(),
+                    path: "crates/y/src/lib.rs".into(),
+                    line: None,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let config = Config::parse("[a]\nkey = \"value # not comment\"\n").unwrap();
+        assert_eq!(config.get_str("a", "key"), Some("value # not comment"));
+    }
+
+    #[test]
+    fn rejects_unsupported_values() {
+        assert!(Config::parse("[a]\nkey = 42\n").is_err());
+        assert!(Config::parse("[a\nkey = \"v\"\n").is_err());
+        assert!(Config::parse("[a]\nkey value\n").is_err());
+    }
+}

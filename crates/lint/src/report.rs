@@ -1,0 +1,216 @@
+//! Findings and the text / JSON renderers.
+//!
+//! JSON is hand-rolled (the tool is dependency-free); the schema is
+//! stable and covered by the golden-file tests in `tests/golden.rs`:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "passes": [{"name": "unsafe-audit", "bit": 1, "findings": 0, "ok": true}],
+//!   "findings": [{"pass": "…", "file": "…", "line": 1, "column": 1, "message": "…"}],
+//!   "total_findings": 0,
+//!   "exit_code": 0
+//! }
+//! ```
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Name of the pass that produced it.
+    pub pass: String,
+    /// Workspace-relative file path (always `/`-separated).
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based byte column.
+    pub column: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// Per-pass summary row for the report header.
+#[derive(Debug, Clone)]
+pub struct PassSummary {
+    /// Pass name.
+    pub name: String,
+    /// The pass's exit-code bit.
+    pub bit: u8,
+    /// Findings it produced.
+    pub findings: usize,
+}
+
+/// A finished run: summaries plus findings sorted by
+/// `(file, line, column, pass)` so output is deterministic.
+#[derive(Debug)]
+pub struct Report {
+    /// One row per executed pass.
+    pub passes: Vec<PassSummary>,
+    /// All findings, sorted.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Builds a report, sorting the findings.
+    pub fn new(passes: Vec<PassSummary>, mut findings: Vec<Finding>) -> Report {
+        findings.sort_by(|a, b| {
+            (&a.file, a.line, a.column, &a.pass).cmp(&(&b.file, b.line, b.column, &b.pass))
+        });
+        Report { passes, findings }
+    }
+
+    /// The process exit code: the OR of every failing pass's bit
+    /// (0 when clean).
+    pub fn exit_code(&self) -> u8 {
+        self.passes
+            .iter()
+            .filter(|p| p.findings > 0)
+            .fold(0, |acc, p| acc | p.bit)
+    }
+
+    /// Human-readable rendering: `file:line:column: [pass] message`.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}:{}: [{}] {}\n",
+                f.file, f.line, f.column, f.pass, f.message
+            ));
+        }
+        for p in &self.passes {
+            out.push_str(&format!(
+                "pass {:<16} {:>4} finding{}  (exit bit {})\n",
+                p.name,
+                p.findings,
+                if p.findings == 1 { "" } else { "s" },
+                p.bit
+            ));
+        }
+        out.push_str(&format!(
+            "{} finding{}; exit code {}\n",
+            self.findings.len(),
+            if self.findings.len() == 1 { "" } else { "s" },
+            self.exit_code()
+        ));
+        out
+    }
+
+    /// Machine-readable rendering (see module docs for the schema).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"passes\": [");
+        for (i, p) in self.passes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"name\": {}, \"bit\": {}, \"findings\": {}, \"ok\": {}}}",
+                json_string(&p.name),
+                p.bit,
+                p.findings,
+                p.findings == 0
+            ));
+        }
+        out.push_str("\n  ],\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"pass\": {}, \"file\": {}, \"line\": {}, \"column\": {}, \"message\": {}}}",
+                json_string(&f.pass),
+                json_string(&f.file),
+                f.line,
+                f.column,
+                json_string(&f.message)
+            ));
+        }
+        out.push_str(&format!(
+            "\n  ],\n  \"total_findings\": {},\n  \"exit_code\": {}\n}}\n",
+            self.findings.len(),
+            self.exit_code()
+        ));
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: usize, pass: &str) -> Finding {
+        Finding {
+            pass: pass.to_owned(),
+            file: file.to_owned(),
+            line,
+            column: 1,
+            message: "m".to_owned(),
+        }
+    }
+
+    #[test]
+    fn exit_code_ors_failing_bits() {
+        let report = Report::new(
+            vec![
+                PassSummary {
+                    name: "a".into(),
+                    bit: 1,
+                    findings: 2,
+                },
+                PassSummary {
+                    name: "b".into(),
+                    bit: 2,
+                    findings: 0,
+                },
+                PassSummary {
+                    name: "c".into(),
+                    bit: 4,
+                    findings: 1,
+                },
+            ],
+            vec![],
+        );
+        assert_eq!(report.exit_code(), 5);
+    }
+
+    #[test]
+    fn findings_sorted_deterministically() {
+        let report = Report::new(
+            vec![],
+            vec![
+                finding("b.rs", 1, "p"),
+                finding("a.rs", 9, "p"),
+                finding("a.rs", 2, "p"),
+            ],
+        );
+        let order: Vec<_> = report
+            .findings
+            .iter()
+            .map(|f| (f.file.as_str(), f.line))
+            .collect();
+        assert_eq!(order, vec![("a.rs", 2), ("a.rs", 9), ("b.rs", 1)]);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,719 @@
+//! A comment/string/char-literal-aware Rust source scanner.
+//!
+//! The passes in this crate reason about *code* tokens (`unsafe`,
+//! `.unwrap()`, `Ordering::Relaxed`, string literals) and about
+//! *comment* text (`// SAFETY:`, `// ORDERING:`, `// LINT-ALLOW(...)`).
+//! A plain `grep` confuses the two the moment `unsafe` shows up inside a
+//! doc example or a raw string, so the scanner lexes each file into
+//! [`Region`]s first and every pass works off two projections of the
+//! source:
+//!
+//! * [`ScannedFile::masked`] — code bytes kept verbatim, every comment /
+//!   string / char-literal byte blanked to a space (newlines preserved,
+//!   so offsets and line numbers stay byte-for-byte aligned with the
+//!   original).
+//! * [`ScannedFile::comments`] — the inverse: only comment bytes kept
+//!   (including doc comments), everything else blanked.
+//!
+//! The lexer handles the Rust token shapes that trip naive scanners:
+//! nested block comments, escaped quotes, raw strings with any `#` arity
+//! (`r"…"`, `r#"…"#`, `br##"…"##`), byte strings and byte chars,
+//! raw identifiers (`r#try` is *not* a raw string), and the
+//! char-literal-versus-lifetime ambiguity (`'a'` vs `<'a,'b>`).
+
+use std::path::PathBuf;
+
+/// What a byte range of the source is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionKind {
+    /// A `//` comment (including `///` and `//!` doc comments), without
+    /// the trailing newline.
+    LineComment,
+    /// A `/* … */` comment (nesting tracked), including delimiters.
+    BlockComment,
+    /// A `"…"` or `b"…"` string literal, including delimiters.
+    Str,
+    /// A raw string literal (`r"…"`, `r#"…"#`, `br#"…"#`, …), including
+    /// delimiters.
+    RawStr,
+    /// A char or byte-char literal (`'x'`, `b'\n'`), including quotes.
+    Char,
+}
+
+/// One non-code byte range of a scanned file (`start..end`, exclusive).
+#[derive(Debug, Clone, Copy)]
+pub struct Region {
+    /// Classification of the range.
+    pub kind: RegionKind,
+    /// Byte offset of the first byte (the opening delimiter).
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+/// A lexed source file plus the derived projections the passes consume.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Workspace-relative path (as handed to [`ScannedFile::new`]).
+    pub path: PathBuf,
+    /// The raw source text.
+    pub source: String,
+    /// Source with every non-code byte blanked (newlines kept).
+    pub masked: String,
+    /// Source with every non-comment byte blanked (newlines kept).
+    pub comments: String,
+    /// All non-code regions, in source order.
+    pub regions: Vec<Region>,
+    /// Byte offset of the start of each line (line 0 starts at 0).
+    line_starts: Vec<usize>,
+    /// Byte ranges covered by `#[cfg(test)]`-gated items.
+    test_spans: Vec<(usize, usize)>,
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes `src` into its non-code regions. Runs in one pass, never
+/// panics on malformed input: an unterminated literal or comment simply
+/// extends to end of file, which is the useful behaviour for a linter.
+fn lex_regions(src: &str) -> Vec<Region> {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < n {
+        match b[i] {
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                let start = i;
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+                regions.push(Region {
+                    kind: RegionKind::LineComment,
+                    start,
+                    end: i,
+                });
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if i + 1 < n && b[i] == b'/' && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < n && b[i] == b'*' && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                regions.push(Region {
+                    kind: RegionKind::BlockComment,
+                    start,
+                    end: i,
+                });
+            }
+            b'"' => {
+                let start = i;
+                i = scan_plain_string(b, i);
+                regions.push(Region {
+                    kind: RegionKind::Str,
+                    start,
+                    end: i,
+                });
+            }
+            b'r' | b'b' if !prev_is_ident(b, i) => {
+                if let Some((kind, end)) = scan_prefixed_literal(b, i) {
+                    regions.push(Region {
+                        kind,
+                        start: i,
+                        end,
+                    });
+                    i = end;
+                } else {
+                    i += 1;
+                }
+            }
+            b'\'' if !prev_is_ident_or_quote(b, i) => {
+                if let Some(end) = scan_char_literal(b, i) {
+                    regions.push(Region {
+                        kind: RegionKind::Char,
+                        start: i,
+                        end,
+                    });
+                    i = end;
+                } else {
+                    // A lifetime (`'a`) or loop label: skip the quote and
+                    // the identifier so `'a'`-lookalikes inside generics
+                    // (`<'a,'b>`) are not re-examined mid-token.
+                    i += 1;
+                    while i < n && is_ident(b[i]) {
+                        i += 1;
+                    }
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    regions
+}
+
+/// True when the byte before `i` continues an identifier — which makes a
+/// following `r`/`b` a plain identifier character, not a literal prefix.
+fn prev_is_ident(b: &[u8], i: usize) -> bool {
+    i > 0 && is_ident(b[i - 1])
+}
+
+/// True when `'` at `i` closes something rather than opening a literal
+/// (`b'x'` is handled by the prefix path; `x'` never starts a char).
+fn prev_is_ident_or_quote(b: &[u8], i: usize) -> bool {
+    i > 0 && (is_ident(b[i - 1]) || b[i - 1] == b'\'')
+}
+
+/// Consumes a `"…"` literal starting at `i` (the opening quote);
+/// returns the offset one past the closing quote.
+fn scan_plain_string(b: &[u8], i: usize) -> usize {
+    let n = b.len();
+    let mut j = i + 1;
+    while j < n {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    n
+}
+
+/// Tries to consume an `r`/`b`-prefixed literal at `i`: raw strings of
+/// any `#` arity, byte strings, byte chars, and the `br` combinations.
+/// Returns `None` for raw identifiers (`r#match`) and plain identifiers.
+fn scan_prefixed_literal(b: &[u8], i: usize) -> Option<(RegionKind, usize)> {
+    let n = b.len();
+    let mut j = i;
+    let mut raw = false;
+    if b[j] == b'b' {
+        j += 1;
+        if j < n && b[j] == b'\'' {
+            // Byte char b'…'.
+            return scan_char_literal(b, j).map(|end| (RegionKind::Char, end));
+        }
+    }
+    if j < n && b[j] == b'r' {
+        raw = true;
+        j += 1;
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while j < n && b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j < n && b[j] == b'"' {
+            // Raw string: ends at `"` followed by `hashes` `#`s.
+            j += 1;
+            while j < n {
+                if b[j] == b'"'
+                    && b[j + 1..].len() >= hashes
+                    && b[j + 1..j + 1 + hashes].iter().all(|&c| c == b'#')
+                {
+                    return Some((RegionKind::RawStr, j + 1 + hashes));
+                }
+                j += 1;
+            }
+            return Some((RegionKind::RawStr, n));
+        }
+        // `r#ident` (raw identifier) or a bare `r`: not a literal.
+        return None;
+    }
+    if j < n && b[j] == b'"' {
+        // Byte string b"…".
+        return Some((RegionKind::Str, scan_plain_string(b, j)));
+    }
+    None
+}
+
+/// Tries to consume a char literal whose opening quote is at `i`.
+/// Returns `None` when the quote starts a lifetime or loop label.
+fn scan_char_literal(b: &[u8], i: usize) -> Option<usize> {
+    let n = b.len();
+    let j = i + 1;
+    if j >= n {
+        return None;
+    }
+    if b[j] == b'\\' {
+        // Escaped char: `'\n'`, `'\''`, `'\u{1F600}'`, …
+        let mut k = j + 1;
+        if k < n && b[k] == b'u' {
+            k += 1;
+            if k < n && b[k] == b'{' {
+                while k < n && b[k] != b'}' {
+                    k += 1;
+                }
+                k += 1;
+            }
+        } else {
+            k += 1; // the escaped character itself
+        }
+        while k < n && b[k] != b'\'' && b[k] != b'\n' {
+            k += 1;
+        }
+        return if k < n && b[k] == b'\'' {
+            Some(k + 1)
+        } else {
+            None
+        };
+    }
+    if is_ident(b[j]) || !b[j].is_ascii() {
+        // `'a'` is a char, `'a,` is a lifetime: a char literal's single
+        // (possibly multi-byte) character is followed directly by `'`.
+        let mut k = j;
+        while k < n && (is_ident(b[k]) || !b[k].is_ascii()) {
+            k += 1;
+        }
+        return if k < n && b[k] == b'\'' && k > j && (k - j == 1 || !b[j].is_ascii()) {
+            Some(k + 1)
+        } else {
+            None
+        };
+    }
+    if b[j] == b'\'' || b[j] == b'\n' {
+        return None;
+    }
+    // Punctuation char like `'('`.
+    if j + 1 < n && b[j + 1] == b'\'' {
+        return Some(j + 2);
+    }
+    None
+}
+
+/// Blanks `range` in `out`, preserving newlines so that byte offsets
+/// keep mapping to the same `(line, column)`.
+fn blank(out: &mut [u8], start: usize, end: usize) {
+    let end = end.min(out.len());
+    for byte in &mut out[start..end] {
+        if *byte != b'\n' {
+            *byte = b' ';
+        }
+    }
+}
+
+impl ScannedFile {
+    /// Lexes `source`, building both projections and locating
+    /// `#[cfg(test)]` spans.
+    pub fn new(path: PathBuf, source: String) -> ScannedFile {
+        let regions = lex_regions(&source);
+        let mut masked = source.clone().into_bytes();
+        let mut comments = source.clone().into_bytes();
+        let mut is_comment = vec![false; source.len()];
+        for r in &regions {
+            blank(&mut masked, r.start, r.end);
+            if matches!(r.kind, RegionKind::LineComment | RegionKind::BlockComment) {
+                for flag in &mut is_comment[r.start..r.end.min(source.len())] {
+                    *flag = true;
+                }
+            }
+        }
+        for (i, byte) in comments.iter_mut().enumerate() {
+            if !is_comment[i] && *byte != b'\n' {
+                *byte = b' ';
+            }
+        }
+        let masked = String::from_utf8_lossy(&masked).into_owned();
+        let comments = String::from_utf8_lossy(&comments).into_owned();
+        let mut line_starts = vec![0usize];
+        for (i, byte) in source.bytes().enumerate() {
+            if byte == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let test_spans = find_test_spans(&masked);
+        ScannedFile {
+            path,
+            source,
+            masked,
+            comments,
+            regions,
+            line_starts,
+            test_spans,
+        }
+    }
+
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// 1-based column (byte-based) of a byte offset.
+    pub fn column_of(&self, offset: usize) -> usize {
+        let line = self.line_of(offset);
+        offset - self.line_starts[line - 1] + 1
+    }
+
+    /// Number of lines in the file.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// The byte range of a 1-based line (without the newline).
+    fn line_range(&self, line: usize) -> (usize, usize) {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map_or(self.source.len(), |&next| next.saturating_sub(1));
+        (start, end.max(start))
+    }
+
+    /// The masked (code-only) text of a 1-based line.
+    pub fn code_line(&self, line: usize) -> &str {
+        let (start, end) = self.line_range(line);
+        &self.masked[start..end]
+    }
+
+    /// The comment-only text of a 1-based line.
+    pub fn comment_line(&self, line: usize) -> &str {
+        let (start, end) = self.line_range(line);
+        &self.comments[start..end]
+    }
+
+    /// Whether `offset` falls inside a `#[cfg(test)]`-gated item.
+    pub fn in_test_span(&self, offset: usize) -> bool {
+        self.test_spans
+            .iter()
+            .any(|&(start, end)| offset >= start && offset < end)
+    }
+
+    /// The contents of every string literal (plain, byte, or raw) with
+    /// the byte offset of its opening delimiter. Raw-string hashes and
+    /// `r`/`b` prefixes are stripped; escape sequences are left as
+    /// written (a literal with escapes never matches a metric name).
+    pub fn string_literals(&self) -> Vec<(usize, &str)> {
+        let mut out = Vec::new();
+        for r in &self.regions {
+            let text = &self.source[r.start..r.end];
+            let content = match r.kind {
+                RegionKind::Str => text
+                    .trim_start_matches('b')
+                    .strip_prefix('"')
+                    .and_then(|t| t.strip_suffix('"')),
+                RegionKind::RawStr => {
+                    let inner = text.trim_start_matches('b').trim_start_matches('r');
+                    let hashes = inner.len() - inner.trim_start_matches('#').len();
+                    inner[hashes..]
+                        .strip_prefix('"')
+                        .and_then(|t| t.strip_suffix(&format!("\"{}", "#".repeat(hashes))))
+                }
+                _ => None,
+            };
+            if let Some(content) = content {
+                out.push((r.start, content));
+            }
+        }
+        out
+    }
+
+    /// Collects the comment text "attached above" a 1-based line: the
+    /// contiguous run of comment-only, attribute-only, and blank lines
+    /// immediately preceding it, stopping at the first line with other
+    /// code. Attribute lines contribute their trailing comments, so a
+    /// justification may sit above `#[target_feature(...)]`.
+    pub fn comment_block_above(&self, line: usize) -> String {
+        let mut collected = String::new();
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            let code = self.code_line(l).trim();
+            let comment = self.comment_line(l).trim();
+            let attribute_only = code.starts_with('#') || code == "]";
+            if code.is_empty() || attribute_only {
+                if !comment.is_empty() {
+                    collected.push_str(comment);
+                    collected.push('\n');
+                }
+                continue;
+            }
+            break;
+        }
+        collected
+    }
+
+    /// The trailing comment on the 1-based line itself.
+    pub fn trailing_comment(&self, line: usize) -> &str {
+        self.comment_line(line).trim()
+    }
+}
+
+/// Finds the byte spans of `#[cfg(test)]`-gated items by brace-matching
+/// on the masked source (comments and strings already blanked, so every
+/// brace seen is a real one).
+fn find_test_spans(masked: &str) -> Vec<(usize, usize)> {
+    let b = masked.as_bytes();
+    let mut spans = Vec::new();
+    let needle = b"#[cfg(test)]";
+    let mut from = 0usize;
+    while let Some(pos) = find_from(b, needle, from) {
+        from = pos + needle.len();
+        // Scan forward past further attributes/whitespace to the item;
+        // an item that ends in `;` before any `{` has no body to span.
+        let mut i = from;
+        let mut open = None;
+        while i < b.len() {
+            match b[i] {
+                b'{' => {
+                    open = Some(i);
+                    break;
+                }
+                b';' => break,
+                _ => i += 1,
+            }
+        }
+        let Some(open) = open else { continue };
+        let mut depth = 0usize;
+        let mut j = open;
+        while j < b.len() {
+            match b[j] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        spans.push((pos, j + 1));
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if depth != 0 {
+            spans.push((pos, b.len()));
+        }
+    }
+    spans
+}
+
+fn find_from(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if from >= haystack.len() {
+        return None;
+    }
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+/// All word-boundary occurrences of `word` in the masked (code-only)
+/// projection: neither neighbour byte continues an identifier.
+pub fn code_word_occurrences(file: &ScannedFile, word: &str) -> Vec<usize> {
+    let b = file.masked.as_bytes();
+    let w = word.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = find_from(b, w, from) {
+        from = pos + 1;
+        let before_ok = pos == 0 || !is_ident(b[pos - 1]);
+        let after = pos + w.len();
+        let after_ok = after >= b.len() || !is_ident(b[after]);
+        if before_ok && after_ok {
+            out.push(pos);
+        }
+    }
+    out
+}
+
+/// All occurrences of the exact byte sequence `pattern` in the masked
+/// projection (no boundary check — used for `.unwrap()`-style patterns
+/// that carry their own delimiters).
+pub fn code_occurrences(file: &ScannedFile, pattern: &str) -> Vec<usize> {
+    let b = file.masked.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = find_from(b, pattern.as_bytes(), from) {
+        from = pos + 1;
+        out.push(pos);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> ScannedFile {
+        ScannedFile::new(PathBuf::from("test.rs"), src.to_owned())
+    }
+
+    #[test]
+    fn line_comments_are_blanked() {
+        let f = scan("let x = 1; // unsafe unwrap\nlet y = 2;\n");
+        assert!(!f.masked.contains("unsafe"));
+        assert!(f.comments.contains("// unsafe unwrap"));
+        assert_eq!(code_word_occurrences(&f, "unsafe"), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = scan("a /* outer /* inner */ still comment */ b\n");
+        assert!(f.masked.contains('a'));
+        assert!(f.masked.contains('b'));
+        assert!(!f.masked.contains("inner"));
+        assert!(!f.masked.contains("still"));
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let f = scan(r#"let s = "unsafe \" still string"; call();"#);
+        assert!(!f.masked.contains("unsafe"));
+        assert!(f.masked.contains("call()"));
+        let lits = f.string_literals();
+        assert_eq!(lits.len(), 1);
+        assert_eq!(lits[0].1, "unsafe \\\" still string");
+    }
+
+    #[test]
+    fn raw_strings_any_hash_arity() {
+        let f = scan("let a = r\"unsafe\"; let b = r#\"has \"quote\" inside\"#; let c = r##\"x\"# y\"##; f();");
+        assert!(!f.masked.contains("unsafe"));
+        assert!(!f.masked.contains("quote"));
+        assert!(f.masked.contains("f();"));
+        let lits = f.string_literals();
+        assert_eq!(lits.len(), 3);
+        assert_eq!(lits[0].1, "unsafe");
+        assert_eq!(lits[1].1, "has \"quote\" inside");
+        assert_eq!(lits[2].1, "x\"# y");
+    }
+
+    #[test]
+    fn raw_identifiers_are_code() {
+        let f = scan("let r#match = 1; let x = r#match;\n");
+        assert!(f.masked.contains("r#match"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let f = scan(r##"let a = b"unsafe"; let b = b'u'; let c = br#"raw unsafe"#; g();"##);
+        assert!(!f.masked.contains("unsafe"));
+        assert!(f.masked.contains("g();"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let f = scan("fn f<'a, 'b>(x: &'a str) -> char { 'x' }\nstruct S<'s>(&'s str);\nlet q = '\\'';\nlet u = '\\u{1F600}';\nlet p = '(';\n");
+        // Lifetimes survive as code; char contents are blanked.
+        assert!(f.masked.contains("'a"));
+        assert!(f.masked.contains("'s"));
+        assert!(!f.masked.contains("'x'"));
+        assert!(!f.masked.contains("1F600"));
+        assert!(!f.masked.contains("'('"));
+    }
+
+    #[test]
+    fn unsafe_in_macros_and_strings_not_matched() {
+        let f = scan(concat!(
+            "macro_rules! m { () => { \"unsafe\" }; }\n",
+            "let msg = format!(\"not {} here\", \"unsafe\");\n",
+            "unsafe { do_it() }\n",
+        ));
+        assert_eq!(code_word_occurrences(&f, "unsafe").len(), 1);
+        assert_eq!(f.line_of(code_word_occurrences(&f, "unsafe")[0]), 3);
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        let f = scan("let unsafe_code = 1; let not_unsafe = 2; unsafe {}\n");
+        assert_eq!(code_word_occurrences(&f, "unsafe").len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_spans_cover_mod_body() {
+        let src = concat!(
+            "fn live() { x.unwrap(); }\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn t() { y.unwrap(); }\n",
+            "}\n",
+            "fn after() { z.unwrap(); }\n"
+        );
+        let f = scan(src);
+        let hits = code_occurrences(&f, ".unwrap()");
+        assert_eq!(hits.len(), 3);
+        assert!(!f.in_test_span(hits[0]));
+        assert!(f.in_test_span(hits[1]));
+        assert!(!f.in_test_span(hits[2]));
+    }
+
+    #[test]
+    fn cfg_test_on_bodyless_item_spans_nothing() {
+        let f = scan("#[cfg(test)]\nuse std::fmt;\nfn f() { a.unwrap(); }\n");
+        let hits = code_occurrences(&f, ".unwrap()");
+        assert_eq!(hits.len(), 1);
+        assert!(!f.in_test_span(hits[0]));
+    }
+
+    #[test]
+    fn comment_block_above_skips_attributes_and_blanks() {
+        let src = concat!(
+            "// SAFETY: justified here\n",
+            "\n",
+            "#[target_feature(enable = \"avx2\")]\n",
+            "unsafe fn go() {}\n"
+        );
+        let f = scan(src);
+        assert!(f.comment_block_above(4).contains("SAFETY:"));
+    }
+
+    #[test]
+    fn comment_block_above_stops_at_code() {
+        let src = concat!(
+            "// SAFETY: belongs to the first impl\n",
+            "unsafe impl Send for A {}\n",
+            "unsafe impl Sync for A {}\n"
+        );
+        let f = scan(src);
+        assert!(f.comment_block_above(2).contains("SAFETY:"));
+        assert!(!f.comment_block_above(3).contains("SAFETY:"));
+    }
+
+    #[test]
+    fn doc_comment_safety_section_is_visible() {
+        let src = concat!(
+            "/// Does a thing.\n",
+            "///\n",
+            "/// # Safety\n",
+            "/// Caller promises the moon.\n",
+            "pub unsafe fn moon() {}\n"
+        );
+        let f = scan(src);
+        assert!(f.comment_block_above(5).contains("# Safety"));
+    }
+
+    #[test]
+    fn masked_preserves_offsets_and_newlines() {
+        let src = "let a = \"x\\ny\"; // c\nlet b = 'q';\n";
+        let f = scan(src);
+        assert_eq!(f.masked.len(), src.len());
+        assert_eq!(f.comments.len(), src.len());
+        for (i, byte) in src.bytes().enumerate() {
+            if byte == b'\n' {
+                assert_eq!(f.masked.as_bytes()[i], b'\n');
+                assert_eq!(f.comments.as_bytes()[i], b'\n');
+            }
+        }
+    }
+
+    #[test]
+    fn line_and_column_of() {
+        let f = scan("abc\ndef\n");
+        assert_eq!(f.line_of(0), 1);
+        assert_eq!(f.line_of(4), 2);
+        assert_eq!(f.column_of(5), 2);
+        assert_eq!(f.line_count(), 3);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for the source scanner: random concatenations of
+//! code, comment, string, raw-string, and char-literal snippets must
+//! never confuse the lexer — `unsafe` is found exactly as often as it
+//! appears in *code*, masking preserves offsets, and regions partition
+//! the non-code text without overlap.
+
+use std::path::PathBuf;
+
+use phe_lint::scanner::{code_word_occurrences, RegionKind, ScannedFile};
+use proptest::prelude::*;
+use proptest::strategies::collection::vec;
+use proptest::strategies::sample::select;
+
+/// A snippet plus how many *code* occurrences of the word `unsafe` it
+/// contributes. Every snippet is self-delimiting (comments carry their
+/// own terminating newline) so any concatenation stays lexically valid.
+fn snippets() -> Vec<(&'static str, usize)> {
+    vec![
+        // Plain code, with and without the needle.
+        ("let x = 1; ", 0),
+        ("unsafe { f() } ", 1),
+        ("pub unsafe fn g() {} ", 1),
+        ("let letters_unsafe_ident = 2; ", 0), // word boundary: no match
+        ("let r = r#unsafe_raw_ident; ", 0),   // raw identifier, not raw string
+        // Comments hiding the needle.
+        ("// unsafe in a line comment\n", 0),
+        ("/* unsafe in a block */ ", 0),
+        ("/* nested /* unsafe */ still comment */ ", 0),
+        ("/// doc about unsafe\n", 0),
+        // String and char literals hiding the needle.
+        ("let s = \"unsafe in a string\"; ", 0),
+        ("let s = \"escaped \\\" unsafe\"; ", 0),
+        ("let s = r\"raw unsafe\"; ", 0),
+        ("let s = r#\"raw # unsafe \"# ; ", 0),
+        ("let s = br##\"bytes \"# unsafe\"## ; ", 0),
+        ("let b = b\"unsafe bytes\"; ", 0),
+        ("let c = 'u'; ", 0),
+        ("let c = '\\''; ", 0),
+        ("let l: &'static str = \"x\"; ", 0), // lifetime, not a char literal
+        // A string that *ends* mid-word to stress boundary handling.
+        ("let s = \"unsafe\"; unsafe { h() } ", 1),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn unsafe_found_exactly_in_code(
+        picks in vec(select((0..snippets().len()).collect()), 0..24),
+    ) {
+        let pool = snippets();
+        let mut source = String::new();
+        let mut expected = 0usize;
+        for &i in &picks {
+            let (text, hits) = pool[i];
+            source.push_str(text);
+            expected += hits;
+        }
+        let file = ScannedFile::new(PathBuf::from("crates/x/src/lib.rs"), source.clone());
+        let found = code_word_occurrences(&file, "unsafe");
+        prop_assert_eq!(
+            found.len(), expected,
+            "source: {:?}\nmasked: {:?}", source, file.masked
+        );
+        // Every hit must sit on the literal word in the original source.
+        for pos in found {
+            prop_assert_eq!(&source[pos..pos + 6], "unsafe");
+        }
+    }
+
+    #[test]
+    fn masking_preserves_length_and_newlines(
+        picks in vec(select((0..snippets().len()).collect()), 0..24),
+    ) {
+        let pool = snippets();
+        let source: String = picks.iter().map(|&i| pool[i].0).collect();
+        let file = ScannedFile::new(PathBuf::from("x.rs"), source.clone());
+        prop_assert_eq!(file.masked.len(), source.len());
+        prop_assert_eq!(file.comments.len(), source.len());
+        for (a, b) in source.bytes().zip(file.masked.bytes()) {
+            prop_assert_eq!(a == b'\n', b == b'\n', "newline moved");
+        }
+        // Code bytes survive masking verbatim; masked bytes are blanks.
+        for (i, (a, b)) in source.bytes().zip(file.masked.bytes()).enumerate() {
+            prop_assert!(b == a || b == b' ', "byte {i}: {a} -> {b}");
+        }
+    }
+
+    #[test]
+    fn regions_are_sorted_disjoint_and_typed(
+        picks in vec(select((0..snippets().len()).collect()), 0..24),
+    ) {
+        let pool = snippets();
+        let source: String = picks.iter().map(|&i| pool[i].0).collect();
+        let file = ScannedFile::new(PathBuf::from("x.rs"), source.clone());
+        let mut last_end = 0usize;
+        for region in &file.regions {
+            prop_assert!(region.start >= last_end, "overlap at {}", region.start);
+            prop_assert!(region.end <= source.len());
+            prop_assert!(region.start < region.end);
+            last_end = region.end;
+            // Comment regions land in the comments projection, literal
+            // regions stay blank there; both are blanked in masked.
+            let is_comment = matches!(
+                region.kind,
+                RegionKind::LineComment | RegionKind::BlockComment
+            );
+            let comment_slice = &file.comments[region.start..region.end];
+            if is_comment {
+                prop_assert_eq!(comment_slice, &source[region.start..region.end]);
+            } else {
+                prop_assert!(
+                    comment_slice.bytes().all(|b| b == b' ' || b == b'\n'),
+                    "literal leaked into comments projection"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn string_literal_contents_roundtrip(
+        picks in vec(select((0..snippets().len()).collect()), 0..24),
+    ) {
+        let pool = snippets();
+        let source: String = picks.iter().map(|&i| pool[i].0).collect();
+        let file = ScannedFile::new(PathBuf::from("x.rs"), source.clone());
+        for (offset, content) in file.string_literals() {
+            prop_assert!(offset < source.len());
+            // The reported content must appear in the source at or after
+            // the literal's start (delimiters and prefixes are stripped).
+            if !content.is_empty() {
+                prop_assert!(
+                    source[offset..].contains(content),
+                    "content {:?} not at {} in {:?}", content, offset, source
+                );
+            }
+        }
+    }
+}

@@ -68,8 +68,7 @@ pub fn serve_metrics(addr: &str, render: RenderFn) -> std::io::Result<MetricsSer
                     Err(_) => std::thread::sleep(Duration::from_millis(20)),
                 }
             }
-        })
-        .expect("spawn metrics http thread");
+        })?;
     Ok(MetricsServer {
         local_addr,
         shutdown,

@@ -36,6 +36,7 @@
 
 pub mod http;
 pub mod metrics;
+pub mod names;
 pub mod span;
 
 pub use metrics::{

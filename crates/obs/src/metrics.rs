@@ -20,12 +20,12 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 use std::time::Duration;
 
 /// The stage-timing histogram family every [`crate::span::Span`] reports
-/// into (label: `stage`).
-pub const STAGE_HISTOGRAM: &str = "phe_stage_duration_seconds";
+/// into (label: `stage`). Alias of [`crate::names::STAGE_DURATION_SECONDS`].
+pub const STAGE_HISTOGRAM: &str = crate::names::STAGE_DURATION_SECONDS;
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -44,11 +44,14 @@ impl Counter {
 
     /// Adds `n`.
     pub fn add(&self, n: u64) {
+        // ORDERING: a metric counter orders nothing — readers only need
+        // eventual visibility of the atomic RMW, never happens-before.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ORDERING: monitoring read; a slightly stale value is correct.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -65,11 +68,14 @@ impl Gauge {
 
     /// Sets the value.
     pub fn set(&self, value: f64) {
+        // ORDERING: last-writer-wins gauge; the store publishes no other
+        // data, so no release pairing is needed.
         self.0.store(value.to_bits(), Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> f64 {
+        // ORDERING: monitoring read; a slightly stale value is correct.
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
 }
@@ -141,8 +147,14 @@ impl LogHistogram {
 
     /// Records one observation.
     pub fn record(&self, value: u64) {
+        // ORDERING: each cell is independently atomic; a scrape racing a
+        // record may see the bucket without the count (or vice versa) —
+        // transient ±1 skew a monitoring read tolerates by design, so no
+        // ordering between the three adds is required.
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        // ORDERING: see above — independent cell, scrape-tolerant skew.
         self.count.fetch_add(1, Ordering::Relaxed);
+        // ORDERING: see above — independent cell, scrape-tolerant skew.
         self.sum.fetch_add(value, Ordering::Relaxed);
     }
 
@@ -153,11 +165,13 @@ impl LogHistogram {
 
     /// Number of observations.
     pub fn count(&self) -> u64 {
+        // ORDERING: monitoring read; a slightly stale value is correct.
         self.count.load(Ordering::Relaxed)
     }
 
     /// Sum of all observed values.
     pub fn sum(&self) -> u64 {
+        // ORDERING: monitoring read; a slightly stale value is correct.
         self.sum.load(Ordering::Relaxed)
     }
 
@@ -172,6 +186,9 @@ impl LogHistogram {
         let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, bucket) in self.buckets.iter().enumerate() {
+            // ORDERING: quantiles over a live histogram are approximate
+            // by contract; per-bucket staleness only shifts the estimate
+            // within the same tolerance as the bucketing itself.
             seen += bucket.load(Ordering::Relaxed);
             if seen >= target {
                 let lo = bucket_lo(i);
@@ -201,6 +218,8 @@ impl LogHistogram {
         let mut out = Vec::new();
         let mut cum = 0u64;
         for (i, bucket) in self.buckets.iter().enumerate() {
+            // ORDERING: exposition snapshot; per-bucket tearing shows up
+            // as transient count/sum skew a scraper already tolerates.
             let n = bucket.load(Ordering::Relaxed);
             if n > 0 {
                 cum += n;
@@ -296,7 +315,15 @@ impl MetricsRegistry {
     }
 
     fn register(&self, name: &str, help: &str, kind: Kind, scale: f64, key: String) -> Handle {
-        if let Some(family) = self.families.read().expect("registry poisoned").get(name) {
+        // The registry map guards plain handle tables; a panicking
+        // registrant cannot leave them torn, so poisoning recovery is
+        // sound and keeps metrics alive after an unrelated thread dies.
+        if let Some(family) = self
+            .families
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(name)
+        {
             assert_eq!(
                 family.kind,
                 kind,
@@ -308,7 +335,10 @@ impl MetricsRegistry {
                 return handle.clone();
             }
         }
-        let mut families = self.families.write().expect("registry poisoned");
+        let mut families = self
+            .families
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
         let family = families.entry(name.to_owned()).or_insert_with(|| Family {
             help: help.to_owned(),
             kind,
@@ -342,6 +372,8 @@ impl MetricsRegistry {
     pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
         match self.register(name, help, Kind::Counter, 1.0, label_key(labels)) {
             Handle::Counter(c) => c,
+            // LINT-ALLOW(panic): `register` asserted the family's kind
+            // matches the request; this arm is dead by that invariant.
             _ => unreachable!("kind checked by register"),
         }
     }
@@ -355,6 +387,8 @@ impl MetricsRegistry {
     pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
         match self.register(name, help, Kind::Gauge, 1.0, label_key(labels)) {
             Handle::Gauge(g) => g,
+            // LINT-ALLOW(panic): `register` asserted the family's kind
+            // matches the request; this arm is dead by that invariant.
             _ => unreachable!("kind checked by register"),
         }
     }
@@ -363,6 +397,8 @@ impl MetricsRegistry {
     pub fn histogram(&self, name: &str, help: &str) -> Arc<LogHistogram> {
         match self.register(name, help, Kind::Histogram, 1.0, String::new()) {
             Handle::Histogram(h) => h,
+            // LINT-ALLOW(panic): `register` asserted the family's kind
+            // matches the request; this arm is dead by that invariant.
             _ => unreachable!("kind checked by register"),
         }
     }
@@ -382,6 +418,8 @@ impl MetricsRegistry {
     ) -> Arc<LogHistogram> {
         match self.register(name, help, Kind::Histogram, 1e-9, label_key(labels)) {
             Handle::Histogram(h) => h,
+            // LINT-ALLOW(panic): `register` asserted the family's kind
+            // matches the request; this arm is dead by that invariant.
             _ => unreachable!("kind checked by register"),
         }
     }
@@ -397,7 +435,10 @@ impl MetricsRegistry {
     /// would keep reporting the last value forever.
     pub fn unregister_with(&self, name: &str, labels: &[(&str, &str)]) -> bool {
         let key = label_key(labels);
-        let mut families = self.families.write().expect("registry poisoned");
+        let mut families = self
+            .families
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
         let Some(family) = families.get_mut(name) else {
             return false;
         };
@@ -412,7 +453,7 @@ impl MetricsRegistry {
     /// format (version 0.0.4), families and instances in sorted order.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let families = self.families.read().expect("registry poisoned");
+        let families = self.families.read().unwrap_or_else(PoisonError::into_inner);
         for (name, family) in families.iter() {
             if !family.help.is_empty() {
                 out.push_str(&format!(

@@ -171,6 +171,8 @@ impl Drop for Restore {
 /// tree. Captures nest: an inner capture sees only its own spans and
 /// the outer capture resumes (without the inner spans) when it ends.
 pub fn capture<T>(f: impl FnOnce() -> T) -> (T, Vec<TraceNode>) {
+    // ORDERING: the epoch only needs to be unique, not ordered; the
+    // atomic RMW guarantees distinct values to concurrent captures.
     let epoch = EPOCH.fetch_add(1, Ordering::Relaxed) + 1;
     let prev = CAPTURE.with(|c| {
         c.borrow_mut().replace(CaptureState {

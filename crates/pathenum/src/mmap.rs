@@ -42,14 +42,21 @@ mod sys {
         len: usize,
     }
 
-    // The region is read-only and owned: sharing the pointer across
-    // threads is no different from sharing a `&[u8]`.
+    // SAFETY: the region is read-only (PROT_READ, never remapped) and
+    // owned until drop: moving the pointer to another thread is no
+    // different from moving a `Vec<u8>`.
     unsafe impl Send for Map {}
+    // SAFETY: all access goes through `&self -> &[u8]`; concurrent reads
+    // of an immutable MAP_PRIVATE region are race-free.
     unsafe impl Sync for Map {}
 
     impl Map {
         pub(super) fn new(file: &File, len: usize) -> io::Result<Map> {
             debug_assert!(len > 0, "zero-length mappings are refused by the kernel");
+            // SAFETY: plain FFI call with a null hint address; `fd` is a
+            // live descriptor borrowed from `file` and the kernel
+            // validates `len`/`offset`, reporting failure as MAP_FAILED
+            // (checked below) rather than UB.
             let ptr = unsafe {
                 mmap(
                     std::ptr::null_mut(),
@@ -67,7 +74,7 @@ mod sys {
         }
 
         pub(super) fn as_slice(&self) -> &[u8] {
-            // Safety: `ptr` maps exactly `len` readable bytes until drop,
+            // SAFETY: `ptr` maps exactly `len` readable bytes until drop,
             // and the backing file is immutable (module safety rules).
             unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
         }
@@ -75,7 +82,7 @@ mod sys {
 
     impl Drop for Map {
         fn drop(&mut self) {
-            // Safety: `ptr`/`len` came from a successful `mmap` and are
+            // SAFETY: `ptr`/`len` came from a successful `mmap` and are
             // unmapped exactly once.
             unsafe {
                 munmap(self.ptr, self.len);

@@ -46,6 +46,9 @@ pub fn compute_parallel(graph: &Graph, k: usize, threads: usize) -> SelectivityC
                 let mut scratch = FixedBitSet::new(graph.vertex_count());
                 let mut path = Vec::with_capacity(k);
                 loop {
+                    // ORDERING: work-stealing ticket — the worker only
+                    // needs a unique index into the read-only task list,
+                    // which the atomic RMW alone guarantees.
                     let i = next_task.fetch_add(1, Ordering::Relaxed);
                     let Some(&(label, lo, hi)) = tasks.get(i) else {
                         break;

@@ -251,6 +251,8 @@ impl SparseCatalog {
         let per_thread_budget = memory_budget.map(|b| (b / threads).max(ENTRY_BYTES));
         let spill_dir = match memory_budget {
             Some(_) => {
+                // ORDERING: the sequence only needs uniqueness for the
+                // directory name; the RMW provides that without ordering.
                 let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
                 let dir =
                     std::env::temp_dir().join(format!("phe-spill-{}-{seq}", std::process::id()));
@@ -276,6 +278,9 @@ impl SparseCatalog {
                     let mut scratch = FixedBitSet::new(graph.vertex_count());
                     let mut path = Vec::with_capacity(k);
                     loop {
+                        // ORDERING: work-stealing ticket — each worker
+                        // only needs a unique index into the read-only
+                        // task list, which the RMW alone guarantees.
                         let i = next_task.fetch_add(1, Ordering::Relaxed);
                         let Some(&(label, lo, hi)) = tasks.get(i) else {
                             break;
@@ -310,10 +315,13 @@ impl SparseCatalog {
                         let shard = CompressedRuns::from_entries(&local);
                         local = Vec::new();
                         let dir = spill_dir.as_ref().expect("budget implies a spill dir");
+                        // ORDERING: unique shard file name; no ordering.
                         let n = shard_seq.fetch_add(1, Ordering::Relaxed);
                         let path = dir.join(format!("shard-{n}.phc"));
                         match write_runs_file(&path, &encoding, &shard) {
                             Ok(written) => {
+                                // ORDERING: statistics counter read only
+                                // after scope join (which synchronizes).
                                 spilled_bytes.fetch_add(written, Ordering::Relaxed);
                                 shard_paths.lock().expect("shard mutex poisoned").push(path);
                             }
@@ -365,6 +373,8 @@ impl SparseCatalog {
         }
         let stats = SpillStats {
             shards: shard_paths.len(),
+            // ORDERING: thread::scope already joined every writer, so
+            // this read is sequenced after all adds.
             bytes: spilled_bytes.load(Ordering::Relaxed),
         };
         Ok((

@@ -52,7 +52,7 @@ impl CacheCounters {
     /// `phe_cache_requests_total` with the given identifying labels plus
     /// `outcome="hit"` / `outcome="miss"`.
     pub fn registered(registry: &MetricsRegistry, labels: &[(&str, &str)]) -> CacheCounters {
-        const NAME: &str = "phe_cache_requests_total";
+        const NAME: &str = phe_obs::names::CACHE_REQUESTS_TOTAL;
         const HELP: &str = "Cache lookups by cache, slot, and outcome.";
         let mut hit_labels = labels.to_vec();
         hit_labels.push(("outcome", "hit"));

@@ -85,8 +85,13 @@ impl LatencyWindow {
     }
 
     fn record(&self, latency: Duration) {
+        // ORDERING: the cursor RMW only needs to hand out distinct slots;
+        // the sample store publishes one self-contained u64 that p99()
+        // reads atomically — no happens-before edge is needed for an
+        // approximate sliding window.
         let index = self.next.fetch_add(1, Ordering::Relaxed) % self.slots.len();
         let micros = (latency.as_micros() as u64).saturating_add(1);
+        // ORDERING: see above — self-contained sample, no publication.
         self.slots[index].store(micros, Ordering::Relaxed);
     }
 
@@ -95,6 +100,8 @@ impl LatencyWindow {
         let mut filled: Vec<u64> = self
             .slots
             .iter()
+            // ORDERING: each slot is a self-contained sample; a stale or
+            // torn-by-a-lap view only perturbs an already-approximate p99.
             .map(|slot| slot.load(Ordering::Relaxed))
             .filter(|&v| v > 0)
             .collect();
@@ -173,10 +180,16 @@ impl Admission {
             return false;
         };
         let now_ms = self.started.elapsed().as_millis() as u64;
+        // ORDERING: the timestamp CAS is an election, not a publication —
+        // it only picks one thread per interval to re-evaluate; the
+        // evaluated verdict itself travels through `shed_latency` with
+        // release/acquire below, so the election needs no ordering.
         let last = self.last_eval_ms.load(Ordering::Relaxed);
         if now_ms.saturating_sub(last) >= SHED_EVAL_INTERVAL_MS
             && self
                 .last_eval_ms
+                // ORDERING: see above — election only, verdict travels
+                // through `shed_latency` release/acquire.
                 .compare_exchange(last, now_ms, Ordering::Relaxed, Ordering::Relaxed)
                 .is_ok()
         {

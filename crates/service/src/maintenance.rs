@@ -38,7 +38,7 @@
 //! to survive.
 
 use std::collections::{BTreeSet, HashMap};
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -92,26 +92,28 @@ impl Gate {
 
     /// Worker side: announce arrival and park until released.
     pub fn pass(&self) {
-        let mut s = self.state.lock().expect("gate poisoned");
+        // The gate guards two plain booleans; a panicking holder cannot
+        // leave them torn, so poisoning recovery is sound.
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         s.arrived = true;
         self.cv.notify_all();
         while !s.released {
-            s = self.cv.wait(s).expect("gate poisoned");
+            s = self.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Test side: block until the worker has arrived at the gate.
     pub fn wait_arrived(&self) {
-        let mut s = self.state.lock().expect("gate poisoned");
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         while !s.arrived {
-            s = self.cv.wait(s).expect("gate poisoned");
+            s = self.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Test side: let the worker proceed (idempotent; also unblocks a
     /// worker that arrives later).
     pub fn release(&self) {
-        let mut s = self.state.lock().expect("gate poisoned");
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         s.released = true;
         self.cv.notify_all();
     }
@@ -165,6 +167,8 @@ impl FailurePlan {
         match action {
             None => Ok(()),
             Some(FailAction::Fail(message)) => Err(format!("injected failure: {message}")),
+            // LINT-ALLOW(panic): this IS the fault-injection harness —
+            // the armed action's contract is a real worker-thread panic.
             Some(FailAction::Panic(message)) => panic!("injected panic: {message}"),
             Some(FailAction::Hold(gate)) => {
                 gate.pass();
@@ -718,11 +722,14 @@ impl MaintenanceCoordinator {
         let this = Arc::clone(self);
         std::thread::spawn(move || loop {
             let interval = this.config.lock().publish_interval;
-            let stop = this.shutdown.lock().expect("shutdown flag poisoned");
+            // The flag is one boolean — recovering a poisoned lock reads
+            // either valid state, so the ticker survives a panicking
+            // sibling instead of killing shutdown.
+            let stop = this.shutdown.lock().unwrap_or_else(PoisonError::into_inner);
             let (stop, _) = this
                 .shutdown_cv
                 .wait_timeout_while(stop, interval, |stopped| !*stopped)
-                .expect("shutdown flag poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
             if *stop {
                 return;
             }
@@ -733,7 +740,7 @@ impl MaintenanceCoordinator {
 
     /// Asks the ticker to exit at its next wakeup (immediate).
     pub fn request_shutdown(&self) {
-        *self.shutdown.lock().expect("shutdown flag poisoned") = true;
+        *self.shutdown.lock().unwrap_or_else(PoisonError::into_inner) = true;
         self.shutdown_cv.notify_all();
     }
 

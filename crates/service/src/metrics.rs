@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use phe_core::DriftReport;
-use phe_obs::{Counter, Gauge, MetricsRegistry};
+use phe_obs::{names, Counter, Gauge, MetricsRegistry};
 
 use crate::cache::CacheCounters;
 
@@ -93,69 +93,73 @@ impl ServiceMetrics {
         ServiceMetrics {
             started: Instant::now(),
             uptime: r.gauge(
-                "phe_uptime_seconds",
+                names::UPTIME_SECONDS,
                 "Time since the serving process started.",
             ),
             requests: r.counter(
-                "phe_requests_total",
+                names::REQUESTS_TOTAL,
                 "Protocol requests answered (a batch is one request).",
             ),
             paths: r.counter(
-                "phe_paths_total",
+                names::PATHS_TOTAL,
                 "Individual paths estimated across all batches.",
             ),
-            errors: r.counter("phe_errors_total", "Requests rejected with an error."),
-            swaps: r.counter("phe_swaps_total", "Snapshot hot-swaps performed."),
+            errors: r.counter(names::ERRORS_TOTAL, "Requests rejected with an error."),
+            swaps: r.counter(names::SWAPS_TOTAL, "Snapshot hot-swaps performed."),
             rebuilds_started: r.counter_with(
-                "phe_rebuilds_total",
+                names::REBUILDS_TOTAL,
                 REBUILD_HELP,
                 &[("event", "started")],
             ),
             rebuilds_failed: r.counter_with(
-                "phe_rebuilds_total",
+                names::REBUILDS_TOTAL,
                 REBUILD_HELP,
                 &[("event", "failed")],
             ),
             rebuilds_superseded: r.counter_with(
-                "phe_rebuilds_total",
+                names::REBUILDS_TOTAL,
                 REBUILD_HELP,
                 &[("event", "superseded")],
             ),
-            deltas_started: r.counter_with("phe_deltas_total", DELTA_HELP, &[("event", "started")]),
-            deltas_failed: r.counter_with("phe_deltas_total", DELTA_HELP, &[("event", "failed")]),
+            deltas_started: r.counter_with(
+                names::DELTAS_TOTAL,
+                DELTA_HELP,
+                &[("event", "started")],
+            ),
+            deltas_failed: r.counter_with(names::DELTAS_TOTAL, DELTA_HELP, &[("event", "failed")]),
             deltas_superseded: r.counter_with(
-                "phe_deltas_total",
+                names::DELTAS_TOTAL,
                 DELTA_HELP,
                 &[("event", "superseded")],
             ),
             latency: r
-                .duration_histogram("phe_request_duration_seconds", "Per-request wall latency."),
+                .duration_histogram(names::REQUEST_DURATION_SECONDS, "Per-request wall latency."),
             cache: Arc::new(CacheCounters::registered(
                 r.as_ref(),
                 &[("cache", "estimate")],
             )),
             connections_open: r.gauge(
-                "phe_connections_open",
+                names::CONNECTIONS_OPEN,
                 "Protocol connections currently open.",
             ),
             open_count: AtomicU64::new(0),
             admission_admitted: r.counter_with(
-                "phe_admission_total",
+                names::ADMISSION_TOTAL,
                 ADMISSION_HELP,
                 &[("outcome", "admitted")],
             ),
             admission_refused: r.counter_with(
-                "phe_admission_total",
+                names::ADMISSION_TOTAL,
                 ADMISSION_HELP,
                 &[("outcome", "refused")],
             ),
             admission_shed: r.counter_with(
-                "phe_admission_total",
+                names::ADMISSION_TOTAL,
                 ADMISSION_HELP,
                 &[("outcome", "shed")],
             ),
             dispatch_queue_depth: r.gauge(
-                "phe_dispatch_queue_depth",
+                names::DISPATCH_QUEUE_DEPTH,
                 "CPU-heavy requests waiting for a dispatch worker.",
             ),
             dispatch_count: AtomicU64::new(0),
@@ -188,7 +192,7 @@ impl ServiceMetrics {
     pub fn record_op(&self, op: &str) {
         self.registry
             .counter_with(
-                "phe_ops_total",
+                names::OPS_TOTAL,
                 "Protocol requests by operation.",
                 &[("op", op)],
             )
@@ -311,7 +315,7 @@ impl ServiceMetrics {
         let labels = [("slot", slot)];
         self.registry
             .gauge_with(
-                "phe_drift_mean_abs_error",
+                names::DRIFT_MEAN_ABS_ERROR,
                 "Mean absolute error rate (paper's bounded error, [0,1]) of \
                  histogram estimates vs exact counts over paths sampled after \
                  the latest delta.",
@@ -320,14 +324,14 @@ impl ServiceMetrics {
             .set(drift.mean_abs_error_rate);
         self.registry
             .gauge_with(
-                "phe_drift_max_q_error",
+                names::DRIFT_MAX_Q_ERROR,
                 "Worst q-error among the drift-sampled paths after the latest delta.",
                 &labels,
             )
             .set(drift.max_q_error);
         self.registry
             .gauge_with(
-                "phe_drift_sampled_paths",
+                names::DRIFT_SAMPLED_PATHS,
                 "Paths sampled for the latest drift measurement.",
                 &labels,
             )
@@ -342,9 +346,9 @@ impl ServiceMetrics {
     pub fn clear_drift(&self, slot: &str) {
         let labels = [("slot", slot)];
         for name in [
-            "phe_drift_mean_abs_error",
-            "phe_drift_max_q_error",
-            "phe_drift_sampled_paths",
+            names::DRIFT_MEAN_ABS_ERROR,
+            names::DRIFT_MAX_Q_ERROR,
+            names::DRIFT_SAMPLED_PATHS,
         ] {
             self.registry.unregister_with(name, &labels);
         }
@@ -355,7 +359,7 @@ impl ServiceMetrics {
     pub fn record_maintenance_queue_depth(&self, slot: &str, depth: usize) {
         self.registry
             .gauge_with(
-                "phe_maintenance_queue_depth",
+                names::MAINTENANCE_QUEUE_DEPTH,
                 "Delta batches queued for the slot's next compacted publish.",
                 &[("slot", slot)],
             )
@@ -369,7 +373,7 @@ impl ServiceMetrics {
     pub fn record_maintenance_batches(&self, event: &str, n: u64) {
         self.registry
             .counter_with(
-                "phe_maintenance_batches_total",
+                names::MAINTENANCE_BATCHES_TOTAL,
                 "Maintenance delta batches by queue event.",
                 &[("event", event)],
             )
@@ -382,7 +386,7 @@ impl ServiceMetrics {
     pub fn record_maintenance_rebuild(&self, trigger: &str) {
         self.registry
             .counter_with(
-                "phe_maintenance_rebuilds_total",
+                names::MAINTENANCE_REBUILDS_TOTAL,
                 "Policy-triggered full rebuilds of maintained slots by trigger.",
                 &[("trigger", trigger)],
             )

@@ -574,24 +574,31 @@ impl Request {
                 Value::Object(fields)
             }
         };
-        serde_json::to_string(&value).expect("request serialization is infallible")
+        to_json_line(&value)
     }
+}
+
+/// Serializes a protocol line. The value trees built in this module
+/// cannot fail the serializer, but the API admits an error — degrade to
+/// a self-describing error line instead of panicking mid-connection.
+fn to_json_line(value: &Value) -> String {
+    serde_json::to_string(value)
+        .unwrap_or_else(|_| "{\"ok\":false,\"error\":\"response serialization failed\"}".to_owned())
 }
 
 /// Builds a success response carrying `fields`.
 pub fn ok_response(mut fields: Vec<(String, Value)>) -> String {
     let mut all = vec![("ok".to_string(), Value::Bool(true))];
     all.append(&mut fields);
-    serde_json::to_string(&Value::Object(all)).expect("response serialization is infallible")
+    to_json_line(&Value::Object(all))
 }
 
 /// Builds an error response.
 pub fn error_response(message: &str) -> String {
-    serde_json::to_string(&Value::Object(vec![
+    to_json_line(&Value::Object(vec![
         ("ok".to_string(), Value::Bool(false)),
         ("error".to_string(), Value::string(message)),
     ]))
-    .expect("response serialization is infallible")
 }
 
 /// Builds the structured admission-control refusal: an error line
@@ -599,13 +606,12 @@ pub fn error_response(message: &str) -> String {
 /// `"reason"` (`"capacity"`, `"quota"`, or `"shed"`), so clients can
 /// distinguish back-off-and-retry from a request that is simply wrong.
 pub fn overloaded_response(reason: &str, message: &str) -> String {
-    serde_json::to_string(&Value::Object(vec![
+    to_json_line(&Value::Object(vec![
         ("ok".to_string(), Value::Bool(false)),
         ("error".to_string(), Value::string(message)),
         ("overloaded".to_string(), Value::Bool(true)),
         ("reason".to_string(), Value::string(reason)),
     ]))
-    .expect("response serialization is infallible")
 }
 
 /// Builds the structured maintenance backpressure refusal: the delta
@@ -613,12 +619,11 @@ pub fn overloaded_response(reason: &str, message: &str) -> String {
 /// Carries `"backpressure": true`; the client should retry after the
 /// next compacted publish drains the queue.
 pub fn backpressure_response(message: &str) -> String {
-    serde_json::to_string(&Value::Object(vec![
+    to_json_line(&Value::Object(vec![
         ("ok".to_string(), Value::Bool(false)),
         ("error".to_string(), Value::string(message)),
         ("backpressure".to_string(), Value::Bool(true)),
     ]))
-    .expect("response serialization is infallible")
 }
 
 /// Renders a metrics report as a JSON object.

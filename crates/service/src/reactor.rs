@@ -267,6 +267,8 @@ impl Drop for WakePipe {
 // SAFETY: the pipe descriptors are valid for the struct's lifetime and
 // write(2)/read(2) on pipes are thread-safe.
 unsafe impl Send for WakePipe {}
+// SAFETY: shared use is only ever concurrent `write(2)` calls on the
+// write end (wakers) racing one reader; the kernel serializes both.
 unsafe impl Sync for WakePipe {}
 
 // ---------------------------------------------------------------- rlimit

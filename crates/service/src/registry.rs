@@ -521,12 +521,14 @@ impl EstimatorRegistry {
             .maintenance
             .lock()
             .iter()
-            .map(|(name, state)| {
-                let catalog = state
-                    .estimator
-                    .sparse_catalog()
-                    .expect("maintenance state retains the sparse catalog");
-                (
+            .filter_map(|(name, state)| {
+                // Every maintained estimator is built sparse, so the
+                // catalog is present by construction — but a listing is
+                // diagnostics, not a place to die on a broken invariant:
+                // a slot that somehow lost it is simply reported without
+                // the maintained footprint.
+                let catalog = state.estimator.sparse_catalog()?;
+                Some((
                     name.clone(),
                     (
                         MaintainedFootprint {
@@ -536,7 +538,7 @@ impl EstimatorRegistry {
                         },
                         state.estimator.drift().copied(),
                     ),
-                )
+                ))
             })
             .collect();
         let mut entries: Vec<EstimatorInfo> = self

@@ -2,7 +2,7 @@
 //!
 //! The protocol logic — parse one NDJSON request line, dispatch the op
 //! against the shared [`EstimatorRegistry`], render one response line —
-//! lives here as [`handle_line`]/`handle_request`, shared by both serving
+//! lives here as `handle_line`/`handle_request`, shared by both serving
 //! backends: the readiness-driven event loop (`crate::eventloop`, unix)
 //! and the thread-per-connection pool ([`crate::threadpool`], non-unix
 //! fallback and bench baseline). Per-request latency, path counts, and
@@ -1054,6 +1054,9 @@ pub fn install_sigint_flag() -> impl Fn() -> bool {
             fn signal(signum: i32, handler: usize) -> usize;
         }
         const SIGINT: i32 = 2;
+        // SAFETY: `sigint_handler` is `extern "C"`, async-signal-safe
+        // (one relaxed-free `SeqCst` store, no allocation, no locks), and
+        // lives for the whole program; `signal(2)` itself cannot fault.
         unsafe {
             signal(SIGINT, sigint_handler as extern "C" fn(i32) as usize);
         }
